@@ -1,0 +1,95 @@
+//! Multi-zone storage with longest-suffix zone selection.
+
+use ede_wire::Name;
+use ede_zone::Zone;
+use std::collections::BTreeMap;
+
+/// The zones one server is authoritative for.
+///
+/// Lookup picks the zone with the longest apex that is an ancestor of the
+/// query name — the same rule real servers apply when they host both a
+/// parent and a child zone (our root and TLD servers do exactly that in
+/// the scan).
+#[derive(Debug, Default)]
+pub struct ZoneStore {
+    /// Keyed by apex; `Name`'s canonical order keeps ancestors adjacent
+    /// but we still scan — the store is small per server.
+    zones: BTreeMap<Name, Zone>,
+}
+
+impl ZoneStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add (or replace) a zone.
+    pub fn insert(&mut self, zone: Zone) {
+        self.zones.insert(zone.apex().clone(), zone);
+    }
+
+    /// The best (deepest) zone for `qname`, if any.
+    pub fn find(&self, qname: &Name) -> Option<&Zone> {
+        let mut best: Option<&Zone> = None;
+        for (apex, zone) in &self.zones {
+            if qname.is_subdomain_of(apex) {
+                let better = match best {
+                    None => true,
+                    Some(b) => apex.label_count() > b.apex().label_count(),
+                };
+                if better {
+                    best = Some(zone);
+                }
+            }
+        }
+        best
+    }
+
+    /// Direct access by exact apex.
+    pub fn get(&self, apex: &Name) -> Option<&Zone> {
+        self.zones.get(apex)
+    }
+
+    /// Number of zones.
+    pub fn len(&self) -> usize {
+        self.zones.len()
+    }
+
+    /// True when no zones are loaded.
+    pub fn is_empty(&self) -> bool {
+        self.zones.is_empty()
+    }
+
+    /// Iterate zones in apex order.
+    pub fn iter(&self) -> impl Iterator<Item = &Zone> {
+        self.zones.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    #[test]
+    fn deepest_zone_wins() {
+        let mut store = ZoneStore::new();
+        store.insert(Zone::new(n("com")));
+        store.insert(Zone::new(n("example.com")));
+
+        assert_eq!(store.find(&n("www.example.com")).unwrap().apex(), &n("example.com"));
+        assert_eq!(store.find(&n("other.com")).unwrap().apex(), &n("com"));
+        assert!(store.find(&n("example.org")).is_none());
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn root_zone_matches_everything() {
+        let mut store = ZoneStore::new();
+        store.insert(Zone::new(Name::root()));
+        assert!(store.find(&n("anything.at.all")).is_some());
+    }
+}

@@ -1,0 +1,78 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//!
+//! * **Caching** — the shared answer/key cache is what lets a public
+//!   resolver absorb a scan; how much does it buy?
+//! * **Profile specificity** — resolving the same testbed under each
+//!   vendor profile measures whether emission complexity costs anything
+//!   (it should not: emission is a pure function over findings).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ede_resolver::{Resolver, ResolverConfig, Vendor, VendorProfile};
+use ede_testbed::Testbed;
+use ede_wire::RrType;
+use std::sync::Arc;
+
+fn bench_ablations(c: &mut Criterion) {
+    let tb = Testbed::build();
+    let spec = tb.spec("valid").expect("present");
+    let qname = tb.query_name(spec);
+
+    // --- Cache ablation -----------------------------------------------------
+    let mut group = c.benchmark_group("ablation_cache");
+    let cached = tb.resolver(Vendor::Cloudflare);
+    cached.resolve(&qname, RrType::A); // warm
+    group.bench_function("warm_cache_hit", |b| {
+        b.iter(|| black_box(cached.resolve(&qname, RrType::A)))
+    });
+
+    let no_cache_cfg = ResolverConfig {
+        enable_cache: false,
+        ..tb.resolver_config.clone()
+    };
+    let uncached = Resolver::new(
+        Arc::clone(&tb.net),
+        VendorProfile::new(Vendor::Cloudflare),
+        no_cache_cfg,
+    );
+    group.bench_function("cache_disabled_full_recursion", |b| {
+        b.iter(|| {
+            uncached.flush(); // also clears the zone-key cache
+            black_box(uncached.resolve(&qname, RrType::A))
+        })
+    });
+    group.finish();
+
+    // --- Profile-specificity ablation ---------------------------------------------
+    // Same broken zone, all seven emission policies: the diagnosis work
+    // is identical, so timing differences isolate the emission layer.
+    let broken = tb.spec("no-rrsig-ksk").expect("present");
+    let broken_name = tb.query_name(broken);
+    let mut group = c.benchmark_group("ablation_profiles");
+    for vendor in Vendor::ALL {
+        let r = tb.resolver(vendor);
+        group.bench_function(vendor.name(), |b| {
+            b.iter(|| {
+                r.flush();
+                black_box(r.resolve(&broken_name, RrType::A))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn fast() -> Criterion {
+    // This suite runs on constrained single-core CI-style machines;
+    // trade statistical tightness for wall time.
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .nresamples(2000)
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench_ablations
+}
+criterion_main!(benches);

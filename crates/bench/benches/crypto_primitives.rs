@@ -1,0 +1,66 @@
+//! Crypto primitive costs: hashing dominates NSEC3 work; simulated
+//! signatures dominate zone signing.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use ede_crypto::simsig::SigningKey;
+use ede_crypto::{keytag, nsec3hash, Digest, Sha1, Sha256};
+
+fn bench_crypto(c: &mut Criterion) {
+    let data_1k = vec![0xA5u8; 1024];
+
+    let mut group = c.benchmark_group("hash_1k");
+    group.throughput(Throughput::Bytes(1024));
+    group.bench_function("sha1", |b| b.iter(|| Sha1::digest(black_box(&data_1k))));
+    group.bench_function("sha256", |b| b.iter(|| Sha256::digest(black_box(&data_1k))));
+    group.finish();
+
+    let name_wire = {
+        let mut w = Vec::new();
+        for label in ["www", "example", "com"] {
+            w.push(label.len() as u8);
+            w.extend_from_slice(label.as_bytes());
+        }
+        w.push(0);
+        w
+    };
+    c.bench_function("nsec3_hash_iter0", |b| {
+        b.iter(|| nsec3hash::nsec3_hash(black_box(&name_wire), b"\xab\xcd", 0))
+    });
+    c.bench_function("nsec3_hash_iter150", |b| {
+        b.iter(|| nsec3hash::nsec3_hash(black_box(&name_wire), b"\xab\xcd", 150))
+    });
+
+    let rdata = {
+        let key = SigningKey::from_seed(8, 2048, b"bench");
+        let mut r = vec![0x01, 0x01, 3, 8];
+        r.extend_from_slice(&key.public_key());
+        r
+    };
+    c.bench_function("key_tag", |b| b.iter(|| keytag::key_tag(black_box(&rdata))));
+
+    let key = SigningKey::from_seed(8, 2048, b"bench");
+    let msg = vec![0x42u8; 512];
+    let sig = key.sign(&msg);
+    let pk = key.public_key();
+    c.bench_function("simsig_sign_512B", |b| b.iter(|| key.sign(black_box(&msg))));
+    c.bench_function("simsig_verify_512B", |b| {
+        b.iter(|| ede_crypto::simsig::verify(black_box(&pk), 8, black_box(&msg), black_box(&sig)))
+    });
+}
+
+fn fast() -> Criterion {
+    // This suite runs on constrained single-core CI-style machines;
+    // trade statistical tightness for wall time.
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .nresamples(2000)
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench_crypto
+}
+criterion_main!(benches);

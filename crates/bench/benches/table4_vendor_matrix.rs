@@ -1,0 +1,62 @@
+//! Table 4 regeneration benchmark: the full 63 × 7 resolution matrix,
+//! plus single-case resolutions per vendor.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ede_resolver::Vendor;
+use ede_testbed::Testbed;
+use ede_wire::RrType;
+
+fn bench_matrix(c: &mut Criterion) {
+    let tb = Testbed::build();
+
+    c.bench_function("testbed_build", |b| b.iter(|| black_box(Testbed::build())));
+
+    let mut group = c.benchmark_group("single_resolution");
+    for vendor in [Vendor::Unbound, Vendor::Cloudflare] {
+        let resolver = tb.resolver(vendor);
+        let spec = tb.spec("rrsig-exp-all").expect("present");
+        let qname = tb.query_name(spec);
+        group.bench_function(format!("rrsig-exp-all/{}", vendor.name()), |b| {
+            b.iter(|| {
+                resolver.flush();
+                black_box(resolver.resolve(&qname, RrType::A))
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("table4");
+    group.bench_function("full_63x7_matrix", |b| {
+        let resolvers: Vec<_> = Vendor::ALL.iter().map(|&v| tb.resolver(v)).collect();
+        b.iter(|| {
+            let mut cells = 0usize;
+            for spec in &tb.specs {
+                let qname = tb.query_name(spec);
+                for r in &resolvers {
+                    r.flush();
+                    let res = r.resolve(&qname, RrType::A);
+                    cells += res.ede.len();
+                }
+            }
+            black_box(cells)
+        })
+    });
+    group.finish();
+}
+
+fn fast() -> Criterion {
+    // This suite runs on constrained single-core CI-style machines;
+    // trade statistical tightness for wall time.
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .nresamples(2000)
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench_matrix
+}
+criterion_main!(benches);

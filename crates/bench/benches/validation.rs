@@ -1,0 +1,105 @@
+//! Zone signing and chain-validation costs: the per-zone work behind
+//! both the testbed and the synthesized scan world.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ede_resolver::diagnosis::Diagnosis;
+use ede_resolver::profiles::ValidatorCaps;
+use ede_resolver::validate;
+use ede_wire::rdata::Soa;
+use ede_wire::{DigestAlg, Name, Rdata, Record, RrType};
+use ede_zone::signer::{sign_zone, SignerConfig, SIM_NOW};
+use ede_zone::{Zone, ZoneKeys};
+
+fn build_zone(apex: &Name) -> Zone {
+    let mut z = Zone::new(apex.clone());
+    z.add(Record::new(
+        apex.clone(),
+        3600,
+        Rdata::Soa(Soa {
+            mname: apex.child("ns1").unwrap(),
+            rname: apex.child("hostmaster").unwrap(),
+            serial: 1,
+            refresh: 7200,
+            retry: 3600,
+            expire: 1209600,
+            minimum: 300,
+        }),
+    ));
+    z.add(Record::new(apex.clone(), 3600, Rdata::Ns(apex.child("ns1").unwrap())));
+    z.add_a(apex.child("ns1").unwrap(), "192.0.2.1".parse().unwrap());
+    z.add_a(apex.clone(), "192.0.2.2".parse().unwrap());
+    for i in 0..8 {
+        z.add_a(
+            apex.child(&format!("host{i}")).unwrap(),
+            "192.0.2.3".parse().unwrap(),
+        );
+    }
+    z
+}
+
+fn bench_validation(c: &mut Criterion) {
+    let apex = Name::parse("bench.example").unwrap();
+    let keys = ZoneKeys::generate(&apex, 8, 2048);
+    let cfg = SignerConfig::default();
+
+    c.bench_function("sign_zone_12_names", |b| {
+        b.iter(|| {
+            let mut z = build_zone(&apex);
+            sign_zone(&mut z, &keys, &cfg);
+            black_box(z)
+        })
+    });
+
+    let mut signed = build_zone(&apex);
+    sign_zone(&mut signed, &keys, &cfg);
+    let ds = vec![keys.ksk.ds_rdata(&apex, DigestAlg::SHA256)];
+    let dnskey = signed.get(&apex, RrType::Dnskey).unwrap().clone();
+    let caps = ValidatorCaps::full();
+
+    c.bench_function("validate_dnskey_chain_link", |b| {
+        b.iter(|| {
+            let mut diag = Diagnosis::new();
+            black_box(validate::validate_dnskey(
+                &apex, &ds, &dnskey, &caps, SIM_NOW, &mut diag,
+            ))
+        })
+    });
+
+    let a_set = signed.get(&apex, RrType::A).unwrap().clone();
+    let trusted = {
+        let mut diag = Diagnosis::new();
+        validate::validate_dnskey(&apex, &ds, &dnskey, &caps, SIM_NOW, &mut diag)
+            .trusted
+            .expect("valid chain")
+    };
+    c.bench_function("check_rrset_signature", |b| {
+        b.iter(|| {
+            let mut diag = Diagnosis::new();
+            black_box(validate::check_rrset(
+                &a_set,
+                &trusted,
+                &caps,
+                SIM_NOW,
+                ede_resolver::diagnosis::SigTarget::Answer,
+                &mut diag,
+            ))
+        })
+    });
+}
+
+fn fast() -> Criterion {
+    // This suite runs on constrained single-core CI-style machines;
+    // trade statistical tightness for wall time.
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .nresamples(2000)
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench_validation
+}
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! §4.2 scan benchmark: end-to-end scan throughput at a small scale
+//! (population generation, world build, and the scan itself).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ede_scan::scanner::ScanConfig;
+use ede_scan::{scanner, Population, PopulationConfig, ScanWorld};
+
+fn bench_scan(c: &mut Criterion) {
+    let cfg = PopulationConfig::tiny();
+
+    c.bench_function("population_generate_tiny", |b| {
+        b.iter(|| black_box(Population::generate(cfg.clone())))
+    });
+
+    let pop = Population::generate(cfg.clone());
+    c.bench_function("world_build_tiny", |b| b.iter(|| black_box(ScanWorld::build(&pop))));
+
+    let mut group = c.benchmark_group("scan");
+    group.bench_function("tiny_population_single_thread", |b| {
+        b.iter(|| {
+            // Fresh world per iteration: flap state and the virtual
+            // clock are part of the scan.
+            let world = ScanWorld::build(&pop);
+            let result = scanner::scan(
+                &pop,
+                &world,
+                &ScanConfig {
+                    workers: 1,
+                    ..Default::default()
+                },
+            );
+            black_box(result.observations.len())
+        })
+    });
+    group.bench_function("tiny_population_parallel", |b| {
+        b.iter(|| {
+            let world = ScanWorld::build(&pop);
+            let result = scanner::scan(&pop, &world, &ScanConfig::default());
+            black_box(result.observations.len())
+        })
+    });
+    group.finish();
+}
+
+fn fast() -> Criterion {
+    // This suite runs on constrained single-core CI-style machines;
+    // trade statistical tightness for wall time.
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .nresamples(2000)
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench_scan
+}
+criterion_main!(benches);

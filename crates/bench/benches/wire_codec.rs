@@ -1,0 +1,80 @@
+//! Wire codec throughput: the per-message cost floor under the scanner.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ede_wire::ede::{EdeCode, EdeEntry};
+use ede_wire::rdata::Rdata;
+use ede_wire::{Edns, Message, Name, Rcode, Record, RrType};
+
+fn sample_response() -> Message {
+    let qname = Name::parse("allow-query-none.extended-dns-errors.com").unwrap();
+    let q = Message::query(0x1234, qname.clone(), RrType::A);
+    let mut r = Message::response_to(&q);
+    r.rcode = Rcode::ServFail;
+    r.recursion_available = true;
+    let mut edns = Edns::default();
+    edns.push_ede(EdeEntry::bare(EdeCode::DnskeyMissing));
+    edns.push_ede(EdeEntry::bare(EdeCode::NoReachableAuthority));
+    edns.push_ede(EdeEntry::with_text(
+        EdeCode::NetworkError,
+        "185.199.110.1:53 rcode=REFUSED for allow-query-none.extended-dns-errors.com A",
+    ));
+    r.edns = Some(edns);
+    for i in 0..4u8 {
+        r.authorities.push(Record::new(
+            Name::parse("extended-dns-errors.com").unwrap(),
+            3600,
+            Rdata::Ns(Name::parse(&format!("ns{i}.extended-dns-errors.com")).unwrap()),
+        ));
+    }
+    r
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let msg = sample_response();
+    let wire = msg.encode().unwrap();
+
+    c.bench_function("encode_response_with_3_ede", |b| {
+        b.iter(|| black_box(&msg).encode().unwrap())
+    });
+    c.bench_function("decode_response_with_3_ede", |b| {
+        b.iter(|| Message::decode(black_box(&wire)).unwrap())
+    });
+
+    let query = Message::query(7, Name::parse("www.example.com").unwrap(), RrType::A);
+    let query_wire = query.encode().unwrap();
+    c.bench_function("encode_query", |b| b.iter(|| black_box(&query).encode().unwrap()));
+    c.bench_function("decode_query", |b| {
+        b.iter(|| Message::decode(black_box(&query_wire)).unwrap())
+    });
+
+    c.bench_function("name_compression_10_names", |b| {
+        b.iter(|| {
+            let mut m = Message::query(1, Name::parse("a.example.com").unwrap(), RrType::A);
+            for i in 0..10 {
+                m.additionals.push(Record::new(
+                    Name::parse(&format!("ns{i}.example.com")).unwrap(),
+                    60,
+                    Rdata::A("192.0.2.1".parse().unwrap()),
+                ));
+            }
+            m.encode().unwrap()
+        })
+    });
+}
+
+fn fast() -> Criterion {
+    // This suite runs on constrained single-core CI-style machines;
+    // trade statistical tightness for wall time.
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .nresamples(2000)
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench_codec
+}
+criterion_main!(benches);

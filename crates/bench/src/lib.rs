@@ -1,0 +1,23 @@
+//! Criterion benchmarks for the EDE reproduction.
+//!
+//! Each bench target regenerates (and times) one of the paper's
+//! artifacts:
+//!
+//! | target | paper artifact |
+//! |---|---|
+//! | `wire_codec` | message encode/decode throughput (scanner substrate) |
+//! | `crypto_primitives` | SHA/NSEC3/keytag/simsig costs |
+//! | `validation` | zone signing + chain validation |
+//! | `table4_vendor_matrix` | Table 4 (63 × 7 resolution matrix) |
+//! | `wild_scan` | §4.2 scan at a small scale |
+//! | `figures` | Figures 1 and 2 aggregation |
+//! | `ablations` | design-choice ablations (cache, profile specificity) |
+//!
+//! Shared helpers live here.
+
+use ede_testbed::Testbed;
+
+/// Build the testbed once per bench process.
+pub fn shared_testbed() -> Testbed {
+    Testbed::build()
+}

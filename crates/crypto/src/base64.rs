@@ -1,0 +1,91 @@
+//! Base 64 (RFC 4648 §4), used by zone-file presentation of DNSKEY
+//! public keys and RRSIG signatures.
+
+const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Encode with padding, as zone files print key material.
+pub fn encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let mut buf = [0u8; 3];
+        buf[..chunk.len()].copy_from_slice(chunk);
+        let v = u32::from(buf[0]) << 16 | u32::from(buf[1]) << 8 | u32::from(buf[2]);
+        let symbols = [
+            ALPHABET[(v >> 18) as usize & 0x3f],
+            ALPHABET[(v >> 12) as usize & 0x3f],
+            ALPHABET[(v >> 6) as usize & 0x3f],
+            ALPHABET[v as usize & 0x3f],
+        ];
+        let keep = chunk.len() + 1;
+        for (i, s) in symbols.iter().enumerate() {
+            out.push(if i < keep { *s as char } else { '=' });
+        }
+    }
+    out
+}
+
+/// Decode, accepting padding and embedded whitespace (zone files wrap
+/// long key material across lines).
+pub fn decode(text: &str) -> Option<Vec<u8>> {
+    let mut out = Vec::with_capacity(text.len() * 3 / 4);
+    let mut acc: u32 = 0;
+    let mut bits = 0u8;
+    for c in text.bytes() {
+        let v = match c {
+            b'A'..=b'Z' => c - b'A',
+            b'a'..=b'z' => c - b'a' + 26,
+            b'0'..=b'9' => c - b'0' + 52,
+            b'+' => 62,
+            b'/' => 63,
+            b'=' => continue,
+            c if c.is_ascii_whitespace() => continue,
+            _ => return None,
+        };
+        acc = (acc << 6) | u32::from(v);
+        bits += 6;
+        if bits >= 8 {
+            bits -= 8;
+            out.push(((acc >> bits) & 0xff) as u8);
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // RFC 4648 §10 vectors.
+    #[test]
+    fn rfc4648_vectors() {
+        let cases: &[(&[u8], &str)] = &[
+            (b"", ""),
+            (b"f", "Zg=="),
+            (b"fo", "Zm8="),
+            (b"foo", "Zm9v"),
+            (b"foob", "Zm9vYg=="),
+            (b"fooba", "Zm9vYmE="),
+            (b"foobar", "Zm9vYmFy"),
+        ];
+        for (raw, enc) in cases {
+            assert_eq!(encode(raw), *enc);
+            assert_eq!(decode(enc).as_deref(), Some(*raw));
+        }
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        assert_eq!(decode("Zm9v\n YmFy").as_deref(), Some(b"foobar".as_slice()));
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(decode("Zm9*").is_none());
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let data: Vec<u8> = (0u16..=255).map(|b| b as u8).collect();
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+}

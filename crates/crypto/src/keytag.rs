@@ -1,0 +1,97 @@
+//! DNSKEY key tag computation (RFC 4034 Appendix B).
+//!
+//! The key tag is a 16-bit checksum over the DNSKEY RDATA that DS and RRSIG
+//! records carry to pre-select candidate keys. It is *not* a hash: distinct
+//! keys may share a tag, and validators must treat it as a hint only. The
+//! paper's `ds-bad-tag` testbed case works precisely because validators
+//! compare this value against the DS key tag field.
+
+/// Compute the key tag over a DNSKEY RDATA (flags ‖ protocol ‖ algorithm ‖
+/// public key), exactly as RFC 4034 Appendix B specifies.
+///
+/// `algorithm` 1 (RSA/MD5) uses the historical formula from Appendix B.1:
+/// the tag is the 16 most significant bits of the 24 least significant bits
+/// of the public key modulus. All other algorithms use the ones'-complement
+/// style accumulation.
+pub fn key_tag(rdata: &[u8]) -> u16 {
+    // RDATA layout: 2 bytes flags, 1 byte protocol, 1 byte algorithm, key.
+    if rdata.len() >= 4 && rdata[3] == 1 {
+        // RSA/MD5: key tag from the modulus trailer.
+        if rdata.len() >= 7 {
+            let n = rdata.len();
+            return u16::from_be_bytes([rdata[n - 3], rdata[n - 2]]);
+        }
+        return 0;
+    }
+
+    let mut acc: u32 = 0;
+    for (i, &b) in rdata.iter().enumerate() {
+        if i & 1 == 0 {
+            acc += u32::from(b) << 8;
+        } else {
+            acc += u32::from(b);
+        }
+    }
+    acc += (acc >> 16) & 0xffff;
+    (acc & 0xffff) as u16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 4034 §5.4 example: the DS record for dskey.example.com carries
+    /// key tag 60485 for the given DNSKEY. Reconstruct the RDATA from the
+    /// RFC's base64 key material and check.
+    #[test]
+    fn rfc4034_example_key() {
+        // DNSKEY 256 3 5 ( AQOeiiR0GOMYkDshWoSKz9Xz...
+        // Decoded public key bytes (from the RFC example, 130 bytes).
+        const KEY_B64: &str = "AQOeiiR0GOMYkDshWoSKz9XzfwJr1AYtsmx3TGkJaNXVbfi/\
+                               2pHm822aJ5iI9BMzNXxeYCmZDRD99WYwYqUSdjMmmAphXdvx\
+                               egXd/M5+X7OrzKBaMbCVdFLUUh6DhweJBjEVv5f2wwjM9Xzc\
+                               nOf+EPbtG9DMBmADjFDc2w/rljwvFw==";
+        let key = b64(KEY_B64);
+        let mut rdata = vec![0x01, 0x00, 3, 5]; // flags 256, proto 3, alg 5
+        rdata.extend_from_slice(&key);
+        assert_eq!(key_tag(&rdata), 60485);
+    }
+
+    #[test]
+    fn deterministic_and_order_sensitive() {
+        let a = key_tag(&[0x01, 0x01, 3, 8, 1, 2, 3, 4]);
+        let b = key_tag(&[0x01, 0x01, 3, 8, 1, 2, 4, 3]);
+        assert_eq!(a, key_tag(&[0x01, 0x01, 3, 8, 1, 2, 3, 4]));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn rsamd5_uses_modulus_trailer() {
+        // Algorithm 1: tag must be read from the 3rd/2nd trailing bytes.
+        let mut rdata = vec![0x01, 0x00, 3, 1];
+        rdata.extend_from_slice(&[0xaa; 10]);
+        rdata.extend_from_slice(&[0x12, 0x34, 0x56]);
+        assert_eq!(key_tag(&rdata), 0x1234);
+    }
+
+    /// Minimal base64 decoder for the test vector only.
+    fn b64(s: &str) -> Vec<u8> {
+        const T: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+        let mut out = Vec::new();
+        let mut acc = 0u32;
+        let mut bits = 0;
+        for c in s.bytes() {
+            if c == b'=' || c.is_ascii_whitespace() {
+                continue;
+            }
+            let v = T.iter().position(|&t| t == c).expect("valid base64") as u32;
+            acc = (acc << 6) | v;
+            bits += 6;
+            if bits >= 8 {
+                bits -= 8;
+                out.push(((acc >> bits) & 0xff) as u8);
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests for the crypto substrate.
+
+use ede_crypto::simsig::{self, SigningKey};
+use ede_crypto::{base32, hmac::hmac, keytag, nsec3hash, Digest, Sha1, Sha256, Sha384};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn base32hex_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let encoded = base32::encode(&data);
+        let decoded = base32::decode(&encoded);
+        prop_assert_eq!(decoded.as_deref(), Some(data.as_slice()));
+        // Alphabet check: all output chars are in [0-9a-v].
+        prop_assert!(encoded.bytes().all(|b| b.is_ascii_digit() || (b'a'..=b'v').contains(&b)));
+    }
+
+    #[test]
+    fn base32hex_case_insensitive(data in proptest::collection::vec(any::<u8>(), 0..32)) {
+        let encoded = base32::encode(&data).to_ascii_uppercase();
+        prop_assert_eq!(base32::decode(&encoded), Some(data));
+    }
+
+    #[test]
+    fn sha_incremental_equals_oneshot(
+        chunks in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..200), 0..8)
+    ) {
+        let flat: Vec<u8> = chunks.iter().flatten().copied().collect();
+        let mut s1 = Sha1::new();
+        let mut s256 = Sha256::new();
+        let mut s384 = Sha384::new();
+        for chunk in &chunks {
+            s1.update(chunk);
+            s256.update(chunk);
+            s384.update(chunk);
+        }
+        prop_assert_eq!(s1.finalize(), Sha1::digest(&flat));
+        prop_assert_eq!(s256.finalize(), Sha256::digest(&flat));
+        prop_assert_eq!(s384.finalize(), Sha384::digest(&flat));
+    }
+
+    #[test]
+    fn hmac_distinguishes_keys_and_messages(
+        key_a in proptest::collection::vec(any::<u8>(), 1..64),
+        key_b in proptest::collection::vec(any::<u8>(), 1..64),
+        msg_a in proptest::collection::vec(any::<u8>(), 0..64),
+        msg_b in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let base = hmac::<Sha256>(&key_a, &msg_a);
+        if key_a != key_b {
+            prop_assert_ne!(&base, &hmac::<Sha256>(&key_b, &msg_a));
+        }
+        if msg_a != msg_b {
+            prop_assert_ne!(&base, &hmac::<Sha256>(&key_a, &msg_b));
+        }
+    }
+
+    #[test]
+    fn simsig_sign_verify_roundtrip(
+        alg in 1u8..20,
+        bits in prop_oneof![Just(256u16), Just(512), Just(1024), Just(2048)],
+        seed in proptest::collection::vec(any::<u8>(), 1..32),
+        msg in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let key = SigningKey::from_seed(alg, bits, &seed);
+        let sig = key.sign(&msg);
+        prop_assert_eq!(simsig::verify(&key.public_key(), alg, &msg, &sig), Ok(()));
+    }
+
+    #[test]
+    fn simsig_rejects_tampering(
+        seed in proptest::collection::vec(any::<u8>(), 1..16),
+        msg in proptest::collection::vec(any::<u8>(), 1..128),
+        flip_bit in 0usize..8,
+        flip_at_frac in 0.0f64..1.0,
+    ) {
+        let key = SigningKey::from_seed(8, 2048, &seed);
+        let sig = key.sign(&msg);
+        let mut tampered = msg.clone();
+        let idx = ((tampered.len() - 1) as f64 * flip_at_frac) as usize;
+        tampered[idx] ^= 1 << flip_bit;
+        prop_assert!(simsig::verify(&key.public_key(), 8, &tampered, &sig).is_err());
+    }
+
+    #[test]
+    fn keytag_is_deterministic(rdata in proptest::collection::vec(any::<u8>(), 4..64)) {
+        prop_assert_eq!(keytag::key_tag(&rdata), keytag::key_tag(&rdata));
+    }
+
+    #[test]
+    fn nsec3_hash_is_20_bytes_and_iteration_sensitive(
+        name in proptest::collection::vec(any::<u8>(), 1..40),
+        salt in proptest::collection::vec(any::<u8>(), 0..8),
+        iters in 0u16..16,
+    ) {
+        let h = nsec3hash::nsec3_hash(&name, &salt, iters);
+        prop_assert_eq!(h.len(), 20);
+        prop_assert_ne!(h, nsec3hash::nsec3_hash(&name, &salt, iters + 1));
+    }
+}

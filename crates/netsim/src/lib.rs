@@ -1,0 +1,33 @@
+//! Deterministic simulated internet for the EDE reproduction.
+//!
+//! The paper's measurements depend on *network-visible* behaviour:
+//! nameservers that time out, refuse, answer from special-purpose
+//! addresses that can never route, and links that add latency. This crate
+//! models exactly that and nothing more:
+//!
+//! * [`clock`] — a shared virtual clock. Time advances only through
+//!   simulated link latency and timeouts, so runs are bit-reproducible.
+//! * [`addr`] — classification of IPv4/IPv6 special-purpose addresses
+//!   (IANA registries, RFC 6890). The testbed's invalid-glue groups 6–7
+//!   are built directly on these ranges.
+//! * [`transport`] — the network itself: a routing table from `IpAddr` to
+//!   [`Server`] instances, with per-query latency, deterministic loss,
+//!   and unroutability for special addresses.
+//!
+//! The design is sans-IO in the smoltcp tradition: servers are state
+//! machines handling one message at a time; no sockets, no threads, no
+//! wall-clock time anywhere in the data path.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod clock;
+pub mod transport;
+
+pub use addr::{classify, AddrClass, SpecialUse};
+pub use clock::SimClock;
+pub use transport::{
+    CapturedQuery, NetError, Network, NetworkBuilder, NetworkConfig, Server, ServerResponse,
+    TrafficStats,
+};

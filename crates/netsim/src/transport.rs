@@ -1,0 +1,384 @@
+//! The simulated network: routing, latency, loss, timeouts.
+
+use crate::addr::classify;
+use crate::clock::SimClock;
+use ede_wire::Message;
+use std::collections::HashMap;
+use std::fmt;
+use std::net::IpAddr;
+use std::sync::Arc;
+
+/// What a server does with one query.
+pub enum ServerResponse {
+    /// Send this message back.
+    Reply(Message),
+    /// Silently drop the query (the client will time out). Models dead
+    /// servers, firewalls, and hosts that never existed.
+    Drop,
+}
+
+/// A DNS server attached to the network.
+///
+/// Implementations must be `Send + Sync`: the scanner queries one shared
+/// network from many worker threads. Any interior state (counters, flap
+/// schedules) must use interior mutability.
+pub trait Server: Send + Sync {
+    /// Handle one query arriving from `src` at simulated time `now`
+    /// (seconds).
+    fn handle(&self, query: &Message, src: IpAddr, now: u32) -> ServerResponse;
+}
+
+/// Transport-level failures, as a resolver perceives them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NetError {
+    /// The destination is a special-purpose address — packets can never
+    /// be delivered. Carries the same latency cost as a timeout, because
+    /// a real resolver cannot tell the difference.
+    Unroutable,
+    /// No reply within the timeout (dead host, silent drop, loss).
+    Timeout,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Unroutable => write!(f, "destination unroutable"),
+            NetError::Timeout => write!(f, "query timed out"),
+        }
+    }
+}
+
+/// Tunables for the network.
+#[derive(Debug, Clone)]
+pub struct NetworkConfig {
+    /// One-way latency charged per delivered query/response pair, in
+    /// milliseconds.
+    pub rtt_ms: u64,
+    /// How long a client waits before declaring a timeout, in
+    /// milliseconds.
+    pub timeout_ms: u64,
+    /// Probability in [0, 1] that any given query is lost. Loss is
+    /// decided by a deterministic hash of (seed, dst, query id, qname),
+    /// so runs reproduce exactly.
+    pub loss_rate: f64,
+    /// Seed for the deterministic loss decision.
+    pub seed: u64,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            rtt_ms: 20,
+            timeout_ms: 2_000,
+            loss_rate: 0.0,
+            seed: 0x0EDE,
+        }
+    }
+}
+
+/// Builder for an immutable [`Network`].
+#[derive(Default)]
+pub struct NetworkBuilder {
+    routes: HashMap<IpAddr, Arc<dyn Server>>,
+    config: NetworkConfig,
+}
+
+impl NetworkBuilder {
+    /// Start an empty network with default config.
+    pub fn new() -> Self {
+        NetworkBuilder {
+            routes: HashMap::new(),
+            config: NetworkConfig::default(),
+        }
+    }
+
+    /// Replace the network config.
+    pub fn config(mut self, config: NetworkConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Attach `server` at `addr`. Registering a special-purpose address
+    /// is allowed but pointless: the transport refuses to route to it —
+    /// exactly the testbed's bad-glue situation.
+    pub fn register(&mut self, addr: IpAddr, server: Arc<dyn Server>) -> &mut Self {
+        self.routes.insert(addr, server);
+        self
+    }
+
+    /// Freeze into a shareable network.
+    pub fn build(self, clock: SimClock) -> Network {
+        Network {
+            routes: self.routes,
+            config: self.config,
+            clock,
+            stats: TrafficStats::default(),
+            capture: parking_lot::Mutex::new(None),
+        }
+    }
+}
+
+/// Counters over everything a network carried — the simulated analogue
+/// of the paper's §5 traffic accounting ("peaked at 11.5 K packets per
+/// second … 12 hours in total").
+#[derive(Debug, Default)]
+pub struct TrafficStats {
+    /// Queries attempted (each costs up to two datagrams).
+    pub queries: std::sync::atomic::AtomicU64,
+    /// Queries that received a reply.
+    pub delivered: std::sync::atomic::AtomicU64,
+    /// Queries that failed at the transport (unroutable / timeout / loss).
+    pub failed: std::sync::atomic::AtomicU64,
+}
+
+impl TrafficStats {
+    /// Snapshot (queries, delivered, failed).
+    pub fn snapshot(&self) -> (u64, u64, u64) {
+        use std::sync::atomic::Ordering::Relaxed;
+        (
+            self.queries.load(Relaxed),
+            self.delivered.load(Relaxed),
+            self.failed.load(Relaxed),
+        )
+    }
+}
+
+/// One captured query (when capture is enabled).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CapturedQuery {
+    /// Destination server.
+    pub dst: IpAddr,
+    /// Queried name (as a dotted string, to keep the capture cheap).
+    pub qname: String,
+    /// Queried type, numeric.
+    pub qtype: u16,
+}
+
+/// The frozen, thread-safe network.
+pub struct Network {
+    routes: HashMap<IpAddr, Arc<dyn Server>>,
+    config: NetworkConfig,
+    clock: SimClock,
+    stats: TrafficStats,
+    capture: parking_lot::Mutex<Option<Vec<CapturedQuery>>>,
+}
+
+impl Network {
+    /// The shared clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Traffic counters accumulated since the network was built.
+    pub fn stats(&self) -> &TrafficStats {
+        &self.stats
+    }
+
+    /// Start recording every query (a tcpdump for the simulation —
+    /// compare the smoltcp examples' `--pcap` option). Clears any
+    /// previous capture.
+    pub fn start_capture(&self) {
+        *self.capture.lock() = Some(Vec::new());
+    }
+
+    /// Stop capturing and return what was recorded.
+    pub fn take_capture(&self) -> Vec<CapturedQuery> {
+        self.capture.lock().take().unwrap_or_default()
+    }
+
+    /// Number of attached servers.
+    pub fn server_count(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Is anything routable attached at `addr`?
+    pub fn has_route(&self, addr: IpAddr) -> bool {
+        classify(addr).is_routable() && self.routes.contains_key(&addr)
+    }
+
+    /// Send `query` to `dst` from `src` and wait for the reply.
+    ///
+    /// Latency accounting: a delivered exchange advances the clock by
+    /// one RTT; every failure (unroutable, silent drop, loss, no route)
+    /// advances it by the full timeout, as the querier has to wait that
+    /// long to learn nothing.
+    pub fn query(&self, dst: IpAddr, src: IpAddr, query: &Message) -> Result<Message, NetError> {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.stats.queries.fetch_add(1, Relaxed);
+        if let Some(cap) = self.capture.lock().as_mut() {
+            if let Some(q) = query.first_question() {
+                cap.push(CapturedQuery {
+                    dst,
+                    qname: q.name.to_string(),
+                    qtype: q.qtype.to_u16(),
+                });
+            }
+        }
+        if !classify(dst).is_routable() {
+            self.clock.advance_millis(self.config.timeout_ms);
+            self.stats.failed.fetch_add(1, Relaxed);
+            return Err(NetError::Unroutable);
+        }
+        let Some(server) = self.routes.get(&dst) else {
+            self.clock.advance_millis(self.config.timeout_ms);
+            self.stats.failed.fetch_add(1, Relaxed);
+            return Err(NetError::Timeout);
+        };
+        if self.lose(dst, query) {
+            self.clock.advance_millis(self.config.timeout_ms);
+            self.stats.failed.fetch_add(1, Relaxed);
+            return Err(NetError::Timeout);
+        }
+        match server.handle(query, src, self.clock.now_secs()) {
+            ServerResponse::Reply(msg) => {
+                self.clock.advance_millis(self.config.rtt_ms);
+                self.stats.delivered.fetch_add(1, Relaxed);
+                Ok(msg)
+            }
+            ServerResponse::Drop => {
+                self.clock.advance_millis(self.config.timeout_ms);
+                self.stats.failed.fetch_add(1, Relaxed);
+                Err(NetError::Timeout)
+            }
+        }
+    }
+
+    /// Deterministic loss decision (FNV-1a over the flow tuple).
+    fn lose(&self, dst: IpAddr, query: &Message) -> bool {
+        if self.config.loss_rate <= 0.0 {
+            return false;
+        }
+        let mut h: u64 = 0xcbf29ce484222325 ^ self.config.seed;
+        let mut mix = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        };
+        match dst {
+            IpAddr::V4(a) => mix(&a.octets()),
+            IpAddr::V6(a) => mix(&a.octets()),
+        }
+        mix(&query.id.to_be_bytes());
+        if let Some(q) = query.first_question() {
+            mix(&q.name.to_wire());
+        }
+        (h as f64 / u64::MAX as f64) < self.config.loss_rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ede_wire::{Name, Rcode, RrType};
+
+    /// A server echoing NOERROR to everything.
+    struct Echo;
+    impl Server for Echo {
+        fn handle(&self, query: &Message, _src: IpAddr, _now: u32) -> ServerResponse {
+            let mut r = Message::response_to(query);
+            r.rcode = Rcode::NoError;
+            ServerResponse::Reply(r)
+        }
+    }
+
+    /// A server that never answers.
+    struct BlackHole;
+    impl Server for BlackHole {
+        fn handle(&self, _q: &Message, _src: IpAddr, _now: u32) -> ServerResponse {
+            ServerResponse::Drop
+        }
+    }
+
+    fn q(id: u16) -> Message {
+        Message::query(id, Name::parse("example.com").unwrap(), RrType::A)
+    }
+
+    fn client() -> IpAddr {
+        "198.51.100.99".parse::<IpAddr>().unwrap() // doc range is fine as src
+    }
+
+    #[test]
+    fn delivered_query_advances_rtt() {
+        let mut b = NetworkBuilder::new();
+        b.register("93.184.216.34".parse().unwrap(), Arc::new(Echo));
+        let clock = SimClock::new();
+        let t0 = clock.now_millis();
+        let net = b.build(clock);
+        let reply = net.query("93.184.216.34".parse().unwrap(), client(), &q(1)).unwrap();
+        assert!(reply.response);
+        assert_eq!(net.clock().now_millis() - t0, 20);
+    }
+
+    #[test]
+    fn unroutable_special_addresses() {
+        let net = NetworkBuilder::new().build(SimClock::new());
+        for dst in ["10.0.0.1", "192.0.2.1", "127.0.0.1", "0.0.0.0"] {
+            assert_eq!(
+                net.query(dst.parse().unwrap(), client(), &q(2)),
+                Err(NetError::Unroutable),
+                "{dst}"
+            );
+        }
+        assert_eq!(
+            net.query("fe80::1".parse().unwrap(), client(), &q(3)),
+            Err(NetError::Unroutable)
+        );
+    }
+
+    #[test]
+    fn unregistered_routable_address_times_out() {
+        let net = NetworkBuilder::new().build(SimClock::new());
+        let t0 = net.clock().now_millis();
+        assert_eq!(
+            net.query("93.184.216.34".parse().unwrap(), client(), &q(4)),
+            Err(NetError::Timeout)
+        );
+        assert_eq!(net.clock().now_millis() - t0, 2_000);
+    }
+
+    #[test]
+    fn black_hole_times_out() {
+        let mut b = NetworkBuilder::new();
+        b.register("93.184.216.34".parse().unwrap(), Arc::new(BlackHole));
+        let net = b.build(SimClock::new());
+        assert_eq!(
+            net.query("93.184.216.34".parse().unwrap(), client(), &q(5)),
+            Err(NetError::Timeout)
+        );
+    }
+
+    #[test]
+    fn loss_is_deterministic_and_roughly_calibrated() {
+        let mut b = NetworkBuilder::new();
+        b.register("93.184.216.34".parse().unwrap(), Arc::new(Echo));
+        let net = b
+            .config(NetworkConfig { loss_rate: 0.3, ..Default::default() })
+            .build(SimClock::new());
+
+        let outcomes: Vec<bool> = (0..500)
+            .map(|i| net.query("93.184.216.34".parse().unwrap(), client(), &q(i)).is_ok())
+            .collect();
+        let again: Vec<bool> = (0..500)
+            .map(|i| net.query("93.184.216.34".parse().unwrap(), client(), &q(i)).is_ok())
+            .collect();
+        assert_eq!(outcomes, again, "loss must be deterministic per flow");
+        let delivered = outcomes.iter().filter(|&&ok| ok).count();
+        assert!(
+            (250..=450).contains(&delivered),
+            "~70% delivery expected, got {delivered}/500"
+        );
+    }
+
+    #[test]
+    fn config_builder_order() {
+        let mut b = NetworkBuilder::new();
+        b.register("1.2.3.4".parse().unwrap(), Arc::new(Echo));
+        let net = b
+            .config(NetworkConfig { rtt_ms: 7, ..Default::default() })
+            .build(SimClock::new());
+        let t0 = net.clock().now_millis();
+        net.query("1.2.3.4".parse().unwrap(), client(), &q(9)).unwrap();
+        assert_eq!(net.clock().now_millis() - t0, 7);
+    }
+}

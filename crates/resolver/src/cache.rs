@@ -1,0 +1,191 @@
+//! Positive, negative, and failure caching with RFC 8767 serve-stale.
+//!
+//! The cache is shared across a scan's worker threads (the paper notes
+//! Cloudflare answered part of their load from cache), so it is a
+//! `parking_lot`-locked map. Entries store the *diagnosis* alongside the
+//! answer: replaying a cached failure must replay its findings so the
+//! profile can emit the original codes next to *Cached Error (13)*.
+
+use crate::diagnosis::Diagnosis;
+use ede_wire::{Name, Rcode, Record, RrType};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// What a completed resolution left behind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachedResolution {
+    /// Final RCODE.
+    pub rcode: Rcode,
+    /// Answer records (empty for negative/failure entries).
+    pub answers: Vec<Record>,
+    /// The diagnosis attached to the resolution.
+    pub diagnosis: Diagnosis,
+    /// True when this entry is a resolution *failure* (SERVFAIL) — a hit
+    /// on it is a *Cached Error*.
+    pub is_failure: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    data: CachedResolution,
+    stored_at: u32,
+    ttl: u32,
+}
+
+/// Result of a cache probe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheHit {
+    /// Within TTL.
+    Fresh(CachedResolution),
+    /// Expired but inside the serve-stale window.
+    Stale(CachedResolution),
+    /// Nothing usable.
+    Miss,
+}
+
+/// The resolver cache.
+pub struct Cache {
+    entries: Mutex<HashMap<(Name, u16), Entry>>,
+    stale_window_secs: u32,
+}
+
+impl Cache {
+    /// An empty cache with the given serve-stale window.
+    pub fn new(stale_window_secs: u32) -> Self {
+        Cache {
+            entries: Mutex::new(HashMap::new()),
+            stale_window_secs,
+        }
+    }
+
+    /// Probe for `(qname, qtype)` at time `now`.
+    pub fn get(&self, qname: &Name, qtype: RrType, now: u32) -> CacheHit {
+        let entries = self.entries.lock();
+        let Some(entry) = entries.get(&(qname.clone(), qtype.to_u16())) else {
+            return CacheHit::Miss;
+        };
+        let age = now.saturating_sub(entry.stored_at);
+        if age <= entry.ttl {
+            CacheHit::Fresh(entry.data.clone())
+        } else if age <= entry.ttl.saturating_add(self.stale_window_secs) {
+            CacheHit::Stale(entry.data.clone())
+        } else {
+            CacheHit::Miss
+        }
+    }
+
+    /// Probe only for a *stale-servable successful* entry — used when a
+    /// live resolution just failed and RFC 8767 allows falling back.
+    pub fn get_stale_success(&self, qname: &Name, qtype: RrType, now: u32) -> Option<CachedResolution> {
+        match self.get(qname, qtype, now) {
+            CacheHit::Stale(data) | CacheHit::Fresh(data) if !data.is_failure => Some(data),
+            _ => None,
+        }
+    }
+
+    /// Store a resolution with the given TTL.
+    pub fn put(&self, qname: Name, qtype: RrType, data: CachedResolution, ttl: u32, now: u32) {
+        let mut entries = self.entries.lock();
+        let key = (qname, qtype.to_u16());
+        // Never let a failure entry overwrite a still-stale-servable
+        // success — the success is what serve-stale needs later.
+        if data.is_failure {
+            if let Some(existing) = entries.get(&key) {
+                if !existing.data.is_failure
+                    && now.saturating_sub(existing.stored_at)
+                        <= existing.ttl.saturating_add(self.stale_window_secs)
+                {
+                    return;
+                }
+            }
+        }
+        entries.insert(
+            key,
+            Entry {
+                data,
+                stored_at: now,
+                ttl,
+            },
+        );
+    }
+
+    /// Number of live entries (diagnostics).
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// True when the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop everything (tests).
+    pub fn clear(&self) {
+        self.entries.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    fn success() -> CachedResolution {
+        CachedResolution {
+            rcode: Rcode::NoError,
+            answers: Vec::new(),
+            diagnosis: Diagnosis::new(),
+            is_failure: false,
+        }
+    }
+
+    fn failure() -> CachedResolution {
+        CachedResolution {
+            rcode: Rcode::ServFail,
+            answers: Vec::new(),
+            diagnosis: Diagnosis::new(),
+            is_failure: true,
+        }
+    }
+
+    #[test]
+    fn fresh_then_stale_then_miss() {
+        let c = Cache::new(100);
+        c.put(n("a.com"), RrType::A, success(), 60, 1000);
+        assert!(matches!(c.get(&n("a.com"), RrType::A, 1030), CacheHit::Fresh(_)));
+        assert!(matches!(c.get(&n("a.com"), RrType::A, 1061), CacheHit::Stale(_)));
+        assert!(matches!(c.get(&n("a.com"), RrType::A, 1160), CacheHit::Stale(_)));
+        assert!(matches!(c.get(&n("a.com"), RrType::A, 1161), CacheHit::Miss));
+    }
+
+    #[test]
+    fn failure_does_not_clobber_stale_success() {
+        let c = Cache::new(1000);
+        c.put(n("a.com"), RrType::A, success(), 60, 1000);
+        // Success has expired (stale), a failure comes in.
+        c.put(n("a.com"), RrType::A, failure(), 30, 1100);
+        // The stale success must still be retrievable for serve-stale.
+        assert!(c.get_stale_success(&n("a.com"), RrType::A, 1100).is_some());
+    }
+
+    #[test]
+    fn failure_cached_when_no_success_exists() {
+        let c = Cache::new(100);
+        c.put(n("b.com"), RrType::A, failure(), 30, 1000);
+        match c.get(&n("b.com"), RrType::A, 1010) {
+            CacheHit::Fresh(data) => assert!(data.is_failure),
+            other => panic!("expected fresh failure, got {other:?}"),
+        }
+        assert!(c.get_stale_success(&n("b.com"), RrType::A, 1010).is_none());
+    }
+
+    #[test]
+    fn types_are_separate() {
+        let c = Cache::new(100);
+        c.put(n("a.com"), RrType::A, success(), 60, 1000);
+        assert!(matches!(c.get(&n("a.com"), RrType::Aaaa, 1000), CacheHit::Miss));
+    }
+}

@@ -1,0 +1,95 @@
+//! Resolver configuration: root hints, trust anchor, limits.
+
+use ede_wire::{Name, Rdata};
+use std::net::IpAddr;
+
+/// One root server hint (name + address), as in a `root.hints` file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RootHint {
+    /// Root server name (informational).
+    pub name: Name,
+    /// Root server address.
+    pub addr: IpAddr,
+}
+
+/// Static resolver configuration.
+#[derive(Debug, Clone)]
+pub struct ResolverConfig {
+    /// Where resolution starts.
+    pub root_hints: Vec<RootHint>,
+    /// DS-form trust anchor(s) for the root zone (RFC 4035 §4.4). Empty
+    /// disables validation entirely (a non-validating resolver).
+    pub trust_anchors: Vec<Rdata>,
+    /// Source address used for queries (ACLs see this).
+    pub source_addr: IpAddr,
+    /// Referral-depth limit for one resolution.
+    pub max_referrals: usize,
+    /// Recursion limit for out-of-bailiwick nameserver lookups and CNAME
+    /// chains.
+    pub max_depth: usize,
+    /// How many addresses of a zone's NS set to try before giving up.
+    pub max_servers_per_zone: usize,
+    /// Enable the answer/failure cache.
+    pub enable_cache: bool,
+    /// Serve expired cache entries when live resolution fails
+    /// (RFC 8767); produces EDE 3 / 19.
+    pub serve_stale: bool,
+    /// How long after expiry an entry may still be served stale, seconds.
+    pub stale_window_secs: u32,
+    /// TTL for cached resolution failures (SERVFAIL), seconds — the
+    /// substrate of EDE 13 (*Cached Error*).
+    pub failure_ttl_secs: u32,
+    /// DNS Error Reporting (RFC 9567): when set to an (agent domain,
+    /// agent server address) pair, every EDE-carrying resolution also
+    /// fires a report query toward the agent. The address stands in for
+    /// resolving the agent's own NS set — a documented simplification.
+    pub error_reporting: Option<(Name, IpAddr)>,
+    /// QNAME minimization (RFC 7816): expose only one additional label
+    /// per zone while walking referrals (probing with NS queries), in
+    /// the "relaxed" style deployed resolvers use. Off by default.
+    pub qname_minimization: bool,
+}
+
+impl Default for ResolverConfig {
+    fn default() -> Self {
+        ResolverConfig {
+            root_hints: Vec::new(),
+            trust_anchors: Vec::new(),
+            source_addr: "192.0.32.59".parse().expect("valid"),
+            max_referrals: 24,
+            max_depth: 8,
+            max_servers_per_zone: 4,
+            enable_cache: true,
+            serve_stale: true,
+            stale_window_secs: 3 * 86_400,
+            failure_ttl_secs: 30,
+            error_reporting: None,
+            qname_minimization: false,
+        }
+    }
+}
+
+impl ResolverConfig {
+    /// Convenience: configuration with the given hints and anchors.
+    pub fn with_roots(root_hints: Vec<RootHint>, trust_anchors: Vec<Rdata>) -> Self {
+        ResolverConfig {
+            root_hints,
+            trust_anchors,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = ResolverConfig::default();
+        assert!(c.enable_cache);
+        assert!(c.serve_stale);
+        assert!(c.max_referrals >= 8);
+        assert!(c.failure_ttl_secs > 0);
+    }
+}

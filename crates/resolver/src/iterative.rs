@@ -1,0 +1,594 @@
+//! The iterative resolution engine: root priming, referral walking,
+//! glue, CNAME chasing, retries, and the hookup into DNSSEC validation.
+
+use crate::config::ResolverConfig;
+use crate::diagnosis::{Diagnosis, Finding, NegativeKind, NsEvent, NsFailure, ValidationState};
+use crate::profiles::ValidatorCaps;
+use crate::validate::{
+    advisory_answer_key_check, check_negative, check_rrset, collate, validate_dnskey,
+    PublishedKey,
+};
+use ede_crypto::nsec3hash;
+use ede_netsim::{NetError, Network};
+use ede_wire::{Message, Name, Rcode, Rdata, Record, RrType};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::net::IpAddr;
+use std::sync::atomic::{AtomicU16, Ordering};
+
+/// What one engine run produced.
+#[derive(Debug, Clone)]
+pub struct EngineOutcome {
+    /// Final response code.
+    pub rcode: Rcode,
+    /// Answer records (validated answers, or empty on failure).
+    pub answers: Vec<Record>,
+}
+
+/// Cached result of validating one zone's DNSKEY RRset. Replaying the
+/// stored findings on every hit keeps ancestor-zone conditions (like the
+/// stand-by-key case of §4.2.3, which lives at a TLD) visible in every
+/// resolution that crosses the zone.
+struct KeyEntry {
+    trusted: Option<Vec<PublishedKey>>,
+    published: Vec<PublishedKey>,
+    findings: Vec<Finding>,
+    state: ValidationState,
+    expires: u32,
+}
+
+/// Per-resolver cache of validated zone keys.
+#[derive(Default)]
+pub struct KeyCache {
+    entries: Mutex<HashMap<Name, std::sync::Arc<KeyEntry>>>,
+}
+
+impl KeyCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drop everything.
+    pub fn clear(&self) {
+        self.entries.lock().clear();
+    }
+}
+
+/// The engine borrows everything it needs for one resolution.
+pub struct Engine<'a> {
+    /// The simulated internet.
+    pub net: &'a Network,
+    /// Resolver configuration.
+    pub config: &'a ResolverConfig,
+    /// The active vendor's validation capabilities.
+    pub caps: &'a ValidatorCaps,
+    /// Shared validated-key cache.
+    pub key_cache: &'a KeyCache,
+    /// Query ID source.
+    pub ids: &'a AtomicU16,
+}
+
+/// Outcome of querying a server set.
+enum SetQuery {
+    /// A usable response and the address that produced it.
+    Answered(Message, IpAddr),
+    /// Everything failed; flag says whether any failure was an RCODE.
+    AllFailed { any_rcode_failure: bool },
+}
+
+impl<'a> Engine<'a> {
+    fn next_id(&self) -> u16 {
+        self.ids.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn now(&self) -> u32 {
+        self.net.clock().now_secs()
+    }
+
+    /// Ask each address in `servers` (bounded by config) until one gives
+    /// a usable response.
+    fn query_set(
+        &self,
+        servers: &[IpAddr],
+        qname: &Name,
+        qtype: RrType,
+        diag: &mut Diagnosis,
+    ) -> SetQuery {
+        let mut any_rcode_failure = false;
+        for &addr in servers.iter().take(self.config.max_servers_per_zone) {
+            let query = Message::iterative_query(self.next_id(), qname.clone(), qtype);
+            match self.net.query(addr, self.config.source_addr, &query) {
+                Ok(resp) => {
+                    if resp.edns.is_none() {
+                        // Pre-EDNS server: the response is unusable for a
+                        // DO-bit pipeline (§4.2.6 Invalid Data).
+                        diag.add(Finding::EdnsNotSupported { addr });
+                        diag.add_event(NsEvent {
+                            addr,
+                            failure: NsFailure::NoEdns,
+                            qname: qname.clone(),
+                            qtype,
+                        });
+                        continue;
+                    }
+                    if let Some(failure) = NsFailure::from_rcode(resp.rcode) {
+                        any_rcode_failure |= failure.is_rcode_failure();
+                        diag.add_event(NsEvent {
+                            addr,
+                            failure,
+                            qname: qname.clone(),
+                            qtype,
+                        });
+                        continue;
+                    }
+                    return SetQuery::Answered(resp, addr);
+                }
+                Err(NetError::Unroutable) => diag.add_event(NsEvent {
+                    addr,
+                    failure: NsFailure::Unroutable,
+                    qname: qname.clone(),
+                    qtype,
+                }),
+                Err(NetError::Timeout) => diag.add_event(NsEvent {
+                    addr,
+                    failure: NsFailure::Timeout,
+                    qname: qname.clone(),
+                    qtype,
+                }),
+            }
+        }
+        SetQuery::AllFailed { any_rcode_failure }
+    }
+
+    /// Fetch + validate (with caching) the DNSKEY RRset of `zone` using
+    /// `server`, against the already-validated `ds` set.
+    fn zone_keys(
+        &self,
+        zone: &Name,
+        ds: &[Rdata],
+        server: IpAddr,
+        diag: &mut Diagnosis,
+    ) -> (Option<Vec<PublishedKey>>, Vec<PublishedKey>) {
+        let now = self.now();
+        if let Some(entry) = self.key_cache.entries.lock().get(zone).cloned() {
+            if entry.expires > now {
+                for f in &entry.findings {
+                    diag.add(f.clone());
+                }
+                diag.degrade(entry.state);
+                return (entry.trusted.clone(), entry.published.clone());
+            }
+        }
+
+        let mut sub = Diagnosis::new();
+        let query = Message::iterative_query(self.next_id(), zone.clone(), RrType::Dnskey);
+        let fetched = match self.net.query(server, self.config.source_addr, &query) {
+            Ok(resp) => {
+                if let Some(failure) = NsFailure::from_rcode(resp.rcode) {
+                    sub.add_event(NsEvent {
+                        addr: server,
+                        failure,
+                        qname: zone.clone(),
+                        qtype: RrType::Dnskey,
+                    });
+                    Err(failure)
+                } else {
+                    Ok(resp)
+                }
+            }
+            Err(NetError::Unroutable) => Err(NsFailure::Unroutable),
+            Err(NetError::Timeout) => Err(NsFailure::Timeout),
+        };
+
+        let (trusted, published) = match fetched {
+            Err(failure) => {
+                sub.add(Finding::DnskeyUnobtainable { failure });
+                sub.degrade(ValidationState::Bogus);
+                (None, Vec::new())
+            }
+            Ok(resp) => {
+                let sets = collate(&resp.answers);
+                match sets
+                    .iter()
+                    .find(|s| s.rtype == RrType::Dnskey && s.name == *zone)
+                {
+                    None => {
+                        sub.add(Finding::DnskeyUnobtainable {
+                            failure: NsFailure::OtherRcode(0),
+                        });
+                        sub.degrade(ValidationState::Bogus);
+                        (None, Vec::new())
+                    }
+                    Some(dnskey_set) => {
+                        let v = validate_dnskey(zone, ds, dnskey_set, self.caps, now, &mut sub);
+                        (v.trusted, v.published)
+                    }
+                }
+            }
+        };
+
+        // Merge the sub-diagnosis into the caller's and cache it.
+        for f in &sub.findings {
+            diag.add(f.clone());
+        }
+        for e in &sub.ns_events {
+            diag.add_event(e.clone());
+        }
+        diag.degrade(sub.validation);
+        self.key_cache.entries.lock().insert(
+            zone.clone(),
+            std::sync::Arc::new(KeyEntry {
+                trusted: trusted.clone(),
+                published: published.clone(),
+                findings: sub.findings,
+                state: sub.validation,
+                expires: now + if trusted.is_some() { 3600 } else { 30 },
+            }),
+        );
+        (trusted, published)
+    }
+
+    /// Resolve addresses for a nameserver name (used when a referral
+    /// came without glue). Shares the caller's diagnosis so failures in
+    /// the nameserver's own domain surface, as §4.2.8 observes.
+    fn resolve_ns_addresses(
+        &self,
+        ns_name: &Name,
+        diag: &mut Diagnosis,
+        depth: usize,
+    ) -> Vec<IpAddr> {
+        if depth >= self.config.max_depth {
+            return Vec::new();
+        }
+        let outcome = self.resolve(ns_name, RrType::A, diag, depth + 1);
+        outcome
+            .answers
+            .iter()
+            .filter_map(|r| match &r.rdata {
+                Rdata::A(a) => Some(IpAddr::V4(*a)),
+                Rdata::Aaaa(a) => Some(IpAddr::V6(*a)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Full iterative resolution of (qname, qtype).
+    pub fn resolve(
+        &self,
+        qname: &Name,
+        qtype: RrType,
+        diag: &mut Diagnosis,
+        depth: usize,
+    ) -> EngineOutcome {
+        let mut current_name = qname.clone();
+        let mut answers_acc: Vec<Record> = Vec::new();
+        let mut cname_budget = self.config.max_depth;
+
+        'restart: loop {
+            let mut servers: Vec<IpAddr> =
+                self.config.root_hints.iter().map(|h| h.addr).collect();
+            let mut current_zone = Name::root();
+            let mut ds_chain: Option<Vec<Rdata>> = if self.config.trust_anchors.is_empty() {
+                None
+            } else {
+                Some(self.config.trust_anchors.clone())
+            };
+            // RFC 7816: how many labels beyond the current zone we are
+            // willing to expose to its servers. Resets at each zone cut.
+            let mut min_extra_labels: usize = 1;
+
+            for _ in 0..self.config.max_referrals {
+                // QNAME minimization: probe with a truncated name and NS
+                // until the remaining labels run out.
+                let (probe_name, probe_type) = if self.config.qname_minimization
+                    && current_name.label_count() > current_zone.label_count() + min_extra_labels
+                {
+                    let mut nn = current_name.clone();
+                    while nn.label_count() > current_zone.label_count() + min_extra_labels {
+                        nn = nn.parent().expect("strictly above current_name");
+                    }
+                    (nn, RrType::Ns)
+                } else {
+                    (current_name.clone(), qtype)
+                };
+                let minimized = probe_name != current_name;
+
+                let (resp, responder) =
+                    match self.query_set(&servers, &probe_name, probe_type, diag) {
+                        SetQuery::Answered(resp, addr) => (resp, addr),
+                        SetQuery::AllFailed { any_rcode_failure } => {
+                            diag.add(Finding::AllServersFailed { any_rcode_failure });
+                            // For a signed zone, probe the DNSKEY too so
+                            // the diagnosis records that the chain key is
+                            // unobtainable (Cloudflare's 9+22+23 bundle).
+                            if ds_chain.as_ref().is_some_and(|d| !d.is_empty())
+                                && !current_zone.is_root()
+                            {
+                                if let Some(&first) = servers.first() {
+                                    let _ = self.zone_keys(
+                                        &current_zone,
+                                        ds_chain.as_deref().unwrap_or(&[]),
+                                        first,
+                                        diag,
+                                    );
+                                }
+                            }
+                            diag.degrade(ValidationState::Indeterminate);
+                            return EngineOutcome {
+                                rcode: Rcode::ServFail,
+                                answers: Vec::new(),
+                            };
+                        }
+                    };
+
+                // Referral?
+                if !resp.authoritative {
+                    if let Some(referral) = parse_referral(&resp, &probe_name, &current_zone) {
+                        // Chain transition through the cut.
+                        let parent_signed = ds_chain.as_ref().is_some_and(|d| !d.is_empty());
+                        let mut child_ds: Option<Vec<Rdata>> = None;
+                        if parent_signed {
+                            let (parent_keys, _) = self.zone_keys(
+                                &current_zone,
+                                ds_chain.as_deref().unwrap_or(&[]),
+                                responder,
+                                diag,
+                            );
+                            if !referral.ds_rdatas.is_empty() {
+                                // Authenticate the DS RRset itself.
+                                if let Some(keys) = &parent_keys {
+                                    let sets = collate(&resp.authorities);
+                                    if let Some(ds_set) = sets
+                                        .iter()
+                                        .find(|s| s.rtype == RrType::Ds)
+                                    {
+                                        check_rrset(
+                                            ds_set,
+                                            keys,
+                                            self.caps,
+                                            self.now(),
+                                            crate::diagnosis::SigTarget::Answer,
+                                            diag,
+                                        );
+                                    }
+                                }
+                                child_ds = Some(referral.ds_rdatas.clone());
+                            } else if parent_keys.is_some() {
+                                // Insecure delegation: demand the NSEC3
+                                // opt-in proof.
+                                if !insecure_proof_present(&resp.authorities, &referral.zone) {
+                                    diag.add(Finding::InsecureReferralProofMissing);
+                                    diag.degrade(ValidationState::Bogus);
+                                } else {
+                                    diag.degrade(ValidationState::Insecure);
+                                }
+                            } else {
+                                diag.degrade(ValidationState::Insecure);
+                            }
+                        }
+
+                        // Next server set: glue, else resolve NS names.
+                        let mut next: Vec<IpAddr> = Vec::new();
+                        for ns in &referral.ns_names {
+                            for rec in resp
+                                .additionals
+                                .iter()
+                                .filter(|r| r.name == *ns)
+                            {
+                                match &rec.rdata {
+                                    Rdata::A(a) => next.push(IpAddr::V4(*a)),
+                                    Rdata::Aaaa(a) => next.push(IpAddr::V6(*a)),
+                                    _ => {}
+                                }
+                            }
+                        }
+                        if next.is_empty() {
+                            for ns in &referral.ns_names {
+                                next.extend(self.resolve_ns_addresses(ns, diag, depth));
+                                if next.len() >= self.config.max_servers_per_zone {
+                                    break;
+                                }
+                            }
+                        }
+                        if next.is_empty() {
+                            // Lame delegation: nowhere to go.
+                            diag.add(Finding::AllServersFailed {
+                                any_rcode_failure: diag
+                                    .ns_events
+                                    .iter()
+                                    .any(|e| e.failure.is_rcode_failure()),
+                            });
+                            diag.degrade(ValidationState::Indeterminate);
+                            return EngineOutcome {
+                                rcode: Rcode::ServFail,
+                                answers: Vec::new(),
+                            };
+                        }
+                        servers = next;
+                        current_zone = referral.zone;
+                        ds_chain = child_ds;
+                        min_extra_labels = 1;
+                        continue;
+                    }
+                }
+
+                if minimized {
+                    // The minimized probe was answered authoritatively
+                    // (the label exists inside the current zone, or the
+                    // server says NXDOMAIN). Relaxed minimization: expose
+                    // one more label and re-ask the same servers; the
+                    // full query performs the validated, final exchange.
+                    min_extra_labels += 1;
+                    continue;
+                }
+
+                // Authoritative (or terminal) answer.
+                let zone_signed = ds_chain.as_ref().is_some_and(|d| !d.is_empty());
+                if zone_signed {
+                    diag.zone_signed = true;
+                }
+                let answer_sets = collate(&resp.answers);
+
+                if zone_signed {
+                    let (trusted, published) = self.zone_keys(
+                        &current_zone,
+                        ds_chain.as_deref().unwrap_or(&[]),
+                        responder,
+                        diag,
+                    );
+                    match &trusted {
+                        Some(keys) => {
+                            if answer_sets.is_empty() {
+                                let kind = if resp.rcode == Rcode::NxDomain {
+                                    NegativeKind::Nxdomain
+                                } else {
+                                    NegativeKind::Nodata
+                                };
+                                check_negative(
+                                    &resp.authorities,
+                                    &current_name,
+                                    qtype,
+                                    kind,
+                                    &current_zone,
+                                    keys,
+                                    self.caps,
+                                    self.now(),
+                                    diag,
+                                );
+                            } else {
+                                for set in &answer_sets {
+                                    check_rrset(
+                                        set,
+                                        keys,
+                                        self.caps,
+                                        self.now(),
+                                        crate::diagnosis::SigTarget::Answer,
+                                        diag,
+                                    );
+                                }
+                            }
+                        }
+                        None => {
+                            advisory_answer_key_check(&answer_sets, &published, diag);
+                        }
+                    }
+                } else if diag.validation == ValidationState::Secure {
+                    // No chain of trust reaches this zone.
+                    diag.degrade(ValidationState::Insecure);
+                }
+
+                // CNAME chasing: restart when the alias leads out of the
+                // current zone and the answer does not already contain
+                // the target type.
+                let has_qtype = resp.answers.iter().any(|r| r.rtype() == qtype);
+                let cname_target = resp.answers.iter().find_map(|r| match &r.rdata {
+                    Rdata::Cname(t) if qtype != RrType::Cname => Some(t.clone()),
+                    _ => None,
+                });
+                if let (false, Some(target)) = (has_qtype, cname_target) {
+                    if cname_budget == 0 {
+                        diag.degrade(ValidationState::Indeterminate);
+                        return EngineOutcome {
+                            rcode: Rcode::ServFail,
+                            answers: Vec::new(),
+                        };
+                    }
+                    cname_budget -= 1;
+                    answers_acc.extend(resp.answers.clone());
+                    current_name = target;
+                    continue 'restart;
+                }
+
+                answers_acc.extend(resp.answers.clone());
+                let rcode = if diag.validation == ValidationState::Bogus {
+                    Rcode::ServFail
+                } else {
+                    resp.rcode
+                };
+                let answers = if rcode == Rcode::ServFail {
+                    Vec::new()
+                } else {
+                    answers_acc
+                };
+                return EngineOutcome { rcode, answers };
+            }
+
+            // Referral budget exhausted.
+            diag.degrade(ValidationState::Indeterminate);
+            return EngineOutcome {
+                rcode: Rcode::ServFail,
+                answers: Vec::new(),
+            };
+        }
+    }
+}
+
+/// A parsed referral.
+struct Referral {
+    zone: Name,
+    ns_names: Vec<Name>,
+    ds_rdatas: Vec<Rdata>,
+}
+
+/// Interpret a non-authoritative response as a referral toward `qname`,
+/// requiring the delegation to be strictly below the zone we just asked
+/// (no sideways or upward referrals — loop protection).
+fn parse_referral(resp: &Message, qname: &Name, current_zone: &Name) -> Option<Referral> {
+    let ns_records: Vec<&Record> = resp
+        .authorities
+        .iter()
+        .filter(|r| r.rtype() == RrType::Ns)
+        .collect();
+    let first = ns_records.first()?;
+    let zone = first.name.clone();
+    if !qname.is_subdomain_of(&zone)
+        || !zone.is_subdomain_of(current_zone)
+        || zone.label_count() <= current_zone.label_count()
+    {
+        return None;
+    }
+    let ns_names = ns_records
+        .iter()
+        .filter_map(|r| match &r.rdata {
+            Rdata::Ns(n) => Some(n.clone()),
+            _ => None,
+        })
+        .collect();
+    let ds_rdatas = resp
+        .authorities
+        .iter()
+        .filter(|r| r.rtype() == RrType::Ds && r.name == zone)
+        .map(|r| r.rdata.clone())
+        .collect();
+    Some(Referral {
+        zone,
+        ns_names,
+        ds_rdatas,
+    })
+}
+
+/// Light check that a referral's authority section proves the delegation
+/// insecure: an NSEC3 (or plain NSEC) matching the delegation owner
+/// whose bitmap lacks DS.
+fn insecure_proof_present(authority: &[Record], deleg: &Name) -> bool {
+    for rec in authority {
+        match &rec.rdata {
+            Rdata::Nsec3 { salt, iterations, types, .. } => {
+                let label = nsec3hash::nsec3_hash_label(&deleg.to_wire(), salt, *iterations);
+                let owner_matches = rec
+                    .name
+                    .first_label()
+                    .is_some_and(|l| l.eq_ignore_ascii_case(label.as_bytes()));
+                if owner_matches && !types.contains(RrType::Ds) {
+                    return true;
+                }
+            }
+            Rdata::Nsec { types, .. } if rec.name == *deleg && !types.contains(RrType::Ds) => {
+                return true;
+            }
+            _ => {}
+        }
+    }
+    false
+}

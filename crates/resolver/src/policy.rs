@@ -1,0 +1,118 @@
+//! Resolver policy layer: blocklists, filtering, forged answers.
+//!
+//! Reproduces the EDE codes in the paper's "resolver policy" category
+//! (§2): *Forged Answer (4)*, *Blocked (15)*, *Censored (16)*,
+//! *Filtered (17)*. The testbed deliberately excludes these (they depend
+//! on resolver configuration, §3), but the library supports them — they
+//! are exactly what Spamhaus's DNS-firewall deployment of EDE emits.
+
+use ede_wire::{EdeCode, Name, Rdata, Record};
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+/// What to do with a name matched by policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolicyAction {
+    /// Refuse with *Blocked (15)*: operator-imposed blocklist.
+    Block,
+    /// Refuse with *Censored (16)*: external legal mandate.
+    Censor,
+    /// Refuse with *Filtered (17)*: the client asked for filtering.
+    Filter,
+    /// Answer with a forged A record and *Forged Answer (4)* — the
+    /// walled-garden pattern.
+    Forge(Ipv4Addr),
+}
+
+impl PolicyAction {
+    /// The EDE code this action signals.
+    pub fn ede_code(&self) -> EdeCode {
+        match self {
+            PolicyAction::Block => EdeCode::Blocked,
+            PolicyAction::Censor => EdeCode::Censored,
+            PolicyAction::Filter => EdeCode::Filtered,
+            PolicyAction::Forge(_) => EdeCode::ForgedAnswer,
+        }
+    }
+}
+
+/// A name-keyed policy table. A rule on `example.com` covers the whole
+/// subtree, as RPZ wildcarding conventionally does.
+#[derive(Debug, Clone, Default)]
+pub struct Policy {
+    rules: BTreeMap<Name, PolicyAction>,
+}
+
+impl Policy {
+    /// An empty policy (matches nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a rule covering `name` and everything beneath it.
+    pub fn add(&mut self, name: Name, action: PolicyAction) {
+        self.rules.insert(name, action);
+    }
+
+    /// Longest-match lookup.
+    pub fn lookup(&self, qname: &Name) -> Option<&PolicyAction> {
+        let mut best: Option<(&Name, &PolicyAction)> = None;
+        for (rule_name, action) in &self.rules {
+            if qname.is_subdomain_of(rule_name) {
+                let better = best.is_none_or(|(b, _)| rule_name.label_count() > b.label_count());
+                if better {
+                    best = Some((rule_name, action));
+                }
+            }
+        }
+        best.map(|(_, a)| a)
+    }
+
+    /// The forged answer record for a Forge action.
+    pub fn forged_record(qname: &Name, addr: Ipv4Addr) -> Record {
+        Record::new(qname.clone(), 60, Rdata::A(addr))
+    }
+
+    /// True when no rules are loaded (fast-path check).
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    #[test]
+    fn subtree_matching() {
+        let mut p = Policy::new();
+        p.add(n("bad.example"), PolicyAction::Block);
+        assert_eq!(p.lookup(&n("bad.example")), Some(&PolicyAction::Block));
+        assert_eq!(p.lookup(&n("www.bad.example")), Some(&PolicyAction::Block));
+        assert_eq!(p.lookup(&n("good.example")), None);
+    }
+
+    #[test]
+    fn longest_match_wins() {
+        let mut p = Policy::new();
+        p.add(n("example"), PolicyAction::Filter);
+        p.add(n("ads.example"), PolicyAction::Block);
+        assert_eq!(p.lookup(&n("x.ads.example")), Some(&PolicyAction::Block));
+        assert_eq!(p.lookup(&n("x.example")), Some(&PolicyAction::Filter));
+    }
+
+    #[test]
+    fn action_codes() {
+        assert_eq!(PolicyAction::Block.ede_code(), EdeCode::Blocked);
+        assert_eq!(PolicyAction::Censor.ede_code(), EdeCode::Censored);
+        assert_eq!(PolicyAction::Filter.ede_code(), EdeCode::Filtered);
+        assert_eq!(
+            PolicyAction::Forge("198.51.100.1".parse().unwrap()).ede_code(),
+            EdeCode::ForgedAnswer
+        );
+    }
+}

@@ -1,0 +1,830 @@
+//! Vendor profiles: capability sets and EDE emission rules for the seven
+//! systems the paper tests.
+//!
+//! A profile has two halves:
+//!
+//! * [`ValidatorCaps`] — which algorithms/digests the vendor's validator
+//!   can use, its minimum key size, and its NSEC3 iteration cap. These
+//!   feed *into* validation (Cloudflare treats an Ed448-signed zone as
+//!   insecure because it cannot validate it; Knot validates it fine).
+//! * an **emission function** mapping a [`Diagnosis`] to the EDE entries
+//!   the vendor attaches. Every rule below is a function of structured
+//!   finding kinds, derived from the paper's Table 4 (and §4.2 for the
+//!   codes only the wild scan exercises). Where two vendors map the same
+//!   finding to different codes — the paper's 94 %-disagreement result —
+//!   the divergence lives here, visibly.
+//!
+//! BIND 9.19.9 implements only the serve-stale and policy codes (its
+//! DNSSEC EDEs were still on the roadmap at measurement time, §2), so its
+//! DNSSEC column is all `None` — reproduced by an emission function that
+//! ignores DNSSEC findings entirely.
+
+use crate::diagnosis::{
+    AlgStatus, DenialIssue, Diagnosis, DsMismatch, Finding, NegativeKind, NsFailure, SigTarget,
+};
+use ede_wire::{EdeCode, EdeEntry};
+use std::collections::BTreeSet;
+
+/// What a vendor's validator is capable of.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidatorCaps {
+    /// Supported DNSSEC signing algorithm numbers.
+    pub algorithms: BTreeSet<u8>,
+    /// Supported DS digest types.
+    pub digests: BTreeSet<u8>,
+    /// Keys below this modeled size trigger *unsupported key size*.
+    pub min_key_bits: u16,
+    /// NSEC3 iteration cap before refusing to hash.
+    pub nsec3_iteration_cap: u16,
+}
+
+impl ValidatorCaps {
+    /// Everything a modern open-source validator supports (including
+    /// Ed448; GOST and the deprecated RSA/MD5 & DSA family excluded —
+    /// RFC 8624 forbids validating with those).
+    pub fn full() -> Self {
+        ValidatorCaps {
+            algorithms: [5, 7, 8, 10, 13, 14, 15, 16].into(),
+            digests: [1, 2, 4].into(),
+            min_key_bits: 0,
+            nsec3_iteration_cap: 150,
+        }
+    }
+
+    /// Cloudflare's capabilities at measurement time: no Ed448 (§3.3),
+    /// no GOST (§4.2.7/§4.2.10), and a minimum key size (§4.2.7).
+    pub fn cloudflare() -> Self {
+        ValidatorCaps {
+            algorithms: [5, 7, 8, 10, 13, 14, 15].into(),
+            digests: [1, 2, 4].into(),
+            min_key_bits: 1024,
+            nsec3_iteration_cap: 150,
+        }
+    }
+}
+
+/// The seven tested systems.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Vendor {
+    /// BIND 9.19.9.
+    Bind9,
+    /// Unbound 1.16.2.
+    Unbound,
+    /// PowerDNS Recursor 4.8.2.
+    PowerDns,
+    /// Knot Resolver 5.6.0.
+    Knot,
+    /// Cloudflare DNS (1.1.1.1).
+    Cloudflare,
+    /// Quad9 (9.9.9.9).
+    Quad9,
+    /// OpenDNS / Cisco Umbrella.
+    OpenDns,
+}
+
+impl Vendor {
+    /// All seven, in the paper's Table 4 column order.
+    pub const ALL: [Vendor; 7] = [
+        Vendor::Bind9,
+        Vendor::Unbound,
+        Vendor::PowerDns,
+        Vendor::Knot,
+        Vendor::Cloudflare,
+        Vendor::Quad9,
+        Vendor::OpenDns,
+    ];
+
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Vendor::Bind9 => "BIND 9.19.9",
+            Vendor::Unbound => "Unbound 1.16.2",
+            Vendor::PowerDns => "PowerDNS 4.8.2",
+            Vendor::Knot => "Knot 5.6.0",
+            Vendor::Cloudflare => "Cloudflare DNS",
+            Vendor::Quad9 => "Quad9",
+            Vendor::OpenDns => "OpenDNS",
+        }
+    }
+}
+
+/// A vendor profile: caps + emission rules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VendorProfile {
+    /// Which vendor this is.
+    pub vendor: Vendor,
+    /// Validation capabilities.
+    pub caps: ValidatorCaps,
+}
+
+impl VendorProfile {
+    /// Profile for a vendor, with that vendor's capability set.
+    pub fn new(vendor: Vendor) -> Self {
+        let caps = match vendor {
+            Vendor::Cloudflare => ValidatorCaps::cloudflare(),
+            _ => ValidatorCaps::full(),
+        };
+        VendorProfile { vendor, caps }
+    }
+
+    /// All seven profiles in Table 4 order.
+    pub fn all() -> Vec<VendorProfile> {
+        Vendor::ALL.into_iter().map(VendorProfile::new).collect()
+    }
+
+    /// Map a diagnosis to the EDE entries this vendor attaches.
+    pub fn emit(&self, diag: &Diagnosis) -> Vec<EdeEntry> {
+        match self.vendor {
+            Vendor::Bind9 => emit_bind(diag),
+            Vendor::Unbound => emit_unbound(diag),
+            Vendor::PowerDns => emit_powerdns(diag),
+            Vendor::Knot => emit_knot(diag),
+            Vendor::Cloudflare => emit_cloudflare(diag),
+            Vendor::Quad9 => emit_quad9(diag),
+            Vendor::OpenDns => emit_opendns(diag),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared helpers
+// ---------------------------------------------------------------------------
+
+fn bare(code: u16) -> EdeEntry {
+    EdeEntry::bare(EdeCode::from_u16(code))
+}
+
+fn has(diag: &Diagnosis, pred: impl Fn(&Finding) -> bool) -> bool {
+    diag.any(pred)
+}
+
+fn stale_entries(diag: &Diagnosis, out: &mut Vec<EdeEntry>) {
+    if has(diag, |f| matches!(f, Finding::ServedStale { nxdomain: false })) {
+        out.push(bare(3));
+    }
+    if has(diag, |f| matches!(f, Finding::ServedStale { nxdomain: true })) {
+        out.push(bare(19));
+    }
+}
+
+fn cached_error_entry(diag: &Diagnosis, out: &mut Vec<EdeEntry>) {
+    if has(diag, |f| matches!(f, Finding::CachedError)) {
+        out.push(bare(13));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// BIND 9.19.9 — serve-stale codes only; DNSSEC EDEs not yet implemented.
+// ---------------------------------------------------------------------------
+
+fn emit_bind(diag: &Diagnosis) -> Vec<EdeEntry> {
+    let mut out = Vec::new();
+    stale_entries(diag, &mut out);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Unbound 1.16.2 — full DNSSEC coverage, one (most specific) code.
+// ---------------------------------------------------------------------------
+
+#[allow(clippy::if_same_then_else)] // each arm is one Table 4 rule
+fn emit_unbound(diag: &Diagnosis) -> Vec<EdeEntry> {
+    let mut out = Vec::new();
+    stale_entries(diag, &mut out);
+    cached_error_entry(diag, &mut out);
+
+    let code = if has(diag, |f| matches!(f, Finding::DsNoMatchingDnskey { .. })) {
+        Some(9)
+    } else if has(diag, |f| matches!(f, Finding::DnskeySigBogus { .. })) {
+        Some(9)
+    } else if has(diag, |f| {
+        matches!(
+            f,
+            Finding::SignatureNotYetValid { target: SigTarget::Dnskey }
+                | Finding::SignatureExpiredBeforeValid { target: SigTarget::Dnskey }
+        )
+    }) {
+        Some(9)
+    } else if has(diag, |f| matches!(f, Finding::SignatureExpired { target: SigTarget::Dnskey })) {
+        Some(7)
+    } else if has(diag, |f| {
+        matches!(
+            f,
+            Finding::DnskeySigMissingByMatchedKey | Finding::DnskeyAllSigsMissing
+        )
+    }) {
+        Some(10)
+    } else if has(diag, |f| {
+        matches!(
+            f,
+            Finding::RrsigMissing { target: SigTarget::Answer } | Finding::NegativeUnsigned { .. }
+        )
+    }) {
+        Some(10)
+    } else if has(diag, |f| {
+        matches!(
+            f,
+            Finding::SignatureExpired { target: SigTarget::Answer }
+                | Finding::SignatureNotYetValid { target: SigTarget::Answer }
+                | Finding::SignatureExpiredBeforeValid { target: SigTarget::Answer }
+                | Finding::SignatureBogus { .. }
+        )
+    }) {
+        Some(6)
+    } else if has(diag, |f| {
+        matches!(f, Finding::DenialProofBroken { issue: DenialIssue::Absent, .. })
+    }) {
+        Some(12)
+    } else if has(diag, |f| matches!(f, Finding::DenialProofBroken { .. })) {
+        Some(6)
+    } else if has(diag, |f| matches!(f, Finding::DenialSigMissing { .. })) {
+        Some(12)
+    } else if has(diag, |f| matches!(f, Finding::DenialSigBogus { .. })) {
+        Some(6)
+    } else if has(diag, |f| matches!(f, Finding::RrsigKeyMissing { target: SigTarget::Answer })) {
+        Some(9)
+    } else {
+        None
+    };
+    out.extend(code.map(bare));
+    out
+}
+
+// ---------------------------------------------------------------------------
+// PowerDNS Recursor 4.8.2
+// ---------------------------------------------------------------------------
+
+#[allow(clippy::if_same_then_else)] // each arm is one Table 4 rule
+fn emit_powerdns(diag: &Diagnosis) -> Vec<EdeEntry> {
+    let mut out = Vec::new();
+    stale_entries(diag, &mut out);
+    cached_error_entry(diag, &mut out);
+
+    let code = if has(diag, |f| matches!(f, Finding::NoZoneKeyBitSet)) {
+        Some(10)
+    } else if has(diag, |f| matches!(f, Finding::DsNoMatchingDnskey { .. })) {
+        Some(9)
+    } else if has(diag, |f| matches!(f, Finding::DnskeySigMissingByMatchedKey)) {
+        Some(9)
+    } else if has(diag, |f| matches!(f, Finding::DnskeyAllSigsMissing)) {
+        Some(10)
+    } else if has(diag, |f| matches!(f, Finding::DnskeySigBogus { .. })) {
+        Some(6)
+    } else if has(diag, |f| {
+        matches!(
+            f,
+            Finding::SignatureExpired { target: SigTarget::Dnskey }
+                | Finding::SignatureExpiredBeforeValid { target: SigTarget::Dnskey }
+        )
+    }) {
+        Some(7)
+    } else if has(diag, |f| matches!(f, Finding::SignatureNotYetValid { target: SigTarget::Dnskey })) {
+        Some(8)
+    } else if has(diag, |f| {
+        matches!(
+            f,
+            Finding::NegativeUnsigned { .. } | Finding::RrsigMissing { target: SigTarget::Answer }
+        )
+    }) {
+        Some(10)
+    } else if has(diag, |f| {
+        matches!(
+            f,
+            Finding::SignatureExpired { target: SigTarget::Answer }
+                | Finding::SignatureExpiredBeforeValid { target: SigTarget::Answer }
+        )
+    }) {
+        Some(7)
+    } else if has(diag, |f| matches!(f, Finding::SignatureNotYetValid { target: SigTarget::Answer })) {
+        Some(8)
+    } else if has(diag, |f| matches!(f, Finding::SignatureBogus { .. })) {
+        Some(6)
+    } else {
+        None
+    };
+    out.extend(code.map(bare));
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Knot Resolver 5.6.0
+// ---------------------------------------------------------------------------
+
+const KNOT_LSLC: &str = "LSLC: unsupported digest/key";
+
+#[allow(clippy::if_same_then_else)] // each arm is one Table 4 rule
+fn emit_knot(diag: &Diagnosis) -> Vec<EdeEntry> {
+    let mut out = Vec::new();
+    stale_entries(diag, &mut out);
+    cached_error_entry(diag, &mut out);
+
+    let code = if has(diag, |f| matches!(f, Finding::NoZoneKeyBitSet)) {
+        Some(bare(10))
+    } else if has(diag, |f| {
+        matches!(
+            f,
+            Finding::DsUnknownAlgorithm { .. }
+                | Finding::DsUnsupportedDigest { .. }
+                | Finding::ZoneAlgorithmUnsupported { status: AlgStatus::Deprecated, .. }
+        )
+    }) {
+        Some(EdeEntry::with_text(EdeCode::Other, KNOT_LSLC))
+    } else if has(diag, |f| matches!(f, Finding::DnskeyAllSigsMissing)) {
+        Some(bare(10))
+    } else if has(diag, |f| {
+        matches!(
+            f,
+            Finding::DsNoMatchingDnskey { .. }
+                | Finding::DnskeySigMissingByMatchedKey
+                | Finding::DnskeySigBogus { .. }
+        )
+    }) {
+        Some(bare(6))
+    } else if has(diag, |f| {
+        matches!(
+            f,
+            Finding::SignatureExpired { target: SigTarget::Dnskey }
+                | Finding::SignatureExpiredBeforeValid { target: SigTarget::Dnskey }
+        )
+    }) {
+        Some(bare(7))
+    } else if has(diag, |f| matches!(f, Finding::SignatureNotYetValid { target: SigTarget::Dnskey })) {
+        Some(bare(8))
+    } else if has(diag, |f| {
+        matches!(
+            f,
+            Finding::NegativeUnsigned { .. } | Finding::RrsigMissing { target: SigTarget::Answer }
+        )
+    }) {
+        Some(bare(10))
+    } else if has(diag, |f| {
+        matches!(f, Finding::DenialProofBroken { issue: DenialIssue::Absent, .. })
+    }) {
+        Some(bare(12))
+    } else if has(diag, |f| matches!(f, Finding::DenialProofBroken { .. })) {
+        Some(bare(6))
+    } else if has(diag, |f| matches!(f, Finding::DenialSigMissing { .. })) {
+        Some(bare(10))
+    } else if has(diag, |f| matches!(f, Finding::DenialSigBogus { .. })) {
+        Some(bare(6))
+    } else if has(diag, |f| matches!(f, Finding::SignatureBogus { .. })) {
+        Some(bare(6))
+    } else {
+        None
+    };
+    out.extend(code);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Cloudflare DNS — the most specific implementation; emits combinations.
+// ---------------------------------------------------------------------------
+
+#[allow(clippy::if_same_then_else)] // each arm is one Table 4 rule
+fn emit_cloudflare(diag: &Diagnosis) -> Vec<EdeEntry> {
+    let mut out = Vec::new();
+
+    let primary: Option<EdeEntry> = if has(diag, |f| matches!(f, Finding::DsUnsupportedDigest { .. })) {
+        Some(bare(2))
+    } else if has(diag, |f| {
+        matches!(f, Finding::DsUnknownAlgorithm { status: AlgStatus::Reserved, .. })
+    }) {
+        Some(EdeEntry::with_text(
+            EdeCode::UnsupportedDnskeyAlgorithm,
+            "no supported DNSKEY algorithm",
+        ))
+    } else if has(diag, |f| {
+        matches!(f, Finding::DsUnknownAlgorithm { status: AlgStatus::Unassigned, .. })
+    }) {
+        Some(bare(9))
+    } else if has(diag, |f| matches!(f, Finding::ZoneAlgorithmUnsupported { .. })) {
+        Some(EdeEntry::with_text(
+            EdeCode::UnsupportedDnskeyAlgorithm,
+            "no supported DNSKEY algorithm",
+        ))
+    } else if has(diag, |f| matches!(f, Finding::UnsupportedKeySize { .. })) {
+        Some(EdeEntry::with_text(
+            EdeCode::UnsupportedDnskeyAlgorithm,
+            "unsupported key size",
+        ))
+    } else if has(diag, |f| {
+        matches!(f, Finding::DsNoMatchingDnskey { cause: DsMismatch::TagOrAlgorithm })
+    }) {
+        Some(bare(9))
+    } else if has(diag, |f| {
+        matches!(f, Finding::DsNoMatchingDnskey { cause: DsMismatch::Digest })
+    }) {
+        Some(bare(6))
+    } else if has(diag, |f| matches!(f, Finding::DnskeyUnobtainable { .. })) {
+        Some(bare(9))
+    } else if has(diag, |f| {
+        matches!(f, Finding::SignatureExpiredBeforeValid { target: SigTarget::Dnskey })
+    }) {
+        Some(bare(10))
+    } else if has(diag, |f| matches!(f, Finding::SignatureExpired { target: SigTarget::Dnskey })) {
+        Some(bare(7))
+    } else if has(diag, |f| matches!(f, Finding::SignatureNotYetValid { target: SigTarget::Dnskey })) {
+        Some(bare(8))
+    } else if has(diag, |f| matches!(f, Finding::DnskeySigBogus { .. })) {
+        Some(bare(6))
+    } else if has(diag, |f| {
+        matches!(
+            f,
+            Finding::DnskeySigMissingByMatchedKey | Finding::DnskeyAllSigsMissing
+        )
+    }) {
+        Some(bare(10))
+    } else if has(diag, |f| {
+        matches!(
+            f,
+            Finding::NegativeUnsigned { .. } | Finding::RrsigMissing { target: SigTarget::Answer }
+        )
+    }) {
+        Some(bare(10))
+    } else if has(diag, |f| {
+        matches!(
+            f,
+            Finding::SignatureExpired { target: SigTarget::Answer }
+                | Finding::SignatureExpiredBeforeValid { target: SigTarget::Answer }
+        )
+    }) {
+        Some(bare(7))
+    } else if has(diag, |f| matches!(f, Finding::SignatureNotYetValid { target: SigTarget::Answer })) {
+        Some(bare(8))
+    } else if has(diag, |f| matches!(f, Finding::SignatureBogus { .. })) {
+        Some(bare(6))
+    } else if has(diag, |f| matches!(f, Finding::RrsigKeyMissing { target: SigTarget::Answer })) {
+        Some(bare(9))
+    } else if has(diag, |f| {
+        matches!(
+            f,
+            Finding::DenialProofBroken { .. }
+                | Finding::DenialSigMissing { .. }
+                | Finding::DenialSigBogus { .. }
+        )
+    }) {
+        Some(bare(6))
+    } else if let Some(Finding::InsecureReferralProofMissing) = diag
+        .findings
+        .iter()
+        .find(|f| matches!(f, Finding::InsecureReferralProofMissing))
+    {
+        Some(EdeEntry::with_text(
+            EdeCode::NsecMissing,
+            "failed to verify an insecure referral proof",
+        ))
+    } else if has(diag, |f| matches!(f, Finding::Nsec3IterationsExceeded { .. })) {
+        Some(EdeEntry::with_text(EdeCode::Other, "iteration limit exceeded"))
+    } else if has(diag, |f| matches!(f, Finding::StandbyKeyWithoutRrsig)) {
+        // NOERROR + EDE: key rollover in progress / stand-by key (§4.2.3).
+        Some(bare(10))
+    } else {
+        None
+    };
+    out.extend(primary);
+
+    // Invalid Data (24): EDNS-oblivious servers (§4.2.6).
+    if let Some(Finding::EdnsNotSupported { addr }) = diag
+        .findings
+        .iter()
+        .find(|f| matches!(f, Finding::EdnsNotSupported { .. }))
+    {
+        out.push(EdeEntry::with_text(
+            EdeCode::InvalidData,
+            format!("Mismatched question from the authoritative server {addr}"),
+        ));
+    }
+
+    stale_entries(diag, &mut out);
+    cached_error_entry(diag, &mut out);
+
+    // Connectivity: 22 when the whole NS set failed; 23 with the
+    // offending server in EXTRA-TEXT only for *spoken* failures (an
+    // RCODE arrived). Timeouts and unroutable glue stay silent on 23 —
+    // §4.2.11 shows unresponsive-nameserver stale answers carrying
+    // {3, 22} without a Network Error.
+    if has(diag, |f| matches!(f, Finding::AllServersFailed { .. })) {
+        out.push(bare(22));
+    }
+    if let Some(ev) = diag
+        .ns_events
+        .iter()
+        .find(|e| e.failure.is_rcode_failure())
+    {
+        out.push(EdeEntry::with_text(
+            EdeCode::NetworkError,
+            format!("{}:53 {} for {} {}", ev.addr, ev.failure, ev.qname, ev.qtype),
+        ));
+    }
+
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Quad9
+// ---------------------------------------------------------------------------
+
+#[allow(clippy::if_same_then_else)] // each arm is one Table 4 rule
+fn emit_quad9(diag: &Diagnosis) -> Vec<EdeEntry> {
+    let mut out = Vec::new();
+
+    let answer_key_missing = has(diag, |f| {
+        matches!(f, Finding::RrsigKeyMissing { target: SigTarget::Answer })
+    });
+
+    let code = if has(diag, |f| matches!(f, Finding::NoZoneKeyBitSet)) {
+        Some(10)
+    } else if has(diag, |f| {
+        matches!(f, Finding::DnskeySigBogus { some_sig_valid: true, .. })
+    }) {
+        Some(6)
+    } else if answer_key_missing
+        && has(diag, |f| matches!(f, Finding::DnskeySigBogus { zsk_present: true, .. }))
+    {
+        // A zone-key ZSK is still published and the answer's RRSIG points
+        // at a tag that no longer exists: Quad9 reports generic bogus.
+        Some(6)
+    } else if has(diag, |f| {
+        matches!(
+            f,
+            Finding::DsNoMatchingDnskey { .. }
+                | Finding::DnskeySigBogus { .. }
+                | Finding::DnskeyAllSigsMissing
+                | Finding::DnskeySigMissingByMatchedKey
+                | Finding::SignatureNotYetValid { target: SigTarget::Dnskey }
+                | Finding::SignatureExpiredBeforeValid { target: SigTarget::Dnskey }
+        )
+    }) {
+        Some(9)
+    } else if has(diag, |f| matches!(f, Finding::SignatureExpired { target: SigTarget::Dnskey })) {
+        Some(7)
+    } else if has(diag, |f| matches!(f, Finding::RrsigMissing { target: SigTarget::Answer })) {
+        Some(10)
+    } else if has(diag, |f| matches!(f, Finding::SignatureExpired { target: SigTarget::Answer })) {
+        Some(6)
+    } else if has(diag, |f| matches!(f, Finding::SignatureNotYetValid { target: SigTarget::Answer })) {
+        Some(8)
+    } else if has(diag, |f| {
+        matches!(f, Finding::SignatureExpiredBeforeValid { target: SigTarget::Answer })
+    }) {
+        Some(7)
+    } else if has(diag, |f| {
+        matches!(f, Finding::NegativeUnsigned { kind: NegativeKind::Nodata })
+    }) {
+        Some(9)
+    } else if has(diag, |f| {
+        matches!(f, Finding::NegativeUnsigned { kind: NegativeKind::Nxdomain })
+    }) {
+        Some(10)
+    } else if has(diag, |f| {
+        matches!(
+            f,
+            Finding::DenialProofBroken { issue: DenialIssue::Absent, kind: NegativeKind::Nodata }
+        )
+    }) {
+        Some(9)
+    } else if has(diag, |f| {
+        matches!(
+            f,
+            Finding::DenialProofBroken {
+                issue: DenialIssue::OwnerMismatch | DenialIssue::ChainMismatch,
+                ..
+            }
+        )
+    }) {
+        Some(6)
+    } else if has(diag, |f| matches!(f, Finding::DenialSigMissing { .. })) {
+        Some(9)
+    } else if has(diag, |f| matches!(f, Finding::SignatureBogus { .. })) {
+        Some(6)
+    } else {
+        None
+    };
+    out.extend(code.map(bare));
+    out
+}
+
+// ---------------------------------------------------------------------------
+// OpenDNS
+// ---------------------------------------------------------------------------
+
+#[allow(clippy::if_same_then_else)] // each arm is one Table 4 rule
+fn emit_opendns(diag: &Diagnosis) -> Vec<EdeEntry> {
+    let mut out = Vec::new();
+
+    let code = if has(diag, |f| {
+        matches!(
+            f,
+            Finding::DsNoMatchingDnskey { .. }
+                | Finding::DsUnknownAlgorithm { .. }
+                | Finding::DnskeySigBogus { .. }
+                | Finding::DnskeyAllSigsMissing
+                | Finding::DnskeySigMissingByMatchedKey
+                | Finding::NoZoneKeyBitSet
+                | Finding::SignatureExpired { target: SigTarget::Dnskey }
+                | Finding::SignatureNotYetValid { target: SigTarget::Dnskey }
+                | Finding::SignatureExpiredBeforeValid { target: SigTarget::Dnskey }
+        )
+    }) {
+        Some(6)
+    } else if has(diag, |f| {
+        matches!(
+            f,
+            Finding::SignatureExpired { target: SigTarget::Answer }
+                | Finding::SignatureExpiredBeforeValid { target: SigTarget::Answer }
+        )
+    }) {
+        Some(7)
+    } else if has(diag, |f| matches!(f, Finding::SignatureNotYetValid { target: SigTarget::Answer })) {
+        Some(8)
+    } else if has(diag, |f| matches!(f, Finding::SignatureBogus { .. })) {
+        Some(6)
+    } else if has(diag, |f| {
+        matches!(
+            f,
+            Finding::DenialProofBroken {
+                issue: DenialIssue::Absent | DenialIssue::OwnerMismatch,
+                ..
+            } | Finding::DenialSigMissing { .. }
+        )
+    }) {
+        Some(12)
+    } else if has(diag, |f| {
+        matches!(
+            f,
+            Finding::DenialProofBroken { issue: DenialIssue::ChainMismatch, .. }
+                | Finding::DenialSigBogus { .. }
+                | Finding::NegativeUnsigned { .. }
+        )
+    }) {
+        Some(6)
+    } else if diag
+        .ns_events
+        .iter()
+        .any(|e| e.failure == NsFailure::Refused)
+    {
+        // The paper's "unexpected in this context" observation (§3.3):
+        // OpenDNS answers Prohibited (18) when authorities refuse it.
+        Some(18)
+    } else {
+        None
+    };
+    out.extend(code.map(bare));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnosis::NsEvent;
+    use ede_wire::{Name, RrType};
+
+    fn diag_with(findings: Vec<Finding>) -> Diagnosis {
+        let mut d = Diagnosis::new();
+        for f in findings {
+            d.add(f);
+        }
+        d
+    }
+
+    fn codes(entries: &[EdeEntry]) -> Vec<u16> {
+        entries.iter().map(|e| e.code.to_u16()).collect()
+    }
+
+    #[test]
+    fn bind_ignores_dnssec_findings() {
+        let d = diag_with(vec![Finding::DsNoMatchingDnskey {
+            cause: DsMismatch::TagOrAlgorithm,
+        }]);
+        assert!(VendorProfile::new(Vendor::Bind9).emit(&d).is_empty());
+    }
+
+    #[test]
+    fn bind_emits_stale() {
+        let d = diag_with(vec![Finding::ServedStale { nxdomain: false }]);
+        assert_eq!(codes(&VendorProfile::new(Vendor::Bind9).emit(&d)), vec![3]);
+        let d = diag_with(vec![Finding::ServedStale { nxdomain: true }]);
+        assert_eq!(codes(&VendorProfile::new(Vendor::Bind9).emit(&d)), vec![19]);
+    }
+
+    #[test]
+    fn vendors_disagree_on_ds_mismatch() {
+        // The ds-bad-tag row of Table 4: None/9/9/6/9/9/6.
+        let d = diag_with(vec![Finding::DsNoMatchingDnskey {
+            cause: DsMismatch::TagOrAlgorithm,
+        }]);
+        let got: Vec<Vec<u16>> = VendorProfile::all().iter().map(|p| codes(&p.emit(&d))).collect();
+        assert_eq!(got, vec![vec![], vec![9], vec![9], vec![6], vec![9], vec![9], vec![6]]);
+    }
+
+    #[test]
+    fn cloudflare_combines_connectivity_codes() {
+        let mut d = diag_with(vec![
+            Finding::DnskeyUnobtainable {
+                failure: NsFailure::Refused,
+            },
+            Finding::AllServersFailed {
+                any_rcode_failure: true,
+            },
+        ]);
+        d.add_event(NsEvent {
+            addr: "192.0.2.1".parse().unwrap(),
+            failure: NsFailure::Refused,
+            qname: Name::parse("x.example").unwrap(),
+            qtype: RrType::A,
+        });
+        let entries = VendorProfile::new(Vendor::Cloudflare).emit(&d);
+        assert_eq!(codes(&entries), vec![9, 22, 23]);
+        let net = entries.last().unwrap();
+        assert!(net.extra_text.contains("rcode=REFUSED"));
+        assert!(net.extra_text.contains("192.0.2.1:53"));
+    }
+
+    #[test]
+    fn cloudflare_silent_on_unroutable_network_error() {
+        // Bad-glue testbed rows: only 22, never 23.
+        let mut d = diag_with(vec![Finding::AllServersFailed {
+            any_rcode_failure: false,
+        }]);
+        d.add_event(NsEvent {
+            addr: "10.0.0.1".parse().unwrap(),
+            failure: NsFailure::Unroutable,
+            qname: Name::parse("x.example").unwrap(),
+            qtype: RrType::A,
+        });
+        assert_eq!(codes(&VendorProfile::new(Vendor::Cloudflare).emit(&d)), vec![22]);
+    }
+
+    #[test]
+    fn opendns_prohibited_on_refusal() {
+        let mut d = Diagnosis::new();
+        d.add(Finding::AllServersFailed {
+            any_rcode_failure: true,
+        });
+        d.add_event(NsEvent {
+            addr: "192.0.2.1".parse().unwrap(),
+            failure: NsFailure::Refused,
+            qname: Name::parse("x.example").unwrap(),
+            qtype: RrType::A,
+        });
+        assert_eq!(codes(&VendorProfile::new(Vendor::OpenDns).emit(&d)), vec![18]);
+    }
+
+    #[test]
+    fn quad9_distinguishes_dnskey_bogus_shapes() {
+        // bad-rrsig-ksk: a valid non-KSK signature exists → 6.
+        let d = diag_with(vec![Finding::DnskeySigBogus {
+            zsk_present: true,
+            some_sig_valid: true,
+        }]);
+        assert_eq!(codes(&VendorProfile::new(Vendor::Quad9).emit(&d)), vec![6]);
+
+        // bad-rrsig-dnskey: nothing verifies, ZSK present, answer tag OK → 9.
+        let d = diag_with(vec![Finding::DnskeySigBogus {
+            zsk_present: true,
+            some_sig_valid: false,
+        }]);
+        assert_eq!(codes(&VendorProfile::new(Vendor::Quad9).emit(&d)), vec![9]);
+
+        // bad-zsk: nothing verifies AND the answer references a gone tag → 6.
+        let d = diag_with(vec![
+            Finding::DnskeySigBogus {
+                zsk_present: true,
+                some_sig_valid: false,
+            },
+            Finding::RrsigKeyMissing {
+                target: SigTarget::Answer,
+            },
+        ]);
+        assert_eq!(codes(&VendorProfile::new(Vendor::Quad9).emit(&d)), vec![6]);
+
+        // no-zsk: no ZSK at all → 9.
+        let d = diag_with(vec![
+            Finding::DnskeySigBogus {
+                zsk_present: false,
+                some_sig_valid: false,
+            },
+            Finding::RrsigKeyMissing {
+                target: SigTarget::Answer,
+            },
+        ]);
+        assert_eq!(codes(&VendorProfile::new(Vendor::Quad9).emit(&d)), vec![9]);
+    }
+
+    #[test]
+    fn cloudflare_caps_lack_ed448() {
+        assert!(!ValidatorCaps::cloudflare().algorithms.contains(&16));
+        assert!(ValidatorCaps::full().algorithms.contains(&16));
+    }
+
+    #[test]
+    fn knot_lslc_text() {
+        let d = diag_with(vec![Finding::DsUnknownAlgorithm {
+            status: AlgStatus::Unassigned,
+            algorithm: 100,
+        }]);
+        let entries = VendorProfile::new(Vendor::Knot).emit(&d);
+        assert_eq!(codes(&entries), vec![0]);
+        assert_eq!(entries[0].extra_text, KNOT_LSLC);
+    }
+}

@@ -1,0 +1,193 @@
+//! DNS Error Reporting (RFC 9567, at the paper's writing the
+//! `draft-ietf-dnsop-dns-error-reporting` work its §2 cites).
+//!
+//! The mechanism: an authoritative server advertises a *reporting agent
+//! domain*; when a resolver attaches an EDE to a response, it also sends
+//! a query for a specially-constructed name under the agent domain. The
+//! agent's authoritative server treats each such query as a report. The
+//! report name encodes the failing QNAME, QTYPE, and INFO-CODE:
+//!
+//! ```text
+//! _er.<QTYPE>.<QNAME labels>.<INFO-CODE>._er.<agent domain>
+//! ```
+//!
+//! This module provides the codec for report names, a collecting
+//! [`ReportingAgent`] server, and the resolver-side hook (see
+//! [`crate::resolver::Resolver`]'s `error_reporting` support).
+
+use ede_netsim::{Server, ServerResponse};
+use ede_wire::{Edns, Message, Name, Rcode, Rdata, Record, RrType, WireError};
+use parking_lot::Mutex;
+use std::net::IpAddr;
+
+/// One decoded error report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErrorReport {
+    /// The name whose resolution failed.
+    pub qname: Name,
+    /// The type that was being resolved.
+    pub qtype: RrType,
+    /// The EDE INFO-CODE observed.
+    pub info_code: u16,
+}
+
+/// Build the reporting query name for a failure.
+pub fn report_qname(
+    qname: &Name,
+    qtype: RrType,
+    info_code: u16,
+    agent: &Name,
+) -> Result<Name, WireError> {
+    // Leaf-first: _er . <qtype> . <qname labels...> . <info-code> . _er . agent
+    let mut labels: Vec<Vec<u8>> = vec![b"_er".to_vec(), qtype.to_u16().to_string().into_bytes()];
+    labels.extend(qname.labels().map(|l| l.to_vec()));
+    labels.push(info_code.to_string().into_bytes());
+    labels.push(b"_er".to_vec());
+    labels.extend(agent.labels().map(|l| l.to_vec()));
+    Name::from_labels(labels)
+}
+
+/// Parse a reporting query name back into a report. Returns `None` for
+/// names that are not reports under `agent`.
+pub fn parse_report_qname(name: &Name, agent: &Name) -> Option<ErrorReport> {
+    if !name.is_subdomain_of(agent) {
+        return None;
+    }
+    let labels: Vec<&[u8]> = name.labels().collect();
+    let own = labels.len().checked_sub(agent.label_count())?;
+    let body = &labels[..own];
+    // _er . qtype . <qname...> . code . _er
+    if body.len() < 5 || body[0] != b"_er" || body[body.len() - 1] != b"_er" {
+        return None;
+    }
+    let qtype: u16 = std::str::from_utf8(body[1]).ok()?.parse().ok()?;
+    let info_code: u16 = std::str::from_utf8(body[body.len() - 2]).ok()?.parse().ok()?;
+    let qname = Name::from_labels(body[2..body.len() - 2].iter().copied()).ok()?;
+    Some(ErrorReport {
+        qname,
+        qtype: RrType::from_u16(qtype),
+        info_code,
+    })
+}
+
+/// A reporting-agent authoritative server: collects every report it is
+/// queried for and answers with a confirming TXT record (RFC 9567 §6.3
+/// suggests a positive, cacheable answer to damp repeat reports).
+pub struct ReportingAgent {
+    agent: Name,
+    reports: Mutex<Vec<ErrorReport>>,
+}
+
+impl ReportingAgent {
+    /// An agent for `agent` (e.g. `reports.example`).
+    pub fn new(agent: Name) -> Self {
+        ReportingAgent {
+            agent,
+            reports: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The agent domain.
+    pub fn agent(&self) -> &Name {
+        &self.agent
+    }
+
+    /// Reports collected so far.
+    pub fn reports(&self) -> Vec<ErrorReport> {
+        self.reports.lock().clone()
+    }
+
+    /// Number of reports collected.
+    pub fn report_count(&self) -> usize {
+        self.reports.lock().len()
+    }
+}
+
+impl Server for ReportingAgent {
+    fn handle(&self, query: &Message, _src: IpAddr, _now: u32) -> ServerResponse {
+        let Some(q) = query.first_question() else {
+            let mut resp = Message::response_to(query);
+            resp.rcode = Rcode::FormErr;
+            return ServerResponse::Reply(resp);
+        };
+        let mut resp = Message::response_to(query);
+        resp.authoritative = true;
+        if query.edns.is_some() {
+            resp.edns = Some(Edns::default());
+        }
+        match parse_report_qname(&q.name, &self.agent) {
+            Some(report) => {
+                self.reports.lock().push(report);
+                resp.answers.push(Record::new(
+                    q.name.clone(),
+                    3600, // long TTL: caching suppresses duplicate reports
+                    Rdata::Txt(vec![b"report received".to_vec()]),
+                ));
+            }
+            None => {
+                resp.rcode = Rcode::NxDomain;
+            }
+        }
+        ServerResponse::Reply(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    #[test]
+    fn report_name_roundtrip() {
+        let agent = n("reports.example");
+        let rq = report_qname(&n("broken.test.com"), RrType::A, 7, &agent).unwrap();
+        assert_eq!(
+            rq.to_string(),
+            "_er.1.broken.test.com.7._er.reports.example."
+        );
+        let parsed = parse_report_qname(&rq, &agent).unwrap();
+        assert_eq!(parsed.qname, n("broken.test.com"));
+        assert_eq!(parsed.qtype, RrType::A);
+        assert_eq!(parsed.info_code, 7);
+    }
+
+    #[test]
+    fn non_reports_are_rejected() {
+        let agent = n("reports.example");
+        assert!(parse_report_qname(&n("www.reports.example"), &agent).is_none());
+        assert!(parse_report_qname(&n("_er.x.reports.example"), &agent).is_none());
+        assert!(parse_report_qname(&n("_er.1.a.7._er.other.example"), &agent).is_none());
+        // Non-numeric code.
+        assert!(parse_report_qname(&n("_er.1.a.xx._er.reports.example"), &agent).is_none());
+    }
+
+    #[test]
+    fn agent_collects_reports() {
+        let agent = ReportingAgent::new(n("reports.example"));
+        let rq = report_qname(&n("lame.org"), RrType::A, 22, agent.agent()).unwrap();
+        let query = Message::query(9, rq, RrType::Txt);
+        match agent.handle(&query, "192.0.2.1".parse().unwrap(), 0) {
+            ServerResponse::Reply(resp) => {
+                assert_eq!(resp.rcode, Rcode::NoError);
+                assert_eq!(resp.answers.len(), 1);
+            }
+            ServerResponse::Drop => panic!("agent must answer"),
+        }
+        assert_eq!(agent.report_count(), 1);
+        assert_eq!(agent.reports()[0].info_code, 22);
+    }
+
+    #[test]
+    fn agent_nxdomains_garbage() {
+        let agent = ReportingAgent::new(n("reports.example"));
+        let query = Message::query(9, n("junk.reports.example"), RrType::Txt);
+        match agent.handle(&query, "192.0.2.1".parse().unwrap(), 0) {
+            ServerResponse::Reply(resp) => assert_eq!(resp.rcode, Rcode::NxDomain),
+            ServerResponse::Drop => panic!(),
+        }
+        assert_eq!(agent.report_count(), 0);
+    }
+}

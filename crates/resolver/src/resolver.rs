@@ -1,0 +1,257 @@
+//! The public resolver API: policy, cache, engine, and EDE emission.
+
+use crate::cache::{Cache, CacheHit, CachedResolution};
+use crate::config::ResolverConfig;
+use crate::diagnosis::{Diagnosis, Finding, ValidationState};
+use crate::iterative::{Engine, KeyCache};
+use crate::policy::{Policy, PolicyAction};
+use crate::profiles::VendorProfile;
+use ede_netsim::Network;
+use ede_wire::{Edns, EdeEntry, Message, Name, Rcode, Record, RrType};
+use std::sync::atomic::AtomicU16;
+use std::sync::Arc;
+
+/// The complete result of one recursive resolution, as a client of this
+/// resolver would see it (plus the internal diagnosis for analysis).
+#[derive(Debug, Clone)]
+pub struct Resolution {
+    /// Final response code.
+    pub rcode: Rcode,
+    /// Answer records.
+    pub answers: Vec<Record>,
+    /// Extended DNS Errors attached by the vendor profile.
+    pub ede: Vec<EdeEntry>,
+    /// True when the response validated as Secure (the AD bit).
+    pub authentic_data: bool,
+    /// Final validation state.
+    pub validation: ValidationState,
+    /// The engine's full structured diagnosis.
+    pub diagnosis: Diagnosis,
+}
+
+impl Resolution {
+    /// The EDE codes, numerically.
+    pub fn ede_codes(&self) -> Vec<u16> {
+        self.ede.iter().map(|e| e.code.to_u16()).collect()
+    }
+
+    /// Render as a wire response to `query` (used by the UDP front end).
+    pub fn to_message(&self, query: &Message) -> Message {
+        let mut resp = Message::response_to(query);
+        resp.rcode = self.rcode;
+        resp.recursion_available = true;
+        resp.authentic_data = self.authentic_data;
+        resp.answers = self.answers.clone();
+        let mut edns = Edns::default();
+        for entry in &self.ede {
+            edns.push_ede(entry.clone());
+        }
+        resp.edns = Some(edns);
+        resp
+    }
+}
+
+/// An EDE-capable validating recursive resolver bound to one simulated
+/// network and one vendor profile.
+pub struct Resolver {
+    net: Arc<Network>,
+    profile: VendorProfile,
+    config: ResolverConfig,
+    policy: Policy,
+    cache: Cache,
+    key_cache: KeyCache,
+    ids: AtomicU16,
+}
+
+impl Resolver {
+    /// Build a resolver.
+    pub fn new(net: Arc<Network>, profile: VendorProfile, config: ResolverConfig) -> Self {
+        let cache = Cache::new(config.stale_window_secs);
+        Resolver {
+            net,
+            profile,
+            config,
+            policy: Policy::new(),
+            cache,
+            key_cache: KeyCache::new(),
+            ids: AtomicU16::new(1),
+        }
+    }
+
+    /// Attach a policy table (blocklists, filtering, forged answers).
+    pub fn set_policy(&mut self, policy: Policy) {
+        self.policy = policy;
+    }
+
+    /// The vendor profile in use.
+    pub fn profile(&self) -> &VendorProfile {
+        &self.profile
+    }
+
+    /// The network this resolver queries.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Flush caches (tests and scan shards).
+    pub fn flush(&self) {
+        self.cache.clear();
+        self.key_cache.clear();
+    }
+
+    /// Resolve one (name, type) with full recursion, validation, policy,
+    /// caching, and EDE emission.
+    pub fn resolve(&self, qname: &Name, qtype: RrType) -> Resolution {
+        let now = self.net.clock().now_secs();
+
+        // 1. Policy gate.
+        if let Some(action) = self.policy.lookup(qname) {
+            return self.policy_resolution(qname, action.clone());
+        }
+
+        // 2. Cache probe.
+        if self.config.enable_cache {
+            if let CacheHit::Fresh(data) = self.cache.get(qname, qtype, now) {
+                let mut diag = data.diagnosis.clone();
+                if data.is_failure {
+                    diag.add(Finding::CachedError);
+                }
+                let ede = self.profile.emit(&diag);
+                return Resolution {
+                    rcode: data.rcode,
+                    answers: data.answers,
+                    authentic_data: diag.validation == ValidationState::Secure
+                        && diag.zone_signed,
+                    validation: diag.validation,
+                    ede,
+                    diagnosis: diag,
+                };
+            }
+        }
+
+        // 3. Live resolution.
+        let mut diag = Diagnosis::new();
+        let engine = Engine {
+            net: &self.net,
+            config: &self.config,
+            caps: &self.profile.caps,
+            key_cache: &self.key_cache,
+            ids: &self.ids,
+        };
+        let outcome = engine.resolve(qname, qtype, &mut diag, 0);
+
+        // 4. Serve-stale fallback (RFC 8767) on failure.
+        if outcome.rcode == Rcode::ServFail && self.config.serve_stale && self.config.enable_cache
+        {
+            if let Some(stale) = self.cache.get_stale_success(qname, qtype, now) {
+                diag.add(Finding::ServedStale {
+                    nxdomain: stale.rcode == Rcode::NxDomain,
+                });
+                let ede = self.profile.emit(&diag);
+                return Resolution {
+                    rcode: stale.rcode,
+                    answers: stale.answers,
+                    authentic_data: false,
+                    validation: diag.validation,
+                    ede,
+                    diagnosis: diag,
+                };
+            }
+        }
+
+        // 5. Cache the result.
+        if self.config.enable_cache {
+            let is_failure = outcome.rcode == Rcode::ServFail;
+            let ttl = if is_failure {
+                self.config.failure_ttl_secs
+            } else {
+                outcome
+                    .answers
+                    .iter()
+                    .map(|r| r.ttl)
+                    .min()
+                    .unwrap_or(300)
+            };
+            self.cache.put(
+                qname.clone(),
+                qtype,
+                CachedResolution {
+                    rcode: outcome.rcode,
+                    answers: outcome.answers.clone(),
+                    diagnosis: diag.clone(),
+                    is_failure,
+                },
+                ttl,
+                now,
+            );
+        }
+
+        let ede = self.profile.emit(&diag);
+        self.maybe_report(qname, qtype, &ede);
+        Resolution {
+            rcode: outcome.rcode,
+            answers: outcome.answers,
+            authentic_data: diag.validation == ValidationState::Secure && diag.zone_signed,
+            validation: diag.validation,
+            ede,
+            diagnosis: diag,
+        }
+    }
+
+    /// RFC 9567: fire an error report for the first EDE entry of a
+    /// failed resolution, if an agent is configured. Report queries are
+    /// fire-and-forget (the answer only matters for caching) and are
+    /// never generated for names under the agent itself.
+    fn maybe_report(&self, qname: &Name, qtype: RrType, ede: &[EdeEntry]) {
+        let Some((agent, agent_addr)) = &self.config.error_reporting else {
+            return;
+        };
+        let Some(first) = ede.first() else {
+            return;
+        };
+        if qname.is_subdomain_of(agent) {
+            return; // no reports about reporting
+        }
+        let Ok(report_name) =
+            crate::reporting::report_qname(qname, qtype, first.code.to_u16(), agent)
+        else {
+            return;
+        };
+        let query = Message::iterative_query(
+            self.ids.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            report_name,
+            RrType::Txt,
+        );
+        let _ = self.net.query(*agent_addr, self.config.source_addr, &query);
+    }
+
+    /// Convenience: resolve an A record by dotted name.
+    pub fn resolve_a(&self, name: &str) -> Resolution {
+        let qname = Name::parse(name).expect("caller passes a valid name");
+        self.resolve(&qname, RrType::A)
+    }
+
+    fn policy_resolution(&self, qname: &Name, action: PolicyAction) -> Resolution {
+        let mut diag = Diagnosis::new();
+        diag.degrade(ValidationState::Indeterminate);
+        let entry = EdeEntry::bare(action.ede_code());
+        match action {
+            PolicyAction::Forge(addr) => Resolution {
+                rcode: Rcode::NoError,
+                answers: vec![Policy::forged_record(qname, addr)],
+                ede: vec![entry],
+                authentic_data: false,
+                validation: diag.validation,
+                diagnosis: diag,
+            },
+            _ => Resolution {
+                rcode: Rcode::NxDomain,
+                answers: Vec::new(),
+                ede: vec![entry],
+                authentic_data: false,
+                validation: diag.validation,
+                diagnosis: diag,
+            },
+        }
+    }
+}

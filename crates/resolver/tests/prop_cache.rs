@@ -1,0 +1,99 @@
+//! Property tests for the resolver cache: TTL monotonicity, serve-stale
+//! windows, and the failure/success interplay behind EDE 3/13/19.
+
+use ede_resolver::cache::{Cache, CacheHit, CachedResolution};
+use ede_resolver::diagnosis::Diagnosis;
+use ede_wire::{Name, Rcode, RrType};
+use proptest::prelude::*;
+
+fn entry(is_failure: bool) -> CachedResolution {
+    CachedResolution {
+        rcode: if is_failure { Rcode::ServFail } else { Rcode::NoError },
+        answers: Vec::new(),
+        diagnosis: Diagnosis::new(),
+        is_failure,
+    }
+}
+
+proptest! {
+    /// Freshness is monotone in time: once an entry stops being fresh it
+    /// never becomes fresh again, and once it leaves the stale window it
+    /// never comes back.
+    #[test]
+    fn freshness_is_monotone(
+        ttl in 1u32..10_000,
+        window in 0u32..10_000,
+        probes in proptest::collection::vec(0u32..40_000, 1..20),
+    ) {
+        let cache = Cache::new(window);
+        let name = Name::parse("mono.example").unwrap();
+        let t0 = 1_000_000;
+        cache.put(name.clone(), RrType::A, entry(false), ttl, t0);
+
+        let mut sorted = probes.clone();
+        sorted.sort_unstable();
+        let mut state = 2; // 2 = fresh, 1 = stale, 0 = miss
+        for dt in sorted {
+            let now = t0 + dt;
+            let s = match cache.get(&name, RrType::A, now) {
+                CacheHit::Fresh(_) => 2,
+                CacheHit::Stale(_) => 1,
+                CacheHit::Miss => 0,
+            };
+            prop_assert!(s <= state, "state went {state} → {s} at +{dt}s");
+            state = s;
+        }
+    }
+
+    /// The exact boundaries: fresh through ttl, stale through
+    /// ttl + window, miss afterwards.
+    #[test]
+    fn window_boundaries(ttl in 1u32..5_000, window in 1u32..5_000) {
+        let cache = Cache::new(window);
+        let name = Name::parse("edge.example").unwrap();
+        let t0 = 500_000;
+        cache.put(name.clone(), RrType::A, entry(false), ttl, t0);
+
+        prop_assert!(matches!(cache.get(&name, RrType::A, t0 + ttl), CacheHit::Fresh(_)));
+        prop_assert!(matches!(cache.get(&name, RrType::A, t0 + ttl + 1), CacheHit::Stale(_)));
+        prop_assert!(matches!(cache.get(&name, RrType::A, t0 + ttl + window), CacheHit::Stale(_)));
+        prop_assert!(matches!(cache.get(&name, RrType::A, t0 + ttl + window + 1), CacheHit::Miss));
+    }
+
+    /// A failure entry can never shadow a success that is still within
+    /// its serve-stale window — otherwise serve-stale could not work.
+    #[test]
+    fn failures_never_shadow_stale_successes(
+        success_ttl in 1u32..1_000,
+        gap in 0u32..1_500,
+        window in 2_000u32..4_000,
+    ) {
+        let cache = Cache::new(window);
+        let name = Name::parse("shadow.example").unwrap();
+        let t0 = 100_000;
+        cache.put(name.clone(), RrType::A, entry(false), success_ttl, t0);
+        let t1 = t0 + gap;
+        cache.put(name.clone(), RrType::A, entry(true), 30, t1);
+        // gap < success_ttl + window always here, so the success must
+        // survive.
+        prop_assert!(cache.get_stale_success(&name, RrType::A, t1).is_some());
+    }
+
+    /// Distinct (name, type) keys never interfere.
+    #[test]
+    fn keys_are_independent(names in proptest::collection::vec("[a-z]{1,8}", 2..6)) {
+        let cache = Cache::new(100);
+        let t0 = 1_000;
+        for (i, label) in names.iter().enumerate() {
+            let name = Name::parse(&format!("{label}{i}.example")).unwrap();
+            cache.put(name, RrType::A, entry(i % 2 == 0), 60, t0);
+        }
+        for (i, label) in names.iter().enumerate() {
+            let name = Name::parse(&format!("{label}{i}.example")).unwrap();
+            match cache.get(&name, RrType::A, t0 + 1) {
+                CacheHit::Fresh(data) => prop_assert_eq!(data.is_failure, i % 2 == 0),
+                other => prop_assert!(false, "expected fresh hit, got {:?}", other),
+            }
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Aggregate scan observations into the paper's §4.2 / §4.3 numbers.
+
+use crate::population::Population;
+use crate::scanner::ScanResult;
+use crate::stats;
+use ede_wire::Rcode;
+use std::collections::{BTreeMap, HashMap};
+
+/// Aggregated results of one scan.
+#[derive(Debug, Clone)]
+pub struct Aggregate {
+    /// Total domains scanned.
+    pub total_domains: usize,
+    /// Domains that triggered at least one EDE code.
+    pub ede_domains: usize,
+    /// Domains per INFO-CODE (a domain counts once per code it carried).
+    pub per_code: BTreeMap<u16, usize>,
+    /// Domains per exact code combination.
+    pub per_combo: BTreeMap<Vec<u16>, usize>,
+    /// Domains that answered NOERROR while still carrying EDE codes
+    /// (§4.3's 12.2 k observation).
+    pub noerror_with_ede: usize,
+    /// Nameserver analysis from Network Error EXTRA-TEXT.
+    pub ns_analysis: NsAnalysis,
+    /// Per-TLD ratio of EDE-triggering domains, split gTLD/ccTLD.
+    pub tld_ratios_gtld: Vec<f64>,
+    /// ccTLD ratios.
+    pub tld_ratios_cctld: Vec<f64>,
+    /// (rank, had_ede) for every ranked domain.
+    pub tranco: Vec<(u32, bool)>,
+}
+
+/// §4.2.2-style breakdown of broken nameservers.
+#[derive(Debug, Clone, Default)]
+pub struct NsAnalysis {
+    /// Unique nameserver addresses seen in Network Error texts.
+    pub unique_ns: usize,
+    /// Of those, how many answered REFUSED.
+    pub refused_ns: usize,
+    /// SERVFAIL.
+    pub servfail_ns: usize,
+    /// Other failures.
+    pub other_ns: usize,
+    /// Domains affected per nameserver (weights for concentration).
+    pub domains_per_ns: Vec<usize>,
+}
+
+impl NsAnalysis {
+    /// How many nameservers must be fixed to repair `target` of the
+    /// affected domains (the paper: fixing 20 k of 293 k repairs 81 %).
+    pub fn ns_to_cover(&self, target: f64) -> usize {
+        stats::keys_to_cover(&self.domains_per_ns, target)
+    }
+}
+
+/// Aggregate a scan result against its population.
+pub fn aggregate(pop: &Population, result: &ScanResult) -> Aggregate {
+    let mut per_code: BTreeMap<u16, usize> = BTreeMap::new();
+    let mut per_combo: BTreeMap<Vec<u16>, usize> = BTreeMap::new();
+    let mut ede_domains = 0usize;
+    let mut noerror_with_ede = 0usize;
+    let mut ns_domains: HashMap<String, (usize, String)> = HashMap::new();
+    let mut tld_total = vec![0usize; pop.tlds.len()];
+    let mut tld_ede = vec![0usize; pop.tlds.len()];
+    let mut tranco = Vec::new();
+
+    for obs in &result.observations {
+        tld_total[obs.tld] += 1;
+        if let Some(rank) = obs.rank {
+            tranco.push((rank, !obs.codes.is_empty()));
+        }
+        if obs.codes.is_empty() {
+            continue;
+        }
+        ede_domains += 1;
+        tld_ede[obs.tld] += 1;
+        if obs.rcode == Rcode::NoError {
+            noerror_with_ede += 1;
+        }
+        let mut combo = obs.codes.clone();
+        combo.sort_unstable();
+        combo.dedup();
+        for &c in &combo {
+            *per_code.entry(c).or_insert(0) += 1;
+        }
+        *per_combo.entry(combo).or_insert(0) += 1;
+
+        if let Some(text) = &obs.network_error_text {
+            // Texts look like "192.0.2.1:53 rcode=REFUSED for x.tld A".
+            if let Some((addr, rest)) = text.split_once(":53 ") {
+                let entry = ns_domains
+                    .entry(addr.to_string())
+                    .or_insert((0, String::new()));
+                entry.0 += 1;
+                if entry.1.is_empty() {
+                    entry.1 = rest
+                        .split_whitespace()
+                        .next()
+                        .unwrap_or_default()
+                        .to_string();
+                }
+            }
+        }
+    }
+
+    let mut ns_analysis = NsAnalysis {
+        unique_ns: ns_domains.len(),
+        ..Default::default()
+    };
+    for (count, kind) in ns_domains.values() {
+        ns_analysis.domains_per_ns.push(*count);
+        match kind.as_str() {
+            "rcode=REFUSED" => ns_analysis.refused_ns += 1,
+            "rcode=SERVFAIL" => ns_analysis.servfail_ns += 1,
+            _ => ns_analysis.other_ns += 1,
+        }
+    }
+
+    let mut tld_ratios_gtld = Vec::new();
+    let mut tld_ratios_cctld = Vec::new();
+    for (i, tld) in pop.tlds.iter().enumerate() {
+        if tld_total[i] == 0 {
+            continue;
+        }
+        let ratio = tld_ede[i] as f64 / tld_total[i] as f64;
+        if tld.cc {
+            tld_ratios_cctld.push(ratio);
+        } else {
+            tld_ratios_gtld.push(ratio);
+        }
+    }
+
+    tranco.sort_unstable();
+
+    Aggregate {
+        total_domains: result.observations.len(),
+        ede_domains,
+        per_code,
+        per_combo,
+        noerror_with_ede,
+        ns_analysis,
+        tld_ratios_gtld,
+        tld_ratios_cctld,
+        tranco,
+    }
+}
+
+impl Aggregate {
+    /// The CDF series of Figure 1 for gTLDs (ratio → cumulative
+    /// fraction).
+    pub fn figure1_gtld(&self) -> Vec<(f64, f64)> {
+        stats::cdf(&self.tld_ratios_gtld)
+    }
+
+    /// Figure 1 for ccTLDs.
+    pub fn figure1_cctld(&self) -> Vec<(f64, f64)> {
+        stats::cdf(&self.tld_ratios_cctld)
+    }
+
+    /// The CDF of Figure 2: EDE-triggering ranked domains by rank.
+    pub fn figure2(&self) -> Vec<(f64, f64)> {
+        let ranks: Vec<f64> = self
+            .tranco
+            .iter()
+            .filter(|(_, ede)| *ede)
+            .map(|(r, _)| f64::from(*r))
+            .collect();
+        stats::cdf(&ranks)
+    }
+
+    /// Tranco members that triggered EDE (the paper's 22.1 k overlap).
+    pub fn tranco_overlap(&self) -> usize {
+        self.tranco.iter().filter(|(_, ede)| *ede).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::PopulationConfig;
+    use crate::scanner::{scan, ScanConfig};
+    use crate::world::ScanWorld;
+
+    #[test]
+    fn aggregate_tiny_scan() {
+        let pop = Population::generate(PopulationConfig::tiny());
+        let world = ScanWorld::build(&pop);
+        let result = scan(&pop, &world, &ScanConfig::default());
+        let agg = aggregate(&pop, &result);
+
+        assert_eq!(agg.total_domains, pop.domains.len());
+        assert!(agg.ede_domains > 0);
+        // The dominant codes must be 22 and 23, like the paper.
+        let c22 = agg.per_code.get(&22).copied().unwrap_or(0);
+        let c23 = agg.per_code.get(&23).copied().unwrap_or(0);
+        assert!(c22 > 0 && c23 > 0);
+        assert!(c22 >= c23, "22 ({c22}) should dominate 23 ({c23})");
+        let max_other = agg
+            .per_code
+            .iter()
+            .filter(|(c, _)| **c != 22 && **c != 23)
+            .map(|(_, n)| *n)
+            .max()
+            .unwrap_or(0);
+        assert!(c22 > max_other);
+        // Some NOERROR answers still carry EDE.
+        assert!(agg.noerror_with_ede > 0);
+        // The NS analysis sees the broken pool.
+        assert!(agg.ns_analysis.unique_ns > 0);
+        assert!(agg.ns_analysis.refused_ns >= agg.ns_analysis.servfail_ns);
+    }
+}

@@ -1,0 +1,18 @@
+//! Regenerate Figure 2: the distribution of EDE-triggering domains
+//! across the Tranco ranking.
+//!
+//! Usage: repro-fig2 \[scale\]   (default 1000)
+use ede_scan::{aggregate, report, scanner, Population, PopulationConfig, ScanWorld};
+
+fn main() {
+    let scale: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1000);
+    let cfg = PopulationConfig { scale, ..Default::default() };
+    let pop = Population::generate(cfg);
+    let world = ScanWorld::build(&pop);
+    let result = scanner::scan(&pop, &world, &scanner::ScanConfig::default());
+    let agg = aggregate::aggregate(&pop, &result);
+    print!("{}", report::figure2(&agg, &pop.config));
+}

@@ -1,0 +1,4 @@
+//! Regenerate Table 1: the registered Extended DNS Error codes.
+fn main() {
+    print!("{}", ede_scan::report::table1());
+}

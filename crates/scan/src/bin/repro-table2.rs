@@ -1,0 +1,4 @@
+//! Regenerate Table 2: the 63 testbed subdomains by group.
+fn main() {
+    print!("{}", ede_scan::report::table2());
+}

@@ -1,0 +1,4 @@
+//! Regenerate Table 3: per-subdomain configuration detail.
+fn main() {
+    print!("{}", ede_scan::report::table3());
+}

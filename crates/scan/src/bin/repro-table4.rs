@@ -1,0 +1,5 @@
+//! Regenerate Table 4: resolve the whole testbed through all seven
+//! vendor profiles and print the matrix plus agreement statistics.
+fn main() {
+    print!("{}", ede_scan::report::table4());
+}

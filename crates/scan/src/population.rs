@@ -1,0 +1,657 @@
+//! Synthetic registered-domain population with calibrated planting.
+//!
+//! Calibration targets come straight from the paper's §4.2 (counts per
+//! 303 M domains) and §4.3 (per-TLD concentration). The generator plants
+//! *root causes*; the scanner later measures what EDE codes those causes
+//! produce through the full resolution pipeline.
+
+use ede_wire::Name;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::net::Ipv4Addr;
+
+/// What is wrong (or right) with one planted domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Category {
+    /// Correctly served, unsigned.
+    HealthyUnsigned,
+    /// Correctly served and DNSSEC-signed.
+    HealthySigned,
+    /// Every nameserver answers REFUSED (or SERVFAIL) — the dominant
+    /// lame-delegation mode (§4.2.1/2 → EDE 22+23).
+    LameRcode,
+    /// Every nameserver is silent or the glue is unroutable (→ 22 only).
+    LameSilent,
+    /// One nameserver is broken but another answers (→ 23 on NOERROR).
+    PartialBroken,
+    /// Lives under a TLD publishing a stand-by KSK (§4.2.3 → EDE 10 on
+    /// NOERROR).
+    StandbyTldMember,
+    /// Signed, but the DS does not match any DNSKEY (§4.2.4 → EDE 9).
+    DsMismatch,
+    /// Signed and entirely unreachable (§4.2.4's "accompanied by 22"
+    /// flavor → 9+22+23).
+    UnreachableSigned,
+    /// Signed, no apex A, and broken denial-of-existence (§4.2.5 → 6).
+    BrokenDenial,
+    /// Nameservers predate EDNS (§4.2.6 → 24).
+    NoEdns,
+    /// Zone signed with an algorithm Cloudflare lacks (GOST) (§4.2.7 → 1).
+    UnsupportedAlgGost,
+    /// Zone signed with a deprecated algorithm (DSA) (§4.2.7 → 1).
+    UnsupportedAlgDsa,
+    /// Zone keys are 512-bit (§4.2.7 "unsupported key size" → 1).
+    SmallKey,
+    /// All RRSIGs expired (§4.2.8 → 7).
+    SigExpired,
+    /// Unsigned delegation whose (signed) parent fails to prove DS
+    /// absence (§4.2.9 → 12).
+    InsecureProofBroken,
+    /// DS uses the GOST digest type (§4.2.10 → 2).
+    GostDigest,
+    /// DS uses an unassigned digest type (8) (§4.2.10 → 2).
+    UnassignedDigest,
+    /// Server answers once then starts refusing — revisits serve stale
+    /// (§4.2.11 → 3 [+22, +23]).
+    StaleFlapRefuse,
+    /// Server answers once then goes silent (§4.2.11 → 3+22).
+    StaleFlapDrop,
+    /// All RRSIGs not yet valid (§4.2.12 → 8).
+    SigNotYetValid,
+    /// Nameservers answer NOTAUTH; the second probe hits the failure
+    /// cache (§4.2.13 → 13).
+    NotAuthCached,
+    /// NSEC3 iteration count above any validator cap (§4.2.14 → 0,
+    /// "iteration limit exceeded").
+    IterationLimit,
+}
+
+impl Category {
+    /// True when the scanner should probe this domain a second time
+    /// (after the flap / with a warm failure cache).
+    pub fn needs_revisit(self) -> bool {
+        matches!(
+            self,
+            Category::StaleFlapRefuse | Category::StaleFlapDrop | Category::NotAuthCached
+        )
+    }
+
+    /// True when the domain's zone is DNSSEC-signed.
+    pub fn signed(self) -> bool {
+        !matches!(
+            self,
+            Category::HealthyUnsigned
+                | Category::LameRcode
+                | Category::LameSilent
+                | Category::PartialBroken
+                | Category::NoEdns
+                | Category::InsecureProofBroken
+                | Category::StaleFlapRefuse
+                | Category::StaleFlapDrop
+                | Category::NotAuthCached
+        )
+    }
+}
+
+/// One TLD of the population.
+#[derive(Debug, Clone)]
+pub struct TldInfo {
+    /// The TLD name.
+    pub name: Name,
+    /// ccTLD (true) or gTLD (false).
+    pub cc: bool,
+    /// Publishes a stand-by KSK (§4.2.3).
+    pub standby_key: bool,
+    /// Fails to include NSEC3 proofs on insecure referrals (§4.2.9).
+    pub broken_insecure_proof: bool,
+    /// Index of this TLD's server address.
+    pub server_index: usize,
+}
+
+/// One domain of the input list.
+#[derive(Debug, Clone)]
+pub struct DomainRecord {
+    /// Fully qualified registered name.
+    pub name: Name,
+    /// Index into [`Population::tlds`].
+    pub tld: usize,
+    /// Planted condition.
+    pub category: Category,
+    /// Addresses of the domain's nameservers (hosting-pool addresses).
+    pub ns_addrs: Vec<Ipv4Addr>,
+    /// Tranco-style popularity rank (1-based), if the domain is in the
+    /// scaled top list.
+    pub rank: Option<u32>,
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct PopulationConfig {
+    /// Scale divisor relative to the paper's 303 M (1000 → 303 k).
+    pub scale: u32,
+    /// RNG seed: same seed, same population.
+    pub seed: u64,
+    /// Number of gTLDs.
+    pub gtlds: usize,
+    /// Number of ccTLDs.
+    pub cctlds: usize,
+    /// Size of the scaled Tranco list.
+    pub tranco_size: u32,
+}
+
+impl Default for PopulationConfig {
+    fn default() -> Self {
+        PopulationConfig {
+            scale: 1000,
+            seed: 0xEDE_2023,
+            gtlds: 1150,
+            cctlds: 325,
+            tranco_size: 1000,
+        }
+    }
+}
+
+impl PopulationConfig {
+    /// A small config for unit/integration tests.
+    pub fn tiny() -> Self {
+        PopulationConfig {
+            scale: 100_000,
+            gtlds: 40,
+            cctlds: 12,
+            tranco_size: 50,
+            ..Default::default()
+        }
+    }
+
+    /// Scale a paper count (per 303 M) down, keeping at least 1 when the
+    /// original is nonzero, and keeping counts under 100 at their
+    /// absolute value so rare phenomena stay visible (documented in
+    /// EXPERIMENTS.md).
+    pub fn scaled(&self, paper_count: u64) -> usize {
+        if paper_count == 0 {
+            return 0;
+        }
+        if paper_count < 100 {
+            return paper_count as usize;
+        }
+        ((paper_count + u64::from(self.scale) / 2) / u64::from(self.scale)).max(1) as usize
+    }
+}
+
+/// Planting targets, straight out of §4.2 (counts per 303 M domains).
+pub struct Targets {
+    /// Lame with RCODE failures on all NSes (22 ∩ 23).
+    pub lame_rcode: usize,
+    /// Lame with silence/unroutability (22 only).
+    pub lame_silent: usize,
+    /// One broken + one working NS (23 only).
+    pub partial_broken: usize,
+    /// Domains under stand-by-key TLDs (code 10).
+    pub standby_members: usize,
+    /// DS mismatch (code 9, reachable).
+    pub ds_mismatch: usize,
+    /// Signed + unreachable (9+22+23).
+    pub unreachable_signed: usize,
+    /// Broken denial (code 6).
+    pub broken_denial: usize,
+    /// EDNS-oblivious (code 24).
+    pub no_edns: usize,
+    /// GOST-signed zones (code 1).
+    pub alg_gost: usize,
+    /// DSA-signed zones (code 1).
+    pub alg_dsa: usize,
+    /// 512-bit keys (code 1).
+    pub small_key: usize,
+    /// Expired signatures (code 7).
+    pub sig_expired: usize,
+    /// Broken insecure-referral proofs (code 12).
+    pub insecure_proof: usize,
+    /// GOST DS digests (code 2).
+    pub gost_digest: usize,
+    /// Unassigned DS digest type 8 (code 2).
+    pub unassigned_digest: usize,
+    /// Stale with REFUSED flap (3+22+23).
+    pub stale_refuse: usize,
+    /// Stale with silent flap (3+22).
+    pub stale_drop: usize,
+    /// Not-yet-valid signatures (code 8).
+    pub not_yet_valid: usize,
+    /// NOTAUTH + cached error (code 13).
+    pub notauth_cached: usize,
+    /// Iteration-limit zones (code 0).
+    pub iteration_limit: usize,
+}
+
+impl Targets {
+    /// Derive targets from the paper's §4.2 counts at the configured
+    /// scale.
+    pub fn from_config(cfg: &PopulationConfig) -> Targets {
+        // |22| = 13,965,865 and |23| = 11,647,551 with |22 ∪ 23| ≈
+        // 14.8 M (§4.2.2) ⇒ |22 ∩ 23| ≈ 10.8 M.
+        let both = 10_817_000u64;
+        let only22 = 13_965_865u64 - both;
+        let only23 = 11_647_551u64 - both;
+        let code9 = 296_643u64;
+        let unreachable_signed = code9 * 2 / 5; // the "accompanied by 22" flavor
+        Targets {
+            lame_rcode: cfg.scaled(both),
+            lame_silent: cfg.scaled(only22),
+            partial_broken: cfg.scaled(only23),
+            standby_members: cfg.scaled(2_746_604),
+            ds_mismatch: cfg.scaled(code9 - unreachable_signed),
+            unreachable_signed: cfg.scaled(unreachable_signed),
+            broken_denial: cfg.scaled(82_465),
+            no_edns: cfg.scaled(12_268),
+            // §4.2.7's 8,751 domains split across GOST, prohibited
+            // algorithms, and undersized keys.
+            alg_gost: cfg.scaled(5_800),
+            alg_dsa: cfg.scaled(1_500),
+            small_key: cfg.scaled(1_451),
+            sig_expired: cfg.scaled(2_877),
+            insecure_proof: cfg.scaled(1_980),
+            gost_digest: 54,
+            unassigned_digest: 8,
+            stale_refuse: 20,
+            stale_drop: 12,
+            not_yet_valid: 29,
+            notauth_cached: 8,
+            iteration_limit: 7,
+        }
+    }
+}
+
+/// The generated population.
+pub struct Population {
+    /// Generator configuration.
+    pub config: PopulationConfig,
+    /// All TLDs.
+    pub tlds: Vec<TldInfo>,
+    /// All domains, in randomized scan order.
+    pub domains: Vec<DomainRecord>,
+    /// Addresses of the healthy hosting pool.
+    pub healthy_ns: Vec<Ipv4Addr>,
+    /// Addresses of the broken hosting pool (lame nameservers).
+    pub broken_ns: Vec<Ipv4Addr>,
+}
+
+/// How a broken-pool nameserver misbehaves. The mode is a deterministic
+/// function of the address index so the generator and the world builder
+/// agree without communicating. Segment sizes follow §4.2.2's breakdown
+/// of 293 k broken nameservers: 267 k REFUSED, 21 k SERVFAIL, 15 k
+/// silent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BrokenMode {
+    /// Answers REFUSED.
+    Refused,
+    /// Answers SERVFAIL.
+    ServFail,
+    /// Never answers.
+    Drop,
+}
+
+/// The fault mode of broken nameserver `i` out of `total`.
+pub fn broken_mode(i: usize, total: usize) -> BrokenMode {
+    // 267/303 ≈ 88 % REFUSED, 21/303 ≈ 7 % SERVFAIL, rest silent.
+    let refused_end = total * 88 / 100;
+    let servfail_end = total * 95 / 100;
+    if i < refused_end {
+        BrokenMode::Refused
+    } else if i < servfail_end {
+        BrokenMode::ServFail
+    } else {
+        BrokenMode::Drop
+    }
+}
+
+/// Allocate the i-th address of a /8-sized pool rooted at `base`.
+fn pool_addr(base: u8, i: usize) -> Ipv4Addr {
+    Ipv4Addr::new(base, (i >> 16) as u8, (i >> 8) as u8, i as u8)
+}
+
+/// Address of the i-th healthy hosting server.
+pub fn healthy_addr(i: usize) -> Ipv4Addr {
+    pool_addr(13, i)
+}
+
+/// Address of the i-th broken hosting server.
+pub fn broken_addr(i: usize) -> Ipv4Addr {
+    pool_addr(23, i)
+}
+
+/// Address of the i-th TLD server.
+pub fn tld_addr(i: usize) -> Ipv4Addr {
+    pool_addr(33, i)
+}
+
+impl Population {
+    /// Generate a population.
+    pub fn generate(config: PopulationConfig) -> Population {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let targets = Targets::from_config(&config);
+        let total = config.scaled(303_000_000);
+
+        // --- TLDs ----------------------------------------------------------
+        // §4.3: 38 % of gTLDs and 4 % of ccTLDs have no misconfigured
+        // domain; 11 gTLDs + 2 ccTLDs are fully broken; 2 ccTLDs carry
+        // stand-by keys; a handful of gTLDs fail insecure-referral
+        // proofs.
+        let mut tlds = Vec::new();
+        for i in 0..config.gtlds {
+            tlds.push(TldInfo {
+                name: Name::parse(&format!("gtld{i:04}")).expect("valid"),
+                cc: false,
+                standby_key: false,
+                broken_insecure_proof: false,
+                server_index: i,
+            });
+        }
+        for i in 0..config.cctlds {
+            tlds.push(TldInfo {
+                name: Name::parse(&format!("cc{i:03}")).expect("valid"),
+                cc: true,
+                standby_key: i < 2, // the two stand-by-KSK ccTLDs (§4.2.3)
+                broken_insecure_proof: false,
+                server_index: config.gtlds + i,
+            });
+        }
+        // A few gTLDs with broken insecure-referral proofs (§4.2.9) —
+        // low indices so they can never collide with the fully-broken
+        // tail below.
+        let insecure_tlds: Vec<usize> = (16..20).collect();
+        for &t in &insecure_tlds {
+            tlds[t].broken_insecure_proof = true;
+        }
+
+        // Which TLDs are clean (no misconfigured domains planted there)?
+        // 38 % of gTLDs, 4 % of ccTLDs, excluding the special ones.
+        let clean_gtlds = (config.gtlds as f64 * 0.38) as usize;
+        let clean_cctlds = (config.cctlds as f64 * 0.04) as usize;
+        // Fully-broken small TLDs: last 11 gTLDs + last 2 ccTLDs.
+        let fully_broken: Vec<usize> = (config.gtlds - 11..config.gtlds)
+            .chain(config.gtlds + config.cctlds - 2..config.gtlds + config.cctlds)
+            .collect();
+
+        // TLD weights: Zipf-like sizes, ccTLDs smaller on average.
+        let mut weights: Vec<f64> = (0..tlds.len())
+            .map(|i| {
+                let rank = (i + 1) as f64;
+                let base = 1.0 / rank.powf(1.03);
+                if tlds[i].cc {
+                    base * 0.4
+                } else {
+                    base
+                }
+            })
+            .collect();
+        for &t in &fully_broken {
+            // The fully-broken TLDs are tiny (108 k domains across 13).
+            weights[t] = 0.0;
+        }
+        let weight_sum: f64 = weights.iter().sum();
+
+        // --- Hosting pools ------------------------------------------------------
+        // §4.2.2: 293 k broken nameservers; 6 giants serve >100 k domains
+        // each; fixing ~20 k (6.8 %) would repair 81 % of domains.
+        let broken_ns_count = (293_000 / config.scale as usize).clamp(24, 50_000);
+        let healthy_ns_count = (total / 40).clamp(16, 40_000);
+        let healthy_ns: Vec<Ipv4Addr> = (0..healthy_ns_count).map(healthy_addr).collect();
+        let broken_ns: Vec<Ipv4Addr> = (0..broken_ns_count).map(broken_addr).collect();
+
+        // Zipf over the broken pool reproduces the concentration: the
+        // head nameservers accumulate most lame domains. Draws are
+        // segment-aware so a category needing a *spoken* failure never
+        // lands on a silent server and vice versa.
+        let zipf_in = |rng: &mut StdRng, lo: usize, hi: usize| -> usize {
+            debug_assert!(lo < hi);
+            let span = hi - lo;
+            let weights: f64 = (0..span).map(|i| 1.0 / ((i + 1) as f64).powf(1.12)).sum();
+            let mut x = rng.gen::<f64>() * weights;
+            for i in 0..span {
+                x -= 1.0 / ((i + 1) as f64).powf(1.12);
+                if x <= 0.0 {
+                    return lo + i;
+                }
+            }
+            hi - 1
+        };
+        let rcode_end = broken_ns_count * 95 / 100; // Refused + ServFail
+        let pick_broken_rcode =
+            |rng: &mut StdRng| broken_addr(zipf_in(rng, 0, rcode_end.max(1)));
+        let drop_start = rcode_end.min(broken_ns_count - 1);
+        let pick_broken_silent =
+            |rng: &mut StdRng| broken_addr(zipf_in(rng, drop_start, broken_ns_count));
+
+        // --- Build the category list -----------------------------------------------
+        let mut categories: Vec<Category> = Vec::with_capacity(total);
+        let push = |cat: Category, n: usize, categories: &mut Vec<Category>| {
+            categories.extend(std::iter::repeat_n(cat, n));
+        };
+        push(Category::LameRcode, targets.lame_rcode, &mut categories);
+        push(Category::LameSilent, targets.lame_silent, &mut categories);
+        push(Category::PartialBroken, targets.partial_broken, &mut categories);
+        push(Category::StandbyTldMember, targets.standby_members, &mut categories);
+        push(Category::DsMismatch, targets.ds_mismatch, &mut categories);
+        push(Category::UnreachableSigned, targets.unreachable_signed, &mut categories);
+        push(Category::BrokenDenial, targets.broken_denial, &mut categories);
+        push(Category::NoEdns, targets.no_edns, &mut categories);
+        push(Category::UnsupportedAlgGost, targets.alg_gost, &mut categories);
+        push(Category::UnsupportedAlgDsa, targets.alg_dsa, &mut categories);
+        push(Category::SmallKey, targets.small_key, &mut categories);
+        push(Category::SigExpired, targets.sig_expired, &mut categories);
+        push(Category::InsecureProofBroken, targets.insecure_proof, &mut categories);
+        push(Category::GostDigest, targets.gost_digest, &mut categories);
+        push(Category::UnassignedDigest, targets.unassigned_digest, &mut categories);
+        push(Category::StaleFlapRefuse, targets.stale_refuse, &mut categories);
+        push(Category::StaleFlapDrop, targets.stale_drop, &mut categories);
+        push(Category::SigNotYetValid, targets.not_yet_valid, &mut categories);
+        push(Category::NotAuthCached, targets.notauth_cached, &mut categories);
+        push(Category::IterationLimit, targets.iteration_limit, &mut categories);
+        // Fill with healthy domains (~15 % of the healthy pool signed,
+        // matching global DNSSEC deployment levels).
+        while categories.len() < total {
+            let signed = rng.gen::<f64>() < 0.15;
+            categories.push(if signed {
+                Category::HealthySigned
+            } else {
+                Category::HealthyUnsigned
+            });
+        }
+        categories.truncate(total);
+
+        // --- Assign TLDs and nameservers ----------------------------------------------
+        let pick_tld = |rng: &mut StdRng, broken: bool, tld_weights: &[f64]| -> usize {
+            loop {
+                let mut x = rng.gen::<f64>() * weight_sum;
+                let mut idx = tlds.len() - 1;
+                for (i, w) in tld_weights.iter().enumerate() {
+                    x -= w;
+                    if x <= 0.0 {
+                        idx = i;
+                        break;
+                    }
+                }
+                // Special TLDs host only their designated categories:
+                // everything under a stand-by-key or broken-proof TLD
+                // would otherwise inherit that TLD's condition.
+                if tlds[idx].standby_key || tlds[idx].broken_insecure_proof {
+                    continue;
+                }
+                let is_clean = (idx < clean_gtlds && !tlds[idx].cc)
+                    || (tlds[idx].cc && idx - config.gtlds < clean_cctlds);
+                if broken && is_clean {
+                    continue; // clean TLDs host no misconfigured domains
+                }
+                return idx;
+            }
+        };
+
+        let mut domains: Vec<DomainRecord> = Vec::with_capacity(total);
+        let mut counter_per_tld = vec![0usize; tlds.len()];
+        for (i, &category) in categories.iter().enumerate() {
+            let broken = !matches!(
+                category,
+                Category::HealthyUnsigned | Category::HealthySigned
+            );
+            // Stand-by members must live under the stand-by ccTLDs;
+            // insecure-proof cases under the broken-proof gTLDs.
+            let tld = match category {
+                Category::StandbyTldMember => config.gtlds + (i % 2),
+                Category::InsecureProofBroken => insecure_tlds[i % insecure_tlds.len()],
+                _ => pick_tld(&mut rng, broken, &weights),
+            };
+            counter_per_tld[tld] += 1;
+            let label = format!("d{:07}", i);
+            let name = tlds[tld].name.child(&label).expect("valid label");
+
+            let ns_addrs: Vec<Ipv4Addr> = match category {
+                Category::LameRcode | Category::UnreachableSigned => {
+                    vec![pick_broken_rcode(&mut rng)]
+                }
+                Category::LameSilent => vec![pick_broken_silent(&mut rng)],
+                Category::PartialBroken => vec![
+                    pick_broken_rcode(&mut rng),
+                    healthy_addr(rng.gen_range(0..healthy_ns_count)),
+                ],
+                // NotAuth and flapping behavior is per-domain and lives
+                // in the hosting fabric.
+                _ => vec![healthy_addr(rng.gen_range(0..healthy_ns_count))],
+            };
+
+            domains.push(DomainRecord {
+                name,
+                tld,
+                category,
+                ns_addrs,
+                rank: None,
+            });
+        }
+
+        // --- Fully-broken tiny TLDs (§4.3's 100 %-misconfigured tail) -------------
+        let fully_broken_total = config.scaled(108_000).max(fully_broken.len());
+        let per_tld = (fully_broken_total / fully_broken.len()).max(1);
+        for (k, &t) in fully_broken.iter().enumerate() {
+            for j in 0..per_tld {
+                let label = format!("fb{k:02}x{j:05}");
+                let name = tlds[t].name.child(&label).expect("valid label");
+                domains.push(DomainRecord {
+                    name,
+                    tld: t,
+                    category: Category::LameRcode,
+                    ns_addrs: vec![pick_broken_rcode(&mut rng)],
+                    rank: None,
+                });
+            }
+        }
+
+        // --- Tranco ranks: assigned independently of misconfiguration --------------
+        // (§4.3/Fig. 2: EDE-triggering domains are evenly distributed
+        // across the ranking.)
+        let n = domains.len();
+        let mut rank_targets: Vec<usize> = Vec::with_capacity(config.tranco_size as usize);
+        while rank_targets.len() < (config.tranco_size as usize).min(n) {
+            let idx = rng.gen_range(0..n);
+            if domains[idx].rank.is_none() {
+                domains[idx].rank = Some(0); // placeholder, numbered below
+                rank_targets.push(idx);
+            }
+        }
+        for (rank0, &idx) in rank_targets.iter().enumerate() {
+            domains[idx].rank = Some(rank0 as u32 + 1);
+        }
+
+        // Randomize scan order, as the paper did to spread load.
+        for i in (1..domains.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            domains.swap(i, j);
+        }
+
+        Population {
+            config,
+            tlds,
+            domains,
+            healthy_ns,
+            broken_ns,
+        }
+    }
+
+    /// Count of domains per category (diagnostics, ground truth).
+    pub fn category_counts(&self) -> Vec<(Category, usize)> {
+        let mut map = std::collections::BTreeMap::new();
+        for d in &self.domains {
+            *map.entry(d.category).or_insert(0usize) += 1;
+        }
+        map.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Population::generate(PopulationConfig::tiny());
+        let b = Population::generate(PopulationConfig::tiny());
+        assert_eq!(a.domains.len(), b.domains.len());
+        for (x, y) in a.domains.iter().zip(&b.domains) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.category, y.category);
+            assert_eq!(x.ns_addrs, y.ns_addrs);
+        }
+    }
+
+    #[test]
+    fn tiny_population_has_all_rare_categories() {
+        let p = Population::generate(PopulationConfig::tiny());
+        let counts = p.category_counts();
+        let has = |c: Category| counts.iter().any(|(cat, n)| *cat == c && *n > 0);
+        assert!(has(Category::GostDigest));
+        assert!(has(Category::StaleFlapRefuse));
+        assert!(has(Category::NotAuthCached));
+        assert!(has(Category::IterationLimit));
+        assert!(has(Category::LameRcode));
+        assert!(has(Category::HealthyUnsigned));
+    }
+
+    #[test]
+    fn standby_members_live_under_standby_cctlds() {
+        let p = Population::generate(PopulationConfig::tiny());
+        for d in &p.domains {
+            if d.category == Category::StandbyTldMember {
+                assert!(p.tlds[d.tld].standby_key, "{}", d.name);
+            }
+            if d.category == Category::InsecureProofBroken {
+                assert!(p.tlds[d.tld].broken_insecure_proof, "{}", d.name);
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_counts_follow_rules() {
+        let cfg = PopulationConfig::default();
+        assert_eq!(cfg.scaled(303_000_000), 303_000);
+        assert_eq!(cfg.scaled(62), 62); // small counts stay absolute
+        assert_eq!(cfg.scaled(1_980), 2);
+        assert_eq!(cfg.scaled(0), 0);
+    }
+
+    #[test]
+    fn tranco_ranks_unique_and_bounded() {
+        let p = Population::generate(PopulationConfig::tiny());
+        let mut ranks: Vec<u32> = p.domains.iter().filter_map(|d| d.rank).collect();
+        ranks.sort_unstable();
+        let expected: Vec<u32> = (1..=p.config.tranco_size.min(ranks.len() as u32)).collect();
+        assert_eq!(ranks, expected);
+    }
+
+    #[test]
+    fn address_pools_are_disjoint_and_routable() {
+        use ede_netsim::classify;
+        for i in [0usize, 5, 300, 70000] {
+            assert!(classify(healthy_addr(i).into()).is_routable());
+            assert!(classify(broken_addr(i).into()).is_routable());
+            assert!(classify(tld_addr(i).into()).is_routable());
+            assert_ne!(healthy_addr(i), broken_addr(i));
+        }
+    }
+}

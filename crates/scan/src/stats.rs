@@ -1,0 +1,117 @@
+//! Small statistics utilities: CDFs and concentration curves.
+
+/// Empirical CDF of `values`: returns (value, cumulative fraction)
+/// pairs, sorted ascending. The fractions reach 1.0 at the maximum.
+pub fn cdf(values: &[f64]) -> Vec<(f64, f64)> {
+    if values.is_empty() {
+        return Vec::new();
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in inputs"));
+    let n = sorted.len() as f64;
+    sorted
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| (v, (i + 1) as f64 / n))
+        .collect()
+}
+
+/// Fraction of the CDF's mass at exactly `value` (e.g. the share of
+/// TLDs with a ratio of exactly 0).
+pub fn fraction_at(values: &[f64], value: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().filter(|&&v| (v - value).abs() < 1e-12).count() as f64 / values.len() as f64
+}
+
+/// Given per-key weights (e.g. domains per nameserver), how many of the
+/// heaviest keys are needed to cover `target` fraction of the total?
+pub fn keys_to_cover(weights: &[usize], target: f64) -> usize {
+    let total: usize = weights.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let mut sorted = weights.to_vec();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    let goal = (total as f64 * target).ceil() as usize;
+    let mut acc = 0;
+    for (i, w) in sorted.iter().enumerate() {
+        acc += w;
+        if acc >= goal {
+            return i + 1;
+        }
+    }
+    sorted.len()
+}
+
+/// Render a CDF as a compact ASCII plot (for the repro binaries).
+pub fn ascii_cdf(series: &[(f64, f64)], width: usize, height: usize, x_label: &str) -> String {
+    if series.is_empty() {
+        return String::from("(empty series)\n");
+    }
+    let x_min = series.first().expect("nonempty").0;
+    let x_max = series.last().expect("nonempty").0.max(x_min + f64::EPSILON);
+    let mut grid = vec![vec![' '; width]; height];
+    for &(x, y) in series {
+        let col = (((x - x_min) / (x_max - x_min)) * (width - 1) as f64).round() as usize;
+        let row = ((1.0 - y) * (height - 1) as f64).round() as usize;
+        grid[row.min(height - 1)][col.min(width - 1)] = '*';
+    }
+    let mut out = String::new();
+    for (i, row) in grid.iter().enumerate() {
+        let y_tick = 1.0 - i as f64 / (height - 1) as f64;
+        out.push_str(&format!("{y_tick:4.2} |"));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "     +{}\n      {x_min:<12.3} {x_label:^width$} {x_max:>10.3}\n",
+        "-".repeat(width),
+        width = width.saturating_sub(26),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_is_monotone_and_normalized() {
+        let values = [3.0, 1.0, 2.0, 2.0];
+        let c = cdf(&values);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.last().expect("nonempty").1, 1.0);
+        for w in c.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn fraction_at_zero() {
+        let values = [0.0, 0.0, 0.5, 1.0];
+        assert_eq!(fraction_at(&values, 0.0), 0.5);
+        assert_eq!(fraction_at(&values, 1.0), 0.25);
+    }
+
+    #[test]
+    fn concentration() {
+        // One giant (80) + 20 ones: 80/100 needs just the giant... 81%
+        // needs the giant plus one more.
+        let mut weights = vec![80usize];
+        weights.extend(std::iter::repeat_n(1usize, 20));
+        assert_eq!(keys_to_cover(&weights, 0.80), 1);
+        assert_eq!(keys_to_cover(&weights, 0.81), 2);
+        assert_eq!(keys_to_cover(&[], 0.5), 0);
+    }
+
+    #[test]
+    fn ascii_plot_smoke() {
+        let series = cdf(&[0.0, 0.1, 0.5, 0.9, 1.0]);
+        let plot = ascii_cdf(&series, 40, 10, "ratio");
+        assert!(plot.contains('*'));
+        assert!(plot.lines().count() >= 10);
+    }
+}

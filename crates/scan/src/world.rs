@@ -1,0 +1,636 @@
+//! Materialize a [`Population`] as a simulated internet.
+//!
+//! Building 303 k literal zones up front would waste memory for no
+//! modeling gain, so the scan world synthesizes DNS data *on demand*,
+//! deterministically, from the population registry:
+//!
+//! * the **root zone** is a real, signed [`ede_zone::Zone`] with one
+//!   delegation (and DS) per TLD;
+//! * each **TLD server** builds, per query, a micro-zone containing just
+//!   the queried delegation (NS + glue + DS or NSEC3 opt-out proof) and
+//!   answers it through the ordinary [`ede_authority::ZoneServer`] logic
+//!   — wire behavior is identical to a full zone because referral
+//!   content only ever depends on the one delegation;
+//! * each **hosting server** builds, per query, the queried domain's
+//!   child zone from its planted [`Category`] (signing it, breaking it,
+//!   or flapping it as the category demands) and serves that;
+//! * **broken-pool servers** implement the per-address fault modes
+//!   (REFUSED / SERVFAIL / silence) of §4.2.2's 293 k lame nameservers.
+//!
+//! All key material is derived deterministically from names, so a DS
+//! served by a TLD today matches the DNSKEY a hosting server synthesizes
+//! tomorrow.
+
+use crate::population::{
+    broken_mode, tld_addr, BrokenMode, Category, DomainRecord, Population,
+};
+use ede_authority::{Behavior, ZoneServer, ZoneStore};
+use ede_netsim::{Network, NetworkBuilder, NetworkConfig, Server, ServerResponse, SimClock};
+use ede_resolver::config::RootHint;
+use ede_resolver::ResolverConfig;
+use ede_wire::rdata::Soa;
+use ede_wire::{DigestAlg, Message, Name, Rdata, Record, RrType, SecAlg};
+use ede_zone::signer::{self, SignerConfig, DAY, SIM_NOW};
+use ede_zone::{Denial, Misconfig, Nsec3Config, Zone, ZoneKey, ZoneKeys};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::net::{IpAddr, Ipv4Addr};
+use std::sync::Arc;
+
+/// Address of the scan world's root server.
+pub const ROOT_SERVER: Ipv4Addr = Ipv4Addr::new(198, 41, 0, 4);
+
+/// Shared lookup tables.
+struct Registry {
+    /// Domain apex → record.
+    domains: HashMap<Name, DomainRecord>,
+    /// TLD name → (index, standby, broken_proof).
+    tlds: HashMap<Name, TldEntry>,
+}
+
+#[derive(Clone)]
+struct TldEntry {
+    standby_key: bool,
+    broken_insecure_proof: bool,
+}
+
+/// The built scan world.
+pub struct ScanWorld {
+    /// The network to scan.
+    pub net: Arc<Network>,
+    /// Resolver configuration (root hints + trust anchor).
+    pub resolver_config: ResolverConfig,
+}
+
+fn soa_for(apex: &Name) -> Rdata {
+    Rdata::Soa(Soa {
+        mname: apex.child("ns1").expect("valid"),
+        rname: apex.child("hostmaster").expect("valid"),
+        serial: 20230515,
+        refresh: 7200,
+        retry: 3600,
+        expire: 1209600,
+        minimum: 60,
+    })
+}
+
+/// Deterministic keys for a TLD.
+fn tld_keys(tld: &Name) -> ZoneKeys {
+    ZoneKeys::generate(tld, 8, 2048)
+}
+
+/// Deterministic keys for a child domain, with category-dependent
+/// algorithm/size.
+fn child_keys(apex: &Name, category: Category) -> ZoneKeys {
+    match category {
+        Category::UnsupportedAlgGost => ZoneKeys::generate(apex, SecAlg::ECC_GOST.0, 2048),
+        Category::UnsupportedAlgDsa => ZoneKeys::generate(apex, SecAlg::DSA.0, 1024),
+        Category::SmallKey => ZoneKeys::generate(apex, SecAlg::RSASHA1.0, 512),
+        _ => ZoneKeys::generate(apex, SecAlg::RSASHA256.0, 2048),
+    }
+}
+
+/// The DS RDATA(s) a TLD publishes for a domain, per category.
+fn child_ds(rec: &DomainRecord) -> Vec<Rdata> {
+    let apex = &rec.name;
+    let cat = rec.category;
+    if !cat.signed() {
+        return Vec::new();
+    }
+    let keys = child_keys(apex, cat);
+    match cat {
+        Category::DsMismatch => Misconfig::DsBadTag.parent_ds(&keys, apex),
+        Category::GostDigest => vec![keys.ksk.ds_rdata(apex, DigestAlg::GOST)],
+        Category::UnassignedDigest => vec![keys.ksk.ds_rdata(apex, DigestAlg(8))],
+        _ => vec![keys.ksk.ds_rdata(apex, DigestAlg::SHA256)],
+    }
+}
+
+/// Signer config per category (validity windows, NSEC3 iterations).
+fn child_signer_config(cat: Category) -> SignerConfig {
+    let mut cfg = SignerConfig::default();
+    match cat {
+        Category::SigExpired => {
+            cfg.inception = SIM_NOW - 400 * DAY;
+            cfg.expiration = SIM_NOW - 300 * DAY;
+        }
+        Category::SigNotYetValid => {
+            // §4.2.12: signatures valid starting 2045.
+            cfg.inception = SIM_NOW + 8000 * DAY;
+            cfg.expiration = SIM_NOW + 8400 * DAY;
+        }
+        Category::IterationLimit => {
+            cfg.denial = Denial::Nsec3(Nsec3Config {
+                iterations: 2000,
+                salt: vec![0xab],
+            });
+        }
+        Category::UnsupportedAlgGost => cfg.algorithm = SecAlg::ECC_GOST,
+        Category::UnsupportedAlgDsa => {
+            cfg.algorithm = SecAlg::DSA;
+            cfg.key_bits = 1024;
+        }
+        Category::SmallKey => {
+            cfg.algorithm = SecAlg::RSASHA1;
+            cfg.key_bits = 512;
+        }
+        _ => {}
+    }
+    cfg
+}
+
+/// Build the child zone for a domain per its category. Returns the zone
+/// (already signed/mutated where applicable).
+fn materialize_child(rec: &DomainRecord) -> Zone {
+    let apex = &rec.name;
+    let cat = rec.category;
+    let mut zone = Zone::new(apex.clone());
+    zone.add(Record::new(apex.clone(), 60, soa_for(apex)));
+    for (i, addr) in rec.ns_addrs.iter().enumerate() {
+        let ns = apex.child(&format!("ns{}", i + 1)).expect("valid");
+        zone.add(Record::new(apex.clone(), 60, Rdata::Ns(ns.clone())));
+        zone.add(Record::new(ns, 60, Rdata::A(*addr)));
+    }
+    // Most categories publish an apex A; denial-driven ones must not.
+    let wants_a = !matches!(cat, Category::BrokenDenial | Category::IterationLimit);
+    if wants_a {
+        zone.add(Record::new(
+            apex.clone(),
+            60,
+            Rdata::A(Ipv4Addr::new(203, 0, 113, 10)),
+        ));
+    }
+
+    if cat.signed() {
+        let keys = child_keys(apex, cat);
+        signer::sign_zone(&mut zone, &keys, &child_signer_config(cat));
+        match cat {
+            Category::BrokenDenial => Misconfig::BadNsec3Next.apply(&mut zone, &keys),
+            Category::SigExpired => {
+                // Window already expired via config; nothing else.
+            }
+            _ => {}
+        }
+    }
+    zone
+}
+
+/// The hosting fabric: serves every healthy-pool domain per its planted
+/// category, with per-domain flap state.
+struct HostingNs {
+    registry: Arc<Registry>,
+    /// Query counters for flapping domains.
+    flap: Mutex<HashMap<Name, u32>>,
+}
+
+impl HostingNs {
+    /// Extract the registered domain (label.tld) an arbitrary qname
+    /// belongs to.
+    fn domain_of(&self, qname: &Name) -> Option<&DomainRecord> {
+        let mut candidate = qname.clone();
+        while candidate.label_count() > 2 {
+            candidate = candidate.parent()?;
+        }
+        self.registry.domains.get(&candidate)
+    }
+}
+
+impl Server for HostingNs {
+    fn handle(&self, query: &Message, src: IpAddr, _now: u32) -> ServerResponse {
+        let Some(q) = query.first_question() else {
+            return ServerResponse::Drop;
+        };
+        let Some(rec) = self.domain_of(&q.name) else {
+            // Not a domain we host.
+            let mut resp = Message::response_to(query);
+            resp.rcode = ede_wire::Rcode::Refused;
+            return ServerResponse::Reply(resp);
+        };
+
+        // Flap state: stale/cached-error categories change behavior
+        // after their first A answer.
+        let mut behavior = Behavior::Normal;
+        match rec.category {
+            Category::NoEdns => behavior = Behavior::NoEdns,
+            Category::NotAuthCached => behavior = Behavior::NotAuthAll,
+            Category::StaleFlapRefuse | Category::StaleFlapDrop => {
+                let mut flap = self.flap.lock();
+                let count = flap.entry(rec.name.clone()).or_insert(0);
+                if *count > 0 {
+                    behavior = if rec.category == Category::StaleFlapRefuse {
+                        Behavior::RefuseAll
+                    } else {
+                        Behavior::Timeout
+                    };
+                }
+                if q.qtype == RrType::A && q.name == rec.name {
+                    *count += 1;
+                }
+            }
+            _ => {}
+        }
+
+        let zone = materialize_child(rec);
+        let mut store = ZoneStore::new();
+        store.insert(zone);
+        ZoneServer::with_behavior(store, behavior).answer(query, src)
+    }
+}
+
+/// A broken-pool nameserver with a fixed fault mode.
+struct BrokenNs {
+    mode: BrokenMode,
+}
+
+impl Server for BrokenNs {
+    fn handle(&self, query: &Message, src: IpAddr, now: u32) -> ServerResponse {
+        let behavior = match self.mode {
+            BrokenMode::Refused => Behavior::RefuseAll,
+            BrokenMode::ServFail => Behavior::ServfailAll,
+            BrokenMode::Drop => Behavior::Timeout,
+        };
+        ZoneServer::with_behavior(ZoneStore::new(), behavior).handle(query, src, now)
+    }
+}
+
+/// A TLD server: synthesizes the relevant micro-slice of its zone per
+/// query.
+struct TldServer {
+    tld: Name,
+    entry: TldEntry,
+    registry: Arc<Registry>,
+}
+
+impl TldServer {
+    fn micro_zone(&self, qname: &Name) -> Zone {
+        let mut zone = Zone::new(self.tld.clone());
+        zone.add(Record::new(self.tld.clone(), 3600, soa_for(&self.tld)));
+        let tld_ns = self.tld.child("ns1").expect("valid");
+        zone.add(Record::new(self.tld.clone(), 3600, Rdata::Ns(tld_ns)));
+
+        // Insert the queried delegation if the domain exists.
+        let mut candidate = qname.clone();
+        while candidate.label_count() > 2 {
+            match candidate.parent() {
+                Some(p) => candidate = p,
+                None => break,
+            }
+        }
+        if let Some(rec) = self.registry.domains.get(&candidate) {
+            for (i, addr) in rec.ns_addrs.iter().enumerate() {
+                let ns = rec.name.child(&format!("ns{}", i + 1)).expect("valid");
+                zone.add(Record::new(rec.name.clone(), 3600, Rdata::Ns(ns.clone())));
+                zone.add(Record::new(ns, 3600, Rdata::A(*addr)));
+            }
+            for ds in child_ds(rec) {
+                zone.add(Record::new(rec.name.clone(), 3600, ds));
+            }
+        }
+
+        let keys = tld_keys(&self.tld);
+        signer::sign_zone(&mut zone, &keys, &SignerConfig::default());
+
+        if self.entry.standby_key {
+            // Publish an extra SEP key that signs nothing, then re-sign
+            // the DNSKEY RRset so the chain still validates (§4.2.3).
+            let standby = ZoneKey::generate(&self.tld, "standby", 8, 2048, 257);
+            if let Some(set) = zone.get_mut(&self.tld, RrType::Dnskey) {
+                set.rdatas.push(standby.dnskey_rdata());
+            }
+            signer::resign_rrset(
+                &mut zone,
+                &self.tld.clone(),
+                RrType::Dnskey,
+                &keys,
+                SignerConfig::default().window(),
+            );
+        }
+        if self.entry.broken_insecure_proof {
+            // Strip the denial chain: insecure referrals lose their
+            // NSEC3 proof (§4.2.9).
+            Misconfig::Nsec3Missing.apply(&mut zone, &keys);
+        }
+        zone
+    }
+}
+
+impl Server for TldServer {
+    fn handle(&self, query: &Message, src: IpAddr, now: u32) -> ServerResponse {
+        let Some(q) = query.first_question() else {
+            return ServerResponse::Drop;
+        };
+        let zone = self.micro_zone(&q.name);
+        let mut store = ZoneStore::new();
+        store.insert(zone);
+        ZoneServer::new(store).handle(query, src, now)
+    }
+}
+
+impl ScanWorld {
+    /// Build the world for a population.
+    pub fn build(pop: &Population) -> ScanWorld {
+        let registry = Arc::new(Registry {
+            domains: pop
+                .domains
+                .iter()
+                .map(|d| (d.name.clone(), d.clone()))
+                .collect(),
+            tlds: pop
+                .tlds
+                .iter()
+                .map(|t| {
+                    (
+                        t.name.clone(),
+                        TldEntry {
+                            standby_key: t.standby_key,
+                            broken_insecure_proof: t.broken_insecure_proof,
+                        },
+                    )
+                })
+                .collect(),
+        });
+
+        // Zero-latency network: the virtual clock must stand still
+        // during a pass so flap/stale timing stays under test control.
+        let clock = SimClock::new();
+        let mut net = NetworkBuilder::new().config(NetworkConfig {
+            rtt_ms: 0,
+            timeout_ms: 0,
+            ..Default::default()
+        });
+
+        // Root zone: real, signed, one delegation per TLD.
+        let root = Name::root();
+        let mut root_zone = Zone::new(root.clone());
+        root_zone.add(Record::new(root.clone(), 3600, soa_for(&root)));
+        let root_ns = Name::parse("ns1").expect("valid");
+        root_zone.add(Record::new(root.clone(), 3600, Rdata::Ns(root_ns.clone())));
+        root_zone.add_a(root_ns, ROOT_SERVER);
+        for tld in &pop.tlds {
+            let ns = tld.name.child("ns1").expect("valid");
+            root_zone.add(Record::new(tld.name.clone(), 3600, Rdata::Ns(ns.clone())));
+            root_zone.add_a(ns, tld_addr(tld.server_index));
+            let keys = tld_keys(&tld.name);
+            root_zone.add(Record::new(
+                tld.name.clone(),
+                3600,
+                keys.ksk.ds_rdata(&tld.name, DigestAlg::SHA256),
+            ));
+        }
+        let root_keys = ZoneKeys::generate(&root, 8, 2048);
+        signer::sign_zone(&mut root_zone, &root_keys, &SignerConfig::default());
+        let trust_anchor = root_keys.ksk.ds_rdata(&root, DigestAlg::SHA256);
+
+        let mut store = ZoneStore::new();
+        store.insert(root_zone);
+        net.register(IpAddr::V4(ROOT_SERVER), Arc::new(ZoneServer::new(store)));
+
+        // TLD servers.
+        for tld in &pop.tlds {
+            net.register(
+                IpAddr::V4(tld_addr(tld.server_index)),
+                Arc::new(TldServer {
+                    tld: tld.name.clone(),
+                    entry: registry.tlds[&tld.name].clone(),
+                    registry: Arc::clone(&registry),
+                }),
+            );
+        }
+
+        // Hosting fabric: one shared server object on every healthy
+        // address.
+        let hosting = Arc::new(HostingNs {
+            registry: Arc::clone(&registry),
+            flap: Mutex::new(HashMap::new()),
+        });
+        for addr in &pop.healthy_ns {
+            net.register(IpAddr::V4(*addr), hosting.clone() as Arc<dyn Server>);
+        }
+
+        // Broken pool.
+        let total_broken = pop.broken_ns.len();
+        for (i, addr) in pop.broken_ns.iter().enumerate() {
+            net.register(
+                IpAddr::V4(*addr),
+                Arc::new(BrokenNs {
+                    mode: broken_mode(i, total_broken),
+                }),
+            );
+        }
+
+        let resolver_config = ResolverConfig {
+            failure_ttl_secs: 900,
+            ..ResolverConfig::with_roots(
+                vec![RootHint {
+                    name: Name::parse("ns1").expect("valid"),
+                    addr: IpAddr::V4(ROOT_SERVER),
+                }],
+                vec![trust_anchor],
+            )
+        };
+
+        ScanWorld {
+            net: Arc::new(net.build(clock)),
+            resolver_config,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::PopulationConfig;
+    use ede_resolver::{Resolver, Vendor, VendorProfile};
+    use ede_wire::Rcode;
+
+    fn world_and_resolver() -> (Population, ScanWorld, Resolver) {
+        let pop = Population::generate(PopulationConfig::tiny());
+        let world = ScanWorld::build(&pop);
+        let resolver = Resolver::new(
+            Arc::clone(&world.net),
+            VendorProfile::new(Vendor::Cloudflare),
+            world.resolver_config.clone(),
+        );
+        (pop, world, resolver)
+    }
+
+    use crate::population::Population;
+
+    fn first_of(pop: &Population, cat: Category) -> &DomainRecord {
+        pop.domains
+            .iter()
+            .find(|d| d.category == cat)
+            .unwrap_or_else(|| panic!("population lacks {cat:?}"))
+    }
+
+    #[test]
+    fn healthy_unsigned_resolves() {
+        let (pop, _world, resolver) = world_and_resolver();
+        let d = first_of(&pop, Category::HealthyUnsigned);
+        let res = resolver.resolve(&d.name, RrType::A);
+        assert_eq!(res.rcode, Rcode::NoError, "{}: {:?}", d.name, res.diagnosis);
+        assert!(res.ede.is_empty());
+    }
+
+    #[test]
+    fn healthy_signed_is_secure() {
+        let (pop, _world, resolver) = world_and_resolver();
+        let d = first_of(&pop, Category::HealthySigned);
+        let res = resolver.resolve(&d.name, RrType::A);
+        assert_eq!(res.rcode, Rcode::NoError, "{}: {:?}", d.name, res.diagnosis);
+        assert!(res.authentic_data, "{:?}", res.diagnosis);
+        assert!(res.ede.is_empty());
+    }
+
+    #[test]
+    fn lame_rcode_gives_22_23() {
+        let (pop, _world, resolver) = world_and_resolver();
+        let d = first_of(&pop, Category::LameRcode);
+        let res = resolver.resolve(&d.name, RrType::A);
+        assert_eq!(res.rcode, Rcode::ServFail);
+        assert_eq!(res.ede_codes(), vec![22, 23], "{:?}", res.diagnosis);
+    }
+
+    #[test]
+    fn lame_silent_gives_22_only() {
+        let (pop, _world, resolver) = world_and_resolver();
+        let d = first_of(&pop, Category::LameSilent);
+        let res = resolver.resolve(&d.name, RrType::A);
+        assert_eq!(res.ede_codes(), vec![22], "{:?}", res.diagnosis);
+    }
+
+    #[test]
+    fn partial_broken_is_noerror_with_23() {
+        let (pop, _world, resolver) = world_and_resolver();
+        let d = first_of(&pop, Category::PartialBroken);
+        let res = resolver.resolve(&d.name, RrType::A);
+        assert_eq!(res.rcode, Rcode::NoError, "{:?}", res.diagnosis);
+        assert_eq!(res.ede_codes(), vec![23]);
+    }
+
+    #[test]
+    fn standby_member_is_noerror_with_10() {
+        let (pop, _world, resolver) = world_and_resolver();
+        let d = first_of(&pop, Category::StandbyTldMember);
+        let res = resolver.resolve(&d.name, RrType::A);
+        assert_eq!(res.rcode, Rcode::NoError, "{:?}", res.diagnosis);
+        assert_eq!(res.ede_codes(), vec![10]);
+    }
+
+    #[test]
+    fn ds_mismatch_gives_9() {
+        let (pop, _world, resolver) = world_and_resolver();
+        let d = first_of(&pop, Category::DsMismatch);
+        let res = resolver.resolve(&d.name, RrType::A);
+        assert_eq!(res.rcode, Rcode::ServFail);
+        assert_eq!(res.ede_codes(), vec![9], "{:?}", res.diagnosis);
+    }
+
+    #[test]
+    fn unreachable_signed_gives_9_22_23() {
+        let (pop, _world, resolver) = world_and_resolver();
+        let d = first_of(&pop, Category::UnreachableSigned);
+        let res = resolver.resolve(&d.name, RrType::A);
+        assert_eq!(res.ede_codes(), vec![9, 22, 23], "{:?}", res.diagnosis);
+    }
+
+    #[test]
+    fn broken_denial_gives_6() {
+        let (pop, _world, resolver) = world_and_resolver();
+        let d = first_of(&pop, Category::BrokenDenial);
+        let res = resolver.resolve(&d.name, RrType::A);
+        assert_eq!(res.ede_codes(), vec![6], "{:?}", res.diagnosis);
+    }
+
+    #[test]
+    fn no_edns_gives_24() {
+        let (pop, _world, resolver) = world_and_resolver();
+        let d = first_of(&pop, Category::NoEdns);
+        let res = resolver.resolve(&d.name, RrType::A);
+        let codes = res.ede_codes();
+        assert!(codes.contains(&24), "{codes:?} {:?}", res.diagnosis);
+    }
+
+    #[test]
+    fn unsupported_algorithms_give_1() {
+        let (pop, _world, resolver) = world_and_resolver();
+        for cat in [
+            Category::UnsupportedAlgGost,
+            Category::UnsupportedAlgDsa,
+            Category::SmallKey,
+        ] {
+            let d = first_of(&pop, cat);
+            let res = resolver.resolve(&d.name, RrType::A);
+            assert_eq!(res.ede_codes(), vec![1], "{cat:?}: {:?}", res.diagnosis);
+        }
+    }
+
+    #[test]
+    fn sig_windows_give_7_and_8() {
+        let (pop, _world, resolver) = world_and_resolver();
+        let d = first_of(&pop, Category::SigExpired);
+        assert_eq!(resolver.resolve(&d.name, RrType::A).ede_codes(), vec![7]);
+        let d = first_of(&pop, Category::SigNotYetValid);
+        assert_eq!(resolver.resolve(&d.name, RrType::A).ede_codes(), vec![8]);
+    }
+
+    #[test]
+    fn insecure_proof_broken_gives_12() {
+        let (pop, _world, resolver) = world_and_resolver();
+        let d = first_of(&pop, Category::InsecureProofBroken);
+        let res = resolver.resolve(&d.name, RrType::A);
+        assert_eq!(res.ede_codes(), vec![12], "{:?}", res.diagnosis);
+    }
+
+    #[test]
+    fn digest_categories_give_2() {
+        let (pop, _world, resolver) = world_and_resolver();
+        for cat in [Category::GostDigest, Category::UnassignedDigest] {
+            let d = first_of(&pop, cat);
+            let res = resolver.resolve(&d.name, RrType::A);
+            assert_eq!(res.ede_codes(), vec![2], "{cat:?}: {:?}", res.diagnosis);
+        }
+    }
+
+    #[test]
+    fn iteration_limit_gives_0() {
+        let (pop, _world, resolver) = world_and_resolver();
+        let d = first_of(&pop, Category::IterationLimit);
+        let res = resolver.resolve(&d.name, RrType::A);
+        assert_eq!(res.ede_codes(), vec![0], "{:?}", res.diagnosis);
+        assert_eq!(res.ede[0].extra_text, "iteration limit exceeded");
+    }
+
+    #[test]
+    fn stale_flap_serves_stale_on_revisit() {
+        let (pop, world, resolver) = world_and_resolver();
+        let d = first_of(&pop, Category::StaleFlapRefuse);
+        let first = resolver.resolve(&d.name, RrType::A);
+        assert_eq!(first.rcode, Rcode::NoError, "{:?}", first.diagnosis);
+        // Let the 60 s TTL lapse, then revisit: the flap makes the live
+        // path fail and the stale entry is served.
+        world.net.clock().advance_secs(120);
+        let second = resolver.resolve(&d.name, RrType::A);
+        assert_eq!(second.rcode, Rcode::NoError);
+        let codes = second.ede_codes();
+        assert!(codes.contains(&3), "{codes:?} {:?}", second.diagnosis);
+        assert!(codes.contains(&22), "{codes:?}");
+    }
+
+    #[test]
+    fn notauth_revisit_hits_failure_cache() {
+        let (pop, world, resolver) = world_and_resolver();
+        let d = first_of(&pop, Category::NotAuthCached);
+        let first = resolver.resolve(&d.name, RrType::A);
+        assert_eq!(first.rcode, Rcode::ServFail);
+        world.net.clock().advance_secs(120);
+        let second = resolver.resolve(&d.name, RrType::A);
+        assert_eq!(second.rcode, Rcode::ServFail);
+        assert!(
+            second.ede_codes().contains(&13),
+            "{:?} {:?}",
+            second.ede_codes(),
+            second.diagnosis
+        );
+    }
+}

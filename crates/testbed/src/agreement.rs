@@ -1,0 +1,92 @@
+//! Agreement analysis across the seven systems (paper §3.3).
+
+/// Agreement statistics over a 63 × 7 matrix of code lists.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Agreement {
+    /// Number of subdomains where all seven systems returned the same
+    /// codes.
+    pub consistent: usize,
+    /// Total subdomains considered.
+    pub total: usize,
+    /// The labels of the consistent cases.
+    pub consistent_labels: Vec<String>,
+}
+
+impl Agreement {
+    /// Fraction of cases handled inconsistently — the paper's 94 %.
+    pub fn inconsistency_ratio(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        (self.total - self.consistent) as f64 / self.total as f64
+    }
+}
+
+/// Compute agreement over rows of (label, per-vendor code lists).
+pub fn analyze(rows: &[(String, Vec<Vec<u16>>)]) -> Agreement {
+    let mut consistent = 0;
+    let mut consistent_labels = Vec::new();
+    for (label, cols) in rows {
+        let all_same = cols.windows(2).all(|w| w[0] == w[1]);
+        if all_same {
+            consistent += 1;
+            consistent_labels.push(label.clone());
+        }
+    }
+    Agreement {
+        consistent,
+        total: rows.len(),
+        consistent_labels,
+    }
+}
+
+/// Count the distinct INFO-CODEs appearing anywhere in the matrix.
+pub fn unique_codes(rows: &[(String, Vec<Vec<u16>>)]) -> Vec<u16> {
+    let mut codes: Vec<u16> = rows
+        .iter()
+        .flat_map(|(_, cols)| cols.iter().flatten().copied())
+        .collect();
+    codes.sort_unstable();
+    codes.dedup();
+    codes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expectations::table4;
+
+    fn expectation_rows() -> Vec<(String, Vec<Vec<u16>>)> {
+        table4()
+            .into_iter()
+            .map(|r| {
+                (
+                    r.label.to_string(),
+                    r.codes.iter().map(|c| c.to_vec()).collect(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn paper_numbers_from_expectation_matrix() {
+        // "Only 4 test cases out of 63 triggered the same results across
+        // all the seven tested systems: no-ds, nsec3-iter-200, unsigned,
+        // and valid."
+        let agreement = analyze(&expectation_rows());
+        assert_eq!(agreement.total, 63);
+        assert_eq!(agreement.consistent, 4);
+        assert_eq!(
+            agreement.consistent_labels,
+            vec!["valid", "no-ds", "nsec3-iter-200", "unsigned"]
+        );
+        // 59/63 = 93.65 % ≈ the paper's "94 % of the cases".
+        let pct = agreement.inconsistency_ratio() * 100.0;
+        assert!((93.0..95.0).contains(&pct), "{pct}");
+    }
+
+    #[test]
+    fn twelve_unique_codes() {
+        assert_eq!(unique_codes(&expectation_rows()).len(), 12);
+    }
+}

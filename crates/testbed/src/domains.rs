@@ -1,0 +1,274 @@
+//! The 63 subdomain specifications (paper Tables 2 and 3).
+
+use ede_wire::SecAlg;
+use ede_zone::{Misconfig, TypeSel};
+
+/// How the testbed queries a subdomain.
+///
+/// Most cases are exercised by an A query for the subdomain apex. The
+/// NSEC3 cases need a *negative* answer to make denial proofs matter:
+/// the paper (§3.3) notes that `bad-nsec3-next`/`bad-nsec3-rrsig`
+/// were triggered "when requesting non-existing subdomains", and the two
+/// NSEC3PARAM cases are driven through a NODATA answer (the zones carry
+/// no apex A record).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryKind {
+    /// A query for `<sub>.<base>` answered positively.
+    Positive,
+    /// A query for `test.<sub>.<base>` → NXDOMAIN.
+    NxdomainChild,
+    /// A query for `<sub>.<base>` where the apex has no A → NODATA.
+    NodataApex,
+}
+
+/// What glue the parent zone publishes for the subdomain's nameserver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GlueKind {
+    /// Correct glue pointing at the child's (routable) server.
+    Routable,
+    /// An IPv4 special-purpose address (group 7).
+    SpecialV4(&'static str),
+    /// An IPv6 special-purpose address (group 6).
+    SpecialV6(&'static str),
+}
+
+/// The child nameserver's behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerMode {
+    /// Answers normally.
+    Normal,
+    /// REFUSED to everyone (`allow-query-none`).
+    RefuseAll,
+    /// REFUSED unless the query comes from localhost
+    /// (`allow-query-localhost`).
+    LocalhostOnly,
+}
+
+/// One subdomain of the testbed.
+#[derive(Debug, Clone)]
+pub struct DomainSpec {
+    /// The subdomain label (Table 2).
+    pub label: &'static str,
+    /// Misconfiguration group 1–8 (Table 2).
+    pub group: u8,
+    /// Whether the zone is DNSSEC-signed at all.
+    pub signed: bool,
+    /// Signing algorithm.
+    pub algorithm: SecAlg,
+    /// NSEC3 iteration count used at signing time.
+    pub nsec3_iterations: u16,
+    /// The post-signing mutation, if any.
+    pub misconfig: Option<Misconfig>,
+    /// Parent-zone glue for the child's nameserver.
+    pub glue: GlueKind,
+    /// Child server behavior.
+    pub server: ServerMode,
+    /// Whether the zone carries an apex A record.
+    pub apex_a: bool,
+    /// How the testbed queries this case.
+    pub query: QueryKind,
+}
+
+impl DomainSpec {
+    fn new(label: &'static str, group: u8) -> Self {
+        DomainSpec {
+            label,
+            group,
+            signed: true,
+            algorithm: SecAlg::RSASHA256,
+            nsec3_iterations: 0,
+            misconfig: None,
+            glue: GlueKind::Routable,
+            server: ServerMode::Normal,
+            apex_a: true,
+            query: QueryKind::Positive,
+        }
+    }
+
+    fn with_misconfig(mut self, m: Misconfig) -> Self {
+        self.misconfig = Some(m);
+        self
+    }
+
+    fn unsigned(mut self) -> Self {
+        self.signed = false;
+        self
+    }
+
+    fn with_algorithm(mut self, alg: SecAlg) -> Self {
+        self.algorithm = alg;
+        self
+    }
+
+    fn nxdomain_query(mut self) -> Self {
+        self.query = QueryKind::NxdomainChild;
+        self
+    }
+
+    fn nodata_query(mut self) -> Self {
+        self.apex_a = false;
+        self.query = QueryKind::NodataApex;
+        self
+    }
+
+    fn v4_glue(mut self, addr: &'static str) -> Self {
+        self.glue = GlueKind::SpecialV4(addr);
+        self.signed = false;
+        self
+    }
+
+    fn v6_glue(mut self, addr: &'static str) -> Self {
+        self.glue = GlueKind::SpecialV6(addr);
+        self.signed = false;
+        self
+    }
+
+    fn server_mode(mut self, mode: ServerMode) -> Self {
+        self.server = mode;
+        self
+    }
+}
+
+/// All 63 subdomains in Table 2 order.
+pub fn all_specs() -> Vec<DomainSpec> {
+    use Misconfig as M;
+    vec![
+        // Group 1: control.
+        DomainSpec::new("valid", 1),
+        // Group 2: DS misconfigurations.
+        DomainSpec::new("no-ds", 2).with_misconfig(M::NoDs),
+        DomainSpec::new("ds-bad-tag", 2).with_misconfig(M::DsBadTag),
+        DomainSpec::new("ds-bad-key-algo", 2).with_misconfig(M::DsBadKeyAlgo),
+        DomainSpec::new("ds-unassigned-key-algo", 2).with_misconfig(M::DsUnassignedKeyAlgo),
+        DomainSpec::new("ds-reserved-key-algo", 2).with_misconfig(M::DsReservedKeyAlgo),
+        DomainSpec::new("ds-unassigned-digest-algo", 2).with_misconfig(M::DsUnassignedDigestAlgo),
+        DomainSpec::new("ds-bogus-digest-value", 2).with_misconfig(M::DsBogusDigestValue),
+        // Group 3: RRSIG misconfigurations.
+        DomainSpec::new("rrsig-exp-all", 3).with_misconfig(M::RrsigExpired(TypeSel::All)),
+        DomainSpec::new("rrsig-exp-a", 3).with_misconfig(M::RrsigExpired(TypeSel::OnlyApexA)),
+        DomainSpec::new("rrsig-not-yet-all", 3).with_misconfig(M::RrsigNotYetValid(TypeSel::All)),
+        DomainSpec::new("rrsig-not-yet-a", 3)
+            .with_misconfig(M::RrsigNotYetValid(TypeSel::OnlyApexA)),
+        DomainSpec::new("rrsig-no-all", 3).with_misconfig(M::RrsigMissing(TypeSel::All)),
+        DomainSpec::new("rrsig-no-a", 3).with_misconfig(M::RrsigMissing(TypeSel::OnlyApexA)),
+        DomainSpec::new("rrsig-exp-before-all", 3)
+            .with_misconfig(M::RrsigExpiredBeforeValid(TypeSel::All)),
+        DomainSpec::new("rrsig-exp-before-a", 3)
+            .with_misconfig(M::RrsigExpiredBeforeValid(TypeSel::OnlyApexA)),
+        // Group 4: NSEC3 misconfigurations.
+        DomainSpec::new("nsec3-missing", 4)
+            .with_misconfig(M::Nsec3Missing)
+            .nxdomain_query(),
+        DomainSpec::new("bad-nsec3-hash", 4)
+            .with_misconfig(M::BadNsec3Hash)
+            .nxdomain_query(),
+        DomainSpec::new("bad-nsec3-next", 4)
+            .with_misconfig(M::BadNsec3Next)
+            .nxdomain_query(),
+        DomainSpec::new("bad-nsec3-rrsig", 4)
+            .with_misconfig(M::BadNsec3Rrsig)
+            .nxdomain_query(),
+        DomainSpec::new("nsec3-rrsig-missing", 4)
+            .with_misconfig(M::Nsec3RrsigMissing)
+            .nxdomain_query(),
+        DomainSpec::new("nsec3param-missing", 4)
+            .with_misconfig(M::Nsec3ParamMissing)
+            .nodata_query(),
+        DomainSpec::new("bad-nsec3param-salt", 4)
+            .with_misconfig(M::BadNsec3ParamSalt)
+            .nodata_query(),
+        DomainSpec::new("no-nsec3param-nsec3", 4)
+            .with_misconfig(M::NoNsec3ParamNsec3)
+            .nxdomain_query(),
+        {
+            let mut s = DomainSpec::new("nsec3-iter-200", 4);
+            s.nsec3_iterations = 200;
+            s
+        },
+        // Group 5: DNSKEY misconfigurations.
+        DomainSpec::new("no-zsk", 5).with_misconfig(M::NoZsk),
+        DomainSpec::new("bad-zsk", 5).with_misconfig(M::BadZsk),
+        DomainSpec::new("no-ksk", 5).with_misconfig(M::NoKsk),
+        DomainSpec::new("no-rrsig-ksk", 5).with_misconfig(M::NoRrsigKsk),
+        DomainSpec::new("bad-rrsig-ksk", 5).with_misconfig(M::BadRrsigKsk),
+        DomainSpec::new("bad-ksk", 5).with_misconfig(M::BadKsk),
+        DomainSpec::new("no-rrsig-dnskey", 5).with_misconfig(M::NoRrsigDnskey),
+        DomainSpec::new("bad-rrsig-dnskey", 5).with_misconfig(M::BadRrsigDnskey),
+        DomainSpec::new("no-dnskey-256", 5).with_misconfig(M::NoZoneKeyBitZsk),
+        DomainSpec::new("no-dnskey-257", 5).with_misconfig(M::NoZoneKeyBitKsk),
+        DomainSpec::new("no-dnskey-256-257", 5).with_misconfig(M::NoZoneKeyBitBoth),
+        DomainSpec::new("bad-zsk-algo", 5).with_misconfig(M::BadZskAlgo),
+        DomainSpec::new("unassigned-zsk-algo", 5).with_misconfig(M::UnassignedZskAlgo),
+        DomainSpec::new("reserved-zsk-algo", 5).with_misconfig(M::ReservedZskAlgo),
+        // Group 6: invalid AAAA glue (Table 3 addresses).
+        DomainSpec::new("v6-mapped", 6).v6_glue("::ffff:192.0.2.1"),
+        DomainSpec::new("v6-multicast", 6).v6_glue("ff02::1"),
+        DomainSpec::new("v6-unspecified", 6).v6_glue("::"),
+        DomainSpec::new("v4-hex", 6).v6_glue("::c000:201"),
+        DomainSpec::new("v6-unique-local", 6).v6_glue("fd00::1234"),
+        DomainSpec::new("v6-doc", 6).v6_glue("2001:db8::77"),
+        DomainSpec::new("v6-link-local", 6).v6_glue("fe80::1"),
+        DomainSpec::new("v6-localhost", 6).v6_glue("::1"),
+        DomainSpec::new("v6-mapped-dep", 6).v6_glue("::c000:209"),
+        DomainSpec::new("v6-nat64", 6).v6_glue("64:ff9b::c000:201"),
+        // Group 7: invalid A glue.
+        DomainSpec::new("v4-private-10", 7).v4_glue("10.11.12.13"),
+        DomainSpec::new("v4-doc", 7).v4_glue("192.0.2.55"),
+        DomainSpec::new("v4-private-172", 7).v4_glue("172.16.9.9"),
+        DomainSpec::new("v4-loopback", 7).v4_glue("127.0.0.53"),
+        DomainSpec::new("v4-private-192", 7).v4_glue("192.168.1.1"),
+        DomainSpec::new("v4-reserved", 7).v4_glue("240.1.2.3"),
+        DomainSpec::new("v4-this-host", 7).v4_glue("0.0.0.0"),
+        DomainSpec::new("v4-link-local", 7).v4_glue("169.254.7.7"),
+        // Group 8: corner cases.
+        DomainSpec::new("unsigned", 8).unsigned(),
+        DomainSpec::new("ed448", 8).with_algorithm(SecAlg::ED448),
+        DomainSpec::new("rsamd5", 8).with_algorithm(SecAlg::RSAMD5),
+        DomainSpec::new("dsa", 8).with_algorithm(SecAlg::DSA),
+        DomainSpec::new("allow-query-none", 8).server_mode(ServerMode::RefuseAll),
+        DomainSpec::new("allow-query-localhost", 8).server_mode(ServerMode::LocalhostOnly),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn there_are_63_subdomains() {
+        assert_eq!(all_specs().len(), 63);
+    }
+
+    #[test]
+    fn group_sizes_match_table2() {
+        let specs = all_specs();
+        let count = |g: u8| specs.iter().filter(|s| s.group == g).count();
+        assert_eq!(count(1), 1);
+        assert_eq!(count(2), 7);
+        assert_eq!(count(3), 8);
+        assert_eq!(count(4), 9);
+        assert_eq!(count(5), 14);
+        assert_eq!(count(6), 10);
+        assert_eq!(count(7), 8);
+        assert_eq!(count(8), 6);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let specs = all_specs();
+        let mut labels: Vec<&str> = specs.iter().map(|s| s.label).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 63);
+    }
+
+    #[test]
+    fn glue_groups_are_unsigned() {
+        for s in all_specs() {
+            if s.group == 6 || s.group == 7 {
+                assert!(!s.signed, "{} must be unsigned", s.label);
+                assert!(!matches!(s.glue, GlueKind::Routable));
+            }
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! The paper's Table 4, verbatim: EDE codes returned by each of the
+//! seven systems for each of the 63 subdomains.
+//!
+//! The column order matches the paper: BIND 9.19.9, Unbound 1.16.2,
+//! PowerDNS 4.8.2, Knot 5.6.0, Cloudflare DNS, Quad9, OpenDNS. An empty
+//! list is the paper's "None".
+
+/// One row of Table 4.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExpectedRow {
+    /// Subdomain label.
+    pub label: &'static str,
+    /// Expected codes per vendor, Table 4 column order.
+    pub codes: [&'static [u16]; 7],
+}
+
+macro_rules! row {
+    ($label:literal, $($col:expr),* $(,)?) => {
+        ExpectedRow { label: $label, codes: [$(&$col),*] }
+    };
+}
+
+/// The full matrix (rows 1–63 of Table 4; the glue groups 40–57 are
+/// expanded to one row per subdomain).
+pub fn table4() -> Vec<ExpectedRow> {
+    const N: [u16; 0] = [];
+    let mut rows = vec![
+        row!("valid", N, N, N, N, N, N, N),
+        row!("no-ds", N, N, N, N, N, N, N),
+        row!("ds-bad-tag", N, [9], [9], [6], [9], [9], [6]),
+        row!("ds-bad-key-algo", N, [9], [9], [6], [9], [9], [6]),
+        row!("ds-unassigned-key-algo", N, N, N, [0], [9], N, [6]),
+        row!("ds-reserved-key-algo", N, N, N, [0], [1], N, [6]),
+        row!("ds-unassigned-digest-algo", N, N, N, [0], [2], N, N),
+        row!("ds-bogus-digest-value", N, [9], [9], [6], [6], [9], [6]),
+        row!("rrsig-exp-all", N, [7], [7], [7], [7], [7], [6]),
+        row!("rrsig-exp-a", N, [6], [7], N, [7], [6], [7]),
+        row!("rrsig-not-yet-all", N, [9], [8], [8], [8], [9], [6]),
+        row!("rrsig-not-yet-a", N, [6], [8], N, [8], [8], [8]),
+        row!("rrsig-no-all", N, [10], [10], [10], [10], [9], [6]),
+        row!("rrsig-no-a", N, [10], [10], [10], [10], [10], N),
+        row!("rrsig-exp-before-all", N, [9], [7], [7], [10], [9], [6]),
+        row!("rrsig-exp-before-a", N, [6], [7], N, [7], [7], [7]),
+        row!("nsec3-missing", N, [12], N, [12], [6], N, [12]),
+        row!("bad-nsec3-hash", N, [6], N, [6], [6], [6], [12]),
+        row!("bad-nsec3-next", N, [6], N, [6], [6], [6], [6]),
+        row!("bad-nsec3-rrsig", N, [6], N, [6], [6], N, [6]),
+        row!("nsec3-rrsig-missing", N, [12], N, [10], [6], [9], [12]),
+        row!("nsec3param-missing", N, [10], [10], [10], [10], [9], [6]),
+        row!("bad-nsec3param-salt", N, [12], N, [12], [6], [9], [12]),
+        row!("no-nsec3param-nsec3", N, [10], [10], [10], [10], [10], [6]),
+        row!("nsec3-iter-200", N, N, N, N, N, N, N),
+        row!("no-zsk", N, [9], [6], [6], [6], [9], [6]),
+        row!("bad-zsk", N, [9], [6], [6], [6], [6], [6]),
+        row!("no-ksk", N, [9], [9], [6], [9], [9], [6]),
+        row!("no-rrsig-ksk", N, [10], [9], [6], [10], [9], [6]),
+        row!("bad-rrsig-ksk", N, [9], [6], [6], [6], [6], [6]),
+        row!("bad-ksk", N, [9], [9], [6], [9], [9], [6]),
+        row!("no-rrsig-dnskey", N, [10], [10], [10], [10], [9], [6]),
+        row!("bad-rrsig-dnskey", N, [9], [6], [6], [6], [9], [6]),
+        row!("no-dnskey-256", N, [9], [6], [6], [6], [9], [6]),
+        row!("no-dnskey-257", N, [9], [9], [6], [9], [9], [6]),
+        row!("no-dnskey-256-257", N, [9], [10], [10], [9], [10], [6]),
+        row!("bad-zsk-algo", N, [9], [6], [6], [6], [6], [6]),
+        row!("unassigned-zsk-algo", N, [9], [6], [6], [6], [9], [6]),
+        row!("reserved-zsk-algo", N, [9], [6], [6], [6], [6], [6]),
+    ];
+    // Rows 40–57: the bad-glue groups — Cloudflare answers 22, everyone
+    // else stays silent.
+    for label in [
+        "v6-mapped",
+        "v6-multicast",
+        "v6-unspecified",
+        "v4-hex",
+        "v6-unique-local",
+        "v6-doc",
+        "v6-link-local",
+        "v6-localhost",
+        "v6-mapped-dep",
+        "v6-nat64",
+        "v4-private-10",
+        "v4-doc",
+        "v4-private-172",
+        "v4-loopback",
+        "v4-private-192",
+        "v4-reserved",
+        "v4-this-host",
+        "v4-link-local",
+    ] {
+        rows.push(ExpectedRow {
+            label,
+            codes: [&N, &N, &N, &N, &[22], &N, &N],
+        });
+    }
+    rows.extend([
+        row!("unsigned", N, N, N, N, N, N, N),
+        row!("ed448", N, N, N, N, [1], N, N),
+        row!("rsamd5", N, N, N, [0], [1], N, N),
+        row!("dsa", N, N, N, [0], [1], N, N),
+        row!("allow-query-none", N, N, N, N, [9, 22, 23], N, [18]),
+        row!("allow-query-localhost", N, N, N, N, [9, 22, 23], N, [18]),
+    ]);
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domains::all_specs;
+
+    #[test]
+    fn matrix_covers_all_63_in_spec_order() {
+        let rows = table4();
+        let specs = all_specs();
+        assert_eq!(rows.len(), 63);
+        for (row, spec) in rows.iter().zip(&specs) {
+            assert_eq!(row.label, spec.label);
+        }
+    }
+
+    #[test]
+    fn twelve_unique_codes_appear() {
+        // §3.3: "Our test cases triggered 12 unique INFO-CODEs".
+        let mut codes: Vec<u16> = table4()
+            .iter()
+            .flat_map(|r| r.codes.iter().flat_map(|c| c.iter().copied()))
+            .collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes, vec![0, 1, 2, 6, 7, 8, 9, 10, 12, 18, 22, 23]);
+        assert_eq!(codes.len(), 12);
+    }
+}

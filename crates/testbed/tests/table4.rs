@@ -1,0 +1,74 @@
+//! The headline reproduction test: resolve all 63 testbed subdomains
+//! through all seven vendor profiles and compare the full EDE matrix
+//! against the paper's Table 4.
+
+use ede_resolver::Vendor;
+use ede_testbed::expectations::table4;
+use ede_testbed::{agreement, Testbed};
+use ede_wire::RrType;
+
+/// Run the whole matrix, returning (label, per-vendor codes).
+fn simulate_matrix(tb: &Testbed) -> Vec<(String, Vec<Vec<u16>>)> {
+    let mut rows = Vec::new();
+    let resolvers: Vec<_> = Vendor::ALL.iter().map(|&v| tb.resolver(v)).collect();
+    for spec in &tb.specs {
+        let qname = tb.query_name(spec);
+        let cols: Vec<Vec<u16>> = resolvers
+            .iter()
+            .map(|r| {
+                // Flush per query: Table 4 describes independent probes,
+                // not a warm shared cache.
+                r.flush();
+                r.resolve(&qname, RrType::A).ede_codes()
+            })
+            .collect();
+        rows.push((spec.label.to_string(), cols));
+    }
+    rows
+}
+
+#[test]
+fn full_table4_matrix_matches_paper() {
+    let tb = Testbed::build();
+    let simulated = simulate_matrix(&tb);
+    let expected = table4();
+
+    let mut mismatches = Vec::new();
+    for (row, exp) in simulated.iter().zip(&expected) {
+        assert_eq!(row.0, exp.label);
+        for (i, vendor) in Vendor::ALL.iter().enumerate() {
+            let want: Vec<u16> = exp.codes[i].to_vec();
+            let got = &row.1[i];
+            if *got != want {
+                mismatches.push(format!(
+                    "{:<26} {:<16} expected {:?} got {:?}",
+                    row.0,
+                    vendor.name(),
+                    want,
+                    got
+                ));
+            }
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "{} Table 4 mismatches:\n{}",
+        mismatches.len(),
+        mismatches.join("\n")
+    );
+}
+
+#[test]
+fn agreement_statistics_match_paper() {
+    let tb = Testbed::build();
+    let simulated = simulate_matrix(&tb);
+
+    let agreement = agreement::analyze(&simulated);
+    assert_eq!(agreement.total, 63);
+    assert_eq!(agreement.consistent, 4, "consistent: {:?}", agreement.consistent_labels);
+    let pct = agreement.inconsistency_ratio() * 100.0;
+    assert!((93.0..95.0).contains(&pct));
+
+    let codes = agreement::unique_codes(&simulated);
+    assert_eq!(codes.len(), 12, "unique codes: {codes:?}");
+}

@@ -1,0 +1,443 @@
+//! Domain names: parsing, wire codec with compression, canonical ordering.
+//!
+//! Names are stored in canonical (lowercased) form. DNS comparisons are
+//! case-insensitive everywhere this reproduction needs them, and DNSSEC
+//! canonical form (RFC 4034 §6.2) lowercases names before hashing and
+//! signing, so normalizing at construction removes a whole class of
+//! case-handling bugs at zero modeling cost.
+
+use crate::error::WireError;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Maximum length of one label in octets.
+pub const MAX_LABEL_LEN: usize = 63;
+/// Maximum length of a name on the wire (labels + length octets + root).
+pub const MAX_NAME_LEN: usize = 255;
+
+/// A fully-qualified domain name.
+///
+/// The root name has zero labels. Labels are arbitrary byte strings
+/// (lowercased ASCII at rest), ordered leaf-first: `www.example.com` is
+/// stored as `["www", "example", "com"]`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Name {
+    labels: Vec<Box<[u8]>>,
+}
+
+impl Name {
+    /// The root name `.`.
+    pub fn root() -> Self {
+        Name { labels: Vec::new() }
+    }
+
+    /// Parse a dotted textual name. Accepts an optional trailing dot; all
+    /// names are treated as fully qualified. `"."` and `""` both give the
+    /// root. Escapes are not supported (the testbed never needs them).
+    pub fn parse(text: &str) -> Result<Self, WireError> {
+        let trimmed = text.strip_suffix('.').unwrap_or(text);
+        if trimmed.is_empty() {
+            return Ok(Name::root());
+        }
+        let mut labels = Vec::new();
+        for label in trimmed.split('.') {
+            if label.is_empty() || label.len() > MAX_LABEL_LEN {
+                return Err(WireError::BadLabel(label.to_string()));
+            }
+            labels.push(label.to_ascii_lowercase().into_bytes().into_boxed_slice());
+        }
+        let name = Name { labels };
+        if name.wire_len() > MAX_NAME_LEN {
+            return Err(WireError::NameTooLong);
+        }
+        Ok(name)
+    }
+
+    /// Build a name from raw label byte strings (leaf-first).
+    pub fn from_labels<I, L>(labels: I) -> Result<Self, WireError>
+    where
+        I: IntoIterator<Item = L>,
+        L: AsRef<[u8]>,
+    {
+        let mut out = Vec::new();
+        for l in labels {
+            let l = l.as_ref();
+            if l.is_empty() || l.len() > MAX_LABEL_LEN {
+                return Err(WireError::BadLabel(String::from_utf8_lossy(l).into_owned()));
+            }
+            out.push(l.to_ascii_lowercase().into_boxed_slice());
+        }
+        let name = Name { labels: out };
+        if name.wire_len() > MAX_NAME_LEN {
+            return Err(WireError::NameTooLong);
+        }
+        Ok(name)
+    }
+
+    /// Prepend a label, producing the child `label.self`.
+    pub fn child(&self, label: &str) -> Result<Self, WireError> {
+        if label.is_empty() || label.len() > MAX_LABEL_LEN {
+            return Err(WireError::BadLabel(label.to_string()));
+        }
+        let mut labels = Vec::with_capacity(self.labels.len() + 1);
+        labels.push(label.to_ascii_lowercase().into_bytes().into_boxed_slice());
+        labels.extend(self.labels.iter().cloned());
+        let name = Name { labels };
+        if name.wire_len() > MAX_NAME_LEN {
+            return Err(WireError::NameTooLong);
+        }
+        Ok(name)
+    }
+
+    /// The name with the leftmost label removed; `None` for the root.
+    pub fn parent(&self) -> Option<Self> {
+        if self.labels.is_empty() {
+            None
+        } else {
+            Some(Name {
+                labels: self.labels[1..].to_vec(),
+            })
+        }
+    }
+
+    /// Number of labels (0 for the root). This is the RRSIG `labels` field
+    /// value for non-wildcard owner names.
+    pub fn label_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Iterate over labels, leaf-first.
+    pub fn labels(&self) -> impl Iterator<Item = &[u8]> {
+        self.labels.iter().map(|l| l.as_ref())
+    }
+
+    /// The leftmost (leaf) label, if any.
+    pub fn first_label(&self) -> Option<&[u8]> {
+        self.labels.first().map(|l| l.as_ref())
+    }
+
+    /// True if `self` equals `ancestor` or is underneath it.
+    pub fn is_subdomain_of(&self, ancestor: &Name) -> bool {
+        let n = ancestor.labels.len();
+        if self.labels.len() < n {
+            return false;
+        }
+        self.labels[self.labels.len() - n..] == ancestor.labels[..]
+    }
+
+    /// True for the root name.
+    pub fn is_root(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Length of the uncompressed wire encoding (label lengths + root).
+    pub fn wire_len(&self) -> usize {
+        1 + self
+            .labels
+            .iter()
+            .map(|l| l.len() + 1)
+            .sum::<usize>()
+    }
+
+    /// Uncompressed canonical wire form (RFC 4034 §6.2): lowercase labels,
+    /// no compression. This is the form hashed by NSEC3 and signed by
+    /// RRSIG.
+    pub fn to_wire(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.wire_len());
+        for label in &self.labels {
+            out.push(label.len() as u8);
+            out.extend_from_slice(label);
+        }
+        out.push(0);
+        out
+    }
+
+    /// Encode into `buf`, compressing against previously-encoded names
+    /// recorded in `compressor`. Pass `None` to force uncompressed output
+    /// (required inside DNSSEC RDATA).
+    pub fn encode(&self, buf: &mut Vec<u8>, mut compressor: Option<&mut Compressor>) {
+        // Walk suffixes from the full name down; emit a pointer at the
+        // first suffix the compressor has seen, else emit the label and
+        // record the suffix position.
+        for skip in 0..self.labels.len() {
+            let suffix_wire = Self::suffix_key(&self.labels[skip..]);
+            if let Some(c) = compressor.as_deref_mut() {
+                if let Some(&offset) = c.seen.get(&suffix_wire) {
+                    // 14-bit pointer: 0b11 prefix.
+                    buf.extend_from_slice(&(0xC000u16 | offset).to_be_bytes());
+                    return;
+                }
+                // Only offsets that fit in 14 bits may be targets.
+                if buf.len() < 0x3FFF {
+                    c.seen.insert(suffix_wire, buf.len() as u16);
+                }
+            }
+            let label = &self.labels[skip];
+            buf.push(label.len() as u8);
+            buf.extend_from_slice(label);
+        }
+        buf.push(0);
+    }
+
+    fn suffix_key(labels: &[Box<[u8]>]) -> Vec<u8> {
+        let mut key = Vec::new();
+        for l in labels {
+            key.push(l.len() as u8);
+            key.extend_from_slice(l);
+        }
+        key
+    }
+
+    /// Decode a (possibly compressed) name from `msg` starting at
+    /// `*pos`, advancing `*pos` past the name's in-place bytes.
+    pub fn decode(msg: &[u8], pos: &mut usize) -> Result<Self, WireError> {
+        let mut labels = Vec::new();
+        let mut cursor = *pos;
+        let mut jumped = false;
+        let mut total_len = 0usize;
+        // Each pointer must strictly decrease, which bounds the walk.
+        let mut last_pointer = msg.len();
+
+        loop {
+            let len_byte = *msg
+                .get(cursor)
+                .ok_or(WireError::Truncated { context: "name" })? as usize;
+            match len_byte {
+                0 => {
+                    if !jumped {
+                        *pos = cursor + 1;
+                    }
+                    return Ok(Name { labels });
+                }
+                1..=MAX_LABEL_LEN => {
+                    let start = cursor + 1;
+                    let end = start + len_byte;
+                    let label = msg
+                        .get(start..end)
+                        .ok_or(WireError::Truncated { context: "label" })?;
+                    total_len += len_byte + 1;
+                    if total_len > MAX_NAME_LEN {
+                        return Err(WireError::NameTooLong);
+                    }
+                    labels.push(label.to_ascii_lowercase().into_boxed_slice());
+                    cursor = end;
+                }
+                l if l & 0xC0 == 0xC0 => {
+                    let second = *msg
+                        .get(cursor + 1)
+                        .ok_or(WireError::Truncated { context: "pointer" })?
+                        as usize;
+                    let target = ((l & 0x3F) << 8) | second;
+                    // A pointer must reference earlier message bytes
+                    // (no forward jumps), and successive pointer targets
+                    // must strictly decrease (no loops).
+                    if target >= cursor || target >= last_pointer {
+                        return Err(WireError::BadPointer);
+                    }
+                    last_pointer = target;
+                    if !jumped {
+                        *pos = cursor + 2;
+                        jumped = true;
+                    }
+                    cursor = target;
+                }
+                _ => return Err(WireError::BadLabel(format!("length byte {len_byte:#x}"))),
+            }
+        }
+    }
+
+    /// RFC 4034 §6.1 canonical ordering: compare label-by-label from the
+    /// *rightmost* (TLD) label, each label as raw lowercase bytes.
+    pub fn canonical_cmp(&self, other: &Name) -> Ordering {
+        let mut a = self.labels.iter().rev();
+        let mut b = other.labels.iter().rev();
+        loop {
+            match (a.next(), b.next()) {
+                (None, None) => return Ordering::Equal,
+                (None, Some(_)) => return Ordering::Less,
+                (Some(_), None) => return Ordering::Greater,
+                (Some(x), Some(y)) => match x.cmp(y) {
+                    Ordering::Equal => continue,
+                    ord => return ord,
+                },
+            }
+        }
+    }
+}
+
+impl Ord for Name {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.canonical_cmp(other)
+    }
+}
+
+impl PartialOrd for Name {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.labels.is_empty() {
+            return write!(f, ".");
+        }
+        for label in &self.labels {
+            for &b in label.iter() {
+                if b.is_ascii_graphic() && b != b'.' && b != b'\\' {
+                    write!(f, "{}", b as char)?;
+                } else {
+                    write!(f, "\\{b:03}")?;
+                }
+            }
+            write!(f, ".")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Name {
+    // Delegate to Display: names read better dotted.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl std::str::FromStr for Name {
+    type Err = WireError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Name::parse(s)
+    }
+}
+
+/// Compression state shared across one message encoding.
+#[derive(Default)]
+pub struct Compressor {
+    seen: std::collections::HashMap<Vec<u8>, u16>,
+}
+
+impl Compressor {
+    /// Fresh, empty compression table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    #[test]
+    fn parse_and_display() {
+        assert_eq!(n("www.Example.COM").to_string(), "www.example.com.");
+        assert_eq!(n(".").to_string(), ".");
+        assert_eq!(n("").to_string(), ".");
+        assert_eq!(n("example.com.").to_string(), "example.com.");
+    }
+
+    #[test]
+    fn rejects_bad_labels() {
+        assert!(Name::parse("a..b").is_err());
+        let long = "x".repeat(64);
+        assert!(Name::parse(&long).is_err());
+        assert!(Name::parse(&"y.".repeat(130)).is_err());
+    }
+
+    #[test]
+    fn wire_roundtrip_uncompressed() {
+        let name = n("a.bc.def.example.com");
+        let wire = name.to_wire();
+        let mut pos = 0;
+        assert_eq!(Name::decode(&wire, &mut pos).unwrap(), name);
+        assert_eq!(pos, wire.len());
+        assert_eq!(wire.len(), name.wire_len());
+    }
+
+    #[test]
+    fn root_wire_form() {
+        assert_eq!(Name::root().to_wire(), vec![0]);
+        let mut pos = 0;
+        assert_eq!(Name::decode(&[0], &mut pos).unwrap(), Name::root());
+    }
+
+    #[test]
+    fn compression_shares_suffixes() {
+        let mut buf = Vec::new();
+        let mut c = Compressor::new();
+        n("mail.example.com").encode(&mut buf, Some(&mut c));
+        let first_len = buf.len();
+        n("www.example.com").encode(&mut buf, Some(&mut c));
+        // Second name: "www" label (4 bytes) + 2-byte pointer.
+        assert_eq!(buf.len(), first_len + 4 + 2);
+
+        let mut pos = 0;
+        assert_eq!(Name::decode(&buf, &mut pos).unwrap(), n("mail.example.com"));
+        assert_eq!(Name::decode(&buf, &mut pos).unwrap(), n("www.example.com"));
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn identical_name_becomes_pure_pointer() {
+        let mut buf = Vec::new();
+        let mut c = Compressor::new();
+        n("example.com").encode(&mut buf, Some(&mut c));
+        let first_len = buf.len();
+        n("example.com").encode(&mut buf, Some(&mut c));
+        assert_eq!(buf.len(), first_len + 2);
+    }
+
+    #[test]
+    fn pointer_loops_rejected() {
+        // Pointer at offset 0 pointing to itself.
+        let msg = [0xC0, 0x00];
+        let mut pos = 0;
+        assert_eq!(Name::decode(&msg, &mut pos), Err(WireError::BadPointer));
+    }
+
+    #[test]
+    fn forward_pointers_rejected() {
+        let msg = [0xC0, 0x04, 0, 0, 1, b'a', 0];
+        let mut pos = 0;
+        assert_eq!(Name::decode(&msg, &mut pos), Err(WireError::BadPointer));
+    }
+
+    #[test]
+    fn canonical_ordering_rfc4034_example() {
+        // RFC 4034 §6.1 example order.
+        let order = [
+            "example",
+            "a.example",
+            "yljkjljk.a.example",
+            "Z.a.example",
+            "zABC.a.EXAMPLE",
+            "z.example",
+        ];
+        let names: Vec<Name> = order.iter().map(|s| n(s)).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(sorted, names);
+    }
+
+    #[test]
+    fn subdomain_relations() {
+        assert!(n("www.example.com").is_subdomain_of(&n("example.com")));
+        assert!(n("example.com").is_subdomain_of(&n("example.com")));
+        assert!(n("example.com").is_subdomain_of(&Name::root()));
+        assert!(!n("example.com").is_subdomain_of(&n("example.org")));
+        assert!(!n("xexample.com").is_subdomain_of(&n("example.com")));
+    }
+
+    #[test]
+    fn child_and_parent() {
+        let base = n("example.com");
+        let child = base.child("no-ds").unwrap();
+        assert_eq!(child.to_string(), "no-ds.example.com.");
+        assert_eq!(child.parent().unwrap(), base);
+        assert_eq!(Name::root().parent(), None);
+        assert_eq!(child.label_count(), 3);
+    }
+}

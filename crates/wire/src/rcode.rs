@@ -1,0 +1,145 @@
+//! DNS response codes.
+//!
+//! The header carries 4 bits; EDNS(0) extends the RCODE to 12 bits by
+//! contributing 8 high bits from the OPT TTL field (RFC 6891 §6.1.3).
+//! [`Rcode`] models the *combined* value; the message codec splits and
+//! reassembles it.
+
+use std::fmt;
+
+/// A (possibly extended) DNS response code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rcode {
+    /// No error condition.
+    NoError,
+    /// Format error: the server could not interpret the query.
+    FormErr,
+    /// Server failure.
+    ServFail,
+    /// The queried name does not exist.
+    NxDomain,
+    /// The server does not support the requested operation.
+    NotImp,
+    /// The server refuses to answer for policy reasons.
+    Refused,
+    /// RFC 2136: a name exists when it should not.
+    YxDomain,
+    /// RFC 2136: an RRset exists when it should not.
+    YxRrset,
+    /// RFC 2136: an RRset that should exist does not.
+    NxRrset,
+    /// The server is not authoritative for the zone (RFC 2136) /
+    /// not authorized (RFC 8945 TSIG). The double meaning of value 9
+    /// is one of the ambiguities the paper's introduction cites.
+    NotAuth,
+    /// RFC 2136: a name is not within the zone.
+    NotZone,
+    /// RFC 6891: unsupported EDNS version.
+    BadVers,
+    /// Any other value, carried numerically.
+    Other(u16),
+}
+
+impl Rcode {
+    /// Combined 12-bit numeric value.
+    pub fn to_u16(self) -> u16 {
+        match self {
+            Rcode::NoError => 0,
+            Rcode::FormErr => 1,
+            Rcode::ServFail => 2,
+            Rcode::NxDomain => 3,
+            Rcode::NotImp => 4,
+            Rcode::Refused => 5,
+            Rcode::YxDomain => 6,
+            Rcode::YxRrset => 7,
+            Rcode::NxRrset => 8,
+            Rcode::NotAuth => 9,
+            Rcode::NotZone => 10,
+            Rcode::BadVers => 16,
+            Rcode::Other(v) => v,
+        }
+    }
+
+    /// Decode a combined numeric value.
+    pub fn from_u16(v: u16) -> Self {
+        match v {
+            0 => Rcode::NoError,
+            1 => Rcode::FormErr,
+            2 => Rcode::ServFail,
+            3 => Rcode::NxDomain,
+            4 => Rcode::NotImp,
+            5 => Rcode::Refused,
+            6 => Rcode::YxDomain,
+            7 => Rcode::YxRrset,
+            8 => Rcode::NxRrset,
+            9 => Rcode::NotAuth,
+            10 => Rcode::NotZone,
+            16 => Rcode::BadVers,
+            other => Rcode::Other(other),
+        }
+    }
+
+    /// The low 4 bits carried in the message header.
+    pub fn header_bits(self) -> u8 {
+        (self.to_u16() & 0x0F) as u8
+    }
+
+    /// The high 8 bits carried in the OPT TTL (zero without EDNS).
+    pub fn extended_bits(self) -> u8 {
+        (self.to_u16() >> 4) as u8
+    }
+
+    /// Reassemble from header bits and OPT extension bits.
+    pub fn from_parts(header_bits: u8, extended_bits: u8) -> Self {
+        Rcode::from_u16((u16::from(extended_bits) << 4) | u16::from(header_bits & 0x0F))
+    }
+}
+
+impl fmt::Display for Rcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rcode::NoError => write!(f, "NOERROR"),
+            Rcode::FormErr => write!(f, "FORMERR"),
+            Rcode::ServFail => write!(f, "SERVFAIL"),
+            Rcode::NxDomain => write!(f, "NXDOMAIN"),
+            Rcode::NotImp => write!(f, "NOTIMP"),
+            Rcode::Refused => write!(f, "REFUSED"),
+            Rcode::YxDomain => write!(f, "YXDOMAIN"),
+            Rcode::YxRrset => write!(f, "YXRRSET"),
+            Rcode::NxRrset => write!(f, "NXRRSET"),
+            Rcode::NotAuth => write!(f, "NOTAUTH"),
+            Rcode::NotZone => write!(f, "NOTZONE"),
+            Rcode::BadVers => write!(f, "BADVERS"),
+            Rcode::Other(v) => write!(f, "RCODE{v}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        for v in 0..=4095u16 {
+            assert_eq!(Rcode::from_u16(v).to_u16(), v);
+        }
+    }
+
+    #[test]
+    fn split_and_reassemble() {
+        let badvers = Rcode::BadVers;
+        assert_eq!(badvers.header_bits(), 0);
+        assert_eq!(badvers.extended_bits(), 1);
+        assert_eq!(Rcode::from_parts(0, 1), Rcode::BadVers);
+        assert_eq!(Rcode::from_parts(2, 0), Rcode::ServFail);
+        assert_eq!(Rcode::from_parts(5, 0), Rcode::Refused);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Rcode::ServFail.to_string(), "SERVFAIL");
+        assert_eq!(Rcode::NxDomain.to_string(), "NXDOMAIN");
+        assert_eq!(Rcode::NotAuth.to_string(), "NOTAUTH");
+    }
+}

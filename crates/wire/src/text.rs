@@ -1,0 +1,165 @@
+//! dig-style presentation of messages.
+//!
+//! `dig` ≥ 9.16 prints EDE options in the OPT pseudosection; operators
+//! troubleshooting with the paper's testbed see exactly that. This
+//! module renders a [`Message`] the same way so the library's CLI
+//! surfaces read like the tooling DNS people already know.
+
+use crate::edns::EdnsOption;
+use crate::message::Message;
+use crate::rdata::Rdata;
+use crate::record::Record;
+use std::fmt::Write as _;
+
+fn flags_line(m: &Message) -> String {
+    let mut flags = Vec::new();
+    if m.response {
+        flags.push("qr");
+    }
+    if m.authoritative {
+        flags.push("aa");
+    }
+    if m.truncated {
+        flags.push("tc");
+    }
+    if m.recursion_desired {
+        flags.push("rd");
+    }
+    if m.recursion_available {
+        flags.push("ra");
+    }
+    if m.authentic_data {
+        flags.push("ad");
+    }
+    if m.checking_disabled {
+        flags.push("cd");
+    }
+    flags.join(" ")
+}
+
+fn render_record(out: &mut String, rec: &Record) {
+    let rdata = match &rec.rdata {
+        Rdata::A(a) => a.to_string(),
+        Rdata::Aaaa(a) => a.to_string(),
+        Rdata::Ns(n) | Rdata::Cname(n) | Rdata::Ptr(n) => n.to_string(),
+        other => format!("{other:?}"),
+    };
+    let _ = writeln!(
+        out,
+        "{}\t{}\tIN\t{}\t{}",
+        rec.name,
+        rec.ttl,
+        rec.rtype(),
+        rdata
+    );
+}
+
+/// Render a message dig-style: header, OPT pseudosection (with EDE),
+/// question, and the three record sections.
+pub fn render_dig(m: &Message) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        ";; ->>HEADER<<- opcode: QUERY, status: {}, id: {}",
+        m.rcode, m.id
+    );
+    let _ = writeln!(
+        out,
+        ";; flags: {}; QUERY: {}, ANSWER: {}, AUTHORITY: {}, ADDITIONAL: {}",
+        flags_line(m),
+        m.questions.len(),
+        m.answers.len(),
+        m.authorities.len(),
+        m.additionals.len() + usize::from(m.edns.is_some()),
+    );
+
+    if let Some(edns) = &m.edns {
+        let _ = writeln!(out, "\n;; OPT PSEUDOSECTION:");
+        let _ = writeln!(
+            out,
+            "; EDNS: version: {}, flags:{}; udp: {}",
+            edns.version,
+            if edns.dnssec_ok { " do" } else { "" },
+            edns.udp_payload_size
+        );
+        for opt in &edns.options {
+            match opt {
+                EdnsOption::Ede(e) => {
+                    let _ = writeln!(
+                        out,
+                        "; EDE: {} ({}){}",
+                        e.code.to_u16(),
+                        e.code.description(),
+                        if e.extra_text.is_empty() {
+                            String::new()
+                        } else {
+                            format!(": ({})", e.extra_text)
+                        }
+                    );
+                }
+                EdnsOption::Unknown { code, data } => {
+                    let _ = writeln!(out, "; OPT={code}: {} bytes", data.len());
+                }
+            }
+        }
+    }
+
+    if !m.questions.is_empty() {
+        let _ = writeln!(out, "\n;; QUESTION SECTION:");
+        for q in &m.questions {
+            let _ = writeln!(out, ";{}\t\tIN\t{}", q.name, q.qtype);
+        }
+    }
+    for (title, recs) in [
+        ("ANSWER", &m.answers),
+        ("AUTHORITY", &m.authorities),
+        ("ADDITIONAL", &m.additionals),
+    ] {
+        if !recs.is_empty() {
+            let _ = writeln!(out, "\n;; {title} SECTION:");
+            for rec in recs {
+                render_record(&mut out, rec);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ede::{EdeCode, EdeEntry};
+    use crate::{Edns, Name, Rcode, RrType};
+
+    #[test]
+    fn renders_like_dig() {
+        let q = Message::query(7, Name::parse("broken.example").unwrap(), RrType::A);
+        let mut r = Message::response_to(&q);
+        r.rcode = Rcode::ServFail;
+        r.recursion_available = true;
+        let mut edns = Edns::default();
+        edns.push_ede(EdeEntry::with_text(EdeCode::SignatureExpired, "expired 2019"));
+        r.edns = Some(edns);
+
+        let text = render_dig(&r);
+        assert!(text.contains("status: SERVFAIL"));
+        assert!(text.contains("flags: qr rd ra"));
+        assert!(text.contains("; EDE: 7 (Signature Expired): (expired 2019)"));
+        assert!(text.contains(";broken.example.\t\tIN\tA"));
+    }
+
+    #[test]
+    fn answer_sections_render() {
+        let q = Message::query(7, Name::parse("ok.example").unwrap(), RrType::A);
+        let mut r = Message::response_to(&q);
+        r.answers.push(Record::new(
+            Name::parse("ok.example").unwrap(),
+            60,
+            Rdata::A("192.0.2.1".parse().unwrap()),
+        ));
+        let text = render_dig(&r);
+        assert!(text.contains(";; ANSWER SECTION:"));
+        assert!(text.contains("192.0.2.1"));
+        assert!(!text.contains(";; AUTHORITY SECTION:"));
+    }
+}

@@ -1,0 +1,252 @@
+//! Property tests: every message the library can construct survives an
+//! encode → decode round trip, and hostile inputs never panic the decoder.
+
+use ede_wire::{
+    ede::{EdeCode, EdeEntry},
+    rdata::{Rdata, Rrsig, Soa, TypeBitmap},
+    Edns, Message, Name, Opcode, Rcode, Record, RrType,
+};
+use proptest::prelude::*;
+
+fn arb_label() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z0-9]([a-z0-9-]{0,14}[a-z0-9])?").unwrap()
+}
+
+fn arb_name() -> impl Strategy<Value = Name> {
+    proptest::collection::vec(arb_label(), 0..5)
+        .prop_map(|labels| Name::from_labels(labels.iter().map(|l| l.as_bytes())).unwrap())
+}
+
+fn arb_rrtype() -> impl Strategy<Value = RrType> {
+    prop_oneof![
+        Just(RrType::A),
+        Just(RrType::Aaaa),
+        Just(RrType::Ns),
+        Just(RrType::Cname),
+        Just(RrType::Soa),
+        Just(RrType::Mx),
+        Just(RrType::Txt),
+        Just(RrType::Ds),
+        Just(RrType::Dnskey),
+        Just(RrType::Rrsig),
+        Just(RrType::Nsec),
+        Just(RrType::Nsec3),
+        (256u16..4096).prop_map(RrType::from_u16),
+    ]
+}
+
+fn arb_bitmap() -> impl Strategy<Value = TypeBitmap> {
+    proptest::collection::vec(arb_rrtype(), 0..8).prop_map(TypeBitmap::from_types)
+}
+
+fn arb_rdata() -> impl Strategy<Value = Rdata> {
+    prop_oneof![
+        any::<[u8; 4]>().prop_map(|o| Rdata::A(o.into())),
+        any::<[u8; 16]>().prop_map(|o| Rdata::Aaaa(o.into())),
+        arb_name().prop_map(Rdata::Ns),
+        arb_name().prop_map(Rdata::Cname),
+        (any::<u16>(), arb_name())
+            .prop_map(|(preference, exchange)| Rdata::Mx { preference, exchange }),
+        proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..40), 1..3)
+            .prop_map(Rdata::Txt),
+        (arb_name(), arb_name(), any::<u32>(), any::<u32>())
+            .prop_map(|(mname, rname, serial, minimum)| Rdata::Soa(Soa {
+                mname,
+                rname,
+                serial,
+                refresh: 7200,
+                retry: 3600,
+                expire: 1209600,
+                minimum,
+            })),
+        (any::<u16>(), any::<u8>(), any::<u8>(), proptest::collection::vec(any::<u8>(), 0..48))
+            .prop_map(|(key_tag, algorithm, digest_type, digest)| Rdata::Ds {
+                key_tag,
+                algorithm,
+                digest_type,
+                digest
+            }),
+        (any::<u16>(), any::<u8>(), proptest::collection::vec(any::<u8>(), 0..64)).prop_map(
+            |(flags, algorithm, public_key)| Rdata::Dnskey {
+                flags,
+                protocol: 3,
+                algorithm,
+                public_key
+            }
+        ),
+        (
+            arb_rrtype(),
+            any::<u8>(),
+            any::<u8>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u16>(),
+            arb_name(),
+            proptest::collection::vec(any::<u8>(), 0..64)
+        )
+            .prop_map(
+                |(
+                    type_covered,
+                    algorithm,
+                    labels,
+                    original_ttl,
+                    expiration,
+                    inception,
+                    key_tag,
+                    signer,
+                    signature,
+                )| Rdata::Rrsig(Rrsig {
+                    type_covered,
+                    algorithm,
+                    labels,
+                    original_ttl,
+                    expiration,
+                    inception,
+                    key_tag,
+                    signer,
+                    signature,
+                })
+            ),
+        (arb_name(), arb_bitmap()).prop_map(|(next, types)| Rdata::Nsec { next, types }),
+        (
+            any::<u16>(),
+            proptest::collection::vec(any::<u8>(), 0..8),
+            proptest::collection::vec(any::<u8>(), 1..21),
+            arb_bitmap()
+        )
+            .prop_map(|(iterations, salt, next_hashed, types)| Rdata::Nsec3 {
+                hash_alg: 1,
+                flags: 0,
+                iterations,
+                salt,
+                next_hashed,
+                types
+            }),
+        (proptest::collection::vec(any::<u8>(), 0..32))
+            .prop_map(|data| Rdata::Unknown { rtype: 99, data }),
+    ]
+}
+
+fn arb_record() -> impl Strategy<Value = Record> {
+    (arb_name(), any::<u32>(), arb_rdata()).prop_map(|(name, ttl, rdata)| Record::new(name, ttl, rdata))
+}
+
+fn arb_ede_entry() -> impl Strategy<Value = EdeEntry> {
+    (0u16..64, proptest::string::string_regex("[ -~]{0,60}").unwrap())
+        .prop_map(|(code, text)| EdeEntry::with_text(EdeCode::from_u16(code), text))
+}
+
+fn arb_edns() -> impl Strategy<Value = Edns> {
+    (
+        512u16..4096,
+        any::<bool>(),
+        proptest::collection::vec(arb_ede_entry(), 0..4),
+    )
+        .prop_map(|(udp_payload_size, dnssec_ok, entries)| {
+            let mut edns = Edns {
+                udp_payload_size,
+                dnssec_ok,
+                ..Default::default()
+            };
+            for e in entries {
+                edns.push_ede(e);
+            }
+            edns
+        })
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    (
+        any::<u16>(),
+        any::<bool>(),
+        0u16..12,
+        proptest::collection::vec((arb_name(), arb_rrtype()), 0..2),
+        proptest::collection::vec(arb_record(), 0..4),
+        proptest::collection::vec(arb_record(), 0..3),
+        proptest::collection::vec(arb_record(), 0..3),
+        proptest::option::of(arb_edns()),
+    )
+        .prop_map(
+            |(id, response, rcode, questions, answers, authorities, additionals, edns)| {
+                // A 12-bit extended rcode needs EDNS to survive the trip.
+                let rcode = if edns.is_some() {
+                    Rcode::from_u16(rcode)
+                } else {
+                    Rcode::from_u16(rcode & 0x0F)
+                };
+                Message {
+                    id,
+                    response,
+                    opcode: Opcode::Query,
+                    authoritative: response,
+                    truncated: false,
+                    recursion_desired: true,
+                    recursion_available: response,
+                    authentic_data: false,
+                    checking_disabled: false,
+                    rcode,
+                    questions: questions
+                        .into_iter()
+                        .map(|(n, t)| ede_wire::Question::new(n, t))
+                        .collect(),
+                    answers,
+                    authorities,
+                    additionals,
+                    edns,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn message_roundtrip(msg in arb_message()) {
+        let wire = msg.encode().unwrap();
+        let decoded = Message::decode(&wire).unwrap();
+        prop_assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn name_roundtrip(name in arb_name()) {
+        let wire = name.to_wire();
+        let mut pos = 0;
+        let decoded = Name::decode(&wire, &mut pos).unwrap();
+        prop_assert_eq!(decoded, name);
+        prop_assert_eq!(pos, wire.len());
+    }
+
+    #[test]
+    fn decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        // Hostile input: any outcome but a panic is acceptable.
+        let _ = Message::decode(&bytes);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_mutations(msg in arb_message(), idx in 0usize..4096, bit in 0u8..8) {
+        let mut wire = msg.encode().unwrap();
+        if !wire.is_empty() {
+            let i = idx % wire.len();
+            wire[i] ^= 1 << bit;
+            let _ = Message::decode(&wire);
+        }
+    }
+
+    #[test]
+    fn canonical_order_is_total(a in arb_name(), b in arb_name(), c in arb_name()) {
+        // Antisymmetry and transitivity spot-checks for the RFC 4034 order.
+        use std::cmp::Ordering;
+        prop_assert_eq!(a.canonical_cmp(&b), b.canonical_cmp(&a).reverse());
+        if a.canonical_cmp(&b) == Ordering::Less && b.canonical_cmp(&c) == Ordering::Less {
+            prop_assert_eq!(a.canonical_cmp(&c), Ordering::Less);
+        }
+    }
+
+    #[test]
+    fn ede_payload_roundtrip(entry in arb_ede_entry()) {
+        let payload = entry.encode_payload().unwrap();
+        prop_assert_eq!(EdeEntry::decode_payload(&payload).unwrap(), entry);
+    }
+}

@@ -1,0 +1,196 @@
+//! Plain NSEC chain generation (RFC 4034 §4).
+//!
+//! NSEC predates NSEC3: the chain links owner names directly (in
+//! canonical order) instead of hashes, trading zone-enumeration
+//! resistance for simplicity. Both appear in the wild and the paper's
+//! §4.2.9 speaks of "missing NSEC/NSEC3 records", so the signer supports
+//! both chains.
+
+use crate::rrset::Rrset;
+use crate::zone::Zone;
+use ede_wire::rdata::TypeBitmap;
+use ede_wire::{Name, Rdata, RrType};
+use std::collections::BTreeSet;
+
+/// The owner names an NSEC chain covers (same rules as NSEC3: every
+/// authoritative owner and delegation point, no glue, plus empty
+/// non-terminals — which for NSEC also carry a record).
+fn chain_names(zone: &Zone) -> BTreeSet<Name> {
+    let mut names: BTreeSet<Name> = BTreeSet::new();
+    for name in zone.names() {
+        if zone.is_glue(name) && !zone.is_delegation(name) {
+            continue;
+        }
+        names.insert(name.clone());
+        let mut current = name.parent();
+        while let Some(n) = current {
+            if !n.is_subdomain_of(zone.apex()) || n == *zone.apex() {
+                break;
+            }
+            names.insert(n.clone());
+            current = n.parent();
+        }
+    }
+    names.insert(zone.apex().clone());
+    names
+}
+
+fn bitmap_for(zone: &Zone, name: &Name) -> TypeBitmap {
+    let mut bm = TypeBitmap::new();
+    if zone.is_delegation(name) {
+        bm.insert(RrType::Ns);
+        if zone.get(name, RrType::Ds).is_some() {
+            bm.insert(RrType::Ds);
+            bm.insert(RrType::Rrsig);
+        }
+        bm.insert(RrType::Nsec);
+        return bm;
+    }
+    for t in zone.types_at(name) {
+        if t != RrType::Nsec {
+            bm.insert(t);
+        }
+    }
+    bm.insert(RrType::Nsec);
+    bm.insert(RrType::Rrsig);
+    bm
+}
+
+/// Build the NSEC chain for `zone`. Must run before RRSIG generation so
+/// the chain gets signed.
+pub fn build_chain(zone: &mut Zone) {
+    let soa_minimum = match zone.soa().and_then(|s| s.rdatas.first()) {
+        Some(Rdata::Soa(soa)) => soa.minimum,
+        _ => 300,
+    };
+    // Canonical order is Name's Ord, so the BTreeSet iterates in chain
+    // order already.
+    let names: Vec<Name> = chain_names(zone).into_iter().collect();
+    let count = names.len();
+    for i in 0..count {
+        let owner = &names[i];
+        let next = names[(i + 1) % count].clone();
+        let rdata = Rdata::Nsec {
+            next,
+            types: bitmap_for(zone, owner),
+        };
+        zone.add_rrset(Rrset::new(owner.clone(), soa_minimum, rdata));
+    }
+}
+
+/// Does `candidate`'s (owner, next) interval cover `name` in canonical
+/// order (exclusive on both ends, wrap-around for the last link)?
+pub fn covers(owner: &Name, next: &Name, name: &Name) -> bool {
+    use std::cmp::Ordering::*;
+    match owner.canonical_cmp(next) {
+        Less => owner.canonical_cmp(name) == Less && name.canonical_cmp(next) == Less,
+        // Wrap-around link (next is the apex, canonically first).
+        _ => owner.canonical_cmp(name) == Less || name.canonical_cmp(next) == Less,
+    }
+}
+
+/// Find the NSEC RRset matching `name` exactly.
+pub fn find_matching<'a>(zone: &'a Zone, name: &Name) -> Option<&'a Rrset> {
+    let set = zone.get(name, RrType::Nsec)?;
+    Some(set)
+}
+
+/// Find the NSEC RRset covering (not matching) `name`.
+pub fn find_covering<'a>(zone: &'a Zone, name: &Name) -> Option<&'a Rrset> {
+    zone.iter()
+        .filter(|s| s.rtype == RrType::Nsec)
+        .find(|s| match s.rdatas.first() {
+            Some(Rdata::Nsec { next, .. }) => covers(&s.name, next, name),
+            _ => false,
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ede_wire::rdata::Soa;
+    use ede_wire::Record;
+
+    fn n(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    fn base_zone() -> Zone {
+        let apex = n("example.com");
+        let mut z = Zone::new(apex.clone());
+        z.add(Record::new(
+            apex.clone(),
+            3600,
+            Rdata::Soa(Soa {
+                mname: n("ns1.example.com"),
+                rname: n("hostmaster.example.com"),
+                serial: 1,
+                refresh: 7200,
+                retry: 3600,
+                expire: 1209600,
+                minimum: 300,
+            }),
+        ));
+        z.add(Record::new(apex.clone(), 3600, Rdata::Ns(n("ns1.example.com"))));
+        z.add_a(n("ns1.example.com"), "192.0.2.1".parse().unwrap());
+        z.add_a(apex, "192.0.2.2".parse().unwrap());
+        z.add_a(n("www.example.com"), "192.0.2.3".parse().unwrap());
+        z
+    }
+
+    #[test]
+    fn chain_links_every_name_circularly() {
+        let mut z = base_zone();
+        build_chain(&mut z);
+        let nsecs: Vec<&Rrset> = z.iter().filter(|s| s.rtype == RrType::Nsec).collect();
+        assert_eq!(nsecs.len(), 3); // apex, ns1, www
+        // Next pointers form a single cycle over the owners.
+        let owners: BTreeSet<&Name> = nsecs.iter().map(|s| &s.name).collect();
+        for s in &nsecs {
+            match s.rdatas.first().unwrap() {
+                Rdata::Nsec { next, .. } => assert!(owners.contains(next)),
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn covering_semantics() {
+        let mut z = base_zone();
+        build_chain(&mut z);
+        // An existing name matches and is never covered.
+        assert!(find_matching(&z, &n("www.example.com")).is_some());
+        assert!(find_covering(&z, &n("www.example.com")).is_none());
+        // A missing name is covered, never matched.
+        assert!(find_matching(&z, &n("zzz.example.com")).is_none());
+        assert!(find_covering(&z, &n("zzz.example.com")).is_some());
+        assert!(find_covering(&z, &n("aaa.example.com")).is_some());
+    }
+
+    #[test]
+    fn apex_bitmap_includes_nsec_and_soa() {
+        let mut z = base_zone();
+        build_chain(&mut z);
+        let apex_nsec = z.get(&n("example.com"), RrType::Nsec).unwrap();
+        match apex_nsec.rdatas.first().unwrap() {
+            Rdata::Nsec { types, .. } => {
+                assert!(types.contains(RrType::Soa));
+                assert!(types.contains(RrType::Nsec));
+                assert!(types.contains(RrType::A));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn covers_handles_wraparound() {
+        let a = n("a.example");
+        let m = n("m.example");
+        let z = n("z.example");
+        assert!(covers(&a, &z, &m));
+        assert!(!covers(&a, &m, &z));
+        // Wrap-around: (z, a) covers everything after z and before a.
+        assert!(covers(&z, &a, &n("zz.example")));
+        assert!(!covers(&z, &a, &m));
+    }
+}

@@ -1,0 +1,272 @@
+//! The zone container: RRsets indexed by owner name and type.
+
+use crate::rrset::Rrset;
+use ede_wire::{Name, Rdata, Record, RrType};
+use std::collections::BTreeMap;
+
+/// An authoritative zone: an apex and the RRsets at and below it.
+///
+/// Names are kept in RFC 4034 canonical order (the `Ord` of
+/// [`ede_wire::Name`]), which the NSEC3 chain builder and negative-answer
+/// logic rely on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Zone {
+    apex: Name,
+    /// owner → (numeric type → rrset). The inner map is tiny (a handful of
+    /// types per name), the outer map is ordered canonically.
+    rrsets: BTreeMap<Name, BTreeMap<u16, Rrset>>,
+}
+
+impl Zone {
+    /// An empty zone rooted at `apex`.
+    pub fn new(apex: Name) -> Self {
+        Zone {
+            apex,
+            rrsets: BTreeMap::new(),
+        }
+    }
+
+    /// The zone apex.
+    pub fn apex(&self) -> &Name {
+        &self.apex
+    }
+
+    /// Insert one record, merging into an existing RRset of the same
+    /// (owner, type) when present.
+    pub fn add(&mut self, record: Record) {
+        let rtype = record.rtype();
+        let by_type = self.rrsets.entry(record.name.clone()).or_default();
+        by_type
+            .entry(rtype.to_u16())
+            .and_modify(|set| set.rdatas.push(record.rdata.clone()))
+            .or_insert_with(|| Rrset::new(record.name, record.ttl, record.rdata));
+    }
+
+    /// Insert a whole RRset, replacing any existing set of the same key.
+    pub fn add_rrset(&mut self, rrset: Rrset) {
+        self.rrsets
+            .entry(rrset.name.clone())
+            .or_default()
+            .insert(rrset.rtype.to_u16(), rrset);
+    }
+
+    /// Look up the RRset at (name, rtype).
+    pub fn get(&self, name: &Name, rtype: RrType) -> Option<&Rrset> {
+        self.rrsets.get(name)?.get(&rtype.to_u16())
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, name: &Name, rtype: RrType) -> Option<&mut Rrset> {
+        self.rrsets.get_mut(name)?.get_mut(&rtype.to_u16())
+    }
+
+    /// Remove and return the RRset at (name, rtype).
+    pub fn remove(&mut self, name: &Name, rtype: RrType) -> Option<Rrset> {
+        let by_type = self.rrsets.get_mut(name)?;
+        let removed = by_type.remove(&rtype.to_u16());
+        if by_type.is_empty() {
+            self.rrsets.remove(name);
+        }
+        removed
+    }
+
+    /// Does any RRset exist at `name`?
+    pub fn name_exists(&self, name: &Name) -> bool {
+        self.rrsets.contains_key(name)
+    }
+
+    /// Does `name` exist either directly or as an empty non-terminal
+    /// (some owner exists beneath it)? In RFC 4034 canonical order every
+    /// descendant of `name` sorts immediately after it, so one ordered
+    /// range probe answers this in O(log n).
+    pub fn name_exists_or_ent(&self, name: &Name) -> bool {
+        self.rrsets
+            .range(name.clone()..)
+            .next()
+            .is_some_and(|(k, _)| k.is_subdomain_of(name))
+    }
+
+    /// The types present at `name`, in numeric order.
+    pub fn types_at(&self, name: &Name) -> Vec<RrType> {
+        self.rrsets
+            .get(name)
+            .map(|m| m.keys().map(|&t| RrType::from_u16(t)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Iterate all owner names in canonical order.
+    pub fn names(&self) -> impl Iterator<Item = &Name> {
+        self.rrsets.keys()
+    }
+
+    /// Iterate all RRsets (canonical owner order, numeric type order).
+    pub fn iter(&self) -> impl Iterator<Item = &Rrset> {
+        self.rrsets.values().flat_map(|m| m.values())
+    }
+
+    /// Mutable iteration over all RRsets.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Rrset> {
+        self.rrsets.values_mut().flat_map(|m| m.values_mut())
+    }
+
+    /// The SOA RRset at the apex.
+    pub fn soa(&self) -> Option<&Rrset> {
+        self.get(&self.apex, RrType::Soa)
+    }
+
+    /// True when `name` is a delegation point (an NS RRset at a non-apex
+    /// owner).
+    pub fn is_delegation(&self, name: &Name) -> bool {
+        name != &self.apex && self.get(name, RrType::Ns).is_some()
+    }
+
+    /// The closest delegation point at or above `qname` (strictly below
+    /// the apex), if any. Resolution through this zone for `qname` must
+    /// be referred there.
+    pub fn find_delegation(&self, qname: &Name) -> Option<&Rrset> {
+        // Walk from qname up to (but excluding) the apex.
+        let mut current = Some(qname.clone());
+        let mut found: Option<&Rrset> = None;
+        while let Some(name) = current {
+            if name == self.apex {
+                break;
+            }
+            if !name.is_subdomain_of(&self.apex) {
+                return None;
+            }
+            if let Some(ns) = self.get(&name, RrType::Ns) {
+                // Keep walking up: the *highest* delegation below the apex
+                // wins (a zone cut hides everything beneath it).
+                found = Some(ns);
+            }
+            current = name.parent();
+        }
+        found
+    }
+
+    /// True when `name` sits at or below a delegation point (glue —
+    /// non-authoritative data that must not be signed or answered
+    /// authoritatively).
+    pub fn is_glue(&self, name: &Name) -> bool {
+        let mut current = name.parent();
+        while let Some(n) = current {
+            if n == self.apex {
+                return false;
+            }
+            if self.get(&n, RrType::Ns).is_some() {
+                return true;
+            }
+            current = n.parent();
+        }
+        // Names at a delegation owner itself: address records there are
+        // glue too (the NS set is the only authoritative-ish data).
+        self.is_delegation(name) && self.get(name, RrType::A).is_some()
+            || self.is_delegation(name) && self.get(name, RrType::Aaaa).is_some()
+    }
+
+    /// Glue address records (A/AAAA) for a nameserver name, if present in
+    /// this zone.
+    pub fn glue_for(&self, ns_name: &Name) -> Vec<Record> {
+        let mut out = Vec::new();
+        for rtype in [RrType::A, RrType::Aaaa] {
+            if let Some(set) = self.get(ns_name, rtype) {
+                out.extend(set.records());
+            }
+        }
+        out
+    }
+
+    /// Convenience used throughout the testbed: add an A record.
+    pub fn add_a(&mut self, name: Name, addr: std::net::Ipv4Addr) {
+        self.add(Record::new(name, 3600, Rdata::A(addr)));
+    }
+
+    /// Convenience: add an AAAA record.
+    pub fn add_aaaa(&mut self, name: Name, addr: std::net::Ipv6Addr) {
+        self.add(Record::new(name, 3600, Rdata::Aaaa(addr)));
+    }
+
+    /// Total number of RRsets (for reports and sanity checks).
+    pub fn rrset_count(&self) -> usize {
+        self.rrsets.values().map(|m| m.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ede_wire::rdata::Soa;
+
+    fn n(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    fn test_zone() -> Zone {
+        let apex = n("example.com");
+        let mut z = Zone::new(apex.clone());
+        z.add(Record::new(
+            apex.clone(),
+            3600,
+            Rdata::Soa(Soa {
+                mname: n("ns1.example.com"),
+                rname: n("hostmaster.example.com"),
+                serial: 1,
+                refresh: 7200,
+                retry: 3600,
+                expire: 1209600,
+                minimum: 300,
+            }),
+        ));
+        z.add(Record::new(apex.clone(), 3600, Rdata::Ns(n("ns1.example.com"))));
+        z.add_a(n("ns1.example.com"), "192.0.2.53".parse().unwrap());
+        z.add_a(apex, "192.0.2.80".parse().unwrap());
+        // A delegation with glue.
+        z.add(Record::new(n("child.example.com"), 3600, Rdata::Ns(n("ns.child.example.com"))));
+        z.add_a(n("ns.child.example.com"), "192.0.2.54".parse().unwrap());
+        z
+    }
+
+    #[test]
+    fn add_merges_rrsets() {
+        let mut z = test_zone();
+        z.add_a(n("example.com"), "192.0.2.81".parse().unwrap());
+        assert_eq!(z.get(&n("example.com"), RrType::A).unwrap().rdatas.len(), 2);
+    }
+
+    #[test]
+    fn delegation_detection() {
+        let z = test_zone();
+        assert!(z.is_delegation(&n("child.example.com")));
+        assert!(!z.is_delegation(&n("example.com"))); // apex NS is not a cut
+        let deleg = z.find_delegation(&n("www.child.example.com")).unwrap();
+        assert_eq!(deleg.name, n("child.example.com"));
+        assert!(z.find_delegation(&n("www.example.com")).is_none());
+        assert!(z.find_delegation(&n("other.org")).is_none());
+    }
+
+    #[test]
+    fn glue_classification() {
+        let z = test_zone();
+        assert!(z.is_glue(&n("ns.child.example.com")));
+        assert!(!z.is_glue(&n("ns1.example.com")));
+        assert!(!z.is_glue(&n("example.com")));
+        assert_eq!(z.glue_for(&n("ns.child.example.com")).len(), 1);
+    }
+
+    #[test]
+    fn remove_cleans_empty_names() {
+        let mut z = test_zone();
+        assert!(z.remove(&n("ns1.example.com"), RrType::A).is_some());
+        assert!(!z.name_exists(&n("ns1.example.com")));
+        assert!(z.remove(&n("ns1.example.com"), RrType::A).is_none());
+    }
+
+    #[test]
+    fn types_at_apex() {
+        let z = test_zone();
+        let types = z.types_at(&n("example.com"));
+        assert!(types.contains(&RrType::Soa));
+        assert!(types.contains(&RrType::Ns));
+        assert!(types.contains(&RrType::A));
+    }
+}

@@ -1,0 +1,207 @@
+//! Property tests: a freshly signed zone always validates; mutations
+//! always break something observable.
+
+use ede_crypto::simsig;
+use ede_wire::rdata::{Rdata, Soa};
+use ede_wire::{Name, Record, RrType};
+use ede_zone::canonical::signing_data;
+use ede_zone::nsec3::{find_covering, find_matching};
+use ede_zone::signer::{sign_zone, SignerConfig, SIM_NOW};
+use ede_zone::{Denial, Misconfig, Nsec3Config, TypeSel, Zone, ZoneKeys};
+use proptest::prelude::*;
+
+fn arb_label() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z][a-z0-9]{0,10}").unwrap()
+}
+
+fn build_zone(apex: &Name, hosts: &[String]) -> Zone {
+    let mut z = Zone::new(apex.clone());
+    z.add(Record::new(
+        apex.clone(),
+        3600,
+        Rdata::Soa(Soa {
+            mname: apex.child("ns1").unwrap(),
+            rname: apex.child("hostmaster").unwrap(),
+            serial: 1,
+            refresh: 7200,
+            retry: 3600,
+            expire: 1209600,
+            minimum: 300,
+        }),
+    ));
+    z.add(Record::new(apex.clone(), 3600, Rdata::Ns(apex.child("ns1").unwrap())));
+    z.add_a(apex.child("ns1").unwrap(), "192.0.2.1".parse().unwrap());
+    z.add_a(apex.clone(), "192.0.2.2".parse().unwrap());
+    for h in hosts {
+        if let Ok(name) = apex.child(h) {
+            z.add_a(name, "192.0.2.3".parse().unwrap());
+        }
+    }
+    z
+}
+
+/// Every signature in the zone verifies against the published ZSK/KSK.
+fn zone_fully_verifies(zone: &Zone, keys: &ZoneKeys) -> bool {
+    zone.iter().all(|set| {
+        set.sigs.iter().all(|sig| {
+            let key = if sig.key_tag == keys.ksk.key_tag() {
+                &keys.ksk
+            } else {
+                &keys.zsk
+            };
+            let data = signing_data(sig, set);
+            sig.inception <= SIM_NOW
+                && SIM_NOW <= sig.expiration
+                && simsig::verify(&key.signing.public_key(), sig.algorithm, &data, &sig.signature)
+                    .is_ok()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn signed_zones_always_verify(
+        hosts in proptest::collection::vec(arb_label(), 0..6),
+        salt in proptest::collection::vec(any::<u8>(), 0..6),
+        iterations in 0u16..4,
+    ) {
+        let apex = Name::parse("prop.example").unwrap();
+        let mut zone = build_zone(&apex, &hosts);
+        let keys = ZoneKeys::generate(&apex, 8, 2048);
+        let cfg = SignerConfig {
+            denial: Denial::Nsec3(Nsec3Config { iterations, salt }),
+            ..Default::default()
+        };
+        sign_zone(&mut zone, &keys, &cfg);
+        prop_assert!(zone_fully_verifies(&zone, &keys));
+        // Every authoritative RRset except RRSIG carries at least one sig.
+        for set in zone.iter() {
+            if !zone.is_glue(&set.name) && !zone.is_delegation(&set.name) {
+                prop_assert!(!set.sigs.is_empty(), "{} {}", set.name, set.rtype);
+            }
+        }
+    }
+
+    #[test]
+    fn nsec3_chain_is_sound_for_any_name(
+        hosts in proptest::collection::vec(arb_label(), 0..6),
+        probe in arb_label(),
+    ) {
+        let apex = Name::parse("prop.example").unwrap();
+        let mut zone = build_zone(&apex, &hosts);
+        let keys = ZoneKeys::generate(&apex, 8, 2048);
+        let cfg = SignerConfig::default();
+        sign_zone(&mut zone, &keys, &cfg);
+        let params = Nsec3Config::default();
+
+        // Existing names match; their hashes are never "covered".
+        for name in zone.names() {
+            if zone.is_glue(name) || name.first_label().is_some_and(|l| l.len() == 32) {
+                continue; // NSEC3 owners themselves / glue are not chained
+            }
+            prop_assert!(find_matching(&zone, &params, name).is_some(), "{name}");
+            prop_assert!(find_covering(&zone, &params, name).is_none(), "{name}");
+        }
+        // A random probe either exists (matches) or is covered.
+        let probe_name = apex.child(&probe).unwrap();
+        let matches = find_matching(&zone, &params, &probe_name).is_some();
+        let covered = find_covering(&zone, &params, &probe_name).is_some();
+        prop_assert!(matches ^ covered, "{probe_name}: matches={matches} covered={covered}");
+    }
+
+    #[test]
+    fn every_misconfig_changes_the_zone_or_its_ds(
+        selector in 0usize..28,
+    ) {
+        use Misconfig::*;
+        let all = [
+            NoDs, DsBadTag, DsBadKeyAlgo, DsUnassignedKeyAlgo, DsReservedKeyAlgo,
+            DsUnassignedDigestAlgo, DsBogusDigestValue,
+            RrsigExpired(TypeSel::All), RrsigExpired(TypeSel::OnlyApexA),
+            RrsigNotYetValid(TypeSel::All), RrsigMissing(TypeSel::All),
+            RrsigExpiredBeforeValid(TypeSel::All),
+            Nsec3Missing, BadNsec3Hash, BadNsec3Next, BadNsec3Rrsig, Nsec3RrsigMissing,
+            Nsec3ParamMissing, BadNsec3ParamSalt, NoNsec3ParamNsec3,
+            NoZsk, BadZsk, NoKsk, NoRrsigKsk, BadRrsigKsk, BadKsk,
+            NoRrsigDnskey, BadRrsigDnskey,
+        ];
+        let m = all[selector];
+
+        let apex = Name::parse("prop.example").unwrap();
+        let mut zone = build_zone(&apex, &[]);
+        let keys = ZoneKeys::generate(&apex, 8, 2048);
+        sign_zone(&mut zone, &keys, &SignerConfig::default());
+        let pristine = zone.clone();
+        let correct_ds = keys.ksk.ds_rdata(&apex, ede_wire::DigestAlg::SHA256);
+
+        m.apply(&mut zone, &keys);
+        let ds = m.parent_ds(&keys, &apex);
+
+        let zone_changed = zone != pristine;
+        let ds_changed = ds != vec![correct_ds];
+        prop_assert!(
+            zone_changed || ds_changed,
+            "{m:?} must alter the zone or its DS"
+        );
+        // Parent-side cases leave the child untouched; child-side cases
+        // leave the DS correct.
+        if m.is_parent_side() {
+            prop_assert!(!zone_changed, "{m:?} is parent-side");
+        } else {
+            prop_assert!(!ds_changed, "{m:?} is child-side");
+        }
+    }
+
+    #[test]
+    fn canonical_signing_data_is_order_invariant(
+        addrs in proptest::collection::vec(any::<[u8; 4]>(), 1..6),
+    ) {
+        use ede_zone::Rrset;
+        let name = Name::parse("set.example").unwrap();
+        let mut forward = Rrset::empty(name.clone(), RrType::A, 300);
+        for a in &addrs {
+            forward.push(Rdata::A((*a).into()));
+        }
+        let mut backward = Rrset::empty(name, RrType::A, 300);
+        for a in addrs.iter().rev() {
+            backward.push(Rdata::A((*a).into()));
+        }
+        let sig = ede_wire::rdata::Rrsig {
+            type_covered: RrType::A,
+            algorithm: 8,
+            labels: 2,
+            original_ttl: 300,
+            expiration: SIM_NOW + 100,
+            inception: SIM_NOW - 100,
+            key_tag: 1,
+            signer: Name::parse("example").unwrap(),
+            signature: vec![],
+        };
+        prop_assert_eq!(signing_data(&sig, &forward), signing_data(&sig, &backward));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The master-file parser never panics, whatever we feed it — and a
+    /// rendered zone with one mutated byte either parses or errors
+    /// cleanly.
+    #[test]
+    fn master_file_parser_never_panics(
+        idx in 0usize..4096,
+        byte in 0u8..=255,
+    ) {
+        let apex = Name::parse("fuzz.example").unwrap();
+        let mut zone = build_zone(&apex, &[]);
+        let keys = ZoneKeys::generate(&apex, 8, 2048);
+        sign_zone(&mut zone, &keys, &SignerConfig::default());
+        let mut text = ede_zone::textual::zone_to_master_file(&zone).into_bytes();
+        let i = idx % text.len();
+        text[i] = byte;
+        // Any outcome except a panic is acceptable.
+        let _ = ede_zone::parse::parse_master_file(&String::from_utf8_lossy(&text));
+    }
+}

@@ -1,0 +1,69 @@
+//! Emit the testbed's zones as RFC 1035 master files — the "instructions
+//! on how to set up all the misconfigured domains" part of the paper's
+//! artifact release, regenerated from code.
+//!
+//! ```text
+//! cargo run --example dump_zones -- rrsig-exp-all   # one zone
+//! cargo run --example dump_zones -- --all           # all 63
+//! ```
+
+use extended_dns_errors::testbed::build::materialize_child_zone;
+use extended_dns_errors::testbed::domains::all_specs;
+use extended_dns_errors::wire::Name;
+use extended_dns_errors::zone::textual::{rdata_text, zone_to_master_file};
+
+fn dump(label: &str, base: &Name, specs: &[extended_dns_errors::testbed::DomainSpec]) -> bool {
+    let Some((idx, spec)) = specs
+        .iter()
+        .enumerate()
+        .find(|(_, s)| s.label == label)
+    else {
+        return false;
+    };
+    let (zone, ds) = materialize_child_zone(spec, base, idx);
+    println!("; ===== {}.{base}  (group {}) =====", spec.label, spec.group);
+    if let Some(m) = &spec.misconfig {
+        println!("; misconfiguration: {m:?}");
+    }
+    if !spec.signed {
+        println!("; zone is deliberately unsigned");
+    }
+    println!(
+        "; parent publishes: {}",
+        if ds.is_empty() {
+            "no DS record".to_string()
+        } else {
+            ds.iter()
+                .map(|d| format!("DS {}", rdata_text(d)))
+                .collect::<Vec<_>>()
+                .join("; ")
+        }
+    );
+    print!("{}", zone_to_master_file(&zone));
+    println!();
+    true
+}
+
+fn main() {
+    let base = Name::parse("extended-dns-errors.com").expect("valid");
+    let specs = all_specs();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    match args.first().map(String::as_str) {
+        Some("--all") => {
+            for spec in &specs {
+                dump(spec.label, &base, &specs);
+            }
+        }
+        Some(label) => {
+            if !dump(label, &base, &specs) {
+                eprintln!("unknown subdomain {label:?}; see `cargo run --example troubleshoot -- --list`");
+                std::process::exit(1);
+            }
+        }
+        None => {
+            eprintln!("usage: dump_zones <subdomain>|--all");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! A dig-style troubleshooting CLI over the simulated testbed.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example troubleshoot -- <subdomain> [vendor]
+//! cargo run --example troubleshoot -- allow-query-none cloudflare
+//! cargo run --example troubleshoot -- --list
+//! ```
+
+use extended_dns_errors::prelude::*;
+
+fn parse_vendor(s: &str) -> Option<Vendor> {
+    match s.to_ascii_lowercase().as_str() {
+        "bind" | "bind9" => Some(Vendor::Bind9),
+        "unbound" => Some(Vendor::Unbound),
+        "powerdns" | "pdns" => Some(Vendor::PowerDns),
+        "knot" => Some(Vendor::Knot),
+        "cloudflare" | "cf" => Some(Vendor::Cloudflare),
+        "quad9" => Some(Vendor::Quad9),
+        "opendns" => Some(Vendor::OpenDns),
+        _ => None,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let tb = Testbed::build();
+
+    if args.first().map(String::as_str) == Some("--list") || args.is_empty() {
+        println!("Available testbed subdomains (see the paper's Table 2):\n");
+        for spec in &tb.specs {
+            println!("  [group {}] {}", spec.group, spec.label);
+        }
+        println!("\nUsage: troubleshoot <subdomain> [vendor]");
+        return;
+    }
+
+    let label = &args[0];
+    let vendor = args
+        .get(1)
+        .and_then(|s| parse_vendor(s))
+        .unwrap_or(Vendor::Cloudflare);
+
+    let Some(spec) = tb.spec(label) else {
+        eprintln!("unknown subdomain {label:?}; try --list");
+        std::process::exit(1);
+    };
+
+    let qname = tb.query_name(spec);
+    let resolver = tb.resolver(vendor);
+    let res = resolver.resolve(&qname, RrType::A);
+
+    println!("; <<>> extended-dns-errors troubleshoot <<>> {qname} A");
+    println!("; vendor profile: {}\n", vendor.name());
+
+    // The wire response, rendered the way dig would show it.
+    let query = Message::query(0x1d1d, qname, RrType::A);
+    let reply = res.to_message(&query);
+    print!("{}", extended_dns_errors::wire::text::render_dig(&reply));
+
+    // The resolver's own structured diagnosis, explained for operators.
+    println!("\n;; DIAGNOSIS:");
+    print!("{}", extended_dns_errors::resolver::explain::explain(&res.diagnosis));
+}

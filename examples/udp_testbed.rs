@@ -1,0 +1,44 @@
+//! Serve the simulated testbed over a real UDP socket, so you can point
+//! actual DNS tooling at the reproduction:
+//!
+//! ```text
+//! cargo run --example udp_testbed -- 127.0.0.1:5533 cloudflare &
+//! dig @127.0.0.1 -p 5533 rrsig-exp-all.extended-dns-errors.com A
+//! ```
+//!
+//! The response carries the vendor profile's Extended DNS Error options
+//! (`dig` ≥ 9.16 prints them as `EDE: ...`).
+
+use extended_dns_errors::prelude::*;
+use extended_dns_errors::udp::UdpFrontend;
+use std::sync::Arc;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bind = args
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:5533".to_string());
+    let vendor = match args.get(1).map(String::as_str) {
+        Some("bind") | Some("bind9") => Vendor::Bind9,
+        Some("unbound") => Vendor::Unbound,
+        Some("powerdns") => Vendor::PowerDns,
+        Some("knot") => Vendor::Knot,
+        Some("quad9") => Vendor::Quad9,
+        Some("opendns") => Vendor::OpenDns,
+        _ => Vendor::Cloudflare,
+    };
+
+    eprintln!("building testbed...");
+    let tb = Testbed::build();
+    let resolver = Arc::new(tb.resolver(vendor));
+    let server = UdpFrontend::bind(&bind, resolver).expect("bind UDP socket");
+    eprintln!(
+        "serving the {} profile on {} — try:\n  dig @{} -p {} rrsig-exp-all.extended-dns-errors.com A",
+        vendor.name(),
+        server.local_addr().expect("addr"),
+        bind.split(':').next().unwrap_or("127.0.0.1"),
+        bind.split(':').nth(1).unwrap_or("5533"),
+    );
+    server.serve().expect("serve loop");
+}

@@ -1,0 +1,8 @@
+//! Regenerate the paper's Table 4 — the 63 × 7 matrix of EDE codes —
+//! plus the agreement statistics, using the library's report module.
+//!
+//! Run with: `cargo run --release --example vendor_matrix`
+
+fn main() {
+    print!("{}", extended_dns_errors::scan::report::table4());
+}

@@ -1,0 +1,166 @@
+//! A real-socket front end: serve a simulated resolver over UDP.
+//!
+//! The measurement pipeline is sans-IO by design, but a reproduction you
+//! can point `dig` at is worth having. [`UdpFrontend`] binds a
+//! `std::net::UdpSocket`, decodes each datagram with [`ede_wire`],
+//! resolves it through the attached [`Resolver`] (full recursion,
+//! validation, vendor EDE emission), and writes the wire response back.
+
+use ede_resolver::Resolver;
+use ede_wire::{Message, Rcode};
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A UDP server wrapping one simulated resolver.
+pub struct UdpFrontend {
+    socket: UdpSocket,
+    resolver: Arc<Resolver>,
+    stop: Arc<AtomicBool>,
+}
+
+impl UdpFrontend {
+    /// Bind to `addr` (e.g. `127.0.0.1:0` for an ephemeral port).
+    pub fn bind(addr: &str, resolver: Arc<Resolver>) -> io::Result<UdpFrontend> {
+        let socket = UdpSocket::bind(addr)?;
+        Ok(UdpFrontend {
+            socket,
+            resolver,
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound local address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.socket.local_addr()
+    }
+
+    /// A handle that makes `serve` return.
+    pub fn stop_handle(&self) -> StopHandle {
+        StopHandle {
+            stop: Arc::clone(&self.stop),
+        }
+    }
+
+    /// Handle exactly one request (test-friendly building block).
+    pub fn serve_one(&self) -> io::Result<()> {
+        let mut buf = [0u8; 4096];
+        let (len, peer) = self.socket.recv_from(&mut buf)?;
+        let reply = match Message::decode(&buf[..len]) {
+            Ok(query) => self.answer(&query),
+            Err(_) => {
+                // Unparseable: a minimal FORMERR with whatever ID we can
+                // salvage.
+                let id = if len >= 2 {
+                    u16::from_be_bytes([buf[0], buf[1]])
+                } else {
+                    0
+                };
+                let mut m = Message {
+                    id,
+                    response: true,
+                    rcode: Rcode::FormErr,
+                    ..Default::default()
+                };
+                m.recursion_available = true;
+                m
+            }
+        };
+        let wire = reply
+            .encode()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        self.socket.send_to(&wire, peer)?;
+        Ok(())
+    }
+
+    /// Serve until the stop handle fires. Uses a short read timeout so
+    /// the stop flag is observed promptly.
+    pub fn serve(&self) -> io::Result<()> {
+        self.socket
+            .set_read_timeout(Some(std::time::Duration::from_millis(100)))?;
+        while !self.stop.load(Ordering::Relaxed) {
+            match self.serve_one() {
+                Ok(()) => {}
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    fn answer(&self, query: &Message) -> Message {
+        let Some(q) = query.first_question() else {
+            let mut m = Message::response_to(query);
+            m.rcode = Rcode::FormErr;
+            return m;
+        };
+        let resolution = self.resolver.resolve(&q.name.clone(), q.qtype);
+        resolution.to_message(query)
+    }
+}
+
+/// Cancels a running [`UdpFrontend::serve`] loop.
+#[derive(Clone)]
+pub struct StopHandle {
+    stop: Arc<AtomicBool>,
+}
+
+impl StopHandle {
+    /// Request the serve loop to exit.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ede_resolver::Vendor;
+    use ede_testbed::Testbed;
+    use ede_wire::{EdeCode, Name, RrType};
+
+    #[test]
+    fn udp_roundtrip_with_ede() {
+        let tb = Testbed::build();
+        let resolver = Arc::new(tb.resolver(Vendor::Cloudflare));
+        let server = UdpFrontend::bind("127.0.0.1:0", resolver).expect("bind");
+        let addr = server.local_addr().expect("addr");
+
+        let client = UdpSocket::bind("127.0.0.1:0").expect("client bind");
+        let qname = Name::parse("rrsig-exp-all.extended-dns-errors.com").unwrap();
+        let query = Message::query(0x4242, qname, RrType::A);
+        client
+            .send_to(&query.encode().unwrap(), addr)
+            .expect("send");
+
+        server.serve_one().expect("serve one request");
+
+        let mut buf = [0u8; 4096];
+        let (len, _) = client.recv_from(&mut buf).expect("recv");
+        let reply = Message::decode(&buf[..len]).expect("decode reply");
+        assert_eq!(reply.id, 0x4242);
+        assert_eq!(reply.rcode, Rcode::ServFail);
+        assert_eq!(reply.ede_codes(), vec![EdeCode::SignatureExpired]);
+    }
+
+    #[test]
+    fn malformed_datagram_gets_formerr() {
+        let tb = Testbed::build();
+        let resolver = Arc::new(tb.resolver(Vendor::Unbound));
+        let server = UdpFrontend::bind("127.0.0.1:0", resolver).expect("bind");
+        let addr = server.local_addr().expect("addr");
+
+        let client = UdpSocket::bind("127.0.0.1:0").expect("client bind");
+        client.send_to(&[0xAB, 0xCD, 0xFF], addr).expect("send");
+        server.serve_one().expect("serve");
+
+        let mut buf = [0u8; 512];
+        let (len, _) = client.recv_from(&mut buf).expect("recv");
+        let reply = Message::decode(&buf[..len]).expect("decode");
+        assert_eq!(reply.id, 0xABCD);
+        assert_eq!(reply.rcode, Rcode::FormErr);
+    }
+}

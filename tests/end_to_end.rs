@@ -1,0 +1,150 @@
+//! Cross-crate integration tests: scenarios that span the zone signer,
+//! the authority, the network, the resolver, and the EDE emission.
+
+use extended_dns_errors::prelude::*;
+use extended_dns_errors::resolver::policy::{Policy, PolicyAction};
+use extended_dns_errors::resolver::ValidationState;
+
+#[test]
+fn secure_chain_end_to_end() {
+    let tb = Testbed::build();
+    for vendor in Vendor::ALL {
+        let r = tb.resolver(vendor);
+        let res = r.resolve_a("valid.extended-dns-errors.com");
+        assert_eq!(res.rcode, Rcode::NoError, "{}", vendor.name());
+        assert_eq!(res.validation, ValidationState::Secure);
+        assert!(res.authentic_data);
+        assert!(res.ede.is_empty());
+        assert!(!res.answers.is_empty());
+    }
+}
+
+#[test]
+fn cache_hit_returns_same_answer_without_network() {
+    let tb = Testbed::build();
+    let r = tb.resolver(Vendor::Cloudflare);
+    let first = r.resolve_a("valid.extended-dns-errors.com");
+    let t0 = tb.net.clock().now_millis();
+    let second = r.resolve_a("valid.extended-dns-errors.com");
+    // Cache hits make no network queries, so the virtual clock stands
+    // still.
+    assert_eq!(tb.net.clock().now_millis(), t0);
+    assert_eq!(first.rcode, second.rcode);
+    assert_eq!(first.answers, second.answers);
+}
+
+#[test]
+fn cached_error_is_signaled_with_ede_13() {
+    let tb = Testbed::build();
+    let r = tb.resolver(Vendor::Cloudflare);
+    let first = r.resolve_a("allow-query-none.extended-dns-errors.com");
+    assert_eq!(first.rcode, Rcode::ServFail);
+    assert!(!first.ede_codes().contains(&13));
+
+    // Second query within the failure TTL: replayed from the error
+    // cache, flagged with Cached Error (13) alongside the original
+    // codes.
+    let second = r.resolve_a("allow-query-none.extended-dns-errors.com");
+    assert_eq!(second.rcode, Rcode::ServFail);
+    let codes = second.ede_codes();
+    assert!(codes.contains(&13), "{codes:?}");
+    assert!(codes.contains(&22), "{codes:?}");
+}
+
+#[test]
+fn policy_codes_are_emitted() {
+    let tb = Testbed::build();
+    let mut r = tb.resolver(Vendor::Bind9);
+    let mut policy = Policy::new();
+    policy.add(
+        Name::parse("blocked.example").unwrap(),
+        PolicyAction::Block,
+    );
+    policy.add(
+        Name::parse("censored.example").unwrap(),
+        PolicyAction::Censor,
+    );
+    policy.add(
+        Name::parse("filtered.example").unwrap(),
+        PolicyAction::Filter,
+    );
+    policy.add(
+        Name::parse("walled.example").unwrap(),
+        PolicyAction::Forge("198.51.100.99".parse().unwrap()),
+    );
+    r.set_policy(policy);
+
+    let res = r.resolve_a("sub.blocked.example");
+    assert_eq!(res.rcode, Rcode::NxDomain);
+    assert_eq!(res.ede_codes(), vec![15]);
+
+    assert_eq!(r.resolve_a("censored.example").ede_codes(), vec![16]);
+    assert_eq!(r.resolve_a("filtered.example").ede_codes(), vec![17]);
+
+    let forged = r.resolve_a("walled.example");
+    assert_eq!(forged.rcode, Rcode::NoError);
+    assert_eq!(forged.ede_codes(), vec![4]);
+    assert_eq!(forged.answers.len(), 1);
+}
+
+#[test]
+fn vendors_disagree_by_design() {
+    // The same broken zone yields different codes per vendor — spot-check
+    // the ds-bad-tag row end to end.
+    let tb = Testbed::build();
+    let qname = Name::parse("ds-bad-tag.extended-dns-errors.com").unwrap();
+
+    let expect: &[(Vendor, &[u16])] = &[
+        (Vendor::Bind9, &[]),
+        (Vendor::Unbound, &[9]),
+        (Vendor::PowerDns, &[9]),
+        (Vendor::Knot, &[6]),
+        (Vendor::Cloudflare, &[9]),
+        (Vendor::Quad9, &[9]),
+        (Vendor::OpenDns, &[6]),
+    ];
+    for (vendor, codes) in expect {
+        let r = tb.resolver(*vendor);
+        assert_eq!(
+            r.resolve(&qname, RrType::A).ede_codes(),
+            codes.to_vec(),
+            "{}",
+            vendor.name()
+        );
+    }
+}
+
+#[test]
+fn extra_text_identifies_the_failing_nameserver() {
+    let tb = Testbed::build();
+    let r = tb.resolver(Vendor::Cloudflare);
+    let res = r.resolve_a("allow-query-none.extended-dns-errors.com");
+    let net_err = res
+        .ede
+        .iter()
+        .find(|e| e.code == EdeCode::NetworkError)
+        .expect("Network Error present");
+    // The paper: "1.2.3.4:53 rcode=REFUSED for a.com A".
+    assert!(net_err.extra_text.contains(":53 rcode=REFUSED for"), "{}", net_err.extra_text);
+    assert!(net_err.extra_text.contains("allow-query-none.extended-dns-errors.com"));
+}
+
+#[test]
+fn knot_extra_text_for_unsupported_algorithms() {
+    let tb = Testbed::build();
+    let r = tb.resolver(Vendor::Knot);
+    let res = r.resolve_a("rsamd5.extended-dns-errors.com");
+    assert_eq!(res.rcode, Rcode::NoError, "treated as unsigned");
+    assert_eq!(res.ede.len(), 1);
+    assert_eq!(res.ede[0].code, EdeCode::Other);
+    assert_eq!(res.ede[0].extra_text, "LSLC: unsupported digest/key");
+}
+
+#[test]
+fn ad_bit_only_on_validated_answers() {
+    let tb = Testbed::build();
+    let r = tb.resolver(Vendor::Unbound);
+    assert!(r.resolve_a("valid.extended-dns-errors.com").authentic_data);
+    assert!(!r.resolve_a("unsigned.extended-dns-errors.com").authentic_data);
+    assert!(!r.resolve_a("no-ds.extended-dns-errors.com").authentic_data);
+}

@@ -1,0 +1,87 @@
+//! RFC 7816 QNAME minimization: the resolver exposes only one extra
+//! label per zone, verified with the network's capture facility, and the
+//! minimized walk reaches the same answers (and EDE codes) as the plain
+//! one.
+
+use extended_dns_errors::resolver::{Resolver, ResolverConfig, Vendor, VendorProfile};
+use extended_dns_errors::testbed::build::ROOT_SERVER;
+use extended_dns_errors::testbed::Testbed;
+use extended_dns_errors::wire::{Rcode, RrType};
+use std::net::IpAddr;
+use std::sync::Arc;
+
+fn minimizing_resolver(tb: &Testbed, vendor: Vendor) -> Resolver {
+    let config = ResolverConfig {
+        qname_minimization: true,
+        ..tb.resolver_config.clone()
+    };
+    Resolver::new(Arc::clone(&tb.net), VendorProfile::new(vendor), config)
+}
+
+#[test]
+fn root_never_sees_the_full_qname() {
+    let tb = Testbed::build();
+    let r = minimizing_resolver(&tb, Vendor::Cloudflare);
+
+    tb.net.start_capture();
+    let res = r.resolve_a("valid.extended-dns-errors.com");
+    let capture = tb.net.take_capture();
+
+    assert_eq!(res.rcode, Rcode::NoError, "{:?}", res.diagnosis);
+    let full = "valid.extended-dns-errors.com.";
+    let root_queries: Vec<_> = capture
+        .iter()
+        .filter(|c| c.dst == IpAddr::V4(ROOT_SERVER))
+        .collect();
+    assert!(!root_queries.is_empty());
+    for q in &root_queries {
+        assert_ne!(q.qname, full, "root saw the full qname: {q:?}");
+        // Everything the root sees is either its own apex (the DNSKEY
+        // fetch for chain validation) or the single next label.
+        assert!(
+            q.qname == "." || q.qname == "com.",
+            "root saw more than one label: {q:?}"
+        );
+    }
+
+    // Without minimization the root does see the full name.
+    let plain = tb.resolver(Vendor::Cloudflare);
+    tb.net.start_capture();
+    plain.resolve_a("valid.extended-dns-errors.com");
+    let capture = tb.net.take_capture();
+    assert!(capture
+        .iter()
+        .any(|c| c.dst == IpAddr::V4(ROOT_SERVER) && c.qname == full));
+}
+
+#[test]
+fn minimized_results_match_plain_results() {
+    let tb = Testbed::build();
+    for label in [
+        "valid",
+        "unsigned",
+        "rrsig-exp-all",
+        "ds-bad-tag",
+        "no-rrsig-ksk",
+        "allow-query-none",
+        "v4-private-10",
+    ] {
+        let spec = tb.spec(label).expect("testbed label");
+        let qname = tb.query_name(spec);
+        let plain = tb.resolver(Vendor::Cloudflare).resolve(&qname, RrType::A);
+        let minimized = minimizing_resolver(&tb, Vendor::Cloudflare).resolve(&qname, RrType::A);
+        assert_eq!(plain.rcode, minimized.rcode, "{label}");
+        assert_eq!(plain.ede_codes(), minimized.ede_codes(), "{label}: {:?}", minimized.diagnosis);
+    }
+}
+
+#[test]
+fn minimized_nxdomain_still_resolves_cleanly() {
+    let tb = Testbed::build();
+    let r = minimizing_resolver(&tb, Vendor::Unbound);
+    let spec = tb.spec("nsec3-missing").expect("label");
+    let res = r.resolve(&tb.query_name(spec), RrType::A);
+    // Same as the Table 4 cell: SERVFAIL with NSEC Missing (12).
+    assert_eq!(res.rcode, Rcode::ServFail);
+    assert_eq!(res.ede_codes(), vec![12], "{:?}", res.diagnosis);
+}
