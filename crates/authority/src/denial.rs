@@ -13,7 +13,10 @@ use ede_zone::{nsec, nsec3, Nsec3Config, Rrset, Zone};
 /// parameters this way.
 pub fn zone_nsec3_params(zone: &Zone) -> Option<Nsec3Config> {
     if let Some(set) = zone.get(zone.apex(), RrType::Nsec3param) {
-        if let Some(Rdata::Nsec3param { iterations, salt, .. }) = set.rdatas.first() {
+        if let Some(Rdata::Nsec3param {
+            iterations, salt, ..
+        }) = set.rdatas.first()
+        {
             return Some(Nsec3Config {
                 iterations: *iterations,
                 salt: salt.clone(),
@@ -23,7 +26,9 @@ pub fn zone_nsec3_params(zone: &Zone) -> Option<Nsec3Config> {
     zone.iter()
         .filter(|s| s.rtype == RrType::Nsec3)
         .find_map(|s| match s.rdatas.first() {
-            Some(Rdata::Nsec3 { iterations, salt, .. }) => Some(Nsec3Config {
+            Some(Rdata::Nsec3 {
+                iterations, salt, ..
+            }) => Some(Nsec3Config {
                 iterations: *iterations,
                 salt: salt.clone(),
             }),
@@ -51,9 +56,9 @@ fn params_consistent(zone: &Zone, params: &Nsec3Config) -> bool {
     zone.iter()
         .filter(|s| s.rtype == RrType::Nsec3)
         .any(|s| match s.rdatas.first() {
-            Some(Rdata::Nsec3 { salt, iterations, .. }) => {
-                *salt == params.salt && *iterations == params.iterations
-            }
+            Some(Rdata::Nsec3 {
+                salt, iterations, ..
+            }) => *salt == params.salt && *iterations == params.iterations,
             _ => false,
         })
 }
@@ -81,7 +86,12 @@ pub fn nodata_proof(zone: &Zone, params: &Nsec3Config, qname: &Name, dnssec: boo
 
 /// NSEC3 proof for NXDOMAIN: match the closest encloser, cover the next
 /// closer name, and cover the source-of-synthesis wildcard.
-pub fn nxdomain_proof(zone: &Zone, params: &Nsec3Config, qname: &Name, dnssec: bool) -> Vec<Record> {
+pub fn nxdomain_proof(
+    zone: &Zone,
+    params: &Nsec3Config,
+    qname: &Name,
+    dnssec: bool,
+) -> Vec<Record> {
     let mut out = Vec::new();
 
     // Closest encloser: deepest ancestor of qname that exists.
@@ -197,7 +207,11 @@ mod tests {
                 minimum: 300,
             }),
         ));
-        z.add(Record::new(apex.clone(), 3600, Rdata::Ns(n("ns1.example.com"))));
+        z.add(Record::new(
+            apex.clone(),
+            3600,
+            Rdata::Ns(n("ns1.example.com")),
+        ));
         z.add_a(n("ns1.example.com"), "192.0.2.1".parse().unwrap());
         z.add_a(apex, "192.0.2.2".parse().unwrap());
         let keys = ZoneKeys::generate(&n("example.com"), 8, 2048);

@@ -7,14 +7,17 @@ use crate::denial::{
 };
 use crate::store::ZoneStore;
 use ede_netsim::{Server, ServerResponse};
+use ede_trace::{TraceEvent, Tracer};
 use ede_wire::{Edns, Message, Name, Rcode, Rdata, RrType};
 use ede_zone::{Rrset, Zone};
 use std::net::IpAddr;
+use std::sync::Mutex;
 
 /// An authoritative nameserver: a zone store plus a behavior mode.
 pub struct ZoneServer {
     store: ZoneStore,
     behavior: Behavior,
+    tracer: Mutex<Tracer>,
 }
 
 impl ZoneServer {
@@ -23,12 +26,24 @@ impl ZoneServer {
         ZoneServer {
             store,
             behavior: Behavior::Normal,
+            tracer: Mutex::new(Tracer::disabled()),
         }
     }
 
     /// A server with an explicit behavior mode.
     pub fn with_behavior(store: ZoneStore, behavior: Behavior) -> Self {
-        ZoneServer { store, behavior }
+        ZoneServer {
+            store,
+            behavior,
+            tracer: Mutex::new(Tracer::disabled()),
+        }
+    }
+
+    /// Attach a tracer: every answered query emits an
+    /// [`TraceEvent::AuthorityAnswer`] (dropped queries emit nothing —
+    /// the client side records the timeout).
+    pub fn set_tracer(&self, tracer: Tracer) {
+        *self.tracer.lock().expect("no poisoning") = tracer;
     }
 
     /// The configured behavior.
@@ -43,6 +58,25 @@ impl ZoneServer {
 
     /// Process one query.
     pub fn answer(&self, query: &Message, src: IpAddr) -> ServerResponse {
+        let resp = self.answer_inner(query, src);
+        if let ServerResponse::Reply(m) = &resp {
+            let tracer = self.tracer.lock().expect("no poisoning").clone();
+            if tracer.enabled() {
+                let zone = query
+                    .first_question()
+                    .and_then(|q| self.store.find(&q.name))
+                    .map(|z| z.apex().to_string())
+                    .unwrap_or_else(|| "-".to_string());
+                tracer.emit(TraceEvent::AuthorityAnswer {
+                    zone,
+                    rcode: m.rcode.to_u16(),
+                });
+            }
+        }
+        resp
+    }
+
+    fn answer_inner(&self, query: &Message, src: IpAddr) -> ServerResponse {
         // Behavior gates run before any zone logic, like a front-end ACL.
         match &self.behavior {
             Behavior::Timeout => return ServerResponse::Drop,
@@ -265,7 +299,11 @@ mod tests {
         let apex = n("example.com");
         let mut z = Zone::new(apex.clone());
         z.add(Record::new(apex.clone(), 3600, soa_rdata("example.com")));
-        z.add(Record::new(apex.clone(), 3600, Rdata::Ns(n("ns1.example.com"))));
+        z.add(Record::new(
+            apex.clone(),
+            3600,
+            Rdata::Ns(n("ns1.example.com")),
+        ));
         z.add_a(n("ns1.example.com"), "192.0.2.1".parse().unwrap());
         z.add_a(apex.clone(), "192.0.2.2".parse().unwrap());
         z.add_a(n("www.example.com"), "192.0.2.3".parse().unwrap());
@@ -275,15 +313,28 @@ mod tests {
             Rdata::Cname(n("www.example.com")),
         ));
         // Secure delegation.
-        z.add(Record::new(n("secure.example.com"), 3600, Rdata::Ns(n("ns.secure.example.com"))));
+        z.add(Record::new(
+            n("secure.example.com"),
+            3600,
+            Rdata::Ns(n("ns.secure.example.com")),
+        ));
         z.add_a(n("ns.secure.example.com"), "192.0.2.10".parse().unwrap());
         z.add(Record::new(
             n("secure.example.com"),
             3600,
-            Rdata::Ds { key_tag: 11, algorithm: 8, digest_type: 2, digest: vec![0xaa; 32] },
+            Rdata::Ds {
+                key_tag: 11,
+                algorithm: 8,
+                digest_type: 2,
+                digest: vec![0xaa; 32],
+            },
         ));
         // Insecure delegation.
-        z.add(Record::new(n("insecure.example.com"), 3600, Rdata::Ns(n("ns.insecure.example.com"))));
+        z.add(Record::new(
+            n("insecure.example.com"),
+            3600,
+            Rdata::Ns(n("ns.insecure.example.com")),
+        ));
         z.add_a(n("ns.insecure.example.com"), "192.0.2.11".parse().unwrap());
 
         let keys = ZoneKeys::generate(&apex, 8, 2048);
@@ -335,7 +386,11 @@ mod tests {
         let s = build_server();
         let m = reply(&s, "missing.example.com", RrType::A);
         assert_eq!(m.rcode, Rcode::NxDomain);
-        let nsec3s = m.authorities.iter().filter(|r| r.rtype() == RrType::Nsec3).count();
+        let nsec3s = m
+            .authorities
+            .iter()
+            .filter(|r| r.rtype() == RrType::Nsec3)
+            .count();
         assert!(nsec3s >= 2);
     }
 
@@ -346,7 +401,10 @@ mod tests {
         assert!(!m.authoritative);
         assert!(m.authorities.iter().any(|r| r.rtype() == RrType::Ns));
         assert!(m.authorities.iter().any(|r| r.rtype() == RrType::Ds));
-        assert!(m.additionals.iter().any(|r| r.rtype() == RrType::A), "glue expected");
+        assert!(
+            m.additionals.iter().any(|r| r.rtype() == RrType::A),
+            "glue expected"
+        );
     }
 
     #[test]

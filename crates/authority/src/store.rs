@@ -80,7 +80,10 @@ mod tests {
         store.insert(Zone::new(n("com")));
         store.insert(Zone::new(n("example.com")));
 
-        assert_eq!(store.find(&n("www.example.com")).unwrap().apex(), &n("example.com"));
+        assert_eq!(
+            store.find(&n("www.example.com")).unwrap().apex(),
+            &n("example.com")
+        );
         assert_eq!(store.find(&n("other.com")).unwrap().apex(), &n("com"));
         assert!(store.find(&n("example.org")).is_none());
         assert_eq!(store.len(), 2);

@@ -6,7 +6,7 @@
 //!   vendor profile measures whether emission complexity costs anything
 //!   (it should not: emission is a pure function over findings).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ede_bench::{black_box, criterion_group, criterion_main, Criterion};
 use ede_resolver::{Resolver, ResolverConfig, Vendor, VendorProfile};
 use ede_testbed::Testbed;
 use ede_wire::RrType;

@@ -1,7 +1,7 @@
 //! Crypto primitive costs: hashing dominates NSEC3 work; simulated
 //! signatures dominate zone signing.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use ede_bench::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use ede_crypto::simsig::SigningKey;
 use ede_crypto::{keytag, nsec3hash, Digest, Sha1, Sha256};
 

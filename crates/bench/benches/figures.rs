@@ -1,7 +1,7 @@
 //! Figures 1 and 2 benchmark: aggregation and CDF computation over a
 //! scan result.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ede_bench::{black_box, criterion_group, criterion_main, Criterion};
 use ede_scan::aggregate::aggregate;
 use ede_scan::scanner::{scan, ScanConfig};
 use ede_scan::{stats, Population, PopulationConfig, ScanWorld};
@@ -26,7 +26,9 @@ fn bench_figures(c: &mut Criterion) {
     c.bench_function("figure2_cdf", |b| b.iter(|| black_box(agg.figure2())));
 
     let ratios: Vec<f64> = (0..2000).map(|i| f64::from(i % 101) / 100.0).collect();
-    c.bench_function("cdf_2000_values", |b| b.iter(|| black_box(stats::cdf(&ratios))));
+    c.bench_function("cdf_2000_values", |b| {
+        b.iter(|| black_box(stats::cdf(&ratios)))
+    });
     let weights: Vec<usize> = (0..5000).map(|i| 5000 - i).collect();
     c.bench_function("concentration_5000_keys", |b| {
         b.iter(|| black_box(stats::keys_to_cover(&weights, 0.81)))

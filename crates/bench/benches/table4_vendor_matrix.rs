@@ -1,7 +1,7 @@
 //! Table 4 regeneration benchmark: the full 63 × 7 resolution matrix,
 //! plus single-case resolutions per vendor.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ede_bench::{black_box, criterion_group, criterion_main, Criterion};
 use ede_resolver::Vendor;
 use ede_testbed::Testbed;
 use ede_wire::RrType;

@@ -1,7 +1,7 @@
 //! Zone signing and chain-validation costs: the per-zone work behind
 //! both the testbed and the synthesized scan world.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ede_bench::{black_box, criterion_group, criterion_main, Criterion};
 use ede_resolver::diagnosis::Diagnosis;
 use ede_resolver::profiles::ValidatorCaps;
 use ede_resolver::validate;
@@ -25,7 +25,11 @@ fn build_zone(apex: &Name) -> Zone {
             minimum: 300,
         }),
     ));
-    z.add(Record::new(apex.clone(), 3600, Rdata::Ns(apex.child("ns1").unwrap())));
+    z.add(Record::new(
+        apex.clone(),
+        3600,
+        Rdata::Ns(apex.child("ns1").unwrap()),
+    ));
     z.add_a(apex.child("ns1").unwrap(), "192.0.2.1".parse().unwrap());
     z.add_a(apex.clone(), "192.0.2.2".parse().unwrap());
     for i in 0..8 {

@@ -1,7 +1,7 @@
 //! §4.2 scan benchmark: end-to-end scan throughput at a small scale
 //! (population generation, world build, and the scan itself).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ede_bench::{black_box, criterion_group, criterion_main, Criterion};
 use ede_scan::scanner::ScanConfig;
 use ede_scan::{scanner, Population, PopulationConfig, ScanWorld};
 
@@ -13,7 +13,9 @@ fn bench_scan(c: &mut Criterion) {
     });
 
     let pop = Population::generate(cfg.clone());
-    c.bench_function("world_build_tiny", |b| b.iter(|| black_box(ScanWorld::build(&pop))));
+    c.bench_function("world_build_tiny", |b| {
+        b.iter(|| black_box(ScanWorld::build(&pop)))
+    });
 
     let mut group = c.benchmark_group("scan");
     group.bench_function("tiny_population_single_thread", |b| {

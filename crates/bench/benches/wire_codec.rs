@@ -1,6 +1,6 @@
 //! Wire codec throughput: the per-message cost floor under the scanner.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ede_bench::{black_box, criterion_group, criterion_main, Criterion};
 use ede_wire::ede::{EdeCode, EdeEntry};
 use ede_wire::rdata::Rdata;
 use ede_wire::{Edns, Message, Name, Rcode, Record, RrType};
@@ -42,7 +42,9 @@ fn bench_codec(c: &mut Criterion) {
 
     let query = Message::query(7, Name::parse("www.example.com").unwrap(), RrType::A);
     let query_wire = query.encode().unwrap();
-    c.bench_function("encode_query", |b| b.iter(|| black_box(&query).encode().unwrap()));
+    c.bench_function("encode_query", |b| {
+        b.iter(|| black_box(&query).encode().unwrap())
+    });
     c.bench_function("decode_query", |b| {
         b.iter(|| Message::decode(black_box(&query_wire)).unwrap())
     });

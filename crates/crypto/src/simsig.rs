@@ -219,15 +219,9 @@ mod tests {
         let sig = key.sign(b"msg");
         let mut pk = key.public_key();
         pk[6] ^= 0xff; // flip a secret byte
-        assert_eq!(
-            verify(&pk, 8, b"msg", &sig),
-            Err(VerifyError::BadSignature)
-        );
+        assert_eq!(verify(&pk, 8, b"msg", &sig), Err(VerifyError::BadSignature));
         pk[0] = b'X'; // destroy magic
-        assert_eq!(
-            verify(&pk, 8, b"msg", &sig),
-            Err(VerifyError::MalformedKey)
-        );
+        assert_eq!(verify(&pk, 8, b"msg", &sig), Err(VerifyError::MalformedKey));
     }
 
     #[test]
@@ -236,10 +230,7 @@ mod tests {
         let big = SigningKey::from_seed(5, 2048, b"s");
         assert_eq!(small.public_key().len(), 64);
         assert_eq!(big.public_key().len(), 256);
-        assert_eq!(
-            parse_public_key(&small.public_key()).unwrap().key_bits,
-            512
-        );
+        assert_eq!(parse_public_key(&small.public_key()).unwrap().key_bits, 512);
     }
 
     #[test]

@@ -79,7 +79,10 @@ fn classify_v4(a: Ipv4Addr) -> AddrClass {
     let o = a.octets();
     let special = if o[0] == 0 {
         SpecialUse::ThisHost // 0.0.0.0 and the rest of 0/8 "this network"
-    } else if o[0] == 10 || (o[0] == 172 && (16..32).contains(&o[1])) || (o[0] == 192 && o[1] == 168) {
+    } else if o[0] == 10
+        || (o[0] == 172 && (16..32).contains(&o[1]))
+        || (o[0] == 192 && o[1] == 168)
+    {
         SpecialUse::Private
     } else if o[0] == 127 {
         SpecialUse::Loopback
@@ -147,14 +150,14 @@ mod tests {
     #[test]
     fn table3_group7_v4_cases() {
         let cases = [
-            ("10.11.12.13", SpecialUse::Private),        // v4-private-10
-            ("192.0.2.55", SpecialUse::Documentation),   // v4-doc
-            ("172.16.9.9", SpecialUse::Private),         // v4-private-172
-            ("127.0.0.53", SpecialUse::Loopback),        // v4-loopback
-            ("192.168.1.1", SpecialUse::Private),        // v4-private-192
-            ("240.1.2.3", SpecialUse::Reserved),         // v4-reserved
-            ("0.0.0.0", SpecialUse::ThisHost),           // v4-this-host
-            ("169.254.7.7", SpecialUse::LinkLocal),      // v4-link-local
+            ("10.11.12.13", SpecialUse::Private),      // v4-private-10
+            ("192.0.2.55", SpecialUse::Documentation), // v4-doc
+            ("172.16.9.9", SpecialUse::Private),       // v4-private-172
+            ("127.0.0.53", SpecialUse::Loopback),      // v4-loopback
+            ("192.168.1.1", SpecialUse::Private),      // v4-private-192
+            ("240.1.2.3", SpecialUse::Reserved),       // v4-reserved
+            ("0.0.0.0", SpecialUse::ThisHost),         // v4-this-host
+            ("169.254.7.7", SpecialUse::LinkLocal),    // v4-link-local
         ];
         for (addr, want) in cases {
             assert_eq!(classify(v4(addr)), AddrClass::Special(want), "{addr}");
@@ -165,15 +168,15 @@ mod tests {
     #[test]
     fn table3_group6_v6_cases() {
         let cases = [
-            ("::ffff:192.0.2.1", SpecialUse::Mapped),         // v6-mapped
-            ("ff02::1", SpecialUse::Multicast),               // v6-multicast
-            ("::", SpecialUse::Unspecified),                  // v6-unspecified
-            ("::c000:201", SpecialUse::MappedDeprecated),     // v4-hex
-            ("fd00::1234", SpecialUse::UniqueLocal),          // v6-unique-local
-            ("2001:db8::77", SpecialUse::Documentation),      // v6-doc
-            ("fe80::1", SpecialUse::LinkLocal),               // v6-link-local
-            ("::1", SpecialUse::Loopback),                    // v6-localhost
-            ("64:ff9b::192.0.2.1", SpecialUse::Nat64),        // v6-nat64
+            ("::ffff:192.0.2.1", SpecialUse::Mapped),     // v6-mapped
+            ("ff02::1", SpecialUse::Multicast),           // v6-multicast
+            ("::", SpecialUse::Unspecified),              // v6-unspecified
+            ("::c000:201", SpecialUse::MappedDeprecated), // v4-hex
+            ("fd00::1234", SpecialUse::UniqueLocal),      // v6-unique-local
+            ("2001:db8::77", SpecialUse::Documentation),  // v6-doc
+            ("fe80::1", SpecialUse::LinkLocal),           // v6-link-local
+            ("::1", SpecialUse::Loopback),                // v6-localhost
+            ("64:ff9b::192.0.2.1", SpecialUse::Nat64),    // v6-nat64
         ];
         for (addr, want) in cases {
             assert_eq!(
@@ -197,17 +200,32 @@ mod tests {
     #[test]
     fn boundary_cases() {
         assert!(classify(v4("172.15.0.1")).is_routable());
-        assert_eq!(classify(v4("172.31.255.255")), AddrClass::Special(SpecialUse::Private));
+        assert_eq!(
+            classify(v4("172.31.255.255")),
+            AddrClass::Special(SpecialUse::Private)
+        );
         assert!(classify(v4("172.32.0.1")).is_routable());
         assert!(classify(v4("223.255.255.255")).is_routable());
-        assert_eq!(classify(v4("224.0.0.1")), AddrClass::Special(SpecialUse::Multicast));
-        assert_eq!(classify(v4("239.255.255.255")), AddrClass::Special(SpecialUse::Multicast));
-        assert_eq!(classify(v4("255.255.255.255")), AddrClass::Special(SpecialUse::Reserved));
+        assert_eq!(
+            classify(v4("224.0.0.1")),
+            AddrClass::Special(SpecialUse::Multicast)
+        );
+        assert_eq!(
+            classify(v4("239.255.255.255")),
+            AddrClass::Special(SpecialUse::Multicast)
+        );
+        assert_eq!(
+            classify(v4("255.255.255.255")),
+            AddrClass::Special(SpecialUse::Reserved)
+        );
     }
 
     #[test]
     fn labels_are_stable() {
         assert_eq!(SpecialUse::Nat64.label(), "nat64");
-        assert_eq!(SpecialUse::MappedDeprecated.label(), "ipv4-compatible (deprecated)");
+        assert_eq!(
+            SpecialUse::MappedDeprecated.label(),
+            "ipv4-compatible (deprecated)"
+        );
     }
 }

@@ -54,6 +54,12 @@ impl SimClock {
     }
 }
 
+impl ede_trace::TraceClock for SimClock {
+    fn trace_now_millis(&self) -> u64 {
+        self.now_millis()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

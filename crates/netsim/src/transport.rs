@@ -2,11 +2,12 @@
 
 use crate::addr::classify;
 use crate::clock::SimClock;
+use ede_trace::{TraceEvent, TraceSink, Tracer};
 use ede_wire::Message;
 use std::collections::HashMap;
 use std::fmt;
 use std::net::IpAddr;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// What a server does with one query.
 pub enum ServerResponse {
@@ -113,7 +114,8 @@ impl NetworkBuilder {
             config: self.config,
             clock,
             stats: TrafficStats::default(),
-            capture: parking_lot::Mutex::new(None),
+            capture: Mutex::new(None),
+            tracer: Mutex::new(Tracer::disabled()),
         }
     }
 }
@@ -160,7 +162,8 @@ pub struct Network {
     config: NetworkConfig,
     clock: SimClock,
     stats: TrafficStats,
-    capture: parking_lot::Mutex<Option<Vec<CapturedQuery>>>,
+    capture: Mutex<Option<Vec<CapturedQuery>>>,
+    tracer: Mutex<Tracer>,
 }
 
 impl Network {
@@ -178,12 +181,35 @@ impl Network {
     /// compare the smoltcp examples' `--pcap` option). Clears any
     /// previous capture.
     pub fn start_capture(&self) {
-        *self.capture.lock() = Some(Vec::new());
+        *self.capture.lock().expect("no poisoning") = Some(Vec::new());
     }
 
     /// Stop capturing and return what was recorded.
     pub fn take_capture(&self) -> Vec<CapturedQuery> {
-        self.capture.lock().take().unwrap_or_default()
+        self.capture
+            .lock()
+            .expect("no poisoning")
+            .take()
+            .unwrap_or_default()
+    }
+
+    /// Attach a trace sink: every subsequent query emits `QuerySent`
+    /// plus `ResponseReceived`/`Timeout` events stamped with this
+    /// network's virtual clock.
+    pub fn set_trace_sink(&self, sink: Arc<dyn TraceSink>) {
+        *self.tracer.lock().expect("no poisoning") =
+            Tracer::new(sink, Arc::new(self.clock.clone()));
+    }
+
+    /// Detach any trace sink.
+    pub fn clear_trace_sink(&self) {
+        *self.tracer.lock().expect("no poisoning") = Tracer::disabled();
+    }
+
+    /// The currently attached tracer (cheap clone; disabled when no
+    /// sink is attached).
+    pub fn tracer(&self) -> Tracer {
+        self.tracer.lock().expect("no poisoning").clone()
     }
 
     /// Number of attached servers.
@@ -205,39 +231,61 @@ impl Network {
     pub fn query(&self, dst: IpAddr, src: IpAddr, query: &Message) -> Result<Message, NetError> {
         use std::sync::atomic::Ordering::Relaxed;
         self.stats.queries.fetch_add(1, Relaxed);
-        if let Some(cap) = self.capture.lock().as_mut() {
-            if let Some(q) = query.first_question() {
+        let (qname, qtype) = query
+            .first_question()
+            .map(|q| (q.name.to_string(), q.qtype.to_u16()))
+            .unwrap_or_else(|| (String::from("-"), 0));
+        if let Some(cap) = self.capture.lock().expect("no poisoning").as_mut() {
+            if query.first_question().is_some() {
                 cap.push(CapturedQuery {
                     dst,
-                    qname: q.name.to_string(),
-                    qtype: q.qtype.to_u16(),
+                    qname: qname.clone(),
+                    qtype,
                 });
             }
         }
-        if !classify(dst).is_routable() {
+        let tracer = self.tracer();
+        tracer.emit(TraceEvent::QuerySent {
+            dst,
+            qname: qname.clone(),
+            qtype,
+            id: query.id,
+        });
+        let fail = |unroutable: bool| {
             self.clock.advance_millis(self.config.timeout_ms);
             self.stats.failed.fetch_add(1, Relaxed);
+            tracer.emit(TraceEvent::Timeout {
+                dst,
+                qname: qname.clone(),
+                unroutable,
+            });
+        };
+        if !classify(dst).is_routable() {
+            fail(true);
             return Err(NetError::Unroutable);
         }
         let Some(server) = self.routes.get(&dst) else {
-            self.clock.advance_millis(self.config.timeout_ms);
-            self.stats.failed.fetch_add(1, Relaxed);
+            fail(false);
             return Err(NetError::Timeout);
         };
         if self.lose(dst, query) {
-            self.clock.advance_millis(self.config.timeout_ms);
-            self.stats.failed.fetch_add(1, Relaxed);
+            fail(false);
             return Err(NetError::Timeout);
         }
         match server.handle(query, src, self.clock.now_secs()) {
             ServerResponse::Reply(msg) => {
                 self.clock.advance_millis(self.config.rtt_ms);
                 self.stats.delivered.fetch_add(1, Relaxed);
+                tracer.emit(TraceEvent::ResponseReceived {
+                    src: dst,
+                    rcode: msg.rcode.to_u16(),
+                    answers: msg.answers.len(),
+                    latency_ms: self.config.rtt_ms,
+                });
                 Ok(msg)
             }
             ServerResponse::Drop => {
-                self.clock.advance_millis(self.config.timeout_ms);
-                self.stats.failed.fetch_add(1, Relaxed);
+                fail(false);
                 Err(NetError::Timeout)
             }
         }
@@ -305,7 +353,9 @@ mod tests {
         let clock = SimClock::new();
         let t0 = clock.now_millis();
         let net = b.build(clock);
-        let reply = net.query("93.184.216.34".parse().unwrap(), client(), &q(1)).unwrap();
+        let reply = net
+            .query("93.184.216.34".parse().unwrap(), client(), &q(1))
+            .unwrap();
         assert!(reply.response);
         assert_eq!(net.clock().now_millis() - t0, 20);
     }
@@ -353,14 +403,23 @@ mod tests {
         let mut b = NetworkBuilder::new();
         b.register("93.184.216.34".parse().unwrap(), Arc::new(Echo));
         let net = b
-            .config(NetworkConfig { loss_rate: 0.3, ..Default::default() })
+            .config(NetworkConfig {
+                loss_rate: 0.3,
+                ..Default::default()
+            })
             .build(SimClock::new());
 
         let outcomes: Vec<bool> = (0..500)
-            .map(|i| net.query("93.184.216.34".parse().unwrap(), client(), &q(i)).is_ok())
+            .map(|i| {
+                net.query("93.184.216.34".parse().unwrap(), client(), &q(i))
+                    .is_ok()
+            })
             .collect();
         let again: Vec<bool> = (0..500)
-            .map(|i| net.query("93.184.216.34".parse().unwrap(), client(), &q(i)).is_ok())
+            .map(|i| {
+                net.query("93.184.216.34".parse().unwrap(), client(), &q(i))
+                    .is_ok()
+            })
             .collect();
         assert_eq!(outcomes, again, "loss must be deterministic per flow");
         let delivered = outcomes.iter().filter(|&&ok| ok).count();
@@ -375,10 +434,14 @@ mod tests {
         let mut b = NetworkBuilder::new();
         b.register("1.2.3.4".parse().unwrap(), Arc::new(Echo));
         let net = b
-            .config(NetworkConfig { rtt_ms: 7, ..Default::default() })
+            .config(NetworkConfig {
+                rtt_ms: 7,
+                ..Default::default()
+            })
             .build(SimClock::new());
         let t0 = net.clock().now_millis();
-        net.query("1.2.3.4".parse().unwrap(), client(), &q(9)).unwrap();
+        net.query("1.2.3.4".parse().unwrap(), client(), &q(9))
+            .unwrap();
         assert_eq!(net.clock().now_millis() - t0, 7);
     }
 }

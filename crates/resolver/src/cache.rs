@@ -2,14 +2,14 @@
 //!
 //! The cache is shared across a scan's worker threads (the paper notes
 //! Cloudflare answered part of their load from cache), so it is a
-//! `parking_lot`-locked map. Entries store the *diagnosis* alongside the
+//! mutex-locked map. Entries store the *diagnosis* alongside the
 //! answer: replaying a cached failure must replay its findings so the
 //! profile can emit the original codes next to *Cached Error (13)*.
 
 use crate::diagnosis::Diagnosis;
 use ede_wire::{Name, Rcode, Record, RrType};
-use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// What a completed resolution left behind.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -60,7 +60,7 @@ impl Cache {
 
     /// Probe for `(qname, qtype)` at time `now`.
     pub fn get(&self, qname: &Name, qtype: RrType, now: u32) -> CacheHit {
-        let entries = self.entries.lock();
+        let entries = self.entries.lock().expect("no poisoning");
         let Some(entry) = entries.get(&(qname.clone(), qtype.to_u16())) else {
             return CacheHit::Miss;
         };
@@ -76,7 +76,12 @@ impl Cache {
 
     /// Probe only for a *stale-servable successful* entry — used when a
     /// live resolution just failed and RFC 8767 allows falling back.
-    pub fn get_stale_success(&self, qname: &Name, qtype: RrType, now: u32) -> Option<CachedResolution> {
+    pub fn get_stale_success(
+        &self,
+        qname: &Name,
+        qtype: RrType,
+        now: u32,
+    ) -> Option<CachedResolution> {
         match self.get(qname, qtype, now) {
             CacheHit::Stale(data) | CacheHit::Fresh(data) if !data.is_failure => Some(data),
             _ => None,
@@ -85,7 +90,7 @@ impl Cache {
 
     /// Store a resolution with the given TTL.
     pub fn put(&self, qname: Name, qtype: RrType, data: CachedResolution, ttl: u32, now: u32) {
-        let mut entries = self.entries.lock();
+        let mut entries = self.entries.lock().expect("no poisoning");
         let key = (qname, qtype.to_u16());
         // Never let a failure entry overwrite a still-stale-servable
         // success — the success is what serve-stale needs later.
@@ -111,7 +116,7 @@ impl Cache {
 
     /// Number of live entries (diagnostics).
     pub fn len(&self) -> usize {
-        self.entries.lock().len()
+        self.entries.lock().expect("no poisoning").len()
     }
 
     /// True when the cache is empty.
@@ -121,7 +126,7 @@ impl Cache {
 
     /// Drop everything (tests).
     pub fn clear(&self) {
-        self.entries.lock().clear();
+        self.entries.lock().expect("no poisoning").clear();
     }
 }
 
@@ -155,10 +160,22 @@ mod tests {
     fn fresh_then_stale_then_miss() {
         let c = Cache::new(100);
         c.put(n("a.com"), RrType::A, success(), 60, 1000);
-        assert!(matches!(c.get(&n("a.com"), RrType::A, 1030), CacheHit::Fresh(_)));
-        assert!(matches!(c.get(&n("a.com"), RrType::A, 1061), CacheHit::Stale(_)));
-        assert!(matches!(c.get(&n("a.com"), RrType::A, 1160), CacheHit::Stale(_)));
-        assert!(matches!(c.get(&n("a.com"), RrType::A, 1161), CacheHit::Miss));
+        assert!(matches!(
+            c.get(&n("a.com"), RrType::A, 1030),
+            CacheHit::Fresh(_)
+        ));
+        assert!(matches!(
+            c.get(&n("a.com"), RrType::A, 1061),
+            CacheHit::Stale(_)
+        ));
+        assert!(matches!(
+            c.get(&n("a.com"), RrType::A, 1160),
+            CacheHit::Stale(_)
+        ));
+        assert!(matches!(
+            c.get(&n("a.com"), RrType::A, 1161),
+            CacheHit::Miss
+        ));
     }
 
     #[test]
@@ -186,6 +203,9 @@ mod tests {
     fn types_are_separate() {
         let c = Cache::new(100);
         c.put(n("a.com"), RrType::A, success(), 60, 1000);
-        assert!(matches!(c.get(&n("a.com"), RrType::Aaaa, 1000), CacheHit::Miss));
+        assert!(matches!(
+            c.get(&n("a.com"), RrType::Aaaa, 1000),
+            CacheHit::Miss
+        ));
     }
 }

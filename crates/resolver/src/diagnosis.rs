@@ -6,6 +6,7 @@
 //! from the paper's Table 4). They are protocol-visible facts — message
 //! shapes, registry statuses, signature checks — never query names.
 
+use ede_trace::{TraceEvent, Tracer};
 use ede_wire::{Name, Rcode, RrType};
 use std::fmt;
 use std::net::IpAddr;
@@ -49,7 +50,10 @@ impl NsFailure {
     pub fn is_rcode_failure(self) -> bool {
         matches!(
             self,
-            NsFailure::Refused | NsFailure::ServFail | NsFailure::NotAuth | NsFailure::FormErr
+            NsFailure::Refused
+                | NsFailure::ServFail
+                | NsFailure::NotAuth
+                | NsFailure::FormErr
                 | NsFailure::OtherRcode(_)
         )
     }
@@ -310,7 +314,7 @@ pub enum ValidationState {
 }
 
 /// Everything the engine learned during one resolution.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Diagnosis {
     /// Structured findings, in discovery order.
     pub findings: Vec<Finding>,
@@ -322,7 +326,22 @@ pub struct Diagnosis {
     /// Whether the queried zone presented as DNSSEC-signed (a DS chain
     /// existed down to it).
     pub zone_signed: bool,
+    /// Trace handle: findings and validation steps are announced here as
+    /// they land. Excluded from equality — two diagnoses that recorded
+    /// the same facts are equal regardless of where their events went.
+    tracer: Tracer,
 }
+
+impl PartialEq for Diagnosis {
+    fn eq(&self, other: &Self) -> bool {
+        self.findings == other.findings
+            && self.ns_events == other.ns_events
+            && self.validation == other.validation
+            && self.zone_signed == other.zone_signed
+    }
+}
+
+impl Eq for Diagnosis {}
 
 impl Diagnosis {
     /// A clean slate (secure until proven otherwise, unsigned until a DS
@@ -333,15 +352,51 @@ impl Diagnosis {
             ns_events: Vec::new(),
             validation: ValidationState::Secure,
             zone_signed: false,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// A clean slate whose findings are announced to `tracer`.
+    pub fn with_tracer(tracer: Tracer) -> Self {
+        let mut d = Self::new();
+        d.tracer = tracer;
+        d
+    }
+
+    /// Attach (or replace) the tracer announcing this diagnosis's
+    /// findings.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The tracer findings are announced to (disabled by default).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Record a finding (idempotent: exact duplicates are dropped so a
     /// retried query cannot double-report).
     pub fn add(&mut self, finding: Finding) {
         if !self.findings.contains(&finding) {
+            self.tracer.emit(TraceEvent::FindingRecorded {
+                finding: format!("{finding:?}"),
+            });
             self.findings.push(finding);
         }
+    }
+
+    /// Merge another diagnosis's facts into this one without re-emitting
+    /// trace events (the sub-diagnosis's tracer already announced them).
+    pub fn absorb(&mut self, other: &Diagnosis) {
+        for f in &other.findings {
+            if !self.findings.contains(f) {
+                self.findings.push(f.clone());
+            }
+        }
+        for e in &other.ns_events {
+            self.add_event(e.clone());
+        }
+        self.degrade(other.validation);
     }
 
     /// Record a nameserver failure event.
@@ -381,10 +436,16 @@ mod tests {
 
     #[test]
     fn rcode_classification() {
-        assert_eq!(NsFailure::from_rcode(Rcode::Refused), Some(NsFailure::Refused));
+        assert_eq!(
+            NsFailure::from_rcode(Rcode::Refused),
+            Some(NsFailure::Refused)
+        );
         assert_eq!(NsFailure::from_rcode(Rcode::NoError), None);
         assert_eq!(NsFailure::from_rcode(Rcode::NxDomain), None);
-        assert_eq!(NsFailure::from_rcode(Rcode::NotAuth), Some(NsFailure::NotAuth));
+        assert_eq!(
+            NsFailure::from_rcode(Rcode::NotAuth),
+            Some(NsFailure::NotAuth)
+        );
         assert!(NsFailure::Refused.is_rcode_failure());
         assert!(!NsFailure::Timeout.is_rcode_failure());
         assert!(!NsFailure::Unroutable.is_rcode_failure());
@@ -405,9 +466,15 @@ mod tests {
     #[test]
     fn findings_deduplicate() {
         let mut d = Diagnosis::new();
-        d.add(Finding::RrsigMissing { target: SigTarget::Answer });
-        d.add(Finding::RrsigMissing { target: SigTarget::Answer });
-        d.add(Finding::RrsigMissing { target: SigTarget::Dnskey });
+        d.add(Finding::RrsigMissing {
+            target: SigTarget::Answer,
+        });
+        d.add(Finding::RrsigMissing {
+            target: SigTarget::Answer,
+        });
+        d.add(Finding::RrsigMissing {
+            target: SigTarget::Dnskey,
+        });
         assert_eq!(d.findings.len(), 2);
     }
 

@@ -205,37 +205,100 @@ mod tests {
     fn every_finding_variant_explains_without_panicking() {
         use Finding::*;
         let samples: Vec<Finding> = vec![
-            AllServersFailed { any_rcode_failure: true },
-            AllServersFailed { any_rcode_failure: false },
-            EdnsNotSupported { addr: "192.0.2.1".parse().expect("addr") },
-            DsUnknownAlgorithm { status: AlgStatus::Unassigned, algorithm: 100 },
-            DsUnknownAlgorithm { status: AlgStatus::Reserved, algorithm: 200 },
-            DsUnsupportedDigest { assigned: true, digest_type: 3 },
-            DsUnsupportedDigest { assigned: false, digest_type: 100 },
-            DsNoMatchingDnskey { cause: DsMismatch::TagOrAlgorithm },
-            DsNoMatchingDnskey { cause: DsMismatch::Digest },
-            DnskeyUnobtainable { failure: NsFailure::Refused },
+            AllServersFailed {
+                any_rcode_failure: true,
+            },
+            AllServersFailed {
+                any_rcode_failure: false,
+            },
+            EdnsNotSupported {
+                addr: "192.0.2.1".parse().expect("addr"),
+            },
+            DsUnknownAlgorithm {
+                status: AlgStatus::Unassigned,
+                algorithm: 100,
+            },
+            DsUnknownAlgorithm {
+                status: AlgStatus::Reserved,
+                algorithm: 200,
+            },
+            DsUnsupportedDigest {
+                assigned: true,
+                digest_type: 3,
+            },
+            DsUnsupportedDigest {
+                assigned: false,
+                digest_type: 100,
+            },
+            DsNoMatchingDnskey {
+                cause: DsMismatch::TagOrAlgorithm,
+            },
+            DsNoMatchingDnskey {
+                cause: DsMismatch::Digest,
+            },
+            DnskeyUnobtainable {
+                failure: NsFailure::Refused,
+            },
             DnskeySigMissingByMatchedKey,
             DnskeyAllSigsMissing,
-            DnskeySigBogus { zsk_present: true, some_sig_valid: false },
-            DnskeySigBogus { zsk_present: false, some_sig_valid: true },
+            DnskeySigBogus {
+                zsk_present: true,
+                some_sig_valid: false,
+            },
+            DnskeySigBogus {
+                zsk_present: false,
+                some_sig_valid: true,
+            },
             NoZoneKeyBitSet,
             StandbyKeyWithoutRrsig,
             UnsupportedKeySize { bits: 512 },
-            RrsigMissing { target: SigTarget::Answer },
-            SignatureExpired { target: SigTarget::Dnskey },
-            SignatureNotYetValid { target: SigTarget::Answer },
-            SignatureExpiredBeforeValid { target: SigTarget::Denial },
-            SignatureBogus { target: SigTarget::Answer },
-            RrsigKeyMissing { target: SigTarget::Answer },
-            ZoneAlgorithmUnsupported { status: AlgStatus::Deprecated, algorithm: 1 },
-            ZoneAlgorithmUnsupported { status: AlgStatus::UnsupportedAssigned, algorithm: 16 },
-            DenialProofBroken { issue: DenialIssue::Absent, kind: NegativeKind::Nodata },
-            DenialProofBroken { issue: DenialIssue::OwnerMismatch, kind: NegativeKind::Nxdomain },
-            DenialProofBroken { issue: DenialIssue::ChainMismatch, kind: NegativeKind::Nxdomain },
-            DenialSigMissing { kind: NegativeKind::Nxdomain },
-            DenialSigBogus { kind: NegativeKind::Nodata },
-            NegativeUnsigned { kind: NegativeKind::Nodata },
+            RrsigMissing {
+                target: SigTarget::Answer,
+            },
+            SignatureExpired {
+                target: SigTarget::Dnskey,
+            },
+            SignatureNotYetValid {
+                target: SigTarget::Answer,
+            },
+            SignatureExpiredBeforeValid {
+                target: SigTarget::Denial,
+            },
+            SignatureBogus {
+                target: SigTarget::Answer,
+            },
+            RrsigKeyMissing {
+                target: SigTarget::Answer,
+            },
+            ZoneAlgorithmUnsupported {
+                status: AlgStatus::Deprecated,
+                algorithm: 1,
+            },
+            ZoneAlgorithmUnsupported {
+                status: AlgStatus::UnsupportedAssigned,
+                algorithm: 16,
+            },
+            DenialProofBroken {
+                issue: DenialIssue::Absent,
+                kind: NegativeKind::Nodata,
+            },
+            DenialProofBroken {
+                issue: DenialIssue::OwnerMismatch,
+                kind: NegativeKind::Nxdomain,
+            },
+            DenialProofBroken {
+                issue: DenialIssue::ChainMismatch,
+                kind: NegativeKind::Nxdomain,
+            },
+            DenialSigMissing {
+                kind: NegativeKind::Nxdomain,
+            },
+            DenialSigBogus {
+                kind: NegativeKind::Nodata,
+            },
+            NegativeUnsigned {
+                kind: NegativeKind::Nodata,
+            },
             InsecureReferralProofMissing,
             Nsec3IterationsExceeded { iterations: 2000 },
             ServedStale { nxdomain: false },

@@ -76,6 +76,19 @@ impl Forwarder {
         let reply = Message::decode(&reply_wire).expect("own encoding decodes");
 
         let upstream_ede: Vec<EdeEntry> = reply.ede_entries().cloned().collect();
+        // Announce what actually reaches the client: forwarded entries
+        // re-emit under the "forwarder" label; stripping emits nothing,
+        // so a trace shows the upstream's entries disappearing here.
+        if self.passthrough_ede {
+            let tracer = self.upstream.network().tracer();
+            for entry in &upstream_ede {
+                tracer.emit(ede_trace::TraceEvent::EdeEmitted {
+                    vendor: "forwarder".to_string(),
+                    code: entry.code.to_u16(),
+                    extra_text: entry.extra_text.clone(),
+                });
+            }
+        }
         ForwardedResolution {
             rcode: reply.rcode,
             answers: reply.answers,

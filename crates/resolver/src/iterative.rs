@@ -5,16 +5,16 @@ use crate::config::ResolverConfig;
 use crate::diagnosis::{Diagnosis, Finding, NegativeKind, NsEvent, NsFailure, ValidationState};
 use crate::profiles::ValidatorCaps;
 use crate::validate::{
-    advisory_answer_key_check, check_negative, check_rrset, collate, validate_dnskey,
-    PublishedKey,
+    advisory_answer_key_check, check_negative, check_rrset, collate, validate_dnskey, PublishedKey,
 };
 use ede_crypto::nsec3hash;
 use ede_netsim::{NetError, Network};
+use ede_trace::TraceEvent;
 use ede_wire::{Message, Name, Rcode, Rdata, Record, RrType};
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::net::IpAddr;
 use std::sync::atomic::{AtomicU16, Ordering};
+use std::sync::Mutex;
 
 /// What one engine run produced.
 #[derive(Debug, Clone)]
@@ -51,7 +51,7 @@ impl KeyCache {
 
     /// Drop everything.
     pub fn clear(&self) {
-        self.entries.lock().clear();
+        self.entries.lock().expect("no poisoning").clear();
     }
 }
 
@@ -96,7 +96,17 @@ impl<'a> Engine<'a> {
         diag: &mut Diagnosis,
     ) -> SetQuery {
         let mut any_rcode_failure = false;
-        for &addr in servers.iter().take(self.config.max_servers_per_zone) {
+        for (attempt, &addr) in servers
+            .iter()
+            .take(self.config.max_servers_per_zone)
+            .enumerate()
+        {
+            if attempt > 0 {
+                diag.tracer().emit(TraceEvent::Retry {
+                    attempt,
+                    next: addr,
+                });
+            }
             let query = Message::iterative_query(self.next_id(), qname.clone(), qtype);
             match self.net.query(addr, self.config.source_addr, &query) {
                 Ok(resp) => {
@@ -151,7 +161,14 @@ impl<'a> Engine<'a> {
         diag: &mut Diagnosis,
     ) -> (Option<Vec<PublishedKey>>, Vec<PublishedKey>) {
         let now = self.now();
-        if let Some(entry) = self.key_cache.entries.lock().get(zone).cloned() {
+        if let Some(entry) = self
+            .key_cache
+            .entries
+            .lock()
+            .expect("no poisoning")
+            .get(zone)
+            .cloned()
+        {
             if entry.expires > now {
                 for f in &entry.findings {
                     diag.add(f.clone());
@@ -161,7 +178,7 @@ impl<'a> Engine<'a> {
             }
         }
 
-        let mut sub = Diagnosis::new();
+        let mut sub = Diagnosis::with_tracer(diag.tracer().clone());
         let query = Message::iterative_query(self.next_id(), zone.clone(), RrType::Dnskey);
         let fetched = match self.net.query(server, self.config.source_addr, &query) {
             Ok(resp) => {
@@ -208,15 +225,11 @@ impl<'a> Engine<'a> {
             }
         };
 
-        // Merge the sub-diagnosis into the caller's and cache it.
-        for f in &sub.findings {
-            diag.add(f.clone());
-        }
-        for e in &sub.ns_events {
-            diag.add_event(e.clone());
-        }
-        diag.degrade(sub.validation);
-        self.key_cache.entries.lock().insert(
+        // Merge the sub-diagnosis into the caller's and cache it. The
+        // sub shares the caller's tracer, so `absorb` (not `add`) avoids
+        // announcing each finding twice.
+        diag.absorb(&sub);
+        self.key_cache.entries.lock().expect("no poisoning").insert(
             zone.clone(),
             std::sync::Arc::new(KeyEntry {
                 trusted: trusted.clone(),
@@ -266,8 +279,7 @@ impl<'a> Engine<'a> {
         let mut cname_budget = self.config.max_depth;
 
         'restart: loop {
-            let mut servers: Vec<IpAddr> =
-                self.config.root_hints.iter().map(|h| h.addr).collect();
+            let mut servers: Vec<IpAddr> = self.config.root_hints.iter().map(|h| h.addr).collect();
             let mut current_zone = Name::root();
             let mut ds_chain: Option<Vec<Rdata>> = if self.config.trust_anchors.is_empty() {
                 None
@@ -325,6 +337,11 @@ impl<'a> Engine<'a> {
                 // Referral?
                 if !resp.authoritative {
                     if let Some(referral) = parse_referral(&resp, &probe_name, &current_zone) {
+                        diag.tracer().emit(TraceEvent::Referral {
+                            zone: referral.zone.to_string(),
+                            ns_count: referral.ns_names.len(),
+                            signed: !referral.ds_rdatas.is_empty(),
+                        });
                         // Chain transition through the cut.
                         let parent_signed = ds_chain.as_ref().is_some_and(|d| !d.is_empty());
                         let mut child_ds: Option<Vec<Rdata>> = None;
@@ -339,9 +356,8 @@ impl<'a> Engine<'a> {
                                 // Authenticate the DS RRset itself.
                                 if let Some(keys) = &parent_keys {
                                     let sets = collate(&resp.authorities);
-                                    if let Some(ds_set) = sets
-                                        .iter()
-                                        .find(|s| s.rtype == RrType::Ds)
+                                    if let Some(ds_set) =
+                                        sets.iter().find(|s| s.rtype == RrType::Ds)
                                     {
                                         check_rrset(
                                             ds_set,
@@ -371,11 +387,7 @@ impl<'a> Engine<'a> {
                         // Next server set: glue, else resolve NS names.
                         let mut next: Vec<IpAddr> = Vec::new();
                         for ns in &referral.ns_names {
-                            for rec in resp
-                                .additionals
-                                .iter()
-                                .filter(|r| r.name == *ns)
-                            {
+                            for rec in resp.additionals.iter().filter(|r| r.name == *ns) {
                                 match &rec.rdata {
                                     Rdata::A(a) => next.push(IpAddr::V4(*a)),
                                     Rdata::Aaaa(a) => next.push(IpAddr::V6(*a)),
@@ -574,7 +586,12 @@ fn parse_referral(resp: &Message, qname: &Name, current_zone: &Name) -> Option<R
 fn insecure_proof_present(authority: &[Record], deleg: &Name) -> bool {
     for rec in authority {
         match &rec.rdata {
-            Rdata::Nsec3 { salt, iterations, types, .. } => {
+            Rdata::Nsec3 {
+                salt,
+                iterations,
+                types,
+                ..
+            } => {
                 let label = nsec3hash::nsec3_hash_label(&deleg.to_wire(), salt, *iterations);
                 let owner_matches = rec
                     .name

@@ -159,10 +159,14 @@ fn has(diag: &Diagnosis, pred: impl Fn(&Finding) -> bool) -> bool {
 }
 
 fn stale_entries(diag: &Diagnosis, out: &mut Vec<EdeEntry>) {
-    if has(diag, |f| matches!(f, Finding::ServedStale { nxdomain: false })) {
+    if has(diag, |f| {
+        matches!(f, Finding::ServedStale { nxdomain: false })
+    }) {
         out.push(bare(3));
     }
-    if has(diag, |f| matches!(f, Finding::ServedStale { nxdomain: true })) {
+    if has(diag, |f| {
+        matches!(f, Finding::ServedStale { nxdomain: true })
+    }) {
         out.push(bare(19));
     }
 }
@@ -200,12 +204,22 @@ fn emit_unbound(diag: &Diagnosis) -> Vec<EdeEntry> {
     } else if has(diag, |f| {
         matches!(
             f,
-            Finding::SignatureNotYetValid { target: SigTarget::Dnskey }
-                | Finding::SignatureExpiredBeforeValid { target: SigTarget::Dnskey }
+            Finding::SignatureNotYetValid {
+                target: SigTarget::Dnskey
+            } | Finding::SignatureExpiredBeforeValid {
+                target: SigTarget::Dnskey
+            }
         )
     }) {
         Some(9)
-    } else if has(diag, |f| matches!(f, Finding::SignatureExpired { target: SigTarget::Dnskey })) {
+    } else if has(diag, |f| {
+        matches!(
+            f,
+            Finding::SignatureExpired {
+                target: SigTarget::Dnskey
+            }
+        )
+    }) {
         Some(7)
     } else if has(diag, |f| {
         matches!(
@@ -217,22 +231,33 @@ fn emit_unbound(diag: &Diagnosis) -> Vec<EdeEntry> {
     } else if has(diag, |f| {
         matches!(
             f,
-            Finding::RrsigMissing { target: SigTarget::Answer } | Finding::NegativeUnsigned { .. }
+            Finding::RrsigMissing {
+                target: SigTarget::Answer
+            } | Finding::NegativeUnsigned { .. }
         )
     }) {
         Some(10)
     } else if has(diag, |f| {
         matches!(
             f,
-            Finding::SignatureExpired { target: SigTarget::Answer }
-                | Finding::SignatureNotYetValid { target: SigTarget::Answer }
-                | Finding::SignatureExpiredBeforeValid { target: SigTarget::Answer }
-                | Finding::SignatureBogus { .. }
+            Finding::SignatureExpired {
+                target: SigTarget::Answer
+            } | Finding::SignatureNotYetValid {
+                target: SigTarget::Answer
+            } | Finding::SignatureExpiredBeforeValid {
+                target: SigTarget::Answer
+            } | Finding::SignatureBogus { .. }
         )
     }) {
         Some(6)
     } else if has(diag, |f| {
-        matches!(f, Finding::DenialProofBroken { issue: DenialIssue::Absent, .. })
+        matches!(
+            f,
+            Finding::DenialProofBroken {
+                issue: DenialIssue::Absent,
+                ..
+            }
+        )
     }) {
         Some(12)
     } else if has(diag, |f| matches!(f, Finding::DenialProofBroken { .. })) {
@@ -241,7 +266,14 @@ fn emit_unbound(diag: &Diagnosis) -> Vec<EdeEntry> {
         Some(12)
     } else if has(diag, |f| matches!(f, Finding::DenialSigBogus { .. })) {
         Some(6)
-    } else if has(diag, |f| matches!(f, Finding::RrsigKeyMissing { target: SigTarget::Answer })) {
+    } else if has(diag, |f| {
+        matches!(
+            f,
+            Finding::RrsigKeyMissing {
+                target: SigTarget::Answer
+            }
+        )
+    }) {
         Some(9)
     } else {
         None
@@ -273,29 +305,52 @@ fn emit_powerdns(diag: &Diagnosis) -> Vec<EdeEntry> {
     } else if has(diag, |f| {
         matches!(
             f,
-            Finding::SignatureExpired { target: SigTarget::Dnskey }
-                | Finding::SignatureExpiredBeforeValid { target: SigTarget::Dnskey }
+            Finding::SignatureExpired {
+                target: SigTarget::Dnskey
+            } | Finding::SignatureExpiredBeforeValid {
+                target: SigTarget::Dnskey
+            }
         )
     }) {
         Some(7)
-    } else if has(diag, |f| matches!(f, Finding::SignatureNotYetValid { target: SigTarget::Dnskey })) {
+    } else if has(diag, |f| {
+        matches!(
+            f,
+            Finding::SignatureNotYetValid {
+                target: SigTarget::Dnskey
+            }
+        )
+    }) {
         Some(8)
     } else if has(diag, |f| {
         matches!(
             f,
-            Finding::NegativeUnsigned { .. } | Finding::RrsigMissing { target: SigTarget::Answer }
+            Finding::NegativeUnsigned { .. }
+                | Finding::RrsigMissing {
+                    target: SigTarget::Answer
+                }
         )
     }) {
         Some(10)
     } else if has(diag, |f| {
         matches!(
             f,
-            Finding::SignatureExpired { target: SigTarget::Answer }
-                | Finding::SignatureExpiredBeforeValid { target: SigTarget::Answer }
+            Finding::SignatureExpired {
+                target: SigTarget::Answer
+            } | Finding::SignatureExpiredBeforeValid {
+                target: SigTarget::Answer
+            }
         )
     }) {
         Some(7)
-    } else if has(diag, |f| matches!(f, Finding::SignatureNotYetValid { target: SigTarget::Answer })) {
+    } else if has(diag, |f| {
+        matches!(
+            f,
+            Finding::SignatureNotYetValid {
+                target: SigTarget::Answer
+            }
+        )
+    }) {
         Some(8)
     } else if has(diag, |f| matches!(f, Finding::SignatureBogus { .. })) {
         Some(6)
@@ -325,7 +380,10 @@ fn emit_knot(diag: &Diagnosis) -> Vec<EdeEntry> {
             f,
             Finding::DsUnknownAlgorithm { .. }
                 | Finding::DsUnsupportedDigest { .. }
-                | Finding::ZoneAlgorithmUnsupported { status: AlgStatus::Deprecated, .. }
+                | Finding::ZoneAlgorithmUnsupported {
+                    status: AlgStatus::Deprecated,
+                    ..
+                }
         )
     }) {
         Some(EdeEntry::with_text(EdeCode::Other, KNOT_LSLC))
@@ -343,22 +401,41 @@ fn emit_knot(diag: &Diagnosis) -> Vec<EdeEntry> {
     } else if has(diag, |f| {
         matches!(
             f,
-            Finding::SignatureExpired { target: SigTarget::Dnskey }
-                | Finding::SignatureExpiredBeforeValid { target: SigTarget::Dnskey }
+            Finding::SignatureExpired {
+                target: SigTarget::Dnskey
+            } | Finding::SignatureExpiredBeforeValid {
+                target: SigTarget::Dnskey
+            }
         )
     }) {
         Some(bare(7))
-    } else if has(diag, |f| matches!(f, Finding::SignatureNotYetValid { target: SigTarget::Dnskey })) {
+    } else if has(diag, |f| {
+        matches!(
+            f,
+            Finding::SignatureNotYetValid {
+                target: SigTarget::Dnskey
+            }
+        )
+    }) {
         Some(bare(8))
     } else if has(diag, |f| {
         matches!(
             f,
-            Finding::NegativeUnsigned { .. } | Finding::RrsigMissing { target: SigTarget::Answer }
+            Finding::NegativeUnsigned { .. }
+                | Finding::RrsigMissing {
+                    target: SigTarget::Answer
+                }
         )
     }) {
         Some(bare(10))
     } else if has(diag, |f| {
-        matches!(f, Finding::DenialProofBroken { issue: DenialIssue::Absent, .. })
+        matches!(
+            f,
+            Finding::DenialProofBroken {
+                issue: DenialIssue::Absent,
+                ..
+            }
+        )
     }) {
         Some(bare(12))
     } else if has(diag, |f| matches!(f, Finding::DenialProofBroken { .. })) {
@@ -384,103 +461,172 @@ fn emit_knot(diag: &Diagnosis) -> Vec<EdeEntry> {
 fn emit_cloudflare(diag: &Diagnosis) -> Vec<EdeEntry> {
     let mut out = Vec::new();
 
-    let primary: Option<EdeEntry> = if has(diag, |f| matches!(f, Finding::DsUnsupportedDigest { .. })) {
-        Some(bare(2))
-    } else if has(diag, |f| {
-        matches!(f, Finding::DsUnknownAlgorithm { status: AlgStatus::Reserved, .. })
-    }) {
-        Some(EdeEntry::with_text(
-            EdeCode::UnsupportedDnskeyAlgorithm,
-            "no supported DNSKEY algorithm",
-        ))
-    } else if has(diag, |f| {
-        matches!(f, Finding::DsUnknownAlgorithm { status: AlgStatus::Unassigned, .. })
-    }) {
-        Some(bare(9))
-    } else if has(diag, |f| matches!(f, Finding::ZoneAlgorithmUnsupported { .. })) {
-        Some(EdeEntry::with_text(
-            EdeCode::UnsupportedDnskeyAlgorithm,
-            "no supported DNSKEY algorithm",
-        ))
-    } else if has(diag, |f| matches!(f, Finding::UnsupportedKeySize { .. })) {
-        Some(EdeEntry::with_text(
-            EdeCode::UnsupportedDnskeyAlgorithm,
-            "unsupported key size",
-        ))
-    } else if has(diag, |f| {
-        matches!(f, Finding::DsNoMatchingDnskey { cause: DsMismatch::TagOrAlgorithm })
-    }) {
-        Some(bare(9))
-    } else if has(diag, |f| {
-        matches!(f, Finding::DsNoMatchingDnskey { cause: DsMismatch::Digest })
-    }) {
-        Some(bare(6))
-    } else if has(diag, |f| matches!(f, Finding::DnskeyUnobtainable { .. })) {
-        Some(bare(9))
-    } else if has(diag, |f| {
-        matches!(f, Finding::SignatureExpiredBeforeValid { target: SigTarget::Dnskey })
-    }) {
-        Some(bare(10))
-    } else if has(diag, |f| matches!(f, Finding::SignatureExpired { target: SigTarget::Dnskey })) {
-        Some(bare(7))
-    } else if has(diag, |f| matches!(f, Finding::SignatureNotYetValid { target: SigTarget::Dnskey })) {
-        Some(bare(8))
-    } else if has(diag, |f| matches!(f, Finding::DnskeySigBogus { .. })) {
-        Some(bare(6))
-    } else if has(diag, |f| {
-        matches!(
-            f,
-            Finding::DnskeySigMissingByMatchedKey | Finding::DnskeyAllSigsMissing
-        )
-    }) {
-        Some(bare(10))
-    } else if has(diag, |f| {
-        matches!(
-            f,
-            Finding::NegativeUnsigned { .. } | Finding::RrsigMissing { target: SigTarget::Answer }
-        )
-    }) {
-        Some(bare(10))
-    } else if has(diag, |f| {
-        matches!(
-            f,
-            Finding::SignatureExpired { target: SigTarget::Answer }
-                | Finding::SignatureExpiredBeforeValid { target: SigTarget::Answer }
-        )
-    }) {
-        Some(bare(7))
-    } else if has(diag, |f| matches!(f, Finding::SignatureNotYetValid { target: SigTarget::Answer })) {
-        Some(bare(8))
-    } else if has(diag, |f| matches!(f, Finding::SignatureBogus { .. })) {
-        Some(bare(6))
-    } else if has(diag, |f| matches!(f, Finding::RrsigKeyMissing { target: SigTarget::Answer })) {
-        Some(bare(9))
-    } else if has(diag, |f| {
-        matches!(
-            f,
-            Finding::DenialProofBroken { .. }
-                | Finding::DenialSigMissing { .. }
-                | Finding::DenialSigBogus { .. }
-        )
-    }) {
-        Some(bare(6))
-    } else if let Some(Finding::InsecureReferralProofMissing) = diag
-        .findings
-        .iter()
-        .find(|f| matches!(f, Finding::InsecureReferralProofMissing))
-    {
-        Some(EdeEntry::with_text(
-            EdeCode::NsecMissing,
-            "failed to verify an insecure referral proof",
-        ))
-    } else if has(diag, |f| matches!(f, Finding::Nsec3IterationsExceeded { .. })) {
-        Some(EdeEntry::with_text(EdeCode::Other, "iteration limit exceeded"))
-    } else if has(diag, |f| matches!(f, Finding::StandbyKeyWithoutRrsig)) {
-        // NOERROR + EDE: key rollover in progress / stand-by key (§4.2.3).
-        Some(bare(10))
-    } else {
-        None
-    };
+    let primary: Option<EdeEntry> =
+        if has(diag, |f| matches!(f, Finding::DsUnsupportedDigest { .. })) {
+            Some(bare(2))
+        } else if has(diag, |f| {
+            matches!(
+                f,
+                Finding::DsUnknownAlgorithm {
+                    status: AlgStatus::Reserved,
+                    ..
+                }
+            )
+        }) {
+            Some(EdeEntry::with_text(
+                EdeCode::UnsupportedDnskeyAlgorithm,
+                "no supported DNSKEY algorithm",
+            ))
+        } else if has(diag, |f| {
+            matches!(
+                f,
+                Finding::DsUnknownAlgorithm {
+                    status: AlgStatus::Unassigned,
+                    ..
+                }
+            )
+        }) {
+            Some(bare(9))
+        } else if has(diag, |f| {
+            matches!(f, Finding::ZoneAlgorithmUnsupported { .. })
+        }) {
+            Some(EdeEntry::with_text(
+                EdeCode::UnsupportedDnskeyAlgorithm,
+                "no supported DNSKEY algorithm",
+            ))
+        } else if has(diag, |f| matches!(f, Finding::UnsupportedKeySize { .. })) {
+            Some(EdeEntry::with_text(
+                EdeCode::UnsupportedDnskeyAlgorithm,
+                "unsupported key size",
+            ))
+        } else if has(diag, |f| {
+            matches!(
+                f,
+                Finding::DsNoMatchingDnskey {
+                    cause: DsMismatch::TagOrAlgorithm
+                }
+            )
+        }) {
+            Some(bare(9))
+        } else if has(diag, |f| {
+            matches!(
+                f,
+                Finding::DsNoMatchingDnskey {
+                    cause: DsMismatch::Digest
+                }
+            )
+        }) {
+            Some(bare(6))
+        } else if has(diag, |f| matches!(f, Finding::DnskeyUnobtainable { .. })) {
+            Some(bare(9))
+        } else if has(diag, |f| {
+            matches!(
+                f,
+                Finding::SignatureExpiredBeforeValid {
+                    target: SigTarget::Dnskey
+                }
+            )
+        }) {
+            Some(bare(10))
+        } else if has(diag, |f| {
+            matches!(
+                f,
+                Finding::SignatureExpired {
+                    target: SigTarget::Dnskey
+                }
+            )
+        }) {
+            Some(bare(7))
+        } else if has(diag, |f| {
+            matches!(
+                f,
+                Finding::SignatureNotYetValid {
+                    target: SigTarget::Dnskey
+                }
+            )
+        }) {
+            Some(bare(8))
+        } else if has(diag, |f| matches!(f, Finding::DnskeySigBogus { .. })) {
+            Some(bare(6))
+        } else if has(diag, |f| {
+            matches!(
+                f,
+                Finding::DnskeySigMissingByMatchedKey | Finding::DnskeyAllSigsMissing
+            )
+        }) {
+            Some(bare(10))
+        } else if has(diag, |f| {
+            matches!(
+                f,
+                Finding::NegativeUnsigned { .. }
+                    | Finding::RrsigMissing {
+                        target: SigTarget::Answer
+                    }
+            )
+        }) {
+            Some(bare(10))
+        } else if has(diag, |f| {
+            matches!(
+                f,
+                Finding::SignatureExpired {
+                    target: SigTarget::Answer
+                } | Finding::SignatureExpiredBeforeValid {
+                    target: SigTarget::Answer
+                }
+            )
+        }) {
+            Some(bare(7))
+        } else if has(diag, |f| {
+            matches!(
+                f,
+                Finding::SignatureNotYetValid {
+                    target: SigTarget::Answer
+                }
+            )
+        }) {
+            Some(bare(8))
+        } else if has(diag, |f| matches!(f, Finding::SignatureBogus { .. })) {
+            Some(bare(6))
+        } else if has(diag, |f| {
+            matches!(
+                f,
+                Finding::RrsigKeyMissing {
+                    target: SigTarget::Answer
+                }
+            )
+        }) {
+            Some(bare(9))
+        } else if has(diag, |f| {
+            matches!(
+                f,
+                Finding::DenialProofBroken { .. }
+                    | Finding::DenialSigMissing { .. }
+                    | Finding::DenialSigBogus { .. }
+            )
+        }) {
+            Some(bare(6))
+        } else if let Some(Finding::InsecureReferralProofMissing) = diag
+            .findings
+            .iter()
+            .find(|f| matches!(f, Finding::InsecureReferralProofMissing))
+        {
+            Some(EdeEntry::with_text(
+                EdeCode::NsecMissing,
+                "failed to verify an insecure referral proof",
+            ))
+        } else if has(diag, |f| {
+            matches!(f, Finding::Nsec3IterationsExceeded { .. })
+        }) {
+            Some(EdeEntry::with_text(
+                EdeCode::Other,
+                "iteration limit exceeded",
+            ))
+        } else if has(diag, |f| matches!(f, Finding::StandbyKeyWithoutRrsig)) {
+            // NOERROR + EDE: key rollover in progress / stand-by key (§4.2.3).
+            Some(bare(10))
+        } else {
+            None
+        };
     out.extend(primary);
 
     // Invalid Data (24): EDNS-oblivious servers (§4.2.6).
@@ -506,14 +652,13 @@ fn emit_cloudflare(diag: &Diagnosis) -> Vec<EdeEntry> {
     if has(diag, |f| matches!(f, Finding::AllServersFailed { .. })) {
         out.push(bare(22));
     }
-    if let Some(ev) = diag
-        .ns_events
-        .iter()
-        .find(|e| e.failure.is_rcode_failure())
-    {
+    if let Some(ev) = diag.ns_events.iter().find(|e| e.failure.is_rcode_failure()) {
         out.push(EdeEntry::with_text(
             EdeCode::NetworkError,
-            format!("{}:53 {} for {} {}", ev.addr, ev.failure, ev.qname, ev.qtype),
+            format!(
+                "{}:53 {} for {} {}",
+                ev.addr, ev.failure, ev.qname, ev.qtype
+            ),
         ));
     }
 
@@ -529,17 +674,36 @@ fn emit_quad9(diag: &Diagnosis) -> Vec<EdeEntry> {
     let mut out = Vec::new();
 
     let answer_key_missing = has(diag, |f| {
-        matches!(f, Finding::RrsigKeyMissing { target: SigTarget::Answer })
+        matches!(
+            f,
+            Finding::RrsigKeyMissing {
+                target: SigTarget::Answer
+            }
+        )
     });
 
     let code = if has(diag, |f| matches!(f, Finding::NoZoneKeyBitSet)) {
         Some(10)
     } else if has(diag, |f| {
-        matches!(f, Finding::DnskeySigBogus { some_sig_valid: true, .. })
+        matches!(
+            f,
+            Finding::DnskeySigBogus {
+                some_sig_valid: true,
+                ..
+            }
+        )
     }) {
         Some(6)
     } else if answer_key_missing
-        && has(diag, |f| matches!(f, Finding::DnskeySigBogus { zsk_present: true, .. }))
+        && has(diag, |f| {
+            matches!(
+                f,
+                Finding::DnskeySigBogus {
+                    zsk_present: true,
+                    ..
+                }
+            )
+        })
     {
         // A zone-key ZSK is still published and the answer's RRSIG points
         // at a tag that no longer exists: Quad9 reports generic bogus.
@@ -551,35 +715,85 @@ fn emit_quad9(diag: &Diagnosis) -> Vec<EdeEntry> {
                 | Finding::DnskeySigBogus { .. }
                 | Finding::DnskeyAllSigsMissing
                 | Finding::DnskeySigMissingByMatchedKey
-                | Finding::SignatureNotYetValid { target: SigTarget::Dnskey }
-                | Finding::SignatureExpiredBeforeValid { target: SigTarget::Dnskey }
+                | Finding::SignatureNotYetValid {
+                    target: SigTarget::Dnskey
+                }
+                | Finding::SignatureExpiredBeforeValid {
+                    target: SigTarget::Dnskey
+                }
         )
     }) {
         Some(9)
-    } else if has(diag, |f| matches!(f, Finding::SignatureExpired { target: SigTarget::Dnskey })) {
-        Some(7)
-    } else if has(diag, |f| matches!(f, Finding::RrsigMissing { target: SigTarget::Answer })) {
-        Some(10)
-    } else if has(diag, |f| matches!(f, Finding::SignatureExpired { target: SigTarget::Answer })) {
-        Some(6)
-    } else if has(diag, |f| matches!(f, Finding::SignatureNotYetValid { target: SigTarget::Answer })) {
-        Some(8)
     } else if has(diag, |f| {
-        matches!(f, Finding::SignatureExpiredBeforeValid { target: SigTarget::Answer })
+        matches!(
+            f,
+            Finding::SignatureExpired {
+                target: SigTarget::Dnskey
+            }
+        )
     }) {
         Some(7)
     } else if has(diag, |f| {
-        matches!(f, Finding::NegativeUnsigned { kind: NegativeKind::Nodata })
-    }) {
-        Some(9)
-    } else if has(diag, |f| {
-        matches!(f, Finding::NegativeUnsigned { kind: NegativeKind::Nxdomain })
+        matches!(
+            f,
+            Finding::RrsigMissing {
+                target: SigTarget::Answer
+            }
+        )
     }) {
         Some(10)
     } else if has(diag, |f| {
         matches!(
             f,
-            Finding::DenialProofBroken { issue: DenialIssue::Absent, kind: NegativeKind::Nodata }
+            Finding::SignatureExpired {
+                target: SigTarget::Answer
+            }
+        )
+    }) {
+        Some(6)
+    } else if has(diag, |f| {
+        matches!(
+            f,
+            Finding::SignatureNotYetValid {
+                target: SigTarget::Answer
+            }
+        )
+    }) {
+        Some(8)
+    } else if has(diag, |f| {
+        matches!(
+            f,
+            Finding::SignatureExpiredBeforeValid {
+                target: SigTarget::Answer
+            }
+        )
+    }) {
+        Some(7)
+    } else if has(diag, |f| {
+        matches!(
+            f,
+            Finding::NegativeUnsigned {
+                kind: NegativeKind::Nodata
+            }
+        )
+    }) {
+        Some(9)
+    } else if has(diag, |f| {
+        matches!(
+            f,
+            Finding::NegativeUnsigned {
+                kind: NegativeKind::Nxdomain
+            }
+        )
+    }) {
+        Some(10)
+    } else if has(diag, |f| {
+        matches!(
+            f,
+            Finding::DenialProofBroken {
+                issue: DenialIssue::Absent,
+                kind: NegativeKind::Nodata
+            }
         )
     }) {
         Some(9)
@@ -621,21 +835,37 @@ fn emit_opendns(diag: &Diagnosis) -> Vec<EdeEntry> {
                 | Finding::DnskeyAllSigsMissing
                 | Finding::DnskeySigMissingByMatchedKey
                 | Finding::NoZoneKeyBitSet
-                | Finding::SignatureExpired { target: SigTarget::Dnskey }
-                | Finding::SignatureNotYetValid { target: SigTarget::Dnskey }
-                | Finding::SignatureExpiredBeforeValid { target: SigTarget::Dnskey }
+                | Finding::SignatureExpired {
+                    target: SigTarget::Dnskey
+                }
+                | Finding::SignatureNotYetValid {
+                    target: SigTarget::Dnskey
+                }
+                | Finding::SignatureExpiredBeforeValid {
+                    target: SigTarget::Dnskey
+                }
         )
     }) {
         Some(6)
     } else if has(diag, |f| {
         matches!(
             f,
-            Finding::SignatureExpired { target: SigTarget::Answer }
-                | Finding::SignatureExpiredBeforeValid { target: SigTarget::Answer }
+            Finding::SignatureExpired {
+                target: SigTarget::Answer
+            } | Finding::SignatureExpiredBeforeValid {
+                target: SigTarget::Answer
+            }
         )
     }) {
         Some(7)
-    } else if has(diag, |f| matches!(f, Finding::SignatureNotYetValid { target: SigTarget::Answer })) {
+    } else if has(diag, |f| {
+        matches!(
+            f,
+            Finding::SignatureNotYetValid {
+                target: SigTarget::Answer
+            }
+        )
+    }) {
         Some(8)
     } else if has(diag, |f| matches!(f, Finding::SignatureBogus { .. })) {
         Some(6)
@@ -652,8 +882,10 @@ fn emit_opendns(diag: &Diagnosis) -> Vec<EdeEntry> {
     } else if has(diag, |f| {
         matches!(
             f,
-            Finding::DenialProofBroken { issue: DenialIssue::ChainMismatch, .. }
-                | Finding::DenialSigBogus { .. }
+            Finding::DenialProofBroken {
+                issue: DenialIssue::ChainMismatch,
+                ..
+            } | Finding::DenialSigBogus { .. }
                 | Finding::NegativeUnsigned { .. }
         )
     }) {
@@ -713,8 +945,14 @@ mod tests {
         let d = diag_with(vec![Finding::DsNoMatchingDnskey {
             cause: DsMismatch::TagOrAlgorithm,
         }]);
-        let got: Vec<Vec<u16>> = VendorProfile::all().iter().map(|p| codes(&p.emit(&d))).collect();
-        assert_eq!(got, vec![vec![], vec![9], vec![9], vec![6], vec![9], vec![9], vec![6]]);
+        let got: Vec<Vec<u16>> = VendorProfile::all()
+            .iter()
+            .map(|p| codes(&p.emit(&d)))
+            .collect();
+        assert_eq!(
+            got,
+            vec![vec![], vec![9], vec![9], vec![6], vec![9], vec![9], vec![6]]
+        );
     }
 
     #[test]
@@ -752,7 +990,10 @@ mod tests {
             qname: Name::parse("x.example").unwrap(),
             qtype: RrType::A,
         });
-        assert_eq!(codes(&VendorProfile::new(Vendor::Cloudflare).emit(&d)), vec![22]);
+        assert_eq!(
+            codes(&VendorProfile::new(Vendor::Cloudflare).emit(&d)),
+            vec![22]
+        );
     }
 
     #[test]
@@ -767,7 +1008,10 @@ mod tests {
             qname: Name::parse("x.example").unwrap(),
             qtype: RrType::A,
         });
-        assert_eq!(codes(&VendorProfile::new(Vendor::OpenDns).emit(&d)), vec![18]);
+        assert_eq!(
+            codes(&VendorProfile::new(Vendor::OpenDns).emit(&d)),
+            vec![18]
+        );
     }
 
     #[test]

@@ -17,8 +17,8 @@
 
 use ede_netsim::{Server, ServerResponse};
 use ede_wire::{Edns, Message, Name, Rcode, Rdata, Record, RrType, WireError};
-use parking_lot::Mutex;
 use std::net::IpAddr;
+use std::sync::Mutex;
 
 /// One decoded error report.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -61,7 +61,10 @@ pub fn parse_report_qname(name: &Name, agent: &Name) -> Option<ErrorReport> {
         return None;
     }
     let qtype: u16 = std::str::from_utf8(body[1]).ok()?.parse().ok()?;
-    let info_code: u16 = std::str::from_utf8(body[body.len() - 2]).ok()?.parse().ok()?;
+    let info_code: u16 = std::str::from_utf8(body[body.len() - 2])
+        .ok()?
+        .parse()
+        .ok()?;
     let qname = Name::from_labels(body[2..body.len() - 2].iter().copied()).ok()?;
     Some(ErrorReport {
         qname,
@@ -94,12 +97,12 @@ impl ReportingAgent {
 
     /// Reports collected so far.
     pub fn reports(&self) -> Vec<ErrorReport> {
-        self.reports.lock().clone()
+        self.reports.lock().expect("no poisoning").clone()
     }
 
     /// Number of reports collected.
     pub fn report_count(&self) -> usize {
-        self.reports.lock().len()
+        self.reports.lock().expect("no poisoning").len()
     }
 }
 
@@ -117,7 +120,7 @@ impl Server for ReportingAgent {
         }
         match parse_report_qname(&q.name, &self.agent) {
             Some(report) => {
-                self.reports.lock().push(report);
+                self.reports.lock().expect("no poisoning").push(report);
                 resp.answers.push(Record::new(
                     q.name.clone(),
                     3600, // long TTL: caching suppresses duplicate reports

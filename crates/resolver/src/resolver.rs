@@ -7,7 +7,8 @@ use crate::iterative::{Engine, KeyCache};
 use crate::policy::{Policy, PolicyAction};
 use crate::profiles::VendorProfile;
 use ede_netsim::Network;
-use ede_wire::{Edns, EdeEntry, Message, Name, Rcode, Record, RrType};
+use ede_trace::{CacheOutcome, TraceEvent, Tracer};
+use ede_wire::{EdeEntry, Edns, Message, Name, Rcode, Record, RrType};
 use std::sync::atomic::AtomicU16;
 use std::sync::Arc;
 
@@ -101,36 +102,62 @@ impl Resolver {
 
     /// Resolve one (name, type) with full recursion, validation, policy,
     /// caching, and EDE emission.
+    ///
+    /// When a trace sink is attached to the underlying network (see
+    /// `Network::set_trace_sink`), the resolution is bracketed with
+    /// `ResolutionStarted`/`ResolutionFinished` events and every cache
+    /// probe, validation step, finding, and EDE emission is announced in
+    /// between.
     pub fn resolve(&self, qname: &Name, qtype: RrType) -> Resolution {
         let now = self.net.clock().now_secs();
+        let tracer = self.net.tracer();
+        let started_ms = tracer.now_millis();
+        tracer.emit(TraceEvent::ResolutionStarted {
+            qname: qname.to_string(),
+            qtype: qtype.to_u16(),
+        });
 
         // 1. Policy gate.
         if let Some(action) = self.policy.lookup(qname) {
-            return self.policy_resolution(qname, action.clone());
+            let resolution = self.policy_resolution(qname, action.clone());
+            self.trace_finish(&tracer, started_ms, &resolution);
+            return resolution;
         }
 
         // 2. Cache probe.
         if self.config.enable_cache {
             if let CacheHit::Fresh(data) = self.cache.get(qname, qtype, now) {
+                tracer.emit(TraceEvent::CacheProbe {
+                    qname: qname.to_string(),
+                    qtype: qtype.to_u16(),
+                    outcome: CacheOutcome::Hit,
+                });
                 let mut diag = data.diagnosis.clone();
+                diag.set_tracer(tracer.clone());
                 if data.is_failure {
                     diag.add(Finding::CachedError);
                 }
                 let ede = self.profile.emit(&diag);
-                return Resolution {
+                let resolution = Resolution {
                     rcode: data.rcode,
                     answers: data.answers,
-                    authentic_data: diag.validation == ValidationState::Secure
-                        && diag.zone_signed,
+                    authentic_data: diag.validation == ValidationState::Secure && diag.zone_signed,
                     validation: diag.validation,
                     ede,
                     diagnosis: diag,
                 };
+                self.trace_finish(&tracer, started_ms, &resolution);
+                return resolution;
             }
+            tracer.emit(TraceEvent::CacheProbe {
+                qname: qname.to_string(),
+                qtype: qtype.to_u16(),
+                outcome: CacheOutcome::Miss,
+            });
         }
 
         // 3. Live resolution.
-        let mut diag = Diagnosis::new();
+        let mut diag = Diagnosis::with_tracer(tracer.clone());
         let engine = Engine {
             net: &self.net,
             config: &self.config,
@@ -141,14 +168,18 @@ impl Resolver {
         let outcome = engine.resolve(qname, qtype, &mut diag, 0);
 
         // 4. Serve-stale fallback (RFC 8767) on failure.
-        if outcome.rcode == Rcode::ServFail && self.config.serve_stale && self.config.enable_cache
-        {
+        if outcome.rcode == Rcode::ServFail && self.config.serve_stale && self.config.enable_cache {
             if let Some(stale) = self.cache.get_stale_success(qname, qtype, now) {
+                tracer.emit(TraceEvent::CacheProbe {
+                    qname: qname.to_string(),
+                    qtype: qtype.to_u16(),
+                    outcome: CacheOutcome::StaleServed,
+                });
                 diag.add(Finding::ServedStale {
                     nxdomain: stale.rcode == Rcode::NxDomain,
                 });
                 let ede = self.profile.emit(&diag);
-                return Resolution {
+                let resolution = Resolution {
                     rcode: stale.rcode,
                     answers: stale.answers,
                     authentic_data: false,
@@ -156,6 +187,8 @@ impl Resolver {
                     ede,
                     diagnosis: diag,
                 };
+                self.trace_finish(&tracer, started_ms, &resolution);
+                return resolution;
             }
         }
 
@@ -165,20 +198,19 @@ impl Resolver {
             let ttl = if is_failure {
                 self.config.failure_ttl_secs
             } else {
-                outcome
-                    .answers
-                    .iter()
-                    .map(|r| r.ttl)
-                    .min()
-                    .unwrap_or(300)
+                outcome.answers.iter().map(|r| r.ttl).min().unwrap_or(300)
             };
+            // Cached diagnoses must not keep announcing to this
+            // resolution's sink when replayed later: strip the tracer.
+            let mut stored = diag.clone();
+            stored.set_tracer(Tracer::disabled());
             self.cache.put(
                 qname.clone(),
                 qtype,
                 CachedResolution {
                     rcode: outcome.rcode,
                     answers: outcome.answers.clone(),
-                    diagnosis: diag.clone(),
+                    diagnosis: stored,
                     is_failure,
                 },
                 ttl,
@@ -188,14 +220,36 @@ impl Resolver {
 
         let ede = self.profile.emit(&diag);
         self.maybe_report(qname, qtype, &ede);
-        Resolution {
+        let resolution = Resolution {
             rcode: outcome.rcode,
             answers: outcome.answers,
             authentic_data: diag.validation == ValidationState::Secure && diag.zone_signed,
             validation: diag.validation,
             ede,
             diagnosis: diag,
+        };
+        self.trace_finish(&tracer, started_ms, &resolution);
+        resolution
+    }
+
+    /// Announce the EDE entries and the `ResolutionFinished` bracket.
+    fn trace_finish(&self, tracer: &Tracer, started_ms: Option<u64>, res: &Resolution) {
+        if !tracer.enabled() {
+            return;
         }
+        for entry in &res.ede {
+            tracer.emit(TraceEvent::EdeEmitted {
+                vendor: self.profile.vendor.name().to_string(),
+                code: entry.code.to_u16(),
+                extra_text: entry.extra_text.clone(),
+            });
+        }
+        let now_ms = tracer.now_millis().unwrap_or(0);
+        tracer.emit(TraceEvent::ResolutionFinished {
+            rcode: res.rcode.to_u16(),
+            ede_count: res.ede.len(),
+            duration_ms: now_ms.saturating_sub(started_ms.unwrap_or(now_ms)),
+        });
     }
 
     /// RFC 9567: fire an error report for the first EDE entry of a

@@ -67,7 +67,12 @@ pub fn published_keys(dnskey_rrset: &Rrset) -> Vec<PublishedKey> {
         .rdatas
         .iter()
         .filter_map(|rd| match rd {
-            Rdata::Dnskey { flags, algorithm, public_key, .. } => {
+            Rdata::Dnskey {
+                flags,
+                algorithm,
+                public_key,
+                ..
+            } => {
                 let mut buf = Vec::new();
                 rd.encode(&mut buf, None);
                 Some(PublishedKey {
@@ -193,23 +198,47 @@ pub fn validate_dnskey(
     now: u32,
     diag: &mut Diagnosis,
 ) -> DnskeyValidation {
+    let before = diag.findings.len();
+    let v = validate_dnskey_inner(apex, ds_rdatas, dnskey_rrset, caps, now, diag);
+    diag.tracer().emit(ede_trace::TraceEvent::ValidationStep {
+        target: format!("DNSKEY {apex}"),
+        ok: v.trusted.is_some() && diag.findings.len() == before,
+    });
+    v
+}
+
+fn validate_dnskey_inner(
+    apex: &Name,
+    ds_rdatas: &[Rdata],
+    dnskey_rrset: &Rrset,
+    caps: &ValidatorCaps,
+    now: u32,
+    diag: &mut Diagnosis,
+) -> DnskeyValidation {
     let published = published_keys(dnskey_rrset);
-    let zsk_present = published
-        .iter()
-        .any(|k| k.is_zone_key() && !k.is_sep() && SecAlg(k.algorithm).status() != RegistryStatus::Unassigned);
+    let zsk_present = published.iter().any(|k| {
+        k.is_zone_key() && !k.is_sep() && SecAlg(k.algorithm).status() != RegistryStatus::Unassigned
+    });
 
     // 1. Which DS records can this validator use at all?
     let mut usable_ds: Vec<&Rdata> = Vec::new();
     for ds in ds_rdatas {
-        let Rdata::Ds { algorithm, digest_type, .. } = ds else {
+        let Rdata::Ds {
+            algorithm,
+            digest_type,
+            ..
+        } = ds
+        else {
             continue;
         };
         if let Some(status) = alg_status_for(*algorithm, caps) {
             match status {
-                AlgStatus::Unassigned | AlgStatus::Reserved => diag.add(Finding::DsUnknownAlgorithm {
-                    status,
-                    algorithm: *algorithm,
-                }),
+                AlgStatus::Unassigned | AlgStatus::Reserved => {
+                    diag.add(Finding::DsUnknownAlgorithm {
+                        status,
+                        algorithm: *algorithm,
+                    })
+                }
                 AlgStatus::Deprecated | AlgStatus::UnsupportedAssigned => {
                     diag.add(Finding::ZoneAlgorithmUnsupported {
                         status,
@@ -251,10 +280,19 @@ pub fn validate_dnskey(
     let mut digest_mismatch_seen = false;
     let mut matched: Option<(&Rdata, &PublishedKey)> = None;
     'outer: for ds in &usable_ds {
-        let Rdata::Ds { key_tag, algorithm, digest_type, digest } = ds else {
+        let Rdata::Ds {
+            key_tag,
+            algorithm,
+            digest_type,
+            digest,
+        } = ds
+        else {
             continue;
         };
-        for key in published.iter().filter(|k| k.tag == *key_tag && k.algorithm == *algorithm) {
+        for key in published
+            .iter()
+            .filter(|k| k.tag == *key_tag && k.algorithm == *algorithm)
+        {
             let input = ds_digest_input(apex, &key.dnskey_rdata());
             let computed = match DigestAlg(*digest_type) {
                 DigestAlg::SHA1 => Sha1::digest(&input),
@@ -323,11 +361,20 @@ pub fn validate_dnskey(
     }
 
     let data = signing_data(ksk_sig, dnskey_rrset);
-    if simsig::verify(&ksk.public_key, ksk_sig.algorithm, &data, &ksk_sig.signature).is_err() {
+    if simsig::verify(
+        &ksk.public_key,
+        ksk_sig.algorithm,
+        &data,
+        &ksk_sig.signature,
+    )
+    .is_err()
+    {
         // Advisory: does *any* signature over the RRset verify against
         // *any* published key? (Quad9 demonstrably distinguishes this.)
         let some_sig_valid = sigs.iter().any(|s| {
-            published.iter().any(|k| sig_verifies(s, dnskey_rrset, k, now))
+            published
+                .iter()
+                .any(|k| sig_verifies(s, dnskey_rrset, k, now))
         });
         diag.add(Finding::DnskeySigBogus {
             zsk_present,
@@ -344,10 +391,7 @@ pub fn validate_dnskey(
     for key in &published {
         // A SEP-flagged key that is not DS-matched and signs nothing is a
         // stand-by key (§4.2.3) — Cloudflare flags it.
-        if key.is_sep()
-            && key.tag != ksk.tag
-            && !sigs.iter().any(|s| s.key_tag == key.tag)
-        {
+        if key.is_sep() && key.tag != ksk.tag && !sigs.iter().any(|s| s.key_tag == key.tag) {
             diag.add(Finding::StandbyKeyWithoutRrsig);
         }
         if key.key_bits() < caps.min_key_bits {
@@ -372,6 +416,22 @@ pub fn validate_dnskey(
 /// trusted keys. Returns true when at least one signature fully
 /// verifies; otherwise records the most informative finding.
 pub fn check_rrset(
+    rrset: &Rrset,
+    trusted: &[PublishedKey],
+    caps: &ValidatorCaps,
+    now: u32,
+    target: SigTarget,
+    diag: &mut Diagnosis,
+) -> bool {
+    let ok = check_rrset_inner(rrset, trusted, caps, now, target, diag);
+    diag.tracer().emit(ede_trace::TraceEvent::ValidationStep {
+        target: format!("{} {} rrsig", rrset.name, rrset.rtype),
+        ok,
+    });
+    ok
+}
+
+fn check_rrset_inner(
     rrset: &Rrset,
     trusted: &[PublishedKey],
     caps: &ValidatorCaps,
@@ -515,6 +575,28 @@ pub fn check_negative(
     now: u32,
     diag: &mut Diagnosis,
 ) {
+    let before = diag.findings.len();
+    check_negative_inner(
+        authority, qname, qtype, kind, zone_apex, trusted, caps, now, diag,
+    );
+    diag.tracer().emit(ede_trace::TraceEvent::ValidationStep {
+        target: format!("denial {qname} ({kind:?})"),
+        ok: diag.findings.len() == before,
+    });
+}
+
+#[allow(clippy::too_many_arguments)]
+fn check_negative_inner(
+    authority: &[Record],
+    qname: &Name,
+    qtype: RrType,
+    kind: NegativeKind,
+    zone_apex: &Name,
+    trusted: &[PublishedKey],
+    caps: &ValidatorCaps,
+    now: u32,
+    diag: &mut Diagnosis,
+) {
     let sets = collate(authority);
     let soa_signed = sets
         .iter()
@@ -565,7 +647,10 @@ pub fn check_negative(
     // at the wrong hashes is a different observable than a proof whose
     // signatures are broken, and vendors report them differently.
     let matches_name = |set: &Rrset, name: &Name| -> bool {
-        let Some(Rdata::Nsec3 { salt, iterations, .. }) = set.rdatas.first() else {
+        let Some(Rdata::Nsec3 {
+            salt, iterations, ..
+        }) = set.rdatas.first()
+        else {
             return false;
         };
         let label = nsec3hash::nsec3_hash_label(&name.to_wire(), salt, *iterations);
@@ -574,7 +659,13 @@ pub fn check_negative(
             .is_some_and(|l| l.eq_ignore_ascii_case(label.as_bytes()))
     };
     let covers_name = |set: &Rrset, name: &Name| -> bool {
-        let Some(Rdata::Nsec3 { salt, iterations, next_hashed, .. }) = set.rdatas.first() else {
+        let Some(Rdata::Nsec3 {
+            salt,
+            iterations,
+            next_hashed,
+            ..
+        }) = set.rdatas.first()
+        else {
             return false;
         };
         let target = nsec3hash::nsec3_hash(&name.to_wire(), salt, *iterations);
@@ -677,9 +768,9 @@ pub fn check_negative(
 mod tests {
     use super::*;
     use crate::profiles::ValidatorCaps;
+    use ede_wire::rdata::Soa;
     use ede_zone::signer::{sign_zone, SignerConfig, SIM_NOW};
     use ede_zone::{Misconfig, TypeSel, Zone, ZoneKeys};
-    use ede_wire::rdata::Soa;
 
     fn n(s: &str) -> Name {
         Name::parse(s).unwrap()
@@ -705,7 +796,11 @@ mod tests {
                 minimum: 300,
             }),
         ));
-        z.add(Record::new(apex.clone(), 3600, Rdata::Ns(n("ns1.test.example"))));
+        z.add(Record::new(
+            apex.clone(),
+            3600,
+            Rdata::Ns(n("ns1.test.example")),
+        ));
         z.add_a(n("ns1.test.example"), "192.0.2.1".parse().unwrap());
         z.add_a(apex.clone(), "192.0.2.2".parse().unwrap());
         let keys = ZoneKeys::generate(&apex, 8, 2048);
@@ -722,13 +817,27 @@ mod tests {
     fn clean_zone_validates() {
         let (z, _, ds) = signed_zone();
         let mut diag = Diagnosis::new();
-        let v = validate_dnskey(&n("test.example"), &ds, &dnskey_rrset(&z), &caps(), SIM_NOW, &mut diag);
+        let v = validate_dnskey(
+            &n("test.example"),
+            &ds,
+            &dnskey_rrset(&z),
+            &caps(),
+            SIM_NOW,
+            &mut diag,
+        );
         let trusted = v.trusted.expect("chain should validate");
         assert_eq!(trusted.len(), 2);
         assert!(diag.findings.is_empty());
 
         let a_set = z.get(&n("test.example"), RrType::A).unwrap();
-        assert!(check_rrset(a_set, &trusted, &caps(), SIM_NOW, SigTarget::Answer, &mut diag));
+        assert!(check_rrset(
+            a_set,
+            &trusted,
+            &caps(),
+            SIM_NOW,
+            SigTarget::Answer,
+            &mut diag
+        ));
         assert_eq!(diag.validation, ValidationState::Secure);
     }
 
@@ -737,11 +846,20 @@ mod tests {
         let (z, keys, _) = signed_zone();
         let ds = Misconfig::DsBadTag.parent_ds(&keys, &n("test.example"));
         let mut diag = Diagnosis::new();
-        let v = validate_dnskey(&n("test.example"), &ds, &dnskey_rrset(&z), &caps(), SIM_NOW, &mut diag);
+        let v = validate_dnskey(
+            &n("test.example"),
+            &ds,
+            &dnskey_rrset(&z),
+            &caps(),
+            SIM_NOW,
+            &mut diag,
+        );
         assert!(v.trusted.is_none());
         assert!(diag.any(|f| matches!(
             f,
-            Finding::DsNoMatchingDnskey { cause: DsMismatch::TagOrAlgorithm }
+            Finding::DsNoMatchingDnskey {
+                cause: DsMismatch::TagOrAlgorithm
+            }
         )));
         assert_eq!(diag.validation, ValidationState::Bogus);
     }
@@ -751,11 +869,20 @@ mod tests {
         let (z, keys, _) = signed_zone();
         let ds = Misconfig::DsBogusDigestValue.parent_ds(&keys, &n("test.example"));
         let mut diag = Diagnosis::new();
-        let v = validate_dnskey(&n("test.example"), &ds, &dnskey_rrset(&z), &caps(), SIM_NOW, &mut diag);
+        let v = validate_dnskey(
+            &n("test.example"),
+            &ds,
+            &dnskey_rrset(&z),
+            &caps(),
+            SIM_NOW,
+            &mut diag,
+        );
         assert!(v.trusted.is_none());
         assert!(diag.any(|f| matches!(
             f,
-            Finding::DsNoMatchingDnskey { cause: DsMismatch::Digest }
+            Finding::DsNoMatchingDnskey {
+                cause: DsMismatch::Digest
+            }
         )));
     }
 
@@ -764,12 +891,22 @@ mod tests {
         let (z, keys, _) = signed_zone();
         let ds = Misconfig::DsUnassignedKeyAlgo.parent_ds(&keys, &n("test.example"));
         let mut diag = Diagnosis::new();
-        let v = validate_dnskey(&n("test.example"), &ds, &dnskey_rrset(&z), &caps(), SIM_NOW, &mut diag);
+        let v = validate_dnskey(
+            &n("test.example"),
+            &ds,
+            &dnskey_rrset(&z),
+            &caps(),
+            SIM_NOW,
+            &mut diag,
+        );
         assert!(v.trusted.is_none());
         assert_eq!(diag.validation, ValidationState::Insecure);
         assert!(diag.any(|f| matches!(
             f,
-            Finding::DsUnknownAlgorithm { status: AlgStatus::Unassigned, algorithm: 100 }
+            Finding::DsUnknownAlgorithm {
+                status: AlgStatus::Unassigned,
+                algorithm: 100
+            }
         )));
     }
 
@@ -778,11 +915,30 @@ mod tests {
         let (mut z, keys, ds) = signed_zone();
         Misconfig::RrsigExpired(TypeSel::OnlyApexA).apply(&mut z, &keys);
         let mut diag = Diagnosis::new();
-        let v = validate_dnskey(&n("test.example"), &ds, &dnskey_rrset(&z), &caps(), SIM_NOW, &mut diag);
+        let v = validate_dnskey(
+            &n("test.example"),
+            &ds,
+            &dnskey_rrset(&z),
+            &caps(),
+            SIM_NOW,
+            &mut diag,
+        );
         let trusted = v.trusted.expect("dnskey untouched");
         let a_set = z.get(&n("test.example"), RrType::A).unwrap();
-        assert!(!check_rrset(a_set, &trusted, &caps(), SIM_NOW, SigTarget::Answer, &mut diag));
-        assert!(diag.any(|f| matches!(f, Finding::SignatureExpired { target: SigTarget::Answer })));
+        assert!(!check_rrset(
+            a_set,
+            &trusted,
+            &caps(),
+            SIM_NOW,
+            SigTarget::Answer,
+            &mut diag
+        ));
+        assert!(diag.any(|f| matches!(
+            f,
+            Finding::SignatureExpired {
+                target: SigTarget::Answer
+            }
+        )));
     }
 
     #[test]
@@ -790,11 +946,21 @@ mod tests {
         let (mut z, keys, ds) = signed_zone();
         Misconfig::NoZsk.apply(&mut z, &keys);
         let mut diag = Diagnosis::new();
-        let v = validate_dnskey(&n("test.example"), &ds, &dnskey_rrset(&z), &caps(), SIM_NOW, &mut diag);
+        let v = validate_dnskey(
+            &n("test.example"),
+            &ds,
+            &dnskey_rrset(&z),
+            &caps(),
+            SIM_NOW,
+            &mut diag,
+        );
         assert!(v.trusted.is_none());
         assert!(diag.any(|f| matches!(
             f,
-            Finding::DnskeySigBogus { zsk_present: false, .. }
+            Finding::DnskeySigBogus {
+                zsk_present: false,
+                ..
+            }
         )));
     }
 
@@ -803,7 +969,14 @@ mod tests {
         let (mut z, keys, ds) = signed_zone();
         Misconfig::NoRrsigKsk.apply(&mut z, &keys);
         let mut diag = Diagnosis::new();
-        let v = validate_dnskey(&n("test.example"), &ds, &dnskey_rrset(&z), &caps(), SIM_NOW, &mut diag);
+        let v = validate_dnskey(
+            &n("test.example"),
+            &ds,
+            &dnskey_rrset(&z),
+            &caps(),
+            SIM_NOW,
+            &mut diag,
+        );
         assert!(v.trusted.is_none());
         assert!(diag.any(|f| matches!(f, Finding::DnskeySigMissingByMatchedKey)));
     }
@@ -813,10 +986,20 @@ mod tests {
         let (mut z, keys, ds) = signed_zone();
         Misconfig::BadRrsigKsk.apply(&mut z, &keys);
         let mut diag = Diagnosis::new();
-        validate_dnskey(&n("test.example"), &ds, &dnskey_rrset(&z), &caps(), SIM_NOW, &mut diag);
+        validate_dnskey(
+            &n("test.example"),
+            &ds,
+            &dnskey_rrset(&z),
+            &caps(),
+            SIM_NOW,
+            &mut diag,
+        );
         assert!(diag.any(|f| matches!(
             f,
-            Finding::DnskeySigBogus { some_sig_valid: true, .. }
+            Finding::DnskeySigBogus {
+                some_sig_valid: true,
+                ..
+            }
         )));
     }
 
@@ -825,10 +1008,20 @@ mod tests {
         let (mut z, keys, ds) = signed_zone();
         Misconfig::BadRrsigDnskey.apply(&mut z, &keys);
         let mut diag = Diagnosis::new();
-        validate_dnskey(&n("test.example"), &ds, &dnskey_rrset(&z), &caps(), SIM_NOW, &mut diag);
+        validate_dnskey(
+            &n("test.example"),
+            &ds,
+            &dnskey_rrset(&z),
+            &caps(),
+            SIM_NOW,
+            &mut diag,
+        );
         assert!(diag.any(|f| matches!(
             f,
-            Finding::DnskeySigBogus { some_sig_valid: false, zsk_present: true }
+            Finding::DnskeySigBogus {
+                some_sig_valid: false,
+                zsk_present: true
+            }
         )));
     }
 
@@ -862,7 +1055,14 @@ mod tests {
             SignerConfig::default().window(),
         );
         let mut diag = Diagnosis::new();
-        let v = validate_dnskey(&n("test.example"), &ds, &dnskey_rrset(&z), &caps(), SIM_NOW, &mut diag);
+        let v = validate_dnskey(
+            &n("test.example"),
+            &ds,
+            &dnskey_rrset(&z),
+            &caps(),
+            SIM_NOW,
+            &mut diag,
+        );
         assert!(v.trusted.is_some(), "chain still validates");
         assert!(diag.any(|f| matches!(f, Finding::StandbyKeyWithoutRrsig)));
         assert_eq!(diag.validation, ValidationState::Secure);

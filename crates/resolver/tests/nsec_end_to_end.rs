@@ -41,7 +41,11 @@ fn build(vendor: Vendor, mutate: impl FnOnce(&mut Zone, &ZoneKeys)) -> Resolver 
     let child_apex = n("nsec.test");
     let mut child = Zone::new(child_apex.clone());
     child.add(Record::new(child_apex.clone(), 3600, soa_for(&child_apex)));
-    child.add(Record::new(child_apex.clone(), 3600, Rdata::Ns(n("ns1.nsec.test"))));
+    child.add(Record::new(
+        child_apex.clone(),
+        3600,
+        Rdata::Ns(n("ns1.nsec.test")),
+    ));
     child.add_a(n("ns1.nsec.test"), CHILD_ADDR);
     child.add_a(child_apex.clone(), "203.0.113.5".parse().unwrap());
     child.add_a(n("www.nsec.test"), "203.0.113.6".parse().unwrap());
@@ -61,7 +65,11 @@ fn build(vendor: Vendor, mutate: impl FnOnce(&mut Zone, &ZoneKeys)) -> Resolver 
     root_zone.add(Record::new(n("test"), 3600, Rdata::Ns(n("ns1.nsec.test"))));
     // In-bailiwick-ish glue directly in the root for simplicity: the
     // delegation for `test` points straight at the child's server.
-    root_zone.add(Record::new(child_apex.clone(), 3600, Rdata::Ns(n("ns1.nsec.test"))));
+    root_zone.add(Record::new(
+        child_apex.clone(),
+        3600,
+        Rdata::Ns(n("ns1.nsec.test")),
+    ));
     root_zone.add_a(n("ns1.nsec.test"), CHILD_ADDR);
     root_zone.add(Record::new(
         child_apex.clone(),
@@ -71,7 +79,14 @@ fn build(vendor: Vendor, mutate: impl FnOnce(&mut Zone, &ZoneKeys)) -> Resolver 
     // Remove the extra `test` NS so there is a single clean cut.
     root_zone.remove(&n("test"), RrType::Ns);
     let root_keys = ZoneKeys::generate(&root, 8, 2048);
-    sign_zone(&mut root_zone, &root_keys, &SignerConfig { denial: Denial::Nsec, ..Default::default() });
+    sign_zone(
+        &mut root_zone,
+        &root_keys,
+        &SignerConfig {
+            denial: Denial::Nsec,
+            ..Default::default()
+        },
+    );
     let anchor = root_keys.ksk.ds_rdata(&root, DigestAlg::SHA256);
 
     let mut root_store = ZoneStore::new();
@@ -79,7 +94,10 @@ fn build(vendor: Vendor, mutate: impl FnOnce(&mut Zone, &ZoneKeys)) -> Resolver 
     net.register(IpAddr::V4(ROOT_ADDR), Arc::new(ZoneServer::new(root_store)));
     let mut child_store = ZoneStore::new();
     child_store.insert(child);
-    net.register(IpAddr::V4(CHILD_ADDR), Arc::new(ZoneServer::new(child_store)));
+    net.register(
+        IpAddr::V4(CHILD_ADDR),
+        Arc::new(ZoneServer::new(child_store)),
+    );
 
     let config = ResolverConfig::with_roots(
         vec![RootHint {
@@ -88,7 +106,11 @@ fn build(vendor: Vendor, mutate: impl FnOnce(&mut Zone, &ZoneKeys)) -> Resolver 
         }],
         vec![anchor],
     );
-    Resolver::new(Arc::new(net.build(clock)), VendorProfile::new(vendor), config)
+    Resolver::new(
+        Arc::new(net.build(clock)),
+        VendorProfile::new(vendor),
+        config,
+    )
 }
 
 #[test]
@@ -106,7 +128,12 @@ fn nsec_nodata_proof_validates() {
     let r = build(Vendor::Unbound, |_, _| {});
     let res = r.resolve(&n("www.nsec.test"), RrType::Aaaa);
     assert_eq!(res.rcode, Rcode::NoError, "{:?}", res.diagnosis);
-    assert_eq!(res.validation, ValidationState::Secure, "{:?}", res.diagnosis);
+    assert_eq!(
+        res.validation,
+        ValidationState::Secure,
+        "{:?}",
+        res.diagnosis
+    );
     assert!(res.ede.is_empty());
 }
 
@@ -115,7 +142,12 @@ fn nsec_nxdomain_proof_validates() {
     let r = build(Vendor::Cloudflare, |_, _| {});
     let res = r.resolve_a("missing.nsec.test");
     assert_eq!(res.rcode, Rcode::NxDomain, "{:?}", res.diagnosis);
-    assert_eq!(res.validation, ValidationState::Secure, "{:?}", res.diagnosis);
+    assert_eq!(
+        res.validation,
+        ValidationState::Secure,
+        "{:?}",
+        res.diagnosis
+    );
     assert!(res.ede.is_empty());
 }
 

@@ -9,7 +9,10 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(1000);
-    let cfg = PopulationConfig { scale, ..Default::default() };
+    let cfg = PopulationConfig {
+        scale,
+        ..Default::default()
+    };
     let pop = Population::generate(cfg);
     let world = ScanWorld::build(&pop);
     let result = scanner::scan(&pop, &world, &scanner::ScanConfig::default());

@@ -7,22 +7,27 @@ use ede_scan::{aggregate, report, scanner, Population, PopulationConfig, ScanWor
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
-    let scale: u32 = args
-        .iter()
-        .find_map(|a| a.parse().ok())
-        .unwrap_or(1000);
-    let cfg = PopulationConfig { scale, ..Default::default() };
+    let scale: u32 = args.iter().find_map(|a| a.parse().ok()).unwrap_or(1000);
+    let cfg = PopulationConfig {
+        scale,
+        ..Default::default()
+    };
     eprintln!("generating population at scale 1:{scale}...");
     let pop = Population::generate(cfg);
     eprintln!("{} domains; building world...", pop.domains.len());
     let world = ScanWorld::build(&pop);
     eprintln!("scanning...");
-    let result = scanner::scan(&pop, &world, &scanner::ScanConfig::default());
+    let config = scanner::ScanConfig {
+        progress: !json,
+        ..Default::default()
+    };
+    let result = scanner::scan(&pop, &world, &config);
     let agg = aggregate::aggregate(&pop, &result);
     if json {
         print!("{}", report::scan_json(&pop, &agg));
     } else {
         print!("{}", report::scan_summary(&pop, &agg));
         println!("\n{}", report::traffic_line(&result));
+        println!("\n{}", result.metrics.render());
     }
 }

@@ -17,7 +17,8 @@
 //!    referral servers, shared hosting servers with per-address fault
 //!    modes);
 //! 3. [`scanner`] drives a Cloudflare-profile resolver over the whole
-//!    input list from a crossbeam worker pool, with a revisit pass that
+//!    input list from a scoped worker pool (collecting live metrics
+//!    through the `ede-trace` pipeline), with a revisit pass that
 //!    exercises the serve-stale and cached-error paths;
 //! 4. [`aggregate`] and [`stats`] compute the paper's numbers: the
 //!    §4.2 per-INFO-CODE inventory, nameserver concentration, Figure 1's
@@ -35,6 +36,7 @@
 pub mod aggregate;
 pub mod population;
 pub mod report;
+pub mod rng;
 pub mod scanner;
 pub mod stats;
 pub mod world;

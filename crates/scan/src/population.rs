@@ -5,9 +5,8 @@
 //! *root causes*; the scanner later measures what EDE codes those causes
 //! produce through the full resolution pipeline.
 
+use crate::rng::SplitMix64;
 use ede_wire::Name;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::net::Ipv4Addr;
 
 /// What is wrong (or right) with one planted domain.
@@ -326,7 +325,7 @@ pub fn tld_addr(i: usize) -> Ipv4Addr {
 impl Population {
     /// Generate a population.
     pub fn generate(config: PopulationConfig) -> Population {
-        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut rng = SplitMix64::seed_from_u64(config.seed);
         let targets = Targets::from_config(&config);
         let total = config.scaled(303_000_000);
 
@@ -401,11 +400,11 @@ impl Population {
         // head nameservers accumulate most lame domains. Draws are
         // segment-aware so a category needing a *spoken* failure never
         // lands on a silent server and vice versa.
-        let zipf_in = |rng: &mut StdRng, lo: usize, hi: usize| -> usize {
+        let zipf_in = |rng: &mut SplitMix64, lo: usize, hi: usize| -> usize {
             debug_assert!(lo < hi);
             let span = hi - lo;
             let weights: f64 = (0..span).map(|i| 1.0 / ((i + 1) as f64).powf(1.12)).sum();
-            let mut x = rng.gen::<f64>() * weights;
+            let mut x = rng.gen_f64() * weights;
             for i in 0..span {
                 x -= 1.0 / ((i + 1) as f64).powf(1.12);
                 if x <= 0.0 {
@@ -416,10 +415,10 @@ impl Population {
         };
         let rcode_end = broken_ns_count * 95 / 100; // Refused + ServFail
         let pick_broken_rcode =
-            |rng: &mut StdRng| broken_addr(zipf_in(rng, 0, rcode_end.max(1)));
+            |rng: &mut SplitMix64| broken_addr(zipf_in(rng, 0, rcode_end.max(1)));
         let drop_start = rcode_end.min(broken_ns_count - 1);
         let pick_broken_silent =
-            |rng: &mut StdRng| broken_addr(zipf_in(rng, drop_start, broken_ns_count));
+            |rng: &mut SplitMix64| broken_addr(zipf_in(rng, drop_start, broken_ns_count));
 
         // --- Build the category list -----------------------------------------------
         let mut categories: Vec<Category> = Vec::with_capacity(total);
@@ -428,28 +427,76 @@ impl Population {
         };
         push(Category::LameRcode, targets.lame_rcode, &mut categories);
         push(Category::LameSilent, targets.lame_silent, &mut categories);
-        push(Category::PartialBroken, targets.partial_broken, &mut categories);
-        push(Category::StandbyTldMember, targets.standby_members, &mut categories);
+        push(
+            Category::PartialBroken,
+            targets.partial_broken,
+            &mut categories,
+        );
+        push(
+            Category::StandbyTldMember,
+            targets.standby_members,
+            &mut categories,
+        );
         push(Category::DsMismatch, targets.ds_mismatch, &mut categories);
-        push(Category::UnreachableSigned, targets.unreachable_signed, &mut categories);
-        push(Category::BrokenDenial, targets.broken_denial, &mut categories);
+        push(
+            Category::UnreachableSigned,
+            targets.unreachable_signed,
+            &mut categories,
+        );
+        push(
+            Category::BrokenDenial,
+            targets.broken_denial,
+            &mut categories,
+        );
         push(Category::NoEdns, targets.no_edns, &mut categories);
-        push(Category::UnsupportedAlgGost, targets.alg_gost, &mut categories);
-        push(Category::UnsupportedAlgDsa, targets.alg_dsa, &mut categories);
+        push(
+            Category::UnsupportedAlgGost,
+            targets.alg_gost,
+            &mut categories,
+        );
+        push(
+            Category::UnsupportedAlgDsa,
+            targets.alg_dsa,
+            &mut categories,
+        );
         push(Category::SmallKey, targets.small_key, &mut categories);
         push(Category::SigExpired, targets.sig_expired, &mut categories);
-        push(Category::InsecureProofBroken, targets.insecure_proof, &mut categories);
+        push(
+            Category::InsecureProofBroken,
+            targets.insecure_proof,
+            &mut categories,
+        );
         push(Category::GostDigest, targets.gost_digest, &mut categories);
-        push(Category::UnassignedDigest, targets.unassigned_digest, &mut categories);
-        push(Category::StaleFlapRefuse, targets.stale_refuse, &mut categories);
+        push(
+            Category::UnassignedDigest,
+            targets.unassigned_digest,
+            &mut categories,
+        );
+        push(
+            Category::StaleFlapRefuse,
+            targets.stale_refuse,
+            &mut categories,
+        );
         push(Category::StaleFlapDrop, targets.stale_drop, &mut categories);
-        push(Category::SigNotYetValid, targets.not_yet_valid, &mut categories);
-        push(Category::NotAuthCached, targets.notauth_cached, &mut categories);
-        push(Category::IterationLimit, targets.iteration_limit, &mut categories);
+        push(
+            Category::SigNotYetValid,
+            targets.not_yet_valid,
+            &mut categories,
+        );
+        push(
+            Category::NotAuthCached,
+            targets.notauth_cached,
+            &mut categories,
+        );
+        push(
+            Category::IterationLimit,
+            targets.iteration_limit,
+            &mut categories,
+        );
         // Fill with healthy domains (~15 % of the healthy pool signed,
         // matching global DNSSEC deployment levels).
         while categories.len() < total {
-            let signed = rng.gen::<f64>() < 0.15;
+            let signed = rng.gen_f64() < 0.15;
             categories.push(if signed {
                 Category::HealthySigned
             } else {
@@ -459,9 +506,9 @@ impl Population {
         categories.truncate(total);
 
         // --- Assign TLDs and nameservers ----------------------------------------------
-        let pick_tld = |rng: &mut StdRng, broken: bool, tld_weights: &[f64]| -> usize {
+        let pick_tld = |rng: &mut SplitMix64, broken: bool, tld_weights: &[f64]| -> usize {
             loop {
-                let mut x = rng.gen::<f64>() * weight_sum;
+                let mut x = rng.gen_f64() * weight_sum;
                 let mut idx = tlds.len() - 1;
                 for (i, w) in tld_weights.iter().enumerate() {
                     x -= w;
@@ -510,11 +557,11 @@ impl Population {
                 Category::LameSilent => vec![pick_broken_silent(&mut rng)],
                 Category::PartialBroken => vec![
                     pick_broken_rcode(&mut rng),
-                    healthy_addr(rng.gen_range(0..healthy_ns_count)),
+                    healthy_addr(rng.gen_index(healthy_ns_count)),
                 ],
                 // NotAuth and flapping behavior is per-domain and lives
                 // in the hosting fabric.
-                _ => vec![healthy_addr(rng.gen_range(0..healthy_ns_count))],
+                _ => vec![healthy_addr(rng.gen_index(healthy_ns_count))],
             };
 
             domains.push(DomainRecord {
@@ -549,7 +596,7 @@ impl Population {
         let n = domains.len();
         let mut rank_targets: Vec<usize> = Vec::with_capacity(config.tranco_size as usize);
         while rank_targets.len() < (config.tranco_size as usize).min(n) {
-            let idx = rng.gen_range(0..n);
+            let idx = rng.gen_index(n);
             if domains[idx].rank.is_none() {
                 domains[idx].rank = Some(0); // placeholder, numbered below
                 rank_targets.push(idx);
@@ -561,7 +608,7 @@ impl Population {
 
         // Randomize scan order, as the paper did to spread load.
         for i in (1..domains.len()).rev() {
-            let j = rng.gen_range(0..=i);
+            let j = rng.gen_index(i + 1);
             domains.swap(i, j);
         }
 

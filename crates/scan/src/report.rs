@@ -90,7 +90,10 @@ pub fn table4() -> String {
     );
     out.push_str(&format!("{:<26}", "Subdomain"));
     for v in Vendor::ALL {
-        out.push_str(&format!("{:<12}", v.name().split(' ').next().unwrap_or("?")));
+        out.push_str(&format!(
+            "{:<12}",
+            v.name().split(' ').next().unwrap_or("?")
+        ));
     }
     out.push('\n');
     out.push_str(&"-".repeat(26 + 12 * 7));
@@ -129,7 +132,12 @@ pub fn table4() -> String {
         agg.consistent_labels.join(", "),
         agg.inconsistency_ratio() * 100.0
     );
-    let _ = writeln!(out, "Unique INFO-CODEs triggered: {} {:?} (paper: 12)", codes.len(), codes);
+    let _ = writeln!(
+        out,
+        "Unique INFO-CODEs triggered: {} {:?} (paper: 12)",
+        codes.len(),
+        codes
+    );
     out
 }
 
@@ -290,9 +298,19 @@ pub fn figure1(agg: &Aggregate) -> String {
         (c1 * agg.tld_ratios_cctld.len() as f64).round()
     );
     out.push_str("gTLD CDF:\n");
-    out.push_str(&stats::ascii_cdf(&agg.figure1_gtld(), 60, 12, "ratio of domains"));
+    out.push_str(&stats::ascii_cdf(
+        &agg.figure1_gtld(),
+        60,
+        12,
+        "ratio of domains",
+    ));
     out.push_str("\nccTLD CDF:\n");
-    out.push_str(&stats::ascii_cdf(&agg.figure1_cctld(), 60, 12, "ratio of domains"));
+    out.push_str(&stats::ascii_cdf(
+        &agg.figure1_cctld(),
+        60,
+        12,
+        "ratio of domains",
+    ));
     out
 }
 

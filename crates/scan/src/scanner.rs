@@ -4,6 +4,7 @@
 use crate::population::{Category, Population};
 use crate::world::ScanWorld;
 use ede_resolver::{Resolver, Vendor, VendorProfile};
+use ede_trace::{Metrics, MetricsSnapshot};
 use ede_wire::{Name, Rcode, RrType};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -40,6 +41,11 @@ pub struct ScanResult {
     /// Transport-level traffic counters: (queries, delivered, failed) —
     /// the simulated analogue of the paper's §5 traffic accounting.
     pub traffic: (u64, u64, u64),
+    /// Metrics collected through the trace pipeline during the scan
+    /// (query/outcome counters, cache ratios, per-vendor EDE counts,
+    /// latency histograms). `metrics.queries_sent` equals `traffic.0`:
+    /// both count the same transport events.
+    pub metrics: MetricsSnapshot,
 }
 
 /// Scan config.
@@ -49,6 +55,8 @@ pub struct ScanConfig {
     pub workers: usize,
     /// Vendor to scan with (the paper uses Cloudflare).
     pub vendor: Vendor,
+    /// Print live progress lines to stderr while scanning.
+    pub progress: bool,
 }
 
 impl Default for ScanConfig {
@@ -59,6 +67,7 @@ impl Default for ScanConfig {
                 .unwrap_or(4)
                 .min(16),
             vendor: Vendor::Cloudflare,
+            progress: false,
         }
     }
 }
@@ -86,6 +95,13 @@ fn observe(resolver: &Resolver, pop: &Population, idx: usize) -> Observation {
 /// revisit pass over the flap/cache categories (the paper's probes hit
 /// such domains repeatedly through Cloudflare's shared cache).
 pub fn scan(pop: &Population, world: &ScanWorld, config: &ScanConfig) -> ScanResult {
+    // Every transport/resolver/EDE event of the scan feeds the metrics
+    // registry through the trace pipeline.
+    let metrics = Arc::new(Metrics::new());
+    world
+        .net
+        .set_trace_sink(Arc::clone(&metrics) as Arc<dyn ede_trace::TraceSink>);
+
     let resolver = Arc::new(Resolver::new(
         Arc::clone(&world.net),
         VendorProfile::new(config.vendor),
@@ -96,28 +112,36 @@ pub fn scan(pop: &Population, world: &ScanWorld, config: &ScanConfig) -> ScanRes
     let mut observations: Vec<Option<Observation>> = vec![None; n];
     let cursor = AtomicUsize::new(0);
     let resolutions = AtomicUsize::new(0);
+    let progress_step = (n / 10).max(1);
 
     // Pass 1: everything, in parallel.
     let slots = std::sync::Mutex::new(&mut observations);
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..config.workers.max(1) {
-            s.spawn(|_| {
-                loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let obs = observe(&resolver, pop, i);
-                    resolutions.fetch_add(1, Ordering::Relaxed);
-                    slots.lock().expect("no poisoning")[i] = Some(obs);
+            s.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
                 }
+                let obs = observe(&resolver, pop, i);
+                let done = resolutions.fetch_add(1, Ordering::Relaxed) + 1;
+                if config.progress && done % progress_step == 0 {
+                    let snap = metrics.snapshot();
+                    eprintln!(
+                        "scan: {done}/{n} domains, {} queries, cache hit ratio {:.1}%",
+                        snap.queries_sent,
+                        100.0 * snap.cache_hit_ratio()
+                    );
+                }
+                slots.lock().expect("no poisoning")[i] = Some(obs);
             });
         }
-    })
-    .expect("scan workers never panic");
+    });
 
-    let mut observations: Vec<Observation> =
-        observations.into_iter().map(|o| o.expect("filled")).collect();
+    let mut observations: Vec<Observation> = observations
+        .into_iter()
+        .map(|o| o.expect("filled"))
+        .collect();
 
     // Pass 2: revisit flap/cache domains after the flap window.
     world.net.clock().advance_secs(120);
@@ -128,10 +152,12 @@ pub fn scan(pop: &Population, world: &ScanWorld, config: &ScanConfig) -> ScanRes
         }
     }
 
+    world.net.clear_trace_sink();
     ScanResult {
         observations,
         resolutions: resolutions.into_inner(),
         traffic: world.net.stats().snapshot(),
+        metrics: metrics.snapshot(),
     }
 }
 
@@ -144,7 +170,14 @@ mod tests {
     fn tiny_scan_end_to_end() {
         let pop = Population::generate(PopulationConfig::tiny());
         let world = ScanWorld::build(&pop);
-        let result = scan(&pop, &world, &ScanConfig { workers: 4, ..Default::default() });
+        let result = scan(
+            &pop,
+            &world,
+            &ScanConfig {
+                workers: 4,
+                ..Default::default()
+            },
+        );
         assert_eq!(result.observations.len(), pop.domains.len());
         assert!(result.resolutions >= pop.domains.len());
 
@@ -174,7 +207,14 @@ mod tests {
         let run = || {
             let pop = Population::generate(PopulationConfig::tiny());
             let world = ScanWorld::build(&pop);
-            let result = scan(&pop, &world, &ScanConfig { workers: 2, ..Default::default() });
+            let result = scan(
+                &pop,
+                &world,
+                &ScanConfig {
+                    workers: 2,
+                    ..Default::default()
+                },
+            );
             result
                 .observations
                 .iter()

@@ -22,7 +22,11 @@ pub fn fraction_at(values: &[f64], value: f64) -> f64 {
     if values.is_empty() {
         return 0.0;
     }
-    values.iter().filter(|&&v| (v - value).abs() < 1e-12).count() as f64 / values.len() as f64
+    values
+        .iter()
+        .filter(|&&v| (v - value).abs() < 1e-12)
+        .count() as f64
+        / values.len() as f64
 }
 
 /// Given per-key weights (e.g. domains per nameserver), how many of the

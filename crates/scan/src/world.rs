@@ -21,9 +21,7 @@
 //! served by a TLD today matches the DNSKEY a hosting server synthesizes
 //! tomorrow.
 
-use crate::population::{
-    broken_mode, tld_addr, BrokenMode, Category, DomainRecord, Population,
-};
+use crate::population::{broken_mode, tld_addr, BrokenMode, Category, DomainRecord, Population};
 use ede_authority::{Behavior, ZoneServer, ZoneStore};
 use ede_netsim::{Network, NetworkBuilder, NetworkConfig, Server, ServerResponse, SimClock};
 use ede_resolver::config::RootHint;
@@ -32,10 +30,10 @@ use ede_wire::rdata::Soa;
 use ede_wire::{DigestAlg, Message, Name, Rdata, Record, RrType, SecAlg};
 use ede_zone::signer::{self, SignerConfig, DAY, SIM_NOW};
 use ede_zone::{Denial, Misconfig, Nsec3Config, Zone, ZoneKey, ZoneKeys};
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::net::{IpAddr, Ipv4Addr};
 use std::sync::Arc;
+use std::sync::Mutex;
 
 /// Address of the scan world's root server.
 pub const ROOT_SERVER: Ipv4Addr = Ipv4Addr::new(198, 41, 0, 4);
@@ -214,7 +212,7 @@ impl Server for HostingNs {
             Category::NoEdns => behavior = Behavior::NoEdns,
             Category::NotAuthCached => behavior = Behavior::NotAuthAll,
             Category::StaleFlapRefuse | Category::StaleFlapDrop => {
-                let mut flap = self.flap.lock();
+                let mut flap = self.flap.lock().expect("no poisoning");
                 let count = flap.entry(rec.name.clone()).or_insert(0);
                 if *count > 0 {
                     behavior = if rec.category == Category::StaleFlapRefuse {

@@ -36,12 +36,29 @@ pub struct Testbed {
     /// The RFC 9567 reporting agent attached to the network (collects
     /// reports when a resolver is configured to send them).
     pub reporting_agent: Arc<ReportingAgent>,
+    /// Every authoritative server registered on the network (root, com,
+    /// parent, children) — kept so a tracer can be attached to all of
+    /// them at once.
+    pub zone_servers: Vec<Arc<ZoneServer>>,
 }
 
 impl Testbed {
     /// Build the complete infrastructure.
     pub fn build() -> Testbed {
         TestbedBuilder::default().build()
+    }
+
+    /// Attach a trace sink to the whole testbed: the network's transport
+    /// (query/response/timeout events, stamped with the shared virtual
+    /// clock) and every authoritative server (`AuthorityAnswer` events).
+    /// Resolvers created from this testbed pick the sink up through the
+    /// network automatically.
+    pub fn attach_trace_sink(&self, sink: Arc<dyn ede_trace::TraceSink>) {
+        self.net.set_trace_sink(sink);
+        let tracer = self.net.tracer();
+        for server in &self.zone_servers {
+            server.set_tracer(tracer.clone());
+        }
     }
 
     /// A fresh resolver with the given vendor profile attached to this
@@ -123,7 +140,10 @@ pub fn materialize_child_zone(spec: &DomainSpec, base: &Name, idx: usize) -> (Zo
     let (mut zone, _ns_name) = skeleton(&apex, server_addr);
     if spec.apex_a {
         // The answer value is arbitrary; nothing ever connects to it.
-        zone.add_a(apex.clone(), Ipv4Addr::new(203, 0, 113, (idx % 250 + 1) as u8));
+        zone.add_a(
+            apex.clone(),
+            Ipv4Addr::new(203, 0, 113, (idx % 250 + 1) as u8),
+        );
     }
 
     let mut ds_rdatas: Vec<Rdata> = Vec::new();
@@ -192,7 +212,11 @@ impl TestbedBuilder {
         let (mut parent_zone, _parent_ns) = skeleton(&base, PARENT_SERVER);
         parent_zone.add_a(base.clone(), Ipv4Addr::new(203, 0, 113, 251));
         for (child_apex, ns_name, glue, server_addr, ds_rdatas) in &parent_children {
-            parent_zone.add(Record::new(child_apex.clone(), 3600, Rdata::Ns(ns_name.clone())));
+            parent_zone.add(Record::new(
+                child_apex.clone(),
+                3600,
+                Rdata::Ns(ns_name.clone()),
+            ));
             match glue {
                 GlueKind::Routable => parent_zone.add_a(ns_name.clone(), *server_addr),
                 GlueKind::SpecialV4(addr) => {
@@ -237,16 +261,23 @@ impl TestbedBuilder {
         let trust_anchor = root_keys.ksk.ds_rdata(&root, DigestAlg::SHA256);
 
         // --- Wire up the network ------------------------------------------------
-        let mut add_server = |addr: Ipv4Addr, zone: Zone| {
-            let mut store = ZoneStore::new();
-            store.insert(zone);
-            net.register(IpAddr::V4(addr), Arc::new(ZoneServer::new(store)));
-        };
-        add_server(ROOT_SERVER, root_zone);
-        add_server(COM_SERVER, com_zone);
-        add_server(PARENT_SERVER, parent_zone);
+        let mut zone_servers: Vec<Arc<ZoneServer>> = Vec::new();
+        {
+            let mut add_server = |addr: Ipv4Addr, zone: Zone| {
+                let mut store = ZoneStore::new();
+                store.insert(zone);
+                let server = Arc::new(ZoneServer::new(store));
+                zone_servers.push(Arc::clone(&server));
+                net.register(IpAddr::V4(addr), server);
+            };
+            add_server(ROOT_SERVER, root_zone);
+            add_server(COM_SERVER, com_zone);
+            add_server(PARENT_SERVER, parent_zone);
+        }
         for (addr, server) in child_servers {
-            net.register(IpAddr::V4(addr), Arc::new(server));
+            let server = Arc::new(server);
+            zone_servers.push(Arc::clone(&server));
+            net.register(IpAddr::V4(addr), server);
         }
         let reporting_agent = Arc::new(ReportingAgent::new(
             Name::parse("agent.extended-dns-errors.com").expect("valid"),
@@ -270,6 +301,7 @@ impl TestbedBuilder {
             specs,
             resolver_config,
             reporting_agent,
+            zone_servers,
         }
     }
 }
@@ -331,6 +363,11 @@ mod tests {
         let spec = tb.spec("allow-query-none").unwrap();
         let res = resolver.resolve(&tb.query_name(spec), RrType::A);
         assert_eq!(res.rcode, Rcode::ServFail);
-        assert_eq!(res.ede_codes(), vec![9, 22, 23], "diag: {:?}", res.diagnosis);
+        assert_eq!(
+            res.ede_codes(),
+            vec![9, 22, 23],
+            "diag: {:?}",
+            res.diagnosis
+        );
     }
 }

@@ -65,7 +65,11 @@ fn agreement_statistics_match_paper() {
 
     let agreement = agreement::analyze(&simulated);
     assert_eq!(agreement.total, 63);
-    assert_eq!(agreement.consistent, 4, "consistent: {:?}", agreement.consistent_labels);
+    assert_eq!(
+        agreement.consistent, 4,
+        "consistent: {:?}",
+        agreement.consistent_labels
+    );
     let pct = agreement.inconsistency_ratio() * 100.0;
     assert!((93.0..95.0).contains(&pct));
 

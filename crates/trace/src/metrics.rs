@@ -1,0 +1,457 @@
+//! The metrics registry: atomic counters and latency histograms fed by
+//! the trace event stream.
+//!
+//! [`Metrics`] implements [`TraceSink`], so the same instrumentation
+//! points that produce timelines also drive the counters — attach it to
+//! a network (or fan out with [`crate::MultiSink`]) and every
+//! `QuerySent` bumps `queries_sent`, every `CacheProbe` feeds the hit
+//! ratio, and so on. Counters are lock-free atomics; only the per-vendor
+//! EDE map and the histograms take a short mutex.
+
+use crate::event::{CacheOutcome, TraceEvent};
+use crate::sink::TraceSink;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Mutex;
+
+/// Histogram bucket upper bounds (milliseconds), chosen around the
+/// simulation's RTT (20 ms) and timeout (2 000 ms) defaults.
+pub const LATENCY_BUCKETS_MS: [u64; 8] = [1, 5, 20, 50, 100, 500, 2_000, 10_000];
+
+/// A fixed-bucket latency histogram (upper bounds in
+/// [`LATENCY_BUCKETS_MS`], plus an overflow bucket).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Per-bucket observation counts; `counts[i]` holds observations
+    /// `<= LATENCY_BUCKETS_MS[i]`, the final slot holds the overflow.
+    pub counts: [u64; LATENCY_BUCKETS_MS.len() + 1],
+    /// Total number of observations.
+    pub total: u64,
+    /// Sum of all observed values (for the mean).
+    pub sum: u64,
+    /// Largest observed value.
+    pub max: u64,
+}
+
+impl Histogram {
+    fn observe(&mut self, value_ms: u64) {
+        let idx = LATENCY_BUCKETS_MS
+            .iter()
+            .position(|&ub| value_ms <= ub)
+            .unwrap_or(LATENCY_BUCKETS_MS.len());
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum += value_ms;
+        self.max = self.max.max(value_ms);
+    }
+
+    /// Mean observed value, or 0 with no observations.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Approximate quantile: the upper bound of the bucket containing
+    /// the `q`-quantile observation (`q` in `[0, 1]`).
+    pub fn quantile_ms(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank.max(1) {
+                return LATENCY_BUCKETS_MS.get(i).copied().unwrap_or(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// The live registry. Cheap to share (`Arc<Metrics>`); attach as a
+/// [`TraceSink`] and read with [`Metrics::snapshot`].
+#[derive(Debug, Default)]
+pub struct Metrics {
+    queries_sent: AtomicU64,
+    responses_received: AtomicU64,
+    timeouts: AtomicU64,
+    retries: AtomicU64,
+    referrals: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    stale_served: AtomicU64,
+    validation_steps: AtomicU64,
+    validation_failures: AtomicU64,
+    findings: AtomicU64,
+    authority_answers: AtomicU64,
+    resolutions: AtomicU64,
+    resolutions_noerror: AtomicU64,
+    resolutions_nxdomain: AtomicU64,
+    resolutions_servfail: AtomicU64,
+    resolutions_other: AtomicU64,
+    ede_entries: AtomicU64,
+    /// (vendor, INFO-CODE) → emission count.
+    ede_by_vendor: Mutex<BTreeMap<(String, u16), u64>>,
+    query_latency: Mutex<Histogram>,
+    resolution_duration: Mutex<Histogram>,
+}
+
+impl Metrics {
+    /// A zeroed registry.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// A point-in-time copy of every counter and histogram.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            queries_sent: self.queries_sent.load(Relaxed),
+            responses_received: self.responses_received.load(Relaxed),
+            timeouts: self.timeouts.load(Relaxed),
+            retries: self.retries.load(Relaxed),
+            referrals: self.referrals.load(Relaxed),
+            cache_hits: self.cache_hits.load(Relaxed),
+            cache_misses: self.cache_misses.load(Relaxed),
+            stale_served: self.stale_served.load(Relaxed),
+            validation_steps: self.validation_steps.load(Relaxed),
+            validation_failures: self.validation_failures.load(Relaxed),
+            findings: self.findings.load(Relaxed),
+            authority_answers: self.authority_answers.load(Relaxed),
+            resolutions: self.resolutions.load(Relaxed),
+            resolutions_noerror: self.resolutions_noerror.load(Relaxed),
+            resolutions_nxdomain: self.resolutions_nxdomain.load(Relaxed),
+            resolutions_servfail: self.resolutions_servfail.load(Relaxed),
+            resolutions_other: self.resolutions_other.load(Relaxed),
+            ede_entries: self.ede_entries.load(Relaxed),
+            ede_by_vendor: self.ede_by_vendor.lock().expect("no poisoning").clone(),
+            query_latency: self.query_latency.lock().expect("no poisoning").clone(),
+            resolution_duration: self
+                .resolution_duration
+                .lock()
+                .expect("no poisoning")
+                .clone(),
+        }
+    }
+}
+
+impl TraceSink for Metrics {
+    fn record(&self, _at_ms: u64, event: &TraceEvent) {
+        match event {
+            TraceEvent::ResolutionStarted { .. } => {}
+            TraceEvent::QuerySent { .. } => {
+                self.queries_sent.fetch_add(1, Relaxed);
+            }
+            TraceEvent::ResponseReceived { latency_ms, .. } => {
+                self.responses_received.fetch_add(1, Relaxed);
+                self.query_latency
+                    .lock()
+                    .expect("no poisoning")
+                    .observe(*latency_ms);
+            }
+            TraceEvent::Timeout { .. } => {
+                self.timeouts.fetch_add(1, Relaxed);
+            }
+            TraceEvent::Retry { .. } => {
+                self.retries.fetch_add(1, Relaxed);
+            }
+            TraceEvent::Referral { .. } => {
+                self.referrals.fetch_add(1, Relaxed);
+            }
+            TraceEvent::CacheProbe { outcome, .. } => {
+                match outcome {
+                    CacheOutcome::Hit => &self.cache_hits,
+                    CacheOutcome::Miss => &self.cache_misses,
+                    CacheOutcome::StaleServed => &self.stale_served,
+                }
+                .fetch_add(1, Relaxed);
+            }
+            TraceEvent::ValidationStep { ok, .. } => {
+                self.validation_steps.fetch_add(1, Relaxed);
+                if !ok {
+                    self.validation_failures.fetch_add(1, Relaxed);
+                }
+            }
+            TraceEvent::FindingRecorded { .. } => {
+                self.findings.fetch_add(1, Relaxed);
+            }
+            TraceEvent::EdeEmitted { vendor, code, .. } => {
+                self.ede_entries.fetch_add(1, Relaxed);
+                *self
+                    .ede_by_vendor
+                    .lock()
+                    .expect("no poisoning")
+                    .entry((vendor.clone(), *code))
+                    .or_insert(0) += 1;
+            }
+            TraceEvent::AuthorityAnswer { .. } => {
+                self.authority_answers.fetch_add(1, Relaxed);
+            }
+            TraceEvent::ResolutionFinished {
+                rcode, duration_ms, ..
+            } => {
+                self.resolutions.fetch_add(1, Relaxed);
+                match rcode {
+                    0 => self.resolutions_noerror.fetch_add(1, Relaxed),
+                    3 => self.resolutions_nxdomain.fetch_add(1, Relaxed),
+                    2 => self.resolutions_servfail.fetch_add(1, Relaxed),
+                    _ => self.resolutions_other.fetch_add(1, Relaxed),
+                };
+                self.resolution_duration
+                    .lock()
+                    .expect("no poisoning")
+                    .observe(*duration_ms);
+            }
+        }
+    }
+}
+
+/// A frozen copy of the registry, safe to move across threads and
+/// render offline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Queries handed to the transport.
+    pub queries_sent: u64,
+    /// Responses that came back.
+    pub responses_received: u64,
+    /// Queries that timed out (including unroutable destinations).
+    pub timeouts: u64,
+    /// Fallbacks to another server of the same zone.
+    pub retries: u64,
+    /// Zone cuts crossed.
+    pub referrals: u64,
+    /// Fresh cache answers.
+    pub cache_hits: u64,
+    /// Cache misses (live resolution followed).
+    pub cache_misses: u64,
+    /// RFC 8767 stale answers served.
+    pub stale_served: u64,
+    /// DNSSEC validation steps run.
+    pub validation_steps: u64,
+    /// Validation steps that recorded at least one finding.
+    pub validation_failures: u64,
+    /// Structured findings recorded.
+    pub findings: u64,
+    /// Authoritative answers traced (only when servers carry tracers).
+    pub authority_answers: u64,
+    /// Completed client resolutions.
+    pub resolutions: u64,
+    /// ... of which NOERROR.
+    pub resolutions_noerror: u64,
+    /// ... of which NXDOMAIN.
+    pub resolutions_nxdomain: u64,
+    /// ... of which SERVFAIL.
+    pub resolutions_servfail: u64,
+    /// ... with any other RCODE.
+    pub resolutions_other: u64,
+    /// Total EDE entries attached.
+    pub ede_entries: u64,
+    /// (vendor, INFO-CODE) → emission count.
+    pub ede_by_vendor: BTreeMap<(String, u16), u64>,
+    /// Upstream query latency distribution.
+    pub query_latency: Histogram,
+    /// Whole-resolution duration distribution.
+    pub resolution_duration: Histogram,
+}
+
+impl MetricsSnapshot {
+    /// Cache hit ratio in `[0, 1]` over hit + miss probes (stale serves
+    /// count as hits — the client got an answer from cache).
+    pub fn cache_hit_ratio(&self) -> f64 {
+        let hits = self.cache_hits + self.stale_served;
+        let total = hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+
+    /// Render as an operator-facing summary block.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("metrics summary\n");
+        out.push_str(&format!(
+            "  transport : {} queries, {} responses, {} timeouts, {} retries\n",
+            self.queries_sent, self.responses_received, self.timeouts, self.retries
+        ));
+        out.push_str(&format!(
+            "  iteration : {} referrals, {} validation steps ({} failed), {} findings\n",
+            self.referrals, self.validation_steps, self.validation_failures, self.findings
+        ));
+        out.push_str(&format!(
+            "  cache     : {} hits, {} misses, {} stale served (hit ratio {:.1}%)\n",
+            self.cache_hits,
+            self.cache_misses,
+            self.stale_served,
+            100.0 * self.cache_hit_ratio()
+        ));
+        out.push_str(&format!(
+            "  outcomes  : {} resolutions (NOERROR {}, NXDOMAIN {}, SERVFAIL {}, other {})\n",
+            self.resolutions,
+            self.resolutions_noerror,
+            self.resolutions_nxdomain,
+            self.resolutions_servfail,
+            self.resolutions_other
+        ));
+        out.push_str(&format!(
+            "  latency   : query mean {:.1} ms p99 {} ms; resolution mean {:.1} ms max {} ms\n",
+            self.query_latency.mean(),
+            self.query_latency.quantile_ms(0.99),
+            self.resolution_duration.mean(),
+            self.resolution_duration.max
+        ));
+        if self.ede_entries > 0 {
+            out.push_str(&format!(
+                "  ede       : {} entries emitted\n",
+                self.ede_entries
+            ));
+            let mut per_vendor: BTreeMap<&str, Vec<(u16, u64)>> = BTreeMap::new();
+            for ((vendor, code), count) in &self.ede_by_vendor {
+                per_vendor.entry(vendor).or_default().push((*code, *count));
+            }
+            for (vendor, codes) in per_vendor {
+                let detail: Vec<String> = codes
+                    .iter()
+                    .map(|(code, count)| format!("{code}\u{00d7}{count}"))
+                    .collect();
+                out.push_str(&format!("    {vendor}: {}\n", detail.join(", ")));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip() -> std::net::IpAddr {
+        "192.0.2.1".parse().unwrap()
+    }
+
+    #[test]
+    fn counters_follow_events() {
+        let m = Metrics::new();
+        m.record(
+            0,
+            &TraceEvent::QuerySent {
+                dst: ip(),
+                qname: "a".into(),
+                qtype: 1,
+                id: 1,
+            },
+        );
+        m.record(
+            0,
+            &TraceEvent::QuerySent {
+                dst: ip(),
+                qname: "a".into(),
+                qtype: 1,
+                id: 2,
+            },
+        );
+        m.record(
+            20,
+            &TraceEvent::ResponseReceived {
+                src: ip(),
+                rcode: 0,
+                answers: 1,
+                latency_ms: 20,
+            },
+        );
+        m.record(
+            0,
+            &TraceEvent::Timeout {
+                dst: ip(),
+                qname: "a".into(),
+                unroutable: true,
+            },
+        );
+        m.record(
+            0,
+            &TraceEvent::Retry {
+                attempt: 1,
+                next: ip(),
+            },
+        );
+        m.record(
+            0,
+            &TraceEvent::CacheProbe {
+                qname: "a".into(),
+                qtype: 1,
+                outcome: CacheOutcome::Hit,
+            },
+        );
+        m.record(
+            0,
+            &TraceEvent::CacheProbe {
+                qname: "a".into(),
+                qtype: 1,
+                outcome: CacheOutcome::Miss,
+            },
+        );
+        m.record(
+            0,
+            &TraceEvent::ValidationStep {
+                target: "DNSKEY com".into(),
+                ok: false,
+            },
+        );
+        m.record(
+            0,
+            &TraceEvent::EdeEmitted {
+                vendor: "Cloudflare DNS".into(),
+                code: 7,
+                extra_text: String::new(),
+            },
+        );
+        m.record(
+            0,
+            &TraceEvent::ResolutionFinished {
+                rcode: 2,
+                ede_count: 1,
+                duration_ms: 40,
+            },
+        );
+
+        let s = m.snapshot();
+        assert_eq!(s.queries_sent, 2);
+        assert_eq!(s.responses_received, 1);
+        assert_eq!(s.timeouts, 1);
+        assert_eq!(s.retries, 1);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.cache_misses, 1);
+        assert!((s.cache_hit_ratio() - 0.5).abs() < 1e-9);
+        assert_eq!(s.validation_steps, 1);
+        assert_eq!(s.validation_failures, 1);
+        assert_eq!(s.ede_entries, 1);
+        assert_eq!(s.ede_by_vendor[&("Cloudflare DNS".to_string(), 7)], 1);
+        assert_eq!(s.resolutions_servfail, 1);
+        assert_eq!(s.query_latency.total, 1);
+        assert_eq!(s.resolution_duration.max, 40);
+        let render = s.render();
+        assert!(render.contains("2 queries"), "{render}");
+        assert!(render.contains("Cloudflare DNS: 7\u{00d7}1"), "{render}");
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = Histogram::default();
+        for v in [0, 1, 20, 20, 2_000, 50_000] {
+            h.observe(v);
+        }
+        assert_eq!(h.total, 6);
+        assert_eq!(h.max, 50_000);
+        assert_eq!(h.counts[0], 2); // <= 1 ms
+        assert_eq!(h.counts[2], 2); // <= 20 ms
+        assert_eq!(h.counts[LATENCY_BUCKETS_MS.len()], 1); // overflow
+        assert_eq!(h.quantile_ms(0.0), 1);
+        assert!(h.quantile_ms(1.0) >= 2_000);
+        assert!(h.mean() > 0.0);
+        assert_eq!(Histogram::default().quantile_ms(0.5), 0);
+    }
+}

@@ -278,7 +278,9 @@ impl EdeEntry {
     /// Decode an option payload.
     pub fn decode_payload(data: &[u8]) -> Result<Self, WireError> {
         if data.len() < 2 {
-            return Err(WireError::Truncated { context: "EDE INFO-CODE" });
+            return Err(WireError::Truncated {
+                context: "EDE INFO-CODE",
+            });
         }
         let code = EdeCode::from_u16(u16::from_be_bytes([data[0], data[1]]));
         // RFC 8914: treat invalid UTF-8 leniently rather than dropping the
@@ -320,7 +322,10 @@ mod tests {
     #[test]
     fn table1_descriptions_spot_check() {
         assert_eq!(EdeCode::DnssecBogus.description(), "DNSSEC Bogus");
-        assert_eq!(EdeCode::from_u16(22).description(), "No Reachable Authority");
+        assert_eq!(
+            EdeCode::from_u16(22).description(),
+            "No Reachable Authority"
+        );
         assert_eq!(
             EdeCode::from_u16(25).description(),
             "Signature Expired before Valid"
@@ -332,7 +337,10 @@ mod tests {
     fn categories_match_paper_section2() {
         use EdeCategory::*;
         assert_eq!(EdeCode::DnssecBogus.category(), DnssecValidation);
-        assert_eq!(EdeCode::UnsupportedNsec3IterationsValue.category(), DnssecValidation);
+        assert_eq!(
+            EdeCode::UnsupportedNsec3IterationsValue.category(),
+            DnssecValidation
+        );
         assert_eq!(EdeCode::StaleAnswer.category(), Caching);
         assert_eq!(EdeCode::Synthesized.category(), Caching);
         assert_eq!(EdeCode::Blocked.category(), ResolverPolicy);

@@ -137,20 +137,27 @@ impl Edns {
         let mut pos = 0;
         while pos < rdata.len() {
             if pos + 4 > rdata.len() {
-                return Err(WireError::Truncated { context: "EDNS option header" });
+                return Err(WireError::Truncated {
+                    context: "EDNS option header",
+                });
             }
             let code = u16::from_be_bytes([rdata[pos], rdata[pos + 1]]);
             let len = usize::from(u16::from_be_bytes([rdata[pos + 2], rdata[pos + 3]]));
             pos += 4;
             if pos + len > rdata.len() {
-                return Err(WireError::Truncated { context: "EDNS option data" });
+                return Err(WireError::Truncated {
+                    context: "EDNS option data",
+                });
             }
             let data = &rdata[pos..pos + len];
             pos += len;
             options.push(if code == EDE_OPTION_CODE {
                 EdnsOption::Ede(EdeEntry::decode_payload(data)?)
             } else {
-                EdnsOption::Unknown { code, data: data.to_vec() }
+                EdnsOption::Unknown {
+                    code,
+                    data: data.to_vec(),
+                }
             });
         }
         Ok((
@@ -207,7 +214,10 @@ mod tests {
     #[test]
     fn unknown_options_preserved() {
         let mut e = Edns::default();
-        e.options.push(EdnsOption::Unknown { code: 10, data: vec![1, 2, 3, 4, 5, 6, 7, 8] });
+        e.options.push(EdnsOption::Unknown {
+            code: 10,
+            data: vec![1, 2, 3, 4, 5, 6, 7, 8],
+        });
         assert_eq!(roundtrip(&e), e);
     }
 

@@ -33,7 +33,9 @@ pub enum WireError {
 impl fmt::Display for WireError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            WireError::Truncated { context } => write!(f, "message truncated while reading {context}"),
+            WireError::Truncated { context } => {
+                write!(f, "message truncated while reading {context}")
+            }
             WireError::NameTooLong => write!(f, "domain name exceeds RFC 1035 length limits"),
             WireError::BadLabel(l) => write!(f, "invalid label {l:?}"),
             WireError::BadPointer => write!(f, "invalid compression pointer"),

@@ -42,12 +42,18 @@ impl Question {
     fn decode(msg: &[u8], pos: &mut usize) -> Result<Self, WireError> {
         let name = Name::decode(msg, pos)?;
         if *pos + 4 > msg.len() {
-            return Err(WireError::Truncated { context: "question" });
+            return Err(WireError::Truncated {
+                context: "question",
+            });
         }
         let qtype = RrType::from_u16(u16::from_be_bytes([msg[*pos], msg[*pos + 1]]));
         let qclass = Class::from_u16(u16::from_be_bytes([msg[*pos + 2], msg[*pos + 3]]));
         *pos += 4;
-        Ok(Question { name, qtype, qclass })
+        Ok(Question {
+            name,
+            qtype,
+            qclass,
+        })
     }
 }
 
@@ -192,7 +198,12 @@ impl Message {
         for q in &self.questions {
             q.encode(&mut buf, Some(&mut compressor));
         }
-        for r in self.answers.iter().chain(&self.authorities).chain(&self.additionals) {
+        for r in self
+            .answers
+            .iter()
+            .chain(&self.authorities)
+            .chain(&self.additionals)
+        {
             r.encode(&mut buf, Some(&mut compressor));
         }
         if let Some(edns) = &self.edns {
@@ -220,7 +231,9 @@ impl Message {
                 let name_start = pos;
                 let name = Name::decode(msg, &mut pos)?;
                 if pos + 10 > msg.len() {
-                    return Err(WireError::Truncated { context: "record fixed header" });
+                    return Err(WireError::Truncated {
+                        context: "record fixed header",
+                    });
                 }
                 let rtype = RrType::from_u16(u16::from_be_bytes([msg[pos], msg[pos + 1]]));
                 if rtype == RrType::Opt {
@@ -239,9 +252,12 @@ impl Message {
                     let rdlen = usize::from(u16::from_be_bytes([msg[pos + 8], msg[pos + 9]]));
                     pos += 10;
                     if pos + rdlen > msg.len() {
-                        return Err(WireError::Truncated { context: "OPT rdata" });
+                        return Err(WireError::Truncated {
+                            context: "OPT rdata",
+                        });
                     }
-                    let (parsed, ext) = Edns::decode(class_field, ttl_field, &msg[pos..pos + rdlen])?;
+                    let (parsed, ext) =
+                        Edns::decode(class_field, ttl_field, &msg[pos..pos + rdlen])?;
                     pos += rdlen;
                     edns = Some(parsed);
                     ext_rcode_bits = ext;
@@ -302,7 +318,10 @@ mod tests {
         let mut edns = Edns::default();
         edns.push_ede(EdeEntry::bare(EdeCode::DnskeyMissing));
         edns.push_ede(EdeEntry::bare(EdeCode::NoReachableAuthority));
-        edns.push_ede(EdeEntry::with_text(EdeCode::NetworkError, "192.0.2.1:53 timeout"));
+        edns.push_ede(EdeEntry::with_text(
+            EdeCode::NetworkError,
+            "192.0.2.1:53 timeout",
+        ));
         r.edns = Some(edns);
 
         let wire = r.encode().unwrap();
@@ -310,7 +329,11 @@ mod tests {
         assert_eq!(decoded, r);
         assert_eq!(
             decoded.ede_codes(),
-            vec![EdeCode::DnskeyMissing, EdeCode::NoReachableAuthority, EdeCode::NetworkError]
+            vec![
+                EdeCode::DnskeyMissing,
+                EdeCode::NoReachableAuthority,
+                EdeCode::NetworkError
+            ]
         );
     }
 
@@ -362,10 +385,7 @@ mod tests {
         let wire = m.encode().unwrap();
         // Uncompressed, each additional owner name would repeat
         // ".example.com" (13 bytes); compressed they share a pointer.
-        let uncompressed_estimate = 12
-            + (15 + 4)
-            + 5 * (17 + 10 + 4)
-            + 11;
+        let uncompressed_estimate = 12 + (15 + 4) + 5 * (17 + 10 + 4) + 11;
         assert!(wire.len() < uncompressed_estimate);
         assert_eq!(Message::decode(&wire).unwrap(), m);
     }

@@ -132,11 +132,7 @@ impl Name {
 
     /// Length of the uncompressed wire encoding (label lengths + root).
     pub fn wire_len(&self) -> usize {
-        1 + self
-            .labels
-            .iter()
-            .map(|l| l.len() + 1)
-            .sum::<usize>()
+        1 + self.labels.iter().map(|l| l.len() + 1).sum::<usize>()
     }
 
     /// Uncompressed canonical wire form (RFC 4034 §6.2): lowercase labels,
@@ -199,9 +195,9 @@ impl Name {
         let mut last_pointer = msg.len();
 
         loop {
-            let len_byte = *msg
-                .get(cursor)
-                .ok_or(WireError::Truncated { context: "name" })? as usize;
+            let len_byte =
+                *msg.get(cursor)
+                    .ok_or(WireError::Truncated { context: "name" })? as usize;
             match len_byte {
                 0 => {
                     if !jumped {

@@ -124,13 +124,17 @@ impl TypeBitmap {
         let mut pos = 0;
         while pos < data.len() {
             if pos + 2 > data.len() {
-                return Err(WireError::Truncated { context: "type bitmap window" });
+                return Err(WireError::Truncated {
+                    context: "type bitmap window",
+                });
             }
             let window = u16::from(data[pos]);
             let len = usize::from(data[pos + 1]);
             pos += 2;
             if len == 0 || len > 32 || pos + len > data.len() {
-                return Err(WireError::Truncated { context: "type bitmap block" });
+                return Err(WireError::Truncated {
+                    context: "type bitmap block",
+                });
             }
             for (byte_idx, &byte) in data[pos..pos + len].iter().enumerate() {
                 for bit in 0..8 {
@@ -283,7 +287,10 @@ impl Rdata {
             Rdata::Ns(n) | Rdata::Cname(n) | Rdata::Ptr(n) => {
                 n.encode(buf, compressor.as_deref_mut())
             }
-            Rdata::Mx { preference, exchange } => {
+            Rdata::Mx {
+                preference,
+                exchange,
+            } => {
                 buf.extend_from_slice(&preference.to_be_bytes());
                 exchange.encode(buf, compressor.as_deref_mut());
             }
@@ -300,13 +307,23 @@ impl Rdata {
                     buf.extend_from_slice(&v.to_be_bytes());
                 }
             }
-            Rdata::Ds { key_tag, algorithm, digest_type, digest } => {
+            Rdata::Ds {
+                key_tag,
+                algorithm,
+                digest_type,
+                digest,
+            } => {
                 buf.extend_from_slice(&key_tag.to_be_bytes());
                 buf.push(*algorithm);
                 buf.push(*digest_type);
                 buf.extend_from_slice(digest);
             }
-            Rdata::Dnskey { flags, protocol, algorithm, public_key } => {
+            Rdata::Dnskey {
+                flags,
+                protocol,
+                algorithm,
+                public_key,
+            } => {
                 buf.extend_from_slice(&flags.to_be_bytes());
                 buf.push(*protocol);
                 buf.push(*algorithm);
@@ -327,7 +344,14 @@ impl Rdata {
                 next.encode(buf, None);
                 types.encode(buf);
             }
-            Rdata::Nsec3 { hash_alg, flags, iterations, salt, next_hashed, types } => {
+            Rdata::Nsec3 {
+                hash_alg,
+                flags,
+                iterations,
+                salt,
+                next_hashed,
+                types,
+            } => {
                 buf.push(*hash_alg);
                 buf.push(*flags);
                 buf.extend_from_slice(&iterations.to_be_bytes());
@@ -337,7 +361,12 @@ impl Rdata {
                 buf.extend_from_slice(next_hashed);
                 types.encode(buf);
             }
-            Rdata::Nsec3param { hash_alg, flags, iterations, salt } => {
+            Rdata::Nsec3param {
+                hash_alg,
+                flags,
+                iterations,
+                salt,
+            } => {
                 buf.push(*hash_alg);
                 buf.push(*flags);
                 buf.extend_from_slice(&iterations.to_be_bytes());
@@ -362,7 +391,9 @@ impl Rdata {
         }
         let take_slice = |pos: &mut usize, n: usize| -> Result<&[u8], WireError> {
             if *pos + n > end {
-                return Err(WireError::BadRdataLength { rtype: rtype.to_u16() });
+                return Err(WireError::BadRdataLength {
+                    rtype: rtype.to_u16(),
+                });
             }
             let s = &msg[*pos..*pos + n];
             *pos += n;
@@ -386,7 +417,10 @@ impl Rdata {
             RrType::Mx => {
                 let p = take_slice(pos, 2)?;
                 let preference = u16::from_be_bytes([p[0], p[1]]);
-                Rdata::Mx { preference, exchange: Name::decode(msg, pos)? }
+                Rdata::Mx {
+                    preference,
+                    exchange: Name::decode(msg, pos)?,
+                }
             }
             RrType::Txt => {
                 let mut strings = Vec::new();
@@ -419,7 +453,12 @@ impl Rdata {
                 let digest_type = h[3];
                 let digest = msg[*pos..end].to_vec();
                 *pos = end;
-                Rdata::Ds { key_tag, algorithm, digest_type, digest }
+                Rdata::Ds {
+                    key_tag,
+                    algorithm,
+                    digest_type,
+                    digest,
+                }
             }
             RrType::Dnskey => {
                 let h = take_slice(pos, 4)?;
@@ -428,7 +467,12 @@ impl Rdata {
                 let algorithm = h[3];
                 let public_key = msg[*pos..end].to_vec();
                 *pos = end;
-                Rdata::Dnskey { flags, protocol, algorithm, public_key }
+                Rdata::Dnskey {
+                    flags,
+                    protocol,
+                    algorithm,
+                    public_key,
+                }
             }
             RrType::Rrsig => {
                 let h = take_slice(pos, 18)?;
@@ -477,7 +521,14 @@ impl Rdata {
                 let next_hashed = take_slice(pos, hash_len)?.to_vec();
                 let types = TypeBitmap::decode(&msg[*pos..end])?;
                 *pos = end;
-                Rdata::Nsec3 { hash_alg, flags, iterations, salt, next_hashed, types }
+                Rdata::Nsec3 {
+                    hash_alg,
+                    flags,
+                    iterations,
+                    salt,
+                    next_hashed,
+                    types,
+                }
             }
             RrType::Nsec3param => {
                 let h = take_slice(pos, 4)?;
@@ -489,16 +540,26 @@ impl Rdata {
                 if *pos != end {
                     return Err(WireError::BadRdataLength { rtype: 51 });
                 }
-                Rdata::Nsec3param { hash_alg, flags, iterations, salt }
+                Rdata::Nsec3param {
+                    hash_alg,
+                    flags,
+                    iterations,
+                    salt,
+                }
             }
             other => {
                 let data = msg[*pos..end].to_vec();
                 *pos = end;
-                Rdata::Unknown { rtype: other.to_u16(), data }
+                Rdata::Unknown {
+                    rtype: other.to_u16(),
+                    data,
+                }
             }
         };
         if *pos != end {
-            return Err(WireError::BadRdataLength { rtype: rtype.to_u16() });
+            return Err(WireError::BadRdataLength {
+                rtype: rtype.to_u16(),
+            });
         }
         Ok(rdata)
     }
@@ -528,7 +589,10 @@ mod tests {
         roundtrip(&Rdata::Ns(n("ns1.example.com")));
         roundtrip(&Rdata::Cname(n("alias.example.org")));
         roundtrip(&Rdata::Ptr(n("host.example.net")));
-        roundtrip(&Rdata::Mx { preference: 10, exchange: n("mx.example.com") });
+        roundtrip(&Rdata::Mx {
+            preference: 10,
+            exchange: n("mx.example.com"),
+        });
         roundtrip(&Rdata::Txt(vec![b"hello".to_vec(), b"world".to_vec()]));
     }
 
@@ -592,7 +656,10 @@ mod tests {
 
     #[test]
     fn roundtrip_unknown() {
-        roundtrip(&Rdata::Unknown { rtype: 99, data: vec![1, 2, 3] });
+        roundtrip(&Rdata::Unknown {
+            rtype: 99,
+            data: vec![1, 2, 3],
+        });
     }
 
     #[test]
@@ -627,9 +694,9 @@ mod tests {
             buf,
             vec![
                 0x00, 0x06, 0x40, 0x01, 0x00, 0x00, 0x00, 0x03, // window 0
-                0x04, 0x1b, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
-                0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
-                0x00, 0x00, 0x20, // window 4
+                0x04, 0x1b, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+                0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+                0x20, // window 4
             ]
         );
         assert_eq!(TypeBitmap::decode(&buf).unwrap(), bm);

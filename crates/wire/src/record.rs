@@ -102,7 +102,9 @@ impl Record {
     pub fn decode(msg: &[u8], pos: &mut usize) -> Result<Self, WireError> {
         let name = Name::decode(msg, pos)?;
         if *pos + 10 > msg.len() {
-            return Err(WireError::Truncated { context: "record fixed header" });
+            return Err(WireError::Truncated {
+                context: "record fixed header",
+            });
         }
         let rtype = RrType::from_u16(u16::from_be_bytes([msg[*pos], msg[*pos + 1]]));
         let class = Class::from_u16(u16::from_be_bytes([msg[*pos + 2], msg[*pos + 3]]));

@@ -90,7 +90,12 @@ impl RrType {
     pub fn is_dnssec(self) -> bool {
         matches!(
             self,
-            RrType::Ds | RrType::Rrsig | RrType::Nsec | RrType::Dnskey | RrType::Nsec3 | RrType::Nsec3param
+            RrType::Ds
+                | RrType::Rrsig
+                | RrType::Nsec
+                | RrType::Dnskey
+                | RrType::Nsec3
+                | RrType::Nsec3param
         )
     }
 }

@@ -138,7 +138,10 @@ mod tests {
         r.rcode = Rcode::ServFail;
         r.recursion_available = true;
         let mut edns = Edns::default();
-        edns.push_ede(EdeEntry::with_text(EdeCode::SignatureExpired, "expired 2019"));
+        edns.push_ede(EdeEntry::with_text(
+            EdeCode::SignatureExpired,
+            "expired 2019",
+        ));
         r.edns = Some(edns);
 
         let text = render_dig(&r);

@@ -100,13 +100,21 @@ mod tests {
 
     #[test]
     fn rdata_order_is_canonical() {
-        let mut set = Rrset::new(n("example.com"), 3600, Rdata::A("192.0.2.200".parse().unwrap()));
+        let mut set = Rrset::new(
+            n("example.com"),
+            3600,
+            Rdata::A("192.0.2.200".parse().unwrap()),
+        );
         set.push(Rdata::A("192.0.2.1".parse().unwrap()));
         let sig = sample_sig();
         let data = signing_data(&sig, &set);
 
         // Reordering the rdatas must not change the signing data.
-        let mut set2 = Rrset::new(n("example.com"), 3600, Rdata::A("192.0.2.1".parse().unwrap()));
+        let mut set2 = Rrset::new(
+            n("example.com"),
+            3600,
+            Rdata::A("192.0.2.1".parse().unwrap()),
+        );
         set2.push(Rdata::A("192.0.2.200".parse().unwrap()));
         assert_eq!(data, signing_data(&sig, &set2));
     }
@@ -123,7 +131,11 @@ mod tests {
 
     #[test]
     fn window_fields_change_signing_data() {
-        let set = Rrset::new(n("example.com"), 3600, Rdata::A("192.0.2.1".parse().unwrap()));
+        let set = Rrset::new(
+            n("example.com"),
+            3600,
+            Rdata::A("192.0.2.1".parse().unwrap()),
+        );
         let sig = sample_sig();
         let mut sig2 = sample_sig();
         sig2.expiration += 1;

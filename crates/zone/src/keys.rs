@@ -137,7 +137,11 @@ mod tests {
             (DigestAlg::SHA384, 48),
         ] {
             match keys.ksk.ds_rdata(&owner, alg) {
-                Rdata::Ds { digest, digest_type, .. } => {
+                Rdata::Ds {
+                    digest,
+                    digest_type,
+                    ..
+                } => {
                     assert_eq!(digest.len(), len);
                     assert_eq!(digest_type, alg.0);
                 }
@@ -150,7 +154,9 @@ mod tests {
     fn ds_matches_key_tag() {
         let keys = ZoneKeys::generate(&n("example.com"), 8, 2048);
         match keys.ksk.ds_rdata(&n("example.com"), DigestAlg::SHA256) {
-            Rdata::Ds { key_tag, algorithm, .. } => {
+            Rdata::Ds {
+                key_tag, algorithm, ..
+            } => {
                 assert_eq!(key_tag, keys.ksk.key_tag());
                 assert_eq!(algorithm, 8);
             }

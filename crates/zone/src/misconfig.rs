@@ -13,7 +13,7 @@
 //! matching zones signed with forced inception/expiration times.
 
 use crate::keys::{ZoneKeys, FLAGS_KSK, FLAGS_ZSK};
-use crate::signer::{self, SIM_NOW, DAY};
+use crate::signer::{self, DAY, SIM_NOW};
 use crate::zone::Zone;
 use ede_wire::{DigestAlg, Name, Rdata, RrType};
 
@@ -272,12 +272,20 @@ impl Misconfig {
         let correct = keys.ksk.ds_rdata(child_apex, DigestAlg::SHA256);
         match self {
             Misconfig::NoDs => Vec::new(),
-            Misconfig::DsBadTag => vec![patch_ds(correct, |tag, alg, dt, _| (tag.wrapping_add(1), alg, dt, None))],
+            Misconfig::DsBadTag => vec![patch_ds(correct, |tag, alg, dt, _| {
+                (tag.wrapping_add(1), alg, dt, None)
+            })],
             Misconfig::DsBadKeyAlgo => {
                 // Algorithm field disagrees with the KSK's actual
                 // algorithm but is itself a valid, assigned algorithm.
-                let other = if keys.ksk.signing.algorithm == 13 { 8 } else { 13 };
-                vec![patch_ds(correct, move |tag, _, dt, _| (tag, other, dt, None))]
+                let other = if keys.ksk.signing.algorithm == 13 {
+                    8
+                } else {
+                    13
+                };
+                vec![patch_ds(correct, move |tag, _, dt, _| {
+                    (tag, other, dt, None)
+                })]
             }
             Misconfig::DsUnassignedKeyAlgo => {
                 vec![patch_ds(correct, |tag, _, dt, _| (tag, 100, dt, None))]
@@ -352,7 +360,8 @@ fn corrupt_sigs(set: &mut crate::rrset::Rrset) {
 /// verify, exactly as post-sign zone-file editing behaves.
 fn remove_dnskey(zone: &mut Zone, apex: &Name, flags: u16) {
     if let Some(set) = zone.get_mut(apex, RrType::Dnskey) {
-        set.rdatas.retain(|rd| !matches!(rd, Rdata::Dnskey { flags: f, .. } if *f == flags));
+        set.rdatas
+            .retain(|rd| !matches!(rd, Rdata::Dnskey { flags: f, .. } if *f == flags));
     }
 }
 
@@ -360,7 +369,12 @@ fn remove_dnskey(zone: &mut Zone, apex: &Name, flags: u16) {
 fn corrupt_dnskey(zone: &mut Zone, apex: &Name, flags: u16) {
     if let Some(set) = zone.get_mut(apex, RrType::Dnskey) {
         for rd in &mut set.rdatas {
-            if let Rdata::Dnskey { flags: f, public_key, .. } = rd {
+            if let Rdata::Dnskey {
+                flags: f,
+                public_key,
+                ..
+            } = rd
+            {
                 if *f == flags {
                     for b in public_key.iter_mut().take(8) {
                         *b ^= 0x55;
@@ -389,7 +403,10 @@ fn clear_zone_key_bit(zone: &mut Zone, apex: &Name, flags: u16) {
 fn swap_zsk_algorithm(zone: &mut Zone, apex: &Name, new_alg: u8) {
     if let Some(set) = zone.get_mut(apex, RrType::Dnskey) {
         for rd in &mut set.rdatas {
-            if let Rdata::Dnskey { flags, algorithm, .. } = rd {
+            if let Rdata::Dnskey {
+                flags, algorithm, ..
+            } = rd
+            {
                 if *flags == FLAGS_ZSK {
                     *algorithm = new_alg;
                 }
@@ -404,7 +421,12 @@ fn patch_ds(
     patch: impl FnOnce(u16, u8, u8, Vec<u8>) -> (u16, u8, u8, Option<Vec<u8>>),
 ) -> Rdata {
     match ds {
-        Rdata::Ds { key_tag, algorithm, digest_type, digest } => {
+        Rdata::Ds {
+            key_tag,
+            algorithm,
+            digest_type,
+            digest,
+        } => {
             let (tag, alg, dt, new_digest) = patch(key_tag, algorithm, digest_type, digest.clone());
             Rdata::Ds {
                 key_tag: tag,
@@ -458,7 +480,11 @@ mod tests {
                 minimum: 300,
             }),
         ));
-        z.add(Record::new(apex.clone(), 3600, Rdata::Ns(n("ns1.case.example.com"))));
+        z.add(Record::new(
+            apex.clone(),
+            3600,
+            Rdata::Ns(n("ns1.case.example.com")),
+        ));
         z.add_a(n("ns1.case.example.com"), "192.0.2.10".parse().unwrap());
         z.add_a(apex.clone(), "192.0.2.11".parse().unwrap());
         let keys = ZoneKeys::generate(&apex, 8, 2048);
@@ -588,7 +614,12 @@ mod tests {
         }
         // Child-side misconfigs publish the correct DS.
         match &Misconfig::NoZsk.parent_ds(&keys, &apex)[0] {
-            Rdata::Ds { key_tag, algorithm, digest_type, .. } => {
+            Rdata::Ds {
+                key_tag,
+                algorithm,
+                digest_type,
+                ..
+            } => {
                 assert_eq!(*key_tag, correct_tag);
                 assert_eq!(*algorithm, 8);
                 assert_eq!(*digest_type, 2);

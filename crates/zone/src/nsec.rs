@@ -131,7 +131,11 @@ mod tests {
                 minimum: 300,
             }),
         ));
-        z.add(Record::new(apex.clone(), 3600, Rdata::Ns(n("ns1.example.com"))));
+        z.add(Record::new(
+            apex.clone(),
+            3600,
+            Rdata::Ns(n("ns1.example.com")),
+        ));
         z.add_a(n("ns1.example.com"), "192.0.2.1".parse().unwrap());
         z.add_a(apex, "192.0.2.2".parse().unwrap());
         z.add_a(n("www.example.com"), "192.0.2.3".parse().unwrap());
@@ -144,7 +148,7 @@ mod tests {
         build_chain(&mut z);
         let nsecs: Vec<&Rrset> = z.iter().filter(|s| s.rtype == RrType::Nsec).collect();
         assert_eq!(nsecs.len(), 3); // apex, ns1, www
-        // Next pointers form a single cycle over the owners.
+                                    // Next pointers form a single cycle over the owners.
         let owners: BTreeSet<&Name> = nsecs.iter().map(|s| &s.name).collect();
         for s in &nsecs {
             match s.rdatas.first().unwrap() {

@@ -121,9 +121,7 @@ pub fn build_chain(zone: &mut Zone, config: &Nsec3Config) {
     for i in 0..count {
         let (hash, name) = &hashed[i];
         let (next_hash, _) = &hashed[(i + 1) % count];
-        let owner = apex
-            .child(&base32::encode(hash))
-            .expect("hash label fits");
+        let owner = apex.child(&base32::encode(hash)).expect("hash label fits");
         let rdata = Rdata::Nsec3 {
             hash_alg: nsec3hash::NSEC3_HASH_ALG_SHA1,
             flags: 0,
@@ -199,7 +197,11 @@ mod tests {
                 minimum: 300,
             }),
         ));
-        z.add(Record::new(apex.clone(), 3600, Rdata::Ns(n("ns1.example.com"))));
+        z.add(Record::new(
+            apex.clone(),
+            3600,
+            Rdata::Ns(n("ns1.example.com")),
+        ));
         z.add_a(n("ns1.example.com"), "192.0.2.53".parse().unwrap());
         z.add_a(apex, "192.0.2.80".parse().unwrap());
         z.add_a(n("www.example.com"), "192.0.2.81".parse().unwrap());
@@ -220,8 +222,7 @@ mod tests {
         let owners: BTreeSet<Vec<u8>> = nsec3s
             .iter()
             .map(|r| {
-                base32::decode(std::str::from_utf8(r.name.first_label().unwrap()).unwrap())
-                    .unwrap()
+                base32::decode(std::str::from_utf8(r.name.first_label().unwrap()).unwrap()).unwrap()
             })
             .collect();
         for r in &nsec3s {
@@ -274,12 +275,21 @@ mod tests {
     #[test]
     fn delegation_bitmap_is_ns_and_ds_only() {
         let mut z = base_zone();
-        z.add(Record::new(n("child.example.com"), 3600, Rdata::Ns(n("ns.child.example.com"))));
+        z.add(Record::new(
+            n("child.example.com"),
+            3600,
+            Rdata::Ns(n("ns.child.example.com")),
+        ));
         z.add_a(n("ns.child.example.com"), "192.0.2.99".parse().unwrap());
         z.add(Record::new(
             n("child.example.com"),
             3600,
-            Rdata::Ds { key_tag: 1, algorithm: 8, digest_type: 2, digest: vec![0; 32] },
+            Rdata::Ds {
+                key_tag: 1,
+                algorithm: 8,
+                digest_type: 2,
+                digest: vec![0; 32],
+            },
         ));
         let cfg = Nsec3Config::default();
         build_chain(&mut z, &cfg);
@@ -300,8 +310,17 @@ mod tests {
 
     #[test]
     fn high_iteration_count_changes_hashes() {
-        let cfg0 = Nsec3Config { iterations: 0, salt: vec![] };
-        let cfg200 = Nsec3Config { iterations: 200, salt: vec![] };
-        assert_ne!(cfg0.hash_label(&n("example.com")), cfg200.hash_label(&n("example.com")));
+        let cfg0 = Nsec3Config {
+            iterations: 0,
+            salt: vec![],
+        };
+        let cfg200 = Nsec3Config {
+            iterations: 200,
+            salt: vec![],
+        };
+        assert_ne!(
+            cfg0.hash_label(&n("example.com")),
+            cfg200.hash_label(&n("example.com"))
+        );
     }
 }

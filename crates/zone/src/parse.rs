@@ -79,7 +79,8 @@ fn parse_name(s: &str, line: usize) -> Result<Name, ParseError> {
 }
 
 fn parse_u<T: std::str::FromStr>(s: &str, what: &str, line: usize) -> Result<T, ParseError> {
-    s.parse().map_err(|_| err(line, format!("bad {what} {s:?}")))
+    s.parse()
+        .map_err(|_| err(line, format!("bad {what} {s:?}")))
 }
 
 fn rrtype_from_mnemonic(s: &str, line: usize) -> Result<RrType, ParseError> {
@@ -120,7 +121,10 @@ fn parse_bitmap(fields: &[&str], line: usize) -> Result<TypeBitmap, ParseError> 
 fn parse_rdata(rtype: RrType, fields: &[&str], line: usize) -> Result<Rdata, ParseError> {
     let need = |n: usize| -> Result<(), ParseError> {
         if fields.len() < n {
-            Err(err(line, format!("{rtype} needs {n} fields, got {}", fields.len())))
+            Err(err(
+                line,
+                format!("{rtype} needs {n} fields, got {}", fields.len()),
+            ))
         } else {
             Ok(())
         }
@@ -128,11 +132,19 @@ fn parse_rdata(rtype: RrType, fields: &[&str], line: usize) -> Result<Rdata, Par
     let rd = match rtype {
         RrType::A => {
             need(1)?;
-            Rdata::A(fields[0].parse().map_err(|_| err(line, "bad IPv4 address"))?)
+            Rdata::A(
+                fields[0]
+                    .parse()
+                    .map_err(|_| err(line, "bad IPv4 address"))?,
+            )
         }
         RrType::Aaaa => {
             need(1)?;
-            Rdata::Aaaa(fields[0].parse().map_err(|_| err(line, "bad IPv6 address"))?)
+            Rdata::Aaaa(
+                fields[0]
+                    .parse()
+                    .map_err(|_| err(line, "bad IPv6 address"))?,
+            )
         }
         RrType::Ns => {
             need(1)?;
@@ -238,7 +250,10 @@ fn parse_rdata(rtype: RrType, fields: &[&str], line: usize) -> Result<Rdata, Par
             // RFC 3597 opaque syntax: \# <len> <hex>
             need(3)?;
             if fields[0] != "\\#" {
-                return Err(err(line, format!("unsupported type {other} without \\# syntax")));
+                return Err(err(
+                    line,
+                    format!("unsupported type {other} without \\# syntax"),
+                ));
             }
             let data = parse_hex(&fields[2..].join(""), line)?;
             Rdata::Unknown {
@@ -339,7 +354,11 @@ mod tests {
                 minimum: 300,
             }),
         ));
-        z.add(Record::new(apex.clone(), 3600, Rdata::Ns(n("ns1.round.example"))));
+        z.add(Record::new(
+            apex.clone(),
+            3600,
+            Rdata::Ns(n("ns1.round.example")),
+        ));
         z.add_a(n("ns1.round.example"), "192.0.2.1".parse().unwrap());
         z.add_a(apex, "192.0.2.2".parse().unwrap());
         z

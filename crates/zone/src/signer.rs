@@ -141,7 +141,13 @@ pub fn resign_all(zone: &mut Zone, keys: &ZoneKeys, window: (u32, u32)) {
 
 /// Replace the signatures over one RRset, signing with the role-appropriate
 /// key(s) and the given validity window.
-pub fn resign_rrset(zone: &mut Zone, name: &Name, rtype: RrType, keys: &ZoneKeys, window: (u32, u32)) {
+pub fn resign_rrset(
+    zone: &mut Zone,
+    name: &Name,
+    rtype: RrType,
+    keys: &ZoneKeys,
+    window: (u32, u32),
+) {
     let apex = zone.apex().clone();
     let Some(set) = zone.get_mut(name, rtype) else {
         return;
@@ -185,7 +191,11 @@ mod tests {
                 minimum: 300,
             }),
         ));
-        z.add(Record::new(apex.clone(), 3600, Rdata::Ns(n("ns1.example.com"))));
+        z.add(Record::new(
+            apex.clone(),
+            3600,
+            Rdata::Ns(n("ns1.example.com")),
+        ));
         z.add_a(n("ns1.example.com"), "192.0.2.53".parse().unwrap());
         z.add_a(apex.clone(), "192.0.2.80".parse().unwrap());
         let keys = ZoneKeys::generate(&apex, 8, 2048);
@@ -204,7 +214,12 @@ mod tests {
             if z.is_glue(&set.name) || z.is_delegation(&set.name) {
                 assert!(set.sigs.is_empty(), "glue must stay unsigned: {}", set.name);
             } else {
-                assert!(!set.sigs.is_empty(), "unsigned rrset: {} {}", set.name, set.rtype);
+                assert!(
+                    !set.sigs.is_empty(),
+                    "unsigned rrset: {} {}",
+                    set.name,
+                    set.rtype
+                );
             }
         }
     }
@@ -227,7 +242,12 @@ mod tests {
         assert_eq!(sig.key_tag, keys.zsk.key_tag());
         let data = signing_data(sig, a_set);
         assert_eq!(
-            simsig::verify(&keys.zsk.signing.public_key(), sig.algorithm, &data, &sig.signature),
+            simsig::verify(
+                &keys.zsk.signing.public_key(),
+                sig.algorithm,
+                &data,
+                &sig.signature
+            ),
             Ok(())
         );
     }
@@ -261,7 +281,12 @@ mod tests {
         // window is wrong. Exactly the `rrsig-exp-*` testbed situation.
         let data = signing_data(sig, set);
         assert_eq!(
-            simsig::verify(&keys.zsk.signing.public_key(), sig.algorithm, &data, &sig.signature),
+            simsig::verify(
+                &keys.zsk.signing.public_key(),
+                sig.algorithm,
+                &data,
+                &sig.signature
+            ),
             Ok(())
         );
     }

@@ -46,7 +46,10 @@ pub fn rdata_text(rdata: &Rdata) -> String {
         Rdata::A(a) => a.to_string(),
         Rdata::Aaaa(a) => a.to_string(),
         Rdata::Ns(n) | Rdata::Cname(n) | Rdata::Ptr(n) => n.to_string(),
-        Rdata::Mx { preference, exchange } => format!("{preference} {exchange}"),
+        Rdata::Mx {
+            preference,
+            exchange,
+        } => format!("{preference} {exchange}"),
         Rdata::Txt(strings) => strings
             .iter()
             .map(|s| format!("\"{}\"", String::from_utf8_lossy(s)))
@@ -56,20 +59,45 @@ pub fn rdata_text(rdata: &Rdata) -> String {
             "{} {} {} {} {} {} {}",
             soa.mname, soa.rname, soa.serial, soa.refresh, soa.retry, soa.expire, soa.minimum
         ),
-        Rdata::Ds { key_tag, algorithm, digest_type, digest } => {
+        Rdata::Ds {
+            key_tag,
+            algorithm,
+            digest_type,
+            digest,
+        } => {
             format!("{key_tag} {algorithm} {digest_type} {}", hex(digest))
         }
-        Rdata::Dnskey { flags, protocol, algorithm, public_key } => {
-            format!("{flags} {protocol} {algorithm} {}", base64::encode(public_key))
+        Rdata::Dnskey {
+            flags,
+            protocol,
+            algorithm,
+            public_key,
+        } => {
+            format!(
+                "{flags} {protocol} {algorithm} {}",
+                base64::encode(public_key)
+            )
         }
         Rdata::Rrsig(sig) => rrsig_text(sig),
         Rdata::Nsec { next, types } => format!("{next} {types}"),
-        Rdata::Nsec3 { hash_alg, flags, iterations, salt, next_hashed, types } => format!(
+        Rdata::Nsec3 {
+            hash_alg,
+            flags,
+            iterations,
+            salt,
+            next_hashed,
+            types,
+        } => format!(
             "{hash_alg} {flags} {iterations} {} {} {types}",
             hex(salt),
             base32::encode(next_hashed).to_uppercase(),
         ),
-        Rdata::Nsec3param { hash_alg, flags, iterations, salt } => {
+        Rdata::Nsec3param {
+            hash_alg,
+            flags,
+            iterations,
+            salt,
+        } => {
             format!("{hash_alg} {flags} {iterations} {}", hex(salt))
         }
         Rdata::Unknown { data, .. } => format!("\\# {} {}", data.len(), hex(data)),
@@ -137,7 +165,8 @@ pub fn delegation_text(zone: &Zone, child: &Name) -> String {
     let mut out = String::new();
     for set in zone.iter() {
         let relevant = set.name == *child
-            || (set.name.is_subdomain_of(child) && matches!(set.rdatas.first(), Some(Rdata::A(_)) | Some(Rdata::Aaaa(_))));
+            || (set.name.is_subdomain_of(child)
+                && matches!(set.rdatas.first(), Some(Rdata::A(_)) | Some(Rdata::Aaaa(_))));
         if relevant {
             write_rrset(&mut out, set);
         }
@@ -173,7 +202,11 @@ mod tests {
                 minimum: 300,
             }),
         ));
-        z.add(Record::new(apex.clone(), 3600, Rdata::Ns(n("ns1.file.example"))));
+        z.add(Record::new(
+            apex.clone(),
+            3600,
+            Rdata::Ns(n("ns1.file.example")),
+        ));
         z.add_a(n("ns1.file.example"), "192.0.2.1".parse().unwrap());
         z.add_a(apex, "192.0.2.2".parse().unwrap());
         let keys = ZoneKeys::generate(&n("file.example"), 8, 2048);
@@ -212,7 +245,9 @@ mod tests {
     fn ds_and_nsec3_presentation() {
         let z = signed_zone();
         let keys = ZoneKeys::generate(&n("file.example"), 8, 2048);
-        let ds = keys.ksk.ds_rdata(&n("file.example"), ede_wire::DigestAlg::SHA256);
+        let ds = keys
+            .ksk
+            .ds_rdata(&n("file.example"), ede_wire::DigestAlg::SHA256);
         let text = rdata_text(&ds);
         let fields: Vec<&str> = text.split_whitespace().collect();
         assert_eq!(fields.len(), 4);

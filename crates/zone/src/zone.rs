@@ -217,11 +217,19 @@ mod tests {
                 minimum: 300,
             }),
         ));
-        z.add(Record::new(apex.clone(), 3600, Rdata::Ns(n("ns1.example.com"))));
+        z.add(Record::new(
+            apex.clone(),
+            3600,
+            Rdata::Ns(n("ns1.example.com")),
+        ));
         z.add_a(n("ns1.example.com"), "192.0.2.53".parse().unwrap());
         z.add_a(apex, "192.0.2.80".parse().unwrap());
         // A delegation with glue.
-        z.add(Record::new(n("child.example.com"), 3600, Rdata::Ns(n("ns.child.example.com"))));
+        z.add(Record::new(
+            n("child.example.com"),
+            3600,
+            Rdata::Ns(n("ns.child.example.com")),
+        ));
         z.add_a(n("ns.child.example.com"), "192.0.2.54".parse().unwrap());
         z
     }

@@ -1,5 +1,7 @@
-//! Property tests: a freshly signed zone always validates; mutations
-//! always break something observable.
+//! Randomized tests: a freshly signed zone always validates; mutations
+//! always break something observable. Cases are driven by an in-file
+//! deterministic PRNG (SplitMix64), so every failure reproduces from
+//! the fixed seed.
 
 use ede_crypto::simsig;
 use ede_wire::rdata::{Rdata, Soa};
@@ -8,10 +10,43 @@ use ede_zone::canonical::signing_data;
 use ede_zone::nsec3::{find_covering, find_matching};
 use ede_zone::signer::{sign_zone, SignerConfig, SIM_NOW};
 use ede_zone::{Denial, Misconfig, Nsec3Config, TypeSel, Zone, ZoneKeys};
-use proptest::prelude::*;
 
-fn arb_label() -> impl Strategy<Value = String> {
-    proptest::string::string_regex("[a-z][a-z0-9]{0,10}").unwrap()
+/// Deterministic SplitMix64 stream driving the randomized cases.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        ((self.next() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// A hostname label: `[a-z][a-z0-9]{0,10}`.
+    fn label(&mut self) -> String {
+        let len = self.below(11) as usize;
+        let mut s = String::with_capacity(len + 1);
+        s.push((b'a' + self.below(26) as u8) as char);
+        const ALNUM: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789";
+        for _ in 0..len {
+            s.push(ALNUM[self.below(ALNUM.len() as u64) as usize] as char);
+        }
+        s
+    }
+
+    fn labels(&mut self, max: u64) -> Vec<String> {
+        (0..self.below(max)).map(|_| self.label()).collect()
+    }
+
+    fn bytes(&mut self, lo: u64, hi: u64) -> Vec<u8> {
+        let len = lo + self.below(hi - lo);
+        (0..len).map(|_| self.next() as u8).collect()
+    }
 }
 
 fn build_zone(apex: &Name, hosts: &[String]) -> Zone {
@@ -29,7 +64,11 @@ fn build_zone(apex: &Name, hosts: &[String]) -> Zone {
             minimum: 300,
         }),
     ));
-    z.add(Record::new(apex.clone(), 3600, Rdata::Ns(apex.child("ns1").unwrap())));
+    z.add(Record::new(
+        apex.clone(),
+        3600,
+        Rdata::Ns(apex.child("ns1").unwrap()),
+    ));
     z.add_a(apex.child("ns1").unwrap(), "192.0.2.1".parse().unwrap());
     z.add_a(apex.clone(), "192.0.2.2".parse().unwrap());
     for h in hosts {
@@ -52,21 +91,25 @@ fn zone_fully_verifies(zone: &Zone, keys: &ZoneKeys) -> bool {
             let data = signing_data(sig, set);
             sig.inception <= SIM_NOW
                 && SIM_NOW <= sig.expiration
-                && simsig::verify(&key.signing.public_key(), sig.algorithm, &data, &sig.signature)
-                    .is_ok()
+                && simsig::verify(
+                    &key.signing.public_key(),
+                    sig.algorithm,
+                    &data,
+                    &sig.signature,
+                )
+                .is_ok()
         })
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+#[test]
+fn signed_zones_always_verify() {
+    let mut rng = Rng(0x0031_5eed);
+    for _ in 0..48 {
+        let hosts = rng.labels(6);
+        let salt = rng.bytes(0, 6);
+        let iterations = rng.below(4) as u16;
 
-    #[test]
-    fn signed_zones_always_verify(
-        hosts in proptest::collection::vec(arb_label(), 0..6),
-        salt in proptest::collection::vec(any::<u8>(), 0..6),
-        iterations in 0u16..4,
-    ) {
         let apex = Name::parse("prop.example").unwrap();
         let mut zone = build_zone(&apex, &hosts);
         let keys = ZoneKeys::generate(&apex, 8, 2048);
@@ -75,20 +118,23 @@ proptest! {
             ..Default::default()
         };
         sign_zone(&mut zone, &keys, &cfg);
-        prop_assert!(zone_fully_verifies(&zone, &keys));
+        assert!(zone_fully_verifies(&zone, &keys));
         // Every authoritative RRset except RRSIG carries at least one sig.
         for set in zone.iter() {
             if !zone.is_glue(&set.name) && !zone.is_delegation(&set.name) {
-                prop_assert!(!set.sigs.is_empty(), "{} {}", set.name, set.rtype);
+                assert!(!set.sigs.is_empty(), "{} {}", set.name, set.rtype);
             }
         }
     }
+}
 
-    #[test]
-    fn nsec3_chain_is_sound_for_any_name(
-        hosts in proptest::collection::vec(arb_label(), 0..6),
-        probe in arb_label(),
-    ) {
+#[test]
+fn nsec3_chain_is_sound_for_any_name() {
+    let mut rng = Rng(0x0032_5eed);
+    for _ in 0..48 {
+        let hosts = rng.labels(6);
+        let probe = rng.label();
+
         let apex = Name::parse("prop.example").unwrap();
         let mut zone = build_zone(&apex, &hosts);
         let keys = ZoneKeys::generate(&apex, 8, 2048);
@@ -101,34 +147,55 @@ proptest! {
             if zone.is_glue(name) || name.first_label().is_some_and(|l| l.len() == 32) {
                 continue; // NSEC3 owners themselves / glue are not chained
             }
-            prop_assert!(find_matching(&zone, &params, name).is_some(), "{name}");
-            prop_assert!(find_covering(&zone, &params, name).is_none(), "{name}");
+            assert!(find_matching(&zone, &params, name).is_some(), "{name}");
+            assert!(find_covering(&zone, &params, name).is_none(), "{name}");
         }
         // A random probe either exists (matches) or is covered.
         let probe_name = apex.child(&probe).unwrap();
         let matches = find_matching(&zone, &params, &probe_name).is_some();
         let covered = find_covering(&zone, &params, &probe_name).is_some();
-        prop_assert!(matches ^ covered, "{probe_name}: matches={matches} covered={covered}");
+        assert!(
+            matches ^ covered,
+            "{probe_name}: matches={matches} covered={covered}"
+        );
     }
+}
 
-    #[test]
-    fn every_misconfig_changes_the_zone_or_its_ds(
-        selector in 0usize..28,
-    ) {
-        use Misconfig::*;
-        let all = [
-            NoDs, DsBadTag, DsBadKeyAlgo, DsUnassignedKeyAlgo, DsReservedKeyAlgo,
-            DsUnassignedDigestAlgo, DsBogusDigestValue,
-            RrsigExpired(TypeSel::All), RrsigExpired(TypeSel::OnlyApexA),
-            RrsigNotYetValid(TypeSel::All), RrsigMissing(TypeSel::All),
-            RrsigExpiredBeforeValid(TypeSel::All),
-            Nsec3Missing, BadNsec3Hash, BadNsec3Next, BadNsec3Rrsig, Nsec3RrsigMissing,
-            Nsec3ParamMissing, BadNsec3ParamSalt, NoNsec3ParamNsec3,
-            NoZsk, BadZsk, NoKsk, NoRrsigKsk, BadRrsigKsk, BadKsk,
-            NoRrsigDnskey, BadRrsigDnskey,
-        ];
-        let m = all[selector];
-
+#[test]
+fn every_misconfig_changes_the_zone_or_its_ds() {
+    use Misconfig::*;
+    let all = [
+        NoDs,
+        DsBadTag,
+        DsBadKeyAlgo,
+        DsUnassignedKeyAlgo,
+        DsReservedKeyAlgo,
+        DsUnassignedDigestAlgo,
+        DsBogusDigestValue,
+        RrsigExpired(TypeSel::All),
+        RrsigExpired(TypeSel::OnlyApexA),
+        RrsigNotYetValid(TypeSel::All),
+        RrsigMissing(TypeSel::All),
+        RrsigExpiredBeforeValid(TypeSel::All),
+        Nsec3Missing,
+        BadNsec3Hash,
+        BadNsec3Next,
+        BadNsec3Rrsig,
+        Nsec3RrsigMissing,
+        Nsec3ParamMissing,
+        BadNsec3ParamSalt,
+        NoNsec3ParamNsec3,
+        NoZsk,
+        BadZsk,
+        NoKsk,
+        NoRrsigKsk,
+        BadRrsigKsk,
+        BadKsk,
+        NoRrsigDnskey,
+        BadRrsigDnskey,
+    ];
+    // Exhaustive over the whole catalogue — no sampling needed.
+    for m in all {
         let apex = Name::parse("prop.example").unwrap();
         let mut zone = build_zone(&apex, &[]);
         let keys = ZoneKeys::generate(&apex, 8, 2048);
@@ -141,24 +208,33 @@ proptest! {
 
         let zone_changed = zone != pristine;
         let ds_changed = ds != vec![correct_ds];
-        prop_assert!(
+        assert!(
             zone_changed || ds_changed,
             "{m:?} must alter the zone or its DS"
         );
         // Parent-side cases leave the child untouched; child-side cases
         // leave the DS correct.
         if m.is_parent_side() {
-            prop_assert!(!zone_changed, "{m:?} is parent-side");
+            assert!(!zone_changed, "{m:?} is parent-side");
         } else {
-            prop_assert!(!ds_changed, "{m:?} is child-side");
+            assert!(!ds_changed, "{m:?} is child-side");
         }
     }
+}
 
-    #[test]
-    fn canonical_signing_data_is_order_invariant(
-        addrs in proptest::collection::vec(any::<[u8; 4]>(), 1..6),
-    ) {
-        use ede_zone::Rrset;
+#[test]
+fn canonical_signing_data_is_order_invariant() {
+    use ede_zone::Rrset;
+    let mut rng = Rng(0x0033_5eed);
+    for _ in 0..64 {
+        let n = 1 + rng.below(5);
+        let addrs: Vec<[u8; 4]> = (0..n)
+            .map(|_| {
+                let mut a = [0u8; 4];
+                a.iter_mut().for_each(|b| *b = rng.next() as u8);
+                a
+            })
+            .collect();
         let name = Name::parse("set.example").unwrap();
         let mut forward = Rrset::empty(name.clone(), RrType::A, 300);
         for a in &addrs {
@@ -179,28 +255,24 @@ proptest! {
             signer: Name::parse("example").unwrap(),
             signature: vec![],
         };
-        prop_assert_eq!(signing_data(&sig, &forward), signing_data(&sig, &backward));
+        assert_eq!(signing_data(&sig, &forward), signing_data(&sig, &backward));
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The master-file parser never panics, whatever we feed it — and a
-    /// rendered zone with one mutated byte either parses or errors
-    /// cleanly.
-    #[test]
-    fn master_file_parser_never_panics(
-        idx in 0usize..4096,
-        byte in 0u8..=255,
-    ) {
-        let apex = Name::parse("fuzz.example").unwrap();
-        let mut zone = build_zone(&apex, &[]);
-        let keys = ZoneKeys::generate(&apex, 8, 2048);
-        sign_zone(&mut zone, &keys, &SignerConfig::default());
-        let mut text = ede_zone::textual::zone_to_master_file(&zone).into_bytes();
-        let i = idx % text.len();
-        text[i] = byte;
+/// The master-file parser never panics, whatever we feed it — and a
+/// rendered zone with one mutated byte either parses or errors cleanly.
+#[test]
+fn master_file_parser_never_panics() {
+    let mut rng = Rng(0x0034_5eed);
+    let apex = Name::parse("fuzz.example").unwrap();
+    let mut zone = build_zone(&apex, &[]);
+    let keys = ZoneKeys::generate(&apex, 8, 2048);
+    sign_zone(&mut zone, &keys, &SignerConfig::default());
+    let pristine = ede_zone::textual::zone_to_master_file(&zone).into_bytes();
+    for _ in 0..64 {
+        let mut text = pristine.clone();
+        let i = rng.below(text.len() as u64) as usize;
+        text[i] = rng.next() as u8;
         // Any outcome except a panic is acceptable.
         let _ = ede_zone::parse::parse_master_file(&String::from_utf8_lossy(&text));
     }

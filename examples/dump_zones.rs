@@ -13,15 +13,14 @@ use extended_dns_errors::wire::Name;
 use extended_dns_errors::zone::textual::{rdata_text, zone_to_master_file};
 
 fn dump(label: &str, base: &Name, specs: &[extended_dns_errors::testbed::DomainSpec]) -> bool {
-    let Some((idx, spec)) = specs
-        .iter()
-        .enumerate()
-        .find(|(_, s)| s.label == label)
-    else {
+    let Some((idx, spec)) = specs.iter().enumerate().find(|(_, s)| s.label == label) else {
         return false;
     };
     let (zone, ds) = materialize_child_zone(spec, base, idx);
-    println!("; ===== {}.{base}  (group {}) =====", spec.label, spec.group);
+    println!(
+        "; ===== {}.{base}  (group {}) =====",
+        spec.label, spec.group
+    );
     if let Some(m) = &spec.misconfig {
         println!("; misconfiguration: {m:?}");
     }
@@ -57,7 +56,9 @@ fn main() {
         }
         Some(label) => {
             if !dump(label, &base, &specs) {
-                eprintln!("unknown subdomain {label:?}; see `cargo run --example troubleshoot -- --list`");
+                eprintln!(
+                    "unknown subdomain {label:?}; see `cargo run --example troubleshoot -- --list`"
+                );
                 std::process::exit(1);
             }
         }

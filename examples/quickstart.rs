@@ -30,7 +30,12 @@ fn main() {
                 .collect::<Vec<_>>()
                 .join("; ")
         };
-        println!("  {:<16} {:<10} {}", vendor.name(), res.rcode.to_string(), codes);
+        println!(
+            "  {:<16} {:<10} {}",
+            vendor.name(),
+            res.rcode.to_string(),
+            codes
+        );
     }
 
     println!();

@@ -3,12 +3,20 @@
 //! Run with:
 //!
 //! ```text
-//! cargo run --example troubleshoot -- <subdomain> [vendor]
+//! cargo run --example troubleshoot -- <subdomain> [vendor] [--trace | --trace-json]
 //! cargo run --example troubleshoot -- allow-query-none cloudflare
+//! cargo run --example troubleshoot -- rrsig-exp-all cloudflare --trace
 //! cargo run --example troubleshoot -- --list
 //! ```
+//!
+//! `--trace` appends a dig+trace-style timeline of the resolution —
+//! every query, referral, validation step, and EDE decision stamped
+//! with the simulated clock. `--trace-json` prints the same events as
+//! JSON lines for machine consumption (see `docs/OBSERVABILITY.md`).
 
 use extended_dns_errors::prelude::*;
+use extended_dns_errors::trace::ResolutionTrace;
+use std::sync::Arc;
 
 fn parse_vendor(s: &str) -> Option<Vendor> {
     match s.to_ascii_lowercase().as_str() {
@@ -24,7 +32,11 @@ fn parse_vendor(s: &str) -> Option<Vendor> {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let trace_timeline = args.iter().any(|a| a == "--trace");
+    let trace_json = args.iter().any(|a| a == "--trace-json");
+    args.retain(|a| a != "--trace" && a != "--trace-json");
+
     let tb = Testbed::build();
 
     if args.first().map(String::as_str) == Some("--list") || args.is_empty() {
@@ -32,7 +44,7 @@ fn main() {
         for spec in &tb.specs {
             println!("  [group {}] {}", spec.group, spec.label);
         }
-        println!("\nUsage: troubleshoot <subdomain> [vendor]");
+        println!("\nUsage: troubleshoot <subdomain> [vendor] [--trace | --trace-json]");
         return;
     }
 
@@ -47,9 +59,22 @@ fn main() {
         std::process::exit(1);
     };
 
+    // Attach a bounded event ring before resolving, so the whole
+    // resolution (transport, iteration, validation, EDE synthesis,
+    // authority answers) lands in one trace.
+    let trace = Arc::new(ResolutionTrace::new(4096));
+    if trace_timeline || trace_json {
+        tb.attach_trace_sink(Arc::clone(&trace) as _);
+    }
+
     let qname = tb.query_name(spec);
     let resolver = tb.resolver(vendor);
     let res = resolver.resolve(&qname, RrType::A);
+
+    if trace_json {
+        print!("{}", trace.to_jsonl());
+        return;
+    }
 
     println!("; <<>> extended-dns-errors troubleshoot <<>> {qname} A");
     println!("; vendor profile: {}\n", vendor.name());
@@ -61,5 +86,13 @@ fn main() {
 
     // The resolver's own structured diagnosis, explained for operators.
     println!("\n;; DIAGNOSIS:");
-    print!("{}", extended_dns_errors::resolver::explain::explain(&res.diagnosis));
+    print!(
+        "{}",
+        extended_dns_errors::resolver::explain::explain(&res.diagnosis)
+    );
+
+    if trace_timeline {
+        println!("\n;; TRACE ({} events):", trace.len());
+        print!("{}", trace.render_timeline());
+    }
 }

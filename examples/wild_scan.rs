@@ -6,7 +6,9 @@
 //! (default scale 1:10000 ≈ 30k domains for a fast demo; the paper-shape
 //! default for the repro binaries is 1:1000).
 
-use extended_dns_errors::scan::{aggregate, report, scanner, Population, PopulationConfig, ScanWorld};
+use extended_dns_errors::scan::{
+    aggregate, report, scanner, Population, PopulationConfig, ScanWorld,
+};
 
 fn main() {
     let scale: u32 = std::env::args()
@@ -20,13 +22,21 @@ fn main() {
     };
     eprintln!("generating population at scale 1:{scale}...");
     let pop = Population::generate(cfg);
-    eprintln!("{} domains; building the simulated internet...", pop.domains.len());
+    eprintln!(
+        "{} domains; building the simulated internet...",
+        pop.domains.len()
+    );
     let world = ScanWorld::build(&pop);
     eprintln!("scanning with the Cloudflare profile...");
-    let result = scanner::scan(&pop, &world, &scanner::ScanConfig::default());
+    let config = scanner::ScanConfig {
+        progress: true,
+        ..Default::default()
+    };
+    let result = scanner::scan(&pop, &world, &config);
     let agg = aggregate::aggregate(&pop, &result);
 
     println!("{}", report::scan_summary(&pop, &agg));
     println!("{}", report::figure1(&agg));
     println!("{}", report::figure2(&agg, &pop.config));
+    println!("{}", result.metrics.render());
 }

@@ -20,6 +20,7 @@
 //! | Resolver | [`resolver`] | EDE-capable validating resolver + seven vendor profiles |
 //! | Testbed | [`testbed`] | The 63-domain `extended-dns-errors.com` infrastructure |
 //! | Scan | [`scan`] | The Internet-wide scan at configurable scale |
+//! | Observability | [`trace`] | Resolution tracing, JSONL export, live metrics |
 //!
 //! ## Quickstart
 //!
@@ -54,6 +55,7 @@ pub use ede_netsim as netsim;
 pub use ede_resolver as resolver;
 pub use ede_scan as scan;
 pub use ede_testbed as testbed;
+pub use ede_trace as trace;
 pub use ede_wire as wire;
 pub use ede_zone as zone;
 

@@ -56,10 +56,7 @@ fn policy_codes_are_emitted() {
     let tb = Testbed::build();
     let mut r = tb.resolver(Vendor::Bind9);
     let mut policy = Policy::new();
-    policy.add(
-        Name::parse("blocked.example").unwrap(),
-        PolicyAction::Block,
-    );
+    policy.add(Name::parse("blocked.example").unwrap(), PolicyAction::Block);
     policy.add(
         Name::parse("censored.example").unwrap(),
         PolicyAction::Censor,
@@ -125,8 +122,14 @@ fn extra_text_identifies_the_failing_nameserver() {
         .find(|e| e.code == EdeCode::NetworkError)
         .expect("Network Error present");
     // The paper: "1.2.3.4:53 rcode=REFUSED for a.com A".
-    assert!(net_err.extra_text.contains(":53 rcode=REFUSED for"), "{}", net_err.extra_text);
-    assert!(net_err.extra_text.contains("allow-query-none.extended-dns-errors.com"));
+    assert!(
+        net_err.extra_text.contains(":53 rcode=REFUSED for"),
+        "{}",
+        net_err.extra_text
+    );
+    assert!(net_err
+        .extra_text
+        .contains("allow-query-none.extended-dns-errors.com"));
 }
 
 #[test]
@@ -145,6 +148,9 @@ fn ad_bit_only_on_validated_answers() {
     let tb = Testbed::build();
     let r = tb.resolver(Vendor::Unbound);
     assert!(r.resolve_a("valid.extended-dns-errors.com").authentic_data);
-    assert!(!r.resolve_a("unsigned.extended-dns-errors.com").authentic_data);
+    assert!(
+        !r.resolve_a("unsigned.extended-dns-errors.com")
+            .authentic_data
+    );
     assert!(!r.resolve_a("no-ds.extended-dns-errors.com").authentic_data);
 }

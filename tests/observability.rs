@@ -1,0 +1,209 @@
+//! Golden tests for the `ede-trace` observability pipeline: the exact
+//! event sequence of one healthy and one broken resolution through the
+//! Cloudflare profile, the JSONL export, and the metrics registry's
+//! agreement with the transport's own traffic accounting.
+
+use extended_dns_errors::prelude::*;
+use extended_dns_errors::trace::{Metrics, ResolutionTrace, TraceEvent};
+use std::sync::Arc;
+
+/// The healthy control (`valid`): three signed zone cuts walked with a
+/// DNSKEY fetch + two validation steps at each, then the leaf answer and
+/// its own chain — and no findings, no EDE, NOERROR.
+const HEALTHY_GOLDEN: &[&str] = &[
+    "resolution_started",
+    "cache_probe",
+    // root: referral for the qname, then the root DNSKEY + DS validation
+    "query_sent",
+    "authority_answer",
+    "response_received",
+    "referral",
+    "query_sent",
+    "authority_answer",
+    "response_received",
+    "validation_step",
+    "validation_step",
+    // com: same shape, one level down
+    "query_sent",
+    "authority_answer",
+    "response_received",
+    "referral",
+    "query_sent",
+    "authority_answer",
+    "response_received",
+    "validation_step",
+    "validation_step",
+    // extended-dns-errors.com: same shape
+    "query_sent",
+    "authority_answer",
+    "response_received",
+    "referral",
+    "query_sent",
+    "authority_answer",
+    "response_received",
+    "validation_step",
+    "validation_step",
+    // the leaf zone: answer, then its DNSKEY + answer-RRSIG validation
+    "query_sent",
+    "authority_answer",
+    "response_received",
+    "query_sent",
+    "authority_answer",
+    "response_received",
+    "validation_step",
+    "validation_step",
+    "resolution_finished",
+];
+
+/// `rrsig-exp-all` diverges from the healthy walk only at the leaf: the
+/// expired DNSKEY signature records a finding, fails the validation
+/// step, and synthesizes EDE 7 (Signature Expired).
+const BROKEN_GOLDEN: &[&str] = &[
+    "resolution_started",
+    "cache_probe",
+    "query_sent",
+    "authority_answer",
+    "response_received",
+    "referral",
+    "query_sent",
+    "authority_answer",
+    "response_received",
+    "validation_step",
+    "validation_step",
+    "query_sent",
+    "authority_answer",
+    "response_received",
+    "referral",
+    "query_sent",
+    "authority_answer",
+    "response_received",
+    "validation_step",
+    "validation_step",
+    "query_sent",
+    "authority_answer",
+    "response_received",
+    "referral",
+    "query_sent",
+    "authority_answer",
+    "response_received",
+    "validation_step",
+    "validation_step",
+    "query_sent",
+    "authority_answer",
+    "response_received",
+    "query_sent",
+    "authority_answer",
+    "response_received",
+    "finding_recorded",
+    "validation_step",
+    "ede_emitted",
+    "resolution_finished",
+];
+
+fn traced_resolution(label: &str) -> (Arc<ResolutionTrace>, Resolution) {
+    let tb = Testbed::build();
+    let trace = Arc::new(ResolutionTrace::new(4096));
+    tb.attach_trace_sink(Arc::clone(&trace) as _);
+    let spec = tb.spec(label).expect("testbed domain");
+    let qname = tb.query_name(spec);
+    let res = tb.resolver(Vendor::Cloudflare).resolve(&qname, RrType::A);
+    (trace, res)
+}
+
+#[test]
+fn healthy_resolution_matches_golden_sequence() {
+    let (trace, res) = traced_resolution("valid");
+    assert_eq!(res.rcode, Rcode::NoError);
+    assert!(res.ede.is_empty());
+
+    let events = trace.events();
+    let kinds: Vec<&str> = events.iter().map(|e| e.event.kind()).collect();
+    assert_eq!(kinds, HEALTHY_GOLDEN);
+    assert_eq!(trace.dropped(), 0);
+
+    // Clock order: stamps never go backwards.
+    for pair in events.windows(2) {
+        assert!(pair[0].at_ms <= pair[1].at_ms);
+    }
+}
+
+#[test]
+fn broken_resolution_matches_golden_sequence() {
+    let (trace, res) = traced_resolution("rrsig-exp-all");
+    assert_eq!(res.rcode, Rcode::ServFail);
+    assert_eq!(res.ede_codes(), vec![7]);
+
+    let events = trace.events();
+    let kinds: Vec<&str> = events.iter().map(|e| e.event.kind()).collect();
+    assert_eq!(kinds, BROKEN_GOLDEN);
+
+    // Clock order, and the acceptance-criteria variants all present.
+    for pair in events.windows(2) {
+        assert!(pair[0].at_ms <= pair[1].at_ms);
+    }
+    assert!(events
+        .iter()
+        .any(|e| matches!(&e.event, TraceEvent::QuerySent { .. })));
+    assert!(events
+        .iter()
+        .any(|e| matches!(&e.event, TraceEvent::ValidationStep { ok: false, .. })));
+    assert!(events
+        .iter()
+        .any(|e| matches!(&e.event, TraceEvent::FindingRecorded { finding } if finding.contains("SignatureExpired"))));
+    assert!(events.iter().any(|e| matches!(
+        &e.event,
+        TraceEvent::EdeEmitted { vendor, code: 7, .. } if vendor == "Cloudflare DNS"
+    )));
+
+    // The JSONL export carries one line per event, in order, each a
+    // flat JSON object with the stamp and the kind tag.
+    let jsonl = trace.to_jsonl();
+    let lines: Vec<&str> = jsonl.lines().collect();
+    assert_eq!(lines.len(), events.len());
+    for (line, kind) in lines.iter().zip(&BROKEN_GOLDEN[..]) {
+        assert!(line.starts_with("{\"at_ms\":"), "{line}");
+        assert!(line.contains(&format!("\"kind\":\"{kind}\"")), "{line}");
+        assert!(line.ends_with('}'), "{line}");
+    }
+    assert!(jsonl.contains("\"kind\":\"ede_emitted\",\"vendor\":\"Cloudflare DNS\",\"code\":7"));
+}
+
+#[test]
+fn tracing_does_not_change_resolution_results() {
+    let tb = Testbed::build();
+    let spec = tb.spec("rrsig-exp-all").expect("testbed domain");
+    let qname = tb.query_name(spec);
+    let untraced = tb.resolver(Vendor::Cloudflare).resolve(&qname, RrType::A);
+
+    let (_, traced) = traced_resolution("rrsig-exp-all");
+    assert_eq!(untraced.rcode, traced.rcode);
+    assert_eq!(untraced.ede_codes(), traced.ede_codes());
+}
+
+#[test]
+fn metrics_registry_agrees_with_transport_accounting() {
+    let tb = Testbed::build();
+    let metrics = Arc::new(Metrics::new());
+    tb.attach_trace_sink(Arc::clone(&metrics) as _);
+
+    let resolver = tb.resolver(Vendor::Cloudflare);
+    for label in ["valid", "rrsig-exp-all", "allow-query-none", "valid"] {
+        let spec = tb.spec(label).expect("testbed domain");
+        resolver.resolve(&tb.query_name(spec), RrType::A);
+    }
+
+    let snap = metrics.snapshot();
+    let (queries, delivered, failed) = tb.net.stats().snapshot();
+    // The QuerySent event is emitted at the exact point the transport
+    // counts a query, so the two accountings must agree.
+    assert_eq!(snap.queries_sent, queries);
+    assert_eq!(snap.responses_received, delivered);
+    assert_eq!(snap.timeouts, failed);
+
+    assert_eq!(snap.resolutions, 4);
+    assert!(snap.cache_hits >= 1, "second 'valid' lookup hits the cache");
+    assert!(snap
+        .ede_by_vendor
+        .contains_key(&("Cloudflare DNS".to_string(), 7)));
+    assert!(snap.render().contains("metrics summary"));
+}

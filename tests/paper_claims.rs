@@ -145,5 +145,8 @@ fn claim_figure2_tranco_uniformity() {
         .fold(0.0f64, f64::max);
     assert!(max_dev < 0.25, "rank CDF far from uniform: {max_dev}");
 
-    assert!(agg.noerror_with_ede > 0, "NOERROR responses still carry EDE");
+    assert!(
+        agg.noerror_with_ede > 0,
+        "NOERROR responses still carry EDE"
+    );
 }

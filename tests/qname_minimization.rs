@@ -71,7 +71,12 @@ fn minimized_results_match_plain_results() {
         let plain = tb.resolver(Vendor::Cloudflare).resolve(&qname, RrType::A);
         let minimized = minimizing_resolver(&tb, Vendor::Cloudflare).resolve(&qname, RrType::A);
         assert_eq!(plain.rcode, minimized.rcode, "{label}");
-        assert_eq!(plain.ede_codes(), minimized.ede_codes(), "{label}: {:?}", minimized.diagnosis);
+        assert_eq!(
+            plain.ede_codes(),
+            minimized.ede_codes(),
+            "{label}: {:?}",
+            minimized.diagnosis
+        );
     }
 }
 
