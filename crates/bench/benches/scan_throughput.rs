@@ -1,0 +1,186 @@
+//! Tracked scan-throughput baseline: the §4.2 scan at reproduction
+//! scale (1:1000, 303 k domains), swept across worker counts.
+//!
+//! Two modes, following the harness convention:
+//!
+//! * **smoke** (`cargo test -p ede-bench --bench scan_throughput`, no
+//!   `--bench` flag): one tiny-population scan per worker count,
+//!   print-only — a CI-speed check that the sweep machinery works and
+//!   that results are bit-identical at every worker count.
+//! * **full** (`cargo bench --bench scan_throughput`, or
+//!   `EDE_BENCH=full`): scans 303 k domains at workers ∈ {1, 4, 8, 16}
+//!   and appends one entry per run to `BENCH_scan.json` at the repo
+//!   root, so regressions show up as history, not anecdotes.
+//!
+//! `BENCH_scan.json` is a JSON array with one entry per line, so new
+//! entries append as single lines and diffs stay readable. See
+//! docs/PERFORMANCE.md for the schema and current numbers.
+
+use ede_scan::scanner::{self, ScanConfig};
+use ede_scan::{Population, PopulationConfig, ScanWorld};
+use std::io::Write;
+use std::time::Instant;
+
+const WORKER_SWEEP: [usize; 4] = [1, 4, 8, 16];
+
+/// Scale divisor for the full measurement (1:1000 — the same
+/// population `repro-scan` defaults to, 303 k domains).
+const FULL_SCALE: u32 = 1000;
+
+fn full_measurement() -> bool {
+    std::env::args().any(|a| a == "--bench")
+        || std::env::var("EDE_BENCH").is_ok_and(|v| v == "full")
+}
+
+/// `BENCH_scan.json` lives at the workspace root, two levels above this
+/// crate's manifest.
+fn bench_log_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_scan.json")
+}
+
+/// Append one entry line to the JSON-array log, creating it if absent.
+/// The file is a JSON array with one object per line; appending swaps
+/// the final `]` for `,\n<entry>\n]`.
+fn append_entry(entry: &str) -> std::io::Result<()> {
+    let path = bench_log_path();
+    let body = match std::fs::read_to_string(&path) {
+        Ok(existing) => {
+            let trimmed = existing.trim_end();
+            let without_close = trimmed
+                .strip_suffix(']')
+                .map(|s| s.trim_end().to_string())
+                .unwrap_or_else(|| trimmed.to_string());
+            if without_close.trim_end().ends_with('[') {
+                format!("{without_close}\n{entry}\n]\n")
+            } else {
+                format!("{without_close},\n{entry}\n]\n")
+            }
+        }
+        Err(_) => format!("[\n{entry}\n]\n"),
+    };
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(body.as_bytes())
+}
+
+fn utc_date() -> String {
+    // Days since the epoch → Y-M-D, enough precision for a bench log
+    // and no chrono dependency.
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let days = secs / 86_400;
+    let mut year = 1970u64;
+    let mut remaining = days;
+    loop {
+        let leap =
+            year.is_multiple_of(4) && (!year.is_multiple_of(100) || year.is_multiple_of(400));
+        let len = if leap { 366 } else { 365 };
+        if remaining < len {
+            break;
+        }
+        remaining -= len;
+        year += 1;
+    }
+    let leap = year.is_multiple_of(4) && (!year.is_multiple_of(100) || year.is_multiple_of(400));
+    let month_lens = [
+        31,
+        if leap { 29 } else { 28 },
+        31,
+        30,
+        31,
+        30,
+        31,
+        31,
+        30,
+        31,
+        30,
+        31,
+    ];
+    let mut month = 1;
+    for len in month_lens {
+        if remaining < len {
+            break;
+        }
+        remaining -= len;
+        month += 1;
+    }
+    format!("{year:04}-{month:02}-{:02}", remaining + 1)
+}
+
+fn main() {
+    let full = full_measurement();
+    let cfg = if full {
+        PopulationConfig {
+            scale: FULL_SCALE,
+            ..Default::default()
+        }
+    } else {
+        PopulationConfig::tiny()
+    };
+    eprintln!(
+        "scan_throughput: generating population (scale 1:{})...",
+        cfg.scale
+    );
+    let pop = Population::generate(cfg);
+    let domains = pop.domains.len();
+
+    let mut reference: Option<String> = None;
+    for workers in WORKER_SWEEP {
+        // Fresh world per run: flap state and the virtual clock are
+        // part of the scan, and sharing them would leak state between
+        // worker counts.
+        let world = ScanWorld::build(&pop);
+        let scan_cfg = ScanConfig {
+            workers,
+            progress: false,
+            ..Default::default()
+        };
+        let t = Instant::now();
+        let result = scanner::scan(&pop, &world, &scan_cfg);
+        let secs = t.elapsed().as_secs_f64();
+        let rate = domains as f64 / secs;
+        println!(
+            "bench scan_throughput/workers_{workers}: {domains} domains in {secs:.2} s ({rate:.0} domains/s)"
+        );
+
+        // Results must be bit-identical at every worker count: compare
+        // the per-code inventory against the first run.
+        let fingerprint = format!("{:?}", {
+            let mut codes: Vec<_> = result
+                .observations
+                .iter()
+                .map(|o| (o.name.clone(), o.rcode.to_u16(), o.codes.clone()))
+                .collect();
+            codes.sort();
+            codes
+        });
+        match &reference {
+            None => reference = Some(fingerprint),
+            Some(r) => assert_eq!(
+                *r, fingerprint,
+                "scan results diverged at workers={workers}"
+            ),
+        }
+
+        if full {
+            let entry = format!(
+                "{{\"recorded\": \"{}\", \"label\": \"scan_throughput\", \"scale\": {}, \"workers\": {}, \"domains\": {}, \"seconds\": {:.3}, \"domains_per_sec\": {:.0}}}",
+                utc_date(),
+                FULL_SCALE,
+                workers,
+                domains,
+                secs,
+                rate,
+            );
+            if let Err(e) = append_entry(&entry) {
+                eprintln!("warning: could not append to BENCH_scan.json: {e}");
+            }
+        }
+    }
+    if !full {
+        println!("bench scan_throughput: smoke ok (results bit-identical across {WORKER_SWEEP:?} workers)");
+    }
+}

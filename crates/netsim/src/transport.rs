@@ -114,8 +114,79 @@ impl NetworkBuilder {
             config: self.config,
             clock,
             stats: TrafficStats::default(),
-            capture: Mutex::new(None),
-            tracer: Mutex::new(Tracer::disabled()),
+            capture: CaptureCell::default(),
+            tracer: TracerCell::default(),
+        }
+    }
+}
+
+/// The tracer slot with a lock-free fast path.
+///
+/// Every query consults the tracer, but a tracer is *attached* only at
+/// scan/troubleshoot boundaries. Guarding the slot with a plain `Mutex`
+/// made every worker of a scan serialize on it per query — even with
+/// tracing disabled. Here the common read is one atomic load: disabled
+/// means no lock at all, and when a sink is attached readers share an
+/// `RwLock` read lock (writers are rare and brief).
+#[derive(Default)]
+struct TracerCell {
+    enabled: std::sync::atomic::AtomicBool,
+    slot: std::sync::RwLock<Tracer>,
+}
+
+impl TracerCell {
+    fn set(&self, tracer: Tracer) {
+        use std::sync::atomic::Ordering;
+        let on = tracer.enabled();
+        // Order matters when disabling: readers that still see the flag
+        // up momentarily grab the (already replaced) disabled tracer,
+        // never a stale sink.
+        *self.slot.write().expect("no poisoning") = tracer;
+        self.enabled.store(on, Ordering::Release);
+    }
+
+    fn get(&self) -> Tracer {
+        use std::sync::atomic::Ordering;
+        if !self.enabled.load(Ordering::Acquire) {
+            return Tracer::disabled();
+        }
+        self.slot.read().expect("no poisoning").clone()
+    }
+}
+
+/// The capture slot, same shape as [`TracerCell`]: captures are a
+/// debugging tool, so the per-query cost while *not* capturing is one
+/// atomic load.
+#[derive(Default)]
+struct CaptureCell {
+    enabled: std::sync::atomic::AtomicBool,
+    slot: Mutex<Option<Vec<CapturedQuery>>>,
+}
+
+impl CaptureCell {
+    fn start(&self) {
+        use std::sync::atomic::Ordering;
+        *self.slot.lock().expect("no poisoning") = Some(Vec::new());
+        self.enabled.store(true, Ordering::Release);
+    }
+
+    fn take(&self) -> Vec<CapturedQuery> {
+        use std::sync::atomic::Ordering;
+        self.enabled.store(false, Ordering::Release);
+        self.slot
+            .lock()
+            .expect("no poisoning")
+            .take()
+            .unwrap_or_default()
+    }
+
+    fn recording(&self) -> bool {
+        self.enabled.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    fn push(&self, captured: CapturedQuery) {
+        if let Some(cap) = self.slot.lock().expect("no poisoning").as_mut() {
+            cap.push(captured);
         }
     }
 }
@@ -162,8 +233,8 @@ pub struct Network {
     config: NetworkConfig,
     clock: SimClock,
     stats: TrafficStats,
-    capture: Mutex<Option<Vec<CapturedQuery>>>,
-    tracer: Mutex<Tracer>,
+    capture: CaptureCell,
+    tracer: TracerCell,
 }
 
 impl Network {
@@ -181,35 +252,31 @@ impl Network {
     /// compare the smoltcp examples' `--pcap` option). Clears any
     /// previous capture.
     pub fn start_capture(&self) {
-        *self.capture.lock().expect("no poisoning") = Some(Vec::new());
+        self.capture.start();
     }
 
     /// Stop capturing and return what was recorded.
     pub fn take_capture(&self) -> Vec<CapturedQuery> {
-        self.capture
-            .lock()
-            .expect("no poisoning")
-            .take()
-            .unwrap_or_default()
+        self.capture.take()
     }
 
     /// Attach a trace sink: every subsequent query emits `QuerySent`
     /// plus `ResponseReceived`/`Timeout` events stamped with this
     /// network's virtual clock.
     pub fn set_trace_sink(&self, sink: Arc<dyn TraceSink>) {
-        *self.tracer.lock().expect("no poisoning") =
-            Tracer::new(sink, Arc::new(self.clock.clone()));
+        self.tracer
+            .set(Tracer::new(sink, Arc::new(self.clock.clone())));
     }
 
     /// Detach any trace sink.
     pub fn clear_trace_sink(&self) {
-        *self.tracer.lock().expect("no poisoning") = Tracer::disabled();
+        self.tracer.set(Tracer::disabled());
     }
 
     /// The currently attached tracer (cheap clone; disabled when no
-    /// sink is attached).
+    /// sink is attached — that case costs one atomic load, no lock).
     pub fn tracer(&self) -> Tracer {
-        self.tracer.lock().expect("no poisoning").clone()
+        self.tracer.get()
     }
 
     /// Number of attached servers.
@@ -231,20 +298,27 @@ impl Network {
     pub fn query(&self, dst: IpAddr, src: IpAddr, query: &Message) -> Result<Message, NetError> {
         use std::sync::atomic::Ordering::Relaxed;
         self.stats.queries.fetch_add(1, Relaxed);
-        let (qname, qtype) = query
-            .first_question()
-            .map(|q| (q.name.to_string(), q.qtype.to_u16()))
-            .unwrap_or_else(|| (String::from("-"), 0));
-        if let Some(cap) = self.capture.lock().expect("no poisoning").as_mut() {
-            if query.first_question().is_some() {
-                cap.push(CapturedQuery {
-                    dst,
-                    qname: qname.clone(),
-                    qtype,
-                });
-            }
+        let tracer = self.tracer.get();
+        let recording = self.capture.recording();
+        // Rendering the question to a string costs an allocation per
+        // query; skip it entirely unless someone is actually watching.
+        // A metrics-only sink counts events without reading qnames, so
+        // it rides the cheap path too (wants_query_detail is false).
+        let (qname, qtype) = if tracer.wants_query_detail() || recording {
+            query
+                .first_question()
+                .map(|q| (q.name.to_string(), q.qtype.to_u16()))
+                .unwrap_or_else(|| (String::from("-"), 0))
+        } else {
+            (String::new(), 0)
+        };
+        if recording && query.first_question().is_some() {
+            self.capture.push(CapturedQuery {
+                dst,
+                qname: qname.clone(),
+                qtype,
+            });
         }
-        let tracer = self.tracer();
         tracer.emit(TraceEvent::QuerySent {
             dst,
             qname: qname.clone(),

@@ -1,15 +1,31 @@
 //! Positive, negative, and failure caching with RFC 8767 serve-stale.
 //!
 //! The cache is shared across a scan's worker threads (the paper notes
-//! Cloudflare answered part of their load from cache), so it is a
-//! mutex-locked map. Entries store the *diagnosis* alongside the
+//! Cloudflare answered part of their load from cache), so its layout is
+//! dictated by contention: a single `Mutex<HashMap>` would serialize
+//! every worker on every probe. Instead the store is **sharded** — a
+//! deterministic FNV-1a hash of `(qname, qtype)` picks one of
+//! [`SHARD_COUNT`] independently-locked shards, so workers probing
+//! different names almost never touch the same lock. The same
+//! precomputed hash doubles as the lookup key inside the shard, which
+//! means a probe never clones the queried [`Name`].
+//!
+//! Entries are stored as `Arc<CachedResolution>` and hits hand the `Arc`
+//! back: no answer records or diagnosis findings are ever deep-cloned
+//! under a shard lock. Entries store the *diagnosis* alongside the
 //! answer: replaying a cached failure must replay its findings so the
 //! profile can emit the original codes next to *Cached Error (13)*.
 
 use crate::diagnosis::Diagnosis;
 use ede_wire::{Name, Rcode, Record, RrType};
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+
+/// Number of independently-locked shards. A power of two so shard
+/// selection is a mask; 16 is comfortably above any worker count the
+/// scanner uses (worker pools cap at 16), keeping the expected number
+/// of workers per shard lock at ~1.
+pub const SHARD_COUNT: usize = 16;
 
 /// What a completed resolution left behind.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -27,48 +43,84 @@ pub struct CachedResolution {
 
 #[derive(Debug, Clone)]
 struct Entry {
-    data: CachedResolution,
+    /// Owned key material, kept for collision resolution only — lookups
+    /// compare against it, they never clone it.
+    qname: Name,
+    qtype: u16,
+    data: Arc<CachedResolution>,
     stored_at: u32,
     ttl: u32,
 }
 
-/// Result of a cache probe.
+/// Result of a cache probe. Hits share the stored entry (`Arc`): the
+/// caller clones individual fields only if and when it needs ownership,
+/// never under a cache lock.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CacheHit {
     /// Within TTL.
-    Fresh(CachedResolution),
+    Fresh(Arc<CachedResolution>),
     /// Expired but inside the serve-stale window.
-    Stale(CachedResolution),
+    Stale(Arc<CachedResolution>),
     /// Nothing usable.
     Miss,
 }
 
+/// One lockable slice of the store. Buckets are keyed by the
+/// precomputed `(qname, qtype)` hash; the tiny per-bucket vector
+/// resolves the (rare) 64-bit collisions by comparing the stored key.
+#[derive(Default)]
+struct Shard {
+    buckets: HashMap<u64, Vec<Entry>>,
+}
+
 /// The resolver cache.
 pub struct Cache {
-    entries: Mutex<HashMap<(Name, u16), Entry>>,
+    shards: [Mutex<Shard>; SHARD_COUNT],
     stale_window_secs: u32,
+}
+
+/// Deterministic hash of a probe key. The qname's label bytes are
+/// hashed in place ([`Name::shard_hash`]) — no wire-form allocation,
+/// no clone — then the qtype is mixed in.
+fn probe_hash(qname: &Name, qtype: u16) -> u64 {
+    let mut h = qname.shard_hash();
+    h ^= u64::from(qtype);
+    h = h.wrapping_mul(0x100000001b3);
+    h
 }
 
 impl Cache {
     /// An empty cache with the given serve-stale window.
     pub fn new(stale_window_secs: u32) -> Self {
         Cache {
-            entries: Mutex::new(HashMap::new()),
+            shards: std::array::from_fn(|_| Mutex::new(Shard::default())),
             stale_window_secs,
         }
     }
 
+    fn shard_for(&self, hash: u64) -> &Mutex<Shard> {
+        &self.shards[(hash as usize) & (SHARD_COUNT - 1)]
+    }
+
     /// Probe for `(qname, qtype)` at time `now`.
+    ///
+    /// Hot-path guarantees: one shard lock, zero `Name` clones, zero
+    /// `CachedResolution` deep clones — a hit is an `Arc` bump.
     pub fn get(&self, qname: &Name, qtype: RrType, now: u32) -> CacheHit {
-        let entries = self.entries.lock().expect("no poisoning");
-        let Some(entry) = entries.get(&(qname.clone(), qtype.to_u16())) else {
+        let hash = probe_hash(qname, qtype.to_u16());
+        let shard = self.shard_for(hash).lock().expect("no poisoning");
+        let Some(entry) = shard
+            .buckets
+            .get(&hash)
+            .and_then(|b| find(b, qname, qtype.to_u16()))
+        else {
             return CacheHit::Miss;
         };
         let age = now.saturating_sub(entry.stored_at);
         if age <= entry.ttl {
-            CacheHit::Fresh(entry.data.clone())
+            CacheHit::Fresh(Arc::clone(&entry.data))
         } else if age <= entry.ttl.saturating_add(self.stale_window_secs) {
-            CacheHit::Stale(entry.data.clone())
+            CacheHit::Stale(Arc::clone(&entry.data))
         } else {
             CacheHit::Miss
         }
@@ -81,7 +133,7 @@ impl Cache {
         qname: &Name,
         qtype: RrType,
         now: u32,
-    ) -> Option<CachedResolution> {
+    ) -> Option<Arc<CachedResolution>> {
         match self.get(qname, qtype, now) {
             CacheHit::Stale(data) | CacheHit::Fresh(data) if !data.is_failure => Some(data),
             _ => None,
@@ -89,34 +141,59 @@ impl Cache {
     }
 
     /// Store a resolution with the given TTL.
-    pub fn put(&self, qname: Name, qtype: RrType, data: CachedResolution, ttl: u32, now: u32) {
-        let mut entries = self.entries.lock().expect("no poisoning");
-        let key = (qname, qtype.to_u16());
+    pub fn put(&self, qname: &Name, qtype: RrType, data: CachedResolution, ttl: u32, now: u32) {
+        let hash = probe_hash(qname, qtype.to_u16());
+        // The Arc is built outside the lock; the lock only covers the
+        // bucket splice.
+        let data = Arc::new(data);
+        let mut shard = self.shard_for(hash).lock().expect("no poisoning");
+        let bucket = shard.buckets.entry(hash).or_default();
+        let existing = bucket
+            .iter_mut()
+            .find(|e| e.qtype == qtype.to_u16() && e.qname == *qname);
         // Never let a failure entry overwrite a still-stale-servable
-        // success — the success is what serve-stale needs later.
+        // success — the success is what serve-stale needs later. The
+        // check and the insert happen under the same shard lock, so a
+        // concurrent successful put cannot be lost in between.
         if data.is_failure {
-            if let Some(existing) = entries.get(&key) {
-                if !existing.data.is_failure
-                    && now.saturating_sub(existing.stored_at)
-                        <= existing.ttl.saturating_add(self.stale_window_secs)
+            if let Some(e) = &existing {
+                if !e.data.is_failure
+                    && now.saturating_sub(e.stored_at)
+                        <= e.ttl.saturating_add(self.stale_window_secs)
                 {
                     return;
                 }
             }
         }
-        entries.insert(
-            key,
-            Entry {
+        match existing {
+            Some(e) => {
+                e.data = data;
+                e.stored_at = now;
+                e.ttl = ttl;
+            }
+            None => bucket.push(Entry {
+                qname: qname.clone(),
+                qtype: qtype.to_u16(),
                 data,
                 stored_at: now,
                 ttl,
-            },
-        );
+            }),
+        }
     }
 
     /// Number of live entries (diagnostics).
     pub fn len(&self) -> usize {
-        self.entries.lock().expect("no poisoning").len()
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .expect("no poisoning")
+                    .buckets
+                    .values()
+                    .map(Vec::len)
+                    .sum::<usize>()
+            })
+            .sum()
     }
 
     /// True when the cache is empty.
@@ -126,8 +203,16 @@ impl Cache {
 
     /// Drop everything (tests).
     pub fn clear(&self) {
-        self.entries.lock().expect("no poisoning").clear();
+        for s in &self.shards {
+            s.lock().expect("no poisoning").buckets.clear();
+        }
     }
+}
+
+fn find<'a>(bucket: &'a [Entry], qname: &Name, qtype: u16) -> Option<&'a Entry> {
+    bucket
+        .iter()
+        .find(|e| e.qtype == qtype && e.qname == *qname)
 }
 
 #[cfg(test)]
@@ -159,7 +244,7 @@ mod tests {
     #[test]
     fn fresh_then_stale_then_miss() {
         let c = Cache::new(100);
-        c.put(n("a.com"), RrType::A, success(), 60, 1000);
+        c.put(&n("a.com"), RrType::A, success(), 60, 1000);
         assert!(matches!(
             c.get(&n("a.com"), RrType::A, 1030),
             CacheHit::Fresh(_)
@@ -181,9 +266,9 @@ mod tests {
     #[test]
     fn failure_does_not_clobber_stale_success() {
         let c = Cache::new(1000);
-        c.put(n("a.com"), RrType::A, success(), 60, 1000);
+        c.put(&n("a.com"), RrType::A, success(), 60, 1000);
         // Success has expired (stale), a failure comes in.
-        c.put(n("a.com"), RrType::A, failure(), 30, 1100);
+        c.put(&n("a.com"), RrType::A, failure(), 30, 1100);
         // The stale success must still be retrievable for serve-stale.
         assert!(c.get_stale_success(&n("a.com"), RrType::A, 1100).is_some());
     }
@@ -191,7 +276,7 @@ mod tests {
     #[test]
     fn failure_cached_when_no_success_exists() {
         let c = Cache::new(100);
-        c.put(n("b.com"), RrType::A, failure(), 30, 1000);
+        c.put(&n("b.com"), RrType::A, failure(), 30, 1000);
         match c.get(&n("b.com"), RrType::A, 1010) {
             CacheHit::Fresh(data) => assert!(data.is_failure),
             other => panic!("expected fresh failure, got {other:?}"),
@@ -202,10 +287,48 @@ mod tests {
     #[test]
     fn types_are_separate() {
         let c = Cache::new(100);
-        c.put(n("a.com"), RrType::A, success(), 60, 1000);
+        c.put(&n("a.com"), RrType::A, success(), 60, 1000);
         assert!(matches!(
             c.get(&n("a.com"), RrType::Aaaa, 1000),
             CacheHit::Miss
         ));
+    }
+
+    #[test]
+    fn hits_share_one_allocation() {
+        // The Arc-returning API is what enforces "zero deep clones on
+        // the hit path": two probes of the same entry must hand back the
+        // same allocation.
+        let c = Cache::new(100);
+        c.put(&n("a.com"), RrType::A, success(), 60, 1000);
+        let (CacheHit::Fresh(first), CacheHit::Fresh(second)) = (
+            c.get(&n("a.com"), RrType::A, 1010),
+            c.get(&n("a.com"), RrType::A, 1020),
+        ) else {
+            panic!("expected two fresh hits");
+        };
+        assert!(Arc::ptr_eq(&first, &second));
+    }
+
+    #[test]
+    fn entries_spread_and_survive_across_shards() {
+        // Many names land in many shards; every one must stay
+        // retrievable (shard selection and bucket lookup must agree).
+        let c = Cache::new(100);
+        for i in 0..200 {
+            c.put(&n(&format!("d{i}.example")), RrType::A, success(), 60, 0);
+        }
+        assert_eq!(c.len(), 200);
+        for i in 0..200 {
+            assert!(
+                matches!(
+                    c.get(&n(&format!("d{i}.example")), RrType::A, 10),
+                    CacheHit::Fresh(_)
+                ),
+                "d{i}.example lost"
+            );
+        }
+        c.clear();
+        assert!(c.is_empty());
     }
 }

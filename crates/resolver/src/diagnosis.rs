@@ -379,7 +379,11 @@ impl Diagnosis {
     pub fn add(&mut self, finding: Finding) {
         if !self.findings.contains(&finding) {
             self.tracer.emit(TraceEvent::FindingRecorded {
-                finding: format!("{finding:?}"),
+                finding: if self.tracer.wants_query_detail() {
+                    format!("{finding:?}")
+                } else {
+                    String::new()
+                },
             });
             self.findings.push(finding);
         }

@@ -14,7 +14,7 @@ use ede_wire::{Message, Name, Rcode, Rdata, Record, RrType};
 use std::collections::HashMap;
 use std::net::IpAddr;
 use std::sync::atomic::{AtomicU16, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// What one engine run produced.
 #[derive(Debug, Clone)]
@@ -29,18 +29,50 @@ pub struct EngineOutcome {
 /// stored findings on every hit keeps ancestor-zone conditions (like the
 /// stand-by-key case of §4.2.3, which lives at a TLD) visible in every
 /// resolution that crosses the zone.
+///
+/// Key sets are `Arc`-shared: every resolution crossing a popular zone
+/// (a TLD, say) borrows the same validated vectors instead of deep-
+/// cloning them per crossing.
 struct KeyEntry {
-    trusted: Option<Vec<PublishedKey>>,
-    published: Vec<PublishedKey>,
+    trusted: Option<Arc<Vec<PublishedKey>>>,
+    published: Arc<Vec<PublishedKey>>,
     findings: Vec<Finding>,
     state: ValidationState,
     expires: u32,
 }
 
-/// Per-resolver cache of validated zone keys.
+/// Number of independently-locked key-cache shards (power of two).
+/// The key cache is hit once per zone cut of every resolution, so it
+/// shares the resolver cache's contention profile and gets the same
+/// treatment.
+const KEY_SHARDS: usize = 16;
+
+/// One lockable slice of the key cache: the validated entries plus one
+/// build permit per zone currently being fetched. The permit gives the
+/// cache *singleflight* semantics — when several workers miss on the
+/// same zone at once, exactly one performs the DNSKEY fetch and the
+/// rest wait on the permit and then replay the cached entry. Without
+/// it, a miss storm duplicates upstream queries, which both wastes
+/// work and makes the scan's query counters depend on thread timing.
 #[derive(Default)]
+struct KeyShard {
+    entries: HashMap<Name, Arc<KeyEntry>>,
+    building: HashMap<Name, Arc<Mutex<()>>>,
+}
+
+/// Per-resolver cache of validated zone keys, sharded by the zone
+/// name's deterministic hash so concurrent resolutions crossing
+/// different zones never serialize on one lock.
 pub struct KeyCache {
-    entries: Mutex<HashMap<Name, std::sync::Arc<KeyEntry>>>,
+    shards: [Mutex<KeyShard>; KEY_SHARDS],
+}
+
+impl Default for KeyCache {
+    fn default() -> Self {
+        KeyCache {
+            shards: std::array::from_fn(|_| Mutex::new(KeyShard::default())),
+        }
+    }
 }
 
 impl KeyCache {
@@ -49,10 +81,30 @@ impl KeyCache {
         Self::default()
     }
 
+    fn shard(&self, zone: &Name) -> &Mutex<KeyShard> {
+        &self.shards[(zone.shard_hash() as usize) & (KEY_SHARDS - 1)]
+    }
+
     /// Drop everything.
     pub fn clear(&self) {
-        self.entries.lock().expect("no poisoning").clear();
+        for shard in &self.shards {
+            let mut shard = shard.lock().expect("no poisoning");
+            shard.entries.clear();
+            shard.building.clear();
+        }
     }
+}
+
+/// Replay a cached key entry into `diag` and hand out its shared sets.
+fn replay_key_entry(
+    entry: &KeyEntry,
+    diag: &mut Diagnosis,
+) -> (Option<Arc<Vec<PublishedKey>>>, Arc<Vec<PublishedKey>>) {
+    for f in &entry.findings {
+        diag.add(f.clone());
+    }
+    diag.degrade(entry.state);
+    (entry.trusted.clone(), entry.published.clone())
 }
 
 /// The engine borrows everything it needs for one resolution.
@@ -159,22 +211,33 @@ impl<'a> Engine<'a> {
         ds: &[Rdata],
         server: IpAddr,
         diag: &mut Diagnosis,
-    ) -> (Option<Vec<PublishedKey>>, Vec<PublishedKey>) {
+    ) -> (Option<Arc<Vec<PublishedKey>>>, Arc<Vec<PublishedKey>>) {
         let now = self.now();
-        if let Some(entry) = self
-            .key_cache
-            .entries
-            .lock()
-            .expect("no poisoning")
-            .get(zone)
-            .cloned()
-        {
-            if entry.expires > now {
-                for f in &entry.findings {
-                    diag.add(f.clone());
+        // Fast path plus singleflight admission: a usable entry is
+        // replayed immediately; otherwise this thread takes (or waits
+        // for) the zone's build permit.
+        let permit: Arc<Mutex<()>> = {
+            let mut shard = self.key_cache.shard(zone).lock().expect("no poisoning");
+            if let Some(entry) = shard.entries.get(zone) {
+                if entry.expires > now {
+                    let entry = Arc::clone(entry);
+                    drop(shard);
+                    return replay_key_entry(&entry, diag);
                 }
-                diag.degrade(entry.state);
-                return (entry.trusted.clone(), entry.published.clone());
+            }
+            Arc::clone(shard.building.entry(zone.clone()).or_default())
+        };
+        let _build = permit.lock().expect("no poisoning");
+        // Re-check: if we waited on the permit, the winner has already
+        // cached the entry and we must not fetch again.
+        {
+            let shard = self.key_cache.shard(zone).lock().expect("no poisoning");
+            if let Some(entry) = shard.entries.get(zone) {
+                if entry.expires > now {
+                    let entry = Arc::clone(entry);
+                    drop(shard);
+                    return replay_key_entry(&entry, diag);
+                }
             }
         }
 
@@ -224,21 +287,27 @@ impl<'a> Engine<'a> {
                 }
             }
         };
+        let trusted = trusted.map(Arc::new);
+        let published = Arc::new(published);
 
         // Merge the sub-diagnosis into the caller's and cache it. The
         // sub shares the caller's tracer, so `absorb` (not `add`) avoids
         // announcing each finding twice.
         diag.absorb(&sub);
-        self.key_cache.entries.lock().expect("no poisoning").insert(
-            zone.clone(),
-            std::sync::Arc::new(KeyEntry {
-                trusted: trusted.clone(),
-                published: published.clone(),
-                findings: sub.findings,
-                state: sub.validation,
-                expires: now + if trusted.is_some() { 3600 } else { 30 },
-            }),
-        );
+        {
+            let mut shard = self.key_cache.shard(zone).lock().expect("no poisoning");
+            shard.entries.insert(
+                zone.clone(),
+                Arc::new(KeyEntry {
+                    trusted: trusted.clone(),
+                    published: published.clone(),
+                    findings: sub.findings,
+                    state: sub.validation,
+                    expires: now + if trusted.is_some() { 3600 } else { 30 },
+                }),
+            );
+            shard.building.remove(zone);
+        }
         (trusted, published)
     }
 
@@ -337,8 +406,13 @@ impl<'a> Engine<'a> {
                 // Referral?
                 if !resp.authoritative {
                     if let Some(referral) = parse_referral(&resp, &probe_name, &current_zone) {
-                        diag.tracer().emit(TraceEvent::Referral {
-                            zone: referral.zone.to_string(),
+                        let tracer = diag.tracer();
+                        tracer.emit(TraceEvent::Referral {
+                            zone: if tracer.wants_query_detail() {
+                                referral.zone.to_string()
+                            } else {
+                                String::new()
+                            },
                             ns_count: referral.ns_names.len(),
                             signed: !referral.ds_rdatas.is_empty(),
                         });
@@ -361,7 +435,7 @@ impl<'a> Engine<'a> {
                                     {
                                         check_rrset(
                                             ds_set,
-                                            keys,
+                                            keys.as_slice(),
                                             self.caps,
                                             self.now(),
                                             crate::diagnosis::SigTarget::Answer,
@@ -463,7 +537,7 @@ impl<'a> Engine<'a> {
                                     qtype,
                                     kind,
                                     &current_zone,
-                                    keys,
+                                    keys.as_slice(),
                                     self.caps,
                                     self.now(),
                                     diag,
@@ -472,7 +546,7 @@ impl<'a> Engine<'a> {
                                 for set in &answer_sets {
                                     check_rrset(
                                         set,
-                                        keys,
+                                        keys.as_slice(),
                                         self.caps,
                                         self.now(),
                                         crate::diagnosis::SigTarget::Answer,
@@ -482,7 +556,7 @@ impl<'a> Engine<'a> {
                             }
                         }
                         None => {
-                            advisory_answer_key_check(&answer_sets, &published, diag);
+                            advisory_answer_key_check(&answer_sets, published.as_slice(), diag);
                         }
                     }
                 } else if diag.validation == ValidationState::Secure {

@@ -112,8 +112,17 @@ impl Resolver {
         let now = self.net.clock().now_secs();
         let tracer = self.net.tracer();
         let started_ms = tracer.now_millis();
+        // Counter-only sinks ignore qname strings; skip rendering them
+        // (String::new() never allocates).
+        let qd = |n: &Name| {
+            if tracer.wants_query_detail() {
+                n.to_string()
+            } else {
+                String::new()
+            }
+        };
         tracer.emit(TraceEvent::ResolutionStarted {
-            qname: qname.to_string(),
+            qname: qd(qname),
             qtype: qtype.to_u16(),
         });
 
@@ -128,10 +137,13 @@ impl Resolver {
         if self.config.enable_cache {
             if let CacheHit::Fresh(data) = self.cache.get(qname, qtype, now) {
                 tracer.emit(TraceEvent::CacheProbe {
-                    qname: qname.to_string(),
+                    qname: qd(qname),
                     qtype: qtype.to_u16(),
                     outcome: CacheOutcome::Hit,
                 });
+                // The hit handed back a shared Arc; the clones below are
+                // this resolution's own copies, taken outside any cache
+                // lock.
                 let mut diag = data.diagnosis.clone();
                 diag.set_tracer(tracer.clone());
                 if data.is_failure {
@@ -140,7 +152,7 @@ impl Resolver {
                 let ede = self.profile.emit(&diag);
                 let resolution = Resolution {
                     rcode: data.rcode,
-                    answers: data.answers,
+                    answers: data.answers.clone(),
                     authentic_data: diag.validation == ValidationState::Secure && diag.zone_signed,
                     validation: diag.validation,
                     ede,
@@ -150,7 +162,7 @@ impl Resolver {
                 return resolution;
             }
             tracer.emit(TraceEvent::CacheProbe {
-                qname: qname.to_string(),
+                qname: qd(qname),
                 qtype: qtype.to_u16(),
                 outcome: CacheOutcome::Miss,
             });
@@ -171,7 +183,7 @@ impl Resolver {
         if outcome.rcode == Rcode::ServFail && self.config.serve_stale && self.config.enable_cache {
             if let Some(stale) = self.cache.get_stale_success(qname, qtype, now) {
                 tracer.emit(TraceEvent::CacheProbe {
-                    qname: qname.to_string(),
+                    qname: qd(qname),
                     qtype: qtype.to_u16(),
                     outcome: CacheOutcome::StaleServed,
                 });
@@ -181,7 +193,7 @@ impl Resolver {
                 let ede = self.profile.emit(&diag);
                 let resolution = Resolution {
                     rcode: stale.rcode,
-                    answers: stale.answers,
+                    answers: stale.answers.clone(),
                     authentic_data: false,
                     validation: diag.validation,
                     ede,
@@ -205,7 +217,7 @@ impl Resolver {
             let mut stored = diag.clone();
             stored.set_tracer(Tracer::disabled());
             self.cache.put(
-                qname.clone(),
+                qname,
                 qtype,
                 CachedResolution {
                     rcode: outcome.rcode,

@@ -424,8 +424,13 @@ pub fn check_rrset(
     diag: &mut Diagnosis,
 ) -> bool {
     let ok = check_rrset_inner(rrset, trusted, caps, now, target, diag);
-    diag.tracer().emit(ede_trace::TraceEvent::ValidationStep {
-        target: format!("{} {} rrsig", rrset.name, rrset.rtype),
+    let tracer = diag.tracer();
+    tracer.emit(ede_trace::TraceEvent::ValidationStep {
+        target: if tracer.wants_query_detail() {
+            format!("{} {} rrsig", rrset.name, rrset.rtype)
+        } else {
+            String::new()
+        },
         ok,
     });
     ok
@@ -579,8 +584,13 @@ pub fn check_negative(
     check_negative_inner(
         authority, qname, qtype, kind, zone_apex, trusted, caps, now, diag,
     );
-    diag.tracer().emit(ede_trace::TraceEvent::ValidationStep {
-        target: format!("denial {qname} ({kind:?})"),
+    let tracer = diag.tracer();
+    tracer.emit(ede_trace::TraceEvent::ValidationStep {
+        target: if tracer.wants_query_detail() {
+            format!("denial {qname} ({kind:?})")
+        } else {
+            String::new()
+        },
         ok: diag.findings.len() == before,
     });
 }

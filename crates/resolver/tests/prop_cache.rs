@@ -53,7 +53,7 @@ fn freshness_is_monotone() {
         let cache = Cache::new(window);
         let name = Name::parse("mono.example").unwrap();
         let t0 = 1_000_000;
-        cache.put(name.clone(), RrType::A, entry(false), ttl, t0);
+        cache.put(&name, RrType::A, entry(false), ttl, t0);
 
         let n_probes = 1 + rng.below(19);
         let mut probes: Vec<u32> = (0..n_probes).map(|_| rng.range_u32(0, 40_000)).collect();
@@ -83,7 +83,7 @@ fn window_boundaries() {
         let cache = Cache::new(window);
         let name = Name::parse("edge.example").unwrap();
         let t0 = 500_000;
-        cache.put(name.clone(), RrType::A, entry(false), ttl, t0);
+        cache.put(&name, RrType::A, entry(false), ttl, t0);
 
         assert!(matches!(
             cache.get(&name, RrType::A, t0 + ttl),
@@ -116,9 +116,9 @@ fn failures_never_shadow_stale_successes() {
         let cache = Cache::new(window);
         let name = Name::parse("shadow.example").unwrap();
         let t0 = 100_000;
-        cache.put(name.clone(), RrType::A, entry(false), success_ttl, t0);
+        cache.put(&name, RrType::A, entry(false), success_ttl, t0);
         let t1 = t0 + gap;
-        cache.put(name.clone(), RrType::A, entry(true), 30, t1);
+        cache.put(&name, RrType::A, entry(true), 30, t1);
         // gap < success_ttl + window always here, so the success must
         // survive.
         assert!(cache.get_stale_success(&name, RrType::A, t1).is_some());
@@ -143,7 +143,7 @@ fn keys_are_independent() {
         let t0 = 1_000;
         for (i, label) in labels.iter().enumerate() {
             let name = Name::parse(&format!("{label}{i}.example")).unwrap();
-            cache.put(name, RrType::A, entry(i % 2 == 0), 60, t0);
+            cache.put(&name, RrType::A, entry(i % 2 == 0), 60, t0);
         }
         for (i, label) in labels.iter().enumerate() {
             let name = Name::parse(&format!("{label}{i}.example")).unwrap();

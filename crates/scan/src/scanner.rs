@@ -9,8 +9,9 @@ use ede_wire::{Name, Rcode, RrType};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-/// One observed resolution.
-#[derive(Debug, Clone)]
+/// One observed resolution. `PartialEq` lets tests assert bit-identical
+/// results across worker counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Observation {
     /// The queried domain.
     pub name: Name,
@@ -61,11 +62,22 @@ pub struct ScanConfig {
 
 impl Default for ScanConfig {
     fn default() -> Self {
+        // `EDE_SCAN_WORKERS` overrides the auto-detected pool size — the
+        // throughput bench sweeps it, and operators can pin it. Results
+        // are bit-identical at any worker count, so this is purely a
+        // performance knob.
+        let workers = std::env::var("EDE_SCAN_WORKERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&w| w > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(4)
+                    .min(16)
+            });
         ScanConfig {
-            workers: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4)
-                .min(16),
+            workers,
             vendor: Vendor::Cloudflare,
             progress: false,
         }
@@ -91,68 +103,137 @@ fn observe(resolver: &Resolver, pop: &Population, idx: usize) -> Observation {
     }
 }
 
+/// Detaches the world's trace sink on drop — including during unwind,
+/// so a panicking worker cannot leak this scan's metrics sink into the
+/// next scan (or troubleshoot run) on the same world.
+struct SinkGuard<'a> {
+    net: &'a ede_netsim::Network,
+}
+
+impl Drop for SinkGuard<'_> {
+    fn drop(&mut self) {
+        self.net.clear_trace_sink();
+    }
+}
+
+/// How many domains a worker claims per cursor bump. Chunking amortizes
+/// the shared-cursor traffic without hurting load balance: chunks are
+/// tiny relative to any real population.
+const CLAIM_CHUNK: usize = 16;
+
+/// Shared progress state for [`parallel_pass`].
+struct PassProgress<'a> {
+    metrics: &'a Metrics,
+    done: &'a AtomicUsize,
+    step: usize,
+    total: usize,
+    enabled: bool,
+}
+
+/// One parallel pass over `indices`: workers claim chunks off a shared
+/// cursor and push `(slot, observation)` pairs into **private** buffers,
+/// returned to the caller for merging after the scope joins. There is no
+/// shared output structure, so result delivery is lock-free; slot order
+/// in the merged vector is irrelevant because each index appears exactly
+/// once.
+fn parallel_pass(
+    resolver: &Resolver,
+    pop: &Population,
+    indices: &[usize],
+    workers: usize,
+    progress: &PassProgress<'_>,
+) -> Vec<(usize, Observation)> {
+    let cursor = AtomicUsize::new(0);
+    let buffers: Vec<Vec<(usize, Observation)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers.max(1))
+            .map(|_| {
+                s.spawn(|| {
+                    let mut buf: Vec<(usize, Observation)> = Vec::new();
+                    loop {
+                        let start = cursor.fetch_add(CLAIM_CHUNK, Ordering::Relaxed);
+                        if start >= indices.len() {
+                            break;
+                        }
+                        let end = (start + CLAIM_CHUNK).min(indices.len());
+                        for &i in &indices[start..end] {
+                            let obs = observe(resolver, pop, i);
+                            let done = progress.done.fetch_add(1, Ordering::Relaxed) + 1;
+                            if progress.enabled && done.is_multiple_of(progress.step) {
+                                let snap = progress.metrics.snapshot();
+                                eprintln!(
+                                    "scan: {done}/{} resolutions, {} queries, cache hit ratio {:.1}%",
+                                    progress.total,
+                                    snap.queries_sent,
+                                    100.0 * snap.cache_hit_ratio()
+                                );
+                            }
+                            buf.push((i, obs));
+                        }
+                    }
+                    buf
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("scan worker panicked"))
+            .collect()
+    });
+    buffers.into_iter().flatten().collect()
+}
+
 /// Run the scan: one pass over every domain, then a clock advance and a
 /// revisit pass over the flap/cache categories (the paper's probes hit
-/// such domains repeatedly through Cloudflare's shared cache).
+/// such domains repeatedly through Cloudflare's shared cache). Both
+/// passes run on the worker pool; results are bit-identical at any
+/// worker count.
 pub fn scan(pop: &Population, world: &ScanWorld, config: &ScanConfig) -> ScanResult {
     // Every transport/resolver/EDE event of the scan feeds the metrics
-    // registry through the trace pipeline.
+    // registry through the trace pipeline. The guard detaches the sink
+    // when `scan` returns *or unwinds*.
     let metrics = Arc::new(Metrics::new());
     world
         .net
         .set_trace_sink(Arc::clone(&metrics) as Arc<dyn ede_trace::TraceSink>);
+    let _sink_guard = SinkGuard { net: &world.net };
 
-    let resolver = Arc::new(Resolver::new(
+    let resolver = Resolver::new(
         Arc::clone(&world.net),
         VendorProfile::new(config.vendor),
         world.resolver_config.clone(),
-    ));
+    );
 
     let n = pop.domains.len();
-    let mut observations: Vec<Option<Observation>> = vec![None; n];
-    let cursor = AtomicUsize::new(0);
+    let first_pass: Vec<usize> = (0..n).collect();
+    let revisit: Vec<usize> = (0..n)
+        .filter(|&i| pop.domains[i].category.needs_revisit())
+        .collect();
     let resolutions = AtomicUsize::new(0);
-    let progress_step = (n / 10).max(1);
+    let progress = PassProgress {
+        metrics: &metrics,
+        done: &resolutions,
+        step: (n / 10).max(1),
+        total: n + revisit.len(),
+        enabled: config.progress,
+    };
 
     // Pass 1: everything, in parallel.
-    let slots = std::sync::Mutex::new(&mut observations);
-    std::thread::scope(|s| {
-        for _ in 0..config.workers.max(1) {
-            s.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let obs = observe(&resolver, pop, i);
-                let done = resolutions.fetch_add(1, Ordering::Relaxed) + 1;
-                if config.progress && done % progress_step == 0 {
-                    let snap = metrics.snapshot();
-                    eprintln!(
-                        "scan: {done}/{n} domains, {} queries, cache hit ratio {:.1}%",
-                        snap.queries_sent,
-                        100.0 * snap.cache_hit_ratio()
-                    );
-                }
-                slots.lock().expect("no poisoning")[i] = Some(obs);
-            });
-        }
-    });
-
+    let mut observations: Vec<Option<Observation>> = vec![None; n];
+    for (i, obs) in parallel_pass(&resolver, pop, &first_pass, config.workers, &progress) {
+        observations[i] = Some(obs);
+    }
     let mut observations: Vec<Observation> = observations
         .into_iter()
         .map(|o| o.expect("filled"))
         .collect();
 
-    // Pass 2: revisit flap/cache domains after the flap window.
+    // Pass 2: revisit flap/cache domains after the flap window ("the
+    // last response wins", as in a longitudinal probe).
     world.net.clock().advance_secs(120);
-    for (i, d) in pop.domains.iter().enumerate() {
-        if d.category.needs_revisit() {
-            observations[i] = observe(&resolver, pop, i);
-            resolutions.fetch_add(1, Ordering::Relaxed);
-        }
+    for (i, obs) in parallel_pass(&resolver, pop, &revisit, config.workers, &progress) {
+        observations[i] = obs;
     }
 
-    world.net.clear_trace_sink();
     ScanResult {
         observations,
         resolutions: resolutions.into_inner(),
@@ -200,6 +281,62 @@ mod tests {
                 _ => {}
             }
         }
+    }
+
+    /// The contention work (sharded caches, per-worker buffers,
+    /// singleflight key fetches) must not buy speed with nondeterminism:
+    /// 1 worker and 16 workers must produce identical observations,
+    /// aggregates, metrics counters, and traffic totals.
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let run = |workers: usize| {
+            let pop = Population::generate(PopulationConfig::tiny());
+            let world = ScanWorld::build(&pop);
+            let result = scan(
+                &pop,
+                &world,
+                &ScanConfig {
+                    workers,
+                    vendor: Vendor::Cloudflare,
+                    progress: false,
+                },
+            );
+            let agg = crate::aggregate::aggregate(&pop, &result);
+            (result, agg)
+        };
+        let (serial, agg_serial) = run(1);
+        let (parallel, agg_parallel) = run(16);
+        assert_eq!(serial.observations, parallel.observations);
+        assert_eq!(serial.resolutions, parallel.resolutions);
+        assert_eq!(serial.traffic, parallel.traffic);
+        assert_eq!(serial.metrics, parallel.metrics);
+        assert_eq!(agg_serial.per_code, agg_parallel.per_code);
+        assert_eq!(agg_serial.per_combo, agg_parallel.per_combo);
+        assert_eq!(agg_serial.ede_domains, agg_parallel.ede_domains);
+        assert_eq!(agg_serial.noerror_with_ede, agg_parallel.noerror_with_ede);
+    }
+
+    /// A panic inside the scan must not leak the metrics sink into the
+    /// next scan (or troubleshoot run) on the same world: the RAII
+    /// guard detaches it during unwind.
+    #[test]
+    fn sink_guard_clears_tracer_on_unwind() {
+        let pop = Population::generate(PopulationConfig::tiny());
+        let world = ScanWorld::build(&pop);
+        let metrics = Arc::new(Metrics::new());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            world
+                .net
+                .set_trace_sink(Arc::clone(&metrics) as Arc<dyn ede_trace::TraceSink>);
+            let _guard = SinkGuard { net: &world.net };
+            assert!(world.net.tracer().enabled());
+            panic!("worker exploded");
+        }));
+        assert!(result.is_err());
+        assert!(
+            !world.net.tracer().enabled(),
+            "trace sink leaked past the panic"
+        );
     }
 
     #[test]

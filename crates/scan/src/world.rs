@@ -6,14 +6,21 @@
 //!
 //! * the **root zone** is a real, signed [`ede_zone::Zone`] with one
 //!   delegation (and DS) per TLD;
-//! * each **TLD server** builds, per query, a micro-zone containing just
-//!   the queried delegation (NS + glue + DS or NSEC3 opt-out proof) and
-//!   answers it through the ordinary [`ede_authority::ZoneServer`] logic
-//!   — wire behavior is identical to a full zone because referral
-//!   content only ever depends on the one delegation;
-//! * each **hosting server** builds, per query, the queried domain's
-//!   child zone from its planted [`Category`] (signing it, breaking it,
-//!   or flapping it as the category demands) and serves that;
+//! * each **TLD server** keeps a pre-signed apex skeleton (SOA + NS +
+//!   DNSKEY, built once per TLD) and grows, per query, a micro-zone
+//!   containing just the queried delegation (NS + glue + DS or NSEC3
+//!   opt-out proof), signing only the RRsets a referral-shaped response
+//!   can actually carry, then answers through the ordinary
+//!   [`ede_authority::ZoneServer`] logic — wire behavior is identical
+//!   to a full zone because referral content only ever depends on the
+//!   one delegation;
+//! * each **hosting server** builds the queried domain's child zone
+//!   from its planted [`Category`] (signing it, breaking it, or
+//!   flapping it as the category demands) and serves that; a tiny
+//!   per-worker burst cache keeps the zone alive across one domain's
+//!   A → DNSKEY query burst so it is not rebuilt back-to-back
+//!   (deliberately tiny: a large shared memo measurably wrecks
+//!   allocator locality at scan scale);
 //! * **broken-pool servers** implement the per-address fault modes
 //!   (REFUSED / SERVFAIL / silence) of §4.2.2's 293 k lame nameservers.
 //!
@@ -23,17 +30,18 @@
 
 use crate::population::{broken_mode, tld_addr, BrokenMode, Category, DomainRecord, Population};
 use ede_authority::{Behavior, ZoneServer, ZoneStore};
+use ede_crypto::nsec3hash;
 use ede_netsim::{Network, NetworkBuilder, NetworkConfig, Server, ServerResponse, SimClock};
 use ede_resolver::config::RootHint;
 use ede_resolver::ResolverConfig;
 use ede_wire::rdata::Soa;
 use ede_wire::{DigestAlg, Message, Name, Rdata, Record, RrType, SecAlg};
 use ede_zone::signer::{self, SignerConfig, DAY, SIM_NOW};
-use ede_zone::{Denial, Misconfig, Nsec3Config, Zone, ZoneKey, ZoneKeys};
+use ede_zone::{nsec3, Denial, Misconfig, Nsec3Config, Rrset, Zone, ZoneKey, ZoneKeys};
 use std::collections::HashMap;
 use std::net::{IpAddr, Ipv4Addr};
 use std::sync::Arc;
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
 /// Address of the scan world's root server.
 pub const ROOT_SERVER: Ipv4Addr = Ipv4Addr::new(198, 41, 0, 4);
@@ -161,24 +169,88 @@ fn materialize_child(rec: &DomainRecord) -> Zone {
 
     if cat.signed() {
         let keys = child_keys(apex, cat);
-        signer::sign_zone(&mut zone, &keys, &child_signer_config(cat));
-        match cat {
-            Category::BrokenDenial => Misconfig::BadNsec3Next.apply(&mut zone, &keys),
-            Category::SigExpired => {
-                // Window already expired via config; nothing else.
+        if cat == Category::HealthySigned {
+            // Lean signing: a healthy signed child only ever serves two
+            // RRsets positively — its apex A and its DNSKEY — and a
+            // positive answer carries nothing else (no SOA, no denial
+            // proof). Signing just those two sets and skipping the
+            // NSEC3 chain entirely produces byte-identical responses
+            // for every query the scan can send, at a fraction of the
+            // build cost. Every misconfigured category still takes the
+            // full sign_zone path below.
+            let mut dnskey_set = Rrset::empty(apex.clone(), RrType::Dnskey, 3600);
+            dnskey_set.push(keys.zsk.dnskey_rdata());
+            dnskey_set.push(keys.ksk.dnskey_rdata());
+            zone.add_rrset(dnskey_set);
+            let window = child_signer_config(cat).window();
+            signer::resign_rrset(&mut zone, apex, RrType::A, &keys, window);
+            signer::resign_rrset(&mut zone, apex, RrType::Dnskey, &keys, window);
+        } else {
+            signer::sign_zone(&mut zone, &keys, &child_signer_config(cat));
+            match cat {
+                Category::BrokenDenial => Misconfig::BadNsec3Next.apply(&mut zone, &keys),
+                Category::SigExpired => {
+                    // Window already expired via config; nothing else.
+                }
+                _ => {}
             }
-            _ => {}
         }
     }
     zone
 }
+
+/// Number of flap-table shards; a power of two, matching the resolver
+/// cache's shard count.
+const FLAP_SHARDS: usize = 16;
+
+/// Per-domain flap counters, sharded by [`Name::shard_hash`] like the
+/// resolver cache: the single hosting server object is shared by every
+/// healthy address, so one `Mutex<HashMap>` here would serialize all
+/// workers that happen to be visiting flapping domains.
+struct FlapTable {
+    shards: [Mutex<HashMap<Name, u32>>; FLAP_SHARDS],
+}
+
+impl FlapTable {
+    fn new() -> Self {
+        FlapTable {
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+        }
+    }
+
+    /// Lock the shard owning `name`.
+    fn shard(&self, name: &Name) -> std::sync::MutexGuard<'_, HashMap<Name, u32>> {
+        self.shards[(name.shard_hash() as usize) & (FLAP_SHARDS - 1)]
+            .lock()
+            .expect("no poisoning")
+    }
+}
+
+/// Worker-local cache of the few child zones a resolution touches
+/// back-to-back. Deliberately tiny: it only needs to survive one
+/// domain's query burst, and keeping it small keeps the heap flat (a
+/// large shared memo measurably wrecks allocator locality at scan
+/// scale).
+const CHILD_BURST_SLOTS: usize = 4;
+
+thread_local! {
+    static CHILD_BURST: std::cell::RefCell<Vec<(u64, Name, Arc<ZoneServer>)>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Monotonic id handed to each built world (see `HostingNs::world_id`).
+static NEXT_WORLD_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
 /// The hosting fabric: serves every healthy-pool domain per its planted
 /// category, with per-domain flap state.
 struct HostingNs {
     registry: Arc<Registry>,
     /// Query counters for flapping domains.
-    flap: Mutex<HashMap<Name, u32>>,
+    flap: FlapTable,
+    /// Distinguishes this world's zones in the thread-local memo, so
+    /// tests that build several worlds in one thread cannot cross-serve
+    /// a same-named domain from an older world.
+    world_id: u64,
 }
 
 impl HostingNs {
@@ -212,7 +284,7 @@ impl Server for HostingNs {
             Category::NoEdns => behavior = Behavior::NoEdns,
             Category::NotAuthCached => behavior = Behavior::NotAuthAll,
             Category::StaleFlapRefuse | Category::StaleFlapDrop => {
-                let mut flap = self.flap.lock().expect("no poisoning");
+                let mut flap = self.flap.shard(&rec.name);
                 let count = flap.entry(rec.name.clone()).or_insert(0);
                 if *count > 0 {
                     behavior = if rec.category == Category::StaleFlapRefuse {
@@ -228,6 +300,33 @@ impl Server for HostingNs {
             _ => {}
         }
 
+        if behavior == Behavior::Normal {
+            // The common case. A resolution hits the same child zone in
+            // an immediate burst (A, then DNSKEY for signed domains), so
+            // a handful of thread-local slots absorbs the repeat builds
+            // without any shared state or long-lived heap.
+            let server = CHILD_BURST.with(|m| {
+                let mut m = m.borrow_mut();
+                if let Some((_, _, s)) = m
+                    .iter()
+                    .find(|(id, n, _)| *id == self.world_id && n == &rec.name)
+                {
+                    return Arc::clone(s);
+                }
+                let mut store = ZoneStore::new();
+                store.insert(materialize_child(rec));
+                let s = Arc::new(ZoneServer::new(store));
+                if m.len() >= CHILD_BURST_SLOTS {
+                    m.remove(0);
+                }
+                m.push((self.world_id, rec.name.clone(), Arc::clone(&s)));
+                s
+            });
+            return server.answer(query, src);
+        }
+
+        // Misbehaving servers (flap, no-EDNS, NOTAUTH) are a sliver of
+        // the population; build fresh so behavior stays per-query.
         let zone = materialize_child(rec);
         let mut store = ZoneStore::new();
         store.insert(zone);
@@ -257,9 +356,127 @@ struct TldServer {
     tld: Name,
     entry: TldEntry,
     registry: Arc<Registry>,
+    /// The TLD's keys, derived once instead of per query.
+    keys: ZoneKeys,
+    /// Signed apex skeleton (SOA + NS + DNSKEY, no denial chain),
+    /// built lazily on the first query and cloned per referral.
+    template: OnceLock<Zone>,
 }
 
 impl TldServer {
+    fn new(tld: Name, entry: TldEntry, registry: Arc<Registry>) -> Self {
+        let keys = tld_keys(&tld);
+        TldServer {
+            tld,
+            entry,
+            registry,
+            keys,
+            template: OnceLock::new(),
+        }
+    }
+
+    /// The signed apex skeleton every referral zone starts from.
+    ///
+    /// Signing with `Denial::None` and grafting denial records per
+    /// referral is safe because RRSIG presence in NSEC3 bitmaps is
+    /// driven by a flag, not by the signing order, so the bitmaps (and
+    /// the deterministic RSA signatures) come out byte-identical to the
+    /// legacy sign-everything-per-query build.
+    fn template(&self) -> &Zone {
+        self.template.get_or_init(|| {
+            let mut zone = Zone::new(self.tld.clone());
+            zone.add(Record::new(self.tld.clone(), 3600, soa_for(&self.tld)));
+            let tld_ns = self.tld.child("ns1").expect("valid");
+            zone.add(Record::new(self.tld.clone(), 3600, Rdata::Ns(tld_ns)));
+            signer::sign_zone(
+                &mut zone,
+                &self.keys,
+                &SignerConfig {
+                    denial: Denial::None,
+                    ..SignerConfig::default()
+                },
+            );
+            if self.entry.standby_key {
+                // Same standby-SEP mutation as the legacy path (§4.2.3).
+                let standby = ZoneKey::generate(&self.tld, "standby", 8, 2048, 257);
+                if let Some(set) = zone.get_mut(&self.tld, RrType::Dnskey) {
+                    set.rdatas.push(standby.dnskey_rdata());
+                }
+                signer::resign_rrset(
+                    &mut zone,
+                    &self.tld.clone(),
+                    RrType::Dnskey,
+                    &self.keys,
+                    SignerConfig::default().window(),
+                );
+            }
+            if self.entry.broken_insecure_proof {
+                // Replicate sign-then-strip: `Misconfig::Nsec3Missing`
+                // removes the chain but leaves the apex NSEC3PARAM (and
+                // its RRSIG) behind, which is what keeps the server
+                // *claiming* it can prove denials (§4.2.9).
+                let params = Nsec3Config::default();
+                zone.add_rrset(Rrset::new(
+                    self.tld.clone(),
+                    0,
+                    Rdata::Nsec3param {
+                        hash_alg: nsec3hash::NSEC3_HASH_ALG_SHA1,
+                        flags: 0,
+                        iterations: params.iterations,
+                        salt: params.salt,
+                    },
+                ));
+                signer::resign_rrset(
+                    &mut zone,
+                    &self.tld.clone(),
+                    RrType::Nsec3param,
+                    &self.keys,
+                    SignerConfig::default().window(),
+                );
+            }
+            zone
+        })
+    }
+
+    /// Referral zone for a registered child: the apex template plus the
+    /// delegation, signing only RRsets a referral-shaped response (or a
+    /// parent-side DS answer) can actually carry.
+    fn referral_zone(&self, rec: &DomainRecord) -> Zone {
+        let mut zone = self.template().clone();
+        for (i, addr) in rec.ns_addrs.iter().enumerate() {
+            let ns = rec.name.child(&format!("ns{}", i + 1)).expect("valid");
+            zone.add(Record::new(rec.name.clone(), 3600, Rdata::Ns(ns.clone())));
+            zone.add(Record::new(ns, 3600, Rdata::A(*addr)));
+        }
+        let ds = child_ds(rec);
+        let window = SignerConfig::default().window();
+        if ds.is_empty() {
+            // Insecure delegation: referrals and DS NODATA answers need
+            // the NSEC3 opt-out proof, so build the (two-owner) chain —
+            // unless this TLD deliberately lost it (§4.2.9). Only the
+            // NSEC3 *matching the child* is ever emitted for the query
+            // shapes this zone serves (`no_ds_proof`/`nodata_proof`
+            // return just the matching record, and NXDOMAIN cannot
+            // happen for a registered name), so that is the one RRset
+            // worth an RSA signature.
+            if !self.entry.broken_insecure_proof {
+                let params = Nsec3Config::default();
+                nsec3::build_chain(&mut zone, &params);
+                let child_owner = self
+                    .tld
+                    .child(&params.hash_label(&rec.name))
+                    .expect("hash label fits");
+                signer::resign_rrset(&mut zone, &child_owner, RrType::Nsec3, &self.keys, window);
+            }
+        } else {
+            for d in ds {
+                zone.add(Record::new(rec.name.clone(), 3600, d));
+            }
+            signer::resign_rrset(&mut zone, &rec.name, RrType::Ds, &self.keys, window);
+        }
+        zone
+    }
+
     fn micro_zone(&self, qname: &Name) -> Zone {
         let mut zone = Zone::new(self.tld.clone());
         zone.add(Record::new(self.tld.clone(), 3600, soa_for(&self.tld)));
@@ -285,8 +502,7 @@ impl TldServer {
             }
         }
 
-        let keys = tld_keys(&self.tld);
-        signer::sign_zone(&mut zone, &keys, &SignerConfig::default());
+        signer::sign_zone(&mut zone, &self.keys, &SignerConfig::default());
 
         if self.entry.standby_key {
             // Publish an extra SEP key that signs nothing, then re-sign
@@ -299,14 +515,14 @@ impl TldServer {
                 &mut zone,
                 &self.tld.clone(),
                 RrType::Dnskey,
-                &keys,
+                &self.keys,
                 SignerConfig::default().window(),
             );
         }
         if self.entry.broken_insecure_proof {
             // Strip the denial chain: insecure referrals lose their
             // NSEC3 proof (§4.2.9).
-            Misconfig::Nsec3Missing.apply(&mut zone, &keys);
+            Misconfig::Nsec3Missing.apply(&mut zone, &self.keys);
         }
         zone
     }
@@ -317,6 +533,26 @@ impl Server for TldServer {
         let Some(q) = query.first_question() else {
             return ServerResponse::Drop;
         };
+        // Fast path: queries below the apex for a registered domain are
+        // referral-shaped (or parent-side DS lookups) — serve them from
+        // a memoized zone grown off the pre-signed apex template rather
+        // than signing a full micro-zone from scratch per query.
+        if q.name != self.tld {
+            let mut candidate = q.name.clone();
+            while candidate.label_count() > 2 {
+                match candidate.parent() {
+                    Some(p) => candidate = p,
+                    None => break,
+                }
+            }
+            if let Some(rec) = self.registry.domains.get(&candidate) {
+                let mut store = ZoneStore::new();
+                store.insert(self.referral_zone(rec));
+                return ZoneServer::new(store).handle(query, src, now);
+            }
+        }
+        // Apex queries (DNSKEY/SOA) and unregistered names keep the
+        // legacy full build.
         let zone = self.micro_zone(&q.name);
         let mut store = ZoneStore::new();
         store.insert(zone);
@@ -387,11 +623,11 @@ impl ScanWorld {
         for tld in &pop.tlds {
             net.register(
                 IpAddr::V4(tld_addr(tld.server_index)),
-                Arc::new(TldServer {
-                    tld: tld.name.clone(),
-                    entry: registry.tlds[&tld.name].clone(),
-                    registry: Arc::clone(&registry),
-                }),
+                Arc::new(TldServer::new(
+                    tld.name.clone(),
+                    registry.tlds[&tld.name].clone(),
+                    Arc::clone(&registry),
+                )),
             );
         }
 
@@ -399,7 +635,8 @@ impl ScanWorld {
         // address.
         let hosting = Arc::new(HostingNs {
             registry: Arc::clone(&registry),
-            flap: Mutex::new(HashMap::new()),
+            flap: FlapTable::new(),
+            world_id: NEXT_WORLD_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
         });
         for addr in &pop.healthy_ns {
             net.register(IpAddr::V4(*addr), hosting.clone() as Arc<dyn Server>);

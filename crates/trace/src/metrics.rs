@@ -34,17 +34,6 @@ pub struct Histogram {
 }
 
 impl Histogram {
-    fn observe(&mut self, value_ms: u64) {
-        let idx = LATENCY_BUCKETS_MS
-            .iter()
-            .position(|&ub| value_ms <= ub)
-            .unwrap_or(LATENCY_BUCKETS_MS.len());
-        self.counts[idx] += 1;
-        self.total += 1;
-        self.sum += value_ms;
-        self.max = self.max.max(value_ms);
-    }
-
     /// Mean observed value, or 0 with no observations.
     pub fn mean(&self) -> f64 {
         if self.total == 0 {
@@ -72,6 +61,40 @@ impl Histogram {
     }
 }
 
+/// The live side of a [`Histogram`]: per-bucket atomic counters, so the
+/// per-response record path never takes a lock. A scan's worker pool
+/// observes a latency for every delivered query *and* every finished
+/// resolution — a mutex here was a global serialization point.
+#[derive(Debug, Default)]
+struct AtomicHistogram {
+    counts: [AtomicU64; LATENCY_BUCKETS_MS.len() + 1],
+    total: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl AtomicHistogram {
+    fn observe(&self, value_ms: u64) {
+        let idx = LATENCY_BUCKETS_MS
+            .iter()
+            .position(|&ub| value_ms <= ub)
+            .unwrap_or(LATENCY_BUCKETS_MS.len());
+        self.counts[idx].fetch_add(1, Relaxed);
+        self.total.fetch_add(1, Relaxed);
+        self.sum.fetch_add(value_ms, Relaxed);
+        self.max.fetch_max(value_ms, Relaxed);
+    }
+
+    fn snapshot(&self) -> Histogram {
+        Histogram {
+            counts: std::array::from_fn(|i| self.counts[i].load(Relaxed)),
+            total: self.total.load(Relaxed),
+            sum: self.sum.load(Relaxed),
+            max: self.max.load(Relaxed),
+        }
+    }
+}
+
 /// The live registry. Cheap to share (`Arc<Metrics>`); attach as a
 /// [`TraceSink`] and read with [`Metrics::snapshot`].
 #[derive(Debug, Default)]
@@ -94,10 +117,12 @@ pub struct Metrics {
     resolutions_servfail: AtomicU64,
     resolutions_other: AtomicU64,
     ede_entries: AtomicU64,
-    /// (vendor, INFO-CODE) → emission count.
+    /// (vendor, INFO-CODE) → emission count. EDE emission is rare
+    /// relative to queries (error domains only), so a mutex is fine
+    /// here.
     ede_by_vendor: Mutex<BTreeMap<(String, u16), u64>>,
-    query_latency: Mutex<Histogram>,
-    resolution_duration: Mutex<Histogram>,
+    query_latency: AtomicHistogram,
+    resolution_duration: AtomicHistogram,
 }
 
 impl Metrics {
@@ -128,17 +153,19 @@ impl Metrics {
             resolutions_other: self.resolutions_other.load(Relaxed),
             ede_entries: self.ede_entries.load(Relaxed),
             ede_by_vendor: self.ede_by_vendor.lock().expect("no poisoning").clone(),
-            query_latency: self.query_latency.lock().expect("no poisoning").clone(),
-            resolution_duration: self
-                .resolution_duration
-                .lock()
-                .expect("no poisoning")
-                .clone(),
+            query_latency: self.query_latency.snapshot(),
+            resolution_duration: self.resolution_duration.snapshot(),
         }
     }
 }
 
 impl TraceSink for Metrics {
+    // Counters never read qname/target/finding strings — only event
+    // kinds and numeric fields — so emitters may skip building them.
+    fn wants_query_detail(&self) -> bool {
+        false
+    }
+
     fn record(&self, _at_ms: u64, event: &TraceEvent) {
         match event {
             TraceEvent::ResolutionStarted { .. } => {}
@@ -147,10 +174,7 @@ impl TraceSink for Metrics {
             }
             TraceEvent::ResponseReceived { latency_ms, .. } => {
                 self.responses_received.fetch_add(1, Relaxed);
-                self.query_latency
-                    .lock()
-                    .expect("no poisoning")
-                    .observe(*latency_ms);
+                self.query_latency.observe(*latency_ms);
             }
             TraceEvent::Timeout { .. } => {
                 self.timeouts.fetch_add(1, Relaxed);
@@ -200,10 +224,7 @@ impl TraceSink for Metrics {
                     2 => self.resolutions_servfail.fetch_add(1, Relaxed),
                     _ => self.resolutions_other.fetch_add(1, Relaxed),
                 };
-                self.resolution_duration
-                    .lock()
-                    .expect("no poisoning")
-                    .observe(*duration_ms);
+                self.resolution_duration.observe(*duration_ms);
             }
         }
     }
@@ -440,10 +461,11 @@ mod tests {
 
     #[test]
     fn histogram_buckets_and_quantiles() {
-        let mut h = Histogram::default();
+        let live = AtomicHistogram::default();
         for v in [0, 1, 20, 20, 2_000, 50_000] {
-            h.observe(v);
+            live.observe(v);
         }
+        let h = live.snapshot();
         assert_eq!(h.total, 6);
         assert_eq!(h.max, 50_000);
         assert_eq!(h.counts[0], 2); // <= 1 ms

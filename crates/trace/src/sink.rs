@@ -24,11 +24,24 @@ pub trait TraceClock: Send + Sync {
 pub trait TraceSink: Send + Sync {
     /// Record one stamped event.
     fn record(&self, at_ms: u64, event: &TraceEvent);
+
+    /// Whether this sink reads the human-facing detail strings on
+    /// events (`qname`, `target`, `finding`, …). Counter-only sinks
+    /// like [`crate::Metrics`] return `false`, letting instrumented
+    /// code skip one string allocation per event on hot paths and
+    /// send an empty string instead. Defaults to `true`: any sink
+    /// that renders events must see the real text.
+    fn wants_query_detail(&self) -> bool {
+        true
+    }
 }
 
 struct TracerInner {
     sink: Arc<dyn TraceSink>,
     clock: Arc<dyn TraceClock>,
+    // Cached at construction: consulted once per query on the scan
+    // fast path, so it must not be a virtual call each time.
+    wants_detail: bool,
 }
 
 /// A cheap, cloneable handle bundling a sink with the clock that stamps
@@ -51,7 +64,12 @@ impl std::fmt::Debug for Tracer {
 impl Tracer {
     /// A tracer forwarding to `sink`, stamping with `clock`.
     pub fn new(sink: Arc<dyn TraceSink>, clock: Arc<dyn TraceClock>) -> Self {
-        Tracer(Some(Arc::new(TracerInner { sink, clock })))
+        let wants_detail = sink.wants_query_detail();
+        Tracer(Some(Arc::new(TracerInner {
+            sink,
+            clock,
+            wants_detail,
+        })))
     }
 
     /// The disabled tracer (drops every event).
@@ -63,6 +81,14 @@ impl Tracer {
     /// this to skip building expensive event payloads.
     pub fn enabled(&self) -> bool {
         self.0.is_some()
+    }
+
+    /// True when the attached sink reads detail strings (see
+    /// [`TraceSink::wants_query_detail`]). Disabled tracers want
+    /// nothing. Emitters may pass empty strings for `qname`-style
+    /// fields when this is `false`.
+    pub fn wants_query_detail(&self) -> bool {
+        self.0.as_ref().is_some_and(|i| i.wants_detail)
     }
 
     /// Stamp and forward one event.
@@ -199,6 +225,10 @@ impl TraceSink for MultiSink {
         for s in &self.0 {
             s.record(at_ms, event);
         }
+    }
+
+    fn wants_query_detail(&self) -> bool {
+        self.0.iter().any(|s| s.wants_query_detail())
     }
 }
 

@@ -9,6 +9,7 @@
 use crate::error::WireError;
 use std::cmp::Ordering;
 use std::fmt;
+use std::sync::Arc;
 
 /// Maximum length of one label in octets.
 pub const MAX_LABEL_LEN: usize = 63;
@@ -20,15 +21,26 @@ pub const MAX_NAME_LEN: usize = 255;
 /// The root name has zero labels. Labels are arbitrary byte strings
 /// (lowercased ASCII at rest), ordered leaf-first: `www.example.com` is
 /// stored as `["www", "example", "com"]`.
+///
+/// The label list is behind an `Arc`: names appear in every record,
+/// question, cache key, and zone entry, and are cloned on all of those
+/// paths, so a clone must be a refcount bump rather than one heap
+/// allocation per label. Names are immutable after construction, so
+/// the sharing is never observable.
 #[derive(Clone, PartialEq, Eq, Hash)]
 pub struct Name {
-    labels: Vec<Box<[u8]>>,
+    labels: Arc<[Box<[u8]>]>,
 }
 
 impl Name {
     /// The root name `.`.
     pub fn root() -> Self {
-        Name { labels: Vec::new() }
+        // Shared empty slice: the root is constructed often (zone walks,
+        // parent() chains ending at the root zone) and needs no storage.
+        static EMPTY: std::sync::OnceLock<Arc<[Box<[u8]>]>> = std::sync::OnceLock::new();
+        Name {
+            labels: Arc::clone(EMPTY.get_or_init(|| Arc::from(Vec::new()))),
+        }
     }
 
     /// Parse a dotted textual name. Accepts an optional trailing dot; all
@@ -46,7 +58,9 @@ impl Name {
             }
             labels.push(label.to_ascii_lowercase().into_bytes().into_boxed_slice());
         }
-        let name = Name { labels };
+        let name = Name {
+            labels: labels.into(),
+        };
         if name.wire_len() > MAX_NAME_LEN {
             return Err(WireError::NameTooLong);
         }
@@ -67,7 +81,7 @@ impl Name {
             }
             out.push(l.to_ascii_lowercase().into_boxed_slice());
         }
-        let name = Name { labels: out };
+        let name = Name { labels: out.into() };
         if name.wire_len() > MAX_NAME_LEN {
             return Err(WireError::NameTooLong);
         }
@@ -82,7 +96,9 @@ impl Name {
         let mut labels = Vec::with_capacity(self.labels.len() + 1);
         labels.push(label.to_ascii_lowercase().into_bytes().into_boxed_slice());
         labels.extend(self.labels.iter().cloned());
-        let name = Name { labels };
+        let name = Name {
+            labels: labels.into(),
+        };
         if name.wire_len() > MAX_NAME_LEN {
             return Err(WireError::NameTooLong);
         }
@@ -95,7 +111,7 @@ impl Name {
             None
         } else {
             Some(Name {
-                labels: self.labels[1..].to_vec(),
+                labels: self.labels[1..].to_vec().into(),
             })
         }
     }
@@ -140,7 +156,7 @@ impl Name {
     /// RRSIG.
     pub fn to_wire(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.wire_len());
-        for label in &self.labels {
+        for label in self.labels.iter() {
             out.push(label.len() as u8);
             out.extend_from_slice(label);
         }
@@ -203,7 +219,9 @@ impl Name {
                     if !jumped {
                         *pos = cursor + 1;
                     }
-                    return Ok(Name { labels });
+                    return Ok(Name {
+                        labels: labels.into(),
+                    });
                 }
                 1..=MAX_LABEL_LEN => {
                     let start = cursor + 1;
@@ -242,6 +260,27 @@ impl Name {
         }
     }
 
+    /// Deterministic 64-bit FNV-1a hash over the canonical label bytes.
+    ///
+    /// Unlike `Hash`/`HashMap`'s SipHash (randomized per process in
+    /// general-purpose hashers), this value is stable across runs and
+    /// processes, and it is computed without allocating the wire form —
+    /// sharded stores (the resolver cache, flap tables) use it both to
+    /// pick a shard and as the lookup key, so a probe never has to clone
+    /// the name.
+    pub fn shard_hash(&self) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for label in self.labels.iter() {
+            h ^= label.len() as u64;
+            h = h.wrapping_mul(0x100000001b3);
+            for &b in label.iter() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        }
+        h
+    }
+
     /// RFC 4034 §6.1 canonical ordering: compare label-by-label from the
     /// *rightmost* (TLD) label, each label as raw lowercase bytes.
     pub fn canonical_cmp(&self, other: &Name) -> Ordering {
@@ -278,7 +317,7 @@ impl fmt::Display for Name {
         if self.labels.is_empty() {
             return write!(f, ".");
         }
-        for label in &self.labels {
+        for label in self.labels.iter() {
             for &b in label.iter() {
                 if b.is_ascii_graphic() && b != b'.' && b != b'\\' {
                     write!(f, "{}", b as char)?;

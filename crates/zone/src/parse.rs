@@ -63,7 +63,7 @@ fn parse_hex(s: &str, line: usize) -> Result<Vec<u8>, ParseError> {
     if s == "-" {
         return Ok(Vec::new()); // empty-salt presentation
     }
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return Err(err(line, format!("odd-length hex {s:?}")));
     }
     (0..s.len())

@@ -160,7 +160,7 @@ fn broken_resolution_matches_golden_sequence() {
     let jsonl = trace.to_jsonl();
     let lines: Vec<&str> = jsonl.lines().collect();
     assert_eq!(lines.len(), events.len());
-    for (line, kind) in lines.iter().zip(&BROKEN_GOLDEN[..]) {
+    for (line, kind) in lines.iter().zip(BROKEN_GOLDEN) {
         assert!(line.starts_with("{\"at_ms\":"), "{line}");
         assert!(line.contains(&format!("\"kind\":\"{kind}\"")), "{line}");
         assert!(line.ends_with('}'), "{line}");
