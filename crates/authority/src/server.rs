@@ -18,6 +18,7 @@ pub struct ZoneServer {
     store: ZoneStore,
     behavior: Behavior,
     tracer: Mutex<Tracer>,
+    payload_cap: Option<u16>,
 }
 
 impl ZoneServer {
@@ -27,6 +28,7 @@ impl ZoneServer {
             store,
             behavior: Behavior::Normal,
             tracer: Mutex::new(Tracer::disabled()),
+            payload_cap: None,
         }
     }
 
@@ -36,7 +38,19 @@ impl ZoneServer {
             store,
             behavior,
             tracer: Mutex::new(Tracer::disabled()),
+            payload_cap: None,
         }
+    }
+
+    /// Cap this server's UDP answers at `cap` bytes (floored at the
+    /// classic 512): a datagram answer whose encoding exceeds
+    /// `min(cap, the client's advertised EDNS payload size)` goes out
+    /// as its TC=1 truncation instead, and the full answer is only
+    /// served over the stream channel. No cap (the default) means the
+    /// datagram path always carries the full answer.
+    pub fn with_payload_cap(mut self, cap: u16) -> Self {
+        self.payload_cap = Some(cap.max(512));
+        self
     }
 
     /// Attach a tracer: every answered query emits an
@@ -245,6 +259,25 @@ impl ZoneServer {
 
 impl Server for ZoneServer {
     fn handle(&self, query: &Message, src: IpAddr, _now: u32) -> ServerResponse {
+        let resp = self.answer(query, src);
+        let Some(cap) = self.payload_cap else {
+            return resp;
+        };
+        match resp {
+            ServerResponse::Reply(m) => {
+                let limit = cap.min(query.advertised_payload_size());
+                if !m.truncated && m.encoded_len() > usize::from(limit) {
+                    ServerResponse::Reply(m.truncated_copy())
+                } else {
+                    ServerResponse::Reply(m)
+                }
+            }
+            drop => drop,
+        }
+    }
+
+    fn handle_stream(&self, query: &Message, src: IpAddr, _now: u32) -> ServerResponse {
+        // Streams have no size limit: the full answer, cap or not.
         self.answer(query, src)
     }
 }
@@ -392,6 +425,37 @@ mod tests {
             .filter(|r| r.rtype() == RrType::Nsec3)
             .count();
         assert!(nsec3s >= 2);
+    }
+
+    #[test]
+    fn payload_cap_truncates_udp_but_not_stream() {
+        let s = build_server().with_payload_cap(512);
+        // A signed NXDOMAIN carries several NSEC3s + RRSIGs — far more
+        // than 512 bytes.
+        let q = Message::iterative_query(1, n("missing.example.com"), RrType::A);
+        let udp = match s.handle(&q, client(), 0) {
+            ServerResponse::Reply(m) => m,
+            ServerResponse::Drop => panic!("dropped"),
+        };
+        assert!(udp.truncated, "oversized datagram answer must set TC");
+        assert!(udp.answers.is_empty() && udp.authorities.is_empty());
+        assert_eq!(udp.rcode, Rcode::NxDomain, "rcode survives truncation");
+        assert!(udp.encoded_len() <= 512);
+
+        let tcp = match s.handle_stream(&q, client(), 0) {
+            ServerResponse::Reply(m) => m,
+            ServerResponse::Drop => panic!("dropped"),
+        };
+        assert!(!tcp.truncated);
+        assert!(tcp.authorities.iter().any(|r| r.rtype() == RrType::Nsec3));
+
+        // Small answers pass the datagram path whole.
+        let small = reply(&s, "www.example.com", RrType::A);
+        let _ = small; // `reply` goes through answer(); check via handle:
+        let sq = Message::iterative_query(2, n("example.com"), RrType::Soa);
+        if let ServerResponse::Reply(m) = s.handle(&sq, client(), 0) {
+            assert!(!m.truncated || m.encoded_len() > 512);
+        }
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //!   (it should not: emission is a pure function over findings).
 
 use ede_bench::{black_box, criterion_group, criterion_main, Criterion};
-use ede_resolver::{Resolver, ResolverConfig, Vendor, VendorProfile};
+use ede_resolver::{Resolver, Vendor, VendorProfile};
 use ede_testbed::Testbed;
 use ede_wire::RrType;
 use std::sync::Arc;
@@ -25,10 +25,8 @@ fn bench_ablations(c: &mut Criterion) {
         b.iter(|| black_box(cached.resolve(&qname, RrType::A)))
     });
 
-    let no_cache_cfg = ResolverConfig {
-        enable_cache: false,
-        ..tb.resolver_config.clone()
-    };
+    let mut no_cache_cfg = tb.resolver_config.clone();
+    no_cache_cfg.enable_cache = false;
     let uncached = Resolver::new(
         Arc::clone(&tb.net),
         VendorProfile::new(Vendor::Cloudflare),

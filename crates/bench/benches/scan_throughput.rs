@@ -133,11 +133,10 @@ fn main() {
         // part of the scan, and sharing them would leak state between
         // worker counts.
         let world = ScanWorld::build(&pop);
-        let scan_cfg = ScanConfig {
-            workers,
-            progress: false,
-            ..Default::default()
-        };
+        let scan_cfg = ScanConfig::builder()
+            .workers(workers)
+            .progress(false)
+            .build();
         let t = Instant::now();
         let result = scanner::scan(&pop, &world, &scan_cfg);
         let secs = t.elapsed().as_secs_f64();

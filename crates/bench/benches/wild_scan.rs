@@ -23,14 +23,7 @@ fn bench_scan(c: &mut Criterion) {
             // Fresh world per iteration: flap state and the virtual
             // clock are part of the scan.
             let world = ScanWorld::build(&pop);
-            let result = scanner::scan(
-                &pop,
-                &world,
-                &ScanConfig {
-                    workers: 1,
-                    ..Default::default()
-                },
-            );
+            let result = scanner::scan(&pop, &world, &ScanConfig::builder().workers(1).build());
             black_box(result.observations.len())
         })
     });

@@ -12,7 +12,12 @@
 //!   are built directly on these ranges.
 //! * [`transport`] — the network itself: a routing table from `IpAddr` to
 //!   [`Server`] instances, with per-query latency, deterministic loss,
-//!   and unroutability for special addresses.
+//!   unroutability for special addresses, and a stream (TCP-analogue)
+//!   channel for truncation fallback.
+//! * [`fault`] — composable, deterministic fault plans scheduled on the
+//!   virtual clock: loss bursts, latency spikes, link flaps, NS
+//!   blackholes, response corruption, and the response-size model that
+//!   sets the TC bit on oversized UDP replies.
 //!
 //! The design is sans-IO in the smoltcp tradition: servers are state
 //! machines handling one message at a time; no sockets, no threads, no
@@ -23,11 +28,13 @@
 
 pub mod addr;
 pub mod clock;
+pub mod fault;
 pub mod transport;
 
 pub use addr::{classify, AddrClass, SpecialUse};
 pub use clock::SimClock;
+pub use fault::{Blackhole, FaultPlan, FaultTarget, LatencySpike, LinkFlap, LossBurst};
 pub use transport::{
     CapturedQuery, NetError, Network, NetworkBuilder, NetworkConfig, Server, ServerResponse,
-    TrafficStats,
+    TrafficSnapshot, TrafficStats,
 };

@@ -1,9 +1,11 @@
-//! The simulated network: routing, latency, loss, timeouts.
+//! The simulated network: routing, latency, loss, timeouts, fault
+//! plans, and the stream (TCP-analogue) channel.
 
 use crate::addr::classify;
 use crate::clock::SimClock;
+use crate::fault::FaultPlan;
 use ede_trace::{TraceEvent, TraceSink, Tracer};
-use ede_wire::Message;
+use ede_wire::{Message, Rcode};
 use std::collections::HashMap;
 use std::fmt;
 use std::net::IpAddr;
@@ -27,6 +29,15 @@ pub trait Server: Send + Sync {
     /// Handle one query arriving from `src` at simulated time `now`
     /// (seconds).
     fn handle(&self, query: &Message, src: IpAddr, now: u32) -> ServerResponse;
+
+    /// Handle one query arriving over the stream (TCP-analogue)
+    /// channel. Streams carry no payload-size limit, so servers that
+    /// truncate oversized datagram answers serve the full answer here.
+    /// The default forwards to [`Server::handle`] — correct for every
+    /// server whose datagram answers are never truncated.
+    fn handle_stream(&self, query: &Message, src: IpAddr, now: u32) -> ServerResponse {
+        self.handle(query, src, now)
+    }
 }
 
 /// Transport-level failures, as a resolver perceives them.
@@ -116,7 +127,35 @@ impl NetworkBuilder {
             stats: TrafficStats::default(),
             capture: CaptureCell::default(),
             tracer: TracerCell::default(),
+            faults: FaultCell::default(),
         }
+    }
+}
+
+/// The fault-plan slot, same shape as [`TracerCell`]: no plan attached
+/// costs one atomic load per query. The attached plan is paired with
+/// the clock reading at attachment time, so plan windows are relative
+/// offsets ("a blackhole 5–10 s into the run").
+#[derive(Default)]
+struct FaultCell {
+    enabled: std::sync::atomic::AtomicBool,
+    slot: std::sync::RwLock<Option<(Arc<FaultPlan>, u64)>>,
+}
+
+impl FaultCell {
+    fn set(&self, plan: Option<(Arc<FaultPlan>, u64)>) {
+        use std::sync::atomic::Ordering;
+        let on = plan.is_some();
+        *self.slot.write().expect("no poisoning") = plan;
+        self.enabled.store(on, Ordering::Release);
+    }
+
+    fn get(&self) -> Option<(Arc<FaultPlan>, u64)> {
+        use std::sync::atomic::Ordering;
+        if !self.enabled.load(Ordering::Acquire) {
+            return None;
+        }
+        self.slot.read().expect("no poisoning").clone()
     }
 }
 
@@ -202,6 +241,15 @@ pub struct TrafficStats {
     pub delivered: std::sync::atomic::AtomicU64,
     /// Queries that failed at the transport (unroutable / timeout / loss).
     pub failed: std::sync::atomic::AtomicU64,
+    /// Queries carried over the stream (TCP-analogue) channel. Also
+    /// counted in `queries`.
+    pub stream_queries: std::sync::atomic::AtomicU64,
+    /// UDP replies replaced by their TC=1 truncation by the
+    /// response-size model.
+    pub truncated: std::sync::atomic::AtomicU64,
+    /// Fault-plan decisions that fired (loss, burst, flap, blackhole,
+    /// corruption, spike) — one per `FaultInjected` trace event.
+    pub faults: std::sync::atomic::AtomicU64,
 }
 
 impl TrafficStats {
@@ -214,6 +262,36 @@ impl TrafficStats {
             self.failed.load(Relaxed),
         )
     }
+
+    /// Full snapshot including the robustness-layer counters.
+    pub fn snapshot_full(&self) -> TrafficSnapshot {
+        use std::sync::atomic::Ordering::Relaxed;
+        TrafficSnapshot {
+            queries: self.queries.load(Relaxed),
+            delivered: self.delivered.load(Relaxed),
+            failed: self.failed.load(Relaxed),
+            stream_queries: self.stream_queries.load(Relaxed),
+            truncated: self.truncated.load(Relaxed),
+            faults: self.faults.load(Relaxed),
+        }
+    }
+}
+
+/// A frozen copy of [`TrafficStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficSnapshot {
+    /// Queries attempted on either channel.
+    pub queries: u64,
+    /// Queries that received a reply.
+    pub delivered: u64,
+    /// Queries that failed at the transport.
+    pub failed: u64,
+    /// Queries carried over the stream channel (subset of `queries`).
+    pub stream_queries: u64,
+    /// UDP replies truncated by the response-size model.
+    pub truncated: u64,
+    /// Fault-plan decisions that fired.
+    pub faults: u64,
 }
 
 /// One captured query (when capture is enabled).
@@ -235,6 +313,7 @@ pub struct Network {
     stats: TrafficStats,
     capture: CaptureCell,
     tracer: TracerCell,
+    faults: FaultCell,
 }
 
 impl Network {
@@ -271,6 +350,29 @@ impl Network {
     /// Detach any trace sink.
     pub fn clear_trace_sink(&self) {
         self.tracer.set(Tracer::disabled());
+    }
+
+    /// Attach a fault plan. The plan's scheduled windows are measured
+    /// from the virtual-clock instant of this call. A no-op plan (see
+    /// [`FaultPlan::is_noop`]) is dropped outright, keeping the
+    /// fault-free fast path at one atomic load.
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        if plan.is_noop() {
+            self.faults.set(None);
+        } else {
+            self.faults
+                .set(Some((Arc::new(plan), self.clock.now_millis())));
+        }
+    }
+
+    /// Detach any fault plan.
+    pub fn clear_fault_plan(&self) {
+        self.faults.set(None);
+    }
+
+    /// The currently attached fault plan, if any.
+    pub fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
+        self.faults.get().map(|(plan, _)| plan)
     }
 
     /// The currently attached tracer (cheap clone; disabled when no
@@ -342,19 +444,59 @@ impl Network {
             fail(false);
             return Err(NetError::Timeout);
         };
+        let fault = self.faults.get();
+        if let Some((plan, epoch_ms)) = &fault {
+            let at_ms = self.clock.now_millis().saturating_sub(*epoch_ms);
+            if let Some(kind) = plan.unreachable_at(dst, at_ms) {
+                self.inject(&tracer, kind, dst);
+                fail(false);
+                return Err(NetError::Timeout);
+            }
+            if let Some(kind) = plan.lose_at(dst, at_ms, query) {
+                self.inject(&tracer, kind, dst);
+                fail(false);
+                return Err(NetError::Timeout);
+            }
+        }
         if self.lose(dst, query) {
             fail(false);
             return Err(NetError::Timeout);
         }
         match server.handle(query, src, self.clock.now_secs()) {
-            ServerResponse::Reply(msg) => {
-                self.clock.advance_millis(self.config.rtt_ms);
+            ServerResponse::Reply(mut msg) => {
+                let mut latency_ms = self.config.rtt_ms;
+                if let Some((plan, epoch_ms)) = &fault {
+                    if plan.corrupt_at(dst, query) {
+                        self.inject(&tracer, "corrupt", dst);
+                        let mut garbled = Message::response_to(query);
+                        garbled.rcode = Rcode::FormErr;
+                        // Echo the client's OPT: the damage is to the
+                        // payload, not the EDNS negotiation, so resolvers
+                        // classify this as a FORMERR rcode failure rather
+                        // than "no EDNS support".
+                        garbled.edns = query.edns.clone();
+                        msg = garbled;
+                    }
+                    if let Some(limit) = plan.negotiated_limit(query) {
+                        if !msg.truncated && msg.encoded_len() > usize::from(limit) {
+                            msg = msg.truncated_copy();
+                            self.stats.truncated.fetch_add(1, Relaxed);
+                        }
+                    }
+                    let at_ms = self.clock.now_millis().saturating_sub(*epoch_ms);
+                    let extra = plan.spike_extra_at(at_ms);
+                    if extra > 0 {
+                        self.inject(&tracer, "spike", dst);
+                        latency_ms += extra;
+                    }
+                }
+                self.clock.advance_millis(latency_ms);
                 self.stats.delivered.fetch_add(1, Relaxed);
                 tracer.emit(TraceEvent::ResponseReceived {
                     src: dst,
                     rcode: msg.rcode.to_u16(),
                     answers: msg.answers.len(),
-                    latency_ms: self.config.rtt_ms,
+                    latency_ms,
                 });
                 Ok(msg)
             }
@@ -363,6 +505,96 @@ impl Network {
                 Err(NetError::Timeout)
             }
         }
+    }
+
+    /// Send `query` to `dst` from `src` over the stream (TCP-analogue)
+    /// channel and wait for the reply — the truncation-fallback path.
+    ///
+    /// Streams cost one extra RTT for connection setup, are exempt from
+    /// per-datagram loss, corruption, and the response-size model (a
+    /// real TCP connection retransmits and carries any size), but still
+    /// fail while the destination is flapped or blackholed.
+    pub fn query_stream(
+        &self,
+        dst: IpAddr,
+        src: IpAddr,
+        query: &Message,
+    ) -> Result<Message, NetError> {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.stats.queries.fetch_add(1, Relaxed);
+        self.stats.stream_queries.fetch_add(1, Relaxed);
+        let tracer = self.tracer.get();
+        let qname = if tracer.wants_query_detail() {
+            query
+                .first_question()
+                .map(|q| q.name.to_string())
+                .unwrap_or_else(|| String::from("-"))
+        } else {
+            String::new()
+        };
+        tracer.emit(TraceEvent::QuerySent {
+            dst,
+            qname: qname.clone(),
+            qtype: query
+                .first_question()
+                .map(|q| q.qtype.to_u16())
+                .unwrap_or(0),
+            id: query.id,
+        });
+        let fail = |unroutable: bool| {
+            self.clock.advance_millis(self.config.timeout_ms);
+            self.stats.failed.fetch_add(1, Relaxed);
+            tracer.emit(TraceEvent::Timeout {
+                dst,
+                qname: qname.clone(),
+                unroutable,
+            });
+        };
+        if !classify(dst).is_routable() {
+            fail(true);
+            return Err(NetError::Unroutable);
+        }
+        let Some(server) = self.routes.get(&dst) else {
+            fail(false);
+            return Err(NetError::Timeout);
+        };
+        if let Some((plan, epoch_ms)) = self.faults.get() {
+            let at_ms = self.clock.now_millis().saturating_sub(epoch_ms);
+            if let Some(kind) = plan.unreachable_at(dst, at_ms) {
+                self.inject(&tracer, kind, dst);
+                fail(false);
+                return Err(NetError::Timeout);
+            }
+        }
+        match server.handle_stream(query, src, self.clock.now_secs()) {
+            ServerResponse::Reply(msg) => {
+                let latency_ms = 2 * self.config.rtt_ms;
+                self.clock.advance_millis(latency_ms);
+                self.stats.delivered.fetch_add(1, Relaxed);
+                tracer.emit(TraceEvent::ResponseReceived {
+                    src: dst,
+                    rcode: msg.rcode.to_u16(),
+                    answers: msg.answers.len(),
+                    latency_ms,
+                });
+                Ok(msg)
+            }
+            ServerResponse::Drop => {
+                fail(false);
+                Err(NetError::Timeout)
+            }
+        }
+    }
+
+    /// Count one fired fault decision and surface it to any tracer.
+    fn inject(&self, tracer: &Tracer, kind: &'static str, dst: IpAddr) {
+        self.stats
+            .faults
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        tracer.emit(TraceEvent::FaultInjected {
+            kind: kind.to_string(),
+            dst,
+        });
     }
 
     /// Deterministic loss decision (FNV-1a over the flow tuple).
@@ -501,6 +733,140 @@ mod tests {
             (250..=450).contains(&delivered),
             "~70% delivery expected, got {delivered}/500"
         );
+    }
+
+    /// A server whose answers are large enough to exceed any sane UDP
+    /// payload cap.
+    struct BigAnswer;
+    impl Server for BigAnswer {
+        fn handle(&self, query: &Message, _src: IpAddr, _now: u32) -> ServerResponse {
+            use ede_wire::{Rdata, Record};
+            let mut r = Message::response_to(query);
+            r.edns = Some(ede_wire::Edns::default());
+            for i in 0..40 {
+                r.answers.push(Record::new(
+                    Name::parse(&format!("r{i}.example.com")).unwrap(),
+                    60,
+                    Rdata::Txt(vec![vec![b'x'; 60]]),
+                ));
+            }
+            ServerResponse::Reply(r)
+        }
+    }
+
+    #[test]
+    fn stream_channel_costs_two_rtts_and_skips_truncation() {
+        let dst: IpAddr = "93.184.216.34".parse().unwrap();
+        let mut b = NetworkBuilder::new();
+        b.register(dst, Arc::new(BigAnswer));
+        let net = b.build(SimClock::new());
+        net.set_fault_plan(FaultPlan::new(1).with_udp_payload_limit(1232));
+
+        // The datagram path truncates the oversized reply.
+        let udp = net.query(dst, client(), &q(1)).unwrap();
+        assert!(udp.truncated);
+        assert!(udp.answers.is_empty());
+
+        // The stream path serves it whole, at handshake + exchange cost.
+        let t0 = net.clock().now_millis();
+        let tcp = net.query_stream(dst, client(), &q(2)).unwrap();
+        assert!(!tcp.truncated);
+        assert_eq!(tcp.answers.len(), 40);
+        assert_eq!(net.clock().now_millis() - t0, 40);
+
+        let full = net.stats().snapshot_full();
+        assert_eq!(full.queries, 2);
+        assert_eq!(full.stream_queries, 1);
+        assert_eq!(full.truncated, 1);
+        assert_eq!(full.faults, 0, "truncation is protocol, not a fault");
+    }
+
+    #[test]
+    fn truncation_respects_client_advertisement() {
+        let dst: IpAddr = "93.184.216.34".parse().unwrap();
+        let mut b = NetworkBuilder::new();
+        b.register(dst, Arc::new(BigAnswer));
+        let net = b.build(SimClock::new());
+        // Generous link cap: the reply (~3 KB) still exceeds the
+        // client's own 1232-byte advertisement.
+        net.set_fault_plan(FaultPlan::new(1).with_udp_payload_limit(60_000));
+        assert!(net.query(dst, client(), &q(1)).unwrap().truncated);
+    }
+
+    #[test]
+    fn blackhole_window_darkens_and_recovers() {
+        let dst: IpAddr = "93.184.216.34".parse().unwrap();
+        let mut b = NetworkBuilder::new();
+        b.register(dst, Arc::new(Echo));
+        let net = b
+            .config(NetworkConfig {
+                rtt_ms: 10,
+                timeout_ms: 100,
+                ..Default::default()
+            })
+            .build(SimClock::new());
+        net.set_fault_plan(FaultPlan::new(1).with_blackhole(crate::fault::Blackhole {
+            target: crate::fault::FaultTarget::Addr(dst),
+            start_ms: 0,
+            end_ms: 150,
+        }));
+
+        // Two timeouts burn 200 ms of virtual clock; the window closes.
+        assert_eq!(net.query(dst, client(), &q(1)), Err(NetError::Timeout));
+        assert_eq!(net.query(dst, client(), &q(2)), Err(NetError::Timeout));
+        assert!(net.query(dst, client(), &q(3)).is_ok());
+        // The stream channel was equally dark during the window.
+        net.set_fault_plan(FaultPlan::new(1).with_blackhole(crate::fault::Blackhole {
+            target: crate::fault::FaultTarget::All,
+            start_ms: 0,
+            end_ms: 50,
+        }));
+        assert_eq!(
+            net.query_stream(dst, client(), &q(4)),
+            Err(NetError::Timeout)
+        );
+        assert_eq!(net.stats().snapshot_full().faults, 3);
+    }
+
+    #[test]
+    fn injected_loss_is_deterministic_and_counted() {
+        let dst: IpAddr = "93.184.216.34".parse().unwrap();
+        let run = || {
+            let mut b = NetworkBuilder::new();
+            b.register(dst, Arc::new(Echo));
+            let net = b.build(SimClock::new());
+            net.set_fault_plan(FaultPlan::new(99).with_loss(0.25).with_corruption(0.1));
+            let outcomes: Vec<u16> = (0..400)
+                .map(|i| match net.query(dst, client(), &q(i)) {
+                    Ok(m) => m.rcode.to_u16(),
+                    Err(_) => u16::MAX,
+                })
+                .collect();
+            (outcomes, net.stats().snapshot_full())
+        };
+        let (first, stats) = run();
+        let (again, _) = run();
+        assert_eq!(first, again, "fault decisions must be reproducible");
+        let lost = first.iter().filter(|&&r| r == u16::MAX).count();
+        let corrupted = first.iter().filter(|&&r| r == 1).count();
+        assert!((60..=140).contains(&lost), "~25% loss, got {lost}/400");
+        assert!(
+            (15..=70).contains(&corrupted),
+            "~10% FORMERR, got {corrupted}/400"
+        );
+        assert_eq!(stats.faults as usize, lost + corrupted);
+        assert_eq!(stats.failed as usize, lost);
+    }
+
+    #[test]
+    fn noop_plan_changes_nothing() {
+        let dst: IpAddr = "93.184.216.34".parse().unwrap();
+        let mut b = NetworkBuilder::new();
+        b.register(dst, Arc::new(Echo));
+        let net = b.build(SimClock::new());
+        net.set_fault_plan(FaultPlan::intensity(5, 0.0));
+        assert!(net.fault_plan().is_none(), "no-op plans are dropped");
+        assert!(net.query(dst, client(), &q(1)).is_ok());
     }
 
     #[test]

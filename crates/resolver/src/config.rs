@@ -1,5 +1,7 @@
-//! Resolver configuration: root hints, trust anchor, limits.
+//! Resolver configuration: root hints, trust anchor, limits, retry
+//! policy — constructed through [`ResolverConfig::builder()`].
 
+use crate::retry::RetryPolicy;
 use ede_wire::{Name, Rdata};
 use std::net::IpAddr;
 
@@ -13,7 +15,17 @@ pub struct RootHint {
 }
 
 /// Static resolver configuration.
+///
+/// The struct is `#[non_exhaustive]`: construct it with
+/// [`ResolverConfig::default()`], [`ResolverConfig::with_roots()`], or
+/// the fluent [`ResolverConfig::builder()`], then adjust individual
+/// public fields. Struct-literal construction outside this crate no
+/// longer compiles, which is what lets new knobs (like [`retry`]) land
+/// without a breaking change.
+///
+/// [`retry`]: ResolverConfig::retry
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct ResolverConfig {
     /// Where resolution starts.
     pub root_hints: Vec<RootHint>,
@@ -48,6 +60,12 @@ pub struct ResolverConfig {
     /// per zone while walking referrals (probing with NS queries), in
     /// the "relaxed" style deployed resolvers use. Off by default.
     pub qname_minimization: bool,
+    /// How failed exchanges are retried, backed off, and hedged. The
+    /// default is [`RetryPolicy::none()`] — one shot per server in
+    /// referral order, exactly the historical behaviour — so pinned
+    /// traces and the Table 4 matrix are unaffected. Opt into
+    /// [`RetryPolicy::default()`] for the hardened profile.
+    pub retry: RetryPolicy,
 }
 
 impl Default for ResolverConfig {
@@ -65,6 +83,7 @@ impl Default for ResolverConfig {
             failure_ttl_secs: 30,
             error_reporting: None,
             qname_minimization: false,
+            retry: RetryPolicy::none(),
         }
     }
 }
@@ -78,11 +97,130 @@ impl ResolverConfig {
             ..Default::default()
         }
     }
+
+    /// Start a fluent builder from the defaults.
+    pub fn builder() -> ResolverConfigBuilder {
+        ResolverConfigBuilder {
+            config: ResolverConfig::default(),
+        }
+    }
+}
+
+/// Fluent builder for [`ResolverConfig`]; finish with
+/// [`build`](ResolverConfigBuilder::build).
+///
+/// ```
+/// use ede_resolver::{ResolverConfig, RetryPolicy};
+///
+/// let config = ResolverConfig::builder()
+///     .failure_ttl_secs(900)
+///     .qname_minimization(true)
+///     .retry(RetryPolicy::default())
+///     .build();
+/// assert_eq!(config.failure_ttl_secs, 900);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ResolverConfigBuilder {
+    config: ResolverConfig,
+}
+
+impl ResolverConfigBuilder {
+    /// Set the root hints.
+    pub fn root_hints(mut self, hints: Vec<RootHint>) -> Self {
+        self.config.root_hints = hints;
+        self
+    }
+
+    /// Set the DS-form trust anchors.
+    pub fn trust_anchors(mut self, anchors: Vec<Rdata>) -> Self {
+        self.config.trust_anchors = anchors;
+        self
+    }
+
+    /// Set both root hints and trust anchors in one step.
+    pub fn roots(mut self, hints: Vec<RootHint>, anchors: Vec<Rdata>) -> Self {
+        self.config.root_hints = hints;
+        self.config.trust_anchors = anchors;
+        self
+    }
+
+    /// Set the query source address.
+    pub fn source_addr(mut self, addr: IpAddr) -> Self {
+        self.config.source_addr = addr;
+        self
+    }
+
+    /// Set the referral-depth limit.
+    pub fn max_referrals(mut self, n: usize) -> Self {
+        self.config.max_referrals = n;
+        self
+    }
+
+    /// Set the out-of-bailiwick / CNAME recursion limit.
+    pub fn max_depth(mut self, n: usize) -> Self {
+        self.config.max_depth = n;
+        self
+    }
+
+    /// Set how many of a zone's NS addresses are tried.
+    pub fn max_servers_per_zone(mut self, n: usize) -> Self {
+        self.config.max_servers_per_zone = n;
+        self
+    }
+
+    /// Enable or disable the answer/failure cache.
+    pub fn enable_cache(mut self, on: bool) -> Self {
+        self.config.enable_cache = on;
+        self
+    }
+
+    /// Enable or disable RFC 8767 serve-stale.
+    pub fn serve_stale(mut self, on: bool) -> Self {
+        self.config.serve_stale = on;
+        self
+    }
+
+    /// Set the serve-stale window (seconds past expiry).
+    pub fn stale_window_secs(mut self, secs: u32) -> Self {
+        self.config.stale_window_secs = secs;
+        self
+    }
+
+    /// Set the failure-cache TTL (seconds).
+    pub fn failure_ttl_secs(mut self, secs: u32) -> Self {
+        self.config.failure_ttl_secs = secs;
+        self
+    }
+
+    /// Enable RFC 9567 error reporting toward (agent domain, agent
+    /// server address).
+    pub fn error_reporting(mut self, agent: Name, addr: IpAddr) -> Self {
+        self.config.error_reporting = Some((agent, addr));
+        self
+    }
+
+    /// Enable or disable QNAME minimization.
+    pub fn qname_minimization(mut self, on: bool) -> Self {
+        self.config.qname_minimization = on;
+        self
+    }
+
+    /// Set the retry policy.
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.config.retry = policy;
+        self
+    }
+
+    /// Finish, yielding the configuration.
+    pub fn build(self) -> ResolverConfig {
+        self.config
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::retry::ServerSelection;
 
     #[test]
     fn defaults_are_sane() {
@@ -91,5 +229,41 @@ mod tests {
         assert!(c.serve_stale);
         assert!(c.max_referrals >= 8);
         assert!(c.failure_ttl_secs > 0);
+        // The default retry policy must be the exact-compat baseline:
+        // golden traces and the Table 4 matrix depend on it.
+        assert_eq!(c.retry, RetryPolicy::none());
+    }
+
+    #[test]
+    fn builder_round_trips_every_knob() {
+        let agent: Name = "agent.example.".parse().unwrap();
+        let c = ResolverConfig::builder()
+            .source_addr("198.51.100.7".parse().unwrap())
+            .max_referrals(10)
+            .max_depth(4)
+            .max_servers_per_zone(2)
+            .enable_cache(false)
+            .serve_stale(false)
+            .stale_window_secs(60)
+            .failure_ttl_secs(900)
+            .error_reporting(agent.clone(), "203.0.113.9".parse().unwrap())
+            .qname_minimization(true)
+            .retry(RetryPolicy::default().with_hedge_rounds(2))
+            .build();
+        assert_eq!(c.source_addr.to_string(), "198.51.100.7");
+        assert_eq!(c.max_referrals, 10);
+        assert_eq!(c.max_depth, 4);
+        assert_eq!(c.max_servers_per_zone, 2);
+        assert!(!c.enable_cache);
+        assert!(!c.serve_stale);
+        assert_eq!(c.stale_window_secs, 60);
+        assert_eq!(c.failure_ttl_secs, 900);
+        assert_eq!(
+            c.error_reporting,
+            Some((agent, "203.0.113.9".parse().unwrap()))
+        );
+        assert!(c.qname_minimization);
+        assert_eq!(c.retry.hedge_rounds, 2);
+        assert_eq!(c.retry.selection, ServerSelection::SmoothedRtt);
     }
 }

@@ -4,6 +4,7 @@
 use crate::config::ResolverConfig;
 use crate::diagnosis::{Diagnosis, Finding, NegativeKind, NsEvent, NsFailure, ValidationState};
 use crate::profiles::ValidatorCaps;
+use crate::retry::{ServerSelection, SrttTable};
 use crate::validate::{
     advisory_answer_key_check, check_negative, check_rrset, collate, validate_dnskey, PublishedKey,
 };
@@ -119,6 +120,9 @@ pub struct Engine<'a> {
     pub key_cache: &'a KeyCache,
     /// Query ID source.
     pub ids: &'a AtomicU16,
+    /// Shared per-address smoothed-RTT table (feeds
+    /// [`ServerSelection::SmoothedRtt`]).
+    pub srtt: &'a SrttTable,
 }
 
 /// Outcome of querying a server set.
@@ -138,8 +142,54 @@ impl<'a> Engine<'a> {
         self.net.clock().now_secs()
     }
 
-    /// Ask each address in `servers` (bounded by config) until one gives
-    /// a usable response.
+    /// One transport exchange with truncation fallback: when the UDP
+    /// reply carries TC=1 and the policy allows it, announce a
+    /// [`TraceEvent::TcFallback`] and re-ask the same server over the
+    /// stream (TCP-analogue) channel.
+    fn transact(
+        &self,
+        addr: IpAddr,
+        query: &Message,
+        diag: &Diagnosis,
+    ) -> Result<Message, NetError> {
+        match self.net.query(addr, self.config.source_addr, query) {
+            Ok(resp) if resp.truncated && self.config.retry.tc_fallback => {
+                let tracer = diag.tracer();
+                if tracer.enabled() {
+                    tracer.emit(TraceEvent::TcFallback {
+                        dst: addr,
+                        qname: if tracer.wants_query_detail() {
+                            query
+                                .first_question()
+                                .map(|q| q.name.to_string())
+                                .unwrap_or_default()
+                        } else {
+                            String::new()
+                        },
+                        // Only the TC bit is visible here; the full
+                        // answer's size is the stream reply's business.
+                        size: 0,
+                        limit: query.advertised_payload_size(),
+                    });
+                }
+                self.net.query_stream(addr, self.config.source_addr, query)
+            }
+            other => other,
+        }
+    }
+
+    /// Ask the zone's server set until one gives a usable response,
+    /// following the configured [`RetryPolicy`]: server ordering,
+    /// same-server retries for transient failures (timeouts and
+    /// FORMERR), jittered backoff that advances the virtual clock, and
+    /// hedged extra rounds after a full-set failure.
+    ///
+    /// With [`RetryPolicy::none()`] — the default — this reduces
+    /// exactly to the historical behaviour: each address once, in
+    /// referral order, one `Retry` event per server change.
+    ///
+    /// [`RetryPolicy`]: crate::retry::RetryPolicy
+    /// [`RetryPolicy::none()`]: crate::retry::RetryPolicy::none
     fn query_set(
         &self,
         servers: &[IpAddr],
@@ -147,57 +197,138 @@ impl<'a> Engine<'a> {
         qtype: RrType,
         diag: &mut Diagnosis,
     ) -> SetQuery {
-        let mut any_rcode_failure = false;
-        for (attempt, &addr) in servers
-            .iter()
-            .take(self.config.max_servers_per_zone)
-            .enumerate()
-        {
-            if attempt > 0 {
-                diag.tracer().emit(TraceEvent::Retry {
-                    attempt,
-                    next: addr,
-                });
+        let policy = &self.config.retry;
+        let order: Vec<IpAddr> = match policy.selection {
+            ServerSelection::Static => servers
+                .iter()
+                .copied()
+                .take(self.config.max_servers_per_zone)
+                .collect(),
+            ServerSelection::SmoothedRtt => {
+                self.srtt.order(servers, self.config.max_servers_per_zone)
             }
-            let query = Message::iterative_query(self.next_id(), qname.clone(), qtype);
-            match self.net.query(addr, self.config.source_addr, &query) {
-                Ok(resp) => {
-                    if resp.edns.is_none() {
-                        // Pre-EDNS server: the response is unusable for a
-                        // DO-bit pipeline (§4.2.6 Invalid Data).
-                        diag.add(Finding::EdnsNotSupported { addr });
-                        diag.add_event(NsEvent {
-                            addr,
-                            failure: NsFailure::NoEdns,
-                            qname: qname.clone(),
-                            qtype,
-                        });
-                        continue;
+        };
+        let mut any_rcode_failure = false;
+        // Hedging only helps against luck: if every failure was the
+        // server's considered opinion (REFUSED, unroutable glue, ...),
+        // sweeping the set again cannot change the outcome.
+        let mut any_transient = false;
+        let mut attempt = 0usize; // overall, across rounds
+        let mut streak = 0u32; // consecutive transient failures
+        for round in 0..=policy.hedge_rounds {
+            if round > 0 && !any_transient {
+                break;
+            }
+            for &addr in &order {
+                let mut tries = 0usize; // same-server retries used
+                loop {
+                    if attempt > 0 {
+                        if round > 0 {
+                            diag.tracer().emit(TraceEvent::Hedge {
+                                attempt,
+                                next: addr,
+                            });
+                        } else {
+                            diag.tracer().emit(TraceEvent::Retry {
+                                attempt,
+                                next: addr,
+                            });
+                        }
+                        let wait = policy.backoff_ms(streak, addr, attempt);
+                        if wait > 0 {
+                            self.net.clock().advance_millis(wait);
+                        }
                     }
-                    if let Some(failure) = NsFailure::from_rcode(resp.rcode) {
-                        any_rcode_failure |= failure.is_rcode_failure();
-                        diag.add_event(NsEvent {
-                            addr,
-                            failure,
-                            qname: qname.clone(),
-                            qtype,
-                        });
-                        continue;
+                    attempt += 1;
+                    let query = Message::iterative_query(self.next_id(), qname.clone(), qtype);
+                    let sent_ms = self.net.clock().now_millis();
+                    match self.transact(addr, &query, diag) {
+                        Ok(resp) => {
+                            if resp.truncated {
+                                // TC=1 with fallback disabled: the
+                                // size problem is deterministic, so
+                                // move on to the next server.
+                                diag.add_event(NsEvent {
+                                    addr,
+                                    failure: NsFailure::Truncated,
+                                    qname: qname.clone(),
+                                    qtype,
+                                });
+                                break;
+                            }
+                            if resp.edns.is_none() {
+                                // Pre-EDNS server: the response is unusable for a
+                                // DO-bit pipeline (§4.2.6 Invalid Data).
+                                diag.add(Finding::EdnsNotSupported { addr });
+                                diag.add_event(NsEvent {
+                                    addr,
+                                    failure: NsFailure::NoEdns,
+                                    qname: qname.clone(),
+                                    qtype,
+                                });
+                                break;
+                            }
+                            if let Some(failure) = NsFailure::from_rcode(resp.rcode) {
+                                any_rcode_failure |= failure.is_rcode_failure();
+                                diag.add_event(NsEvent {
+                                    addr,
+                                    failure,
+                                    qname: qname.clone(),
+                                    qtype,
+                                });
+                                if failure == NsFailure::FormErr
+                                    && tries < policy.retries_per_server
+                                {
+                                    // The signature of datagram
+                                    // corruption: a clean retry may
+                                    // get through.
+                                    any_transient = true;
+                                    streak += 1;
+                                    tries += 1;
+                                    continue;
+                                }
+                                break;
+                            }
+                            if policy.selection == ServerSelection::SmoothedRtt {
+                                let elapsed = self.net.clock().now_millis().saturating_sub(sent_ms);
+                                self.srtt.observe(addr, elapsed);
+                            }
+                            return SetQuery::Answered(resp, addr);
+                        }
+                        Err(NetError::Unroutable) => {
+                            diag.add_event(NsEvent {
+                                addr,
+                                failure: NsFailure::Unroutable,
+                                qname: qname.clone(),
+                                qtype,
+                            });
+                            // Special-purpose address: can never route,
+                            // retrying is pointless.
+                            break;
+                        }
+                        Err(NetError::Timeout) => {
+                            diag.add_event(NsEvent {
+                                addr,
+                                failure: NsFailure::Timeout,
+                                qname: qname.clone(),
+                                qtype,
+                            });
+                            any_transient = true;
+                            streak += 1;
+                            if policy.selection == ServerSelection::SmoothedRtt {
+                                // Charge the full wait so dead servers
+                                // sink in future orderings.
+                                let elapsed = self.net.clock().now_millis().saturating_sub(sent_ms);
+                                self.srtt.observe(addr, elapsed);
+                            }
+                            if tries < policy.retries_per_server {
+                                tries += 1;
+                                continue;
+                            }
+                            break;
+                        }
                     }
-                    return SetQuery::Answered(resp, addr);
                 }
-                Err(NetError::Unroutable) => diag.add_event(NsEvent {
-                    addr,
-                    failure: NsFailure::Unroutable,
-                    qname: qname.clone(),
-                    qtype,
-                }),
-                Err(NetError::Timeout) => diag.add_event(NsEvent {
-                    addr,
-                    failure: NsFailure::Timeout,
-                    qname: qname.clone(),
-                    qtype,
-                }),
             }
         }
         SetQuery::AllFailed { any_rcode_failure }
@@ -242,23 +373,56 @@ impl<'a> Engine<'a> {
         }
 
         let mut sub = Diagnosis::with_tracer(diag.tracer().clone());
-        let query = Message::iterative_query(self.next_id(), zone.clone(), RrType::Dnskey);
-        let fetched = match self.net.query(server, self.config.source_addr, &query) {
-            Ok(resp) => {
-                if let Some(failure) = NsFailure::from_rcode(resp.rcode) {
-                    sub.add_event(NsEvent {
-                        addr: server,
-                        failure,
-                        qname: zone.clone(),
-                        qtype: RrType::Dnskey,
-                    });
-                    Err(failure)
-                } else {
-                    Ok(resp)
+        // DNSKEY fetches follow the retry policy too: a lost DNSKEY
+        // response would otherwise turn a perfectly healthy zone Bogus.
+        // DNSKEY RRsets are also the classic oversized answer, so the
+        // truncation fallback in `transact` matters most right here.
+        let policy = &self.config.retry;
+        let mut tries = 0usize;
+        let mut streak = 0u32;
+        let fetched = loop {
+            if tries > 0 {
+                sub.tracer().emit(TraceEvent::Retry {
+                    attempt: tries,
+                    next: server,
+                });
+                let wait = policy.backoff_ms(streak, server, tries);
+                if wait > 0 {
+                    self.net.clock().advance_millis(wait);
                 }
             }
-            Err(NetError::Unroutable) => Err(NsFailure::Unroutable),
-            Err(NetError::Timeout) => Err(NsFailure::Timeout),
+            let query = Message::iterative_query(self.next_id(), zone.clone(), RrType::Dnskey);
+            match self.transact(server, &query, &sub) {
+                Ok(resp) => {
+                    if resp.truncated {
+                        break Err(NsFailure::Truncated);
+                    }
+                    if let Some(failure) = NsFailure::from_rcode(resp.rcode) {
+                        sub.add_event(NsEvent {
+                            addr: server,
+                            failure,
+                            qname: zone.clone(),
+                            qtype: RrType::Dnskey,
+                        });
+                        if failure == NsFailure::FormErr && tries < policy.retries_per_server {
+                            streak += 1;
+                            tries += 1;
+                            continue;
+                        }
+                        break Err(failure);
+                    }
+                    break Ok(resp);
+                }
+                Err(NetError::Unroutable) => break Err(NsFailure::Unroutable),
+                Err(NetError::Timeout) => {
+                    streak += 1;
+                    if tries < policy.retries_per_server {
+                        tries += 1;
+                        continue;
+                    }
+                    break Err(NsFailure::Timeout);
+                }
+            }
         };
 
         let (trusted, published) = match fetched {

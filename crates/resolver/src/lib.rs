@@ -42,9 +42,11 @@ pub mod policy;
 pub mod profiles;
 pub mod reporting;
 pub mod resolver;
+pub mod retry;
 pub mod validate;
 
-pub use config::ResolverConfig;
+pub use config::{ResolverConfig, ResolverConfigBuilder};
 pub use diagnosis::{Diagnosis, Finding, NsFailure, ValidationState};
 pub use profiles::{Vendor, VendorProfile};
 pub use resolver::{Resolution, Resolver};
+pub use retry::{RetryPolicy, ServerSelection, SrttTable};

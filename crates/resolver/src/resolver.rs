@@ -6,6 +6,7 @@ use crate::diagnosis::{Diagnosis, Finding, ValidationState};
 use crate::iterative::{Engine, KeyCache};
 use crate::policy::{Policy, PolicyAction};
 use crate::profiles::VendorProfile;
+use crate::retry::SrttTable;
 use ede_netsim::Network;
 use ede_trace::{CacheOutcome, TraceEvent, Tracer};
 use ede_wire::{EdeEntry, Edns, Message, Name, Rcode, Record, RrType};
@@ -62,6 +63,7 @@ pub struct Resolver {
     cache: Cache,
     key_cache: KeyCache,
     ids: AtomicU16,
+    srtt: SrttTable,
 }
 
 impl Resolver {
@@ -76,6 +78,7 @@ impl Resolver {
             cache,
             key_cache: KeyCache::new(),
             ids: AtomicU16::new(1),
+            srtt: SrttTable::new(),
         }
     }
 
@@ -98,6 +101,7 @@ impl Resolver {
     pub fn flush(&self) {
         self.cache.clear();
         self.key_cache.clear();
+        self.srtt.clear();
     }
 
     /// Resolve one (name, type) with full recursion, validation, policy,
@@ -176,6 +180,7 @@ impl Resolver {
             caps: &self.profile.caps,
             key_cache: &self.key_cache,
             ids: &self.ids,
+            srtt: &self.srtt,
         };
         let outcome = engine.resolve(qname, qtype, &mut diag, 0);
 

@@ -1,0 +1,310 @@
+//! Retry hardening: an explicit, deterministic policy for how the
+//! engine walks a server set when exchanges fail.
+//!
+//! The policy replaces the old ad-hoc "try each address once, in
+//! referral order" iteration with four orthogonal knobs:
+//!
+//! * **Same-server retries** for *transient* failures (timeouts and
+//!   FORMERR, the signatures of datagram loss and corruption). A
+//!   REFUSED or SERVFAIL is the server's considered opinion and is
+//!   never retried on the same address.
+//! * **Exponential backoff with deterministic jitter.** Waits advance
+//!   the shared virtual clock, so hardened runs remain bit-reproducible
+//!   for a given seed: the jitter is a hash of `(seed, addr, attempt)`,
+//!   not a random draw.
+//! * **Server selection.** [`ServerSelection::Static`] preserves the
+//!   referral order exactly (the historical behaviour);
+//!   [`ServerSelection::SmoothedRtt`] sorts the set by a per-address
+//!   smoothed RTT estimate, preferring servers that answered quickly
+//!   before. The sort is stable and unknown addresses estimate to zero,
+//!   so a fresh resolver behaves identically to `Static` — the
+//!   zero-fault invariance property in `tests/robustness.rs` leans on
+//!   this.
+//! * **Hedged rounds.** After the whole set fails with at least one
+//!   transient failure, the engine may sweep the set again (the
+//!   failures may have been bad luck, not dead servers). Rounds beyond
+//!   the first emit [`TraceEvent::Hedge`] instead of `Retry`.
+//!
+//! [`RetryPolicy::none()`] disables all four and reproduces the
+//! pre-policy engine byte for byte; it is the [`ResolverConfig`]
+//! default so that pinned golden traces and the Table 4 matrix are
+//! unaffected. [`RetryPolicy::default()`] is the hardened profile used
+//! by the chaos campaigns.
+//!
+//! [`ResolverConfig`]: crate::config::ResolverConfig
+//! [`TraceEvent::Hedge`]: ede_trace::TraceEvent::Hedge
+
+use std::collections::HashMap;
+use std::net::IpAddr;
+use std::sync::Mutex;
+
+/// How a server set is ordered before querying.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ServerSelection {
+    /// Referral order, exactly as the parent zone listed the NS set.
+    Static,
+    /// Lowest smoothed RTT first. The sort is stable and unmeasured
+    /// addresses estimate to zero, so new servers are explored ahead of
+    /// known-slow ones and a fresh table degenerates to `Static`.
+    SmoothedRtt,
+}
+
+/// How the engine retries, backs off, orders, and hedges a server set.
+///
+/// Construct with [`RetryPolicy::none()`] (exact-compatibility
+/// baseline), [`RetryPolicy::default()`] (hardened), or the fluent
+/// `with_*` methods; the struct is `#[non_exhaustive]` so fields can
+/// grow without breaking callers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct RetryPolicy {
+    /// Extra attempts on the *same* server after a transient failure
+    /// (timeout or FORMERR). `0` means one shot per server.
+    pub retries_per_server: usize,
+    /// First backoff wait. `0` disables backoff entirely.
+    pub backoff_base_ms: u64,
+    /// Ceiling for the exponential backoff.
+    pub backoff_max_ms: u64,
+    /// Seed for the deterministic jitter hash.
+    pub jitter_seed: u64,
+    /// Extra full sweeps of the server set after everything failed and
+    /// at least one failure was transient. `0` means a single sweep.
+    pub hedge_rounds: usize,
+    /// Server-ordering strategy.
+    pub selection: ServerSelection,
+    /// Re-ask over the stream channel when a reply has the TC bit set.
+    pub tc_fallback: bool,
+}
+
+impl Default for RetryPolicy {
+    /// The hardened profile: two same-server retries, 200 ms → 3 s
+    /// jittered backoff, one hedged round, smoothed-RTT selection, and
+    /// truncation fallback.
+    fn default() -> Self {
+        RetryPolicy {
+            retries_per_server: 2,
+            backoff_base_ms: 200,
+            backoff_max_ms: 3_000,
+            jitter_seed: 0x0EDE,
+            hedge_rounds: 1,
+            selection: ServerSelection::SmoothedRtt,
+            tc_fallback: true,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The exact-compatibility baseline: one shot per server in
+    /// referral order, no backoff, no hedging. Truncation fallback
+    /// stays on — without a stream channel a TC=1 reply is a dead end,
+    /// and no pinned scenario produces one. This is what
+    /// [`ResolverConfig::default()`](crate::config::ResolverConfig)
+    /// uses, so default-config resolutions are byte-identical to the
+    /// pre-policy engine.
+    pub fn none() -> Self {
+        RetryPolicy {
+            retries_per_server: 0,
+            backoff_base_ms: 0,
+            backoff_max_ms: 0,
+            jitter_seed: 0x0EDE,
+            hedge_rounds: 0,
+            selection: ServerSelection::Static,
+            tc_fallback: true,
+        }
+    }
+
+    /// Alias for [`Default::default`], for symmetry with [`none`].
+    ///
+    /// [`none`]: RetryPolicy::none
+    pub fn hardened() -> Self {
+        Self::default()
+    }
+
+    /// Set the number of same-server retries for transient failures.
+    pub fn with_retries_per_server(mut self, n: usize) -> Self {
+        self.retries_per_server = n;
+        self
+    }
+
+    /// Set the backoff base and ceiling (milliseconds).
+    pub fn with_backoff_ms(mut self, base: u64, max: u64) -> Self {
+        self.backoff_base_ms = base;
+        self.backoff_max_ms = max.max(base);
+        self
+    }
+
+    /// Set the jitter seed.
+    pub fn with_jitter_seed(mut self, seed: u64) -> Self {
+        self.jitter_seed = seed;
+        self
+    }
+
+    /// Set the number of hedged rounds.
+    pub fn with_hedge_rounds(mut self, n: usize) -> Self {
+        self.hedge_rounds = n;
+        self
+    }
+
+    /// Set the server-selection strategy.
+    pub fn with_selection(mut self, selection: ServerSelection) -> Self {
+        self.selection = selection;
+        self
+    }
+
+    /// Enable or disable truncation (TC bit → stream) fallback.
+    pub fn with_tc_fallback(mut self, on: bool) -> Self {
+        self.tc_fallback = on;
+        self
+    }
+
+    /// The wait before the attempt that follows `streak` consecutive
+    /// transient failures, jittered deterministically by `(addr,
+    /// attempt)`. Zero when backoff is disabled or nothing has failed
+    /// yet.
+    ///
+    /// The full wait doubles per failure (`base << (streak-1)`, capped
+    /// at `backoff_max_ms`) and the jittered wait lands in
+    /// `[full/2, full)` — decorrelated across servers and attempts but
+    /// identical across runs.
+    pub fn backoff_ms(&self, streak: u32, addr: IpAddr, attempt: usize) -> u64 {
+        if self.backoff_base_ms == 0 || streak == 0 {
+            return 0;
+        }
+        let exp = streak.saturating_sub(1).min(16);
+        let full = self
+            .backoff_base_ms
+            .saturating_mul(1u64 << exp)
+            .min(self.backoff_max_ms.max(self.backoff_base_ms));
+        let half = (full / 2).max(1);
+        half + self.jitter(addr, attempt) % half
+    }
+
+    /// FNV-1a over `(seed, addr, attempt)` — the deterministic stand-in
+    /// for random jitter.
+    fn jitter(&self, addr: IpAddr, attempt: usize) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |byte: u8| {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for b in self.jitter_seed.to_le_bytes() {
+            eat(b);
+        }
+        match addr {
+            IpAddr::V4(v4) => v4.octets().iter().for_each(|&b| eat(b)),
+            IpAddr::V6(v6) => v6.octets().iter().for_each(|&b| eat(b)),
+        }
+        for b in (attempt as u64).to_le_bytes() {
+            eat(b);
+        }
+        h
+    }
+}
+
+/// Per-address smoothed-RTT table (RFC 6298-style EWMA, gain 1/8),
+/// shared by every resolution of one resolver. Timeouts feed the full
+/// elapsed wait back as a sample, so dead servers sink to the bottom of
+/// [`ServerSelection::SmoothedRtt`] orderings.
+#[derive(Debug, Default)]
+pub struct SrttTable {
+    inner: Mutex<HashMap<IpAddr, u64>>,
+}
+
+impl SrttTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feed one RTT sample (milliseconds): `srtt' = (7·srtt + sample)/8`,
+    /// or the raw sample for a first observation.
+    pub fn observe(&self, addr: IpAddr, sample_ms: u64) {
+        let mut inner = self.inner.lock().expect("no poisoning");
+        let slot = inner.entry(addr).or_insert(sample_ms);
+        *slot = (7 * *slot + sample_ms) / 8;
+    }
+
+    /// Current estimate, if the address has been measured.
+    pub fn get(&self, addr: IpAddr) -> Option<u64> {
+        self.inner.lock().expect("no poisoning").get(&addr).copied()
+    }
+
+    /// Order `servers` by ascending estimate (unmeasured = 0) with a
+    /// stable sort, then truncate to `max`. With an empty table this
+    /// returns the first `max` addresses in their given order.
+    pub fn order(&self, servers: &[IpAddr], max: usize) -> Vec<IpAddr> {
+        let inner = self.inner.lock().expect("no poisoning");
+        let mut out: Vec<IpAddr> = servers.to_vec();
+        out.sort_by_key(|a| inner.get(a).copied().unwrap_or(0));
+        out.truncate(max);
+        out
+    }
+
+    /// Drop all estimates.
+    pub fn clear(&self) {
+        self.inner.lock().expect("no poisoning").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(s: &str) -> IpAddr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn none_policy_never_waits() {
+        let p = RetryPolicy::none();
+        assert_eq!(p.retries_per_server, 0);
+        assert_eq!(p.hedge_rounds, 0);
+        assert_eq!(p.selection, ServerSelection::Static);
+        for streak in 0..5 {
+            assert_eq!(p.backoff_ms(streak, ip("192.0.2.1"), 3), 0);
+        }
+    }
+
+    #[test]
+    fn backoff_grows_caps_and_is_deterministic() {
+        let p = RetryPolicy::default();
+        let a = ip("192.0.2.1");
+        assert_eq!(p.backoff_ms(0, a, 0), 0, "no failures, no wait");
+        let mut prev_full = 0;
+        for streak in 1..=8 {
+            let w = p.backoff_ms(streak, a, 1);
+            let full = (p.backoff_base_ms << (streak - 1)).min(p.backoff_max_ms);
+            assert!(
+                (full / 2..full.max(full / 2 + 1)).contains(&w),
+                "streak {streak}: {w} outside [{}, {full})",
+                full / 2
+            );
+            assert!(full >= prev_full, "full wait must be monotone");
+            prev_full = full;
+            assert_eq!(w, p.backoff_ms(streak, a, 1), "same inputs, same wait");
+        }
+        // Jitter decorrelates servers and attempts.
+        assert_ne!(
+            p.backoff_ms(3, ip("192.0.2.1"), 1),
+            p.backoff_ms(3, ip("192.0.2.2"), 1)
+        );
+        assert_ne!(p.backoff_ms(3, a, 1), p.backoff_ms(3, a, 2));
+    }
+
+    #[test]
+    fn srtt_is_an_ewma_and_orders_stably() {
+        let t = SrttTable::new();
+        let (a, b, c) = (ip("192.0.2.1"), ip("192.0.2.2"), ip("192.0.2.3"));
+        // Fresh table: given order survives, bounded by max.
+        assert_eq!(t.order(&[a, b, c], 2), vec![a, b]);
+        t.observe(b, 80);
+        assert_eq!(t.get(b), Some(80), "first sample taken raw");
+        t.observe(b, 0);
+        assert_eq!(t.get(b), Some(70), "(7*80 + 0) / 8");
+        // Unmeasured servers (estimate 0) explore ahead of measured ones.
+        assert_eq!(t.order(&[b, a, c], 3), vec![a, c, b]);
+        t.clear();
+        assert_eq!(t.get(b), None);
+    }
+}

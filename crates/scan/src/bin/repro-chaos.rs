@@ -1,0 +1,92 @@
+//! Sweep fault-plan intensity over the scan world and report how the
+//! EDE-code inventory shifts — the robustness companion to repro-scan.
+//!
+//! Usage: repro-chaos \[scale\] \[--seed N\] \[--smoke\]
+//!
+//! * `scale` — population scale divisor (default 10000, ≈30k domains;
+//!   repro-scan's paper-shape default is 1000).
+//! * `--seed N` — fault-plan / jitter seed (default 0x0EDEFA17). Legs
+//!   are bit-stable per seed.
+//! * `--smoke` — tiny population and a short sweep, for CI.
+//!
+//! Before sweeping, the run proves the hardening left the paper's
+//! results untouched: the 63 × 7 testbed matrix must equal Table 4 cell
+//! by cell, and the intensity-0 leg must be bit-identical to a plain
+//! repro-scan.
+
+use ede_scan::chaos::{baseline_matches_plain_scan, campaign, table4_deviation, ChaosConfig};
+use ede_scan::{Population, PopulationConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let seed: u64 = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0x0EDE_FA17);
+    let scale: u32 = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .find_map(|a| a.parse().ok())
+        .unwrap_or(10_000);
+
+    let pop = if smoke {
+        Population::generate(PopulationConfig::tiny())
+    } else {
+        let cfg = PopulationConfig {
+            scale,
+            ..Default::default()
+        };
+        eprintln!("generating population at scale 1:{scale}...");
+        Population::generate(cfg)
+    };
+    eprintln!("{} domains", pop.domains.len());
+
+    let config = ChaosConfig::default()
+        .with_seed(seed)
+        .with_intensities(if smoke {
+            vec![0.0, 0.05]
+        } else {
+            vec![0.0, 0.01, 0.02, 0.05, 0.10]
+        });
+
+    eprintln!("checking the Table 4 matrix at intensity 0...");
+    let deviations = table4_deviation();
+    if !deviations.is_empty() {
+        for d in &deviations {
+            eprintln!("  table4 deviation: {d}");
+        }
+        eprintln!("FAIL: {} Table 4 cells deviate", deviations.len());
+        std::process::exit(1);
+    }
+    eprintln!("  ok: 63 x 7 cells bit-identical");
+
+    eprintln!("checking the intensity-0 leg against a plain scan...");
+    let diffs = baseline_matches_plain_scan(&pop, &config);
+    if !diffs.is_empty() {
+        for d in &diffs {
+            eprintln!("  baseline deviation: {d}");
+        }
+        eprintln!("FAIL: intensity-0 leg is not the plain scan");
+        std::process::exit(1);
+    }
+    eprintln!("  ok: bit-identical observations, traffic, and metrics");
+
+    eprintln!("sweeping fault intensity (seed {seed:#x})...");
+    let report = campaign(&pop, &config);
+    for leg in &report.legs {
+        let bad = leg.reconcile();
+        if !bad.is_empty() {
+            for b in &bad {
+                eprintln!(
+                    "  reconciliation failure at intensity {}: {b}",
+                    leg.intensity
+                );
+            }
+            std::process::exit(1);
+        }
+    }
+    print!("{}", report.render());
+}

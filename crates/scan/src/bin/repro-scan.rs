@@ -17,10 +17,7 @@ fn main() {
     eprintln!("{} domains; building world...", pop.domains.len());
     let world = ScanWorld::build(&pop);
     eprintln!("scanning...");
-    let config = scanner::ScanConfig {
-        progress: !json,
-        ..Default::default()
-    };
+    let config = scanner::ScanConfig::builder().progress(!json).build();
     let result = scanner::scan(&pop, &world, &config);
     let agg = aggregate::aggregate(&pop, &result);
     if json {

@@ -1,0 +1,365 @@
+//! Chaos campaigns: sweep the fault-plan intensity over the scan world
+//! and report how the EDE-code inventory shifts.
+//!
+//! A campaign runs one scan *leg* per requested intensity, each on a
+//! fresh [`ScanWorld`] built from the same population (flap state and
+//! the virtual clock are part of a scan, so worlds are never reused):
+//!
+//! * The **intensity-0 leg** runs with the default [`ScanConfig`] and
+//!   no fault plan attached — byte for byte the plain `repro-scan`
+//!   configuration. [`baseline_matches_plain_scan`] asserts the
+//!   equivalence by actually running both.
+//! * **Degraded legs** attach [`FaultPlan::intensity`] to the world and
+//!   scan with a single worker and a hardened [`RetryPolicy`]. One
+//!   worker keeps the interleaving of fault decisions with the shared
+//!   virtual clock deterministic, so each leg is bit-stable for a given
+//!   seed (see `docs/ROBUSTNESS.md` for why this caveat exists).
+//!
+//! The per-leg report carries the code inventory, the resolved
+//! fraction, and the retry/hedge/TC-fallback/fault counters from both
+//! the metrics registry and the transport accounting — the two are
+//! reconciled in [`ChaosLeg::reconcile`].
+
+use crate::aggregate::aggregate;
+use crate::population::Population;
+use crate::scanner::{scan, ScanConfig};
+use crate::world::ScanWorld;
+use ede_netsim::{FaultPlan, TrafficSnapshot};
+use ede_resolver::{RetryPolicy, Vendor};
+use ede_trace::MetricsSnapshot;
+use ede_wire::Rcode;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Campaign parameters.
+///
+/// `#[non_exhaustive]`: construct with [`ChaosConfig::default()`] and
+/// the fluent `with_*` methods.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct ChaosConfig {
+    /// Seed for the fault plans (and the hardened policy's jitter).
+    pub seed: u64,
+    /// Fault intensities to sweep, one leg each. `0.0` is the baseline.
+    pub intensities: Vec<f64>,
+    /// Vendor profile to scan with.
+    pub vendor: Vendor,
+    /// Retry policy for the degraded (intensity > 0) legs.
+    pub retry: RetryPolicy,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 0x0EDE_FA17,
+            intensities: vec![0.0, 0.02, 0.05, 0.10],
+            vendor: Vendor::Cloudflare,
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+impl ChaosConfig {
+    /// Set the fault seed (also used for retry jitter).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self.retry = self.retry.with_jitter_seed(seed);
+        self
+    }
+
+    /// Set the intensity sweep.
+    pub fn with_intensities(mut self, intensities: Vec<f64>) -> Self {
+        self.intensities = intensities;
+        self
+    }
+
+    /// Set the vendor profile.
+    pub fn with_vendor(mut self, vendor: Vendor) -> Self {
+        self.vendor = vendor;
+        self
+    }
+
+    /// Set the retry policy used by degraded legs.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+}
+
+/// One leg of the sweep: a full scan at one fault intensity.
+#[derive(Debug, Clone)]
+pub struct ChaosLeg {
+    /// The injected intensity.
+    pub intensity: f64,
+    /// Domains whose final RCODE was not SERVFAIL.
+    pub resolved: usize,
+    /// Total domains scanned.
+    pub total: usize,
+    /// EDE-code inventory: code → number of carrying domains.
+    pub per_code: BTreeMap<u16, usize>,
+    /// Metrics collected through the trace pipeline.
+    pub metrics: MetricsSnapshot,
+    /// Transport-level accounting.
+    pub traffic: TrafficSnapshot,
+}
+
+impl ChaosLeg {
+    /// Fraction of domains resolved (any RCODE but SERVFAIL).
+    pub fn resolved_fraction(&self) -> f64 {
+        if self.total == 0 {
+            return 1.0;
+        }
+        self.resolved as f64 / self.total as f64
+    }
+
+    /// Cross-check the trace-pipeline counters against the transport
+    /// accounting; returns the mismatches (empty when they reconcile).
+    ///
+    /// * every transport query is a `QuerySent` event;
+    /// * every stream query was caused by exactly one TC fallback;
+    /// * every fault decision produced exactly one `FaultInjected`.
+    pub fn reconcile(&self) -> Vec<String> {
+        let mut bad = Vec::new();
+        if self.metrics.queries_sent != self.traffic.queries {
+            bad.push(format!(
+                "queries: metrics {} != traffic {}",
+                self.metrics.queries_sent, self.traffic.queries
+            ));
+        }
+        if self.metrics.tc_fallbacks != self.traffic.stream_queries {
+            bad.push(format!(
+                "tc-fallbacks: metrics {} != stream queries {}",
+                self.metrics.tc_fallbacks, self.traffic.stream_queries
+            ));
+        }
+        if self.metrics.faults_injected != self.traffic.faults {
+            bad.push(format!(
+                "faults: metrics {} != traffic {}",
+                self.metrics.faults_injected, self.traffic.faults
+            ));
+        }
+        bad
+    }
+}
+
+/// The whole sweep.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// One leg per intensity, in sweep order.
+    pub legs: Vec<ChaosLeg>,
+}
+
+impl ChaosReport {
+    /// Render an operator-facing table: per leg, the resolved fraction,
+    /// hardening counters, and how the code inventory shifted relative
+    /// to the first (baseline) leg.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:>9}  {:>9}  {:>8}  {:>7}  {:>7}  {:>9}  {:>7}  inventory shift vs baseline",
+            "intensity", "resolved", "fraction", "retries", "hedges", "tc-fallbk", "faults"
+        );
+        let baseline = self.legs.first().map(|l| l.per_code.clone());
+        for leg in &self.legs {
+            let mut shift = String::new();
+            if let Some(base) = &baseline {
+                let codes: std::collections::BTreeSet<u16> =
+                    base.keys().chain(leg.per_code.keys()).copied().collect();
+                for code in codes {
+                    let before = base.get(&code).copied().unwrap_or(0) as i64;
+                    let after = leg.per_code.get(&code).copied().unwrap_or(0) as i64;
+                    if after != before {
+                        let _ = write!(shift, " {code}:{:+}", after - before);
+                    }
+                }
+            }
+            if shift.is_empty() {
+                shift = " (none)".to_string();
+            }
+            let _ = writeln!(
+                out,
+                "{:>9.3}  {:>9}  {:>7.2}%  {:>7}  {:>7}  {:>9}  {:>7} {}",
+                leg.intensity,
+                leg.resolved,
+                100.0 * leg.resolved_fraction(),
+                leg.metrics.retries,
+                leg.metrics.hedges,
+                leg.metrics.tc_fallbacks,
+                leg.metrics.faults_injected,
+                shift
+            );
+        }
+        out
+    }
+}
+
+/// Run one leg: build a fresh world, attach the fault plan (noop plans
+/// are dropped by the network), scan, and summarize.
+fn run_leg(pop: &Population, config: &ChaosConfig, intensity: f64) -> ChaosLeg {
+    let world = ScanWorld::build(pop);
+    let scan_cfg = if intensity == 0.0 {
+        // The baseline leg IS the plain repro-scan configuration.
+        ScanConfig::builder().vendor(config.vendor).build()
+    } else {
+        world
+            .net
+            .set_fault_plan(FaultPlan::intensity(config.seed, intensity));
+        // One worker: fault decisions are interleaved with the shared
+        // virtual clock, so per-seed bit-stability needs a serial scan.
+        ScanConfig::builder()
+            .workers(1)
+            .vendor(config.vendor)
+            .retry(config.retry.clone())
+            .build()
+    };
+    let result = scan(pop, &world, &scan_cfg);
+    let agg = aggregate(pop, &result);
+    let resolved = result
+        .observations
+        .iter()
+        .filter(|o| o.rcode != Rcode::ServFail)
+        .count();
+    ChaosLeg {
+        intensity,
+        resolved,
+        total: result.observations.len(),
+        per_code: agg.per_code,
+        metrics: result.metrics,
+        traffic: result.traffic_full,
+    }
+}
+
+/// Run the whole sweep.
+pub fn campaign(pop: &Population, config: &ChaosConfig) -> ChaosReport {
+    ChaosReport {
+        legs: config
+            .intensities
+            .iter()
+            .map(|&i| run_leg(pop, config, i))
+            .collect(),
+    }
+}
+
+/// Assert (by running both) that the intensity-0 leg is bit-identical
+/// to a plain scan: same observations, same inventory, same traffic.
+/// Returns the differences; empty means identical.
+pub fn baseline_matches_plain_scan(pop: &Population, config: &ChaosConfig) -> Vec<String> {
+    let plain_world = ScanWorld::build(pop);
+    let plain = scan(
+        pop,
+        &plain_world,
+        &ScanConfig::builder().vendor(config.vendor).build(),
+    );
+    let leg_world = ScanWorld::build(pop);
+    leg_world
+        .net
+        .set_fault_plan(FaultPlan::intensity(config.seed, 0.0));
+    let leg = scan(
+        pop,
+        &leg_world,
+        &ScanConfig::builder().vendor(config.vendor).build(),
+    );
+    let mut bad = Vec::new();
+    if plain.observations != leg.observations {
+        bad.push("observations differ at intensity 0".to_string());
+    }
+    if plain.traffic != leg.traffic {
+        bad.push(format!(
+            "traffic differs at intensity 0: {:?} != {:?}",
+            plain.traffic, leg.traffic
+        ));
+    }
+    if plain.metrics != leg.metrics {
+        bad.push("metrics differ at intensity 0".to_string());
+    }
+    bad
+}
+
+/// Compute the 63 × 7 testbed matrix and compare it with the paper's
+/// Table 4 — the chaos binary runs this at intensity zero to prove the
+/// hardening left the headline result untouched. Returns the differing
+/// cells; empty means bit-identical.
+pub fn table4_deviation() -> Vec<String> {
+    use ede_testbed::{expectations::table4, Testbed};
+    use ede_wire::RrType;
+
+    let tb = Testbed::build();
+    let resolvers: Vec<_> = Vendor::ALL.iter().map(|&v| tb.resolver(v)).collect();
+    let mut bad = Vec::new();
+    for (spec, exp) in tb.specs.iter().zip(table4()) {
+        let qname = tb.query_name(spec);
+        for (i, r) in resolvers.iter().enumerate() {
+            r.flush();
+            let got = r.resolve(&qname, RrType::A).ede_codes();
+            if got != exp.codes[i].to_vec() {
+                bad.push(format!(
+                    "{} col {i}: got {:?}, expected {:?}",
+                    spec.label, got, exp.codes[i]
+                ));
+            }
+        }
+    }
+    bad
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::PopulationConfig;
+
+    #[test]
+    fn smoke_campaign_is_deterministic_and_reconciles() {
+        let run = || {
+            let pop = Population::generate(PopulationConfig::tiny());
+            let report = campaign(
+                &pop,
+                &ChaosConfig::default()
+                    .with_seed(7)
+                    .with_intensities(vec![0.0, 0.05]),
+            );
+            report
+                .legs
+                .iter()
+                .map(|l| (l.resolved, l.per_code.clone(), l.traffic.queries))
+                .collect::<Vec<_>>()
+        };
+        let first = run();
+        assert_eq!(first, run(), "legs must be bit-stable per seed");
+
+        let pop = Population::generate(PopulationConfig::tiny());
+        let report = campaign(
+            &pop,
+            &ChaosConfig::default()
+                .with_seed(7)
+                .with_intensities(vec![0.0, 0.05]),
+        );
+        for leg in &report.legs {
+            assert_eq!(
+                leg.reconcile(),
+                Vec::<String>::new(),
+                "leg {}",
+                leg.intensity
+            );
+        }
+        // Degradation can only lose domains, and mild chaos with the
+        // hardened policy must not lose many.
+        let base = &report.legs[0];
+        let worst = &report.legs[1];
+        assert!(worst.resolved <= base.resolved);
+        assert!(
+            worst.resolved as f64 >= 0.95 * base.resolved as f64,
+            "5% chaos with retries resolved {}/{}",
+            worst.resolved,
+            base.resolved
+        );
+        assert!(!report.render().is_empty());
+    }
+
+    #[test]
+    fn baseline_leg_is_bit_identical_to_plain_scan() {
+        let pop = Population::generate(PopulationConfig::tiny());
+        let diffs = baseline_matches_plain_scan(&pop, &ChaosConfig::default());
+        assert_eq!(diffs, Vec::<String>::new());
+    }
+}

@@ -24,7 +24,11 @@
 //!    §4.2 per-INFO-CODE inventory, nameserver concentration, Figure 1's
 //!    per-TLD CDFs, and Figure 2's Tranco-rank distribution;
 //! 5. [`report`] renders each table/figure, and the `repro-*` binaries
-//!    regenerate them from the command line.
+//!    regenerate them from the command line;
+//! 6. [`chaos`] sweeps `ede-netsim` fault-plan intensity over the scan
+//!    world (the `repro-chaos` binary) and reports how the EDE-code
+//!    inventory shifts under loss, corruption, and truncation — with
+//!    the intensity-0 leg pinned bit-identical to the plain scan.
 //!
 //! Every number reported is *measured* through the resolver — the
 //! planting only decides what is broken, the pipeline decides what EDE
@@ -34,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod aggregate;
+pub mod chaos;
 pub mod population;
 pub mod report;
 pub mod rng;
@@ -41,6 +46,7 @@ pub mod scanner;
 pub mod stats;
 pub mod world;
 
+pub use chaos::{campaign, ChaosConfig, ChaosLeg, ChaosReport};
 pub use population::{Category, DomainRecord, Population, PopulationConfig};
-pub use scanner::{scan, Observation, ScanResult};
+pub use scanner::{scan, Observation, ScanConfig, ScanConfigBuilder, ScanResult};
 pub use world::ScanWorld;

@@ -3,7 +3,7 @@
 
 use crate::population::{Category, Population};
 use crate::world::ScanWorld;
-use ede_resolver::{Resolver, Vendor, VendorProfile};
+use ede_resolver::{Resolver, RetryPolicy, Vendor, VendorProfile};
 use ede_trace::{Metrics, MetricsSnapshot};
 use ede_wire::{Name, Rcode, RrType};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -42,6 +42,9 @@ pub struct ScanResult {
     /// Transport-level traffic counters: (queries, delivered, failed) —
     /// the simulated analogue of the paper's §5 traffic accounting.
     pub traffic: (u64, u64, u64),
+    /// The full transport accounting, including the stream-channel,
+    /// truncation, and fault counters the 3-tuple predates.
+    pub traffic_full: ede_netsim::TrafficSnapshot,
     /// Metrics collected through the trace pipeline during the scan
     /// (query/outcome counters, cache ratios, per-vendor EDE counts,
     /// latency histograms). `metrics.queries_sent` equals `traffic.0`:
@@ -50,7 +53,11 @@ pub struct ScanResult {
 }
 
 /// Scan config.
+///
+/// `#[non_exhaustive]`: construct with [`ScanConfig::default()`] or the
+/// fluent [`ScanConfig::builder()`], then adjust fields.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct ScanConfig {
     /// Worker threads.
     pub workers: usize,
@@ -58,6 +65,10 @@ pub struct ScanConfig {
     pub vendor: Vendor,
     /// Print live progress lines to stderr while scanning.
     pub progress: bool,
+    /// Override the world's retry policy for the scanning resolver.
+    /// `None` keeps the world's configuration (the compat baseline),
+    /// which is what the pinned repro-scan inventory is built on.
+    pub retry: Option<RetryPolicy>,
 }
 
 impl Default for ScanConfig {
@@ -80,7 +91,67 @@ impl Default for ScanConfig {
             workers,
             vendor: Vendor::Cloudflare,
             progress: false,
+            retry: None,
         }
+    }
+}
+
+impl ScanConfig {
+    /// Start a fluent builder from the defaults.
+    pub fn builder() -> ScanConfigBuilder {
+        ScanConfigBuilder {
+            config: ScanConfig::default(),
+        }
+    }
+}
+
+/// Fluent builder for [`ScanConfig`]; finish with
+/// [`build`](ScanConfigBuilder::build).
+///
+/// ```
+/// use ede_scan::ScanConfig;
+/// use ede_resolver::{RetryPolicy, Vendor};
+///
+/// let config = ScanConfig::builder()
+///     .workers(1)
+///     .vendor(Vendor::Cloudflare)
+///     .retry(RetryPolicy::default())
+///     .build();
+/// assert_eq!(config.workers, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScanConfigBuilder {
+    config: ScanConfig,
+}
+
+impl ScanConfigBuilder {
+    /// Set the worker-pool size.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.config.workers = n;
+        self
+    }
+
+    /// Set the scanning vendor profile.
+    pub fn vendor(mut self, vendor: Vendor) -> Self {
+        self.config.vendor = vendor;
+        self
+    }
+
+    /// Enable or disable live progress lines.
+    pub fn progress(mut self, on: bool) -> Self {
+        self.config.progress = on;
+        self
+    }
+
+    /// Override the retry policy of the scanning resolver.
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.config.retry = Some(policy);
+        self
+    }
+
+    /// Finish, yielding the configuration.
+    pub fn build(self) -> ScanConfig {
+        self.config
     }
 }
 
@@ -197,10 +268,14 @@ pub fn scan(pop: &Population, world: &ScanWorld, config: &ScanConfig) -> ScanRes
         .set_trace_sink(Arc::clone(&metrics) as Arc<dyn ede_trace::TraceSink>);
     let _sink_guard = SinkGuard { net: &world.net };
 
+    let mut resolver_config = world.resolver_config.clone();
+    if let Some(policy) = &config.retry {
+        resolver_config.retry = policy.clone();
+    }
     let resolver = Resolver::new(
         Arc::clone(&world.net),
         VendorProfile::new(config.vendor),
-        world.resolver_config.clone(),
+        resolver_config,
     );
 
     let n = pop.domains.len();
@@ -238,6 +313,7 @@ pub fn scan(pop: &Population, world: &ScanWorld, config: &ScanConfig) -> ScanRes
         observations,
         resolutions: resolutions.into_inner(),
         traffic: world.net.stats().snapshot(),
+        traffic_full: world.net.stats().snapshot_full(),
         metrics: metrics.snapshot(),
     }
 }
@@ -251,14 +327,7 @@ mod tests {
     fn tiny_scan_end_to_end() {
         let pop = Population::generate(PopulationConfig::tiny());
         let world = ScanWorld::build(&pop);
-        let result = scan(
-            &pop,
-            &world,
-            &ScanConfig {
-                workers: 4,
-                ..Default::default()
-            },
-        );
+        let result = scan(&pop, &world, &ScanConfig::builder().workers(4).build());
         assert_eq!(result.observations.len(), pop.domains.len());
         assert!(result.resolutions >= pop.domains.len());
 
@@ -295,11 +364,10 @@ mod tests {
             let result = scan(
                 &pop,
                 &world,
-                &ScanConfig {
-                    workers,
-                    vendor: Vendor::Cloudflare,
-                    progress: false,
-                },
+                &ScanConfig::builder()
+                    .workers(workers)
+                    .vendor(Vendor::Cloudflare)
+                    .build(),
             );
             let agg = crate::aggregate::aggregate(&pop, &result);
             (result, agg)
@@ -344,14 +412,7 @@ mod tests {
         let run = || {
             let pop = Population::generate(PopulationConfig::tiny());
             let world = ScanWorld::build(&pop);
-            let result = scan(
-                &pop,
-                &world,
-                &ScanConfig {
-                    workers: 2,
-                    ..Default::default()
-                },
-            );
+            let result = scan(&pop, &world, &ScanConfig::builder().workers(2).build());
             result
                 .observations
                 .iter()

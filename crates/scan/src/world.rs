@@ -653,16 +653,14 @@ impl ScanWorld {
             );
         }
 
-        let resolver_config = ResolverConfig {
-            failure_ttl_secs: 900,
-            ..ResolverConfig::with_roots(
-                vec![RootHint {
-                    name: Name::parse("ns1").expect("valid"),
-                    addr: IpAddr::V4(ROOT_SERVER),
-                }],
-                vec![trust_anchor],
-            )
-        };
+        let mut resolver_config = ResolverConfig::with_roots(
+            vec![RootHint {
+                name: Name::parse("ns1").expect("valid"),
+                addr: IpAddr::V4(ROOT_SERVER),
+            }],
+            vec![trust_anchor],
+        );
+        resolver_config.failure_ttl_secs = 900;
 
         ScanWorld {
             net: Arc::new(net.build(clock)),

@@ -74,13 +74,11 @@ impl Testbed {
     /// Like [`Testbed::resolver`], but with RFC 9567 error reporting
     /// toward this testbed's agent enabled.
     pub fn resolver_with_reporting(&self, vendor: Vendor) -> Resolver {
-        let config = ResolverConfig {
-            error_reporting: Some((
-                self.reporting_agent.agent().clone(),
-                IpAddr::V4(REPORT_AGENT_SERVER),
-            )),
-            ..self.resolver_config.clone()
-        };
+        let mut config = self.resolver_config.clone();
+        config.error_reporting = Some((
+            self.reporting_agent.agent().clone(),
+            IpAddr::V4(REPORT_AGENT_SERVER),
+        ));
         Resolver::new(Arc::clone(&self.net), VendorProfile::new(vendor), config)
     }
 

@@ -87,6 +87,36 @@ pub enum TraceEvent {
         /// The server being tried next.
         next: IpAddr,
     },
+    /// A bounded hedged retry: after the whole server set failed, the
+    /// retry policy granted an extra round over the (re-ordered) set.
+    Hedge {
+        /// 1-based index of the overall attempt that this hedge issues.
+        attempt: usize,
+        /// The server being hedged to.
+        next: IpAddr,
+    },
+    /// A truncated (TC=1) UDP reply made the resolver re-ask the same
+    /// server over the stream (TCP-analogue) channel.
+    TcFallback {
+        /// The server being re-queried over the stream channel.
+        dst: IpAddr,
+        /// Queried name, dotted.
+        qname: String,
+        /// Encoded size of the truncated reply's full form, when known
+        /// (0 when only the TC bit is visible).
+        size: usize,
+        /// The negotiated UDP payload limit the reply exceeded.
+        limit: u16,
+    },
+    /// The simulated network's fault plan fired on one exchange
+    /// (emitted from `ede-netsim`, when a tracer is attached).
+    FaultInjected {
+        /// Which fault fired: `"loss"`, `"burst"`, `"flap"`,
+        /// `"blackhole"`, `"corrupt"` or `"spike"`.
+        kind: String,
+        /// The destination of the affected exchange.
+        dst: IpAddr,
+    },
     /// A referral moved resolution down one zone cut.
     Referral {
         /// The delegated zone, dotted.
@@ -159,6 +189,9 @@ impl TraceEvent {
             TraceEvent::ResponseReceived { .. } => "response_received",
             TraceEvent::Timeout { .. } => "timeout",
             TraceEvent::Retry { .. } => "retry",
+            TraceEvent::Hedge { .. } => "hedge",
+            TraceEvent::TcFallback { .. } => "tc_fallback",
+            TraceEvent::FaultInjected { .. } => "fault_injected",
             TraceEvent::Referral { .. } => "referral",
             TraceEvent::CacheProbe { .. } => "cache_probe",
             TraceEvent::ValidationStep { .. } => "validation_step",
@@ -199,6 +232,24 @@ impl TraceEvent {
             }
             TraceEvent::Retry { attempt, next } => {
                 format!("retry #{attempt} -> {next}")
+            }
+            TraceEvent::Hedge { attempt, next } => {
+                format!("hedge #{attempt} -> {next}")
+            }
+            TraceEvent::TcFallback {
+                dst,
+                qname,
+                size,
+                limit,
+            } => {
+                if *size > 0 {
+                    format!("tc-fallback -> {dst} {qname} ({size} B > {limit} B)")
+                } else {
+                    format!("tc-fallback -> {dst} {qname} (limit {limit} B)")
+                }
+            }
+            TraceEvent::FaultInjected { kind, dst } => {
+                format!("fault {kind} @ {dst}")
             }
             TraceEvent::Referral {
                 zone,
@@ -286,6 +337,20 @@ mod tests {
             TraceEvent::Retry {
                 attempt: 1,
                 next: "192.0.2.2".parse().unwrap(),
+            },
+            TraceEvent::Hedge {
+                attempt: 5,
+                next: "192.0.2.3".parse().unwrap(),
+            },
+            TraceEvent::TcFallback {
+                dst: "192.0.2.1".parse().unwrap(),
+                qname: "a".into(),
+                size: 1452,
+                limit: 1232,
+            },
+            TraceEvent::FaultInjected {
+                kind: "loss".into(),
+                dst: "192.0.2.1".parse().unwrap(),
             },
             TraceEvent::Referral {
                 zone: "com".into(),

@@ -78,6 +78,25 @@ pub fn event_to_json(e: &TimedEvent) -> String {
             fields.push(("attempt", attempt.to_string()));
             fields.push(("next", json_string(&next.to_string())));
         }
+        TraceEvent::Hedge { attempt, next } => {
+            fields.push(("attempt", attempt.to_string()));
+            fields.push(("next", json_string(&next.to_string())));
+        }
+        TraceEvent::TcFallback {
+            dst,
+            qname,
+            size,
+            limit,
+        } => {
+            fields.push(("dst", json_string(&dst.to_string())));
+            fields.push(("qname", json_string(qname)));
+            fields.push(("size", size.to_string()));
+            fields.push(("limit", limit.to_string()));
+        }
+        TraceEvent::FaultInjected { kind: fault, dst } => {
+            fields.push(("fault", json_string(fault)));
+            fields.push(("dst", json_string(&dst.to_string())));
+        }
         TraceEvent::Referral {
             zone,
             ns_count,
@@ -170,6 +189,20 @@ mod tests {
             TraceEvent::Retry {
                 attempt: 2,
                 next: "192.0.2.2".parse().unwrap(),
+            },
+            TraceEvent::Hedge {
+                attempt: 4,
+                next: "192.0.2.3".parse().unwrap(),
+            },
+            TraceEvent::TcFallback {
+                dst: "192.0.2.1".parse().unwrap(),
+                qname: "a.com".into(),
+                size: 1452,
+                limit: 1232,
+            },
+            TraceEvent::FaultInjected {
+                kind: "corrupt".into(),
+                dst: "192.0.2.1".parse().unwrap(),
             },
             TraceEvent::Referral {
                 zone: "com".into(),

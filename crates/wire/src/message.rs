@@ -168,6 +168,37 @@ impl Message {
         self.ede_entries().map(|e| e.code).collect()
     }
 
+    /// Encoded size in bytes (with name compression), or 0 when the
+    /// message cannot be encoded at all.
+    pub fn encoded_len(&self) -> usize {
+        self.encode().map(|b| b.len()).unwrap_or(0)
+    }
+
+    /// The UDP payload size this message's sender can accept: the EDNS
+    /// advertisement (floored at the RFC 6891 minimum of 512), or the
+    /// classic 512-byte limit when the message carries no OPT record.
+    pub fn advertised_payload_size(&self) -> u16 {
+        self.edns
+            .as_ref()
+            .map(|e| e.udp_payload_size.max(512))
+            .unwrap_or(512)
+    }
+
+    /// A truncated (TC=1) copy of this response, as an authoritative
+    /// server returns one when the full answer exceeds the negotiated
+    /// UDP payload size: header, question and OPT survive; the answer,
+    /// authority and additional sections are dropped (partial sections
+    /// must not be consumed — the client re-asks over a stream).
+    pub fn truncated_copy(&self) -> Message {
+        Message {
+            truncated: true,
+            answers: Vec::new(),
+            authorities: Vec::new(),
+            additionals: Vec::new(),
+            ..self.clone()
+        }
+    }
+
     /// Encode to wire format with name compression.
     pub fn encode(&self) -> Result<Vec<u8>, WireError> {
         let mut buf = Vec::with_capacity(512);
@@ -422,5 +453,38 @@ mod tests {
         let mut wire = q.encode().unwrap();
         wire[5] = 9; // QDCOUNT = 9, but only one question present
         assert!(Message::decode(&wire).is_err());
+    }
+
+    #[test]
+    fn truncated_copy_keeps_header_and_question_only() {
+        let q = Message::query(7, n("big.example.com"), RrType::A);
+        let mut resp = Message::response_to(&q);
+        resp.edns = Some(Edns::default());
+        for i in 0..40 {
+            resp.answers.push(Record::new(
+                n(&format!("a{i}.big.example.com")),
+                60,
+                Rdata::Txt(vec![vec![0u8; 64]]),
+            ));
+        }
+        let full = resp.encoded_len();
+        let tc = resp.truncated_copy();
+        assert!(tc.truncated);
+        assert!(tc.answers.is_empty() && tc.authorities.is_empty());
+        assert_eq!(tc.questions, resp.questions);
+        assert!(tc.encoded_len() < full);
+        // Round-trips with the TC bit intact.
+        let wire = tc.encode().unwrap();
+        assert!(Message::decode(&wire).unwrap().truncated);
+    }
+
+    #[test]
+    fn advertised_payload_size_floors_at_512() {
+        let mut q = Message::query(1, n("example.com"), RrType::A);
+        assert_eq!(q.advertised_payload_size(), 1232);
+        q.edns.as_mut().unwrap().udp_payload_size = 100;
+        assert_eq!(q.advertised_payload_size(), 512);
+        q.edns = None;
+        assert_eq!(q.advertised_payload_size(), 512);
     }
 }

@@ -37,6 +37,7 @@ pub mod zone;
 pub use keys::{ZoneKey, ZoneKeys};
 pub use misconfig::{Misconfig, TypeSel};
 pub use nsec3::Nsec3Config;
+pub use parse::{parse_master_file, ParseError, ParseErrorKind};
 pub use rrset::Rrset;
 pub use signer::{Denial, SignerConfig};
 pub use zone::Zone;

@@ -15,37 +15,134 @@ use std::fmt;
 /// Errors from [`parse_master_file`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
-    /// 1-based line number.
+    /// 1-based line number (0 for file-level problems).
     pub line: usize,
     /// What went wrong.
-    pub message: String,
+    pub kind: ParseErrorKind,
+}
+
+/// The structured cause of a [`ParseError`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseErrorKind {
+    /// Malformed RRSIG timestamp (must be `YYYYMMDDHHmmSS`).
+    BadTimestamp {
+        /// The offending text.
+        text: String,
+    },
+    /// Timestamp outside the u32 epoch range.
+    TimestampOutOfRange {
+        /// The offending text.
+        text: String,
+    },
+    /// Malformed hexadecimal string.
+    BadHex {
+        /// The offending text.
+        text: String,
+    },
+    /// Malformed domain name.
+    BadName {
+        /// The offending text.
+        text: String,
+        /// Why the name parser rejected it.
+        reason: String,
+    },
+    /// A numeric or otherwise typed field failed to parse.
+    BadField {
+        /// What the field is (e.g. "TTL", "key tag").
+        what: &'static str,
+        /// The offending text.
+        text: String,
+    },
+    /// Malformed IP address in an A/AAAA record.
+    BadAddress {
+        /// Address family: "IPv4" or "IPv6".
+        family: &'static str,
+    },
+    /// Malformed base64/base32 blob.
+    BadEncoding {
+        /// What the blob is (e.g. "base64 public key").
+        what: &'static str,
+    },
+    /// Unknown RR-type mnemonic.
+    UnknownType {
+        /// The offending mnemonic.
+        text: String,
+    },
+    /// Too few RDATA fields for the record type.
+    MissingFields {
+        /// The record type being parsed.
+        rtype: RrType,
+        /// Fields required.
+        need: usize,
+        /// Fields present.
+        got: usize,
+    },
+    /// A type this parser has no RDATA syntax for, without the RFC 3597
+    /// `\#` escape.
+    UnsupportedRdata {
+        /// The record type.
+        rtype: RrType,
+    },
+    /// Record line shorter than `owner TTL class type`.
+    ShortRecord,
+    /// A class other than `IN`.
+    UnsupportedClass {
+        /// The offending class text.
+        text: String,
+    },
+    /// The file never declared `$ORIGIN`.
+    MissingOrigin,
+}
+
+impl fmt::Display for ParseErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseErrorKind::BadTimestamp { text } => write!(f, "bad RRSIG timestamp {text:?}"),
+            ParseErrorKind::TimestampOutOfRange { text } => {
+                write!(f, "timestamp {text:?} out of range")
+            }
+            ParseErrorKind::BadHex { text } => write!(f, "bad hex {text:?}"),
+            ParseErrorKind::BadName { text, reason } => write!(f, "bad name {text:?}: {reason}"),
+            ParseErrorKind::BadField { what, text } => write!(f, "bad {what} {text:?}"),
+            ParseErrorKind::BadAddress { family } => write!(f, "bad {family} address"),
+            ParseErrorKind::BadEncoding { what } => write!(f, "bad {what}"),
+            ParseErrorKind::UnknownType { text } => write!(f, "unknown RR type {text:?}"),
+            ParseErrorKind::MissingFields { rtype, need, got } => {
+                write!(f, "{rtype} needs {need} fields, got {got}")
+            }
+            ParseErrorKind::UnsupportedRdata { rtype } => {
+                write!(f, "unsupported type {rtype} without \\# syntax")
+            }
+            ParseErrorKind::ShortRecord => write!(f, "record needs owner, TTL, class, type"),
+            ParseErrorKind::UnsupportedClass { text } => write!(f, "unsupported class {text:?}"),
+            ParseErrorKind::MissingOrigin => write!(f, "missing $ORIGIN"),
+        }
+    }
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        write!(f, "line {}: {}", self.line, self.kind)
     }
 }
 
 impl std::error::Error for ParseError {}
 
-fn err(line: usize, message: impl Into<String>) -> ParseError {
-    ParseError {
-        line,
-        message: message.into(),
-    }
+fn err(line: usize, kind: ParseErrorKind) -> ParseError {
+    ParseError { line, kind }
 }
 
 /// Inverse of `textual::sig_time`: YYYYMMDDHHmmSS → epoch seconds.
 fn parse_sig_time(s: &str, line: usize) -> Result<u32, ParseError> {
     if s.len() != 14 || !s.bytes().all(|b| b.is_ascii_digit()) {
-        return Err(err(line, format!("bad RRSIG timestamp {s:?}")));
+        return Err(err(line, ParseErrorKind::BadTimestamp { text: s.into() }));
     }
     let num = |r: std::ops::Range<usize>| -> i64 { s[r].parse().expect("digits") };
     let (y, m, d) = (num(0..4), num(4..6), num(6..8));
     let (hh, mm, ss) = (num(8..10), num(10..12), num(12..14));
     if !(1..=12).contains(&m) || !(1..=31).contains(&d) || hh > 23 || mm > 59 || ss > 59 {
-        return Err(err(line, format!("bad RRSIG timestamp {s:?}")));
+        return Err(err(line, ParseErrorKind::BadTimestamp { text: s.into() }));
     }
     // Howard Hinnant's civil-to-days.
     let y_adj = if m <= 2 { y - 1 } else { y };
@@ -56,7 +153,8 @@ fn parse_sig_time(s: &str, line: usize) -> Result<u32, ParseError> {
     let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
     let days = era * 146_097 + doe - 719_468;
     let epoch = days * 86_400 + hh * 3600 + mm * 60 + ss;
-    u32::try_from(epoch).map_err(|_| err(line, format!("timestamp {s:?} out of range")))
+    u32::try_from(epoch)
+        .map_err(|_| err(line, ParseErrorKind::TimestampOutOfRange { text: s.into() }))
 }
 
 fn parse_hex(s: &str, line: usize) -> Result<Vec<u8>, ParseError> {
@@ -64,23 +162,43 @@ fn parse_hex(s: &str, line: usize) -> Result<Vec<u8>, ParseError> {
         return Ok(Vec::new()); // empty-salt presentation
     }
     if !s.len().is_multiple_of(2) {
-        return Err(err(line, format!("odd-length hex {s:?}")));
+        return Err(err(line, ParseErrorKind::BadHex { text: s.into() }));
     }
     (0..s.len())
         .step_by(2)
         .map(|i| {
-            u8::from_str_radix(&s[i..i + 2], 16).map_err(|_| err(line, format!("bad hex {s:?}")))
+            u8::from_str_radix(&s[i..i + 2], 16)
+                .map_err(|_| err(line, ParseErrorKind::BadHex { text: s.into() }))
         })
         .collect()
 }
 
 fn parse_name(s: &str, line: usize) -> Result<Name, ParseError> {
-    Name::parse(s).map_err(|e| err(line, format!("bad name {s:?}: {e}")))
+    Name::parse(s).map_err(|e| {
+        err(
+            line,
+            ParseErrorKind::BadName {
+                text: s.into(),
+                reason: e.to_string(),
+            },
+        )
+    })
 }
 
-fn parse_u<T: std::str::FromStr>(s: &str, what: &str, line: usize) -> Result<T, ParseError> {
-    s.parse()
-        .map_err(|_| err(line, format!("bad {what} {s:?}")))
+fn parse_u<T: std::str::FromStr>(
+    s: &str,
+    what: &'static str,
+    line: usize,
+) -> Result<T, ParseError> {
+    s.parse().map_err(|_| {
+        err(
+            line,
+            ParseErrorKind::BadField {
+                what,
+                text: s.into(),
+            },
+        )
+    })
 }
 
 fn rrtype_from_mnemonic(s: &str, line: usize) -> Result<RrType, ParseError> {
@@ -103,7 +221,10 @@ fn rrtype_from_mnemonic(s: &str, line: usize) -> Result<RrType, ParseError> {
             if let Some(num) = other.strip_prefix("TYPE") {
                 RrType::from_u16(parse_u(num, "TYPE number", line)?)
             } else {
-                return Err(err(line, format!("unknown RR type {other:?}")));
+                return Err(err(
+                    line,
+                    ParseErrorKind::UnknownType { text: other.into() },
+                ));
             }
         }
     };
@@ -123,7 +244,11 @@ fn parse_rdata(rtype: RrType, fields: &[&str], line: usize) -> Result<Rdata, Par
         if fields.len() < n {
             Err(err(
                 line,
-                format!("{rtype} needs {n} fields, got {}", fields.len()),
+                ParseErrorKind::MissingFields {
+                    rtype,
+                    need: n,
+                    got: fields.len(),
+                },
             ))
         } else {
             Ok(())
@@ -135,7 +260,7 @@ fn parse_rdata(rtype: RrType, fields: &[&str], line: usize) -> Result<Rdata, Par
             Rdata::A(
                 fields[0]
                     .parse()
-                    .map_err(|_| err(line, "bad IPv4 address"))?,
+                    .map_err(|_| err(line, ParseErrorKind::BadAddress { family: "IPv4" }))?,
             )
         }
         RrType::Aaaa => {
@@ -143,7 +268,7 @@ fn parse_rdata(rtype: RrType, fields: &[&str], line: usize) -> Result<Rdata, Par
             Rdata::Aaaa(
                 fields[0]
                     .parse()
-                    .map_err(|_| err(line, "bad IPv6 address"))?,
+                    .map_err(|_| err(line, ParseErrorKind::BadAddress { family: "IPv6" }))?,
             )
         }
         RrType::Ns => {
@@ -199,8 +324,14 @@ fn parse_rdata(rtype: RrType, fields: &[&str], line: usize) -> Result<Rdata, Par
                 flags: parse_u(fields[0], "flags", line)?,
                 protocol: parse_u(fields[1], "protocol", line)?,
                 algorithm: parse_u(fields[2], "algorithm", line)?,
-                public_key: base64::decode(&fields[3..].join(""))
-                    .ok_or_else(|| err(line, "bad base64 public key"))?,
+                public_key: base64::decode(&fields[3..].join("")).ok_or_else(|| {
+                    err(
+                        line,
+                        ParseErrorKind::BadEncoding {
+                            what: "base64 public key",
+                        },
+                    )
+                })?,
             }
         }
         RrType::Rrsig => {
@@ -214,8 +345,14 @@ fn parse_rdata(rtype: RrType, fields: &[&str], line: usize) -> Result<Rdata, Par
                 inception: parse_sig_time(fields[5], line)?,
                 key_tag: parse_u(fields[6], "key tag", line)?,
                 signer: parse_name(fields[7], line)?,
-                signature: base64::decode(&fields[8..].join(""))
-                    .ok_or_else(|| err(line, "bad base64 signature"))?,
+                signature: base64::decode(&fields[8..].join("")).ok_or_else(|| {
+                    err(
+                        line,
+                        ParseErrorKind::BadEncoding {
+                            what: "base64 signature",
+                        },
+                    )
+                })?,
             })
         }
         RrType::Nsec => {
@@ -232,8 +369,14 @@ fn parse_rdata(rtype: RrType, fields: &[&str], line: usize) -> Result<Rdata, Par
                 flags: parse_u(fields[1], "flags", line)?,
                 iterations: parse_u(fields[2], "iterations", line)?,
                 salt: parse_hex(fields[3], line)?,
-                next_hashed: base32::decode(&fields[4].to_ascii_lowercase())
-                    .ok_or_else(|| err(line, "bad base32hex next-hash"))?,
+                next_hashed: base32::decode(&fields[4].to_ascii_lowercase()).ok_or_else(|| {
+                    err(
+                        line,
+                        ParseErrorKind::BadEncoding {
+                            what: "base32hex next-hash",
+                        },
+                    )
+                })?,
                 types: parse_bitmap(&fields[5..], line)?,
             }
         }
@@ -250,10 +393,7 @@ fn parse_rdata(rtype: RrType, fields: &[&str], line: usize) -> Result<Rdata, Par
             // RFC 3597 opaque syntax: \# <len> <hex>
             need(3)?;
             if fields[0] != "\\#" {
-                return Err(err(
-                    line,
-                    format!("unsupported type {other} without \\# syntax"),
-                ));
+                return Err(err(line, ParseErrorKind::UnsupportedRdata { rtype: other }));
             }
             let data = parse_hex(&fields[2..].join(""), line)?;
             Rdata::Unknown {
@@ -291,12 +431,17 @@ pub fn parse_master_file(text: &str) -> Result<Zone, ParseError> {
         }
         let fields: Vec<&str> = line.split_whitespace().collect();
         if fields.len() < 4 {
-            return Err(err(line_no, "record needs owner, TTL, class, type"));
+            return Err(err(line_no, ParseErrorKind::ShortRecord));
         }
         let owner = parse_name(fields[0], line_no)?;
         let ttl: u32 = parse_u(fields[1], "TTL", line_no)?;
         if fields[2] != "IN" {
-            return Err(err(line_no, format!("unsupported class {:?}", fields[2])));
+            return Err(err(
+                line_no,
+                ParseErrorKind::UnsupportedClass {
+                    text: fields[2].into(),
+                },
+            ));
         }
         let rtype = rrtype_from_mnemonic(fields[3], line_no)?;
         let rdata = parse_rdata(rtype, &fields[4..], line_no)?;
@@ -306,7 +451,7 @@ pub fn parse_master_file(text: &str) -> Result<Zone, ParseError> {
         }
     }
 
-    let origin = origin.ok_or_else(|| err(0, "missing $ORIGIN"))?;
+    let origin = origin.ok_or_else(|| err(0, ParseErrorKind::MissingOrigin))?;
     let mut zone = Zone::new(origin);
     for (owner, ttl, rdata) in records {
         zone.add(ede_wire::Record::new(owner, ttl, rdata));

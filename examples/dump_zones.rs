@@ -7,9 +7,9 @@
 //! cargo run --example dump_zones -- --all           # all 63
 //! ```
 
+use extended_dns_errors::prelude::*;
 use extended_dns_errors::testbed::build::materialize_child_zone;
 use extended_dns_errors::testbed::domains::all_specs;
-use extended_dns_errors::wire::Name;
 use extended_dns_errors::zone::textual::{rdata_text, zone_to_master_file};
 
 fn dump(label: &str, base: &Name, specs: &[extended_dns_errors::testbed::DomainSpec]) -> bool {

@@ -10,7 +10,6 @@
 //! (`dig` ≥ 9.16 prints them as `EDE: ...`).
 
 use extended_dns_errors::prelude::*;
-use extended_dns_errors::udp::UdpFrontend;
 use std::sync::Arc;
 
 fn main() {

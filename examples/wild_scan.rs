@@ -6,9 +6,8 @@
 //! (default scale 1:10000 ≈ 30k domains for a fast demo; the paper-shape
 //! default for the repro binaries is 1:1000).
 
-use extended_dns_errors::scan::{
-    aggregate, report, scanner, Population, PopulationConfig, ScanWorld,
-};
+use extended_dns_errors::prelude::*;
+use extended_dns_errors::scan::{aggregate, report};
 
 fn main() {
     let scale: u32 = std::env::args()
@@ -28,11 +27,8 @@ fn main() {
     );
     let world = ScanWorld::build(&pop);
     eprintln!("scanning with the Cloudflare profile...");
-    let config = scanner::ScanConfig {
-        progress: true,
-        ..Default::default()
-    };
-    let result = scanner::scan(&pop, &world, &config);
+    let config = ScanConfig::builder().progress(true).build();
+    let result = scan(&pop, &world, &config);
     let agg = aggregate::aggregate(&pop, &result);
 
     println!("{}", report::scan_summary(&pop, &agg));

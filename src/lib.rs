@@ -61,9 +61,31 @@ pub use ede_zone as zone;
 
 pub mod udp;
 
+pub use udp::FrontendError;
+
 /// The one-line import for applications.
+///
+/// Curated for the common workflows: building the testbed, configuring
+/// resolvers (via [`ResolverConfig::builder`](ede_resolver::ResolverConfig::builder)),
+/// running scans (via [`ScanConfig::builder`](ede_scan::ScanConfig::builder)),
+/// injecting faults ([`FaultPlan`](ede_netsim::FaultPlan)), and attaching
+/// observability ([`ResolutionTrace`](ede_trace::ResolutionTrace)).
+/// Structured error types from every layer ride along so `?`-style
+/// plumbing needs no extra imports.
 pub mod prelude {
-    pub use ede_resolver::{Resolution, Resolver, ResolverConfig, Vendor, VendorProfile};
+    pub use ede_netsim::{FaultPlan, NetError, Network, SimClock};
+    pub use ede_resolver::{
+        Diagnosis, Resolution, Resolver, ResolverConfig, ResolverConfigBuilder, RetryPolicy,
+        ServerSelection, Vendor, VendorProfile,
+    };
+    pub use ede_scan::{
+        scan, ChaosConfig, Population, PopulationConfig, ScanConfig, ScanConfigBuilder, ScanResult,
+        ScanWorld,
+    };
     pub use ede_testbed::Testbed;
-    pub use ede_wire::{EdeCode, EdeEntry, Message, Name, Rcode, RrType};
+    pub use ede_trace::{Metrics, ResolutionTrace, TraceEvent, TraceSink};
+    pub use ede_wire::{EdeCode, EdeEntry, Message, Name, Rcode, RrType, WireError};
+    pub use ede_zone::{ParseError, ParseErrorKind};
+
+    pub use crate::udp::{FrontendError, UdpFrontend};
 }

@@ -7,11 +7,53 @@
 //! validation, vendor EDE emission), and writes the wire response back.
 
 use ede_resolver::Resolver;
-use ede_wire::{Message, Rcode};
+use ede_wire::{Message, Rcode, WireError};
+use std::fmt;
 use std::io;
 use std::net::{SocketAddr, UdpSocket};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+
+/// Errors from the UDP front end, split by layer instead of being
+/// flattened into `io::Error` strings.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum FrontendError {
+    /// Socket-level failure (bind, receive, send).
+    Io(io::Error),
+    /// The reply could not be encoded to wire format.
+    Encode(WireError),
+}
+
+impl fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrontendError::Io(e) => write!(f, "socket error: {e}"),
+            FrontendError::Encode(e) => write!(f, "cannot encode reply: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrontendError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FrontendError::Io(e) => Some(e),
+            FrontendError::Encode(e) => Some(e),
+        }
+    }
+}
+
+impl From<io::Error> for FrontendError {
+    fn from(e: io::Error) -> Self {
+        FrontendError::Io(e)
+    }
+}
+
+impl From<WireError> for FrontendError {
+    fn from(e: WireError) -> Self {
+        FrontendError::Encode(e)
+    }
+}
 
 /// A UDP server wrapping one simulated resolver.
 pub struct UdpFrontend {
@@ -22,7 +64,7 @@ pub struct UdpFrontend {
 
 impl UdpFrontend {
     /// Bind to `addr` (e.g. `127.0.0.1:0` for an ephemeral port).
-    pub fn bind(addr: &str, resolver: Arc<Resolver>) -> io::Result<UdpFrontend> {
+    pub fn bind(addr: &str, resolver: Arc<Resolver>) -> Result<UdpFrontend, FrontendError> {
         let socket = UdpSocket::bind(addr)?;
         Ok(UdpFrontend {
             socket,
@@ -32,8 +74,8 @@ impl UdpFrontend {
     }
 
     /// The bound local address.
-    pub fn local_addr(&self) -> io::Result<SocketAddr> {
-        self.socket.local_addr()
+    pub fn local_addr(&self) -> Result<SocketAddr, FrontendError> {
+        Ok(self.socket.local_addr()?)
     }
 
     /// A handle that makes `serve` return.
@@ -44,7 +86,7 @@ impl UdpFrontend {
     }
 
     /// Handle exactly one request (test-friendly building block).
-    pub fn serve_one(&self) -> io::Result<()> {
+    pub fn serve_one(&self) -> Result<(), FrontendError> {
         let mut buf = [0u8; 4096];
         let (len, peer) = self.socket.recv_from(&mut buf)?;
         let reply = match Message::decode(&buf[..len]) {
@@ -67,22 +109,20 @@ impl UdpFrontend {
                 m
             }
         };
-        let wire = reply
-            .encode()
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let wire = reply.encode()?;
         self.socket.send_to(&wire, peer)?;
         Ok(())
     }
 
     /// Serve until the stop handle fires. Uses a short read timeout so
     /// the stop flag is observed promptly.
-    pub fn serve(&self) -> io::Result<()> {
+    pub fn serve(&self) -> Result<(), FrontendError> {
         self.socket
             .set_read_timeout(Some(std::time::Duration::from_millis(100)))?;
         while !self.stop.load(Ordering::Relaxed) {
             match self.serve_one() {
                 Ok(()) => {}
-                Err(e)
+                Err(FrontendError::Io(e))
                     if e.kind() == io::ErrorKind::WouldBlock
                         || e.kind() == io::ErrorKind::TimedOut => {}
                 Err(e) => return Err(e),

@@ -3,7 +3,7 @@
 //! minimized walk reaches the same answers (and EDE codes) as the plain
 //! one.
 
-use extended_dns_errors::resolver::{Resolver, ResolverConfig, Vendor, VendorProfile};
+use extended_dns_errors::resolver::{Resolver, Vendor, VendorProfile};
 use extended_dns_errors::testbed::build::ROOT_SERVER;
 use extended_dns_errors::testbed::Testbed;
 use extended_dns_errors::wire::{Rcode, RrType};
@@ -11,10 +11,8 @@ use std::net::IpAddr;
 use std::sync::Arc;
 
 fn minimizing_resolver(tb: &Testbed, vendor: Vendor) -> Resolver {
-    let config = ResolverConfig {
-        qname_minimization: true,
-        ..tb.resolver_config.clone()
-    };
+    let mut config = tb.resolver_config.clone();
+    config.qname_minimization = true;
     Resolver::new(Arc::clone(&tb.net), VendorProfile::new(vendor), config)
 }
 

@@ -1,0 +1,178 @@
+//! Robustness acceptance tests for the fault-injection / retry /
+//! truncation layer (see `docs/ROBUSTNESS.md`):
+//!
+//! 1. on a clean network the [`RetryPolicy`] is *invariant* — every
+//!    policy produces the same rcode, answers, and EDE codes as the
+//!    compat `RetryPolicy::none()`;
+//! 2. the paper's Table 4 matrix stays pinned cell by cell under mild
+//!    packet loss once retries are on;
+//! 3. oversized UDP answers recover over the stream channel, visibly
+//!    (TC-fallback metrics reconcile with stream-query accounting);
+//! 4. a 10%-loss scan with the default hardened policy still resolves
+//!    ≥ 99% of what the clean scan resolves, and its counters reconcile.
+
+use extended_dns_errors::prelude::*;
+use extended_dns_errors::resolver::Resolver;
+use extended_dns_errors::testbed::expectations::table4;
+use std::sync::Arc;
+
+/// A resolver on the testbed's network with everything default except
+/// the retry policy.
+fn resolver_with_policy(tb: &Testbed, vendor: Vendor, policy: RetryPolicy) -> Resolver {
+    let mut config = tb.resolver_config.clone();
+    config.retry = policy;
+    Resolver::new(Arc::clone(&tb.net), VendorProfile::new(vendor), config)
+}
+
+#[test]
+fn retry_policy_is_invariant_on_a_clean_network() {
+    let tb = Testbed::build();
+    let policies = [
+        RetryPolicy::none(),
+        RetryPolicy::hardened(),
+        RetryPolicy::none()
+            .with_retries_per_server(5)
+            .with_hedge_rounds(2)
+            .with_backoff_ms(50, 400),
+        RetryPolicy::hardened().with_selection(ServerSelection::SmoothedRtt),
+        RetryPolicy::hardened().with_tc_fallback(false),
+    ];
+    for vendor in [Vendor::Cloudflare, Vendor::Unbound, Vendor::Bind9] {
+        for spec in &tb.specs {
+            let qname = tb.query_name(spec);
+            // Fresh resolvers: no cache or SRTT state crosses policies.
+            let baseline =
+                resolver_with_policy(&tb, vendor, RetryPolicy::none()).resolve(&qname, RrType::A);
+            for policy in &policies {
+                let got =
+                    resolver_with_policy(&tb, vendor, policy.clone()).resolve(&qname, RrType::A);
+                assert_eq!(
+                    (got.rcode, got.ede_codes(), got.answers.clone()),
+                    (
+                        baseline.rcode,
+                        baseline.ede_codes(),
+                        baseline.answers.clone()
+                    ),
+                    "{} / {} under {policy:?}",
+                    spec.label,
+                    vendor.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn table4_stays_pinned_under_mild_loss_with_retries() {
+    let tb = Testbed::build();
+    // Loss only: no corruption, no truncation. Retries must absorb it
+    // without changing a single cell of the 63 × 7 matrix.
+    tb.net
+        .set_fault_plan(FaultPlan::new(0xBAD_70E5).with_loss(0.02));
+    let policy = RetryPolicy::hardened().with_jitter_seed(0xBAD_70E5);
+    let resolvers: Vec<_> = Vendor::ALL
+        .iter()
+        .map(|&v| resolver_with_policy(&tb, v, policy.clone()))
+        .collect();
+    for (spec, exp) in tb.specs.iter().zip(table4()) {
+        let qname = tb.query_name(spec);
+        for (i, resolver) in resolvers.iter().enumerate() {
+            resolver.flush();
+            let got = resolver.resolve(&qname, RrType::A).ede_codes();
+            assert_eq!(
+                got,
+                exp.codes[i].to_vec(),
+                "{} col {i} deviates under 2% loss",
+                spec.label
+            );
+        }
+    }
+}
+
+#[test]
+fn truncated_answers_recover_over_the_stream_channel() {
+    // Clean run first: what should the healthy control domain return?
+    let tb = Testbed::build();
+    let spec = tb.spec("valid").expect("control domain");
+    let qname = tb.query_name(spec);
+    let clean = tb.resolver(Vendor::Cloudflare).resolve(&qname, RrType::A);
+    assert_eq!(clean.rcode, Rcode::NoError);
+
+    // Same resolution with a 512-byte UDP ceiling: DNSKEY answers no
+    // longer fit, the authority sets TC, and the resolver must fall
+    // back to the stream channel — reaching the same result.
+    let tb = Testbed::build();
+    let metrics = Arc::new(Metrics::new());
+    tb.attach_trace_sink(Arc::clone(&metrics) as _);
+    tb.net
+        .set_fault_plan(FaultPlan::new(1).with_udp_payload_limit(512));
+    let capped = tb.resolver(Vendor::Cloudflare).resolve(&qname, RrType::A);
+
+    assert_eq!(capped.rcode, clean.rcode);
+    assert_eq!(capped.ede_codes(), clean.ede_codes());
+    assert_eq!(capped.answers, clean.answers);
+
+    let traffic = tb.net.stats().snapshot_full();
+    assert!(traffic.truncated > 0, "nothing was truncated at 512 B");
+    assert!(traffic.stream_queries > 0, "no stream fallback happened");
+    let snap = metrics.snapshot();
+    assert_eq!(
+        snap.tc_fallbacks, traffic.stream_queries,
+        "every stream query must come from exactly one TC fallback"
+    );
+
+    // With fallback disabled the truncated path must fail instead of
+    // silently returning a partial answer.
+    let tb = Testbed::build();
+    tb.net
+        .set_fault_plan(FaultPlan::new(1).with_udp_payload_limit(512));
+    let no_fallback = resolver_with_policy(
+        &tb,
+        Vendor::Cloudflare,
+        RetryPolicy::none().with_tc_fallback(false),
+    )
+    .resolve(&qname, RrType::A);
+    assert_eq!(no_fallback.rcode, Rcode::ServFail);
+}
+
+#[test]
+fn lossy_scan_resolves_99_percent_with_default_policy() {
+    let pop = Population::generate(PopulationConfig::tiny());
+
+    let clean_world = ScanWorld::build(&pop);
+    let clean = scan(&pop, &clean_world, &ScanConfig::builder().build());
+    let clean_resolved = clean
+        .observations
+        .iter()
+        .filter(|o| o.rcode != Rcode::ServFail)
+        .count();
+
+    let lossy_world = ScanWorld::build(&pop);
+    lossy_world
+        .net
+        .set_fault_plan(FaultPlan::new(0xC0FFEE).with_loss(0.10));
+    let config = ScanConfig::builder()
+        .workers(1)
+        .retry(RetryPolicy::default())
+        .build();
+    let lossy = scan(&pop, &lossy_world, &config);
+    let lossy_resolved = lossy
+        .observations
+        .iter()
+        .filter(|o| o.rcode != Rcode::ServFail)
+        .count();
+
+    assert!(
+        lossy_resolved as f64 >= 0.99 * clean_resolved as f64,
+        "10% loss resolved only {lossy_resolved}/{clean_resolved}"
+    );
+    // The hardening had to actually work for a living.
+    assert!(lossy.metrics.retries > 0, "10% loss should force retries");
+    // And its books must balance.
+    assert_eq!(lossy.metrics.queries_sent, lossy.traffic_full.queries);
+    assert_eq!(
+        lossy.metrics.tc_fallbacks,
+        lossy.traffic_full.stream_queries
+    );
+    assert_eq!(lossy.metrics.faults_injected, lossy.traffic_full.faults);
+}
