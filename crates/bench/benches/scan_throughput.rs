@@ -1,27 +1,35 @@
 //! Tracked scan-throughput baseline: the §4.2 scan at reproduction
-//! scale (1:1000, 303 k domains), swept across worker counts.
+//! scale (1:1000, 303 k domains), swept across worker counts and
+//! per-worker in-flight windows.
 //!
 //! Two modes, following the harness convention:
 //!
 //! * **smoke** (`cargo test -p ede-bench --bench scan_throughput`, no
-//!   `--bench` flag): one tiny-population scan per worker count,
+//!   `--bench` flag): one tiny-population scan per sweep point,
 //!   print-only — a CI-speed check that the sweep machinery works and
-//!   that results are bit-identical at every worker count.
+//!   that results are bit-identical at every (workers, inflight) point.
 //! * **full** (`cargo bench --bench scan_throughput`, or
-//!   `EDE_BENCH=full`): scans 303 k domains at workers ∈ {1, 4, 8, 16}
-//!   and appends one entry per run to `BENCH_scan.json` at the repo
+//!   `EDE_BENCH=full`): scans 303 k domains across the sweep and
+//!   appends one entry per run to `BENCH_scan.json` at the repo
 //!   root, so regressions show up as history, not anecdotes.
 //!
+//! The sweep covers the thread dimension at the blocking baseline
+//! (workers ∈ {1, 4, 8, 16}, inflight 1) and the event-driven task-pool
+//! dimension on a single worker (inflight ∈ {32, 256}).
+//!
 //! `BENCH_scan.json` is a JSON array with one entry per line, so new
-//! entries append as single lines and diffs stay readable. See
-//! docs/PERFORMANCE.md for the schema and current numbers.
+//! entries append as single lines and diffs stay readable. Entries
+//! carry an `"inflight"` field (absent in pre-task-pool history, where
+//! it was implicitly 1). See docs/PERFORMANCE.md for the schema and
+//! current numbers.
 
 use ede_scan::scanner::{self, ScanConfig};
 use ede_scan::{Population, PopulationConfig, ScanWorld};
 use std::io::Write;
 use std::time::Instant;
 
-const WORKER_SWEEP: [usize; 4] = [1, 4, 8, 16];
+/// (workers, inflight) sweep points.
+const SWEEP: [(usize, usize); 6] = [(1, 1), (4, 1), (8, 1), (16, 1), (1, 32), (1, 256)];
 
 /// Scale divisor for the full measurement (1:1000 — the same
 /// population `repro-scan` defaults to, 303 k domains).
@@ -128,13 +136,14 @@ fn main() {
     let domains = pop.domains.len();
 
     let mut reference: Option<String> = None;
-    for workers in WORKER_SWEEP {
+    for (workers, inflight) in SWEEP {
         // Fresh world per run: flap state and the virtual clock are
         // part of the scan, and sharing them would leak state between
-        // worker counts.
+        // sweep points.
         let world = ScanWorld::build(&pop);
         let scan_cfg = ScanConfig::builder()
             .workers(workers)
+            .inflight(inflight)
             .progress(false)
             .build();
         let t = Instant::now();
@@ -142,11 +151,12 @@ fn main() {
         let secs = t.elapsed().as_secs_f64();
         let rate = domains as f64 / secs;
         println!(
-            "bench scan_throughput/workers_{workers}: {domains} domains in {secs:.2} s ({rate:.0} domains/s)"
+            "bench scan_throughput/workers_{workers}_inflight_{inflight}: {domains} domains in {secs:.2} s ({rate:.0} domains/s)"
         );
 
-        // Results must be bit-identical at every worker count: compare
-        // the per-code inventory against the first run.
+        // Results must be bit-identical at every sweep point: compare
+        // the per-code inventory against the first run (the blocking
+        // single-worker baseline).
         let fingerprint = format!("{:?}", {
             let mut codes: Vec<_> = result
                 .observations
@@ -160,16 +170,17 @@ fn main() {
             None => reference = Some(fingerprint),
             Some(r) => assert_eq!(
                 *r, fingerprint,
-                "scan results diverged at workers={workers}"
+                "scan results diverged at workers={workers} inflight={inflight}"
             ),
         }
 
         if full {
             let entry = format!(
-                "{{\"recorded\": \"{}\", \"label\": \"scan_throughput\", \"scale\": {}, \"workers\": {}, \"domains\": {}, \"seconds\": {:.3}, \"domains_per_sec\": {:.0}}}",
+                "{{\"recorded\": \"{}\", \"label\": \"scan_throughput\", \"scale\": {}, \"workers\": {}, \"inflight\": {}, \"domains\": {}, \"seconds\": {:.3}, \"domains_per_sec\": {:.0}}}",
                 utc_date(),
                 FULL_SCALE,
                 workers,
+                inflight,
                 domains,
                 secs,
                 rate,
@@ -180,6 +191,8 @@ fn main() {
         }
     }
     if !full {
-        println!("bench scan_throughput: smoke ok (results bit-identical across {WORKER_SWEEP:?} workers)");
+        println!(
+            "bench scan_throughput: smoke ok (results bit-identical across {SWEEP:?} (workers, inflight) points)"
+        );
     }
 }

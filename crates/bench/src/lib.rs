@@ -1,3 +1,5 @@
+#![warn(missing_docs)]
+
 //! Benchmarks regenerating every table and figure of the paper.
 //!
 //! Each bench target regenerates (and times) one of the paper's

@@ -28,6 +28,15 @@ impl Default for Sha1 {
 
 impl Sha1 {
     fn compress(&mut self, block: &[u8; BLOCK_LEN]) {
+        if crate::accel::sha1_compress(&mut self.state, block) {
+            return;
+        }
+        Self::compress_scalar(&mut self.state, block);
+    }
+
+    /// Portable compression core; also the reference the accelerated
+    /// kernel is cross-checked against.
+    pub(crate) fn compress_scalar(state: &mut [u32; 5], block: &[u8; BLOCK_LEN]) {
         let mut w = [0u32; 80];
         for (i, chunk) in block.chunks_exact(4).enumerate() {
             w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
@@ -36,7 +45,7 @@ impl Sha1 {
             w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
         }
 
-        let [mut a, mut b, mut c, mut d, mut e] = self.state;
+        let [mut a, mut b, mut c, mut d, mut e] = *state;
         for (i, &wi) in w.iter().enumerate() {
             let (f, k) = match i {
                 0..=19 => ((b & c) | (!b & d), 0x5A82_7999),
@@ -57,11 +66,11 @@ impl Sha1 {
             a = tmp;
         }
 
-        self.state[0] = self.state[0].wrapping_add(a);
-        self.state[1] = self.state[1].wrapping_add(b);
-        self.state[2] = self.state[2].wrapping_add(c);
-        self.state[3] = self.state[3].wrapping_add(d);
-        self.state[4] = self.state[4].wrapping_add(e);
+        state[0] = state[0].wrapping_add(a);
+        state[1] = state[1].wrapping_add(b);
+        state[2] = state[2].wrapping_add(c);
+        state[3] = state[3].wrapping_add(d);
+        state[4] = state[4].wrapping_add(e);
     }
 }
 

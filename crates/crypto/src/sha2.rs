@@ -10,7 +10,7 @@ use crate::Digest;
 
 // --- SHA-256 ----------------------------------------------------------------
 
-const K256: [u32; 64] = [
+pub(crate) const K256: [u32; 64] = [
     0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
     0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
     0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
@@ -38,6 +38,15 @@ impl Default for Sha256 {
 
 impl Sha256 {
     fn compress(&mut self, block: &[u8; 64]) {
+        if crate::accel::sha256_compress(&mut self.state, block, &K256) {
+            return;
+        }
+        Self::compress_scalar(&mut self.state, block);
+    }
+
+    /// Portable compression core; also the reference the accelerated
+    /// kernel is cross-checked against.
+    pub(crate) fn compress_scalar(state: &mut [u32; 8], block: &[u8; 64]) {
         let mut w = [0u32; 64];
         for (i, chunk) in block.chunks_exact(4).enumerate() {
             w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
@@ -51,7 +60,7 @@ impl Sha256 {
                 .wrapping_add(s1);
         }
 
-        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
         for i in 0..64 {
             let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
             let ch = (e & f) ^ (!e & g);
@@ -73,7 +82,7 @@ impl Sha256 {
             a = t1.wrapping_add(t2);
         }
 
-        for (s, v) in self.state.iter_mut().zip([a, b, c, d, e, f, g, h]) {
+        for (s, v) in state.iter_mut().zip([a, b, c, d, e, f, g, h]) {
             *s = s.wrapping_add(v);
         }
     }

@@ -52,6 +52,22 @@ impl SimClock {
     pub fn advance_secs(&self, secs: u64) {
         self.advance_millis(secs * 1000);
     }
+
+    /// Advance the clock *to* `deadline_ms`, if that instant is in the
+    /// future; a deadline already in the past leaves the clock alone.
+    ///
+    /// This is the event-driven counterpart of [`advance_millis`]: when
+    /// many exchanges are in flight at once, time moves to each
+    /// completion's absolute deadline instead of accumulating per-query
+    /// latencies, so overlapping exchanges overlap in virtual time too.
+    /// Returns the clock value after the call.
+    ///
+    /// [`advance_millis`]: SimClock::advance_millis
+    pub fn advance_to_millis(&self, deadline_ms: u64) -> u64 {
+        self.millis
+            .fetch_max(deadline_ms, Ordering::Relaxed)
+            .max(deadline_ms)
+    }
 }
 
 impl ede_trace::TraceClock for SimClock {
@@ -76,6 +92,20 @@ mod tests {
         let b = a.clone();
         a.advance_secs(90);
         assert_eq!(b.now_secs() as u64, SIM_EPOCH_SECS + 90);
+    }
+
+    #[test]
+    fn advance_to_is_monotonic() {
+        let c = SimClock::new();
+        let start = c.now_millis();
+        assert_eq!(c.advance_to_millis(start + 50), start + 50);
+        assert_eq!(c.now_millis(), start + 50);
+        // A deadline in the past does not rewind.
+        assert_eq!(c.advance_to_millis(start + 10), start + 50);
+        assert_eq!(c.now_millis(), start + 50);
+        // Advancing to "now" is a no-op.
+        assert_eq!(c.advance_to_millis(start + 50), start + 50);
+        assert_eq!(c.now_millis(), start + 50);
     }
 
     #[test]

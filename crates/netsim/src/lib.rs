@@ -13,7 +13,12 @@
 //! * [`transport`] — the network itself: a routing table from `IpAddr` to
 //!   [`Server`] instances, with per-query latency, deterministic loss,
 //!   unroutability for special addresses, and a stream (TCP-analogue)
-//!   channel for truncation fallback.
+//!   channel for truncation fallback. Exchanges come in two shapes: the
+//!   blocking `query` call, and the event-driven `send`/`complete` pair
+//!   that lets one thread keep thousands of exchanges in flight.
+//! * [`completion`] — the deterministic completion-event queue the
+//!   event-driven shape schedules against (deadline order, FIFO among
+//!   ties). `docs/CONCURRENCY.md` specifies the full model.
 //! * [`fault`] — composable, deterministic fault plans scheduled on the
 //!   virtual clock: loss bursts, latency spikes, link flaps, NS
 //!   blackholes, response corruption, and the response-size model that
@@ -28,13 +33,15 @@
 
 pub mod addr;
 pub mod clock;
+pub mod completion;
 pub mod fault;
 pub mod transport;
 
 pub use addr::{classify, AddrClass, SpecialUse};
 pub use clock::SimClock;
+pub use completion::CompletionQueue;
 pub use fault::{Blackhole, FaultPlan, FaultTarget, LatencySpike, LinkFlap, LossBurst};
 pub use transport::{
-    CapturedQuery, NetError, Network, NetworkBuilder, NetworkConfig, Server, ServerResponse,
-    TrafficSnapshot, TrafficStats,
+    CapturedQuery, InFlight, NetError, Network, NetworkBuilder, NetworkConfig, Server,
+    ServerResponse, TrafficSnapshot, TrafficStats,
 };

@@ -316,6 +316,44 @@ pub struct Network {
     faults: FaultCell,
 }
 
+/// A sent-but-not-yet-observed exchange, returned by [`Network::send`]
+/// and [`Network::send_stream`].
+///
+/// The outcome (reply, timeout, or unroutable) is already decided —
+/// servers are synchronous state machines — but none of its effects have
+/// been applied: the clock has not moved, the delivered/failed counters
+/// have not ticked, and no `ResponseReceived`/`Timeout` event has been
+/// emitted. All of that happens in [`Network::complete`], which consumes
+/// the token. Schedulers order tokens by [`InFlight::deadline_ms`] (see
+/// [`crate::CompletionQueue`]).
+#[derive(Debug)]
+pub struct InFlight {
+    deadline_ms: u64,
+    dst: IpAddr,
+    tracer: Tracer,
+    qname: String,
+    outcome: InFlightOutcome,
+}
+
+#[derive(Debug)]
+enum InFlightOutcome {
+    Reply { msg: Message, latency_ms: u64 },
+    Fail { unroutable: bool, error: NetError },
+}
+
+impl InFlight {
+    /// Absolute virtual-clock instant (milliseconds) at which this
+    /// exchange's outcome becomes observable.
+    pub fn deadline_ms(&self) -> u64 {
+        self.deadline_ms
+    }
+
+    /// The destination the query was sent to.
+    pub fn dst(&self) -> IpAddr {
+        self.dst
+    }
+}
+
 impl Network {
     /// The shared clock.
     pub fn clock(&self) -> &SimClock {
@@ -503,6 +541,213 @@ impl Network {
             ServerResponse::Drop => {
                 fail(false);
                 Err(NetError::Timeout)
+            }
+        }
+    }
+
+    /// Send `query` to `dst` from `src` without waiting: the event-driven
+    /// half of [`Network::query`].
+    ///
+    /// All *send-time* effects happen here, in exactly the order the
+    /// blocking path applies them — the query counter, capture, the
+    /// `QuerySent` trace event, routability and fault-plan checks, the
+    /// deterministic loss decision, and the server's handler (servers are
+    /// synchronous state machines, so the reply is computed at send time;
+    /// only its *observation* is deferred). The returned [`InFlight`]
+    /// token carries the absolute virtual-clock deadline at which the
+    /// outcome becomes observable; park it in a
+    /// [`crate::CompletionQueue`] and hand it back to
+    /// [`Network::complete`] when its deadline is the earliest pending
+    /// one.
+    ///
+    /// Determinism: a `send` immediately followed by its `complete` is
+    /// event-for-event and timestamp-for-timestamp identical to one
+    /// blocking [`Network::query`] call. Every `InFlight` must be
+    /// completed, or the traffic counters will show more queries than
+    /// outcomes.
+    pub fn send(&self, dst: IpAddr, src: IpAddr, query: &Message) -> InFlight {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.stats.queries.fetch_add(1, Relaxed);
+        let tracer = self.tracer.get();
+        let recording = self.capture.recording();
+        let (qname, qtype) = if tracer.wants_query_detail() || recording {
+            query
+                .first_question()
+                .map(|q| (q.name.to_string(), q.qtype.to_u16()))
+                .unwrap_or_else(|| (String::from("-"), 0))
+        } else {
+            (String::new(), 0)
+        };
+        if recording && query.first_question().is_some() {
+            self.capture.push(CapturedQuery {
+                dst,
+                qname: qname.clone(),
+                qtype,
+            });
+        }
+        tracer.emit(TraceEvent::QuerySent {
+            dst,
+            qname: qname.clone(),
+            qtype,
+            id: query.id,
+        });
+        let now_ms = self.clock.now_millis();
+        let fail = |tracer: Tracer, qname: String, unroutable: bool, error: NetError| InFlight {
+            deadline_ms: now_ms + self.config.timeout_ms,
+            dst,
+            tracer,
+            qname,
+            outcome: InFlightOutcome::Fail { unroutable, error },
+        };
+        if !classify(dst).is_routable() {
+            return fail(tracer, qname, true, NetError::Unroutable);
+        }
+        let Some(server) = self.routes.get(&dst) else {
+            return fail(tracer, qname, false, NetError::Timeout);
+        };
+        let fault = self.faults.get();
+        if let Some((plan, epoch_ms)) = &fault {
+            let at_ms = now_ms.saturating_sub(*epoch_ms);
+            if let Some(kind) = plan.unreachable_at(dst, at_ms) {
+                self.inject(&tracer, kind, dst);
+                return fail(tracer, qname, false, NetError::Timeout);
+            }
+            if let Some(kind) = plan.lose_at(dst, at_ms, query) {
+                self.inject(&tracer, kind, dst);
+                return fail(tracer, qname, false, NetError::Timeout);
+            }
+        }
+        if self.lose(dst, query) {
+            return fail(tracer, qname, false, NetError::Timeout);
+        }
+        match server.handle(query, src, self.clock.now_secs()) {
+            ServerResponse::Reply(mut msg) => {
+                let mut latency_ms = self.config.rtt_ms;
+                if let Some((plan, epoch_ms)) = &fault {
+                    if plan.corrupt_at(dst, query) {
+                        self.inject(&tracer, "corrupt", dst);
+                        let mut garbled = Message::response_to(query);
+                        garbled.rcode = Rcode::FormErr;
+                        garbled.edns = query.edns.clone();
+                        msg = garbled;
+                    }
+                    if let Some(limit) = plan.negotiated_limit(query) {
+                        if !msg.truncated && msg.encoded_len() > usize::from(limit) {
+                            msg = msg.truncated_copy();
+                            self.stats.truncated.fetch_add(1, Relaxed);
+                        }
+                    }
+                    let at_ms = now_ms.saturating_sub(*epoch_ms);
+                    let extra = plan.spike_extra_at(at_ms);
+                    if extra > 0 {
+                        self.inject(&tracer, "spike", dst);
+                        latency_ms += extra;
+                    }
+                }
+                InFlight {
+                    deadline_ms: now_ms + latency_ms,
+                    dst,
+                    tracer,
+                    qname,
+                    outcome: InFlightOutcome::Reply { msg, latency_ms },
+                }
+            }
+            ServerResponse::Drop => fail(tracer, qname, false, NetError::Timeout),
+        }
+    }
+
+    /// Stream-channel counterpart of [`Network::send`]: the event-driven
+    /// half of [`Network::query_stream`]. Streams keep their blocking
+    /// semantics — two RTTs of latency, exempt from loss, corruption and
+    /// truncation — only the outcome's observation is deferred.
+    pub fn send_stream(&self, dst: IpAddr, src: IpAddr, query: &Message) -> InFlight {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.stats.queries.fetch_add(1, Relaxed);
+        self.stats.stream_queries.fetch_add(1, Relaxed);
+        let tracer = self.tracer.get();
+        let qname = if tracer.wants_query_detail() {
+            query
+                .first_question()
+                .map(|q| q.name.to_string())
+                .unwrap_or_else(|| String::from("-"))
+        } else {
+            String::new()
+        };
+        tracer.emit(TraceEvent::QuerySent {
+            dst,
+            qname: qname.clone(),
+            qtype: query
+                .first_question()
+                .map(|q| q.qtype.to_u16())
+                .unwrap_or(0),
+            id: query.id,
+        });
+        let now_ms = self.clock.now_millis();
+        let fail = |tracer: Tracer, qname: String, unroutable: bool, error: NetError| InFlight {
+            deadline_ms: now_ms + self.config.timeout_ms,
+            dst,
+            tracer,
+            qname,
+            outcome: InFlightOutcome::Fail { unroutable, error },
+        };
+        if !classify(dst).is_routable() {
+            return fail(tracer, qname, true, NetError::Unroutable);
+        }
+        let Some(server) = self.routes.get(&dst) else {
+            return fail(tracer, qname, false, NetError::Timeout);
+        };
+        if let Some((plan, epoch_ms)) = self.faults.get() {
+            let at_ms = now_ms.saturating_sub(epoch_ms);
+            if let Some(kind) = plan.unreachable_at(dst, at_ms) {
+                self.inject(&tracer, kind, dst);
+                return fail(tracer, qname, false, NetError::Timeout);
+            }
+        }
+        match server.handle_stream(query, src, self.clock.now_secs()) {
+            ServerResponse::Reply(msg) => {
+                let latency_ms = 2 * self.config.rtt_ms;
+                InFlight {
+                    deadline_ms: now_ms + latency_ms,
+                    dst,
+                    tracer,
+                    qname,
+                    outcome: InFlightOutcome::Reply { msg, latency_ms },
+                }
+            }
+            ServerResponse::Drop => fail(tracer, qname, false, NetError::Timeout),
+        }
+    }
+
+    /// Observe the outcome of an in-flight exchange: the *completion*
+    /// half of [`Network::send`] / [`Network::send_stream`].
+    ///
+    /// Advances the virtual clock **to** the exchange's deadline (a
+    /// no-op when another completion already moved time past it), then
+    /// applies the outcome-time effects in the blocking path's order:
+    /// the delivered/failed counter and the `ResponseReceived` /
+    /// `Timeout` trace event.
+    pub fn complete(&self, inflight: InFlight) -> Result<Message, NetError> {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.clock.advance_to_millis(inflight.deadline_ms);
+        match inflight.outcome {
+            InFlightOutcome::Reply { msg, latency_ms } => {
+                self.stats.delivered.fetch_add(1, Relaxed);
+                inflight.tracer.emit(TraceEvent::ResponseReceived {
+                    src: inflight.dst,
+                    rcode: msg.rcode.to_u16(),
+                    answers: msg.answers.len(),
+                    latency_ms,
+                });
+                Ok(msg)
+            }
+            InFlightOutcome::Fail { unroutable, error } => {
+                self.stats.failed.fetch_add(1, Relaxed);
+                inflight.tracer.emit(TraceEvent::Timeout {
+                    dst: inflight.dst,
+                    qname: inflight.qname,
+                    unroutable,
+                });
+                Err(error)
             }
         }
     }
@@ -701,6 +946,98 @@ mod tests {
         assert_eq!(
             net.query("93.184.216.34".parse().unwrap(), client(), &q(5)),
             Err(NetError::Timeout)
+        );
+    }
+
+    #[test]
+    fn send_complete_matches_blocking_query_exactly() {
+        use ede_trace::ResolutionTrace;
+
+        // Two identically-built worlds: one driven blocking, one split.
+        let build = || {
+            let mut b = NetworkBuilder::new();
+            b.register("93.184.216.34".parse().unwrap(), Arc::new(Echo));
+            b.register("93.184.216.35".parse().unwrap(), Arc::new(BlackHole));
+            let net = b.build(SimClock::new());
+            let trace = Arc::new(ResolutionTrace::new(64));
+            net.set_trace_sink(trace.clone());
+            (net, trace)
+        };
+        let exchanges: Vec<(IpAddr, u16)> = vec![
+            ("93.184.216.34".parse().unwrap(), 1), // delivered
+            ("93.184.216.35".parse().unwrap(), 2), // dropped -> timeout
+            ("192.0.2.1".parse().unwrap(), 3),     // unroutable
+            ("93.184.216.99".parse().unwrap(), 4), // no route
+            ("93.184.216.34".parse().unwrap(), 5), // delivered again
+        ];
+
+        let (blocking, blocking_trace) = build();
+        let blocking_results: Vec<_> = exchanges
+            .iter()
+            .map(|&(dst, id)| blocking.query(dst, client(), &q(id)))
+            .collect();
+
+        let (split, split_trace) = build();
+        let split_results: Vec<_> = exchanges
+            .iter()
+            .map(|&(dst, id)| {
+                let inflight = split.send(dst, client(), &q(id));
+                split.complete(inflight)
+            })
+            .collect();
+
+        assert_eq!(blocking_results, split_results);
+        assert_eq!(blocking_trace.events(), split_trace.events());
+        assert_eq!(blocking.clock().now_millis(), split.clock().now_millis());
+        assert_eq!(
+            blocking.stats().snapshot_full(),
+            split.stats().snapshot_full()
+        );
+    }
+
+    #[test]
+    fn overlapping_sends_share_virtual_time() {
+        // Two in-flight exchanges sent at the same instant complete at
+        // the same deadline: the clock advances one RTT total, not two.
+        let mut b = NetworkBuilder::new();
+        b.register("93.184.216.34".parse().unwrap(), Arc::new(Echo));
+        let net = b.build(SimClock::new());
+        let t0 = net.clock().now_millis();
+        let a = net.send("93.184.216.34".parse().unwrap(), client(), &q(1));
+        let b2 = net.send("93.184.216.34".parse().unwrap(), client(), &q(2));
+        assert_eq!(a.deadline_ms(), t0 + 20);
+        assert_eq!(b2.deadline_ms(), t0 + 20);
+        assert_eq!(net.clock().now_millis(), t0, "send must not move time");
+        net.complete(a).unwrap();
+        net.complete(b2).unwrap();
+        assert_eq!(net.clock().now_millis(), t0 + 20);
+        let (q_total, delivered, failed) = net.stats().snapshot();
+        assert_eq!((q_total, delivered, failed), (2, 2, 0));
+    }
+
+    #[test]
+    fn send_stream_matches_blocking_stream() {
+        struct StreamEcho;
+        impl Server for StreamEcho {
+            fn handle(&self, q: &Message, _src: IpAddr, _now: u32) -> ServerResponse {
+                ServerResponse::Reply(Message::response_to(q))
+            }
+        }
+        let build = || {
+            let mut b = NetworkBuilder::new();
+            b.register("93.184.216.34".parse().unwrap(), Arc::new(StreamEcho));
+            b.build(SimClock::new())
+        };
+        let blocking = build();
+        let split = build();
+        let want = blocking.query_stream("93.184.216.34".parse().unwrap(), client(), &q(7));
+        let inflight = split.send_stream("93.184.216.34".parse().unwrap(), client(), &q(7));
+        let got = split.complete(inflight);
+        assert_eq!(want, got);
+        assert_eq!(blocking.clock().now_millis(), split.clock().now_millis());
+        assert_eq!(
+            blocking.stats().snapshot_full(),
+            split.stats().snapshot_full()
         );
     }
 

@@ -171,8 +171,10 @@ impl Cache {
                 e.stored_at = now;
                 e.ttl = ttl;
             }
+            // Entries outlive the resolution that created them: detach
+            // the key so it doesn't pin the caller's allocations.
             None => bucket.push(Entry {
-                qname: qname.clone(),
+                qname: qname.detached(),
                 qtype: qtype.to_u16(),
                 data,
                 stored_at: now,

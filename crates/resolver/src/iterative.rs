@@ -5,6 +5,7 @@ use crate::config::ResolverConfig;
 use crate::diagnosis::{Diagnosis, Finding, NegativeKind, NsEvent, NsFailure, ValidationState};
 use crate::profiles::ValidatorCaps;
 use crate::retry::{ServerSelection, SrttTable};
+use crate::task::TaskHandle;
 use crate::validate::{
     advisory_answer_key_check, check_negative, check_rrset, collate, validate_dnskey, PublishedKey,
 };
@@ -109,6 +110,10 @@ fn replay_key_entry(
 }
 
 /// The engine borrows everything it needs for one resolution.
+///
+/// Every engine run is a resumable task: network exchanges and retry
+/// timers suspend through the [`TaskHandle`], so one thread can hold
+/// thousands of engine runs in flight (see `docs/CONCURRENCY.md`).
 pub struct Engine<'a> {
     /// The simulated internet.
     pub net: &'a Network,
@@ -123,6 +128,9 @@ pub struct Engine<'a> {
     /// Shared per-address smoothed-RTT table (feeds
     /// [`ServerSelection::SmoothedRtt`]).
     pub srtt: &'a SrttTable,
+    /// Executor capability: every suspension (exchange completion,
+    /// backoff timer) of this resolution parks through it.
+    pub handle: &'a TaskHandle,
 }
 
 /// Outcome of querying a server set.
@@ -146,7 +154,35 @@ impl<'a> Engine<'a> {
     /// reply carries TC=1 and the policy allows it, announce a
     /// [`TraceEvent::TcFallback`] and re-ask the same server over the
     /// stream (TCP-analogue) channel.
-    fn transact(
+    ///
+    /// The exchange is event-driven: the send happens immediately (all
+    /// send-time side effects land before the suspension), then the
+    /// task parks until the completion event fires.
+    async fn transact(
+        &self,
+        addr: IpAddr,
+        query: &Message,
+        diag: &Diagnosis,
+    ) -> Result<Message, NetError> {
+        let sent = self.net.send(addr, self.config.source_addr, query);
+        match self.handle.await_net(sent).await {
+            Ok(resp) if resp.truncated && self.config.retry.tc_fallback => {
+                self.trace_tc_fallback(addr, query, diag);
+                let sent = self.net.send_stream(addr, self.config.source_addr, query);
+                self.handle.await_net(sent).await
+            }
+            other => other,
+        }
+    }
+
+    /// Blocking twin of [`transact`](Self::transact), used only by
+    /// [`zone_keys`](Self::zone_keys): the DNSKEY fetch holds the key
+    /// cache's singleflight build permit, which must never span a
+    /// suspension point (a parked permit holder would deadlock every
+    /// other task missing on the same zone). Key fetches therefore run
+    /// as one atomic step on the blocking transport — a documented
+    /// determinism rule of `docs/CONCURRENCY.md`.
+    fn transact_blocking(
         &self,
         addr: IpAddr,
         query: &Message,
@@ -154,27 +190,33 @@ impl<'a> Engine<'a> {
     ) -> Result<Message, NetError> {
         match self.net.query(addr, self.config.source_addr, query) {
             Ok(resp) if resp.truncated && self.config.retry.tc_fallback => {
-                let tracer = diag.tracer();
-                if tracer.enabled() {
-                    tracer.emit(TraceEvent::TcFallback {
-                        dst: addr,
-                        qname: if tracer.wants_query_detail() {
-                            query
-                                .first_question()
-                                .map(|q| q.name.to_string())
-                                .unwrap_or_default()
-                        } else {
-                            String::new()
-                        },
-                        // Only the TC bit is visible here; the full
-                        // answer's size is the stream reply's business.
-                        size: 0,
-                        limit: query.advertised_payload_size(),
-                    });
-                }
+                self.trace_tc_fallback(addr, query, diag);
                 self.net.query_stream(addr, self.config.source_addr, query)
             }
             other => other,
+        }
+    }
+
+    /// Announce the TC=1 → stream fallback shared by both transact
+    /// flavours.
+    fn trace_tc_fallback(&self, addr: IpAddr, query: &Message, diag: &Diagnosis) {
+        let tracer = diag.tracer();
+        if tracer.enabled() {
+            tracer.emit(TraceEvent::TcFallback {
+                dst: addr,
+                qname: if tracer.wants_query_detail() {
+                    query
+                        .first_question()
+                        .map(|q| q.name.to_string())
+                        .unwrap_or_default()
+                } else {
+                    String::new()
+                },
+                // Only the TC bit is visible here; the full
+                // answer's size is the stream reply's business.
+                size: 0,
+                limit: query.advertised_payload_size(),
+            });
         }
     }
 
@@ -190,7 +232,7 @@ impl<'a> Engine<'a> {
     ///
     /// [`RetryPolicy`]: crate::retry::RetryPolicy
     /// [`RetryPolicy::none()`]: crate::retry::RetryPolicy::none
-    fn query_set(
+    async fn query_set(
         &self,
         servers: &[IpAddr],
         qname: &Name,
@@ -236,13 +278,13 @@ impl<'a> Engine<'a> {
                         }
                         let wait = policy.backoff_ms(streak, addr, attempt);
                         if wait > 0 {
-                            self.net.clock().advance_millis(wait);
+                            self.handle.sleep_millis(wait).await;
                         }
                     }
                     attempt += 1;
                     let query = Message::iterative_query(self.next_id(), qname.clone(), qtype);
                     let sent_ms = self.net.clock().now_millis();
-                    match self.transact(addr, &query, diag) {
+                    match self.transact(addr, &query, diag).await {
                         Ok(resp) => {
                             if resp.truncated {
                                 // TC=1 with fallback disabled: the
@@ -336,6 +378,10 @@ impl<'a> Engine<'a> {
 
     /// Fetch + validate (with caching) the DNSKEY RRset of `zone` using
     /// `server`, against the already-validated `ds` set.
+    ///
+    /// Deliberately synchronous: the whole fetch runs as one atomic
+    /// step while holding the zone's singleflight build permit, on the
+    /// blocking transport (see [`transact_blocking`](Self::transact_blocking)).
     fn zone_keys(
         &self,
         zone: &Name,
@@ -392,7 +438,7 @@ impl<'a> Engine<'a> {
                 }
             }
             let query = Message::iterative_query(self.next_id(), zone.clone(), RrType::Dnskey);
-            match self.transact(server, &query, &sub) {
+            match self.transact_blocking(server, &query, &sub) {
                 Ok(resp) => {
                     if resp.truncated {
                         break Err(NsFailure::Truncated);
@@ -461,7 +507,7 @@ impl<'a> Engine<'a> {
         {
             let mut shard = self.key_cache.shard(zone).lock().expect("no poisoning");
             shard.entries.insert(
-                zone.clone(),
+                zone.detached(),
                 Arc::new(KeyEntry {
                     trusted: trusted.clone(),
                     published: published.clone(),
@@ -478,7 +524,7 @@ impl<'a> Engine<'a> {
     /// Resolve addresses for a nameserver name (used when a referral
     /// came without glue). Shares the caller's diagnosis so failures in
     /// the nameserver's own domain surface, as §4.2.8 observes.
-    fn resolve_ns_addresses(
+    async fn resolve_ns_addresses(
         &self,
         ns_name: &Name,
         diag: &mut Diagnosis,
@@ -487,7 +533,11 @@ impl<'a> Engine<'a> {
         if depth >= self.config.max_depth {
             return Vec::new();
         }
-        let outcome = self.resolve(ns_name, RrType::A, diag, depth + 1);
+        // The one boxing point that breaks the resolve →
+        // resolve_ns_addresses → resolve type recursion.
+        let fut: std::pin::Pin<Box<dyn std::future::Future<Output = EngineOutcome> + '_>> =
+            Box::pin(self.resolve(ns_name, RrType::A, diag, depth + 1));
+        let outcome = fut.await;
         outcome
             .answers
             .iter()
@@ -499,8 +549,10 @@ impl<'a> Engine<'a> {
             .collect()
     }
 
-    /// Full iterative resolution of (qname, qtype).
-    pub fn resolve(
+    /// Full iterative resolution of (qname, qtype), as a resumable
+    /// task: the returned future suspends on every network exchange
+    /// and retry timer via the engine's [`TaskHandle`].
+    pub async fn resolve(
         &self,
         qname: &Name,
         qtype: RrType,
@@ -539,33 +591,35 @@ impl<'a> Engine<'a> {
                 };
                 let minimized = probe_name != current_name;
 
-                let (resp, responder) =
-                    match self.query_set(&servers, &probe_name, probe_type, diag) {
-                        SetQuery::Answered(resp, addr) => (resp, addr),
-                        SetQuery::AllFailed { any_rcode_failure } => {
-                            diag.add(Finding::AllServersFailed { any_rcode_failure });
-                            // For a signed zone, probe the DNSKEY too so
-                            // the diagnosis records that the chain key is
-                            // unobtainable (Cloudflare's 9+22+23 bundle).
-                            if ds_chain.as_ref().is_some_and(|d| !d.is_empty())
-                                && !current_zone.is_root()
-                            {
-                                if let Some(&first) = servers.first() {
-                                    let _ = self.zone_keys(
-                                        &current_zone,
-                                        ds_chain.as_deref().unwrap_or(&[]),
-                                        first,
-                                        diag,
-                                    );
-                                }
+                let (resp, responder) = match self
+                    .query_set(&servers, &probe_name, probe_type, diag)
+                    .await
+                {
+                    SetQuery::Answered(resp, addr) => (resp, addr),
+                    SetQuery::AllFailed { any_rcode_failure } => {
+                        diag.add(Finding::AllServersFailed { any_rcode_failure });
+                        // For a signed zone, probe the DNSKEY too so
+                        // the diagnosis records that the chain key is
+                        // unobtainable (Cloudflare's 9+22+23 bundle).
+                        if ds_chain.as_ref().is_some_and(|d| !d.is_empty())
+                            && !current_zone.is_root()
+                        {
+                            if let Some(&first) = servers.first() {
+                                let _ = self.zone_keys(
+                                    &current_zone,
+                                    ds_chain.as_deref().unwrap_or(&[]),
+                                    first,
+                                    diag,
+                                );
                             }
-                            diag.degrade(ValidationState::Indeterminate);
-                            return EngineOutcome {
-                                rcode: Rcode::ServFail,
-                                answers: Vec::new(),
-                            };
                         }
-                    };
+                        diag.degrade(ValidationState::Indeterminate);
+                        return EngineOutcome {
+                            rcode: Rcode::ServFail,
+                            answers: Vec::new(),
+                        };
+                    }
+                };
 
                 // Referral?
                 if !resp.authoritative {
@@ -635,7 +689,7 @@ impl<'a> Engine<'a> {
                         }
                         if next.is_empty() {
                             for ns in &referral.ns_names {
-                                next.extend(self.resolve_ns_addresses(ns, diag, depth));
+                                next.extend(self.resolve_ns_addresses(ns, diag, depth).await);
                                 if next.len() >= self.config.max_servers_per_zone {
                                     break;
                                 }

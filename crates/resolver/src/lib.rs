@@ -28,6 +28,18 @@
 //! RFC 8767 serve-stale — the substrate behind EDE 3 (*Stale Answer*),
 //! 13 (*Cached Error*) and 19 (*Stale NXDOMAIN Answer*). A [`policy`]
 //! layer reproduces blocklist-style codes (4, 15–18).
+//!
+//! # Execution model
+//!
+//! Resolutions are *resumable tasks*: the engine suspends on every
+//! network exchange and retry timer, and a [`task::ResolutionPool`]
+//! multiplexes thousands of suspended resolutions on one thread by
+//! draining a deterministic completion-event queue. The blocking
+//! [`Resolver::resolve`] call still exists (it drives a single task
+//! inline and is bit-identical to the historical blocking engine);
+//! [`Resolver::resolve_on`] is the pool-facing shape. The full model —
+//! states, transitions, event ordering, determinism rules — is
+//! specified in `docs/CONCURRENCY.md`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -43,6 +55,7 @@ pub mod profiles;
 pub mod reporting;
 pub mod resolver;
 pub mod retry;
+pub mod task;
 pub mod validate;
 
 pub use config::{ResolverConfig, ResolverConfigBuilder};
@@ -50,3 +63,4 @@ pub use diagnosis::{Diagnosis, Finding, NsFailure, ValidationState};
 pub use profiles::{Vendor, VendorProfile};
 pub use resolver::{Resolution, Resolver};
 pub use retry::{RetryPolicy, ServerSelection, SrttTable};
+pub use task::{ResolutionPool, TaskHandle};

@@ -7,9 +7,11 @@ use crate::iterative::{Engine, KeyCache};
 use crate::policy::{Policy, PolicyAction};
 use crate::profiles::VendorProfile;
 use crate::retry::SrttTable;
+use crate::task::{run_local, TaskHandle};
 use ede_netsim::Network;
 use ede_trace::{CacheOutcome, TraceEvent, Tracer};
 use ede_wire::{EdeEntry, Edns, Message, Name, Rcode, Record, RrType};
+use std::future::Future;
 use std::sync::atomic::AtomicU16;
 use std::sync::Arc;
 
@@ -97,6 +99,12 @@ impl Resolver {
         &self.net
     }
 
+    /// The network by shared handle — [`crate::ResolutionPool::new`]
+    /// needs an owning clone.
+    pub fn network_shared(&self) -> Arc<Network> {
+        Arc::clone(&self.net)
+    }
+
     /// Flush caches (tests and scan shards).
     pub fn flush(&self) {
         self.cache.clear();
@@ -112,7 +120,38 @@ impl Resolver {
     /// `ResolutionStarted`/`ResolutionFinished` events and every cache
     /// probe, validation step, finding, and EDE emission is announced in
     /// between.
+    ///
+    /// This is the blocking shape: it drives the resolution task to
+    /// completion on the calling thread via a private single-task event
+    /// loop, producing exactly the event sequence the historical
+    /// blocking engine produced. To hold many resolutions in flight on
+    /// one thread, use [`resolve_on`](Self::resolve_on) with a
+    /// [`crate::ResolutionPool`] instead.
     pub fn resolve(&self, qname: &Name, qtype: RrType) -> Resolution {
+        run_local(&self.net, |handle| async move {
+            self.resolve_with(&handle, qname, qtype).await
+        })
+    }
+
+    /// The pool shape of [`resolve`](Self::resolve): a `'static`
+    /// resolution task for [`crate::ResolutionPool::spawn`]. The task
+    /// keeps the resolver alive via the `Arc` and suspends on `handle`
+    /// whenever it would block on the network.
+    ///
+    /// Semantics (policy, cache, validation, EDE emission) are
+    /// identical to the blocking call; only the scheduling differs.
+    pub fn resolve_on(
+        self: &Arc<Self>,
+        handle: TaskHandle,
+        qname: Name,
+        qtype: RrType,
+    ) -> impl Future<Output = Resolution> + 'static {
+        let this = Arc::clone(self);
+        async move { this.resolve_with(&handle, &qname, qtype).await }
+    }
+
+    /// The resolution pipeline itself, as a resumable task.
+    async fn resolve_with(&self, handle: &TaskHandle, qname: &Name, qtype: RrType) -> Resolution {
         let now = self.net.clock().now_secs();
         let tracer = self.net.tracer();
         let started_ms = tracer.now_millis();
@@ -181,8 +220,9 @@ impl Resolver {
             key_cache: &self.key_cache,
             ids: &self.ids,
             srtt: &self.srtt,
+            handle,
         };
-        let outcome = engine.resolve(qname, qtype, &mut diag, 0);
+        let outcome = engine.resolve(qname, qtype, &mut diag, 0).await;
 
         // 4. Serve-stale fallback (RFC 8767) on failure.
         if outcome.rcode == Rcode::ServFail && self.config.serve_stale && self.config.enable_cache {
@@ -219,14 +259,20 @@ impl Resolver {
             };
             // Cached diagnoses must not keep announcing to this
             // resolution's sink when replayed later: strip the tracer.
+            // Names are detached so the long-lived entry doesn't pin
+            // this resolution's transient response/zone allocations
+            // (cache entries used to hold the whole working set alive
+            // through shared `Arc`s, fragmenting the heap at scan
+            // scale).
             let mut stored = diag.clone();
             stored.set_tracer(Tracer::disabled());
+            stored.detach_names();
             self.cache.put(
                 qname,
                 qtype,
                 CachedResolution {
                     rcode: outcome.rcode,
-                    answers: outcome.answers.clone(),
+                    answers: outcome.answers.iter().map(|r| r.detached()).collect(),
                     diagnosis: stored,
                     is_failure,
                 },

@@ -56,6 +56,40 @@ pub enum ServerSelection {
 /// baseline), [`RetryPolicy::default()`] (hardened), or the fluent
 /// `with_*` methods; the struct is `#[non_exhaustive]` so fields can
 /// grow without breaking callers.
+///
+/// Backoff waits are deterministic: the jitter is a hash of
+/// `(jitter_seed, addr, attempt)`, never a random draw, so the same
+/// policy produces the same virtual-clock schedule on every run.
+///
+/// ```
+/// use std::net::{IpAddr, Ipv4Addr};
+/// use ede_resolver::retry::{RetryPolicy, ServerSelection};
+///
+/// // The baseline does nothing: no same-server retries, no backoff.
+/// let baseline = RetryPolicy::none();
+/// assert_eq!(baseline.retries_per_server, 0);
+/// let addr = IpAddr::V4(Ipv4Addr::new(192, 0, 2, 1));
+/// assert_eq!(baseline.backoff_ms(0, addr, 0), 0);
+///
+/// // A hardened profile tuned through the fluent builders.
+/// let policy = RetryPolicy::hardened()
+///     .with_retries_per_server(2)
+///     .with_backoff_ms(10, 200)
+///     .with_jitter_seed(7)
+///     .with_hedge_rounds(1)
+///     .with_selection(ServerSelection::SmoothedRtt)
+///     .with_tc_fallback(true);
+///
+/// // Same inputs, same wait — bit-reproducible backoff.
+/// let first = policy.backoff_ms(1, addr, 1);
+/// assert_eq!(first, policy.backoff_ms(1, addr, 1));
+/// // Waits grow with the failure streak and the jittered wait lands in
+/// // `[full/2, full)`, so it stays below the 200 ms ceiling.
+/// assert!(policy.backoff_ms(4, addr, 1) >= first);
+/// for streak in 0..16 {
+///     assert!(policy.backoff_ms(streak, addr, 1) < 200);
+/// }
+/// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub struct RetryPolicy {

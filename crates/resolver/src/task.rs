@@ -1,0 +1,465 @@
+//! Single-threaded resumable-task executor for massive in-flight
+//! concurrency.
+//!
+//! Each resolution becomes a *task*: a future that owns its pending
+//! queries and suspends whenever it would block on the simulated
+//! network. A [`ResolutionPool`] multiplexes thousands of such tasks on
+//! one OS thread by draining a deterministic completion-event queue
+//! ([`ede_netsim::CompletionQueue`]): the earliest-deadline event is
+//! serviced, the owning task is polled one step, and any new waits it
+//! registers go back into the queue. No OS scheduler, no wakers that do
+//! anything, no nondeterminism — `docs/CONCURRENCY.md` specifies the
+//! full model.
+//!
+//! Two entry points share the machinery:
+//!
+//! * [`ResolutionPool`] — the public pool. `spawn` admits a task,
+//!   `next` runs the event loop until a task finishes and hands back
+//!   its result. With `spawn`/`next` interleaved a caller keeps a
+//!   bounded number of resolutions in flight.
+//! * `run_local` (crate-internal) — drives exactly one task to
+//!   completion behind the blocking [`crate::Resolver::resolve`] call.
+//!   It emits no task-lifecycle events and is bit-identical to the
+//!   historical blocking engine.
+//!
+//! # Example
+//!
+//! ```
+//! use ede_netsim::{NetworkBuilder, SimClock};
+//! use ede_resolver::{ResolutionPool, Resolver, ResolverConfig, Vendor, VendorProfile};
+//! use ede_wire::{Name, Rcode, RrType};
+//! use std::sync::Arc;
+//!
+//! // An empty simulated internet: every root hint times out, so each
+//! // resolution fails fast — enough to show the pool mechanics.
+//! let net = Arc::new(NetworkBuilder::new().build(SimClock::new()));
+//! let resolver = Arc::new(Resolver::new(
+//!     net.clone(),
+//!     VendorProfile::new(Vendor::Bind9),
+//!     ResolverConfig::default(),
+//! ));
+//!
+//! // Three lookups in flight on one thread, one pool. Results arrive
+//! // in completion order, so tag each task with its index.
+//! let mut pool = ResolutionPool::new(net);
+//! for (i, name) in ["a.example", "b.example", "c.example"].iter().enumerate() {
+//!     let qname = Name::parse(name).unwrap();
+//!     let resolver = Arc::clone(&resolver);
+//!     pool.spawn(move |handle| {
+//!         let fut = resolver.resolve_on(handle, qname, RrType::A);
+//!         async move { (i, fut.await) }
+//!     });
+//! }
+//! let mut done = 0;
+//! for (_i, resolution) in &mut pool {
+//!     assert_eq!(resolution.rcode, Rcode::ServFail);
+//!     done += 1;
+//! }
+//! assert_eq!(done, 3);
+//! ```
+
+use ede_netsim::{CompletionQueue, InFlight, NetError, Network};
+use ede_trace::{TraceEvent, Tracer};
+use ede_wire::Message;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+
+/// One registered suspension: which task is parked and what it is
+/// waiting for. At most one `Wait` per task exists at any instant
+/// (tasks await a single exchange or timer at a time).
+// `Net` dominates the queue (every parked exchange holds one) and is
+// registered on the hot path — boxing the `InFlight` to shrink the
+// rare `Timer` variant would cost an allocation per exchange.
+#[allow(clippy::large_enum_variant)]
+enum Wait {
+    /// A network exchange in flight; servicing it completes the
+    /// exchange (advancing the virtual clock to its deadline) and
+    /// deposits the outcome in `slot` for the task's next poll.
+    Net {
+        task: usize,
+        inflight: InFlight,
+        slot: Rc<RefCell<Option<Result<Message, NetError>>>>,
+    },
+    /// A pure timer (retry backoff, hedging delay); servicing it
+    /// advances the virtual clock to the queue deadline.
+    Timer { task: usize },
+}
+
+impl Wait {
+    fn task(&self) -> usize {
+        match self {
+            Wait::Net { task, .. } | Wait::Timer { task } => *task,
+        }
+    }
+}
+
+/// The per-pool event state shared (via `Rc`) with every task handle:
+/// the deterministic completion queue of pending waits.
+struct Reactor {
+    queue: CompletionQueue<Wait>,
+}
+
+/// Service one popped wait: produce the side effects whose *timing*
+/// the queue ordered. For a network wait this completes the exchange
+/// (clock advance, delivery/timeout accounting, trace events); for a
+/// timer it advances the clock to the timer's deadline.
+fn service(net: &Network, deadline_ms: u64, wait: Wait) {
+    match wait {
+        Wait::Net { inflight, slot, .. } => {
+            let outcome = net.complete(inflight);
+            *slot.borrow_mut() = Some(outcome);
+        }
+        Wait::Timer { .. } => {
+            net.clock().advance_to_millis(deadline_ms);
+        }
+    }
+}
+
+/// A do-nothing waker. The pool never relies on wakeups — it knows
+/// exactly which task to poll because every suspension is registered
+/// in the completion queue — so the `Waker` handed to futures is inert.
+struct NoopWake;
+
+impl Wake for NoopWake {
+    fn wake(self: Arc<Self>) {}
+}
+
+fn noop_waker() -> Waker {
+    Waker::from(Arc::new(NoopWake))
+}
+
+/// Capability handed to each task for suspending itself. Cloneable and
+/// cheap; holds the pool's reactor and the task's slot index.
+///
+/// A handle is only usable from futures driven by the pool (or
+/// blocking driver) that issued it — it is deliberately `!Send`, like
+/// the pool itself.
+#[derive(Clone)]
+pub struct TaskHandle {
+    reactor: Rc<RefCell<Reactor>>,
+    net: Arc<Network>,
+    task: usize,
+}
+
+impl TaskHandle {
+    /// Suspend until the in-flight exchange completes, yielding its
+    /// outcome. The send-time side effects already happened inside
+    /// [`Network::send`]; this schedules the completion at the
+    /// exchange's deadline and parks the task.
+    pub fn await_net(&self, inflight: InFlight) -> NetFuture {
+        NetFuture {
+            reactor: self.reactor.clone(),
+            task: self.task,
+            inflight: Some(inflight),
+            slot: Rc::new(RefCell::new(None)),
+        }
+    }
+
+    /// Suspend for `ms` virtual milliseconds (retry backoff, hedging
+    /// delays). The deadline is fixed when the future is created:
+    /// `now + ms` on the shared virtual clock.
+    pub fn sleep_millis(&self, ms: u64) -> TimerFuture {
+        TimerFuture {
+            reactor: self.reactor.clone(),
+            task: self.task,
+            deadline_ms: self.net.clock().now_millis() + ms,
+            registered: false,
+        }
+    }
+}
+
+/// Future returned by [`TaskHandle::await_net`].
+pub struct NetFuture {
+    reactor: Rc<RefCell<Reactor>>,
+    task: usize,
+    inflight: Option<InFlight>,
+    slot: Rc<RefCell<Option<Result<Message, NetError>>>>,
+}
+
+impl Future for NetFuture {
+    type Output = Result<Message, NetError>;
+
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        if let Some(outcome) = this.slot.borrow_mut().take() {
+            return Poll::Ready(outcome);
+        }
+        if let Some(inflight) = this.inflight.take() {
+            let deadline = inflight.deadline_ms();
+            this.reactor.borrow_mut().queue.push(
+                deadline,
+                Wait::Net {
+                    task: this.task,
+                    inflight,
+                    slot: this.slot.clone(),
+                },
+            );
+        }
+        Poll::Pending
+    }
+}
+
+/// Future returned by [`TaskHandle::sleep_millis`].
+pub struct TimerFuture {
+    reactor: Rc<RefCell<Reactor>>,
+    task: usize,
+    deadline_ms: u64,
+    registered: bool,
+}
+
+impl Future for TimerFuture {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        if this.registered {
+            // The pool only re-polls a task after servicing its wait,
+            // so a second poll means the timer fired.
+            return Poll::Ready(());
+        }
+        this.registered = true;
+        this.reactor
+            .borrow_mut()
+            .queue
+            .push(this.deadline_ms, Wait::Timer { task: this.task });
+        Poll::Pending
+    }
+}
+
+/// A slot in the pool's task table. Slots are reused after completion
+/// so memory stays bounded by the *in-flight* count, not the total
+/// number of tasks ever spawned.
+struct SlotEntry<T> {
+    fut: Option<Pin<Box<dyn Future<Output = T>>>>,
+    /// Pool-scoped display id, increasing in spawn order (used in
+    /// `TaskSpawned`/`TaskCompleted` trace events).
+    id: u64,
+}
+
+/// A single-threaded pool of resumable resolution tasks multiplexed
+/// over one deterministic completion-event queue.
+///
+/// The caller drives the pool explicitly: [`spawn`](Self::spawn) admits
+/// a task (polling it eagerly — tasks that never block, e.g. cache
+/// hits, finish inside `spawn`), and [`next`](Self::next) steps the
+/// event loop until some task finishes, returning its result. Results
+/// are delivered in *completion* order, not spawn order; tag tasks
+/// with their index if order matters.
+///
+/// Scheduling is fully deterministic: pending completions are serviced
+/// in ascending deadline order, FIFO among equal deadlines (see
+/// [`ede_netsim::CompletionQueue`]). With the same spawns in the same
+/// order, every run produces the identical event sequence.
+pub struct ResolutionPool<T> {
+    net: Arc<Network>,
+    tracer: Tracer,
+    reactor: Rc<RefCell<Reactor>>,
+    slots: Vec<SlotEntry<T>>,
+    free: Vec<usize>,
+    ready: VecDeque<T>,
+    /// Tasks admitted and not yet completed.
+    live: usize,
+    /// Total tasks ever spawned (source of display ids).
+    spawned: u64,
+    waker: Waker,
+}
+
+impl<T> ResolutionPool<T> {
+    /// Create an empty pool bound to one simulated network. The pool
+    /// captures the network's current trace sink for task-lifecycle
+    /// events; attach sinks before building pools.
+    pub fn new(net: Arc<Network>) -> Self {
+        let tracer = net.tracer();
+        ResolutionPool {
+            net,
+            tracer,
+            reactor: Rc::new(RefCell::new(Reactor {
+                queue: CompletionQueue::new(),
+            })),
+            slots: Vec::new(),
+            free: Vec::new(),
+            ready: VecDeque::new(),
+            live: 0,
+            spawned: 0,
+            waker: noop_waker(),
+        }
+    }
+
+    /// Number of tasks admitted and not yet completed (including any
+    /// whose results are buffered but not yet collected via `next`).
+    pub fn in_flight(&self) -> usize {
+        self.live
+    }
+
+    /// Number of pending completion events (network exchanges and
+    /// timers) the pool is waiting on.
+    pub fn queued(&self) -> usize {
+        self.reactor.borrow().queue.len()
+    }
+
+    /// Number of task slots ever allocated. Slots are recycled on
+    /// completion, so this tracks the peak in-flight count — the pool's
+    /// memory bound — not the total number of tasks spawned.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when no task is in flight and no result is buffered:
+    /// [`next`](Self::next) would return `None`.
+    pub fn is_idle(&self) -> bool {
+        self.live == 0 && self.ready.is_empty()
+    }
+
+    /// Admit a resolution task. `make` receives the [`TaskHandle`] the
+    /// task must use for every suspension and returns the task future
+    /// (see [`crate::Resolver::resolve_on`]).
+    ///
+    /// The task is polled eagerly: work up to its first suspension —
+    /// or all of it, for tasks that never block — happens inside
+    /// `spawn`, and synchronously-finished results are buffered for
+    /// [`next`](Self::next).
+    pub fn spawn<F, M>(&mut self, make: M)
+    where
+        M: FnOnce(TaskHandle) -> F,
+        F: Future<Output = T> + 'static,
+    {
+        let slot = match self.free.pop() {
+            Some(slot) => slot,
+            None => {
+                self.slots.push(SlotEntry { fut: None, id: 0 });
+                self.slots.len() - 1
+            }
+        };
+        let id = self.spawned;
+        self.spawned += 1;
+        let handle = TaskHandle {
+            reactor: self.reactor.clone(),
+            net: self.net.clone(),
+            task: slot,
+        };
+        self.slots[slot] = SlotEntry {
+            fut: Some(Box::pin(make(handle))),
+            id,
+        };
+        self.live += 1;
+        self.tracer.emit(TraceEvent::TaskSpawned {
+            task: id,
+            in_flight: self.live,
+            queued: self.reactor.borrow().queue.len(),
+        });
+        self.poll_slot(slot);
+    }
+
+    /// Poll the task in `slot` one step; on completion buffer its
+    /// result, recycle the slot, and announce the lifecycle event.
+    fn poll_slot(&mut self, slot: usize) {
+        let mut fut = self.slots[slot]
+            .fut
+            .take()
+            .expect("polled slot holds a task");
+        let mut cx = Context::from_waker(&self.waker);
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Ready(result) => {
+                self.live -= 1;
+                let id = self.slots[slot].id;
+                self.free.push(slot);
+                self.ready.push_back(result);
+                self.tracer.emit(TraceEvent::TaskCompleted {
+                    task: id,
+                    in_flight: self.live,
+                    queued: self.reactor.borrow().queue.len(),
+                });
+            }
+            Poll::Pending => {
+                self.slots[slot].fut = Some(fut);
+            }
+        }
+    }
+}
+
+impl<T> Iterator for ResolutionPool<T> {
+    type Item = T;
+
+    /// Run the event loop until some task finishes and return its
+    /// result, or `None` when the pool is idle. Results arrive in
+    /// completion order. The pool is not fused: spawning after `None`
+    /// makes `next` yield results again.
+    fn next(&mut self) -> Option<T> {
+        loop {
+            if let Some(result) = self.ready.pop_front() {
+                return Some(result);
+            }
+            if self.live == 0 {
+                return None;
+            }
+            let (deadline_ms, wait) = self
+                .reactor
+                .borrow_mut()
+                .queue
+                .pop()
+                .expect("live tasks always hold a registered wait");
+            let slot = wait.task();
+            service(&self.net, deadline_ms, wait);
+            self.poll_slot(slot);
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for ResolutionPool<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResolutionPool")
+            .field("in_flight", &self.live)
+            .field("queued", &self.queued())
+            .field("spawned", &self.spawned)
+            .finish()
+    }
+}
+
+impl std::fmt::Debug for TaskHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskHandle")
+            .field("task", &self.task)
+            .finish()
+    }
+}
+
+/// Drive exactly one task to completion on the calling thread. This is
+/// the compatibility bridge behind the blocking [`crate::Resolver::resolve`]
+/// API: a private single-slot event loop with no task-lifecycle events,
+/// producing the identical event sequence the historical blocking
+/// engine produced.
+pub(crate) fn run_local<T, F, M>(net: &Arc<Network>, make: M) -> T
+where
+    M: FnOnce(TaskHandle) -> F,
+    F: Future<Output = T>,
+{
+    let reactor = Rc::new(RefCell::new(Reactor {
+        queue: CompletionQueue::new(),
+    }));
+    let handle = TaskHandle {
+        reactor: reactor.clone(),
+        net: net.clone(),
+        task: 0,
+    };
+    let mut fut = Box::pin(make(handle));
+    let waker = noop_waker();
+    let mut cx = Context::from_waker(&waker);
+    loop {
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Ready(result) => return result,
+            Poll::Pending => {
+                let (deadline_ms, wait) = reactor
+                    .borrow_mut()
+                    .queue
+                    .pop()
+                    .expect("a pending task has registered a wait");
+                service(net, deadline_ms, wait);
+            }
+        }
+    }
+}

@@ -14,7 +14,10 @@
 //! by cell, and the intensity-0 leg must be bit-identical to a plain
 //! repro-scan.
 
-use ede_scan::chaos::{baseline_matches_plain_scan, campaign, table4_deviation, ChaosConfig};
+use ede_scan::chaos::{
+    baseline_matches_plain_scan, campaign, inflight_matches_blocking_scan,
+    table4_concurrent_deviation, table4_deviation, ChaosConfig,
+};
 use ede_scan::{Population, PopulationConfig};
 
 fn main() {
@@ -62,6 +65,31 @@ fn main() {
         std::process::exit(1);
     }
     eprintln!("  ok: 63 x 7 cells bit-identical");
+
+    eprintln!("checking the Table 4 matrix with all 7 vendors concurrent per row...");
+    let deviations = table4_concurrent_deviation();
+    if !deviations.is_empty() {
+        for d in &deviations {
+            eprintln!("  table4 deviation: {d}");
+        }
+        eprintln!(
+            "FAIL: {} Table 4 cells deviate under concurrency",
+            deviations.len()
+        );
+        std::process::exit(1);
+    }
+    eprintln!("  ok: 63 x 7 cells bit-identical with 7 resolutions in flight");
+
+    eprintln!("checking an inflight=32 scan against the blocking scan...");
+    let diffs = inflight_matches_blocking_scan(&pop, &config, 32);
+    if !diffs.is_empty() {
+        for d in &diffs {
+            eprintln!("  inflight deviation: {d}");
+        }
+        eprintln!("FAIL: event-driven scan is not bit-identical to the blocking scan");
+        std::process::exit(1);
+    }
+    eprintln!("  ok: bit-identical observations, traffic, and metrics at inflight 32");
 
     eprintln!("checking the intensity-0 leg against a plain scan...");
     let diffs = baseline_matches_plain_scan(&pop, &config);

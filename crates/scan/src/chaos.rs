@@ -303,6 +303,110 @@ pub fn table4_deviation() -> Vec<String> {
     bad
 }
 
+/// The Table 4 matrix again, but with the seven vendor columns of each
+/// row resolved *concurrently* on one event-driven task pool: per spec,
+/// flush all seven resolvers, spawn the seven resolutions into a single
+/// pool, then compare every cell. Proves the paper's headline matrix
+/// survives high in-flight concurrency, not just the serial walk.
+/// Returns the differing cells; empty means bit-identical.
+///
+/// The per-spec flush order is preserved from [`table4_deviation`]: all
+/// columns of a row see the same freshly-flushed caches, so cache state
+/// cannot leak between specs (the reason the serial walk flushes too).
+pub fn table4_concurrent_deviation() -> Vec<String> {
+    use ede_resolver::ResolutionPool;
+    use ede_testbed::{expectations::table4, Testbed};
+    use ede_wire::RrType;
+    use std::sync::Arc;
+
+    let tb = Testbed::build();
+    let resolvers: Vec<_> = Vendor::ALL
+        .iter()
+        .map(|&v| Arc::new(tb.resolver(v)))
+        .collect();
+    let mut bad = Vec::new();
+    for (spec, exp) in tb.specs.iter().zip(table4()) {
+        let qname = tb.query_name(spec);
+        for r in &resolvers {
+            r.flush();
+        }
+        let mut pool: ResolutionPool<(usize, Vec<u16>)> =
+            ResolutionPool::new(resolvers[0].network_shared());
+        for (i, r) in resolvers.iter().enumerate() {
+            let resolver = Arc::clone(r);
+            let qname = qname.clone();
+            pool.spawn(move |handle| {
+                let fut = resolver.resolve_on(handle, qname, RrType::A);
+                async move { (i, fut.await.ede_codes()) }
+            });
+        }
+        let mut row: Vec<Option<Vec<u16>>> = vec![None; resolvers.len()];
+        for (i, codes) in &mut pool {
+            row[i] = Some(codes);
+        }
+        for (i, got) in row.into_iter().enumerate() {
+            let got = got.expect("column completed");
+            if got != exp.codes[i].to_vec() {
+                bad.push(format!(
+                    "{} col {i} (concurrent): got {:?}, expected {:?}",
+                    spec.label, got, exp.codes[i]
+                ));
+            }
+        }
+    }
+    bad
+}
+
+/// Assert (by running both) that an event-driven scan with `inflight`
+/// resolutions per worker is bit-identical to the blocking single-
+/// resolution scan: same observations, same traffic, same metrics
+/// counters (scheduler statistics excluded — they measure the window
+/// itself). Returns the differences; empty means identical.
+pub fn inflight_matches_blocking_scan(
+    pop: &Population,
+    config: &ChaosConfig,
+    inflight: usize,
+) -> Vec<String> {
+    let blocking_world = ScanWorld::build(pop);
+    let blocking = scan(
+        pop,
+        &blocking_world,
+        &ScanConfig::builder()
+            .vendor(config.vendor)
+            .inflight(1)
+            .build(),
+    );
+    let pooled_world = ScanWorld::build(pop);
+    let pooled = scan(
+        pop,
+        &pooled_world,
+        &ScanConfig::builder()
+            .vendor(config.vendor)
+            .inflight(inflight)
+            .build(),
+    );
+    let mut bad = Vec::new();
+    if blocking.observations != pooled.observations {
+        bad.push(format!("observations differ at inflight {inflight}"));
+    }
+    if blocking.traffic_full != pooled.traffic_full {
+        bad.push(format!(
+            "traffic differs at inflight {inflight}: {:?} != {:?}",
+            blocking.traffic_full, pooled.traffic_full
+        ));
+    }
+    if blocking.metrics.without_scheduler_stats() != pooled.metrics.without_scheduler_stats() {
+        bad.push(format!("metrics differ at inflight {inflight}"));
+    }
+    if pooled.metrics.tasks_spawned != pooled.resolutions as u64 {
+        bad.push(format!(
+            "pooled scan did not run pooled: {} tasks for {} resolutions",
+            pooled.metrics.tasks_spawned, pooled.resolutions
+        ));
+    }
+    bad
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -3,9 +3,10 @@
 
 use crate::population::{Category, Population};
 use crate::world::ScanWorld;
-use ede_resolver::{Resolver, RetryPolicy, Vendor, VendorProfile};
+use ede_resolver::{Resolution, ResolutionPool, Resolver, RetryPolicy, Vendor, VendorProfile};
 use ede_trace::{Metrics, MetricsSnapshot};
 use ede_wire::{Name, Rcode, RrType};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -61,6 +62,12 @@ pub struct ScanResult {
 pub struct ScanConfig {
     /// Worker threads.
     pub workers: usize,
+    /// Resolutions each worker keeps in flight on its event-driven task
+    /// pool. `1` (the default) runs the historical blocking path —
+    /// byte-identical output, no task events; `> 1` multiplexes that
+    /// many resumable resolutions per worker thread (results stay
+    /// bit-identical, see `docs/CONCURRENCY.md`).
+    pub inflight: usize,
     /// Vendor to scan with (the paper uses Cloudflare).
     pub vendor: Vendor,
     /// Print live progress lines to stderr while scanning.
@@ -87,8 +94,17 @@ impl Default for ScanConfig {
                     .unwrap_or(4)
                     .min(16)
             });
+        // `EDE_SCAN_INFLIGHT` sets the per-worker in-flight window the
+        // same way; like the worker count it is purely a performance
+        // knob — results are bit-identical at any setting.
+        let inflight = std::env::var("EDE_SCAN_INFLIGHT")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&w| w > 0)
+            .unwrap_or(1);
         ScanConfig {
             workers,
+            inflight,
             vendor: Vendor::Cloudflare,
             progress: false,
             retry: None,
@@ -131,6 +147,13 @@ impl ScanConfigBuilder {
         self
     }
 
+    /// Set the per-worker in-flight resolution window (`1` = the
+    /// blocking path, `> 1` = event-driven task pools).
+    pub fn inflight(mut self, n: usize) -> Self {
+        self.config.inflight = n.max(1);
+        self
+    }
+
     /// Set the scanning vendor profile.
     pub fn vendor(mut self, vendor: Vendor) -> Self {
         self.config.vendor = vendor;
@@ -155,9 +178,9 @@ impl ScanConfigBuilder {
     }
 }
 
-fn observe(resolver: &Resolver, pop: &Population, idx: usize) -> Observation {
+/// Fold one finished resolution into the scan's observation shape.
+fn observation_from(pop: &Population, idx: usize, res: &Resolution) -> Observation {
     let d = &pop.domains[idx];
-    let res = resolver.resolve(&d.name, RrType::A);
     let network_error_text = res
         .ede
         .iter()
@@ -172,6 +195,11 @@ fn observe(resolver: &Resolver, pop: &Population, idx: usize) -> Observation {
         codes: res.ede_codes(),
         network_error_text,
     }
+}
+
+fn observe(resolver: &Resolver, pop: &Population, idx: usize) -> Observation {
+    let res = resolver.resolve(&pop.domains[idx].name, RrType::A);
+    observation_from(pop, idx, &res)
 }
 
 /// Detaches the world's trace sink on drop — including during unwind,
@@ -201,17 +229,116 @@ struct PassProgress<'a> {
     enabled: bool,
 }
 
+impl PassProgress<'_> {
+    /// Count one finished resolution and maybe print a progress line.
+    fn tick(&self) {
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.enabled && done.is_multiple_of(self.step) {
+            let snap = self.metrics.snapshot();
+            eprintln!(
+                "scan: {done}/{} resolutions, {} queries, cache hit ratio {:.1}%",
+                self.total,
+                snap.queries_sent,
+                100.0 * snap.cache_hit_ratio()
+            );
+        }
+    }
+}
+
+/// The blocking worker body (`inflight == 1`): resolve each claimed
+/// domain to completion before touching the next. This is the historical
+/// scan path, kept verbatim as the byte-identity baseline.
+fn blocking_worker(
+    resolver: &Resolver,
+    pop: &Population,
+    indices: &[usize],
+    cursor: &AtomicUsize,
+    progress: &PassProgress<'_>,
+) -> Vec<(usize, Observation)> {
+    let mut buf: Vec<(usize, Observation)> = Vec::new();
+    loop {
+        let start = cursor.fetch_add(CLAIM_CHUNK, Ordering::Relaxed);
+        if start >= indices.len() {
+            break;
+        }
+        let end = (start + CLAIM_CHUNK).min(indices.len());
+        for &i in &indices[start..end] {
+            let obs = observe(resolver, pop, i);
+            progress.tick();
+            buf.push((i, obs));
+        }
+    }
+    buf
+}
+
+/// The event-driven worker body (`inflight > 1`): keep up to `inflight`
+/// resumable resolutions in flight on one [`ResolutionPool`], refilling
+/// from the shared cursor (same `CLAIM_CHUNK` claiming as the blocking
+/// path) as tasks complete. Results surface in completion order; the
+/// carried index puts them back in their slots.
+fn pooled_worker(
+    resolver: &Arc<Resolver>,
+    pop: &Population,
+    indices: &[usize],
+    cursor: &AtomicUsize,
+    inflight: usize,
+    progress: &PassProgress<'_>,
+) -> Vec<(usize, Observation)> {
+    let mut buf: Vec<(usize, Observation)> = Vec::new();
+    let mut pool: ResolutionPool<(usize, Resolution)> =
+        ResolutionPool::new(resolver.network_shared());
+    let mut backlog: VecDeque<usize> = VecDeque::new();
+    let mut exhausted = false;
+    loop {
+        while pool.in_flight() < inflight && !(exhausted && backlog.is_empty()) {
+            if backlog.is_empty() {
+                let start = cursor.fetch_add(CLAIM_CHUNK, Ordering::Relaxed);
+                if start >= indices.len() {
+                    exhausted = true;
+                    continue;
+                }
+                let end = (start + CLAIM_CHUNK).min(indices.len());
+                backlog.extend(indices[start..end].iter().copied());
+            }
+            if let Some(i) = backlog.pop_front() {
+                let qname = pop.domains[i].name.clone();
+                let resolver = Arc::clone(resolver);
+                pool.spawn(move |handle| {
+                    let fut = resolver.resolve_on(handle, qname, RrType::A);
+                    async move { (i, fut.await) }
+                });
+            }
+        }
+        match pool.next() {
+            Some((i, res)) => {
+                let obs = observation_from(pop, i, &res);
+                progress.tick();
+                buf.push((i, obs));
+            }
+            None => {
+                debug_assert!(exhausted && backlog.is_empty());
+                break;
+            }
+        }
+    }
+    buf
+}
+
 /// One parallel pass over `indices`: workers claim chunks off a shared
 /// cursor and push `(slot, observation)` pairs into **private** buffers,
 /// returned to the caller for merging after the scope joins. There is no
 /// shared output structure, so result delivery is lock-free; slot order
 /// in the merged vector is irrelevant because each index appears exactly
 /// once.
+///
+/// Each worker multiplexes `inflight` resolutions on an event-driven
+/// task pool (`inflight == 1` short-circuits to the blocking path).
 fn parallel_pass(
-    resolver: &Resolver,
+    resolver: &Arc<Resolver>,
     pop: &Population,
     indices: &[usize],
     workers: usize,
+    inflight: usize,
     progress: &PassProgress<'_>,
 ) -> Vec<(usize, Observation)> {
     let cursor = AtomicUsize::new(0);
@@ -219,29 +346,11 @@ fn parallel_pass(
         let handles: Vec<_> = (0..workers.max(1))
             .map(|_| {
                 s.spawn(|| {
-                    let mut buf: Vec<(usize, Observation)> = Vec::new();
-                    loop {
-                        let start = cursor.fetch_add(CLAIM_CHUNK, Ordering::Relaxed);
-                        if start >= indices.len() {
-                            break;
-                        }
-                        let end = (start + CLAIM_CHUNK).min(indices.len());
-                        for &i in &indices[start..end] {
-                            let obs = observe(resolver, pop, i);
-                            let done = progress.done.fetch_add(1, Ordering::Relaxed) + 1;
-                            if progress.enabled && done.is_multiple_of(progress.step) {
-                                let snap = progress.metrics.snapshot();
-                                eprintln!(
-                                    "scan: {done}/{} resolutions, {} queries, cache hit ratio {:.1}%",
-                                    progress.total,
-                                    snap.queries_sent,
-                                    100.0 * snap.cache_hit_ratio()
-                                );
-                            }
-                            buf.push((i, obs));
-                        }
+                    if inflight > 1 {
+                        pooled_worker(resolver, pop, indices, &cursor, inflight, progress)
+                    } else {
+                        blocking_worker(resolver, pop, indices, &cursor, progress)
                     }
-                    buf
                 })
             })
             .collect();
@@ -272,11 +381,11 @@ pub fn scan(pop: &Population, world: &ScanWorld, config: &ScanConfig) -> ScanRes
     if let Some(policy) = &config.retry {
         resolver_config.retry = policy.clone();
     }
-    let resolver = Resolver::new(
+    let resolver = Arc::new(Resolver::new(
         Arc::clone(&world.net),
         VendorProfile::new(config.vendor),
         resolver_config,
-    );
+    ));
 
     let n = pop.domains.len();
     let first_pass: Vec<usize> = (0..n).collect();
@@ -294,7 +403,14 @@ pub fn scan(pop: &Population, world: &ScanWorld, config: &ScanConfig) -> ScanRes
 
     // Pass 1: everything, in parallel.
     let mut observations: Vec<Option<Observation>> = vec![None; n];
-    for (i, obs) in parallel_pass(&resolver, pop, &first_pass, config.workers, &progress) {
+    for (i, obs) in parallel_pass(
+        &resolver,
+        pop,
+        &first_pass,
+        config.workers,
+        config.inflight,
+        &progress,
+    ) {
         observations[i] = Some(obs);
     }
     let mut observations: Vec<Observation> = observations
@@ -305,7 +421,14 @@ pub fn scan(pop: &Population, world: &ScanWorld, config: &ScanConfig) -> ScanRes
     // Pass 2: revisit flap/cache domains after the flap window ("the
     // last response wins", as in a longitudinal probe).
     world.net.clock().advance_secs(120);
-    for (i, obs) in parallel_pass(&resolver, pop, &revisit, config.workers, &progress) {
+    for (i, obs) in parallel_pass(
+        &resolver,
+        pop,
+        &revisit,
+        config.workers,
+        config.inflight,
+        &progress,
+    ) {
         observations[i] = obs;
     }
 
@@ -382,6 +505,56 @@ mod tests {
         assert_eq!(agg_serial.per_combo, agg_parallel.per_combo);
         assert_eq!(agg_serial.ede_domains, agg_parallel.ede_domains);
         assert_eq!(agg_serial.noerror_with_ede, agg_parallel.noerror_with_ede);
+    }
+
+    /// The event-driven task pools must not buy concurrency with
+    /// changed results either: any in-flight window produces the same
+    /// observations, aggregates, traffic totals, and metrics counters
+    /// as the blocking single-resolution path. Only the scheduler
+    /// statistics (task counts, peak gauges) may differ — they measure
+    /// the scheduling itself, so the comparison strips them.
+    #[test]
+    fn inflight_window_does_not_change_results() {
+        let run = |workers: usize, inflight: usize| {
+            let pop = Population::generate(PopulationConfig::tiny());
+            let world = ScanWorld::build(&pop);
+            let result = scan(
+                &pop,
+                &world,
+                &ScanConfig::builder()
+                    .workers(workers)
+                    .inflight(inflight)
+                    .build(),
+            );
+            let agg = crate::aggregate::aggregate(&pop, &result);
+            (result, agg)
+        };
+        let (blocking, agg_blocking) = run(1, 1);
+        for (workers, inflight) in [(1, 2), (1, 64), (4, 16)] {
+            let (pooled, agg_pooled) = run(workers, inflight);
+            assert_eq!(
+                blocking.observations, pooled.observations,
+                "inflight {inflight}"
+            );
+            assert_eq!(blocking.resolutions, pooled.resolutions);
+            assert_eq!(blocking.traffic, pooled.traffic);
+            assert_eq!(blocking.traffic_full, pooled.traffic_full);
+            assert_eq!(
+                blocking.metrics.without_scheduler_stats(),
+                pooled.metrics.without_scheduler_stats(),
+                "inflight {inflight}"
+            );
+            // The pooled run really ran pooled: every domain became a
+            // task and every task completed.
+            assert_eq!(pooled.metrics.tasks_spawned, blocking.resolutions as u64);
+            assert_eq!(pooled.metrics.tasks_completed, pooled.metrics.tasks_spawned);
+            assert!(
+                pooled.metrics.inflight_tasks_peak > 1,
+                "inflight {inflight}"
+            );
+            assert_eq!(agg_blocking.per_code, agg_pooled.per_code);
+            assert_eq!(agg_blocking.per_combo, agg_pooled.per_combo);
+        }
     }
 
     /// A panic inside the scan must not leak the metrics sink into the

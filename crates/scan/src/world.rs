@@ -396,20 +396,13 @@ impl TldServer {
                     ..SignerConfig::default()
                 },
             );
-            if self.entry.standby_key {
-                // Same standby-SEP mutation as the legacy path (§4.2.3).
-                let standby = ZoneKey::generate(&self.tld, "standby", 8, 2048, 257);
-                if let Some(set) = zone.get_mut(&self.tld, RrType::Dnskey) {
-                    set.rdatas.push(standby.dnskey_rdata());
-                }
-                signer::resign_rrset(
-                    &mut zone,
-                    &self.tld.clone(),
-                    RrType::Dnskey,
-                    &self.keys,
-                    SignerConfig::default().window(),
-                );
-            }
+            // The template only ever answers below-apex query shapes
+            // (referrals, parent-side DS, their denials) and those never
+            // carry the apex DNSKEY RRset — apex DNSKEY queries take the
+            // `micro_zone` path, which also applies the standby-SEP
+            // mutation. Dropping the set (and its RRSIG) here makes the
+            // per-referral template clone meaningfully cheaper.
+            zone.remove(&self.tld, RrType::Dnskey);
             if self.entry.broken_insecure_proof {
                 // Replicate sign-then-strip: `Misconfig::Nsec3Missing`
                 // removes the chain but leaves the apex NSEC3PARAM (and

@@ -126,6 +126,10 @@ pub struct Metrics {
     ede_by_vendor: Mutex<BTreeMap<(String, u16), u64>>,
     query_latency: AtomicHistogram,
     resolution_duration: AtomicHistogram,
+    tasks_spawned: AtomicU64,
+    tasks_completed: AtomicU64,
+    inflight_tasks_peak: AtomicU64,
+    ready_queue_peak: AtomicU64,
 }
 
 impl Metrics {
@@ -161,6 +165,10 @@ impl Metrics {
             ede_by_vendor: self.ede_by_vendor.lock().expect("no poisoning").clone(),
             query_latency: self.query_latency.snapshot(),
             resolution_duration: self.resolution_duration.snapshot(),
+            tasks_spawned: self.tasks_spawned.load(Relaxed),
+            tasks_completed: self.tasks_completed.load(Relaxed),
+            inflight_tasks_peak: self.inflight_tasks_peak.load(Relaxed),
+            ready_queue_peak: self.ready_queue_peak.load(Relaxed),
         }
     }
 }
@@ -241,6 +249,22 @@ impl TraceSink for Metrics {
                 };
                 self.resolution_duration.observe(*duration_ms);
             }
+            TraceEvent::TaskSpawned {
+                in_flight, queued, ..
+            } => {
+                self.tasks_spawned.fetch_add(1, Relaxed);
+                self.inflight_tasks_peak
+                    .fetch_max(*in_flight as u64, Relaxed);
+                self.ready_queue_peak.fetch_max(*queued as u64, Relaxed);
+            }
+            TraceEvent::TaskCompleted {
+                in_flight, queued, ..
+            } => {
+                self.tasks_completed.fetch_add(1, Relaxed);
+                self.inflight_tasks_peak
+                    .fetch_max(*in_flight as u64, Relaxed);
+                self.ready_queue_peak.fetch_max(*queued as u64, Relaxed);
+            }
         }
     }
 }
@@ -297,6 +321,18 @@ pub struct MetricsSnapshot {
     pub query_latency: Histogram,
     /// Whole-resolution duration distribution.
     pub resolution_duration: Histogram,
+    /// Resolution tasks admitted by event-driven task pools.
+    pub tasks_spawned: u64,
+    /// Pooled resolution tasks run to completion.
+    pub tasks_completed: u64,
+    /// Peak of the in-flight-tasks gauge across all pools. Scheduler
+    /// statistics depend on the in-flight window (the blocking driver
+    /// records none at all), not on scan results, so result-equality
+    /// checks across concurrency levels should compare
+    /// [`MetricsSnapshot::without_scheduler_stats`] snapshots.
+    pub inflight_tasks_peak: u64,
+    /// Peak of the completion-ready-queue-depth gauge across all pools.
+    pub ready_queue_peak: u64,
 }
 
 impl MetricsSnapshot {
@@ -309,6 +345,25 @@ impl MetricsSnapshot {
             0.0
         } else {
             hits as f64 / total as f64
+        }
+    }
+
+    /// This snapshot with the scheduler statistics (task counters and
+    /// the peak in-flight / peak ready-queue gauges) zeroed.
+    ///
+    /// Scan results are invariant across in-flight window sizes, but
+    /// these fields measure the scheduling itself: the gauges track the
+    /// window, and the task counters distinguish pooled execution from
+    /// the blocking driver (which spawns no observable tasks). Equality
+    /// checks that sweep concurrency compare snapshots through this
+    /// adaptor.
+    pub fn without_scheduler_stats(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            tasks_spawned: 0,
+            tasks_completed: 0,
+            inflight_tasks_peak: 0,
+            ready_queue_peak: 0,
+            ..self.clone()
         }
     }
 
@@ -345,6 +400,15 @@ impl MetricsSnapshot {
             self.resolutions_servfail,
             self.resolutions_other
         ));
+        if self.tasks_spawned > 0 {
+            out.push_str(&format!(
+                "  scheduler : {} tasks ({} completed), peak in-flight {}, peak ready queue {}\n",
+                self.tasks_spawned,
+                self.tasks_completed,
+                self.inflight_tasks_peak,
+                self.ready_queue_peak
+            ));
+        }
         out.push_str(&format!(
             "  latency   : query mean {:.1} ms p99 {} ms; resolution mean {:.1} ms max {} ms\n",
             self.query_latency.mean(),
@@ -484,6 +548,45 @@ mod tests {
         let render = s.render();
         assert!(render.contains("2 queries"), "{render}");
         assert!(render.contains("Cloudflare DNS: 7\u{00d7}1"), "{render}");
+    }
+
+    #[test]
+    fn scheduler_gauges_track_peaks() {
+        let m = Metrics::new();
+        for (task, in_flight, queued) in [(0u64, 1usize, 0usize), (1, 2, 1), (2, 3, 2)] {
+            m.record(
+                0,
+                &TraceEvent::TaskSpawned {
+                    task,
+                    in_flight,
+                    queued,
+                },
+            );
+        }
+        m.record(
+            0,
+            &TraceEvent::TaskCompleted {
+                task: 0,
+                in_flight: 2,
+                queued: 1,
+            },
+        );
+        let s = m.snapshot();
+        assert_eq!(s.tasks_spawned, 3);
+        assert_eq!(s.tasks_completed, 1);
+        assert_eq!(s.inflight_tasks_peak, 3);
+        assert_eq!(s.ready_queue_peak, 2);
+        assert!(s.render().contains("peak in-flight 3"), "{}", s.render());
+
+        let stripped = s.without_scheduler_stats();
+        assert_eq!(stripped.inflight_tasks_peak, 0);
+        assert_eq!(stripped.ready_queue_peak, 0);
+        assert_eq!(stripped.tasks_spawned, 0);
+        assert_eq!(stripped.tasks_completed, 0);
+        assert_eq!(
+            stripped.queries_sent, s.queries_sent,
+            "real counters survive"
+        );
     }
 
     #[test]

@@ -43,6 +43,31 @@ impl Name {
         }
     }
 
+    /// A deep copy with freshly allocated label storage, sharing nothing
+    /// with `self`.
+    ///
+    /// A plain `clone()` bumps the `Arc` refcount, which is what hot
+    /// paths want — but it also keeps the *original* allocation alive.
+    /// Long-lived holders (caches, logs) that clone names out of
+    /// short-lived working sets (a parsed response, a freshly built
+    /// zone) end up pinning those transient heap regions, fragmenting
+    /// the allocator. Such holders should store `name.detached()`
+    /// instead: same value, equal and hashing identically, but backed
+    /// by allocations made at detach time.
+    pub fn detached(&self) -> Self {
+        if self.labels.is_empty() {
+            return Name::root();
+        }
+        Name {
+            labels: self
+                .labels
+                .iter()
+                .map(|l| l.to_vec().into_boxed_slice())
+                .collect::<Vec<_>>()
+                .into(),
+        }
+    }
+
     /// Parse a dotted textual name. Accepts an optional trailing dot; all
     /// names are treated as fully qualified. `"."` and `""` both give the
     /// root. Escapes are not supported (the testbed never needs them).

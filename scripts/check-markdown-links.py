@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Check that relative links in the repo's markdown files resolve.
+
+Scans every tracked ``*.md`` file (skipping ``target/`` and ``.git/``)
+for inline links ``[text](target)`` and reference definitions
+``[label]: target``, and fails if a relative target does not exist on
+disk. External links (``http://``, ``https://``, ``mailto:``) and
+pure-fragment links (``#section``) are ignored; fragments on relative
+links are stripped before the existence check.
+
+Run from anywhere: paths are resolved against the repository root
+(the parent of this script's directory). Exit status is the number of
+broken links, capped at 1 for shell friendliness.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+SKIP_DIRS = {"target", ".git", "node_modules"}
+
+# [text](target) — target ends at the first unbalanced ')'
+INLINE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+# [label]: target   (reference-style definition at line start)
+REFDEF = re.compile(r"^\s{0,3}\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+
+
+def is_external(target: str) -> bool:
+    return target.startswith(("http://", "https://", "mailto:", "ftp://"))
+
+
+def strip_code_spans(text: str) -> str:
+    """Drop fenced code blocks and inline code — links there are examples."""
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    return re.sub(r"`[^`\n]*`", "", text)
+
+
+def check_file(md: Path) -> list[str]:
+    text = strip_code_spans(md.read_text(encoding="utf-8"))
+    broken = []
+    targets = INLINE.findall(text) + REFDEF.findall(text)
+    for target in targets:
+        if is_external(target) or target.startswith("#"):
+            continue
+        path = target.split("#", 1)[0]
+        if not path:
+            continue
+        resolved = (md.parent / path).resolve()
+        if not resolved.exists():
+            broken.append(f"{md.relative_to(ROOT)}: broken link -> {target}")
+    return broken
+
+
+def main() -> int:
+    broken = []
+    for md in sorted(ROOT.rglob("*.md")):
+        if any(part in SKIP_DIRS for part in md.relative_to(ROOT).parts):
+            continue
+        broken.extend(check_file(md))
+    for line in broken:
+        print(line, file=sys.stderr)
+    if broken:
+        print(f"{len(broken)} broken markdown link(s)", file=sys.stderr)
+        return 1
+    print("markdown links OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
