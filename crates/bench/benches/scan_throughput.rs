@@ -175,8 +175,9 @@ fn main() {
         }
 
         if full {
+            let cache = &result.cache;
             let entry = format!(
-                "{{\"recorded\": \"{}\", \"label\": \"scan_throughput\", \"scale\": {}, \"workers\": {}, \"inflight\": {}, \"domains\": {}, \"seconds\": {:.3}, \"domains_per_sec\": {:.0}}}",
+                "{{\"recorded\": \"{}\", \"label\": \"scan_throughput\", \"scale\": {}, \"workers\": {}, \"inflight\": {}, \"domains\": {}, \"seconds\": {:.3}, \"domains_per_sec\": {:.0}, \"l1_hit_pct\": {:.1}, \"l2_hit_pct\": {:.1}, \"referral_hit_pct\": {:.1}, \"evictions\": {}}}",
                 utc_date(),
                 FULL_SCALE,
                 workers,
@@ -184,15 +185,67 @@ fn main() {
                 domains,
                 secs,
                 rate,
+                100.0 * cache.l1.hit_ratio(),
+                100.0 * cache.l2.hit_ratio(),
+                100.0 * cache.infra.referral_hit_ratio(),
+                cache.l2.evicted,
             );
             if let Err(e) = append_entry(&entry) {
                 eprintln!("warning: could not append to BENCH_scan.json: {e}");
             }
         }
     }
+
+    // Tier-configuration smoke legs (CI-speed, tiny population only):
+    //
+    // * L1 disabled must be bit-identical to the reference — the L1 is
+    //   a pure performance tier.
+    // * A shared-cache budget far below the working set must still
+    //   complete, with nonzero evictions (bounded memory is the point;
+    //   eviction legally changes results, so no fingerprint assert).
     if !full {
+        let reference = reference.as_ref().expect("sweep ran");
+        let world = ScanWorld::build(&pop);
+        let no_l1 = scanner::scan(
+            &pop,
+            &world,
+            &ScanConfig::builder()
+                .workers(4)
+                .progress(false)
+                .l1(false)
+                .build(),
+        );
+        let fp = format!("{:?}", {
+            let mut codes: Vec<_> = no_l1
+                .observations
+                .iter()
+                .map(|o| (o.name.clone(), o.rcode.to_u16(), o.codes.clone()))
+                .collect();
+            codes.sort();
+            codes
+        });
+        assert_eq!(*reference, fp, "disabling the L1 tier changed results");
+        assert_eq!(no_l1.cache.l1.hits + no_l1.cache.l1.misses, 0);
+
+        let world = ScanWorld::build(&pop);
+        let budgeted = scanner::scan(
+            &pop,
+            &world,
+            &ScanConfig::builder()
+                .workers(4)
+                .progress(false)
+                .max_cache_entries(Some(8))
+                .build(),
+        );
+        assert_eq!(budgeted.observations.len(), domains);
+        assert!(
+            budgeted.cache.l2.evicted > 0,
+            "an 8-entry budget must evict"
+        );
+        assert!(budgeted.cache.l2.occupancy <= 8);
         println!(
-            "bench scan_throughput: smoke ok (results bit-identical across {SWEEP:?} (workers, inflight) points)"
+            "bench scan_throughput: smoke ok (results bit-identical across {SWEEP:?} (workers, inflight) points and with L1 off; 8-entry budget evicted {})",
+            budgeted.cache.l2.evicted
         );
     }
 }

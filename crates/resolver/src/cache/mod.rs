@@ -1,0 +1,915 @@
+//! The tiered resolution cache.
+//!
+//! Three tiers serve the scan's access pattern:
+//!
+//! * **L1** ([`l1::L1Cache`]) — a small per-worker map with zero
+//!   synchronization (no `Mutex`, no atomics). Each scan worker owns
+//!   one and probes it before the shared store, so the extremely hot
+//!   entries (TLD referrals, validated zone keys, repeat-qname
+//!   revisits) are served without touching a lock.
+//! * **L2** ([`Cache`], this module) — the shared sharded store:
+//!   positive, negative, and failure caching with RFC 8767
+//!   serve-stale, now with a TTL wheel driving real expiry and an
+//!   optional entry/byte budget enforced by a CLOCK (second-chance)
+//!   sweep.
+//! * **Infrastructure** ([`infra::InfraCache`]) — referral sets and
+//!   validated zone keys for the iterative walk, keyed by zone.
+//!
+//! # The shared store
+//!
+//! The L2 cache is shared across a scan's worker threads (the paper
+//! notes Cloudflare answered part of their load from cache), so its
+//! layout is dictated by contention: a single `Mutex<HashMap>` would
+//! serialize every worker on every probe. Instead the store is
+//! **sharded** — a deterministic FNV-1a hash of `(qname, qtype)` picks
+//! one of [`SHARD_COUNT`] independently-locked shards, so workers
+//! probing different names almost never touch the same lock. The same
+//! precomputed hash doubles as the lookup key inside the shard, which
+//! means a probe never clones the queried [`Name`].
+//!
+//! Entries are stored as `Arc<CachedResolution>` and hits hand the `Arc`
+//! back: no answer records or diagnosis findings are ever deep-cloned
+//! under a shard lock. Entries store the *diagnosis* alongside the
+//! answer: replaying a cached failure must replay its findings so the
+//! profile can emit the original codes next to *Cached Error (13)*.
+//!
+//! # Expiry: the TTL wheel
+//!
+//! Every entry has a hard deadline — `stored_at + ttl + stale window` —
+//! past which it can never be served again (not even stale). Each shard
+//! buckets those deadlines on a coarse clock ([`WHEEL_BUCKET_SECS`]-
+//! second buckets in a `BTreeMap`); every store operation first drains
+//! the buckets that lie wholly in the past, physically removing dead
+//! entries. Before the wheel, `len()` counted dead entries forever and
+//! memory only ever grew.
+//!
+//! Overwrites are handled lazily: each entry carries a shard-scoped
+//! sequence number, and a wheel (or CLOCK ring) slot whose sequence no
+//! longer matches the stored entry is simply skipped.
+//!
+//! # Budget: the CLOCK sweep
+//!
+//! [`CacheLimits`] optionally bounds the store by entry count and/or
+//! approximate heap bytes. The bound is **global and hard**: after any
+//! `put` returns, the whole store holds at most `max_entries` entries
+//! (and at most `max_bytes` estimated bytes). Enforcement is local —
+//! the inserting shard evicts from its own insertion ring, giving
+//! recently-hit entries one second chance (CLOCK) before they go. A
+//! budget eviction may remove a perfectly live entry, so scan results
+//! are only guaranteed bit-identical when the budget never actually
+//! fires; the bounded-memory configurations trade exactness for a
+//! working-set bound, as a serving front end must.
+
+pub mod infra;
+pub mod l1;
+
+use crate::diagnosis::Diagnosis;
+use ede_wire::{Name, Rcode, Record, RrType};
+use std::cell::Cell;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex};
+
+/// Number of independently-locked shards. A power of two so shard
+/// selection is a mask; 16 is comfortably above any worker count the
+/// scanner uses (worker pools cap at 16), keeping the expected number
+/// of workers per shard lock at ~1.
+pub const SHARD_COUNT: usize = 16;
+
+/// Width of one TTL-wheel bucket, seconds (as a shift: 64 s). Coarse on
+/// purpose: the wheel only needs to find *dead* entries cheaply, the
+/// exact freshness test still runs per probe.
+const WHEEL_SHIFT: u32 = 6;
+
+/// Width of one TTL-wheel bucket in seconds (documentation constant;
+/// the code shifts by `WHEEL_SHIFT`).
+pub const WHEEL_BUCKET_SECS: u32 = 1 << WHEEL_SHIFT;
+
+/// What a completed resolution left behind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachedResolution {
+    /// Final RCODE.
+    pub rcode: Rcode,
+    /// Answer records (empty for negative/failure entries).
+    pub answers: Vec<Record>,
+    /// The diagnosis attached to the resolution.
+    pub diagnosis: Diagnosis,
+    /// True when this entry is a resolution *failure* (SERVFAIL) — a hit
+    /// on it is a *Cached Error*.
+    pub is_failure: bool,
+}
+
+/// Entry/byte budget for the shared store. `None` means unbounded (the
+/// historical behaviour); byte accounting is an explicit estimate, see
+/// `entry_cost`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheLimits {
+    /// Maximum stored entries across all shards.
+    pub max_entries: Option<usize>,
+    /// Maximum estimated heap bytes across all shards.
+    pub max_bytes: Option<usize>,
+}
+
+impl CacheLimits {
+    /// True when neither bound is set.
+    pub fn unbounded(&self) -> bool {
+        self.max_entries.is_none() && self.max_bytes.is_none()
+    }
+}
+
+/// What one store operation did to the cache, for the caller's
+/// telemetry (the resolver turns a non-zero outcome into a
+/// `CacheEvicted` trace event).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PutOutcome {
+    /// Entries removed because their deadline (TTL + stale window) had
+    /// lapsed.
+    pub expired: u64,
+    /// Entries removed by the budget's CLOCK sweep.
+    pub evicted: u64,
+    /// Stored entries remaining across the whole cache afterwards.
+    pub occupancy: u64,
+}
+
+impl PutOutcome {
+    /// True when the operation removed anything.
+    pub fn removed_any(&self) -> bool {
+        self.expired + self.evicted > 0
+    }
+}
+
+/// A frozen copy of the store's internal counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheStatsSnapshot {
+    /// Fresh probes answered.
+    pub hits: u64,
+    /// Probes that found nothing servable.
+    pub misses: u64,
+    /// Stale (RFC 8767) entries handed out by
+    /// [`Cache::get_stale_success`].
+    pub stale_served: u64,
+    /// Store operations.
+    pub puts: u64,
+    /// Entries removed by the TTL wheel.
+    pub expired: u64,
+    /// Entries removed by the budget's CLOCK sweep.
+    pub evicted: u64,
+    /// Stored entries right now (including expired-but-unpurged ones;
+    /// the wheel removes those on the next store to their shard).
+    pub occupancy: u64,
+    /// Peak of `occupancy` over the store's lifetime.
+    pub occupancy_peak: u64,
+    /// Estimated heap bytes stored right now.
+    pub bytes: u64,
+}
+
+impl CacheStatsSnapshot {
+    /// Hit ratio in `[0, 1]` over fresh hits + misses (stale serves
+    /// count as hits — the client got an answer from cache).
+    pub fn hit_ratio(&self) -> f64 {
+        let hits = self.hits + self.stale_served;
+        let total = hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    /// Owned key material, kept for collision resolution only — lookups
+    /// compare against it, they never clone it.
+    qname: Name,
+    qtype: u16,
+    data: Arc<CachedResolution>,
+    stored_at: u32,
+    ttl: u32,
+    /// Shard-scoped sequence number; wheel and ring slots referencing a
+    /// superseded sequence are skipped (lazy deletion).
+    seq: u64,
+    /// Estimated heap bytes, fixed at store time.
+    cost: u64,
+    /// CLOCK reference bit: set on every hit, cleared (once) by the
+    /// sweep before the entry becomes evictable. `Cell` because hits
+    /// hold only a shared borrow of the shard's interior.
+    referenced: Cell<bool>,
+}
+
+impl Entry {
+    /// Hard deadline: past this the entry can never be served again.
+    fn deadline(&self, stale_window_secs: u32) -> u32 {
+        self.stored_at
+            .saturating_add(self.ttl)
+            .saturating_add(stale_window_secs)
+    }
+}
+
+/// Result of a cache probe. Hits share the stored entry (`Arc`): the
+/// caller clones individual fields only if and when it needs ownership,
+/// never under a cache lock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheHit {
+    /// Within TTL. Carries `(data, stored_at, ttl)` so an L1 tier can
+    /// mirror the entry's exact freshness window (coherence rule: an L1
+    /// copy must never outlive the L2 entry's own window).
+    Fresh(Arc<CachedResolution>, u32, u32),
+    /// Expired but inside the serve-stale window.
+    Stale(Arc<CachedResolution>),
+    /// Nothing usable.
+    Miss,
+}
+
+/// One lockable slice of the store. Buckets are keyed by the
+/// precomputed `(qname, qtype)` hash; the tiny per-bucket vector
+/// resolves the (rare) 64-bit collisions by comparing the stored key.
+#[derive(Default)]
+struct Shard {
+    buckets: HashMap<u64, Vec<Entry>>,
+    /// TTL wheel: coarse deadline bucket → `(hash, seq)` slots.
+    wheel: BTreeMap<u32, Vec<(u64, u64)>>,
+    /// Insertion ring for the CLOCK sweep: `(hash, seq)` in store order.
+    ring: VecDeque<(u64, u64)>,
+    next_seq: u64,
+}
+
+impl Shard {
+    /// Remove the entry addressed by `(hash, seq)`, returning its cost.
+    /// A stale sequence (entry overwritten or already removed) is a
+    /// no-op.
+    fn remove_slot(&mut self, hash: u64, seq: u64) -> Option<u64> {
+        let bucket = self.buckets.get_mut(&hash)?;
+        let idx = bucket.iter().position(|e| e.seq == seq)?;
+        let cost = bucket.swap_remove(idx).cost;
+        if bucket.is_empty() {
+            self.buckets.remove(&hash);
+        }
+        Some(cost)
+    }
+
+    /// Drain every wheel bucket that lies wholly before `now`,
+    /// physically removing the (certainly dead) entries it references.
+    /// Returns `(removed, bytes_freed)`.
+    fn advance_wheel(&mut self, now: u32) -> (u64, u64) {
+        let cutoff = now >> WHEEL_SHIFT;
+        if self
+            .wheel
+            .first_key_value()
+            .is_none_or(|(&b, _)| b >= cutoff)
+        {
+            return (0, 0);
+        }
+        let live = self.wheel.split_off(&cutoff);
+        let dead = std::mem::replace(&mut self.wheel, live);
+        let mut removed = 0u64;
+        let mut freed = 0u64;
+        for (_, slots) in dead {
+            for (hash, seq) in slots {
+                if let Some(cost) = self.remove_slot(hash, seq) {
+                    removed += 1;
+                    freed += cost;
+                }
+            }
+        }
+        (removed, freed)
+    }
+}
+
+/// Live side of [`CacheStatsSnapshot`]: lock-free atomics bumped
+/// outside the shard locks wherever possible.
+#[derive(Debug, Default)]
+struct CacheStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    stale_served: AtomicU64,
+    puts: AtomicU64,
+    expired: AtomicU64,
+    evicted: AtomicU64,
+    occupancy_peak: AtomicU64,
+}
+
+/// The shared (L2) resolver cache.
+pub struct Cache {
+    shards: [Mutex<Shard>; SHARD_COUNT],
+    stale_window_secs: u32,
+    limits: CacheLimits,
+    /// Stored entries across all shards (including expired-but-unpurged
+    /// ones). Global so the budget is a whole-store bound even though
+    /// eviction runs in the inserting shard.
+    occupancy: AtomicU64,
+    /// Estimated stored bytes across all shards.
+    bytes: AtomicU64,
+    stats: CacheStats,
+}
+
+/// Deterministic hash of a probe key. The qname's label bytes are
+/// hashed in place ([`Name::shard_hash`]) — no wire-form allocation,
+/// no clone — then the qtype is mixed in.
+pub(crate) fn probe_hash(qname: &Name, qtype: u16) -> u64 {
+    let mut h = qname.shard_hash();
+    h ^= u64::from(qtype);
+    h = h.wrapping_mul(0x100000001b3);
+    h
+}
+
+/// Estimated heap bytes of one stored entry. An explicit, documented
+/// approximation (names, records, findings and events are counted at a
+/// flat per-item rate); the byte budget bounds this estimate, not
+/// allocator truth.
+fn entry_cost(qname: &Name, data: &CachedResolution) -> u64 {
+    let base = 96u64;
+    let name = 16 * qname.label_count() as u64;
+    let answers = 96 * data.answers.len() as u64;
+    let findings = 64 * data.diagnosis.findings.len() as u64;
+    let events = 96 * data.diagnosis.ns_events.len() as u64;
+    base + name + answers + findings + events
+}
+
+impl Cache {
+    /// An empty, unbounded cache with the given serve-stale window.
+    pub fn new(stale_window_secs: u32) -> Self {
+        Cache::with_limits(stale_window_secs, CacheLimits::default())
+    }
+
+    /// An empty cache with the given serve-stale window and budget.
+    pub fn with_limits(stale_window_secs: u32, limits: CacheLimits) -> Self {
+        Cache {
+            shards: std::array::from_fn(|_| Mutex::new(Shard::default())),
+            stale_window_secs,
+            limits,
+            occupancy: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The serve-stale window this store was built with.
+    pub fn stale_window_secs(&self) -> u32 {
+        self.stale_window_secs
+    }
+
+    fn shard_for(&self, hash: u64) -> &Mutex<Shard> {
+        &self.shards[(hash as usize) & (SHARD_COUNT - 1)]
+    }
+
+    /// Probe for `(qname, qtype)` at time `now`.
+    ///
+    /// Hot-path guarantees: one shard lock, zero `Name` clones, zero
+    /// `CachedResolution` deep clones — a hit is an `Arc` bump.
+    pub fn get(&self, qname: &Name, qtype: RrType, now: u32) -> CacheHit {
+        let hit = self.get_inner(qname, qtype, now);
+        match &hit {
+            CacheHit::Fresh(..) => self.stats.hits.fetch_add(1, Relaxed),
+            // A stale entry is only *served* through `get_stale_success`;
+            // a plain probe that finds one proceeds to live resolution,
+            // which is a miss from the client's point of view.
+            CacheHit::Stale(_) | CacheHit::Miss => self.stats.misses.fetch_add(1, Relaxed),
+        };
+        hit
+    }
+
+    fn get_inner(&self, qname: &Name, qtype: RrType, now: u32) -> CacheHit {
+        let hash = probe_hash(qname, qtype.to_u16());
+        let shard = self.shard_for(hash).lock().expect("no poisoning");
+        let Some(entry) = shard
+            .buckets
+            .get(&hash)
+            .and_then(|b| find(b, qname, qtype.to_u16()))
+        else {
+            return CacheHit::Miss;
+        };
+        let age = now.saturating_sub(entry.stored_at);
+        if age <= entry.ttl {
+            entry.referenced.set(true);
+            CacheHit::Fresh(Arc::clone(&entry.data), entry.stored_at, entry.ttl)
+        } else if age <= entry.ttl.saturating_add(self.stale_window_secs) {
+            entry.referenced.set(true);
+            CacheHit::Stale(Arc::clone(&entry.data))
+        } else {
+            CacheHit::Miss
+        }
+    }
+
+    /// Probe only for a *stale-servable successful* entry — used when a
+    /// live resolution just failed and RFC 8767 allows falling back.
+    pub fn get_stale_success(
+        &self,
+        qname: &Name,
+        qtype: RrType,
+        now: u32,
+    ) -> Option<Arc<CachedResolution>> {
+        match self.get_inner(qname, qtype, now) {
+            CacheHit::Stale(data) | CacheHit::Fresh(data, ..) if !data.is_failure => {
+                self.stats.stale_served.fetch_add(1, Relaxed);
+                Some(data)
+            }
+            _ => None,
+        }
+    }
+
+    /// Store a resolution with the given TTL. Returns what the store
+    /// removed along the way: TTL-wheel expiries for this shard, plus
+    /// any CLOCK evictions the budget forced.
+    pub fn put(
+        &self,
+        qname: &Name,
+        qtype: RrType,
+        data: CachedResolution,
+        ttl: u32,
+        now: u32,
+    ) -> PutOutcome {
+        self.stats.puts.fetch_add(1, Relaxed);
+        let hash = probe_hash(qname, qtype.to_u16());
+        let cost = entry_cost(qname, &data);
+        // The Arc is built outside the lock; the lock only covers the
+        // bucket splice.
+        let data = Arc::new(data);
+        let mut outcome = PutOutcome::default();
+        let mut shard = self.shard_for(hash).lock().expect("no poisoning");
+
+        // 1. Turn the wheel: drop everything in this shard whose
+        //    deadline has certainly passed.
+        let (expired, freed) = shard.advance_wheel(now);
+        if expired > 0 {
+            outcome.expired = expired;
+            self.occupancy.fetch_sub(expired, Relaxed);
+            self.bytes.fetch_sub(freed, Relaxed);
+            self.stats.expired.fetch_add(expired, Relaxed);
+        }
+
+        // 2. Splice the entry in (or refuse: a failure never clobbers a
+        //    still-stale-servable success — the success is what
+        //    serve-stale needs later; check and insert happen under the
+        //    same shard lock, so a concurrent successful put cannot be
+        //    lost in between).
+        let seq = shard.next_seq;
+        shard.next_seq += 1;
+        let deadline = now
+            .saturating_add(ttl)
+            .saturating_add(self.stale_window_secs);
+        let bucket = shard.buckets.entry(hash).or_default();
+        let existing = bucket
+            .iter_mut()
+            .find(|e| e.qtype == qtype.to_u16() && e.qname == *qname);
+        if data.is_failure {
+            if let Some(e) = &existing {
+                if !e.data.is_failure
+                    && now.saturating_sub(e.stored_at)
+                        <= e.ttl.saturating_add(self.stale_window_secs)
+                {
+                    outcome.occupancy = self.occupancy.load(Relaxed);
+                    return outcome;
+                }
+            }
+        }
+        match existing {
+            Some(e) => {
+                // Overwrite in place: the old wheel/ring slots keep the
+                // superseded sequence and will be skipped lazily.
+                let old_cost = e.cost;
+                e.data = data;
+                e.stored_at = now;
+                e.ttl = ttl;
+                e.seq = seq;
+                e.cost = cost;
+                e.referenced.set(true);
+                self.bytes.fetch_add(cost, Relaxed);
+                self.bytes.fetch_sub(old_cost, Relaxed);
+            }
+            // Entries outlive the resolution that created them: detach
+            // the key so it doesn't pin the caller's allocations.
+            None => {
+                bucket.push(Entry {
+                    qname: qname.detached(),
+                    qtype: qtype.to_u16(),
+                    data,
+                    stored_at: now,
+                    ttl,
+                    seq,
+                    cost,
+                    referenced: Cell::new(false),
+                });
+                let occ = self.occupancy.fetch_add(1, Relaxed) + 1;
+                self.bytes.fetch_add(cost, Relaxed);
+                self.stats.occupancy_peak.fetch_max(occ, Relaxed);
+            }
+        }
+        shard
+            .wheel
+            .entry(deadline >> WHEEL_SHIFT)
+            .or_default()
+            .push((hash, seq));
+        shard.ring.push_back((hash, seq));
+
+        // 3. Enforce the budget with a CLOCK sweep over this shard's
+        //    ring. The inserting shard always holds at least the entry
+        //    just stored, so the global bound is restorable locally.
+        let over = |cache: &Cache| {
+            let entries_over = cache
+                .limits
+                .max_entries
+                .is_some_and(|m| cache.occupancy.load(Relaxed) > m as u64);
+            let bytes_over = cache
+                .limits
+                .max_bytes
+                .is_some_and(|m| cache.bytes.load(Relaxed) > m as u64);
+            entries_over || bytes_over
+        };
+        if !self.limits.unbounded() {
+            // One full second-chance lap, then evict unconditionally:
+            // termination cannot depend on every entry being hot.
+            let mut chances = shard.ring.len();
+            while over(self) {
+                let Some((h, s)) = shard.ring.pop_front() else {
+                    break;
+                };
+                let is_live = shard
+                    .buckets
+                    .get(&h)
+                    .and_then(|b| b.iter().find(|e| e.seq == s))
+                    .map(|e| e.referenced.get());
+                match is_live {
+                    None => continue, // superseded slot
+                    Some(true) if chances > 0 => {
+                        chances -= 1;
+                        if let Some(e) = shard
+                            .buckets
+                            .get(&h)
+                            .and_then(|b| b.iter().find(|e| e.seq == s))
+                        {
+                            e.referenced.set(false);
+                        }
+                        shard.ring.push_back((h, s));
+                    }
+                    Some(_) => {
+                        if let Some(cost) = shard.remove_slot(h, s) {
+                            outcome.evicted += 1;
+                            self.occupancy.fetch_sub(1, Relaxed);
+                            self.bytes.fetch_sub(cost, Relaxed);
+                            self.stats.evicted.fetch_add(1, Relaxed);
+                        }
+                    }
+                }
+            }
+        }
+        outcome.occupancy = self.occupancy.load(Relaxed);
+        outcome
+    }
+
+    /// Number of entries still *servable* at `now` — fresh or within
+    /// the serve-stale window. Entries past their deadline are dead
+    /// even if the wheel hasn't physically removed them yet, and are
+    /// not counted.
+    pub fn len(&self, now: u32) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .expect("no poisoning")
+                    .buckets
+                    .values()
+                    .flatten()
+                    .filter(|e| now <= e.deadline(self.stale_window_secs))
+                    .count()
+            })
+            .sum()
+    }
+
+    /// True when no entry is servable at `now`.
+    pub fn is_empty(&self, now: u32) -> bool {
+        self.len(now) == 0
+    }
+
+    /// Total stored entries, including expired-but-unpurged ones (the
+    /// quantity the entry budget bounds).
+    pub fn total_entries(&self) -> usize {
+        self.occupancy.load(Relaxed) as usize
+    }
+
+    /// Estimated stored bytes (the quantity the byte budget bounds).
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.load(Relaxed)
+    }
+
+    /// Physically remove every entry whose deadline lies before `now`,
+    /// across all shards, returning how many went. `put` turns each
+    /// shard's wheel lazily; this is the eager, whole-store form for
+    /// callers that want memory back *now*.
+    pub fn purge_expired(&self, now: u32) -> u64 {
+        let mut removed = 0u64;
+        for s in &self.shards {
+            let mut shard = s.lock().expect("no poisoning");
+            let (expired, freed) = shard.advance_wheel(now);
+            removed += expired;
+            self.occupancy.fetch_sub(expired, Relaxed);
+            self.bytes.fetch_sub(freed, Relaxed);
+            self.stats.expired.fetch_add(expired, Relaxed);
+        }
+        removed
+    }
+
+    /// A frozen copy of the store's counters.
+    pub fn stats(&self) -> CacheStatsSnapshot {
+        CacheStatsSnapshot {
+            hits: self.stats.hits.load(Relaxed),
+            misses: self.stats.misses.load(Relaxed),
+            stale_served: self.stats.stale_served.load(Relaxed),
+            puts: self.stats.puts.load(Relaxed),
+            expired: self.stats.expired.load(Relaxed),
+            evicted: self.stats.evicted.load(Relaxed),
+            occupancy: self.occupancy.load(Relaxed),
+            occupancy_peak: self.stats.occupancy_peak.load(Relaxed),
+            bytes: self.bytes.load(Relaxed),
+        }
+    }
+
+    /// Drop everything (tests and flushes). Counters other than the
+    /// occupancy/byte gauges are preserved.
+    pub fn clear(&self) {
+        for s in &self.shards {
+            let mut shard = s.lock().expect("no poisoning");
+            shard.buckets.clear();
+            shard.wheel.clear();
+            shard.ring.clear();
+        }
+        self.occupancy.store(0, Relaxed);
+        self.bytes.store(0, Relaxed);
+    }
+}
+
+fn find<'a>(bucket: &'a [Entry], qname: &Name, qtype: u16) -> Option<&'a Entry> {
+    bucket
+        .iter()
+        .find(|e| e.qtype == qtype && e.qname == *qname)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    fn success() -> CachedResolution {
+        CachedResolution {
+            rcode: Rcode::NoError,
+            answers: Vec::new(),
+            diagnosis: Diagnosis::new(),
+            is_failure: false,
+        }
+    }
+
+    fn failure() -> CachedResolution {
+        CachedResolution {
+            rcode: Rcode::ServFail,
+            answers: Vec::new(),
+            diagnosis: Diagnosis::new(),
+            is_failure: true,
+        }
+    }
+
+    #[test]
+    fn fresh_then_stale_then_miss() {
+        let c = Cache::new(100);
+        c.put(&n("a.com"), RrType::A, success(), 60, 1000);
+        assert!(matches!(
+            c.get(&n("a.com"), RrType::A, 1030),
+            CacheHit::Fresh(..)
+        ));
+        assert!(matches!(
+            c.get(&n("a.com"), RrType::A, 1061),
+            CacheHit::Stale(_)
+        ));
+        assert!(matches!(
+            c.get(&n("a.com"), RrType::A, 1160),
+            CacheHit::Stale(_)
+        ));
+        assert!(matches!(
+            c.get(&n("a.com"), RrType::A, 1161),
+            CacheHit::Miss
+        ));
+    }
+
+    #[test]
+    fn failure_does_not_clobber_stale_success() {
+        let c = Cache::new(1000);
+        c.put(&n("a.com"), RrType::A, success(), 60, 1000);
+        // Success has expired (stale), a failure comes in.
+        c.put(&n("a.com"), RrType::A, failure(), 30, 1100);
+        // The stale success must still be retrievable for serve-stale.
+        assert!(c.get_stale_success(&n("a.com"), RrType::A, 1100).is_some());
+    }
+
+    #[test]
+    fn failure_cached_when_no_success_exists() {
+        let c = Cache::new(100);
+        c.put(&n("b.com"), RrType::A, failure(), 30, 1000);
+        match c.get(&n("b.com"), RrType::A, 1010) {
+            CacheHit::Fresh(data, ..) => assert!(data.is_failure),
+            other => panic!("expected fresh failure, got {other:?}"),
+        }
+        assert!(c.get_stale_success(&n("b.com"), RrType::A, 1010).is_none());
+    }
+
+    #[test]
+    fn types_are_separate() {
+        let c = Cache::new(100);
+        c.put(&n("a.com"), RrType::A, success(), 60, 1000);
+        assert!(matches!(
+            c.get(&n("a.com"), RrType::Aaaa, 1000),
+            CacheHit::Miss
+        ));
+    }
+
+    #[test]
+    fn hits_share_one_allocation() {
+        // The Arc-returning API is what enforces "zero deep clones on
+        // the hit path": two probes of the same entry must hand back the
+        // same allocation.
+        let c = Cache::new(100);
+        c.put(&n("a.com"), RrType::A, success(), 60, 1000);
+        let (CacheHit::Fresh(first, ..), CacheHit::Fresh(second, ..)) = (
+            c.get(&n("a.com"), RrType::A, 1010),
+            c.get(&n("a.com"), RrType::A, 1020),
+        ) else {
+            panic!("expected two fresh hits");
+        };
+        assert!(Arc::ptr_eq(&first, &second));
+    }
+
+    #[test]
+    fn entries_spread_and_survive_across_shards() {
+        // Many names land in many shards; every one must stay
+        // retrievable (shard selection and bucket lookup must agree).
+        let c = Cache::new(100);
+        for i in 0..200 {
+            c.put(&n(&format!("d{i}.example")), RrType::A, success(), 60, 0);
+        }
+        assert_eq!(c.len(10), 200);
+        assert_eq!(c.total_entries(), 200);
+        for i in 0..200 {
+            assert!(
+                matches!(
+                    c.get(&n(&format!("d{i}.example")), RrType::A, 10),
+                    CacheHit::Fresh(..)
+                ),
+                "d{i}.example lost"
+            );
+        }
+        c.clear();
+        assert!(c.is_empty(10));
+        assert_eq!(c.total_entries(), 0);
+    }
+
+    #[test]
+    fn len_counts_only_servable_entries() {
+        let c = Cache::new(100);
+        c.put(&n("short.example"), RrType::A, success(), 10, 1000);
+        c.put(&n("long.example"), RrType::A, success(), 10_000, 1000);
+        assert_eq!(c.len(1005), 2);
+        // short's deadline is 1000 + 10 + 100 = 1110.
+        assert_eq!(c.len(1111), 1);
+        assert!(!c.is_empty(1111));
+        assert_eq!(c.len(20_000), 0);
+        assert!(c.is_empty(20_000));
+        // The dead entries are still *stored* until a wheel turn.
+        assert_eq!(c.total_entries(), 2);
+    }
+
+    #[test]
+    fn purge_expired_removes_dead_entries() {
+        let c = Cache::new(50);
+        for i in 0..64 {
+            c.put(&n(&format!("d{i}.example")), RrType::A, success(), 30, 0);
+        }
+        assert_eq!(c.total_entries(), 64);
+        assert!(c.total_bytes() > 0);
+        // Deadline 0 + 30 + 50 = 80; the 64 s wheel bucket containing it
+        // is wholly past once now reaches 128.
+        assert_eq!(c.purge_expired(128), 64);
+        assert_eq!(c.total_entries(), 0);
+        assert_eq!(c.total_bytes(), 0);
+        assert_eq!(c.stats().expired, 64);
+        // Purging again finds nothing.
+        assert_eq!(c.purge_expired(1_000_000), 0);
+    }
+
+    #[test]
+    fn wheel_turns_lazily_on_put() {
+        let c = Cache::new(0);
+        c.put(&n("old.example"), RrType::A, success(), 10, 0);
+        // Same shard or not, a much-later put must report the expiry of
+        // whatever died in its own shard; drive the clock far enough
+        // that every wheel bucket is past, then touch all shards.
+        let mut expired = 0;
+        for i in 0..64 {
+            expired += c
+                .put(
+                    &n(&format!("new{i}.example")),
+                    RrType::A,
+                    success(),
+                    10,
+                    10_000,
+                )
+                .expired;
+        }
+        assert_eq!(expired, 1, "the dead entry expired exactly once");
+        assert_eq!(c.stats().expired, 1);
+    }
+
+    #[test]
+    fn entry_budget_is_a_hard_global_bound() {
+        let limits = CacheLimits {
+            max_entries: Some(10),
+            max_bytes: None,
+        };
+        let c = Cache::with_limits(100, limits);
+        let mut evicted = 0;
+        for i in 0..100 {
+            let out = c.put(&n(&format!("d{i}.example")), RrType::A, success(), 60, 0);
+            assert!(c.total_entries() <= 10, "over budget after put {i}");
+            evicted += out.evicted;
+        }
+        assert_eq!(c.total_entries(), 10);
+        assert_eq!(evicted, 90);
+        assert_eq!(c.stats().evicted, 90);
+        assert!(c.stats().occupancy_peak <= 11);
+    }
+
+    #[test]
+    fn byte_budget_is_enforced() {
+        let limits = CacheLimits {
+            max_entries: None,
+            max_bytes: Some(1024),
+        };
+        let c = Cache::with_limits(100, limits);
+        for i in 0..100 {
+            c.put(&n(&format!("d{i}.example")), RrType::A, success(), 60, 0);
+            assert!(c.total_bytes() <= 1024, "over byte budget after put {i}");
+        }
+        assert!(c.stats().evicted > 0);
+    }
+
+    #[test]
+    fn clock_gives_hot_entries_a_second_chance() {
+        let limits = CacheLimits {
+            max_entries: Some(4),
+            max_bytes: None,
+        };
+        let c = Cache::with_limits(100, limits);
+        // Names chosen freely; what matters is that the hot one is
+        // probed (setting its reference bit) before pressure arrives.
+        for i in 0..4 {
+            c.put(&n(&format!("d{i}.example")), RrType::A, success(), 60, 0);
+        }
+        assert!(matches!(
+            c.get(&n("d0.example"), RrType::A, 1),
+            CacheHit::Fresh(..)
+        ));
+        for i in 4..12 {
+            c.put(&n(&format!("d{i}.example")), RrType::A, success(), 60, 1);
+        }
+        assert_eq!(c.total_entries(), 4);
+        // The referenced entry survived at least the first wave of
+        // evictions in its shard; pressure in *other* shards can never
+        // evict it at all. (d0 may eventually go if its own shard keeps
+        // inserting, which is the CLOCK contract — one second chance,
+        // not immortality.)
+        let stats = c.stats();
+        assert_eq!(stats.evicted, 8);
+    }
+
+    #[test]
+    fn overwrite_does_not_leak_occupancy() {
+        let c = Cache::new(100);
+        for _ in 0..50 {
+            c.put(&n("same.example"), RrType::A, success(), 60, 0);
+        }
+        assert_eq!(c.total_entries(), 1);
+        assert_eq!(c.len(1), 1);
+        // Superseded wheel slots must not remove the live entry.
+        assert_eq!(c.purge_expired(1), 0);
+        assert!(matches!(
+            c.get(&n("same.example"), RrType::A, 1),
+            CacheHit::Fresh(..)
+        ));
+    }
+
+    #[test]
+    fn stats_track_probes() {
+        let c = Cache::new(100);
+        c.put(&n("a.com"), RrType::A, success(), 60, 1000);
+        let _ = c.get(&n("a.com"), RrType::A, 1010); // hit
+        let _ = c.get(&n("b.com"), RrType::A, 1010); // miss
+        let _ = c.get(&n("a.com"), RrType::A, 1100); // stale → miss (not served)
+        let _ = c.get_stale_success(&n("a.com"), RrType::A, 1100); // stale served
+        let s = c.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 2);
+        assert_eq!(s.stale_served, 1);
+        assert_eq!(s.puts, 1);
+        assert!(s.hit_ratio() > 0.0);
+    }
+}

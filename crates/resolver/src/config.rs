@@ -51,6 +51,17 @@ pub struct ResolverConfig {
     /// TTL for cached resolution failures (SERVFAIL), seconds — the
     /// substrate of EDE 13 (*Cached Error*).
     pub failure_ttl_secs: u32,
+    /// Hard bound on shared-cache entries (`None` = unbounded). When a
+    /// put would exceed it, the cache evicts expired entries first and
+    /// then live ones in CLOCK order. Eviction can change what a later
+    /// resolution observes (a replay becomes a live walk), so bounded
+    /// configurations trade bit-identical reproducibility for bounded
+    /// memory — see `docs/PERFORMANCE.md`.
+    pub max_cache_entries: Option<usize>,
+    /// Hard bound on the shared cache's estimated heap footprint in
+    /// bytes (`None` = unbounded). Same eviction and reproducibility
+    /// trade-off as [`max_cache_entries`](Self::max_cache_entries).
+    pub max_cache_bytes: Option<usize>,
     /// DNS Error Reporting (RFC 9567): when set to an (agent domain,
     /// agent server address) pair, every EDE-carrying resolution also
     /// fires a report query toward the agent. The address stands in for
@@ -81,6 +92,8 @@ impl Default for ResolverConfig {
             serve_stale: true,
             stale_window_secs: 3 * 86_400,
             failure_ttl_secs: 30,
+            max_cache_entries: None,
+            max_cache_bytes: None,
             error_reporting: None,
             qname_minimization: false,
             retry: RetryPolicy::none(),
@@ -192,6 +205,20 @@ impl ResolverConfigBuilder {
         self
     }
 
+    /// Bound the shared cache to at most `n` entries (`None` =
+    /// unbounded, the default).
+    pub fn max_cache_entries(mut self, n: Option<usize>) -> Self {
+        self.config.max_cache_entries = n;
+        self
+    }
+
+    /// Bound the shared cache's estimated heap footprint (`None` =
+    /// unbounded, the default).
+    pub fn max_cache_bytes(mut self, n: Option<usize>) -> Self {
+        self.config.max_cache_bytes = n;
+        self
+    }
+
     /// Enable RFC 9567 error reporting toward (agent domain, agent
     /// server address).
     pub fn error_reporting(mut self, agent: Name, addr: IpAddr) -> Self {
@@ -246,6 +273,8 @@ mod tests {
             .serve_stale(false)
             .stale_window_secs(60)
             .failure_ttl_secs(900)
+            .max_cache_entries(Some(10_000))
+            .max_cache_bytes(Some(64 << 20))
             .error_reporting(agent.clone(), "203.0.113.9".parse().unwrap())
             .qname_minimization(true)
             .retry(RetryPolicy::default().with_hedge_rounds(2))
@@ -258,6 +287,8 @@ mod tests {
         assert!(!c.serve_stale);
         assert_eq!(c.stale_window_secs, 60);
         assert_eq!(c.failure_ttl_secs, 900);
+        assert_eq!(c.max_cache_entries, Some(10_000));
+        assert_eq!(c.max_cache_bytes, Some(64 << 20));
         assert_eq!(
             c.error_reporting,
             Some((agent, "203.0.113.9".parse().unwrap()))

@@ -1,6 +1,8 @@
 //! The iterative resolution engine: root priming, referral walking,
 //! glue, CNAME chasing, retries, and the hookup into DNSSEC validation.
 
+use crate::cache::infra::{InfraCache, KeyEntry, ReferralEntry};
+use crate::cache::l1::L1Cache;
 use crate::config::ResolverConfig;
 use crate::diagnosis::{Diagnosis, Finding, NegativeKind, NsEvent, NsFailure, ValidationState};
 use crate::profiles::ValidatorCaps;
@@ -13,7 +15,6 @@ use ede_crypto::nsec3hash;
 use ede_netsim::{NetError, Network};
 use ede_trace::TraceEvent;
 use ede_wire::{Message, Name, Rcode, Rdata, Record, RrType};
-use std::collections::HashMap;
 use std::net::IpAddr;
 use std::sync::atomic::{AtomicU16, Ordering};
 use std::sync::{Arc, Mutex};
@@ -25,88 +26,6 @@ pub struct EngineOutcome {
     pub rcode: Rcode,
     /// Answer records (validated answers, or empty on failure).
     pub answers: Vec<Record>,
-}
-
-/// Cached result of validating one zone's DNSKEY RRset. Replaying the
-/// stored findings on every hit keeps ancestor-zone conditions (like the
-/// stand-by-key case of §4.2.3, which lives at a TLD) visible in every
-/// resolution that crosses the zone.
-///
-/// Key sets are `Arc`-shared: every resolution crossing a popular zone
-/// (a TLD, say) borrows the same validated vectors instead of deep-
-/// cloning them per crossing.
-struct KeyEntry {
-    trusted: Option<Arc<Vec<PublishedKey>>>,
-    published: Arc<Vec<PublishedKey>>,
-    findings: Vec<Finding>,
-    state: ValidationState,
-    expires: u32,
-}
-
-/// Number of independently-locked key-cache shards (power of two).
-/// The key cache is hit once per zone cut of every resolution, so it
-/// shares the resolver cache's contention profile and gets the same
-/// treatment.
-const KEY_SHARDS: usize = 16;
-
-/// One lockable slice of the key cache: the validated entries plus one
-/// build permit per zone currently being fetched. The permit gives the
-/// cache *singleflight* semantics — when several workers miss on the
-/// same zone at once, exactly one performs the DNSKEY fetch and the
-/// rest wait on the permit and then replay the cached entry. Without
-/// it, a miss storm duplicates upstream queries, which both wastes
-/// work and makes the scan's query counters depend on thread timing.
-#[derive(Default)]
-struct KeyShard {
-    entries: HashMap<Name, Arc<KeyEntry>>,
-    building: HashMap<Name, Arc<Mutex<()>>>,
-}
-
-/// Per-resolver cache of validated zone keys, sharded by the zone
-/// name's deterministic hash so concurrent resolutions crossing
-/// different zones never serialize on one lock.
-pub struct KeyCache {
-    shards: [Mutex<KeyShard>; KEY_SHARDS],
-}
-
-impl Default for KeyCache {
-    fn default() -> Self {
-        KeyCache {
-            shards: std::array::from_fn(|_| Mutex::new(KeyShard::default())),
-        }
-    }
-}
-
-impl KeyCache {
-    /// Empty cache.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    fn shard(&self, zone: &Name) -> &Mutex<KeyShard> {
-        &self.shards[(zone.shard_hash() as usize) & (KEY_SHARDS - 1)]
-    }
-
-    /// Drop everything.
-    pub fn clear(&self) {
-        for shard in &self.shards {
-            let mut shard = shard.lock().expect("no poisoning");
-            shard.entries.clear();
-            shard.building.clear();
-        }
-    }
-}
-
-/// Replay a cached key entry into `diag` and hand out its shared sets.
-fn replay_key_entry(
-    entry: &KeyEntry,
-    diag: &mut Diagnosis,
-) -> (Option<Arc<Vec<PublishedKey>>>, Arc<Vec<PublishedKey>>) {
-    for f in &entry.findings {
-        diag.add(f.clone());
-    }
-    diag.degrade(entry.state);
-    (entry.trusted.clone(), entry.published.clone())
 }
 
 /// The engine borrows everything it needs for one resolution.
@@ -121,8 +40,13 @@ pub struct Engine<'a> {
     pub config: &'a ResolverConfig,
     /// The active vendor's validation capabilities.
     pub caps: &'a ValidatorCaps,
-    /// Shared validated-key cache.
-    pub key_cache: &'a KeyCache,
+    /// Shared infrastructure cache: validated zone keys plus root→TLD
+    /// referral sets.
+    pub infra: &'a InfraCache,
+    /// The calling worker's private L1 tier, when it has one. Probed
+    /// before `infra` on both the key and referral paths; never shared
+    /// between threads (it is `!Sync`).
+    pub l1: Option<&'a L1Cache>,
     /// Query ID source.
     pub ids: &'a AtomicU16,
     /// Shared per-address smoothed-RTT table (feeds
@@ -390,16 +314,29 @@ impl<'a> Engine<'a> {
         diag: &mut Diagnosis,
     ) -> (Option<Arc<Vec<PublishedKey>>>, Arc<Vec<PublishedKey>>) {
         let now = self.now();
+        // L1 first: a private, lock-free probe on the worker's own
+        // tier. The entry is a shared `Arc` with embedded expiry, so
+        // serving it here is indistinguishable from serving it out of
+        // the shared store.
+        if let Some(l1) = self.l1 {
+            if let Some(entry) = l1.get_key(zone, now) {
+                return entry.replay(diag);
+            }
+        }
         // Fast path plus singleflight admission: a usable entry is
         // replayed immediately; otherwise this thread takes (or waits
         // for) the zone's build permit.
         let permit: Arc<Mutex<()>> = {
-            let mut shard = self.key_cache.shard(zone).lock().expect("no poisoning");
+            let mut shard = self.infra.key_shard(zone).lock().expect("no poisoning");
             if let Some(entry) = shard.entries.get(zone) {
-                if entry.expires > now {
+                if entry.live(now) {
                     let entry = Arc::clone(entry);
                     drop(shard);
-                    return replay_key_entry(&entry, diag);
+                    self.infra.count_key_hit();
+                    if let Some(l1) = self.l1 {
+                        l1.put_key(zone, Arc::clone(&entry));
+                    }
+                    return entry.replay(diag);
                 }
             }
             Arc::clone(shard.building.entry(zone.clone()).or_default())
@@ -408,12 +345,16 @@ impl<'a> Engine<'a> {
         // Re-check: if we waited on the permit, the winner has already
         // cached the entry and we must not fetch again.
         {
-            let shard = self.key_cache.shard(zone).lock().expect("no poisoning");
+            let shard = self.infra.key_shard(zone).lock().expect("no poisoning");
             if let Some(entry) = shard.entries.get(zone) {
-                if entry.expires > now {
+                if entry.live(now) {
                     let entry = Arc::clone(entry);
                     drop(shard);
-                    return replay_key_entry(&entry, diag);
+                    self.infra.count_key_hit();
+                    if let Some(l1) = self.l1 {
+                        l1.put_key(zone, Arc::clone(&entry));
+                    }
+                    return entry.replay(diag);
                 }
             }
         }
@@ -504,19 +445,20 @@ impl<'a> Engine<'a> {
         // sub shares the caller's tracer, so `absorb` (not `add`) avoids
         // announcing each finding twice.
         diag.absorb(&sub);
+        let entry = Arc::new(KeyEntry::new(
+            trusted.clone(),
+            published.clone(),
+            sub.findings,
+            sub.validation,
+            now + if trusted.is_some() { 3600 } else { 30 },
+        ));
         {
-            let mut shard = self.key_cache.shard(zone).lock().expect("no poisoning");
-            shard.entries.insert(
-                zone.detached(),
-                Arc::new(KeyEntry {
-                    trusted: trusted.clone(),
-                    published: published.clone(),
-                    findings: sub.findings,
-                    state: sub.validation,
-                    expires: now + if trusted.is_some() { 3600 } else { 30 },
-                }),
-            );
+            let mut shard = self.infra.key_shard(zone).lock().expect("no poisoning");
+            shard.entries.insert(zone.detached(), Arc::clone(&entry));
             shard.building.remove(zone);
+        }
+        if let Some(l1) = self.l1 {
+            l1.put_key(zone, entry);
         }
         (trusted, published)
     }
@@ -575,6 +517,47 @@ impl<'a> Engine<'a> {
             // willing to expose to its servers. Resets at each zone cut.
             let mut min_extra_labels: usize = 1;
 
+            // Referral fast-start: when the walk's first hop (the
+            // root→TLD delegation every resolution crosses) is cached,
+            // replay it and start one zone down. The cached hop was
+            // diagnosis-neutral when it ran live (the clean-hop rule of
+            // `cache::infra`), so skipping it cannot change what this
+            // resolution observes — only how many root queries it costs.
+            if self.config.enable_cache {
+                if let Some(tld) = tld_ancestor(&current_name) {
+                    let now = self.now();
+                    let cached = self
+                        .l1
+                        .and_then(|l1| l1.get_referral(&tld, now))
+                        .or_else(|| {
+                            let hit = self.infra.get_referral(&tld, now);
+                            if let (Some(l1), Some(entry)) = (self.l1, &hit) {
+                                l1.put_referral(Arc::clone(entry));
+                            }
+                            hit
+                        });
+                    if let Some(entry) = cached {
+                        let tracer = diag.tracer();
+                        tracer.emit(TraceEvent::Referral {
+                            zone: if tracer.wants_query_detail() {
+                                entry.zone.to_string()
+                            } else {
+                                String::new()
+                            },
+                            ns_count: entry.ns_count,
+                            signed: entry.signed,
+                        });
+                        servers = entry.servers.clone();
+                        current_zone = entry.zone.clone();
+                        ds_chain = if entry.ds_rdatas.is_empty() {
+                            None
+                        } else {
+                            Some(entry.ds_rdatas.clone())
+                        };
+                    }
+                }
+            }
+
             for _ in 0..self.config.max_referrals {
                 // QNAME minimization: probe with a truncated name and NS
                 // until the remaining labels run out.
@@ -624,6 +607,13 @@ impl<'a> Engine<'a> {
                 // Referral?
                 if !resp.authoritative {
                     if let Some(referral) = parse_referral(&resp, &probe_name, &current_zone) {
+                        // Clean-hop bookkeeping: remember what the
+                        // diagnosis looked like before this hop so we
+                        // can tell afterwards whether the hop was
+                        // invisible to it (and therefore cacheable).
+                        let pre_findings = diag.findings.len();
+                        let pre_events = diag.ns_events.len();
+                        let pre_state = diag.validation;
                         let tracer = diag.tracer();
                         tracer.emit(TraceEvent::Referral {
                             zone: if tracer.wants_query_detail() {
@@ -708,6 +698,30 @@ impl<'a> Engine<'a> {
                                 rcode: Rcode::ServFail,
                                 answers: Vec::new(),
                             };
+                        }
+                        // Cache the hop iff it was clean: a root→TLD
+                        // delegation that recorded no finding, no
+                        // nameserver event, and no validation-state
+                        // change. Replaying such a hop later is
+                        // diagnosis-neutral by construction; anything
+                        // the hop *did* record must re-walk live.
+                        if self.config.enable_cache
+                            && current_zone.is_root()
+                            && diag.findings.len() == pre_findings
+                            && diag.ns_events.len() == pre_events
+                            && diag.validation == pre_state
+                        {
+                            let entry = self.infra.put_referral(ReferralEntry {
+                                zone: referral.zone.clone(),
+                                servers: next.clone(),
+                                ds_rdatas: child_ds.clone().unwrap_or_default(),
+                                ns_count: referral.ns_names.len(),
+                                signed: !referral.ds_rdatas.is_empty(),
+                                expires: self.now() + 3600,
+                            });
+                            if let Some(l1) = self.l1 {
+                                l1.put_referral(entry);
+                            }
                         }
                         servers = next;
                         current_zone = referral.zone;
@@ -825,6 +839,20 @@ impl<'a> Engine<'a> {
                 answers: Vec::new(),
             };
         }
+    }
+}
+
+/// The depth-1 ancestor of `name` (the TLD it lives under, or `name`
+/// itself when it *is* a TLD). `None` for the root.
+fn tld_ancestor(name: &Name) -> Option<Name> {
+    let mut tld = name.clone();
+    while tld.label_count() > 1 {
+        tld = tld.parent().expect("label_count > 1");
+    }
+    if tld.label_count() == 1 {
+        Some(tld)
+    } else {
+        None
     }
 }
 

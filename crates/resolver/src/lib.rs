@@ -26,8 +26,12 @@
 //!
 //! The [`cache`] implements positive, negative and failure caching with
 //! RFC 8767 serve-stale — the substrate behind EDE 3 (*Stale Answer*),
-//! 13 (*Cached Error*) and 19 (*Stale NXDOMAIN Answer*). A [`policy`]
-//! layer reproduces blocklist-style codes (4, 15–18).
+//! 13 (*Cached Error*) and 19 (*Stale NXDOMAIN Answer*). It is tiered:
+//! a private per-worker L1 ([`cache::l1`], lock-free by construction),
+//! the shared bounded L2 with TTL-wheel expiry and CLOCK eviction
+//! ([`cache::Cache`]), and an infrastructure cache for the referral
+//! walk's hot path ([`cache::infra`]). A [`policy`] layer reproduces
+//! blocklist-style codes (4, 15–18).
 //!
 //! # Execution model
 //!
@@ -58,6 +62,9 @@ pub mod retry;
 pub mod task;
 pub mod validate;
 
+pub use cache::infra::{InfraCache, InfraStatsSnapshot, ReferralEntry};
+pub use cache::l1::{L1Cache, L1StatsSnapshot};
+pub use cache::{Cache, CacheHit, CacheLimits, CacheStatsSnapshot, CachedResolution};
 pub use config::{ResolverConfig, ResolverConfigBuilder};
 pub use diagnosis::{Diagnosis, Finding, NsFailure, ValidationState};
 pub use profiles::{Vendor, VendorProfile};

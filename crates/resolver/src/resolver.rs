@@ -1,9 +1,11 @@
 //! The public resolver API: policy, cache, engine, and EDE emission.
 
-use crate::cache::{Cache, CacheHit, CachedResolution};
+use crate::cache::infra::{InfraCache, InfraStatsSnapshot};
+use crate::cache::l1::L1Cache;
+use crate::cache::{Cache, CacheHit, CacheLimits, CacheStatsSnapshot, CachedResolution};
 use crate::config::ResolverConfig;
 use crate::diagnosis::{Diagnosis, Finding, ValidationState};
-use crate::iterative::{Engine, KeyCache};
+use crate::iterative::Engine;
 use crate::policy::{Policy, PolicyAction};
 use crate::profiles::VendorProfile;
 use crate::retry::SrttTable;
@@ -12,7 +14,8 @@ use ede_netsim::Network;
 use ede_trace::{CacheOutcome, TraceEvent, Tracer};
 use ede_wire::{EdeEntry, Edns, Message, Name, Rcode, Record, RrType};
 use std::future::Future;
-use std::sync::atomic::AtomicU16;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU16, AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
 
 /// The complete result of one recursive resolution, as a client of this
@@ -63,7 +66,11 @@ pub struct Resolver {
     config: ResolverConfig,
     policy: Policy,
     cache: Cache,
-    key_cache: KeyCache,
+    infra: InfraCache,
+    /// Cache generation, bumped by [`flush`](Self::flush). Workers'
+    /// private L1 tiers adopt it once per resolution
+    /// ([`L1Cache::sync_generation`]) so a flush invalidates them too.
+    generation: AtomicU64,
     ids: AtomicU16,
     srtt: SrttTable,
 }
@@ -71,14 +78,21 @@ pub struct Resolver {
 impl Resolver {
     /// Build a resolver.
     pub fn new(net: Arc<Network>, profile: VendorProfile, config: ResolverConfig) -> Self {
-        let cache = Cache::new(config.stale_window_secs);
+        let cache = Cache::with_limits(
+            config.stale_window_secs,
+            CacheLimits {
+                max_entries: config.max_cache_entries,
+                max_bytes: config.max_cache_bytes,
+            },
+        );
         Resolver {
             net,
             profile,
             config,
             policy: Policy::new(),
             cache,
-            key_cache: KeyCache::new(),
+            infra: InfraCache::new(),
+            generation: AtomicU64::new(1),
             ids: AtomicU16::new(1),
             srtt: SrttTable::new(),
         }
@@ -105,11 +119,30 @@ impl Resolver {
         Arc::clone(&self.net)
     }
 
-    /// Flush caches (tests and scan shards).
+    /// Flush caches (tests and scan shards). Bumps the cache
+    /// generation so every worker's private L1 tier clears itself on
+    /// its next resolution.
     pub fn flush(&self) {
         self.cache.clear();
-        self.key_cache.clear();
+        self.infra.clear();
         self.srtt.clear();
+        self.generation.fetch_add(1, Relaxed);
+    }
+
+    /// A frozen copy of the shared (L2) resolution-cache counters.
+    pub fn cache_stats(&self) -> CacheStatsSnapshot {
+        self.cache.stats()
+    }
+
+    /// A frozen copy of the infrastructure-cache counters.
+    pub fn infra_stats(&self) -> InfraStatsSnapshot {
+        self.infra.stats()
+    }
+
+    /// Eagerly drop every L2 entry whose stale window has lapsed at
+    /// `now`; returns how many were dropped.
+    pub fn purge_expired(&self, now: u32) -> u64 {
+        self.cache.purge_expired(now)
     }
 
     /// Resolve one (name, type) with full recursion, validation, policy,
@@ -129,7 +162,16 @@ impl Resolver {
     /// [`crate::ResolutionPool`] instead.
     pub fn resolve(&self, qname: &Name, qtype: RrType) -> Resolution {
         run_local(&self.net, |handle| async move {
-            self.resolve_with(&handle, qname, qtype).await
+            self.resolve_with(&handle, qname, qtype, None).await
+        })
+    }
+
+    /// [`resolve`](Self::resolve) with a caller-owned L1 tier probed
+    /// before the shared cache. The caller (one scan worker, say) must
+    /// use the same `l1` from one thread only — the type enforces it.
+    pub fn resolve_l1(&self, qname: &Name, qtype: RrType, l1: &L1Cache) -> Resolution {
+        run_local(&self.net, |handle| async move {
+            self.resolve_with(&handle, qname, qtype, Some(l1)).await
         })
     }
 
@@ -147,11 +189,33 @@ impl Resolver {
         qtype: RrType,
     ) -> impl Future<Output = Resolution> + 'static {
         let this = Arc::clone(self);
-        async move { this.resolve_with(&handle, &qname, qtype).await }
+        async move { this.resolve_with(&handle, &qname, qtype, None).await }
+    }
+
+    /// The pool shape with an L1 tier: all tasks spawned on one
+    /// [`crate::ResolutionPool`] share the host thread, so they share
+    /// one `Rc<L1Cache>` too ([`spawn`](crate::ResolutionPool::spawn)
+    /// deliberately has no `Send` bound, which is what makes this
+    /// legal — see `docs/CONCURRENCY.md`).
+    pub fn resolve_on_l1(
+        self: &Arc<Self>,
+        handle: TaskHandle,
+        qname: Name,
+        qtype: RrType,
+        l1: Rc<L1Cache>,
+    ) -> impl Future<Output = Resolution> + 'static {
+        let this = Arc::clone(self);
+        async move { this.resolve_with(&handle, &qname, qtype, Some(&l1)).await }
     }
 
     /// The resolution pipeline itself, as a resumable task.
-    async fn resolve_with(&self, handle: &TaskHandle, qname: &Name, qtype: RrType) -> Resolution {
+    async fn resolve_with(
+        &self,
+        handle: &TaskHandle,
+        qname: &Name,
+        qtype: RrType,
+        l1: Option<&L1Cache>,
+    ) -> Resolution {
         let now = self.net.clock().now_secs();
         let tracer = self.net.tracer();
         let started_ms = tracer.now_millis();
@@ -176,31 +240,38 @@ impl Resolver {
             return resolution;
         }
 
-        // 2. Cache probe.
+        // 2. Cache probe: the worker's private L1 tier first (fresh
+        // entries only, zero synchronization), then the shared L2.
+        // Either hit emits the same `CacheProbe { Hit }` event and
+        // materializes the same resolution, so the tiering is invisible
+        // to traces and reports.
         if self.config.enable_cache {
-            if let CacheHit::Fresh(data) = self.cache.get(qname, qtype, now) {
+            if let Some(l1) = l1 {
+                l1.sync_generation(self.generation.load(Relaxed));
+                if let Some(data) = l1.get_answer(qname, qtype, now) {
+                    tracer.emit(TraceEvent::CacheProbe {
+                        qname: qd(qname),
+                        qtype: qtype.to_u16(),
+                        outcome: CacheOutcome::Hit,
+                    });
+                    let resolution = self.materialize_hit(&tracer, &data);
+                    self.trace_finish(&tracer, started_ms, &resolution);
+                    return resolution;
+                }
+            }
+            if let CacheHit::Fresh(data, stored_at, ttl) = self.cache.get(qname, qtype, now) {
                 tracer.emit(TraceEvent::CacheProbe {
                     qname: qd(qname),
                     qtype: qtype.to_u16(),
                     outcome: CacheOutcome::Hit,
                 });
-                // The hit handed back a shared Arc; the clones below are
-                // this resolution's own copies, taken outside any cache
-                // lock.
-                let mut diag = data.diagnosis.clone();
-                diag.set_tracer(tracer.clone());
-                if data.is_failure {
-                    diag.add(Finding::CachedError);
+                // Mirror the hit into the L1 with the L2 entry's exact
+                // freshness window, so the copy can never outlive the
+                // original's TTL.
+                if let Some(l1) = l1 {
+                    l1.put_answer(qname, qtype, Arc::clone(&data), stored_at, ttl);
                 }
-                let ede = self.profile.emit(&diag);
-                let resolution = Resolution {
-                    rcode: data.rcode,
-                    answers: data.answers.clone(),
-                    authentic_data: diag.validation == ValidationState::Secure && diag.zone_signed,
-                    validation: diag.validation,
-                    ede,
-                    diagnosis: diag,
-                };
+                let resolution = self.materialize_hit(&tracer, &data);
                 self.trace_finish(&tracer, started_ms, &resolution);
                 return resolution;
             }
@@ -217,7 +288,8 @@ impl Resolver {
             net: &self.net,
             config: &self.config,
             caps: &self.profile.caps,
-            key_cache: &self.key_cache,
+            infra: &self.infra,
+            l1,
             ids: &self.ids,
             srtt: &self.srtt,
             handle,
@@ -267,7 +339,7 @@ impl Resolver {
             let mut stored = diag.clone();
             stored.set_tracer(Tracer::disabled());
             stored.detach_names();
-            self.cache.put(
+            let put = self.cache.put(
                 qname,
                 qtype,
                 CachedResolution {
@@ -279,6 +351,13 @@ impl Resolver {
                 ttl,
                 now,
             );
+            if put.removed_any() {
+                tracer.emit(TraceEvent::CacheEvicted {
+                    expired: put.expired,
+                    evicted: put.evicted,
+                    occupancy: put.occupancy,
+                });
+            }
         }
 
         let ede = self.profile.emit(&diag);
@@ -293,6 +372,27 @@ impl Resolver {
         };
         self.trace_finish(&tracer, started_ms, &resolution);
         resolution
+    }
+
+    /// Turn a cached entry (from either tier) into a full
+    /// [`Resolution`]. The hit handed back a shared `Arc`; the clones
+    /// below are this resolution's own copies, taken outside any cache
+    /// lock.
+    fn materialize_hit(&self, tracer: &Tracer, data: &CachedResolution) -> Resolution {
+        let mut diag = data.diagnosis.clone();
+        diag.set_tracer(tracer.clone());
+        if data.is_failure {
+            diag.add(Finding::CachedError);
+        }
+        let ede = self.profile.emit(&diag);
+        Resolution {
+            rcode: data.rcode,
+            answers: data.answers.clone(),
+            authentic_data: diag.validation == ValidationState::Secure && diag.zone_signed,
+            validation: diag.validation,
+            ede,
+            diagnosis: diag,
+        }
     }
 
     /// Announce the EDE entries and the `ResolutionFinished` bracket.

@@ -3,8 +3,9 @@
 //! EDE 3/13/19. Cases are driven by an in-file deterministic PRNG
 //! (SplitMix64), so every failure reproduces from the fixed seed.
 
-use ede_resolver::cache::{Cache, CacheHit, CachedResolution};
+use ede_resolver::cache::{Cache, CacheHit, CacheLimits, CachedResolution};
 use ede_resolver::diagnosis::Diagnosis;
+use ede_resolver::L1Cache;
 use ede_wire::{Name, Rcode, RrType};
 
 /// Deterministic SplitMix64 stream driving the randomized cases.
@@ -62,7 +63,7 @@ fn freshness_is_monotone() {
         for dt in probes {
             let now = t0 + dt;
             let s = match cache.get(&name, RrType::A, now) {
-                CacheHit::Fresh(_) => 2,
+                CacheHit::Fresh(..) => 2,
                 CacheHit::Stale(_) => 1,
                 CacheHit::Miss => 0,
             };
@@ -87,7 +88,7 @@ fn window_boundaries() {
 
         assert!(matches!(
             cache.get(&name, RrType::A, t0 + ttl),
-            CacheHit::Fresh(_)
+            CacheHit::Fresh(..)
         ));
         assert!(matches!(
             cache.get(&name, RrType::A, t0 + ttl + 1),
@@ -125,6 +126,113 @@ fn failures_never_shadow_stale_successes() {
     }
 }
 
+/// The entry budget is a hard invariant under arbitrary interleavings
+/// of inserts, overwrites, expiries, and time jumps: at no observation
+/// point does the store hold more slots than the configured bound.
+#[test]
+fn entry_budget_holds_under_random_interleavings() {
+    let mut rng = Rng(0x0025_5eed);
+    for _ in 0..64 {
+        let budget = 1 + rng.below(24) as usize;
+        let window = rng.range_u32(0, 600);
+        let cache = Cache::with_limits(
+            window,
+            CacheLimits {
+                max_entries: Some(budget),
+                max_bytes: None,
+            },
+        );
+        let mut now = 1_000;
+        let n_ops = 50 + rng.below(150);
+        for _ in 0..n_ops {
+            match rng.below(10) {
+                // Mostly inserts; a name pool of 32 forces overwrites.
+                0..=6 => {
+                    let id = rng.below(32);
+                    let name = Name::parse(&format!("n{id}.example")).unwrap();
+                    let ttl = rng.range_u32(1, 900);
+                    cache.put(&name, RrType::A, entry(rng.below(2) == 0), ttl, now);
+                }
+                // Time jump (possibly past whole TTL+window cohorts).
+                7..=8 => now += rng.range_u32(0, 2_000),
+                // Eager purge.
+                _ => {
+                    cache.purge_expired(now);
+                }
+            }
+            assert!(
+                cache.total_entries() <= budget,
+                "budget {budget} exceeded: {} slots",
+                cache.total_entries()
+            );
+        }
+        let stats = cache.stats();
+        assert_eq!(
+            stats.occupancy,
+            cache.total_entries() as u64,
+            "gauge must match the store"
+        );
+    }
+}
+
+/// L1/L2 coherence: whatever interleaving of puts, probes and time
+/// jumps happens, an L1 hit is never served past the freshness window
+/// of the L2 entry it mirrored — the tiers can disagree on *whether*
+/// to answer (L1 may miss where L2 hits) but never on freshness.
+#[test]
+fn l1_never_serves_past_the_mirrored_window() {
+    let mut rng = Rng(0x0026_5eed);
+    for _ in 0..64 {
+        let window = rng.range_u32(0, 600);
+        let cache = Cache::new(window);
+        let l1 = L1Cache::new();
+        let mut now = 1_000;
+        let n_ops = 40 + rng.below(120);
+        for _ in 0..n_ops {
+            let id = rng.below(8);
+            let name = Name::parse(&format!("c{id}.example")).unwrap();
+            match rng.below(10) {
+                // A resolution, with the resolver's exact discipline:
+                // probe L1, then L2; a fresh L2 hit is mirrored into
+                // L1, anything else "resolves live" and stores. An L2
+                // entry is therefore only ever replaced after its
+                // freshness lapsed — the structural fact the coherence
+                // argument rests on.
+                0..=7 => {
+                    if l1.get_answer(&name, RrType::A, now).is_none() {
+                        match cache.get(&name, RrType::A, now) {
+                            CacheHit::Fresh(data, stored_at, ttl) => {
+                                l1.put_answer(&name, RrType::A, data, stored_at, ttl);
+                            }
+                            _ => {
+                                let ttl = rng.range_u32(1, 400);
+                                cache.put(&name, RrType::A, entry(false), ttl, now);
+                            }
+                        }
+                    }
+                }
+                _ => now += rng.range_u32(0, 800),
+            }
+            // The invariant: an L1 hit implies the L2 probe at the same
+            // instant is Fresh or Stale with the same data — never past
+            // the entry's stale window (i.e. never a plain miss), and
+            // never fresh-in-L1 while expired-in-L2.
+            for id in 0..8 {
+                let name = Name::parse(&format!("c{id}.example")).unwrap();
+                if l1.get_answer(&name, RrType::A, now).is_some() {
+                    assert!(
+                        matches!(
+                            cache.get(&name, RrType::A, now),
+                            CacheHit::Fresh(..) | CacheHit::Stale(_)
+                        ),
+                        "L1 hit for a name L2 considers dead at {now}"
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// Distinct (name, type) keys never interfere.
 #[test]
 fn keys_are_independent() {
@@ -148,7 +256,7 @@ fn keys_are_independent() {
         for (i, label) in labels.iter().enumerate() {
             let name = Name::parse(&format!("{label}{i}.example")).unwrap();
             match cache.get(&name, RrType::A, t0 + 1) {
-                CacheHit::Fresh(data) => assert_eq!(data.is_failure, i % 2 == 0),
+                CacheHit::Fresh(data, ..) => assert_eq!(data.is_failure, i % 2 == 0),
                 other => panic!("expected fresh hit, got {other:?}"),
             }
         }

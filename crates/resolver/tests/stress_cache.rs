@@ -48,7 +48,7 @@ fn concurrent_put_get_across_shards() {
                     // hit must be internally consistent.
                     let other = name((t + 1) % THREADS, i);
                     match cache.get(&other, RrType::A, 1_010) {
-                        CacheHit::Fresh(data) => {
+                        CacheHit::Fresh(data, ..) => {
                             assert_eq!(data.is_failure, i % 3 == 0, "torn read for {other}");
                         }
                         CacheHit::Stale(_) => panic!("nothing can be stale yet"),
@@ -65,12 +65,12 @@ fn concurrent_put_get_across_shards() {
     for t in 0..THREADS {
         for i in 0..NAMES {
             match cache.get(&name(t, i), RrType::A, 1_010) {
-                CacheHit::Fresh(data) => assert_eq!(data.is_failure, i % 3 == 0),
+                CacheHit::Fresh(data, ..) => assert_eq!(data.is_failure, i % 3 == 0),
                 other => panic!("lost {} : {other:?}", name(t, i)),
             }
         }
     }
-    assert_eq!(cache.len(), THREADS * NAMES);
+    assert_eq!(cache.len(1_010), THREADS * NAMES);
     // Sanity: the key space is much larger than SHARD_COUNT, so the
     // storm genuinely exercised every shard.
     const { assert!(THREADS * NAMES > SHARD_COUNT) };
@@ -118,7 +118,7 @@ fn concurrent_hits_share_one_allocation() {
     let qname = Name::parse("shared.example").unwrap();
     cache.put(&qname, RrType::A, entry(false), 60, 1_000);
     let reference = match cache.get(&qname, RrType::A, 1_001) {
-        CacheHit::Fresh(data) => data,
+        CacheHit::Fresh(data, ..) => data,
         other => panic!("expected fresh hit, got {other:?}"),
     };
 
@@ -130,7 +130,7 @@ fn concurrent_hits_share_one_allocation() {
             s.spawn(move || {
                 for _ in 0..1_000 {
                     match cache.get(qname, RrType::A, 1_001) {
-                        CacheHit::Fresh(data) => {
+                        CacheHit::Fresh(data, ..) => {
                             assert!(Arc::ptr_eq(&data, reference), "hit deep-cloned the entry")
                         }
                         other => panic!("expected fresh hit, got {other:?}"),

@@ -16,7 +16,7 @@
 
 use ede_scan::chaos::{
     baseline_matches_plain_scan, campaign, inflight_matches_blocking_scan,
-    table4_concurrent_deviation, table4_deviation, ChaosConfig,
+    table4_concurrent_deviation, table4_deviation, tier_configs_hold, ChaosConfig,
 };
 use ede_scan::{Population, PopulationConfig};
 
@@ -90,6 +90,17 @@ fn main() {
         std::process::exit(1);
     }
     eprintln!("  ok: bit-identical observations, traffic, and metrics at inflight 32");
+
+    eprintln!("checking the cache-tier configurations (L1 off; 8-entry L2 budget)...");
+    let diffs = tier_configs_hold(&pop, &config);
+    if !diffs.is_empty() {
+        for d in &diffs {
+            eprintln!("  tier deviation: {d}");
+        }
+        eprintln!("FAIL: cache-tier configurations break the scan contract");
+        std::process::exit(1);
+    }
+    eprintln!("  ok: L1-off bit-identical; tiny budget bounded with evictions");
 
     eprintln!("checking the intensity-0 leg against a plain scan...");
     let diffs = baseline_matches_plain_scan(&pop, &config);

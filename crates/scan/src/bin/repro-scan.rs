@@ -1,12 +1,53 @@
 //! Regenerate the §4.2 inventory: run the scaled Internet-wide scan and
 //! print measured vs paper counts per INFO-CODE.
 //!
-//! Usage: repro-scan \[scale\] \[--json\]   (default scale 1000, i.e. 303k domains)
+//! Usage: repro-scan \[scale\] \[--json | --fingerprint\] \[--no-l1\] \[--cache-budget=N\]
+//! (default scale 1000, i.e. 303k domains)
+//!
+//! `--no-l1` disables the per-worker L1 cache tier (results must stay
+//! bit-identical — compare `--fingerprint` outputs). `--cache-budget=N`
+//! bounds the shared cache to N entries; with a budget smaller than the
+//! working set the scan still completes, with bounded memory and
+//! nonzero evictions, but eviction legally changes observations, so
+//! budgeted fingerprints are *not* comparable.
 use ede_scan::{aggregate, report, scanner, Population, PopulationConfig, ScanWorld};
+
+/// FNV-1a over the sorted per-observation tuples — a stable digest of
+/// the complete scan report, for bit-identity checks across engine
+/// changes and cache configurations.
+fn observation_fingerprint(result: &scanner::ScanResult) -> u64 {
+    let mut lines: Vec<String> = result
+        .observations
+        .iter()
+        .map(|o| {
+            format!(
+                "{}|{:?}|{}|{:?}|{}|{:?}|{:?}",
+                o.name, o.category, o.tld, o.rank, o.rcode, o.codes, o.network_error_text
+            )
+        })
+        .collect();
+    lines.sort_unstable();
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for line in &lines {
+        for b in line.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h ^= u64::from(b'\n');
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
+    let fingerprint = args.iter().any(|a| a == "--fingerprint");
+    let no_l1 = args.iter().any(|a| a == "--no-l1");
+    let cache_budget: Option<usize> = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--cache-budget="))
+        .and_then(|v| v.parse().ok());
     let scale: u32 = args.iter().find_map(|a| a.parse().ok()).unwrap_or(1000);
     let cfg = PopulationConfig {
         scale,
@@ -17,14 +58,26 @@ fn main() {
     eprintln!("{} domains; building world...", pop.domains.len());
     let world = ScanWorld::build(&pop);
     eprintln!("scanning...");
-    let config = scanner::ScanConfig::builder().progress(!json).build();
+    let config = scanner::ScanConfig::builder()
+        .progress(!json && !fingerprint)
+        .l1(!no_l1)
+        .max_cache_entries(cache_budget)
+        .build();
     let result = scanner::scan(&pop, &world, &config);
     let agg = aggregate::aggregate(&pop, &result);
-    if json {
+    if fingerprint {
+        println!(
+            "fingerprint {:016x} observations {} evictions {}",
+            observation_fingerprint(&result),
+            result.observations.len(),
+            result.cache.l2.evicted,
+        );
+    } else if json {
         print!("{}", report::scan_json(&pop, &agg));
     } else {
         print!("{}", report::scan_summary(&pop, &agg));
         println!("\n{}", report::traffic_line(&result));
         println!("\n{}", result.metrics.render());
+        println!("{}", result.cache.render());
     }
 }

@@ -407,6 +407,79 @@ pub fn inflight_matches_blocking_scan(
     bad
 }
 
+/// Assert (by running all three) that the cache-tier configurations
+/// hold their contracts on this population:
+///
+/// * with the per-worker **L1 tier disabled**, the scan is bit-identical
+///   to the plain scan — the L1 is a pure performance tier;
+/// * with a shared-cache **budget far below the working set**, the scan
+///   still completes every domain with bounded occupancy and nonzero
+///   evictions (eviction legally changes observations, so that leg is
+///   *not* fingerprint-compared).
+///
+/// Returns the violations; empty means both contracts hold.
+pub fn tier_configs_hold(pop: &Population, config: &ChaosConfig) -> Vec<String> {
+    let plain_world = ScanWorld::build(pop);
+    let plain = scan(
+        pop,
+        &plain_world,
+        &ScanConfig::builder().vendor(config.vendor).build(),
+    );
+    let no_l1_world = ScanWorld::build(pop);
+    let no_l1 = scan(
+        pop,
+        &no_l1_world,
+        &ScanConfig::builder()
+            .vendor(config.vendor)
+            .l1(false)
+            .build(),
+    );
+    let mut bad = Vec::new();
+    if plain.observations != no_l1.observations {
+        bad.push("observations differ with the L1 tier disabled".to_string());
+    }
+    if plain.traffic_full != no_l1.traffic_full {
+        bad.push(format!(
+            "traffic differs with the L1 tier disabled: {:?} != {:?}",
+            plain.traffic_full, no_l1.traffic_full
+        ));
+    }
+    if plain.metrics.without_scheduler_stats() != no_l1.metrics.without_scheduler_stats() {
+        bad.push("metrics differ with the L1 tier disabled".to_string());
+    }
+    if no_l1.cache.l1.hits + no_l1.cache.l1.misses != 0 {
+        bad.push("L1 tier probed despite being disabled".to_string());
+    }
+
+    const BUDGET: usize = 8;
+    let budget_world = ScanWorld::build(pop);
+    let budgeted = scan(
+        pop,
+        &budget_world,
+        &ScanConfig::builder()
+            .vendor(config.vendor)
+            .max_cache_entries(Some(BUDGET))
+            .build(),
+    );
+    if budgeted.observations.len() != plain.observations.len() {
+        bad.push(format!(
+            "budgeted scan lost domains: {} of {}",
+            budgeted.observations.len(),
+            plain.observations.len()
+        ));
+    }
+    if budgeted.cache.l2.evicted == 0 {
+        bad.push(format!("a {BUDGET}-entry budget evicted nothing"));
+    }
+    if budgeted.cache.l2.occupancy > BUDGET as u64 {
+        bad.push(format!(
+            "budget {BUDGET} exceeded: {} live entries",
+            budgeted.cache.l2.occupancy
+        ));
+    }
+    bad
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -464,6 +537,13 @@ mod tests {
     fn baseline_leg_is_bit_identical_to_plain_scan() {
         let pop = Population::generate(PopulationConfig::tiny());
         let diffs = baseline_matches_plain_scan(&pop, &ChaosConfig::default());
+        assert_eq!(diffs, Vec::<String>::new());
+    }
+
+    #[test]
+    fn tier_configs_hold_on_the_tiny_population() {
+        let pop = Population::generate(PopulationConfig::tiny());
+        let diffs = tier_configs_hold(&pop, &ChaosConfig::default());
         assert_eq!(diffs, Vec::<String>::new());
     }
 }

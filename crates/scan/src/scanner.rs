@@ -3,10 +3,14 @@
 
 use crate::population::{Category, Population};
 use crate::world::ScanWorld;
-use ede_resolver::{Resolution, ResolutionPool, Resolver, RetryPolicy, Vendor, VendorProfile};
+use ede_resolver::{
+    CacheStatsSnapshot, InfraStatsSnapshot, L1Cache, L1StatsSnapshot, Resolution, ResolutionPool,
+    Resolver, RetryPolicy, Vendor, VendorProfile,
+};
 use ede_trace::{Metrics, MetricsSnapshot};
 use ede_wire::{Name, Rcode, RrType};
 use std::collections::VecDeque;
+use std::rc::Rc;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -32,6 +36,55 @@ pub struct Observation {
     pub network_error_text: Option<String>,
 }
 
+/// Per-tier cache accounting for one scan: the workers' private L1
+/// tiers (summed), the shared L2 store, and the infrastructure cache.
+/// Reported alongside the metrics in the end-of-run summary; never part
+/// of the determinism comparisons (tier *placement* of a hit is a
+/// performance fact, not a result).
+#[derive(Debug, Clone, Default)]
+pub struct ScanCacheReport {
+    /// Summed counters of every worker's L1 tier.
+    pub l1: L1StatsSnapshot,
+    /// The shared (L2) resolution cache's counters.
+    pub l2: CacheStatsSnapshot,
+    /// The infrastructure cache's counters (zone keys + referrals).
+    pub infra: InfraStatsSnapshot,
+}
+
+impl ScanCacheReport {
+    /// Multi-line human rendering with per-tier hit ratios, matching
+    /// the metrics `render()` style.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("cache tiers:\n");
+        out.push_str(&format!(
+            "  L1        : {} hits / {} probes ({:.1}%), {} flips\n",
+            self.l1.hits,
+            self.l1.hits + self.l1.misses,
+            100.0 * self.l1.hit_ratio(),
+            self.l1.capacity_flips,
+        ));
+        out.push_str(&format!(
+            "  L2        : {} hits / {} probes ({:.1}%), {} stale, {} expired, {} evicted, {} live\n",
+            self.l2.hits,
+            self.l2.hits + self.l2.misses,
+            100.0 * self.l2.hit_ratio(),
+            self.l2.stale_served,
+            self.l2.expired,
+            self.l2.evicted,
+            self.l2.occupancy,
+        ));
+        out.push_str(&format!(
+            "  infra     : {} key replays, {} referral replays / {} probes ({:.1}%)\n",
+            self.infra.key_hits,
+            self.infra.referral_hits,
+            self.infra.referral_hits + self.infra.referral_misses,
+            100.0 * self.infra.referral_hit_ratio(),
+        ));
+        out
+    }
+}
+
 /// The complete scan output.
 pub struct ScanResult {
     /// One observation per input domain (the revisit pass overwrites the
@@ -51,6 +104,8 @@ pub struct ScanResult {
     /// latency histograms). `metrics.queries_sent` equals `traffic.0`:
     /// both count the same transport events.
     pub metrics: MetricsSnapshot,
+    /// Per-tier cache accounting (L1 summed over workers, L2, infra).
+    pub cache: ScanCacheReport,
 }
 
 /// Scan config.
@@ -76,6 +131,15 @@ pub struct ScanConfig {
     /// `None` keeps the world's configuration (the compat baseline),
     /// which is what the pinned repro-scan inventory is built on.
     pub retry: Option<RetryPolicy>,
+    /// Give each worker a private L1 cache tier (on by default). Purely
+    /// a performance knob: scan results are bit-identical with it on or
+    /// off.
+    pub l1: bool,
+    /// Bound the scanning resolver's shared cache to this many entries
+    /// (`None` keeps the world's configuration, normally unbounded).
+    /// Unlike `l1` this is *not* results-neutral: evicting a live entry
+    /// turns a later replay into a live walk — see `docs/PERFORMANCE.md`.
+    pub max_cache_entries: Option<usize>,
 }
 
 impl Default for ScanConfig {
@@ -108,6 +172,8 @@ impl Default for ScanConfig {
             vendor: Vendor::Cloudflare,
             progress: false,
             retry: None,
+            l1: true,
+            max_cache_entries: None,
         }
     }
 }
@@ -172,6 +238,18 @@ impl ScanConfigBuilder {
         self
     }
 
+    /// Enable or disable the per-worker L1 cache tier.
+    pub fn l1(mut self, on: bool) -> Self {
+        self.config.l1 = on;
+        self
+    }
+
+    /// Bound the scanning resolver's shared cache (entries).
+    pub fn max_cache_entries(mut self, n: Option<usize>) -> Self {
+        self.config.max_cache_entries = n;
+        self
+    }
+
     /// Finish, yielding the configuration.
     pub fn build(self) -> ScanConfig {
         self.config
@@ -197,8 +275,11 @@ fn observation_from(pop: &Population, idx: usize, res: &Resolution) -> Observati
     }
 }
 
-fn observe(resolver: &Resolver, pop: &Population, idx: usize) -> Observation {
-    let res = resolver.resolve(&pop.domains[idx].name, RrType::A);
+fn observe(resolver: &Resolver, pop: &Population, idx: usize, l1: Option<&L1Cache>) -> Observation {
+    let res = match l1 {
+        Some(l1) => resolver.resolve_l1(&pop.domains[idx].name, RrType::A, l1),
+        None => resolver.resolve(&pop.domains[idx].name, RrType::A),
+    };
     observation_from(pop, idx, &res)
 }
 
@@ -253,8 +334,13 @@ fn blocking_worker(
     pop: &Population,
     indices: &[usize],
     cursor: &AtomicUsize,
+    use_l1: bool,
     progress: &PassProgress<'_>,
-) -> Vec<(usize, Observation)> {
+) -> (Vec<(usize, Observation)>, L1StatsSnapshot) {
+    // The worker's private tier: lives on this thread, dies with this
+    // pass, never shared — which is what lets it skip synchronization
+    // entirely.
+    let l1 = use_l1.then(L1Cache::new);
     let mut buf: Vec<(usize, Observation)> = Vec::new();
     loop {
         let start = cursor.fetch_add(CLAIM_CHUNK, Ordering::Relaxed);
@@ -263,12 +349,13 @@ fn blocking_worker(
         }
         let end = (start + CLAIM_CHUNK).min(indices.len());
         for &i in &indices[start..end] {
-            let obs = observe(resolver, pop, i);
+            let obs = observe(resolver, pop, i, l1.as_ref());
             progress.tick();
             buf.push((i, obs));
         }
     }
-    buf
+    let stats = l1.map(|l1| l1.stats()).unwrap_or_default();
+    (buf, stats)
 }
 
 /// The event-driven worker body (`inflight > 1`): keep up to `inflight`
@@ -282,8 +369,13 @@ fn pooled_worker(
     indices: &[usize],
     cursor: &AtomicUsize,
     inflight: usize,
+    use_l1: bool,
     progress: &PassProgress<'_>,
-) -> Vec<(usize, Observation)> {
+) -> (Vec<(usize, Observation)>, L1StatsSnapshot) {
+    // Every task spawned on this pool runs on this thread, so they all
+    // share one `Rc<L1Cache>` — legal precisely because `spawn` has no
+    // `Send` bound (see `docs/CONCURRENCY.md`).
+    let l1 = use_l1.then(|| Rc::new(L1Cache::new()));
     let mut buf: Vec<(usize, Observation)> = Vec::new();
     let mut pool: ResolutionPool<(usize, Resolution)> =
         ResolutionPool::new(resolver.network_shared());
@@ -303,9 +395,13 @@ fn pooled_worker(
             if let Some(i) = backlog.pop_front() {
                 let qname = pop.domains[i].name.clone();
                 let resolver = Arc::clone(resolver);
-                pool.spawn(move |handle| {
-                    let fut = resolver.resolve_on(handle, qname, RrType::A);
-                    async move { (i, fut.await) }
+                let l1 = l1.clone();
+                pool.spawn(move |handle| async move {
+                    let res = match l1 {
+                        Some(l1) => resolver.resolve_on_l1(handle, qname, RrType::A, l1).await,
+                        None => resolver.resolve_on(handle, qname, RrType::A).await,
+                    };
+                    (i, res)
                 });
             }
         }
@@ -321,7 +417,8 @@ fn pooled_worker(
             }
         }
     }
-    buf
+    let stats = l1.map(|l1| l1.stats()).unwrap_or_default();
+    (buf, stats)
 }
 
 /// One parallel pass over `indices`: workers claim chunks off a shared
@@ -339,17 +436,18 @@ fn parallel_pass(
     indices: &[usize],
     workers: usize,
     inflight: usize,
+    use_l1: bool,
     progress: &PassProgress<'_>,
-) -> Vec<(usize, Observation)> {
+) -> (Vec<(usize, Observation)>, L1StatsSnapshot) {
     let cursor = AtomicUsize::new(0);
-    let buffers: Vec<Vec<(usize, Observation)>> = std::thread::scope(|s| {
+    let buffers: Vec<(Vec<(usize, Observation)>, L1StatsSnapshot)> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers.max(1))
             .map(|_| {
                 s.spawn(|| {
                     if inflight > 1 {
-                        pooled_worker(resolver, pop, indices, &cursor, inflight, progress)
+                        pooled_worker(resolver, pop, indices, &cursor, inflight, use_l1, progress)
                     } else {
-                        blocking_worker(resolver, pop, indices, &cursor, progress)
+                        blocking_worker(resolver, pop, indices, &cursor, use_l1, progress)
                     }
                 })
             })
@@ -359,7 +457,13 @@ fn parallel_pass(
             .map(|h| h.join().expect("scan worker panicked"))
             .collect()
     });
-    buffers.into_iter().flatten().collect()
+    let mut l1 = L1StatsSnapshot::default();
+    let mut merged = Vec::new();
+    for (buf, stats) in buffers {
+        l1.merge(&stats);
+        merged.extend(buf);
+    }
+    (merged, l1)
 }
 
 /// Run the scan: one pass over every domain, then a clock advance and a
@@ -381,11 +485,29 @@ pub fn scan(pop: &Population, world: &ScanWorld, config: &ScanConfig) -> ScanRes
     if let Some(policy) = &config.retry {
         resolver_config.retry = policy.clone();
     }
+    if config.max_cache_entries.is_some() {
+        resolver_config.max_cache_entries = config.max_cache_entries;
+    }
+    let enable_cache = resolver_config.enable_cache;
     let resolver = Arc::new(Resolver::new(
         Arc::clone(&world.net),
         VendorProfile::new(config.vendor),
         resolver_config,
     ));
+
+    // Prime the infrastructure cache: one serial (TLD, NS) resolution
+    // per TLD walks every root→TLD delegation once, *before* the
+    // workers start. Without this, which resolution populates a given
+    // referral entry first — and therefore how many root queries the
+    // scan issues — would depend on thread timing; with it, every
+    // worker-count and in-flight configuration sees the same
+    // pre-populated walk and the traffic and metrics counters stay
+    // bit-identical across all of them.
+    if enable_cache {
+        for tld in &pop.tlds {
+            let _ = resolver.resolve(&tld.name, RrType::Ns);
+        }
+    }
 
     let n = pop.domains.len();
     let first_pass: Vec<usize> = (0..n).collect();
@@ -402,15 +524,19 @@ pub fn scan(pop: &Population, world: &ScanWorld, config: &ScanConfig) -> ScanRes
     };
 
     // Pass 1: everything, in parallel.
+    let mut l1_stats = L1StatsSnapshot::default();
     let mut observations: Vec<Option<Observation>> = vec![None; n];
-    for (i, obs) in parallel_pass(
+    let (pass1, pass1_l1) = parallel_pass(
         &resolver,
         pop,
         &first_pass,
         config.workers,
         config.inflight,
+        config.l1,
         &progress,
-    ) {
+    );
+    l1_stats.merge(&pass1_l1);
+    for (i, obs) in pass1 {
         observations[i] = Some(obs);
     }
     let mut observations: Vec<Observation> = observations
@@ -421,15 +547,27 @@ pub fn scan(pop: &Population, world: &ScanWorld, config: &ScanConfig) -> ScanRes
     // Pass 2: revisit flap/cache domains after the flap window ("the
     // last response wins", as in a longitudinal probe).
     world.net.clock().advance_secs(120);
-    for (i, obs) in parallel_pass(
+    let (pass2, pass2_l1) = parallel_pass(
         &resolver,
         pop,
         &revisit,
         config.workers,
         config.inflight,
+        config.l1,
         &progress,
-    ) {
+    );
+    l1_stats.merge(&pass2_l1);
+    for (i, obs) in pass2 {
         observations[i] = obs;
+    }
+
+    let cache = ScanCacheReport {
+        l1: l1_stats,
+        l2: resolver.cache_stats(),
+        infra: resolver.infra_stats(),
+    };
+    if config.progress {
+        eprint!("{}", cache.render());
     }
 
     ScanResult {
@@ -438,6 +576,7 @@ pub fn scan(pop: &Population, world: &ScanWorld, config: &ScanConfig) -> ScanRes
         traffic: world.net.stats().snapshot(),
         traffic_full: world.net.stats().snapshot_full(),
         metrics: metrics.snapshot(),
+        cache,
     }
 }
 

@@ -137,6 +137,18 @@ pub enum TraceEvent {
         /// What the probe produced.
         outcome: CacheOutcome,
     },
+    /// A cache store removed entries: TTL-wheel expiry, budget (CLOCK)
+    /// eviction, or both. Emitted once per store operation that removed
+    /// anything, so an unbounded cache under a standing clock emits
+    /// none of these.
+    CacheEvicted {
+        /// Entries removed because their TTL + stale window had lapsed.
+        expired: u64,
+        /// Entries removed by the entry/byte budget's CLOCK sweep.
+        evicted: u64,
+        /// Live entries remaining in the store after the removal.
+        occupancy: u64,
+    },
     /// One DNSSEC validation step ran.
     ValidationStep {
         /// What was validated (e.g. `"DNSKEY example.com"`,
@@ -215,6 +227,7 @@ impl TraceEvent {
             TraceEvent::FaultInjected { .. } => "fault_injected",
             TraceEvent::Referral { .. } => "referral",
             TraceEvent::CacheProbe { .. } => "cache_probe",
+            TraceEvent::CacheEvicted { .. } => "cache_evicted",
             TraceEvent::ValidationStep { .. } => "validation_step",
             TraceEvent::FindingRecorded { .. } => "finding_recorded",
             TraceEvent::EdeEmitted { .. } => "ede_emitted",
@@ -288,6 +301,13 @@ impl TraceEvent {
                 outcome,
             } => {
                 format!("cache {outcome} {qname} type{qtype}")
+            }
+            TraceEvent::CacheEvicted {
+                expired,
+                evicted,
+                occupancy,
+            } => {
+                format!("cache evict {evicted} (expired {expired}), {occupancy} live")
             }
             TraceEvent::ValidationStep { target, ok } => {
                 let mark = if *ok { "ok" } else { "FAILED" };
@@ -398,6 +418,11 @@ mod tests {
                 qname: "a".into(),
                 qtype: 1,
                 outcome: CacheOutcome::Miss,
+            },
+            TraceEvent::CacheEvicted {
+                expired: 2,
+                evicted: 1,
+                occupancy: 97,
             },
             TraceEvent::ValidationStep {
                 target: "DNSKEY com".into(),

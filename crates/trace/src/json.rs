@@ -115,6 +115,15 @@ pub fn event_to_json(e: &TimedEvent) -> String {
             fields.push(("qtype", qtype.to_string()));
             fields.push(("outcome", json_string(&outcome.to_string())));
         }
+        TraceEvent::CacheEvicted {
+            expired,
+            evicted,
+            occupancy,
+        } => {
+            fields.push(("expired", expired.to_string()));
+            fields.push(("evicted", evicted.to_string()));
+            fields.push(("occupancy", occupancy.to_string()));
+        }
         TraceEvent::ValidationStep { target, ok } => {
             fields.push(("target", json_string(target)));
             fields.push(("ok", ok.to_string()));
@@ -227,6 +236,11 @@ mod tests {
                 qname: "a.com".into(),
                 qtype: 1,
                 outcome: crate::CacheOutcome::StaleServed,
+            },
+            TraceEvent::CacheEvicted {
+                expired: 3,
+                evicted: 0,
+                occupancy: 61,
             },
             TraceEvent::ValidationStep {
                 target: "DNSKEY \"com\"".into(),

@@ -110,6 +110,9 @@ pub struct Metrics {
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     stale_served: AtomicU64,
+    cache_expired: AtomicU64,
+    cache_evictions: AtomicU64,
+    cache_occupancy_peak: AtomicU64,
     validation_steps: AtomicU64,
     validation_failures: AtomicU64,
     findings: AtomicU64,
@@ -152,6 +155,9 @@ impl Metrics {
             cache_hits: self.cache_hits.load(Relaxed),
             cache_misses: self.cache_misses.load(Relaxed),
             stale_served: self.stale_served.load(Relaxed),
+            cache_expired: self.cache_expired.load(Relaxed),
+            cache_evictions: self.cache_evictions.load(Relaxed),
+            cache_occupancy_peak: self.cache_occupancy_peak.load(Relaxed),
             validation_steps: self.validation_steps.load(Relaxed),
             validation_failures: self.validation_failures.load(Relaxed),
             findings: self.findings.load(Relaxed),
@@ -215,6 +221,15 @@ impl TraceSink for Metrics {
                     CacheOutcome::StaleServed => &self.stale_served,
                 }
                 .fetch_add(1, Relaxed);
+            }
+            TraceEvent::CacheEvicted {
+                expired,
+                evicted,
+                occupancy,
+            } => {
+                self.cache_expired.fetch_add(*expired, Relaxed);
+                self.cache_evictions.fetch_add(*evicted, Relaxed);
+                self.cache_occupancy_peak.fetch_max(*occupancy, Relaxed);
             }
             TraceEvent::ValidationStep { ok, .. } => {
                 self.validation_steps.fetch_add(1, Relaxed);
@@ -295,6 +310,16 @@ pub struct MetricsSnapshot {
     pub cache_misses: u64,
     /// RFC 8767 stale answers served.
     pub stale_served: u64,
+    /// Cache entries removed because TTL + stale window lapsed (the
+    /// TTL wheel's lazy expiry).
+    pub cache_expired: u64,
+    /// Cache entries removed by the entry/byte budget's CLOCK sweep.
+    pub cache_evictions: u64,
+    /// Peak live-entry occupancy observed at removal time. Like the
+    /// scheduler gauges this measures the store's internal timing, not
+    /// scan results, so [`MetricsSnapshot::without_scheduler_stats`]
+    /// strips it (and the two removal counters) too.
+    pub cache_occupancy_peak: u64,
     /// DNSSEC validation steps run.
     pub validation_steps: u64,
     /// Validation steps that recorded at least one finding.
@@ -363,6 +388,9 @@ impl MetricsSnapshot {
             tasks_completed: 0,
             inflight_tasks_peak: 0,
             ready_queue_peak: 0,
+            cache_expired: 0,
+            cache_evictions: 0,
+            cache_occupancy_peak: 0,
             ..self.clone()
         }
     }
@@ -392,6 +420,12 @@ impl MetricsSnapshot {
             self.stale_served,
             100.0 * self.cache_hit_ratio()
         ));
+        if self.cache_expired + self.cache_evictions > 0 {
+            out.push_str(&format!(
+                "  eviction  : {} expired, {} evicted (peak occupancy {})\n",
+                self.cache_expired, self.cache_evictions, self.cache_occupancy_peak
+            ));
+        }
         out.push_str(&format!(
             "  outcomes  : {} resolutions (NOERROR {}, NXDOMAIN {}, SERVFAIL {}, other {})\n",
             self.resolutions,
@@ -571,7 +605,23 @@ mod tests {
                 queued: 1,
             },
         );
+        m.record(
+            0,
+            &TraceEvent::CacheEvicted {
+                expired: 4,
+                evicted: 2,
+                occupancy: 9,
+            },
+        );
         let s = m.snapshot();
+        assert_eq!(s.cache_expired, 4);
+        assert_eq!(s.cache_evictions, 2);
+        assert_eq!(s.cache_occupancy_peak, 9);
+        assert!(
+            s.render().contains("4 expired, 2 evicted"),
+            "{}",
+            s.render()
+        );
         assert_eq!(s.tasks_spawned, 3);
         assert_eq!(s.tasks_completed, 1);
         assert_eq!(s.inflight_tasks_peak, 3);
@@ -583,6 +633,9 @@ mod tests {
         assert_eq!(stripped.ready_queue_peak, 0);
         assert_eq!(stripped.tasks_spawned, 0);
         assert_eq!(stripped.tasks_completed, 0);
+        assert_eq!(stripped.cache_expired, 0);
+        assert_eq!(stripped.cache_evictions, 0);
+        assert_eq!(stripped.cache_occupancy_peak, 0);
         assert_eq!(
             stripped.queries_sent, s.queries_sent,
             "real counters survive"

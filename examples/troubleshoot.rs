@@ -94,5 +94,29 @@ fn main() {
     if trace_timeline {
         println!("\n;; TRACE ({} events):", trace.len());
         print!("{}", trace.render_timeline());
+
+        // Per-tier cache counters for this resolution (the resolver was
+        // freshly built, so the counters cover exactly this walk). The
+        // per-worker L1 tier only exists inside scan workers, so a
+        // single troubleshoot resolution reports the two shared tiers.
+        let l2 = resolver.cache_stats();
+        let infra = resolver.infra_stats();
+        println!("\n;; CACHE TIERS:");
+        println!(
+            ";;   L2 shared : {} hits / {} probes ({:.1}%), {} stale, {} puts, {} live",
+            l2.hits,
+            l2.hits + l2.misses,
+            100.0 * l2.hit_ratio(),
+            l2.stale_served,
+            l2.puts,
+            l2.occupancy,
+        );
+        println!(
+            ";;   infra     : {} key replays, {} referral replays / {} probes ({:.1}%)",
+            infra.key_hits,
+            infra.referral_hits,
+            infra.referral_hits + infra.referral_misses,
+            100.0 * infra.referral_hit_ratio(),
+        );
     }
 }
