@@ -177,7 +177,7 @@ fn main() {
         if full {
             let cache = &result.cache;
             let entry = format!(
-                "{{\"recorded\": \"{}\", \"label\": \"scan_throughput\", \"scale\": {}, \"workers\": {}, \"inflight\": {}, \"domains\": {}, \"seconds\": {:.3}, \"domains_per_sec\": {:.0}, \"l1_hit_pct\": {:.1}, \"l2_hit_pct\": {:.1}, \"referral_hit_pct\": {:.1}, \"evictions\": {}}}",
+                "{{\"recorded\": \"{}\", \"label\": \"scan_throughput\", \"scale\": {}, \"workers\": {}, \"inflight\": {}, \"domains\": {}, \"seconds\": {:.3}, \"domains_per_sec\": {:.0}, \"queries_per_domain\": {:.3}, \"l1_hit_pct\": {:.1}, \"l2_hit_pct\": {:.1}, \"referral_hit_pct\": {:.1}, \"evictions\": {}}}",
                 utc_date(),
                 FULL_SCALE,
                 workers,
@@ -185,6 +185,7 @@ fn main() {
                 domains,
                 secs,
                 rate,
+                result.queries_per_domain(),
                 100.0 * cache.l1.hit_ratio(),
                 100.0 * cache.l2.hit_ratio(),
                 100.0 * cache.infra.referral_hit_ratio(),
@@ -195,6 +196,81 @@ fn main() {
             }
         }
     }
+
+    // RFC 8198 denial-synthesis legs: the same scan with a post-pass
+    // sweep of nonexistent probes, once live and once answered from the
+    // validated range tier. Synthesis must leave the observation
+    // inventory bit-identical (retained intervals never cover a
+    // registered name); the economics — upstream queries per domain and
+    // the share of sweep probes served from cache — are what the legs
+    // exist to record.
+    let mut synthesis_qpd = [0.0f64; 2];
+    for (i, synthesize) in [false, true].into_iter().enumerate() {
+        let world = ScanWorld::build(&pop);
+        let scan_cfg = ScanConfig::builder()
+            .workers(8)
+            .progress(false)
+            .synthesize(synthesize)
+            .sweep_ratio(1.5)
+            .build();
+        let t = Instant::now();
+        let result = scanner::scan(&pop, &world, &scan_cfg);
+        let secs = t.elapsed().as_secs_f64();
+        let fingerprint = format!("{:?}", {
+            let mut codes: Vec<_> = result
+                .observations
+                .iter()
+                .map(|o| (o.name.clone(), o.rcode.to_u16(), o.codes.clone()))
+                .collect();
+            codes.sort();
+            codes
+        });
+        assert_eq!(
+            *reference.as_ref().expect("sweep ran"),
+            fingerprint,
+            "denial synthesis (on={synthesize}) changed scan results"
+        );
+        let sweep = result.sweep.as_ref().expect("sweep_ratio 1.5 ran");
+        synthesis_qpd[i] = result.queries_per_domain();
+        let hit_pct = 100.0 * sweep.hit_ratio();
+        println!(
+            "bench scan_throughput/synthesis_{}: {:.3} queries/domain, sweep {}/{} from ranges ({:.1}%)",
+            if synthesize { "on" } else { "off" },
+            synthesis_qpd[i],
+            sweep.synthesized,
+            sweep.probes,
+            hit_pct,
+        );
+        if synthesize {
+            assert!(sweep.synthesized > 0, "sweep never hit the range tier");
+            assert!(result.cache.range.hits > 0);
+        } else {
+            assert_eq!(sweep.synthesized, 0, "synthesis fired while disabled");
+        }
+        if full {
+            let entry = format!(
+                "{{\"recorded\": \"{}\", \"label\": \"scan_synthesis_{}\", \"scale\": {}, \"workers\": 8, \"inflight\": 1, \"domains\": {}, \"seconds\": {:.3}, \"queries_per_domain\": {:.3}, \"sweep_probes\": {}, \"sweep_synthesized\": {}, \"range_hit_pct\": {:.1}}}",
+                utc_date(),
+                if synthesize { "on" } else { "off" },
+                FULL_SCALE,
+                domains,
+                secs,
+                synthesis_qpd[i],
+                sweep.probes,
+                sweep.synthesized,
+                hit_pct,
+            );
+            if let Err(e) = append_entry(&entry) {
+                eprintln!("warning: could not append to BENCH_scan.json: {e}");
+            }
+        }
+    }
+    assert!(
+        synthesis_qpd[1] < synthesis_qpd[0],
+        "synthesis did not reduce upstream traffic: {:.3} vs {:.3} queries/domain",
+        synthesis_qpd[1],
+        synthesis_qpd[0]
+    );
 
     // Tier-configuration smoke legs (CI-speed, tiny population only):
     //
@@ -243,9 +319,42 @@ fn main() {
             "an 8-entry budget must evict"
         );
         assert!(budgeted.cache.l2.occupancy <= 8);
+
+        // A range budget far below the retained working set: bounded
+        // occupancy, nonzero evictions, and — because evicting a range
+        // only forfeits synthesis, never changes an answer — still
+        // bit-identical observations.
+        let world = ScanWorld::build(&pop);
+        let range_budget = scanner::scan(
+            &pop,
+            &world,
+            &ScanConfig::builder()
+                .workers(4)
+                .progress(false)
+                .synthesize(true)
+                .sweep_ratio(1.5)
+                .max_range_entries(Some(8))
+                .build(),
+        );
+        let fp = format!("{:?}", {
+            let mut codes: Vec<_> = range_budget
+                .observations
+                .iter()
+                .map(|o| (o.name.clone(), o.rcode.to_u16(), o.codes.clone()))
+                .collect();
+            codes.sort();
+            codes
+        });
+        assert_eq!(*reference, fp, "a tiny range budget changed results");
+        assert!(
+            range_budget.cache.range.evicted > 0,
+            "an 8-span range budget must evict"
+        );
+        assert!(range_budget.cache.range.occupancy <= 8);
         println!(
-            "bench scan_throughput: smoke ok (results bit-identical across {SWEEP:?} (workers, inflight) points and with L1 off; 8-entry budget evicted {})",
-            budgeted.cache.l2.evicted
+            "bench scan_throughput: smoke ok (results bit-identical across {SWEEP:?} (workers, inflight) points, with L1 off, and with synthesis on; 8-entry L2 budget evicted {}; 8-span range budget evicted {})",
+            budgeted.cache.l2.evicted,
+            range_budget.cache.range.evicted
         );
     }
 }

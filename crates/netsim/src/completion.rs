@@ -18,7 +18,7 @@
 //! window is bit-reproducible (and `ede-scan` asserts it is).
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 struct Entry<T> {
     deadline_ms: u64,
@@ -70,7 +70,15 @@ impl<T> Eq for Entry<T> {}
 /// ```
 #[derive(Default)]
 pub struct CompletionQueue<T> {
+    /// Out-of-order arrivals (a push whose deadline precedes an already
+    /// pending one). Rare outside fault-heavy worlds.
     heap: BinaryHeap<Entry<T>>,
+    /// Monotone arrivals: entries pushed with a deadline `>=` every
+    /// deadline already pending, kept in push (= pop) order. In the
+    /// zero-latency scan worlds the virtual clock only moves forward
+    /// between sends, so *every* push lands here and pop is a plain
+    /// `pop_front` — no O(log n) sift moving the large entries around.
+    lane: VecDeque<Entry<T>>,
     next_seq: u64,
 }
 
@@ -79,6 +87,7 @@ impl<T> CompletionQueue<T> {
     pub fn new() -> Self {
         CompletionQueue {
             heap: BinaryHeap::new(),
+            lane: VecDeque::new(),
             next_seq: 0,
         }
     }
@@ -88,32 +97,60 @@ impl<T> CompletionQueue<T> {
     pub fn push(&mut self, deadline_ms: u64, item: T) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry {
+        let entry = Entry {
             deadline_ms,
             seq,
             item,
-        });
+        };
+        // The lane accepts any deadline at or past its newest entry:
+        // such an entry pops after everything already queued in the
+        // lane, and — because its seq is the largest so far — after any
+        // heap entry sharing its deadline, so FIFO order is preserved
+        // exactly. Everything else (a deadline *before* the lane tail)
+        // goes through the heap.
+        match self.lane.back() {
+            Some(back) if deadline_ms < back.deadline_ms => self.heap.push(entry),
+            _ => self.lane.push_back(entry),
+        }
     }
 
     /// Remove and return the earliest pending completion as
     /// `(deadline_ms, item)`, or `None` when nothing is pending.
     pub fn pop(&mut self) -> Option<(u64, T)> {
-        self.heap.pop().map(|e| (e.deadline_ms, e.item))
+        // `Entry: Ord` is inverted (min-first), so `earlier` means
+        // `cmp == Greater` under the raw ordering — compare keys
+        // directly instead to keep this readable.
+        let lane_first = match (self.lane.front(), self.heap.peek()) {
+            (Some(l), Some(h)) => (l.deadline_ms, l.seq) <= (h.deadline_ms, h.seq),
+            (Some(_), None) => true,
+            (None, _) => false,
+        };
+        let e = if lane_first {
+            self.lane.pop_front()
+        } else {
+            self.heap.pop()
+        }?;
+        Some((e.deadline_ms, e.item))
     }
 
     /// The earliest pending deadline, if any.
     pub fn peek_deadline(&self) -> Option<u64> {
-        self.heap.peek().map(|e| e.deadline_ms)
+        match (self.lane.front(), self.heap.peek()) {
+            (Some(l), Some(h)) => Some(l.deadline_ms.min(h.deadline_ms)),
+            (Some(l), None) => Some(l.deadline_ms),
+            (None, Some(h)) => Some(h.deadline_ms),
+            (None, None) => None,
+        }
     }
 
     /// Number of pending completions.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.heap.len() + self.lane.len()
     }
 
     /// True when nothing is pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.heap.is_empty() && self.lane.is_empty()
     }
 }
 
@@ -156,6 +193,47 @@ mod tests {
         for i in 0..100u32 {
             assert_eq!(q.pop(), Some((42, i)));
         }
+    }
+
+    /// Exhaustive order check across the lane/heap split: random-ish
+    /// deadline patterns must pop in exact `(deadline, seq)` order, the
+    /// same order a single sorted structure would produce.
+    #[test]
+    fn lane_and_heap_merge_preserves_total_order() {
+        // A deliberately nasty pattern: monotone runs (lane), dips
+        // below the lane tail (heap), pops draining the lane so late
+        // small deadlines re-enter an empty lane ahead of pending heap
+        // entries.
+        let pattern: &[u64] = &[10, 10, 5, 7, 20, 3, 20, 1, 15, 15, 2, 30, 8];
+        let mut q = CompletionQueue::new();
+        let mut expect: Vec<(u64, u64)> = Vec::new();
+        for (seq, &d) in pattern.iter().enumerate() {
+            q.push(d, seq as u64);
+            expect.push((d, seq as u64));
+        }
+        // Interleave: pop half, push a second wave, pop the rest.
+        expect.sort_unstable();
+        let mut got: Vec<(u64, u64)> = Vec::new();
+        for _ in 0..6 {
+            let (d, s) = q.pop().unwrap();
+            got.push((d, s));
+        }
+        for (i, &d) in [4u64, 40, 6].iter().enumerate() {
+            let seq = (pattern.len() + i) as u64;
+            q.push(d, seq);
+        }
+        let mut expect2: Vec<(u64, u64)> = expect.split_off(6);
+        expect2.push((4, 13));
+        expect2.push((40, 14));
+        expect2.push((6, 15));
+        expect2.sort_unstable();
+        while let Some((d, s)) = q.pop() {
+            got.push((d, s));
+        }
+        let mut full = expect;
+        full.extend(expect2);
+        assert_eq!(got, full);
+        assert!(q.is_empty());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The tiered resolution cache.
 //!
-//! Three tiers serve the scan's access pattern:
+//! Four tiers serve the scan's access pattern:
 //!
 //! * **L1** ([`l1::L1Cache`]) — a small per-worker map with zero
 //!   synchronization (no `Mutex`, no atomics). Each scan worker owns
@@ -14,6 +14,10 @@
 //!   sweep.
 //! * **Infrastructure** ([`infra::InfraCache`]) — referral sets and
 //!   validated zone keys for the iterative walk, keyed by zone.
+//! * **Ranges** ([`ranges::RangeCache`]) — validated NSEC/NSEC3 denial
+//!   intervals, keyed by zone and ordered by owner (hash), from which
+//!   NXDOMAIN/NODATA answers are synthesized for *covered* names
+//!   without asking the authority (RFC 8198).
 //!
 //! # The shared store
 //!
@@ -62,6 +66,7 @@
 
 pub mod infra;
 pub mod l1;
+pub mod ranges;
 
 use crate::diagnosis::Diagnosis;
 use ede_wire::{Name, Rcode, Record, RrType};
@@ -879,6 +884,109 @@ mod tests {
         // not immortality.)
         let stats = c.stats();
         assert_eq!(stats.evicted, 8);
+    }
+
+    /// `purge_expired` exactly on a 64 s bucket boundary. A deadline of
+    /// 64 lands in bucket 1 (`64 >> 6`), and the wheel only drains
+    /// buckets *wholly* before `now`: at `now == 64` the entry is still
+    /// servable (deadline is the last servable instant), so the bucket
+    /// must survive; through `now == 127` the entry is dead but its
+    /// bucket is not yet wholly past, so the coarse wheel legally keeps
+    /// it (only `len` drops); at `now == 128` the bucket finally drains.
+    #[test]
+    fn purge_on_wheel_bucket_boundary() {
+        let c = Cache::new(0); // no stale window: deadline = stored_at + ttl
+        c.put(
+            &n("edge.example"),
+            RrType::A,
+            success(),
+            WHEEL_BUCKET_SECS,
+            0,
+        );
+
+        // Exactly on the boundary: still alive, nothing may go.
+        assert_eq!(c.purge_expired(WHEEL_BUCKET_SECS), 0);
+        assert_eq!(c.len(WHEEL_BUCKET_SECS), 1);
+        assert!(matches!(
+            c.get(&n("edge.example"), RrType::A, WHEEL_BUCKET_SECS),
+            CacheHit::Fresh(..)
+        ));
+
+        // One past the boundary: dead for `len`/`get`, but the bucket
+        // is not wholly past — the wheel holds the memory a little
+        // longer by design.
+        assert_eq!(c.purge_expired(WHEEL_BUCKET_SECS + 1), 0);
+        assert_eq!(c.len(WHEEL_BUCKET_SECS + 1), 0);
+        assert!(matches!(
+            c.get(&n("edge.example"), RrType::A, WHEEL_BUCKET_SECS + 1),
+            CacheHit::Miss
+        ));
+        assert_eq!(c.total_entries(), 1, "physically present until drained");
+
+        // Last instant of the bucket: still physically present.
+        assert_eq!(c.purge_expired(2 * WHEEL_BUCKET_SECS - 1), 0);
+        assert_eq!(c.total_entries(), 1);
+
+        // First instant of the next bucket: drained, counted expired.
+        assert_eq!(c.purge_expired(2 * WHEEL_BUCKET_SECS), 1);
+        assert_eq!(c.total_entries(), 0);
+        let s = c.stats();
+        assert_eq!(s.expired, 1);
+        assert_eq!(s.evicted, 0, "wheel expiry is not a budget eviction");
+    }
+
+    /// CLOCK eviction interacting with entries that expire mid-sweep:
+    /// a bounded store full of dead-but-unpurged entries must reclaim
+    /// them through the wheel (`expired`) as new stores arrive, skip
+    /// their superseded ring slots without burning second chances, and
+    /// spend budget evictions (`evicted`) only on live entries.
+    #[test]
+    fn clock_sweep_skips_entries_the_wheel_already_expired() {
+        let limits = CacheLimits {
+            max_entries: Some(64),
+            max_bytes: None,
+        };
+        let c = Cache::with_limits(0, limits);
+        for i in 0..64 {
+            c.put(&n(&format!("old{i}.example")), RrType::A, success(), 32, 0);
+        }
+        assert_eq!(c.total_entries(), 64);
+
+        // t = 100: every first-wave entry is past its deadline but
+        // still stored (the wheel is lazy). Each second-wave put turns
+        // its own shard's wheel before enforcing the budget, so dead
+        // entries drain as expiries, not evictions, and the budget
+        // holds throughout.
+        for i in 0..64 {
+            c.put(
+                &n(&format!("new{i}.example")),
+                RrType::A,
+                success(),
+                64,
+                100,
+            );
+            assert!(c.total_entries() <= 64, "budget violated at put {i}");
+        }
+
+        // Shards that saw no second-wave put may still hold first-wave
+        // corpses; drain them eagerly so the accounting below is exact.
+        c.purge_expired(101);
+        let live = c.len(101);
+        let s = c.stats();
+        assert_eq!(s.expired, 64, "every dead entry expires exactly once");
+        assert_eq!(
+            s.evicted as usize,
+            64 - live,
+            "evictions account precisely for the live entries that went"
+        );
+        // The sweep never removed a live entry while dead ones remained
+        // in the same shard — so the overwhelming share of the second
+        // wave must have survived.
+        assert!(live >= 48, "only {live}/64 second-wave entries survived");
+        for i in 0..64 {
+            let hit = c.get(&n(&format!("old{i}.example")), RrType::A, 101);
+            assert!(matches!(hit, CacheHit::Miss), "old{i} outlived expiry");
+        }
     }
 
     #[test]

@@ -71,6 +71,20 @@ pub struct ResolverConfig {
     /// per zone while walking referrals (probing with NS queries), in
     /// the "relaxed" style deployed resolvers use. Off by default.
     pub qname_minimization: bool,
+    /// RFC 8198 aggressive use of the DNSSEC-validated cache: retain
+    /// NSEC/NSEC3 ranges from validated denial and insecure-delegation
+    /// proofs in a range-keyed cache tier, and answer later queries
+    /// falling inside a still-valid range with a synthesized
+    /// NXDOMAIN/NODATA instead of asking the authority. Off by default
+    /// (the historical behaviour); even when on, the per-vendor gate
+    /// [`crate::Vendor::synthesizes_denial`] must also agree.
+    pub synthesize_denial: bool,
+    /// Hard bound on range-tier entries (`None` = unbounded). Same
+    /// CLOCK-eviction trade-off as [`max_cache_entries`](Self::max_cache_entries).
+    pub max_range_entries: Option<usize>,
+    /// Hard bound on the range tier's estimated heap footprint in bytes
+    /// (`None` = unbounded).
+    pub max_range_bytes: Option<usize>,
     /// How failed exchanges are retried, backed off, and hedged. The
     /// default is [`RetryPolicy::none()`] — one shot per server in
     /// referral order, exactly the historical behaviour — so pinned
@@ -96,6 +110,9 @@ impl Default for ResolverConfig {
             max_cache_bytes: None,
             error_reporting: None,
             qname_minimization: false,
+            synthesize_denial: false,
+            max_range_entries: None,
+            max_range_bytes: None,
             retry: RetryPolicy::none(),
         }
     }
@@ -232,6 +249,26 @@ impl ResolverConfigBuilder {
         self
     }
 
+    /// Enable or disable RFC 8198 aggressive NSEC/NSEC3 synthesis.
+    pub fn synthesize_denial(mut self, on: bool) -> Self {
+        self.config.synthesize_denial = on;
+        self
+    }
+
+    /// Bound the range tier to at most `n` retained intervals (`None`
+    /// = unbounded, the default).
+    pub fn max_range_entries(mut self, n: Option<usize>) -> Self {
+        self.config.max_range_entries = n;
+        self
+    }
+
+    /// Bound the range tier's estimated heap footprint (`None` =
+    /// unbounded, the default).
+    pub fn max_range_bytes(mut self, n: Option<usize>) -> Self {
+        self.config.max_range_bytes = n;
+        self
+    }
+
     /// Set the retry policy.
     pub fn retry(mut self, policy: RetryPolicy) -> Self {
         self.config.retry = policy;
@@ -256,6 +293,9 @@ mod tests {
         assert!(c.serve_stale);
         assert!(c.max_referrals >= 8);
         assert!(c.failure_ttl_secs > 0);
+        // RFC 8198 synthesis is opt-in: pinned traces and fingerprints
+        // must be unaffected by the range tier's existence.
+        assert!(!c.synthesize_denial);
         // The default retry policy must be the exact-compat baseline:
         // golden traces and the Table 4 matrix depend on it.
         assert_eq!(c.retry, RetryPolicy::none());
@@ -277,6 +317,9 @@ mod tests {
             .max_cache_bytes(Some(64 << 20))
             .error_reporting(agent.clone(), "203.0.113.9".parse().unwrap())
             .qname_minimization(true)
+            .synthesize_denial(true)
+            .max_range_entries(Some(4_096))
+            .max_range_bytes(Some(1 << 20))
             .retry(RetryPolicy::default().with_hedge_rounds(2))
             .build();
         assert_eq!(c.source_addr.to_string(), "198.51.100.7");
@@ -294,6 +337,9 @@ mod tests {
             Some((agent, "203.0.113.9".parse().unwrap()))
         );
         assert!(c.qname_minimization);
+        assert!(c.synthesize_denial);
+        assert_eq!(c.max_range_entries, Some(4_096));
+        assert_eq!(c.max_range_bytes, Some(1 << 20));
         assert_eq!(c.retry.hedge_rounds, 2);
         assert_eq!(c.retry.selection, ServerSelection::SmoothedRtt);
     }

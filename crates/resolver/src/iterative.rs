@@ -3,13 +3,15 @@
 
 use crate::cache::infra::{InfraCache, KeyEntry, ReferralEntry};
 use crate::cache::l1::L1Cache;
+use crate::cache::ranges::RangeCache;
 use crate::config::ResolverConfig;
 use crate::diagnosis::{Diagnosis, Finding, NegativeKind, NsEvent, NsFailure, ValidationState};
 use crate::profiles::ValidatorCaps;
 use crate::retry::{ServerSelection, SrttTable};
 use crate::task::TaskHandle;
 use crate::validate::{
-    advisory_answer_key_check, check_negative, check_rrset, collate, validate_dnskey, PublishedKey,
+    advisory_answer_key_check, check_negative, check_rrset, collate, extract_proof_ranges,
+    validate_dnskey, PublishedKey,
 };
 use ede_crypto::nsec3hash;
 use ede_netsim::{NetError, Network};
@@ -55,6 +57,11 @@ pub struct Engine<'a> {
     /// Executor capability: every suspension (exchange completion,
     /// backoff timer) of this resolution parks through it.
     pub handle: &'a TaskHandle,
+    /// The shared range tier for RFC 8198 aggressive NSEC/NSEC3
+    /// synthesis, when it is effective (config knob AND vendor gate).
+    /// `None` keeps the engine byte-identical to the historical walk:
+    /// no retention, no synthesis probe, no trace events.
+    pub ranges: Option<&'a RangeCache>,
 }
 
 /// Outcome of querying a server set.
@@ -506,6 +513,48 @@ impl<'a> Engine<'a> {
         let mut cname_budget = self.config.max_depth;
 
         'restart: loop {
+            // RFC 8198 fast path: before any network send, ask the
+            // range tier whether a still-valid, DNSSEC-validated
+            // NSEC/NSEC3 interval already denies (name, type). A hit
+            // synthesizes the negative answer outright — the proof was
+            // cryptographically verified when it was retained, so the
+            // result is exactly what the authority would have said,
+            // minus the round-trip. The marker finding is mapped to an
+            // EDE by no vendor (pinned by `profiles` tests), keeping
+            // synthesized and live denials wire-indistinguishable.
+            if let Some(ranges) = self.ranges {
+                if let Some(denial) = ranges.deny(&current_name, qtype, self.now()) {
+                    let kind = if denial.is_nxdomain() {
+                        NegativeKind::Nxdomain
+                    } else {
+                        NegativeKind::Nodata
+                    };
+                    diag.zone_signed = true;
+                    diag.add(Finding::SynthesizedDenial { kind });
+                    let tracer = diag.tracer();
+                    if tracer.enabled() {
+                        tracer.emit(TraceEvent::DenialSynthesized {
+                            qname: if tracer.wants_query_detail() {
+                                current_name.to_string()
+                            } else {
+                                String::new()
+                            },
+                            nxdomain: denial.is_nxdomain(),
+                            ttl: denial.ttl(),
+                        });
+                    }
+                    let rcode = if denial.is_nxdomain() {
+                        Rcode::NxDomain
+                    } else {
+                        Rcode::NoError
+                    };
+                    return EngineOutcome {
+                        rcode,
+                        answers: answers_acc,
+                    };
+                }
+            }
+
             let mut servers: Vec<IpAddr> = self.config.root_hints.iter().map(|h| h.addr).collect();
             let mut current_zone = Name::root();
             let mut ds_chain: Option<Vec<Rdata>> = if self.config.trust_anchors.is_empty() {
@@ -652,13 +701,28 @@ impl<'a> Engine<'a> {
                                     }
                                 }
                                 child_ds = Some(referral.ds_rdatas.clone());
-                            } else if parent_keys.is_some() {
+                            } else if let Some(keys) = &parent_keys {
                                 // Insecure delegation: demand the NSEC3
                                 // opt-in proof.
                                 if !insecure_proof_present(&resp.authorities, &referral.zone) {
                                     diag.add(Finding::InsecureReferralProofMissing);
                                     diag.degrade(ValidationState::Bogus);
                                 } else {
+                                    // The proof's ranges belong to the
+                                    // *parent* zone; retain any whose
+                                    // signature re-verifies against the
+                                    // parent's validated keys.
+                                    if let Some(ranges) = self.ranges {
+                                        let now = self.now();
+                                        let proofs = extract_proof_ranges(
+                                            &resp.authorities,
+                                            keys.as_slice(),
+                                            now,
+                                        );
+                                        if !proofs.is_empty() {
+                                            ranges.retain(&current_zone, &proofs, now);
+                                        }
+                                    }
                                     diag.degrade(ValidationState::Insecure);
                                 }
                             } else {
@@ -763,6 +827,7 @@ impl<'a> Engine<'a> {
                                 } else {
                                     NegativeKind::Nodata
                                 };
+                                let pre_findings = diag.findings.len();
                                 check_negative(
                                     &resp.authorities,
                                     &current_name,
@@ -774,6 +839,23 @@ impl<'a> Engine<'a> {
                                     self.now(),
                                     diag,
                                 );
+                                // Retain the proof's ranges only when
+                                // the denial validated cleanly — a
+                                // proof that recorded any finding must
+                                // never seed synthesis.
+                                if diag.findings.len() == pre_findings {
+                                    if let Some(ranges) = self.ranges {
+                                        let now = self.now();
+                                        let proofs = extract_proof_ranges(
+                                            &resp.authorities,
+                                            keys.as_slice(),
+                                            now,
+                                        );
+                                        if !proofs.is_empty() {
+                                            ranges.retain(&current_zone, &proofs, now);
+                                        }
+                                    }
+                                }
                             } else {
                                 for set in &answer_sets {
                                     check_rrset(

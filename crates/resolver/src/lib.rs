@@ -29,8 +29,12 @@
 //! 13 (*Cached Error*) and 19 (*Stale NXDOMAIN Answer*). It is tiered:
 //! a private per-worker L1 ([`cache::l1`], lock-free by construction),
 //! the shared bounded L2 with TTL-wheel expiry and CLOCK eviction
-//! ([`cache::Cache`]), and an infrastructure cache for the referral
-//! walk's hot path ([`cache::infra`]). A [`policy`] layer reproduces
+//! ([`cache::Cache`]), an infrastructure cache for the referral
+//! walk's hot path ([`cache::infra`]), and a range-keyed tier of
+//! DNSSEC-validated NSEC/NSEC3 intervals ([`cache::ranges`]) that,
+//! when [`ResolverConfig::synthesize_denial`] and the vendor gate
+//! agree, answers misses with a synthesized denial before any network
+//! send (RFC 8198 aggressive use). A [`policy`] layer reproduces
 //! blocklist-style codes (4, 15–18).
 //!
 //! # Execution model
@@ -64,6 +68,7 @@ pub mod validate;
 
 pub use cache::infra::{InfraCache, InfraStatsSnapshot, ReferralEntry};
 pub use cache::l1::{L1Cache, L1StatsSnapshot};
+pub use cache::ranges::{ProofRange, RangeCache, SynthesizedDenial};
 pub use cache::{Cache, CacheHit, CacheLimits, CacheStatsSnapshot, CachedResolution};
 pub use config::{ResolverConfig, ResolverConfigBuilder};
 pub use diagnosis::{Diagnosis, Finding, NsFailure, ValidationState};

@@ -94,6 +94,19 @@ impl Vendor {
         Vendor::OpenDns,
     ];
 
+    /// Whether this vendor turns on RFC 8198 aggressive NSEC/NSEC3
+    /// synthesis when the resolver-level knob
+    /// ([`crate::ResolverConfig::synthesize_denial`]) requests it.
+    /// Deployed vendors differ on defaulting it on: the open-source
+    /// validators and the big anycast services ship it (Unbound since
+    /// 1.7, BIND since 9.12, Knot/PowerDNS behind a default-on option,
+    /// Cloudflare and Quad9 operationally), while OpenDNS — whose
+    /// filtering pipeline rewrites NXDOMAIN — does not. The effective
+    /// switch is the config knob AND this gate.
+    pub fn synthesizes_denial(self) -> bool {
+        !matches!(self, Vendor::OpenDns)
+    }
+
     /// Display name matching the paper.
     pub fn name(self) -> &'static str {
         match self {
@@ -1053,6 +1066,34 @@ mod tests {
             },
         ]);
         assert_eq!(codes(&VendorProfile::new(Vendor::Quad9).emit(&d)), vec![9]);
+    }
+
+    #[test]
+    fn no_vendor_maps_synthesized_denial_to_an_ede() {
+        // The RFC 8198 contract: a synthesized denial must be
+        // EDE-indistinguishable from the live denial it replaces, so
+        // the marker finding is invisible to every emission function.
+        let d = diag_with(vec![
+            Finding::SynthesizedDenial {
+                kind: NegativeKind::Nxdomain,
+            },
+            Finding::SynthesizedDenial {
+                kind: NegativeKind::Nodata,
+            },
+        ]);
+        for p in VendorProfile::all() {
+            assert!(p.emit(&d).is_empty(), "{:?} emitted", p.vendor);
+        }
+    }
+
+    #[test]
+    fn opendns_is_the_only_vendor_gating_synthesis_off() {
+        let on: Vec<Vendor> = Vendor::ALL
+            .into_iter()
+            .filter(|v| v.synthesizes_denial())
+            .collect();
+        assert_eq!(on.len(), 6);
+        assert!(!Vendor::OpenDns.synthesizes_denial());
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::cache::infra::{InfraCache, InfraStatsSnapshot};
 use crate::cache::l1::L1Cache;
+use crate::cache::ranges::RangeCache;
 use crate::cache::{Cache, CacheHit, CacheLimits, CacheStatsSnapshot, CachedResolution};
 use crate::config::ResolverConfig;
 use crate::diagnosis::{Diagnosis, Finding, ValidationState};
@@ -67,6 +68,11 @@ pub struct Resolver {
     policy: Policy,
     cache: Cache,
     infra: InfraCache,
+    /// The RFC 8198 range tier (validated NSEC/NSEC3 intervals).
+    ranges: RangeCache,
+    /// The *effective* synthesis switch: the config knob AND the
+    /// vendor gate, resolved once at construction.
+    synthesize: bool,
     /// Cache generation, bumped by [`flush`](Self::flush). Workers'
     /// private L1 tiers adopt it once per resolution
     /// ([`L1Cache::sync_generation`]) so a flush invalidates them too.
@@ -85,6 +91,11 @@ impl Resolver {
                 max_bytes: config.max_cache_bytes,
             },
         );
+        let ranges = RangeCache::with_limits(CacheLimits {
+            max_entries: config.max_range_entries,
+            max_bytes: config.max_range_bytes,
+        });
+        let synthesize = config.synthesize_denial && profile.vendor.synthesizes_denial();
         Resolver {
             net,
             profile,
@@ -92,6 +103,8 @@ impl Resolver {
             policy: Policy::new(),
             cache,
             infra: InfraCache::new(),
+            ranges,
+            synthesize,
             generation: AtomicU64::new(1),
             ids: AtomicU16::new(1),
             srtt: SrttTable::new(),
@@ -125,8 +138,30 @@ impl Resolver {
     pub fn flush(&self) {
         self.cache.clear();
         self.infra.clear();
+        self.ranges.clear();
         self.srtt.clear();
         self.generation.fetch_add(1, Relaxed);
+    }
+
+    /// True when RFC 8198 synthesis is effective for this resolver:
+    /// the config knob is on AND the vendor's gate agrees
+    /// ([`crate::Vendor::synthesizes_denial`]).
+    pub fn synthesis_active(&self) -> bool {
+        self.synthesize
+    }
+
+    /// A frozen copy of the range tier's counters (hits/misses count
+    /// synthesis probes; puts/evictions count interval retention).
+    pub fn range_stats(&self) -> CacheStatsSnapshot {
+        self.ranges.stats()
+    }
+
+    /// Freeze (or thaw) the range tier: frozen, it keeps answering
+    /// synthesis probes but retains nothing new. Measurement phases use
+    /// this to hold the tier's contents fixed regardless of probe
+    /// order, keeping sweeps deterministic across concurrency levels.
+    pub fn freeze_ranges(&self, frozen: bool) {
+        self.ranges.freeze(frozen);
     }
 
     /// A frozen copy of the shared (L2) resolution-cache counters.
@@ -293,6 +328,11 @@ impl Resolver {
             ids: &self.ids,
             srtt: &self.srtt,
             handle,
+            ranges: if self.synthesize {
+                Some(&self.ranges)
+            } else {
+                None
+            },
         };
         let outcome = engine.resolve(qname, qtype, &mut diag, 0).await;
 

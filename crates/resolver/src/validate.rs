@@ -10,6 +10,7 @@
 //!
 //! [`Finding`]: crate::diagnosis::Finding
 
+use crate::cache::ranges::ProofRange;
 use crate::diagnosis::{
     AlgStatus, DenialIssue, Diagnosis, DsMismatch, Finding, NegativeKind, SigTarget,
     ValidationState,
@@ -544,6 +545,71 @@ fn check_negative_nsec(
             return;
         }
     }
+}
+
+/// Extract retainable denial spans from a proof's records: every
+/// NSEC/NSEC3 RRset whose signature verifies against `trusted` becomes
+/// a [`ProofRange`] for the RFC 8198 range tier. Verification is
+/// re-done here (rather than piggybacked on `check_negative`) so the
+/// synthesis-off resolution path is byte-for-byte unchanged; callers
+/// invoke this only when synthesis is enabled, and only after the
+/// proof as a whole validated cleanly.
+pub fn extract_proof_ranges(
+    records: &[Record],
+    trusted: &[PublishedKey],
+    now: u32,
+) -> Vec<ProofRange> {
+    let mut ranges = Vec::new();
+    for set in collate(records) {
+        let Some(sig) = set
+            .sigs
+            .iter()
+            .find(|sig| trusted.iter().any(|k| sig_verifies(sig, &set, k, now)))
+        else {
+            continue;
+        };
+        match set.rdatas.first() {
+            Some(Rdata::Nsec3 {
+                flags,
+                iterations,
+                salt,
+                next_hashed,
+                types,
+                ..
+            }) => {
+                let Some(owner_label) = set.name.first_label() else {
+                    continue;
+                };
+                let Ok(owner_str) = std::str::from_utf8(owner_label) else {
+                    continue;
+                };
+                let Some(owner_hash) = base32::decode(owner_str) else {
+                    continue;
+                };
+                ranges.push(ProofRange::Nsec3 {
+                    iterations: *iterations,
+                    salt: salt.clone(),
+                    flags: *flags,
+                    owner_hash,
+                    next_hash: next_hashed.clone(),
+                    types: types.clone(),
+                    ttl: set.ttl,
+                    sig_expiration: sig.expiration,
+                });
+            }
+            Some(Rdata::Nsec { next, types }) => {
+                ranges.push(ProofRange::Nsec {
+                    owner: set.name.clone(),
+                    next: next.clone(),
+                    types: types.clone(),
+                    ttl: set.ttl,
+                    sig_expiration: sig.expiration,
+                });
+            }
+            _ => {}
+        }
+    }
+    ranges
 }
 
 /// Advisory check used by the Quad9 profile: do the answer's RRSIG key

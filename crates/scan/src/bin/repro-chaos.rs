@@ -15,7 +15,7 @@
 //! repro-scan.
 
 use ede_scan::chaos::{
-    baseline_matches_plain_scan, campaign, inflight_matches_blocking_scan,
+    baseline_matches_plain_scan, campaign, inflight_matches_blocking_scan, synthesis_configs_hold,
     table4_concurrent_deviation, table4_deviation, tier_configs_hold, ChaosConfig,
 };
 use ede_scan::{Population, PopulationConfig};
@@ -101,6 +101,17 @@ fn main() {
         std::process::exit(1);
     }
     eprintln!("  ok: L1-off bit-identical; tiny budget bounded with evictions");
+
+    eprintln!("checking the RFC 8198 synthesis legs (on/off fingerprint; tiny range budget)...");
+    let diffs = synthesis_configs_hold(&pop, &config);
+    if !diffs.is_empty() {
+        for d in &diffs {
+            eprintln!("  synthesis deviation: {d}");
+        }
+        eprintln!("FAIL: denial-synthesis configurations break the scan contract");
+        std::process::exit(1);
+    }
+    eprintln!("  ok: synthesis-on bit-identical, sweep served from ranges, budget bounded");
 
     eprintln!("checking the intensity-0 leg against a plain scan...");
     let diffs = baseline_matches_plain_scan(&pop, &config);

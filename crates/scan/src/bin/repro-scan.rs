@@ -2,6 +2,7 @@
 //! print measured vs paper counts per INFO-CODE.
 //!
 //! Usage: repro-scan \[scale\] \[--json | --fingerprint\] \[--no-l1\] \[--cache-budget=N\]
+//!        \[--synthesize\] \[--sweep=R\] \[--range-budget=N\]
 //! (default scale 1000, i.e. 303k domains)
 //!
 //! `--no-l1` disables the per-worker L1 cache tier (results must stay
@@ -10,6 +11,15 @@
 //! working set the scan still completes, with bounded memory and
 //! nonzero evictions, but eviction legally changes observations, so
 //! budgeted fingerprints are *not* comparable.
+//!
+//! `--synthesize` turns on RFC 8198 denial synthesis in the scanning
+//! resolver; observation fingerprints must stay identical to the
+//! synthesis-free walk (registered names are never covered by validated
+//! ranges). `--sweep=R` adds R nonexistent-name probes per registered
+//! domain after both passes (range tier frozen, probes excluded from
+//! observations and fingerprints). `--range-budget=N` bounds the range
+//! tier to N spans — occupancy stays bounded and evictions show up in
+//! the sweep hit rate, never in the observations.
 use ede_scan::{aggregate, report, scanner, Population, PopulationConfig, ScanWorld};
 
 /// FNV-1a over the sorted per-observation tuples — a stable digest of
@@ -48,6 +58,16 @@ fn main() {
         .iter()
         .find_map(|a| a.strip_prefix("--cache-budget="))
         .and_then(|v| v.parse().ok());
+    let synthesize = args.iter().any(|a| a == "--synthesize");
+    let sweep_ratio: f64 = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--sweep="))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.0);
+    let range_budget: Option<usize> = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--range-budget="))
+        .and_then(|v| v.parse().ok());
     let scale: u32 = args.iter().find_map(|a| a.parse().ok()).unwrap_or(1000);
     let cfg = PopulationConfig {
         scale,
@@ -62,6 +82,9 @@ fn main() {
         .progress(!json && !fingerprint)
         .l1(!no_l1)
         .max_cache_entries(cache_budget)
+        .synthesize(synthesize)
+        .sweep_ratio(sweep_ratio)
+        .max_range_entries(range_budget)
         .build();
     let result = scanner::scan(&pop, &world, &config);
     let agg = aggregate::aggregate(&pop, &result);
@@ -72,6 +95,19 @@ fn main() {
             result.observations.len(),
             result.cache.l2.evicted,
         );
+        if synthesize || sweep_ratio > 0.0 {
+            let sweep = result.sweep.clone().unwrap_or_default();
+            println!(
+                "ranges hits {} probes {} evicted {} live {} sweep_hit_pct {:.1} \
+                 queries_per_domain {:.3}",
+                result.cache.range.hits,
+                result.cache.range.hits + result.cache.range.misses,
+                result.cache.range.evicted,
+                result.cache.range.occupancy,
+                100.0 * sweep.hit_ratio(),
+                result.queries_per_domain(),
+            );
+        }
     } else if json {
         print!("{}", report::scan_json(&pop, &agg));
     } else {

@@ -480,6 +480,90 @@ pub fn tier_configs_hold(pop: &Population, config: &ChaosConfig) -> Vec<String> 
     bad
 }
 
+/// Assert (by running both synthesis legs) that the RFC 8198 range
+/// tier holds its contracts on this population:
+///
+/// * with **denial synthesis enabled** (and the post-scan sweep
+///   driving nonexistent probes at it), observations are bit-identical
+///   to the plain scan — retained intervals never cover a registered
+///   name, so synthesis is observation-neutral *by construction* — and
+///   the sweep answers a nonzero share of probes from cached ranges
+///   for less upstream traffic than one query per probe;
+/// * with a **range budget far below the retained working set**, the
+///   tier stays bounded and evicts — and, unlike an L2 budget,
+///   observations are *still* bit-identical, because evicting a range
+///   only forfeits synthesis capacity, never changes an answer.
+///
+/// Returns the violations; empty means both contracts hold.
+pub fn synthesis_configs_hold(pop: &Population, config: &ChaosConfig) -> Vec<String> {
+    let plain_world = ScanWorld::build(pop);
+    let plain = scan(
+        pop,
+        &plain_world,
+        &ScanConfig::builder().vendor(config.vendor).build(),
+    );
+
+    let synth_world = ScanWorld::build(pop);
+    let synth = scan(
+        pop,
+        &synth_world,
+        &ScanConfig::builder()
+            .vendor(config.vendor)
+            .synthesize(true)
+            .sweep_ratio(1.5)
+            .build(),
+    );
+    let mut bad = Vec::new();
+    if plain.observations != synth.observations {
+        bad.push("observations differ with denial synthesis enabled".to_string());
+    }
+    match &synth.sweep {
+        None => bad.push("sweep_ratio 1.5 produced no sweep report".to_string()),
+        Some(sweep) => {
+            if sweep.synthesized == 0 {
+                bad.push("the sweep answered nothing from cached ranges".to_string());
+            }
+            if sweep.queries as usize >= sweep.probes {
+                bad.push(format!(
+                    "the sweep spent {} queries on {} probes — no cheaper than live",
+                    sweep.queries, sweep.probes
+                ));
+            }
+        }
+    }
+    if synth.cache.range.hits == 0 {
+        bad.push("range tier recorded no hits despite the sweep".to_string());
+    }
+
+    const RANGE_BUDGET: usize = 8;
+    let budget_world = ScanWorld::build(pop);
+    let budgeted = scan(
+        pop,
+        &budget_world,
+        &ScanConfig::builder()
+            .vendor(config.vendor)
+            .synthesize(true)
+            .sweep_ratio(1.5)
+            .max_range_entries(Some(RANGE_BUDGET))
+            .build(),
+    );
+    if plain.observations != budgeted.observations {
+        bad.push("observations differ under a tiny range budget".to_string());
+    }
+    if budgeted.cache.range.evicted == 0 {
+        bad.push(format!(
+            "a {RANGE_BUDGET}-span range budget evicted nothing"
+        ));
+    }
+    if budgeted.cache.range.occupancy > RANGE_BUDGET as u64 {
+        bad.push(format!(
+            "range budget {RANGE_BUDGET} exceeded: {} live spans",
+            budgeted.cache.range.occupancy
+        ));
+    }
+    bad
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -544,6 +628,13 @@ mod tests {
     fn tier_configs_hold_on_the_tiny_population() {
         let pop = Population::generate(PopulationConfig::tiny());
         let diffs = tier_configs_hold(&pop, &ChaosConfig::default());
+        assert_eq!(diffs, Vec::<String>::new());
+    }
+
+    #[test]
+    fn synthesis_configs_hold_on_the_tiny_population() {
+        let pop = Population::generate(PopulationConfig::tiny());
+        let diffs = synthesis_configs_hold(&pop, &ChaosConfig::default());
         assert_eq!(diffs, Vec::<String>::new());
     }
 }

@@ -48,5 +48,5 @@ pub mod world;
 
 pub use chaos::{campaign, ChaosConfig, ChaosLeg, ChaosReport};
 pub use population::{Category, DomainRecord, Population, PopulationConfig};
-pub use scanner::{scan, Observation, ScanConfig, ScanConfigBuilder, ScanResult};
+pub use scanner::{scan, Observation, ScanConfig, ScanConfigBuilder, ScanResult, SweepReport};
 pub use world::ScanWorld;

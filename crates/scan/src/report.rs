@@ -144,15 +144,29 @@ pub fn table4() -> String {
 /// §5-style traffic accounting for one scan.
 pub fn traffic_line(result: &crate::scanner::ScanResult) -> String {
     let (queries, delivered, failed) = result.traffic;
-    format!(
+    let mut out = format!(
         "Traffic: {} resolutions issued {} upstream queries ({} delivered, {} failed) — \
-         {:.1} queries/domain (paper: 11.5k pps peak over 12 h for 303M domains)",
+         {:.1} queries/resolution, {:.3} queries/domain \
+         (paper: 11.5k pps peak over 12 h for 303M domains)",
         result.resolutions,
         queries,
         delivered,
         failed,
         queries as f64 / result.resolutions.max(1) as f64,
-    )
+        result.queries_per_domain(),
+    );
+    if let Some(sweep) = &result.sweep {
+        let _ = write!(
+            out,
+            "\nSweep: {} nonexistent-name probes, {} synthesized from cached ranges ({:.1}%), \
+             {} upstream queries spent (RFC 8198)",
+            sweep.probes,
+            sweep.synthesized,
+            100.0 * sweep.hit_ratio(),
+            sweep.queries,
+        );
+    }
+    out
 }
 
 /// The §4.2 inventory: per-code domain counts vs the paper's values.

@@ -49,6 +49,10 @@ pub struct ScanCacheReport {
     pub l2: CacheStatsSnapshot,
     /// The infrastructure cache's counters (zone keys + referrals).
     pub infra: InfraStatsSnapshot,
+    /// The range tier's counters (RFC 8198 denial synthesis). All zero
+    /// when [`ScanConfig::synthesize`] is off: the engine never probes
+    /// the tier then.
+    pub range: CacheStatsSnapshot,
 }
 
 impl ScanCacheReport {
@@ -81,7 +85,38 @@ impl ScanCacheReport {
             self.infra.referral_hits + self.infra.referral_misses,
             100.0 * self.infra.referral_hit_ratio(),
         ));
+        if self.range.hits + self.range.misses > 0 {
+            out.push_str(&format!(
+                "  ranges    : {} synthesized / {} probes ({:.1}%), {} evicted, {} live spans\n",
+                self.range.hits,
+                self.range.hits + self.range.misses,
+                100.0 * self.range.hit_ratio(),
+                self.range.evicted,
+                self.range.occupancy,
+            ));
+        }
         out
+    }
+}
+
+/// Accounting for the post-scan synthesis sweep: deterministic
+/// nonexistent-name probes that measure how much of each TLD's denial
+/// space the range tier already covers. Sweep probes never contribute
+/// observations — they exist purely to exercise RFC 8198 synthesis.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SweepReport {
+    /// Probe resolutions issued.
+    pub probes: usize,
+    /// Probes answered from the range tier (no authority asked).
+    pub synthesized: u64,
+    /// Upstream queries the sweep cost (misses walking to the TLDs).
+    pub queries: u64,
+}
+
+impl SweepReport {
+    /// Fraction of probes the range tier answered.
+    pub fn hit_ratio(&self) -> f64 {
+        self.synthesized as f64 / self.probes.max(1) as f64
     }
 }
 
@@ -104,8 +139,23 @@ pub struct ScanResult {
     /// latency histograms). `metrics.queries_sent` equals `traffic.0`:
     /// both count the same transport events.
     pub metrics: MetricsSnapshot,
-    /// Per-tier cache accounting (L1 summed over workers, L2, infra).
+    /// Per-tier cache accounting (L1 summed over workers, L2, infra,
+    /// ranges).
     pub cache: ScanCacheReport,
+    /// Synthesis-sweep accounting, when [`ScanConfig::sweep_ratio`] was
+    /// nonzero. The sweep runs after both passes with the range tier
+    /// frozen, so it never perturbs the observations above.
+    pub sweep: Option<SweepReport>,
+}
+
+impl ScanResult {
+    /// Upstream queries per *registered domain* — the paper's §5 cost
+    /// metric. The denominator is the domain count (one observation per
+    /// domain), not the resolution count: revisit passes and sweep
+    /// probes spend queries without adding domains.
+    pub fn queries_per_domain(&self) -> f64 {
+        self.traffic.0 as f64 / self.observations.len().max(1) as f64
+    }
 }
 
 /// Scan config.
@@ -140,6 +190,23 @@ pub struct ScanConfig {
     /// Unlike `l1` this is *not* results-neutral: evicting a live entry
     /// turns a later replay into a live walk — see `docs/PERFORMANCE.md`.
     pub max_cache_entries: Option<usize>,
+    /// Enable RFC 8198 denial synthesis in the scanning resolver (the
+    /// vendor gate must also agree — OpenDNS keeps it off). Off by
+    /// default: the pinned scan inventory is the synthesis-free walk.
+    /// Observation reports are EDE-equivalent either way (pinned by
+    /// test); only the traffic spent on nonexistent names changes.
+    pub synthesize: bool,
+    /// Nonexistent-name probes per registered domain for the post-scan
+    /// synthesis sweep (`0.0`, the default, disables the sweep). The
+    /// sweep runs after both passes with the range tier frozen and its
+    /// probes excluded from the observations, so any setting leaves the
+    /// scan report untouched.
+    pub sweep_ratio: f64,
+    /// Bound the resolver's range tier to this many spans (`None` keeps
+    /// the resolver default, normally unbounded).
+    pub max_range_entries: Option<usize>,
+    /// Bound the resolver's range tier to this many bytes.
+    pub max_range_bytes: Option<usize>,
 }
 
 impl Default for ScanConfig {
@@ -174,6 +241,10 @@ impl Default for ScanConfig {
             retry: None,
             l1: true,
             max_cache_entries: None,
+            synthesize: false,
+            sweep_ratio: 0.0,
+            max_range_entries: None,
+            max_range_bytes: None,
         }
     }
 }
@@ -247,6 +318,30 @@ impl ScanConfigBuilder {
     /// Bound the scanning resolver's shared cache (entries).
     pub fn max_cache_entries(mut self, n: Option<usize>) -> Self {
         self.config.max_cache_entries = n;
+        self
+    }
+
+    /// Enable RFC 8198 denial synthesis in the scanning resolver.
+    pub fn synthesize(mut self, on: bool) -> Self {
+        self.config.synthesize = on;
+        self
+    }
+
+    /// Set the synthesis-sweep probe ratio (`0.0` disables the sweep).
+    pub fn sweep_ratio(mut self, ratio: f64) -> Self {
+        self.config.sweep_ratio = ratio.max(0.0);
+        self
+    }
+
+    /// Bound the resolver's range tier (spans).
+    pub fn max_range_entries(mut self, n: Option<usize>) -> Self {
+        self.config.max_range_entries = n;
+        self
+    }
+
+    /// Bound the resolver's range tier (bytes).
+    pub fn max_range_bytes(mut self, n: Option<usize>) -> Self {
+        self.config.max_range_bytes = n;
         self
     }
 
@@ -466,6 +561,83 @@ fn parallel_pass(
     (merged, l1)
 }
 
+/// Deterministic nonexistent probe names for the synthesis sweep: per
+/// TLD, `ceil(children × ratio)` names one label below the TLD apex.
+/// The `-sweep` suffix keeps them disjoint from every generated
+/// population name, so a probe can never collide with a registered
+/// domain.
+fn sweep_probes(pop: &Population, ratio: f64) -> Vec<Name> {
+    let mut per_tld = vec![0usize; pop.tlds.len()];
+    for d in &pop.domains {
+        per_tld[d.tld] += 1;
+    }
+    let mut probes = Vec::new();
+    for (t, tld) in pop.tlds.iter().enumerate() {
+        let n = (per_tld[t] as f64 * ratio).ceil() as usize;
+        for j in 0..n {
+            let label = format!("zzq{j}-sweep");
+            probes.push(tld.name.child(&label).expect("probe label fits"));
+        }
+    }
+    probes
+}
+
+/// Drive the sweep probes through the worker pool, discarding results:
+/// sweep probes measure the range tier, they never contribute
+/// observations. Runs with the range tier frozen (the caller freezes
+/// it), so every probe's outcome is a pure function of what the two
+/// passes retained — bit-identical at any worker count or in-flight
+/// window, exactly like the passes themselves.
+fn sweep_pass(resolver: &Arc<Resolver>, probes: &[Name], workers: usize, inflight: usize) {
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers.max(1) {
+            s.spawn(|| {
+                if inflight > 1 {
+                    let mut pool: ResolutionPool<()> =
+                        ResolutionPool::new(resolver.network_shared());
+                    let mut backlog: VecDeque<usize> = VecDeque::new();
+                    let mut exhausted = false;
+                    loop {
+                        while pool.in_flight() < inflight && !(exhausted && backlog.is_empty()) {
+                            if backlog.is_empty() {
+                                let start = cursor.fetch_add(CLAIM_CHUNK, Ordering::Relaxed);
+                                if start >= probes.len() {
+                                    exhausted = true;
+                                    continue;
+                                }
+                                let end = (start + CLAIM_CHUNK).min(probes.len());
+                                backlog.extend(start..end);
+                            }
+                            if let Some(i) = backlog.pop_front() {
+                                let qname = probes[i].clone();
+                                let resolver = Arc::clone(resolver);
+                                pool.spawn(move |handle| async move {
+                                    let _ = resolver.resolve_on(handle, qname, RrType::A).await;
+                                });
+                            }
+                        }
+                        if pool.next().is_none() {
+                            break;
+                        }
+                    }
+                } else {
+                    loop {
+                        let start = cursor.fetch_add(CLAIM_CHUNK, Ordering::Relaxed);
+                        if start >= probes.len() {
+                            break;
+                        }
+                        let end = (start + CLAIM_CHUNK).min(probes.len());
+                        for name in &probes[start..end] {
+                            let _ = resolver.resolve(name, RrType::A);
+                        }
+                    }
+                }
+            });
+        }
+    });
+}
+
 /// Run the scan: one pass over every domain, then a clock advance and a
 /// revisit pass over the flap/cache categories (the paper's probes hit
 /// such domains repeatedly through Cloudflare's shared cache). Both
@@ -487,6 +659,15 @@ pub fn scan(pop: &Population, world: &ScanWorld, config: &ScanConfig) -> ScanRes
     }
     if config.max_cache_entries.is_some() {
         resolver_config.max_cache_entries = config.max_cache_entries;
+    }
+    if config.synthesize {
+        resolver_config.synthesize_denial = true;
+    }
+    if config.max_range_entries.is_some() {
+        resolver_config.max_range_entries = config.max_range_entries;
+    }
+    if config.max_range_bytes.is_some() {
+        resolver_config.max_range_bytes = config.max_range_bytes;
     }
     let enable_cache = resolver_config.enable_cache;
     let resolver = Arc::new(Resolver::new(
@@ -561,13 +742,45 @@ pub fn scan(pop: &Population, world: &ScanWorld, config: &ScanConfig) -> ScanRes
         observations[i] = obs;
     }
 
+    // Sweep phase: after both passes finish (and therefore after every
+    // observation is final), freeze the range tier and probe
+    // deterministic nonexistent names against it. Freezing makes every
+    // probe's outcome a pure function of what the passes retained —
+    // deterministic at any worker count — and running strictly last
+    // means the sweep cannot perturb observations, whatever it does to
+    // the caches.
+    let sweep = (config.sweep_ratio > 0.0).then(|| {
+        resolver.freeze_ranges(true);
+        let range_before = resolver.range_stats();
+        let (queries_before, _, _) = world.net.stats().snapshot();
+        let probes = sweep_probes(pop, config.sweep_ratio);
+        sweep_pass(&resolver, &probes, config.workers, config.inflight);
+        let range_after = resolver.range_stats();
+        let (queries_after, _, _) = world.net.stats().snapshot();
+        SweepReport {
+            probes: probes.len(),
+            synthesized: range_after.hits - range_before.hits,
+            queries: queries_after - queries_before,
+        }
+    });
+
     let cache = ScanCacheReport {
         l1: l1_stats,
         l2: resolver.cache_stats(),
         infra: resolver.infra_stats(),
+        range: resolver.range_stats(),
     };
     if config.progress {
         eprint!("{}", cache.render());
+        if let Some(sweep) = &sweep {
+            eprintln!(
+                "sweep: {} synthesized / {} probes ({:.1}%), {} upstream queries",
+                sweep.synthesized,
+                sweep.probes,
+                100.0 * sweep.hit_ratio(),
+                sweep.queries,
+            );
+        }
     }
 
     ScanResult {
@@ -577,6 +790,7 @@ pub fn scan(pop: &Population, world: &ScanWorld, config: &ScanConfig) -> ScanRes
         traffic_full: world.net.stats().snapshot_full(),
         metrics: metrics.snapshot(),
         cache,
+        sweep,
     }
 }
 
@@ -694,6 +908,73 @@ mod tests {
             assert_eq!(agg_blocking.per_code, agg_pooled.per_code);
             assert_eq!(agg_blocking.per_combo, agg_pooled.per_combo);
         }
+    }
+
+    /// The RFC 8198 pin: turning denial synthesis on (with a sweep)
+    /// must leave every observation — and therefore the whole per-EDE /
+    /// per-TLD report — byte-identical to the synthesis-free scan.
+    /// Registered names are chain owners of their TLD's NSEC3 registry,
+    /// so no validated range ever covers one; only the sweep's
+    /// nonexistent probes synthesize, and those are excluded from the
+    /// observations. The sweep itself must really fire (nonzero
+    /// synthesis, cheaper traffic) and stay deterministic across
+    /// worker/in-flight configurations.
+    #[test]
+    fn synthesis_is_report_neutral_and_sweep_synthesizes() {
+        let run = |synthesize: bool, workers: usize, inflight: usize| {
+            let pop = Population::generate(PopulationConfig::tiny());
+            let world = ScanWorld::build(&pop);
+            let result = scan(
+                &pop,
+                &world,
+                &ScanConfig::builder()
+                    .workers(workers)
+                    .inflight(inflight)
+                    .synthesize(synthesize)
+                    .sweep_ratio(1.5)
+                    .build(),
+            );
+            let agg = crate::aggregate::aggregate(&pop, &result);
+            let json = crate::report::scan_json(&pop, &agg);
+            let summary = crate::report::scan_summary(&pop, &agg);
+            (result, json, summary)
+        };
+        let (off, json_off, summary_off) = run(false, 1, 1);
+        let (on, json_on, summary_on) = run(true, 1, 1);
+
+        // Byte-identical reports: synthesis changes traffic, never what
+        // the scan observes.
+        assert_eq!(off.observations, on.observations);
+        assert_eq!(json_off, json_on, "per-EDE/per-TLD JSON report changed");
+        assert_eq!(summary_off, summary_on, "human summary changed");
+        assert_eq!(off.observations.len(), on.observations.len());
+
+        // The sweep ran in both legs, probing the same names; only the
+        // synthesis leg answered some from the range tier.
+        let sweep_off = off.sweep.clone().expect("sweep ran");
+        let sweep_on = on.sweep.clone().expect("sweep ran");
+        assert_eq!(sweep_off.probes, sweep_on.probes);
+        assert_eq!(sweep_off.synthesized, 0);
+        assert_eq!(sweep_off.queries, sweep_off.probes as u64);
+        assert!(
+            sweep_on.synthesized > 0,
+            "no probe was answered from cached ranges"
+        );
+        assert!(
+            sweep_on.queries < sweep_off.queries,
+            "synthesis did not save upstream traffic"
+        );
+        assert!(on.queries_per_domain() < off.queries_per_domain());
+        assert!(on.cache.range.hits > 0);
+        assert_eq!(off.cache.range.hits + off.cache.range.misses, 0);
+
+        // Deterministic at any worker count / in-flight window, sweep
+        // included: same observations, same traffic, same sweep report.
+        let (on_parallel, json_par, _) = run(true, 4, 16);
+        assert_eq!(on.observations, on_parallel.observations);
+        assert_eq!(on.traffic, on_parallel.traffic);
+        assert_eq!(on.sweep, on_parallel.sweep);
+        assert_eq!(json_on, json_par);
     }
 
     /// A panic inside the scan must not leak the metrics sink into the

@@ -30,14 +30,14 @@
 
 use crate::population::{broken_mode, tld_addr, BrokenMode, Category, DomainRecord, Population};
 use ede_authority::{Behavior, ZoneServer, ZoneStore};
-use ede_crypto::nsec3hash;
+use ede_crypto::{base32, nsec3hash};
 use ede_netsim::{Network, NetworkBuilder, NetworkConfig, Server, ServerResponse, SimClock};
 use ede_resolver::config::RootHint;
 use ede_resolver::ResolverConfig;
-use ede_wire::rdata::Soa;
+use ede_wire::rdata::{Soa, TypeBitmap};
 use ede_wire::{DigestAlg, Message, Name, Rdata, Record, RrType, SecAlg};
 use ede_zone::signer::{self, SignerConfig, DAY, SIM_NOW};
-use ede_zone::{nsec3, Denial, Misconfig, Nsec3Config, Rrset, Zone, ZoneKey, ZoneKeys};
+use ede_zone::{Denial, Misconfig, Nsec3Config, Rrset, Zone, ZoneKey, ZoneKeys};
 use std::collections::HashMap;
 use std::net::{IpAddr, Ipv4Addr};
 use std::sync::Arc;
@@ -52,6 +52,9 @@ struct Registry {
     domains: HashMap<Name, DomainRecord>,
     /// TLD name → (index, standby, broken_proof).
     tlds: HashMap<Name, TldEntry>,
+    /// TLD name → its registered children (with signedness): the input
+    /// to each TLD's honest NSEC3 chain.
+    children: HashMap<Name, Vec<(Name, bool)>>,
 }
 
 #[derive(Clone)]
@@ -350,6 +353,116 @@ impl Server for BrokenNs {
     }
 }
 
+/// Which kind of owner a [`TldChain`] entry is — the only thing that
+/// differs between their NSEC3 type bitmaps.
+#[derive(Clone, Copy)]
+enum ChainOwner {
+    /// The TLD apex.
+    Apex,
+    /// The in-zone nameserver host (`ns1.<tld>`).
+    Host,
+    /// An insecure (unsigned-child) delegation.
+    Insecure,
+    /// A secure delegation (DS published).
+    Secure,
+}
+
+/// The honest NSEC3 chain over one TLD's registry: every owner the
+/// full zone would contain, hashed and sorted once per TLD. Individual
+/// NSEC3 RRsets are synthesized (and signed) on demand from this index,
+/// so per-query cost stays at one binary search plus one signature —
+/// yet the intervals served to resolvers are globally consistent. That
+/// honesty is a prerequisite for RFC 8198 range caching: an interval
+/// that dishonestly covered a registered name would let a resolver
+/// synthesize NXDOMAIN for a domain that exists.
+struct TldChain {
+    params: Nsec3Config,
+    /// (owner hash, kind), sorted by hash.
+    owners: Vec<(Vec<u8>, ChainOwner)>,
+}
+
+impl TldChain {
+    fn build(tld: &Name, children: &[(Name, bool)]) -> TldChain {
+        let params = Nsec3Config::default();
+        let mut owners = Vec::with_capacity(children.len() + 2);
+        owners.push((params.hash_raw(tld), ChainOwner::Apex));
+        owners.push((
+            params.hash_raw(&tld.child("ns1").expect("valid")),
+            ChainOwner::Host,
+        ));
+        for (child, signed) in children {
+            let kind = if *signed {
+                ChainOwner::Secure
+            } else {
+                ChainOwner::Insecure
+            };
+            owners.push((params.hash_raw(child), kind));
+        }
+        owners.sort_by(|a, b| a.0.cmp(&b.0));
+        TldChain { params, owners }
+    }
+
+    /// Index of the owner whose hash equals `hash`, if any.
+    fn matching(&self, hash: &[u8]) -> Option<usize> {
+        self.owners
+            .binary_search_by(|(h, _)| h.as_slice().cmp(hash))
+            .ok()
+    }
+
+    /// Index of the owner whose (owner, next-owner) arc covers `hash`.
+    /// Callers check [`Self::matching`] first — an owner's own hash
+    /// belongs to no arc.
+    fn covering(&self, hash: &[u8]) -> usize {
+        match self
+            .owners
+            .binary_search_by(|(h, _)| h.as_slice().cmp(hash))
+        {
+            Ok(i) => i,
+            // Before the first owner: covered by the wraparound arc.
+            Err(0) => self.owners.len() - 1,
+            Err(i) => i - 1,
+        }
+    }
+
+    /// Synthesize the signed NSEC3 RRset for owner `idx`.
+    fn rrset(&self, idx: usize, apex: &Name, keys: &ZoneKeys, window: (u32, u32)) -> Rrset {
+        let (hash, kind) = &self.owners[idx];
+        let (next, _) = &self.owners[(idx + 1) % self.owners.len()];
+        let listed: &[RrType] = match kind {
+            ChainOwner::Apex => &[
+                RrType::Soa,
+                RrType::Ns,
+                RrType::Dnskey,
+                RrType::Nsec3param,
+                RrType::Rrsig,
+            ],
+            ChainOwner::Host => &[RrType::A, RrType::Rrsig],
+            ChainOwner::Insecure => &[RrType::Ns],
+            ChainOwner::Secure => &[RrType::Ns, RrType::Ds, RrType::Rrsig],
+        };
+        let types = TypeBitmap::from_types(listed.iter().copied());
+        let owner = apex.child(&base32::encode(hash)).expect("hash label fits");
+        let mut set = Rrset::new(
+            owner,
+            // Registry operators publish denial records with multi-hour
+            // TTLs (com/net use 86400 s); 3600 keeps the chain alive
+            // across the scan's 120 s revisit window. Scan observations
+            // never read this TTL — only the RFC 8198 range tier does.
+            3600,
+            Rdata::Nsec3 {
+                hash_alg: nsec3hash::NSEC3_HASH_ALG_SHA1,
+                flags: 0,
+                iterations: self.params.iterations,
+                salt: self.params.salt.clone(),
+                next_hashed: next.clone(),
+                types,
+            },
+        );
+        set.sigs = vec![signer::sign_rrset(&set, &keys.zsk, apex, window)];
+        set
+    }
+}
+
 /// A TLD server: synthesizes the relevant micro-slice of its zone per
 /// query.
 struct TldServer {
@@ -361,6 +474,8 @@ struct TldServer {
     /// Signed apex skeleton (SOA + NS + DNSKEY, no denial chain),
     /// built lazily on the first query and cloned per referral.
     template: OnceLock<Zone>,
+    /// Honest registry-wide NSEC3 chain, hashed once on first use.
+    chain: OnceLock<TldChain>,
 }
 
 impl TldServer {
@@ -372,7 +487,21 @@ impl TldServer {
             registry,
             keys,
             template: OnceLock::new(),
+            chain: OnceLock::new(),
         }
+    }
+
+    /// The TLD's honest registry chain.
+    fn chain(&self) -> &TldChain {
+        self.chain.get_or_init(|| {
+            let children = self
+                .registry
+                .children
+                .get(&self.tld)
+                .map(Vec::as_slice)
+                .unwrap_or(&[]);
+            TldChain::build(&self.tld, children)
+        })
     }
 
     /// The signed apex skeleton every referral zone starts from.
@@ -445,21 +574,19 @@ impl TldServer {
         let window = SignerConfig::default().window();
         if ds.is_empty() {
             // Insecure delegation: referrals and DS NODATA answers need
-            // the NSEC3 opt-out proof, so build the (two-owner) chain —
-            // unless this TLD deliberately lost it (§4.2.9). Only the
-            // NSEC3 *matching the child* is ever emitted for the query
-            // shapes this zone serves (`no_ds_proof`/`nodata_proof`
-            // return just the matching record, and NXDOMAIN cannot
-            // happen for a registered name), so that is the one RRset
-            // worth an RSA signature.
+            // the child's matching NSEC3 — unless this TLD deliberately
+            // lost it (§4.2.9). The record is pulled from the honest
+            // registry-wide chain, so its interval never covers another
+            // registered name: resolvers that retain validated ranges
+            // (RFC 8198) must be able to trust it. Only the matching
+            // NSEC3 is ever emitted for the query shapes this zone
+            // serves, so that is the one RRset worth an RSA signature.
             if !self.entry.broken_insecure_proof {
-                let params = Nsec3Config::default();
-                nsec3::build_chain(&mut zone, &params);
-                let child_owner = self
-                    .tld
-                    .child(&params.hash_label(&rec.name))
-                    .expect("hash label fits");
-                signer::resign_rrset(&mut zone, &child_owner, RrType::Nsec3, &self.keys, window);
+                let chain = self.chain();
+                let idx = chain
+                    .matching(&chain.params.hash_raw(&rec.name))
+                    .expect("registered child is a chain owner");
+                zone.add_rrset(chain.rrset(idx, &self.tld, &self.keys, window));
             }
         } else {
             for d in ds {
@@ -495,7 +622,14 @@ impl TldServer {
             }
         }
 
-        signer::sign_zone(&mut zone, &self.keys, &SignerConfig::default());
+        signer::sign_zone(
+            &mut zone,
+            &self.keys,
+            &SignerConfig {
+                denial: Denial::None,
+                ..SignerConfig::default()
+            },
+        );
 
         if self.entry.standby_key {
             // Publish an extra SEP key that signs nothing, then re-sign
@@ -512,10 +646,63 @@ impl TldServer {
                 SignerConfig::default().window(),
             );
         }
-        if self.entry.broken_insecure_proof {
-            // Strip the denial chain: insecure referrals lose their
-            // NSEC3 proof (§4.2.9).
-            Misconfig::Nsec3Missing.apply(&mut zone, &self.keys);
+
+        // Hashed-denial surface: the apex always publishes NSEC3PARAM.
+        // Honest TLDs then graft exactly the chain records the queried
+        // shape needs, pulled from the registry-wide honest chain;
+        // broken TLDs (§4.2.9) publish the PARAM but no chain — the
+        // sign-then-strip shape `Misconfig::Nsec3Missing` used to
+        // produce by building a full chain and deleting it.
+        let window = SignerConfig::default().window();
+        let params = Nsec3Config::default();
+        zone.add_rrset(Rrset::new(
+            self.tld.clone(),
+            0,
+            Rdata::Nsec3param {
+                hash_alg: nsec3hash::NSEC3_HASH_ALG_SHA1,
+                flags: 0,
+                iterations: params.iterations,
+                salt: params.salt,
+            },
+        ));
+        signer::resign_rrset(
+            &mut zone,
+            &self.tld.clone(),
+            RrType::Nsec3param,
+            &self.keys,
+            window,
+        );
+        if !self.entry.broken_insecure_proof {
+            let chain = self.chain();
+            let mut grafted = std::collections::BTreeSet::new();
+            grafted.insert(
+                chain
+                    .matching(&chain.params.hash_raw(&self.tld))
+                    .expect("apex is a chain owner"),
+            );
+            if qname != &self.tld && qname.is_subdomain_of(&self.tld) {
+                // Any below-apex name this path serves is unregistered
+                // (registered SLDs take the referral path), so the
+                // closest encloser is the apex and an NXDOMAIN proof
+                // needs the next-closer and wildcard covers.
+                let mut next_closer = qname.clone();
+                while next_closer.label_count() > self.tld.label_count() + 1 {
+                    match next_closer.parent() {
+                        Some(p) => next_closer = p,
+                        None => break,
+                    }
+                }
+                let nc_hash = chain.params.hash_raw(&next_closer);
+                if chain.matching(&nc_hash).is_none() {
+                    grafted.insert(chain.covering(&nc_hash));
+                    if let Ok(wildcard) = self.tld.child("*") {
+                        grafted.insert(chain.covering(&chain.params.hash_raw(&wildcard)));
+                    }
+                }
+            }
+            for idx in grafted {
+                zone.add_rrset(chain.rrset(idx, &self.tld, &self.keys, window));
+            }
         }
         zone
     }
@@ -556,6 +743,15 @@ impl Server for TldServer {
 impl ScanWorld {
     /// Build the world for a population.
     pub fn build(pop: &Population) -> ScanWorld {
+        let mut children: HashMap<Name, Vec<(Name, bool)>> = HashMap::new();
+        for d in &pop.domains {
+            if let Some(tld) = d.name.parent() {
+                children
+                    .entry(tld)
+                    .or_default()
+                    .push((d.name.clone(), d.category.signed()));
+            }
+        }
         let registry = Arc::new(Registry {
             domains: pop
                 .domains
@@ -575,6 +771,7 @@ impl ScanWorld {
                     )
                 })
                 .collect(),
+            children,
         });
 
         // Zero-latency network: the virtual clock must stand still

@@ -1,0 +1,114 @@
+//! RFC 8198 testbed cells: synthesized denials must be
+//! EDE-indistinguishable from live ones, per vendor.
+//!
+//! For every vendor profile, two resolvers walk the same denial-heavy
+//! query sequence against the control domain — one with aggressive
+//! NSEC/NSEC3 synthesis enabled, one live. The paper's measurement
+//! instrument reads EDE codes off responses; a resolver that answers
+//! from validated ranges (RFC 8198) returns the *same* codes, RCODEs
+//! and AD bits, so the testbed matrix is pinned identical whether or
+//! not the resolver asked the authority.
+
+use ede_resolver::{Finding, Resolver, Vendor, VendorProfile};
+use ede_testbed::Testbed;
+use ede_wire::{Rcode, RrType};
+use std::sync::Arc;
+
+/// A resolver on this testbed with denial synthesis switched on (the
+/// vendor gate still applies — OpenDNS stays live).
+fn synthesizing_resolver(tb: &Testbed, vendor: Vendor) -> Resolver {
+    let mut config = tb.resolver_config.clone();
+    config.synthesize_denial = true;
+    Resolver::new(Arc::clone(&tb.net), VendorProfile::new(vendor), config)
+}
+
+/// The denial-producing query sequence against the correctly-signed
+/// control zone: one live NXDOMAIN to seed the range tier, a spread of
+/// further nonexistent children (some of whose NSEC3 hashes land in the
+/// seeded intervals), then a NODATA pair at the apex (the second probe
+/// of an apex whose matching interval is cached synthesizes
+/// deterministically).
+fn denial_sequence(tb: &Testbed) -> Vec<(ede_wire::Name, RrType)> {
+    let valid = tb.base.child("valid").expect("valid label");
+    let mut seq: Vec<(ede_wire::Name, RrType)> = Vec::new();
+    for i in 0..16 {
+        let label = format!("ghost{i}");
+        seq.push((valid.child(&label).expect("label fits"), RrType::A));
+    }
+    seq.push((valid.clone(), RrType::Aaaa));
+    seq.push((valid, RrType::Txt));
+    seq
+}
+
+#[test]
+fn synthesized_denials_are_ede_identical_per_vendor() {
+    let tb = Testbed::build();
+    let seq = denial_sequence(&tb);
+    for vendor in Vendor::ALL {
+        let synth = synthesizing_resolver(&tb, vendor);
+        let live = tb.resolver(vendor);
+        assert_eq!(
+            synth.synthesis_active(),
+            vendor.synthesizes_denial(),
+            "{vendor:?}: config and vendor gate disagree"
+        );
+        for (qname, qtype) in &seq {
+            let s = synth.resolve(qname, *qtype);
+            let l = live.resolve(qname, *qtype);
+            assert_eq!(
+                s.ede_codes(),
+                l.ede_codes(),
+                "{vendor:?} {qname} {qtype:?}: EDE diverged"
+            );
+            assert_eq!(s.rcode, l.rcode, "{vendor:?} {qname} {qtype:?}: RCODE");
+            assert_eq!(
+                s.authentic_data, l.authentic_data,
+                "{vendor:?} {qname} {qtype:?}: AD bit"
+            );
+        }
+        let hits = synth.range_stats().hits;
+        if vendor.synthesizes_denial() {
+            assert!(
+                hits > 0,
+                "{vendor:?}: no denial was ever answered from cached ranges"
+            );
+        } else {
+            assert_eq!(hits, 0, "{vendor:?}: the vendor gate must keep it live");
+        }
+    }
+}
+
+/// The apex NODATA pair synthesizes deterministically (the matching
+/// interval is retained by the first probe), records the dedicated
+/// finding, and stays EDE-silent — the finding is mapped by no vendor.
+#[test]
+fn synthesized_nodata_records_finding_and_no_ede() {
+    let tb = Testbed::build();
+    let valid = tb.base.child("valid").expect("valid label");
+    let resolver = synthesizing_resolver(&tb, Vendor::Bind9);
+
+    let first = resolver.resolve(&valid, RrType::Aaaa);
+    assert_eq!(first.rcode, Rcode::NoError);
+    assert!(first.answers.is_empty());
+    assert!(!first
+        .diagnosis
+        .findings
+        .iter()
+        .any(|f| matches!(f, Finding::SynthesizedDenial { .. })));
+
+    let second = resolver.resolve(&valid, RrType::Txt);
+    assert_eq!(second.rcode, Rcode::NoError);
+    assert!(second.answers.is_empty());
+    assert!(
+        second
+            .diagnosis
+            .findings
+            .iter()
+            .any(|f| matches!(f, Finding::SynthesizedDenial { .. })),
+        "second apex NODATA was not synthesized: {:?}",
+        second.diagnosis.findings
+    );
+    assert!(second.ede.is_empty(), "synthesis must not surface an EDE");
+    assert!(second.authentic_data, "validated ranges keep the AD bit");
+    assert_eq!(resolver.range_stats().hits, 1);
+}

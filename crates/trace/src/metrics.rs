@@ -113,6 +113,8 @@ pub struct Metrics {
     cache_expired: AtomicU64,
     cache_evictions: AtomicU64,
     cache_occupancy_peak: AtomicU64,
+    denials_synthesized_nxdomain: AtomicU64,
+    denials_synthesized_nodata: AtomicU64,
     validation_steps: AtomicU64,
     validation_failures: AtomicU64,
     findings: AtomicU64,
@@ -158,6 +160,8 @@ impl Metrics {
             cache_expired: self.cache_expired.load(Relaxed),
             cache_evictions: self.cache_evictions.load(Relaxed),
             cache_occupancy_peak: self.cache_occupancy_peak.load(Relaxed),
+            denials_synthesized_nxdomain: self.denials_synthesized_nxdomain.load(Relaxed),
+            denials_synthesized_nodata: self.denials_synthesized_nodata.load(Relaxed),
             validation_steps: self.validation_steps.load(Relaxed),
             validation_failures: self.validation_failures.load(Relaxed),
             findings: self.findings.load(Relaxed),
@@ -230,6 +234,14 @@ impl TraceSink for Metrics {
                 self.cache_expired.fetch_add(*expired, Relaxed);
                 self.cache_evictions.fetch_add(*evicted, Relaxed);
                 self.cache_occupancy_peak.fetch_max(*occupancy, Relaxed);
+            }
+            TraceEvent::DenialSynthesized { nxdomain, .. } => {
+                if *nxdomain {
+                    &self.denials_synthesized_nxdomain
+                } else {
+                    &self.denials_synthesized_nodata
+                }
+                .fetch_add(1, Relaxed);
             }
             TraceEvent::ValidationStep { ok, .. } => {
                 self.validation_steps.fetch_add(1, Relaxed);
@@ -320,6 +332,14 @@ pub struct MetricsSnapshot {
     /// scan results, so [`MetricsSnapshot::without_scheduler_stats`]
     /// strips it (and the two removal counters) too.
     pub cache_occupancy_peak: u64,
+    /// Negative answers synthesized as NXDOMAIN from cached,
+    /// DNSSEC-validated NSEC/NSEC3 ranges (RFC 8198). Unlike the
+    /// eviction gauges these count a *result-shaping* decision (an
+    /// authority round-trip that never happened), so
+    /// [`MetricsSnapshot::without_scheduler_stats`] keeps them.
+    pub denials_synthesized_nxdomain: u64,
+    /// Negative answers synthesized as NODATA from cached ranges.
+    pub denials_synthesized_nodata: u64,
     /// DNSSEC validation steps run.
     pub validation_steps: u64,
     /// Validation steps that recorded at least one finding.
@@ -424,6 +444,12 @@ impl MetricsSnapshot {
             out.push_str(&format!(
                 "  eviction  : {} expired, {} evicted (peak occupancy {})\n",
                 self.cache_expired, self.cache_evictions, self.cache_occupancy_peak
+            ));
+        }
+        if self.denials_synthesized_nxdomain + self.denials_synthesized_nodata > 0 {
+            out.push_str(&format!(
+                "  synthesis : {} NXDOMAIN, {} NODATA answered from cached ranges\n",
+                self.denials_synthesized_nxdomain, self.denials_synthesized_nodata
             ));
         }
         out.push_str(&format!(
@@ -557,6 +583,14 @@ mod tests {
         );
         m.record(
             0,
+            &TraceEvent::DenialSynthesized {
+                qname: "a".into(),
+                nxdomain: true,
+                ttl: 60,
+            },
+        );
+        m.record(
+            0,
             &TraceEvent::ResolutionFinished {
                 rcode: 2,
                 ede_count: 1,
@@ -577,6 +611,16 @@ mod tests {
         assert_eq!(s.ede_entries, 1);
         assert_eq!(s.ede_by_vendor[&("Cloudflare DNS".to_string(), 7)], 1);
         assert_eq!(s.resolutions_servfail, 1);
+        assert_eq!(s.denials_synthesized_nxdomain, 1);
+        assert_eq!(s.denials_synthesized_nodata, 0);
+        // Synthesis shapes results, so concurrency-invariance checks
+        // must still see it after stripping the scheduler gauges.
+        assert_eq!(s.without_scheduler_stats().denials_synthesized_nxdomain, 1);
+        assert!(
+            s.render().contains("1 NXDOMAIN, 0 NODATA"),
+            "{}",
+            s.render()
+        );
         assert_eq!(s.query_latency.total, 1);
         assert_eq!(s.resolution_duration.max, 40);
         let render = s.render();
