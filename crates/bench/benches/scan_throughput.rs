@@ -157,15 +157,7 @@ fn main() {
         // Results must be bit-identical at every sweep point: compare
         // the per-code inventory against the first run (the blocking
         // single-worker baseline).
-        let fingerprint = format!("{:?}", {
-            let mut codes: Vec<_> = result
-                .observations
-                .iter()
-                .map(|o| (o.name.clone(), o.rcode.to_u16(), o.codes.clone()))
-                .collect();
-            codes.sort();
-            codes
-        });
+        let fingerprint = format!("{:016x}", result.stats.fingerprint);
         match &reference {
             None => reference = Some(fingerprint),
             Some(r) => assert_eq!(
@@ -177,7 +169,7 @@ fn main() {
         if full {
             let cache = &result.cache;
             let entry = format!(
-                "{{\"recorded\": \"{}\", \"label\": \"scan_throughput\", \"scale\": {}, \"workers\": {}, \"inflight\": {}, \"domains\": {}, \"seconds\": {:.3}, \"domains_per_sec\": {:.0}, \"queries_per_domain\": {:.3}, \"l1_hit_pct\": {:.1}, \"l2_hit_pct\": {:.1}, \"referral_hit_pct\": {:.1}, \"evictions\": {}}}",
+                "{{\"recorded\": \"{}\", \"label\": \"scan_throughput\", \"scale\": {}, \"workers\": {}, \"inflight\": {}, \"domains\": {}, \"seconds\": {:.3}, \"domains_per_sec\": {:.0}, \"queries_per_domain\": {:.3}, \"l1_hit_pct\": {:.1}, \"l2_hit_pct\": {:.1}, \"referral_hit_pct\": {:.1}, \"evictions\": {}, \"aggregate_merge_ns\": {}, \"querylog_peak\": {}}}",
                 utc_date(),
                 FULL_SCALE,
                 workers,
@@ -186,10 +178,12 @@ fn main() {
                 secs,
                 rate,
                 result.queries_per_domain(),
-                100.0 * cache.l1.hit_ratio(),
-                100.0 * cache.l2.hit_ratio(),
-                100.0 * cache.infra.referral_hit_ratio(),
+                result.stats.cache.l1_hit_pct(),
+                result.stats.cache.l2_hit_pct(),
+                result.stats.cache.referral_hit_pct(),
                 cache.l2.evicted,
+                result.stream.merge_ns,
+                result.log.peak,
             );
             if let Err(e) = append_entry(&entry) {
                 eprintln!("warning: could not append to BENCH_scan.json: {e}");
@@ -216,15 +210,7 @@ fn main() {
         let t = Instant::now();
         let result = scanner::scan(&pop, &world, &scan_cfg);
         let secs = t.elapsed().as_secs_f64();
-        let fingerprint = format!("{:?}", {
-            let mut codes: Vec<_> = result
-                .observations
-                .iter()
-                .map(|o| (o.name.clone(), o.rcode.to_u16(), o.codes.clone()))
-                .collect();
-            codes.sort();
-            codes
-        });
+        let fingerprint = format!("{:016x}", result.stats.fingerprint);
         assert_eq!(
             *reference.as_ref().expect("sweep ran"),
             fingerprint,
@@ -291,15 +277,7 @@ fn main() {
                 .l1(false)
                 .build(),
         );
-        let fp = format!("{:?}", {
-            let mut codes: Vec<_> = no_l1
-                .observations
-                .iter()
-                .map(|o| (o.name.clone(), o.rcode.to_u16(), o.codes.clone()))
-                .collect();
-            codes.sort();
-            codes
-        });
+        let fp = format!("{:016x}", no_l1.stats.fingerprint);
         assert_eq!(*reference, fp, "disabling the L1 tier changed results");
         assert_eq!(no_l1.cache.l1.hits + no_l1.cache.l1.misses, 0);
 
@@ -313,7 +291,7 @@ fn main() {
                 .max_cache_entries(Some(8))
                 .build(),
         );
-        assert_eq!(budgeted.observations.len(), domains);
+        assert_eq!(budgeted.stats.ede.total_domains, domains);
         assert!(
             budgeted.cache.l2.evicted > 0,
             "an 8-entry budget must evict"
@@ -336,15 +314,7 @@ fn main() {
                 .max_range_entries(Some(8))
                 .build(),
         );
-        let fp = format!("{:?}", {
-            let mut codes: Vec<_> = range_budget
-                .observations
-                .iter()
-                .map(|o| (o.name.clone(), o.rcode.to_u16(), o.codes.clone()))
-                .collect();
-            codes.sort();
-            codes
-        });
+        let fp = format!("{:016x}", range_budget.stats.fingerprint);
         assert_eq!(*reference, fp, "a tiny range budget changed results");
         assert!(
             range_budget.cache.range.evicted > 0,

@@ -24,14 +24,14 @@ fn bench_scan(c: &mut Criterion) {
             // clock are part of the scan.
             let world = ScanWorld::build(&pop);
             let result = scanner::scan(&pop, &world, &ScanConfig::builder().workers(1).build());
-            black_box(result.observations.len())
+            black_box(result.records.len())
         })
     });
     group.bench_function("tiny_population_parallel", |b| {
         b.iter(|| {
             let world = ScanWorld::build(&pop);
             let result = scanner::scan(&pop, &world, &ScanConfig::default());
-            black_box(result.observations.len())
+            black_box(result.records.len())
         })
     });
     group.finish();

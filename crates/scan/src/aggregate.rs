@@ -1,10 +1,251 @@
-//! Aggregate scan observations into the paper's §4.2 / §4.3 numbers.
+//! Aggregate scan records into the paper's §4.2 / §4.3 numbers.
+//!
+//! Two paths produce the same [`Aggregate`]:
+//!
+//! * **Streaming** — each scan worker folds its claim chunks into a
+//!   private [`PartialAggregate`] and merges it into the shared
+//!   snapshot store as it goes (see [`crate::stream`]); nothing is
+//!   buffered until the end of the scan.
+//! * **Batch** — [`aggregate`] folds a [`crate::scanner::ScanResult`]'s
+//!   retained records into one fresh partial.
+//!
+//! Both paths run the *same* fold, and [`PartialAggregate::merge`] is
+//! commutative and associative (counters add, maps union-add, the
+//! nameserver-kind witness keeps the minimum domain index, rank pairs
+//! concatenate and are sorted at [`PartialAggregate::finalize`]), so
+//! merge order — and therefore worker count, in-flight window, and
+//! snapshot cadence — cannot change the result. The property tests in
+//! `tests/streaming.rs` pin the two paths bit-identical.
 
 use crate::population::Population;
+use crate::querylog::QueryRecord;
 use crate::scanner::ScanResult;
 use crate::stats;
 use ede_wire::Rcode;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
+
+/// FNV-1a offset basis / prime, for the per-record line hashes.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(line: &str) -> u64 {
+    let mut h = FNV_OFFSET;
+    for b in line.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Per-nameserver evidence from Network Error EXTRA-TEXT. The `kind`
+/// witness is the text of the *lowest-indexed* affected domain — the
+/// same "first in input order" the old batch aggregator saw, but made
+/// explicit so merging partials in any order converges on it.
+#[derive(Debug, Clone)]
+struct NsEntry {
+    domains: usize,
+    first_domain: usize,
+    kind: String,
+}
+
+/// One worker's (or one chunk's) partial aggregation: every counter the
+/// report needs, foldable one record at a time and mergeable with any
+/// other partial. `Default` is the empty aggregation.
+#[derive(Debug, Clone, Default)]
+pub struct PartialAggregate {
+    domains: usize,
+    ede_domains: usize,
+    noerror_with_ede: usize,
+    servfail_domains: usize,
+    per_code: BTreeMap<u16, usize>,
+    per_combo: BTreeMap<Vec<u16>, usize>,
+    ns: BTreeMap<String, NsEntry>,
+    tld_total: Vec<usize>,
+    tld_ede: Vec<usize>,
+    tranco: Vec<(u32, bool)>,
+    fp_sum: u64,
+    fp_xor: u64,
+}
+
+impl PartialAggregate {
+    /// Fold one final record. Callers must fold each domain's **final**
+    /// record exactly once (the scanner folds non-revisit domains in
+    /// pass 1 and revisit domains in pass 2).
+    pub fn fold(&mut self, rec: &QueryRecord) {
+        self.domains += 1;
+        if self.tld_total.len() <= rec.tld {
+            self.tld_total.resize(rec.tld + 1, 0);
+            self.tld_ede.resize(rec.tld + 1, 0);
+        }
+        self.tld_total[rec.tld] += 1;
+        if let Some(rank) = rec.rank {
+            self.tranco.push((rank, !rec.codes.is_empty()));
+        }
+        if rec.rcode == Rcode::ServFail {
+            self.servfail_domains += 1;
+        }
+        let h = fnv1a(&rec.outcome_line());
+        self.fp_sum = self.fp_sum.wrapping_add(h);
+        self.fp_xor ^= h;
+
+        if rec.codes.is_empty() {
+            return;
+        }
+        self.ede_domains += 1;
+        self.tld_ede[rec.tld] += 1;
+        if rec.rcode == Rcode::NoError {
+            self.noerror_with_ede += 1;
+        }
+        let mut combo = rec.codes.clone();
+        combo.sort_unstable();
+        combo.dedup();
+        for &c in &combo {
+            *self.per_code.entry(c).or_insert(0) += 1;
+        }
+        *self.per_combo.entry(combo).or_insert(0) += 1;
+
+        if let Some(text) = &rec.network_error_text {
+            // Texts look like "192.0.2.1:53 rcode=REFUSED for x.tld A".
+            if let Some((addr, rest)) = text.split_once(":53 ") {
+                let kind = rest.split_whitespace().next().unwrap_or_default();
+                match self.ns.get_mut(addr) {
+                    Some(entry) => {
+                        entry.domains += 1;
+                        if rec.domain < entry.first_domain {
+                            entry.first_domain = rec.domain;
+                            entry.kind = kind.to_string();
+                        }
+                    }
+                    None => {
+                        self.ns.insert(
+                            addr.to_string(),
+                            NsEntry {
+                                domains: 1,
+                                first_domain: rec.domain,
+                                kind: kind.to_string(),
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Merge another partial into this one. Commutative and
+    /// associative: `a.merge(b)` then `merge(c)` equals any other
+    /// order, which is what makes the streaming pipeline's final
+    /// numbers independent of worker timing.
+    pub fn merge(&mut self, other: PartialAggregate) {
+        self.domains += other.domains;
+        self.ede_domains += other.ede_domains;
+        self.noerror_with_ede += other.noerror_with_ede;
+        self.servfail_domains += other.servfail_domains;
+        for (c, n) in other.per_code {
+            *self.per_code.entry(c).or_insert(0) += n;
+        }
+        for (combo, n) in other.per_combo {
+            *self.per_combo.entry(combo).or_insert(0) += n;
+        }
+        for (addr, e) in other.ns {
+            match self.ns.get_mut(&addr) {
+                Some(entry) => {
+                    entry.domains += e.domains;
+                    if e.first_domain < entry.first_domain {
+                        entry.first_domain = e.first_domain;
+                        entry.kind = e.kind;
+                    }
+                }
+                None => {
+                    self.ns.insert(addr, e);
+                }
+            }
+        }
+        if self.tld_total.len() < other.tld_total.len() {
+            self.tld_total.resize(other.tld_total.len(), 0);
+            self.tld_ede.resize(other.tld_ede.len(), 0);
+        }
+        for (i, n) in other.tld_total.into_iter().enumerate() {
+            self.tld_total[i] += n;
+        }
+        for (i, n) in other.tld_ede.into_iter().enumerate() {
+            self.tld_ede[i] += n;
+        }
+        self.tranco.extend(other.tranco);
+        self.fp_sum = self.fp_sum.wrapping_add(other.fp_sum);
+        self.fp_xor ^= other.fp_xor;
+    }
+
+    /// Domains folded so far.
+    pub fn domains(&self) -> usize {
+        self.domains
+    }
+
+    /// The commutative scan fingerprint over every folded record's
+    /// [`QueryRecord::outcome_line`]: per-line FNV-1a hashes combined
+    /// with a wrapping sum, an XOR, and the record count, then mixed.
+    /// Order-independent by construction, so the streaming and batch
+    /// paths — and every worker configuration — agree bit for bit.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        for v in [self.fp_sum, self.fp_xor, self.domains as u64] {
+            for b in v.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        }
+        h
+    }
+
+    /// Finish: compute the derived series against the population.
+    pub fn finalize(&self, pop: &Population) -> Aggregate {
+        let mut ns_analysis = NsAnalysis {
+            unique_ns: self.ns.len(),
+            ..Default::default()
+        };
+        // BTreeMap order makes `domains_per_ns` deterministic (the old
+        // HashMap batch path emitted it in hash order).
+        for entry in self.ns.values() {
+            ns_analysis.domains_per_ns.push(entry.domains);
+            match entry.kind.as_str() {
+                "rcode=REFUSED" => ns_analysis.refused_ns += 1,
+                "rcode=SERVFAIL" => ns_analysis.servfail_ns += 1,
+                _ => ns_analysis.other_ns += 1,
+            }
+        }
+
+        let mut tld_ratios_gtld = Vec::new();
+        let mut tld_ratios_cctld = Vec::new();
+        for (i, tld) in pop.tlds.iter().enumerate() {
+            let total = self.tld_total.get(i).copied().unwrap_or(0);
+            if total == 0 {
+                continue;
+            }
+            let ratio = self.tld_ede.get(i).copied().unwrap_or(0) as f64 / total as f64;
+            if tld.cc {
+                tld_ratios_cctld.push(ratio);
+            } else {
+                tld_ratios_gtld.push(ratio);
+            }
+        }
+
+        let mut tranco = self.tranco.clone();
+        tranco.sort_unstable();
+
+        Aggregate {
+            total_domains: self.domains,
+            ede_domains: self.ede_domains,
+            per_code: self.per_code.clone(),
+            per_combo: self.per_combo.clone(),
+            noerror_with_ede: self.noerror_with_ede,
+            servfail_domains: self.servfail_domains,
+            ns_analysis,
+            tld_ratios_gtld,
+            tld_ratios_cctld,
+            tranco,
+            fingerprint: self.fingerprint(),
+        }
+    }
+}
 
 /// Aggregated results of one scan.
 #[derive(Debug, Clone)]
@@ -20,6 +261,9 @@ pub struct Aggregate {
     /// Domains that answered NOERROR while still carrying EDE codes
     /// (§4.3's 12.2 k observation).
     pub noerror_with_ede: usize,
+    /// Domains whose final RCODE was SERVFAIL (the complement of the
+    /// chaos campaigns' resolved count).
+    pub servfail_domains: usize,
     /// Nameserver analysis from Network Error EXTRA-TEXT.
     pub ns_analysis: NsAnalysis,
     /// Per-TLD ratio of EDE-triggering domains, split gTLD/ccTLD.
@@ -28,10 +272,13 @@ pub struct Aggregate {
     pub tld_ratios_cctld: Vec<f64>,
     /// (rank, had_ede) for every ranked domain.
     pub tranco: Vec<(u32, bool)>,
+    /// The commutative scan fingerprint (see
+    /// [`PartialAggregate::fingerprint`]).
+    pub fingerprint: u64,
 }
 
 /// §4.2.2-style breakdown of broken nameservers.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct NsAnalysis {
     /// Unique nameserver addresses seen in Network Error texts.
     pub unique_ns: usize,
@@ -41,7 +288,8 @@ pub struct NsAnalysis {
     pub servfail_ns: usize,
     /// Other failures.
     pub other_ns: usize,
-    /// Domains affected per nameserver (weights for concentration).
+    /// Domains affected per nameserver (weights for concentration),
+    /// in nameserver-address order.
     pub domains_per_ns: Vec<usize>,
 }
 
@@ -53,96 +301,17 @@ impl NsAnalysis {
     }
 }
 
-/// Aggregate a scan result against its population.
+/// Aggregate a scan result against its population — the **batch** path,
+/// folding the retained final records into one fresh partial. Requires
+/// a complete query log (`result.log.dropped == 0`); with a ring
+/// smaller than the population, use the streaming aggregate the scan
+/// already computed (`result.stats`) instead.
 pub fn aggregate(pop: &Population, result: &ScanResult) -> Aggregate {
-    let mut per_code: BTreeMap<u16, usize> = BTreeMap::new();
-    let mut per_combo: BTreeMap<Vec<u16>, usize> = BTreeMap::new();
-    let mut ede_domains = 0usize;
-    let mut noerror_with_ede = 0usize;
-    let mut ns_domains: HashMap<String, (usize, String)> = HashMap::new();
-    let mut tld_total = vec![0usize; pop.tlds.len()];
-    let mut tld_ede = vec![0usize; pop.tlds.len()];
-    let mut tranco = Vec::new();
-
-    for obs in &result.observations {
-        tld_total[obs.tld] += 1;
-        if let Some(rank) = obs.rank {
-            tranco.push((rank, !obs.codes.is_empty()));
-        }
-        if obs.codes.is_empty() {
-            continue;
-        }
-        ede_domains += 1;
-        tld_ede[obs.tld] += 1;
-        if obs.rcode == Rcode::NoError {
-            noerror_with_ede += 1;
-        }
-        let mut combo = obs.codes.clone();
-        combo.sort_unstable();
-        combo.dedup();
-        for &c in &combo {
-            *per_code.entry(c).or_insert(0) += 1;
-        }
-        *per_combo.entry(combo).or_insert(0) += 1;
-
-        if let Some(text) = &obs.network_error_text {
-            // Texts look like "192.0.2.1:53 rcode=REFUSED for x.tld A".
-            if let Some((addr, rest)) = text.split_once(":53 ") {
-                let entry = ns_domains
-                    .entry(addr.to_string())
-                    .or_insert((0, String::new()));
-                entry.0 += 1;
-                if entry.1.is_empty() {
-                    entry.1 = rest
-                        .split_whitespace()
-                        .next()
-                        .unwrap_or_default()
-                        .to_string();
-                }
-            }
-        }
+    let mut partial = PartialAggregate::default();
+    for rec in result.final_records() {
+        partial.fold(rec);
     }
-
-    let mut ns_analysis = NsAnalysis {
-        unique_ns: ns_domains.len(),
-        ..Default::default()
-    };
-    for (count, kind) in ns_domains.values() {
-        ns_analysis.domains_per_ns.push(*count);
-        match kind.as_str() {
-            "rcode=REFUSED" => ns_analysis.refused_ns += 1,
-            "rcode=SERVFAIL" => ns_analysis.servfail_ns += 1,
-            _ => ns_analysis.other_ns += 1,
-        }
-    }
-
-    let mut tld_ratios_gtld = Vec::new();
-    let mut tld_ratios_cctld = Vec::new();
-    for (i, tld) in pop.tlds.iter().enumerate() {
-        if tld_total[i] == 0 {
-            continue;
-        }
-        let ratio = tld_ede[i] as f64 / tld_total[i] as f64;
-        if tld.cc {
-            tld_ratios_cctld.push(ratio);
-        } else {
-            tld_ratios_gtld.push(ratio);
-        }
-    }
-
-    tranco.sort_unstable();
-
-    Aggregate {
-        total_domains: result.observations.len(),
-        ede_domains,
-        per_code,
-        per_combo,
-        noerror_with_ede,
-        ns_analysis,
-        tld_ratios_gtld,
-        tld_ratios_cctld,
-        tranco,
-    }
+    partial.finalize(pop)
 }
 
 impl Aggregate {
@@ -208,5 +377,44 @@ mod tests {
         // The NS analysis sees the broken pool.
         assert!(agg.ns_analysis.unique_ns > 0);
         assert!(agg.ns_analysis.refused_ns >= agg.ns_analysis.servfail_ns);
+        // Batch refold equals the scan's own streaming aggregation.
+        assert_eq!(agg.fingerprint, result.stats.fingerprint);
+        assert_eq!(agg.per_code, result.stats.ede.per_code);
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let pop = Population::generate(PopulationConfig::tiny());
+        let world = ScanWorld::build(&pop);
+        let result = scan(&pop, &world, &ScanConfig::default());
+        let records: Vec<_> = result.final_records().into_iter().cloned().collect();
+
+        // Fold in one partial.
+        let mut whole = PartialAggregate::default();
+        for r in &records {
+            whole.fold(r);
+        }
+
+        // Fold the same records into interleaved shards, merge the
+        // shards in reverse.
+        let mut shards = vec![PartialAggregate::default(); 7];
+        for (i, r) in records.iter().enumerate() {
+            shards[i % 7].fold(r);
+        }
+        let mut merged = PartialAggregate::default();
+        for shard in shards.into_iter().rev() {
+            merged.merge(shard);
+        }
+
+        assert_eq!(whole.fingerprint(), merged.fingerprint());
+        let a = whole.finalize(&pop);
+        let b = merged.finalize(&pop);
+        assert_eq!(a.per_code, b.per_code);
+        assert_eq!(a.per_combo, b.per_combo);
+        assert_eq!(a.ns_analysis, b.ns_analysis);
+        assert_eq!(a.tld_ratios_gtld, b.tld_ratios_gtld);
+        assert_eq!(a.tld_ratios_cctld, b.tld_ratios_cctld);
+        assert_eq!(a.tranco, b.tranco);
+        assert_eq!(a.fingerprint, b.fingerprint);
     }
 }

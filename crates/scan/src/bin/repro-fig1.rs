@@ -2,7 +2,7 @@
 //! and ccTLDs.
 //!
 //! Usage: repro-fig1 \[scale\]   (default 1000)
-use ede_scan::{aggregate, report, scanner, Population, PopulationConfig, ScanWorld};
+use ede_scan::{report, scanner, Population, PopulationConfig, ScanWorld};
 
 fn main() {
     let scale: u32 = std::env::args()
@@ -16,6 +16,5 @@ fn main() {
     let pop = Population::generate(cfg);
     let world = ScanWorld::build(&pop);
     let result = scanner::scan(&pop, &world, &scanner::ScanConfig::default());
-    let agg = aggregate::aggregate(&pop, &result);
-    print!("{}", report::figure1(&agg));
+    print!("{}", report::figure1(&result.stats));
 }

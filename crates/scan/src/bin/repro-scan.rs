@@ -3,50 +3,114 @@
 //!
 //! Usage: repro-scan \[scale\] \[--json | --fingerprint\] \[--no-l1\] \[--cache-budget=N\]
 //!        \[--synthesize\] \[--sweep=R\] \[--range-budget=N\]
+//!        \[--cadence=SECS\] \[--log-capacity=N\] \[--log-spill=PATH\]
+//!        \[--snapshots=PATH\] \[--query=EXPR\] \[--stream-smoke\]
 //! (default scale 1000, i.e. 303k domains)
 //!
 //! `--no-l1` disables the per-worker L1 cache tier (results must stay
 //! bit-identical — compare `--fingerprint` outputs). `--cache-budget=N`
 //! bounds the shared cache to N entries; with a budget smaller than the
 //! working set the scan still completes, with bounded memory and
-//! nonzero evictions, but eviction legally changes observations, so
+//! nonzero evictions, but eviction legally changes results, so
 //! budgeted fingerprints are *not* comparable.
 //!
 //! `--synthesize` turns on RFC 8198 denial synthesis in the scanning
-//! resolver; observation fingerprints must stay identical to the
+//! resolver; scan fingerprints must stay identical to the
 //! synthesis-free walk (registered names are never covered by validated
 //! ranges). `--sweep=R` adds R nonexistent-name probes per registered
 //! domain after both passes (range tier frozen, probes excluded from
-//! observations and fingerprints). `--range-budget=N` bounds the range
-//! tier to N spans — occupancy stays bounded and evictions show up in
-//! the sweep hit rate, never in the observations.
-use ede_scan::{aggregate, report, scanner, Population, PopulationConfig, ScanWorld};
+//! the records and fingerprints). `--range-budget=N` bounds the range
+//! tier to N spans.
+//!
+//! Streaming analytics: `--snapshots=PATH` writes a JSONL stream of
+//! [`ede_scan::StatsSnapshot`] documents, one per `--cadence=SECS`
+//! boundary of the virtual clock plus the final complete snapshot.
+//! `--log-capacity=N` bounds the query-log ring; `--log-spill=PATH`
+//! rotates evicted records into a JSONL trace instead of dropping them.
+//! `--query=EXPR` filters the retained records after the scan (e.g.
+//! `--query=code=23,tld=com,rank=1-500`). `--stream-smoke` runs the
+//! streaming-vs-batch equivalence check CI relies on and exits nonzero
+//! on any mismatch.
+use ede_scan::query::QueryFilter;
+use ede_scan::{report, scanner, Population, PopulationConfig, ScanWorld};
+use ede_trace::{JsonlSnapshotWriter, MemorySnapshotSink, SnapshotSink};
+use std::path::PathBuf;
+use std::sync::Arc;
 
-/// FNV-1a over the sorted per-observation tuples — a stable digest of
-/// the complete scan report, for bit-identity checks across engine
-/// changes and cache configurations.
-fn observation_fingerprint(result: &scanner::ScanResult) -> u64 {
-    let mut lines: Vec<String> = result
-        .observations
-        .iter()
-        .map(|o| {
-            format!(
-                "{}|{:?}|{}|{:?}|{}|{:?}|{:?}",
-                o.name, o.category, o.tld, o.rank, o.rcode, o.codes, o.network_error_text
-            )
-        })
-        .collect();
-    lines.sort_unstable();
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for line in &lines {
-        for b in line.as_bytes() {
-            h ^= u64::from(*b);
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        h ^= u64::from(b'\n');
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+/// The `--stream-smoke` leg: a streaming scan with a deliberately tiny
+/// query-log ring and a tight export cadence must produce the same
+/// results as the plain scan, export at least the final snapshot, and
+/// keep ring occupancy bounded. Exits the process nonzero on failure.
+fn stream_smoke(scale: u32) {
+    let cfg = PopulationConfig {
+        scale,
+        ..Default::default()
+    };
+    let pop = Population::generate(cfg);
+
+    let baseline_world = ScanWorld::build(&pop);
+    let baseline = scanner::scan(&pop, &baseline_world, &scanner::ScanConfig::default());
+
+    let sink = Arc::new(MemorySnapshotSink::new());
+    let streaming_world = ScanWorld::build(&pop);
+    let config = scanner::ScanConfig::builder()
+        .snapshot_cadence_secs(1)
+        .query_log_capacity(1024)
+        .build();
+    let streaming = scanner::scan_streaming(
+        &pop,
+        &streaming_world,
+        &config,
+        &[Arc::clone(&sink) as Arc<dyn SnapshotSink>],
+    );
+
+    let mut bad = Vec::new();
+    if !baseline.stats.same_results(&streaming.stats) {
+        bad.push("streaming results differ from the batch scan".to_string());
     }
-    h
+    if baseline.stats.fingerprint != streaming.stats.fingerprint {
+        bad.push(format!(
+            "fingerprint mismatch: {:016x} != {:016x}",
+            baseline.stats.fingerprint, streaming.stats.fingerprint
+        ));
+    }
+    if sink.is_empty() {
+        bad.push("no snapshot was exported".to_string());
+    }
+    if streaming.log.peak > streaming.log.capacity {
+        bad.push(format!(
+            "ring peak {} exceeded capacity {}",
+            streaming.log.peak, streaming.log.capacity
+        ));
+    }
+    if streaming.records.len() > streaming.log.capacity {
+        bad.push(format!(
+            "retained {} records from a {}-record ring",
+            streaming.records.len(),
+            streaming.log.capacity
+        ));
+    }
+    if streaming.stream.merges == 0 {
+        bad.push("no partial-aggregate merges were recorded".to_string());
+    }
+    if bad.is_empty() {
+        println!(
+            "stream-smoke PASS: fingerprint {:016x}, {} snapshots exported, \
+             {} merges ({} ns), ring peak {}/{} ({} dropped)",
+            streaming.stats.fingerprint,
+            sink.len(),
+            streaming.stream.merges,
+            streaming.stream.merge_ns,
+            streaming.log.peak,
+            streaming.log.capacity,
+            streaming.log.dropped,
+        );
+    } else {
+        for b in &bad {
+            eprintln!("stream-smoke FAIL: {b}");
+        }
+        std::process::exit(1);
+    }
 }
 
 fn main() {
@@ -68,7 +132,42 @@ fn main() {
         .iter()
         .find_map(|a| a.strip_prefix("--range-budget="))
         .and_then(|v| v.parse().ok());
+    let cadence: u64 = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--cadence="))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(60);
+    let log_capacity: Option<usize> = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--log-capacity="))
+        .and_then(|v| v.parse().ok());
+    let log_spill: Option<PathBuf> = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--log-spill="))
+        .map(PathBuf::from);
+    let snapshots: Option<PathBuf> = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--snapshots="))
+        .map(PathBuf::from);
+    let query: Option<String> = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--query="))
+        .map(str::to_string);
     let scale: u32 = args.iter().find_map(|a| a.parse().ok()).unwrap_or(1000);
+
+    if args.iter().any(|a| a == "--stream-smoke") {
+        stream_smoke(scale);
+        return;
+    }
+
+    let filter = query.map(|expr| match QueryFilter::parse(&expr) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("bad --query: {e}");
+            std::process::exit(2);
+        }
+    });
+
     let cfg = PopulationConfig {
         scale,
         ..Default::default()
@@ -78,22 +177,36 @@ fn main() {
     eprintln!("{} domains; building world...", pop.domains.len());
     let world = ScanWorld::build(&pop);
     eprintln!("scanning...");
-    let config = scanner::ScanConfig::builder()
+    let mut builder = scanner::ScanConfig::builder()
         .progress(!json && !fingerprint)
         .l1(!no_l1)
         .max_cache_entries(cache_budget)
         .synthesize(synthesize)
         .sweep_ratio(sweep_ratio)
         .max_range_entries(range_budget)
-        .build();
-    let result = scanner::scan(&pop, &world, &config);
-    let agg = aggregate::aggregate(&pop, &result);
+        .snapshot_cadence_secs(cadence)
+        .query_log_spill(log_spill);
+    if let Some(capacity) = log_capacity {
+        builder = builder.query_log_capacity(capacity);
+    }
+    let config = builder.build();
+
+    let mut sinks: Vec<Arc<dyn SnapshotSink>> = Vec::new();
+    if let Some(path) = &snapshots {
+        match JsonlSnapshotWriter::create(path) {
+            Ok(writer) => sinks.push(Arc::new(writer)),
+            Err(e) => {
+                eprintln!("cannot open {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        }
+    }
+    let result = scanner::scan_streaming(&pop, &world, &config, &sinks);
+
     if fingerprint {
         println!(
-            "fingerprint {:016x} observations {} evictions {}",
-            observation_fingerprint(&result),
-            result.observations.len(),
-            result.cache.l2.evicted,
+            "fingerprint {:016x} domains {} evictions {}",
+            result.stats.fingerprint, result.stats.ede.total_domains, result.cache.l2.evicted,
         );
         if synthesize || sweep_ratio > 0.0 {
             let sweep = result.sweep.clone().unwrap_or_default();
@@ -109,11 +222,27 @@ fn main() {
             );
         }
     } else if json {
-        print!("{}", report::scan_json(&pop, &agg));
+        print!("{}", report::scan_json(&result.stats));
     } else {
-        print!("{}", report::scan_summary(&pop, &agg));
-        println!("\n{}", report::traffic_line(&result));
+        print!("{}", report::scan_summary(&result.stats));
+        println!("\n{}", report::traffic_line(&result.stats));
         println!("\n{}", result.metrics.render());
         println!("{}", result.cache.render());
+        // No wall-clock fields here: stdout stays byte-identical across
+        // equal-result runs (merge_ns lives in BENCH_scan.json).
+        println!(
+            "streaming: {} merges, {} snapshots exported, \
+             query log peak {}/{} ({} spilled, {} dropped)",
+            result.stream.merges,
+            result.stream.exports,
+            result.log.peak,
+            result.log.capacity,
+            result.log.spilled,
+            result.log.dropped,
+        );
+    }
+
+    if let Some(filter) = filter {
+        print!("\n{}", filter.summarize(&result.records).render());
     }
 }

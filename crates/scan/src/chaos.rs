@@ -20,14 +20,12 @@
 //! the metrics registry and the transport accounting — the two are
 //! reconciled in [`ChaosLeg::reconcile`].
 
-use crate::aggregate::aggregate;
 use crate::population::Population;
 use crate::scanner::{scan, ScanConfig};
 use crate::world::ScanWorld;
 use ede_netsim::{FaultPlan, TrafficSnapshot};
 use ede_resolver::{RetryPolicy, Vendor};
 use ede_trace::MetricsSnapshot;
-use ede_wire::Rcode;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -214,17 +212,11 @@ fn run_leg(pop: &Population, config: &ChaosConfig, intensity: f64) -> ChaosLeg {
             .build()
     };
     let result = scan(pop, &world, &scan_cfg);
-    let agg = aggregate(pop, &result);
-    let resolved = result
-        .observations
-        .iter()
-        .filter(|o| o.rcode != Rcode::ServFail)
-        .count();
     ChaosLeg {
         intensity,
-        resolved,
-        total: result.observations.len(),
-        per_code: agg.per_code,
+        resolved: result.stats.ede.resolved_domains(),
+        total: result.stats.ede.total_domains,
+        per_code: result.stats.ede.per_code.clone(),
         metrics: result.metrics,
         traffic: result.traffic_full,
     }
@@ -261,8 +253,8 @@ pub fn baseline_matches_plain_scan(pop: &Population, config: &ChaosConfig) -> Ve
         &ScanConfig::builder().vendor(config.vendor).build(),
     );
     let mut bad = Vec::new();
-    if plain.observations != leg.observations {
-        bad.push("observations differ at intensity 0".to_string());
+    if !plain.stats.same_results(&leg.stats) || plain.final_records() != leg.final_records() {
+        bad.push("scan results differ at intensity 0".to_string());
     }
     if plain.traffic != leg.traffic {
         bad.push(format!(
@@ -386,8 +378,10 @@ pub fn inflight_matches_blocking_scan(
             .build(),
     );
     let mut bad = Vec::new();
-    if blocking.observations != pooled.observations {
-        bad.push(format!("observations differ at inflight {inflight}"));
+    if !blocking.stats.same_results(&pooled.stats)
+        || blocking.final_records() != pooled.final_records()
+    {
+        bad.push(format!("scan results differ at inflight {inflight}"));
     }
     if blocking.traffic_full != pooled.traffic_full {
         bad.push(format!(
@@ -435,8 +429,8 @@ pub fn tier_configs_hold(pop: &Population, config: &ChaosConfig) -> Vec<String> 
             .build(),
     );
     let mut bad = Vec::new();
-    if plain.observations != no_l1.observations {
-        bad.push("observations differ with the L1 tier disabled".to_string());
+    if !plain.stats.same_results(&no_l1.stats) || plain.final_records() != no_l1.final_records() {
+        bad.push("scan results differ with the L1 tier disabled".to_string());
     }
     if plain.traffic_full != no_l1.traffic_full {
         bad.push(format!(
@@ -461,11 +455,10 @@ pub fn tier_configs_hold(pop: &Population, config: &ChaosConfig) -> Vec<String> 
             .max_cache_entries(Some(BUDGET))
             .build(),
     );
-    if budgeted.observations.len() != plain.observations.len() {
+    if budgeted.stats.ede.total_domains != plain.stats.ede.total_domains {
         bad.push(format!(
             "budgeted scan lost domains: {} of {}",
-            budgeted.observations.len(),
-            plain.observations.len()
+            budgeted.stats.ede.total_domains, plain.stats.ede.total_domains
         ));
     }
     if budgeted.cache.l2.evicted == 0 {
@@ -514,8 +507,8 @@ pub fn synthesis_configs_hold(pop: &Population, config: &ChaosConfig) -> Vec<Str
             .build(),
     );
     let mut bad = Vec::new();
-    if plain.observations != synth.observations {
-        bad.push("observations differ with denial synthesis enabled".to_string());
+    if !plain.stats.same_results(&synth.stats) || plain.final_records() != synth.final_records() {
+        bad.push("scan results differ with denial synthesis enabled".to_string());
     }
     match &synth.sweep {
         None => bad.push("sweep_ratio 1.5 produced no sweep report".to_string()),
@@ -547,8 +540,10 @@ pub fn synthesis_configs_hold(pop: &Population, config: &ChaosConfig) -> Vec<Str
             .max_range_entries(Some(RANGE_BUDGET))
             .build(),
     );
-    if plain.observations != budgeted.observations {
-        bad.push("observations differ under a tiny range budget".to_string());
+    if !plain.stats.same_results(&budgeted.stats)
+        || plain.final_records() != budgeted.final_records()
+    {
+        bad.push("scan results differ under a tiny range budget".to_string());
     }
     if budgeted.cache.range.evicted == 0 {
         bad.push(format!(

@@ -19,12 +19,18 @@
 //! 3. [`scanner`] drives a Cloudflare-profile resolver over the whole
 //!    input list from a scoped worker pool (collecting live metrics
 //!    through the `ede-trace` pipeline), with a revisit pass that
-//!    exercises the serve-stale and cached-error paths;
+//!    exercises the serve-stale and cached-error paths — results stream
+//!    out as they happen: per-chunk partial aggregates merge into a
+//!    shared snapshot store ([`stream`]) and records land in a bounded
+//!    query-log ring ([`querylog`]), so there is no end-of-scan
+//!    aggregation barrier and no unbounded outcome buffer;
 //! 4. [`aggregate`] and [`stats`] compute the paper's numbers: the
 //!    §4.2 per-INFO-CODE inventory, nameserver concentration, Figure 1's
-//!    per-TLD CDFs, and Figure 2's Tranco-rank distribution;
-//! 5. [`report`] renders each table/figure, and the `repro-*` binaries
-//!    regenerate them from the command line;
+//!    per-TLD CDFs, and Figure 2's Tranco-rank distribution — exposed
+//!    as the versioned typed DTOs in [`stats::v1`];
+//! 5. [`report`] renders each table/figure from those DTOs, [`query`]
+//!    filters the query log (live or from JSONL traces), and the
+//!    `repro-*` binaries regenerate everything from the command line;
 //! 6. [`chaos`] sweeps `ede-netsim` fault-plan intensity over the scan
 //!    world (the `repro-chaos` binary) and reports how the EDE-code
 //!    inventory shifts under loss, corruption, and truncation — with
@@ -40,13 +46,20 @@
 pub mod aggregate;
 pub mod chaos;
 pub mod population;
+pub mod query;
+pub mod querylog;
 pub mod report;
 pub mod rng;
 pub mod scanner;
 pub mod stats;
+pub mod stream;
 pub mod world;
 
 pub use chaos::{campaign, ChaosConfig, ChaosLeg, ChaosReport};
 pub use population::{Category, DomainRecord, Population, PopulationConfig};
-pub use scanner::{scan, Observation, ScanConfig, ScanConfigBuilder, ScanResult, SweepReport};
+pub use query::{FilterSummary, QueryFilter};
+pub use querylog::{QueryLog, QueryLogStats, QueryRecord};
+pub use scanner::{scan, scan_streaming, ScanConfig, ScanConfigBuilder, ScanResult, SweepReport};
+pub use stats::v1::StatsSnapshot;
+pub use stream::StreamReport;
 pub use world::ScanWorld;

@@ -66,6 +66,66 @@ pub enum Category {
 }
 
 impl Category {
+    /// Every category, for iteration and name-based parsing.
+    pub const ALL: [Category; 22] = [
+        Category::HealthyUnsigned,
+        Category::HealthySigned,
+        Category::LameRcode,
+        Category::LameSilent,
+        Category::PartialBroken,
+        Category::StandbyTldMember,
+        Category::DsMismatch,
+        Category::UnreachableSigned,
+        Category::BrokenDenial,
+        Category::NoEdns,
+        Category::UnsupportedAlgGost,
+        Category::UnsupportedAlgDsa,
+        Category::SmallKey,
+        Category::SigExpired,
+        Category::InsecureProofBroken,
+        Category::GostDigest,
+        Category::UnassignedDigest,
+        Category::StaleFlapRefuse,
+        Category::StaleFlapDrop,
+        Category::SigNotYetValid,
+        Category::NotAuthCached,
+        Category::IterationLimit,
+    ];
+
+    /// The stable name of this category (its variant name) — used by
+    /// the query-log JSONL schema.
+    pub fn name(self) -> &'static str {
+        match self {
+            Category::HealthyUnsigned => "HealthyUnsigned",
+            Category::HealthySigned => "HealthySigned",
+            Category::LameRcode => "LameRcode",
+            Category::LameSilent => "LameSilent",
+            Category::PartialBroken => "PartialBroken",
+            Category::StandbyTldMember => "StandbyTldMember",
+            Category::DsMismatch => "DsMismatch",
+            Category::UnreachableSigned => "UnreachableSigned",
+            Category::BrokenDenial => "BrokenDenial",
+            Category::NoEdns => "NoEdns",
+            Category::UnsupportedAlgGost => "UnsupportedAlgGost",
+            Category::UnsupportedAlgDsa => "UnsupportedAlgDsa",
+            Category::SmallKey => "SmallKey",
+            Category::SigExpired => "SigExpired",
+            Category::InsecureProofBroken => "InsecureProofBroken",
+            Category::GostDigest => "GostDigest",
+            Category::UnassignedDigest => "UnassignedDigest",
+            Category::StaleFlapRefuse => "StaleFlapRefuse",
+            Category::StaleFlapDrop => "StaleFlapDrop",
+            Category::SigNotYetValid => "SigNotYetValid",
+            Category::NotAuthCached => "NotAuthCached",
+            Category::IterationLimit => "IterationLimit",
+        }
+    }
+
+    /// Parse a category from its [`name`](Category::name).
+    pub fn parse(s: &str) -> Option<Category> {
+        Category::ALL.into_iter().find(|c| c.name() == s)
+    }
+
     /// True when the scanner should probe this domain a second time
     /// (after the flap / with a warm failure cache).
     pub fn needs_revisit(self) -> bool {

@@ -1,18 +1,23 @@
 //! Render every table and figure of the paper from live data.
+//!
+//! Every renderer here is a *thin view* over the typed DTOs in
+//! [`crate::stats::v1`]: the tables render [`v1::code_registry`],
+//! [`v1::subdomain_groups`], [`v1::subdomain_details`], and
+//! [`v1::vendor_matrix`]; the scan summary, figures, and traffic line
+//! render a [`StatsSnapshot`]. No number is computed in this module —
+//! if a renderer and a machine consumer disagree, the DTO is wrong,
+//! not the view.
 
-use crate::aggregate::Aggregate;
-use crate::population::{Population, PopulationConfig};
+use crate::population::PopulationConfig;
 use crate::stats;
-use ede_resolver::Vendor;
-use ede_testbed::domains::all_specs;
-use ede_testbed::{agreement, Testbed};
-use ede_wire::{EdeCode, RrType};
+use crate::stats::v1::{self, StatsSnapshot, PAPER_INVENTORY};
 use std::fmt::Write as _;
 
 /// Table 1: the registered Extended DNS Error codes.
 pub fn table1() -> String {
+    let registry = v1::code_registry();
     let mut out = String::from("Table 1: Registered Extended DNS Error codes\n\n");
-    let half = EdeCode::REGISTERED.len() / 2;
+    let half = registry.len() / 2;
     out.push_str(&format!(
         "{:<42} {:<42}\n{} {}\n",
         "Code  Description",
@@ -21,14 +26,11 @@ pub fn table1() -> String {
         "-".repeat(42),
     ));
     for i in 0..half {
-        let left = EdeCode::REGISTERED[i];
-        let right = EdeCode::REGISTERED[i + half];
+        let left = &registry[i];
+        let right = &registry[i + half];
         out.push_str(&format!(
             "{:<4}  {:<36} {:<4}  {:<36}\n",
-            left.to_u16(),
-            left.description(),
-            right.to_u16(),
-            right.description(),
+            left.code, left.description, right.code, right.description,
         ));
     }
     out
@@ -36,44 +38,23 @@ pub fn table1() -> String {
 
 /// Table 2: the 63 subdomains grouped by misconfiguration type.
 pub fn table2() -> String {
-    let specs = all_specs();
-    let group_names = [
-        "Control subdomain",
-        "DS misconfigurations",
-        "RRSIG misconfigurations",
-        "NSEC3 misconfigurations",
-        "DNSKEY misconfigurations",
-        "Invalid AAAA glue records",
-        "Invalid A glue records",
-        "Other",
-    ];
     let mut out = String::from("Table 2: Custom subdomains grouped by (mis)configuration type\n\n");
-    for (g, name) in group_names.iter().enumerate() {
-        let labels: Vec<&str> = specs
-            .iter()
-            .filter(|s| s.group == g as u8 + 1)
-            .map(|s| s.label)
-            .collect();
-        out.push_str(&format!("{}. {name}\n   {}\n", g + 1, labels.join(", ")));
+    for group in v1::subdomain_groups() {
+        out.push_str(&format!(
+            "{}. {}\n   {}\n",
+            group.group,
+            group.name,
+            group.labels.join(", ")
+        ));
     }
     out
 }
 
 /// Table 3: per-subdomain configuration detail.
 pub fn table3() -> String {
-    let specs = all_specs();
     let mut out = String::from("Table 3: Configuration details of each subdomain\n\n");
-    for s in &specs {
-        let detail = match (&s.misconfig, s.group) {
-            (Some(m), _) => format!("{m:?}"),
-            (None, 1) => "correctly configured control domain".to_string(),
-            (None, 4) => format!("NSEC3 iterations = {}", s.nsec3_iterations),
-            (None, 6) | (None, 7) => format!("glue = {:?}", s.glue),
-            (None, 8) if !s.signed => "not DNSSEC-signed".to_string(),
-            (None, 8) => format!("signed with {} / server {:?}", s.algorithm, s.server),
-            _ => String::new(),
-        };
-        out.push_str(&format!("{:<26} {detail}\n", s.label));
+    for row in v1::subdomain_details() {
+        out.push_str(&format!("{:<26} {}\n", row.label, row.detail));
     }
     out
 }
@@ -81,31 +62,24 @@ pub fn table3() -> String {
 /// Table 4: resolve the whole testbed through all seven profiles and
 /// print the matrix plus the agreement statistics.
 pub fn table4() -> String {
-    let tb = Testbed::build();
-    let resolvers: Vec<_> = Vendor::ALL.iter().map(|&v| tb.resolver(v)).collect();
-    let mut rows: Vec<(String, Vec<Vec<u16>>)> = Vec::new();
-
+    let matrix = v1::vendor_matrix();
     let mut out = String::from(
         "Table 4: Extended error codes returned by DNS software and public resolvers\n\n",
     );
     out.push_str(&format!("{:<26}", "Subdomain"));
-    for v in Vendor::ALL {
+    for v in &matrix.vendors {
         out.push_str(&format!(
             "{:<12}",
             v.name().split(' ').next().unwrap_or("?")
         ));
     }
     out.push('\n');
-    out.push_str(&"-".repeat(26 + 12 * 7));
+    out.push_str(&"-".repeat(26 + 12 * matrix.vendors.len()));
     out.push('\n');
 
-    for spec in &tb.specs {
-        let qname = tb.query_name(spec);
-        let mut cols = Vec::new();
-        out.push_str(&format!("{:<26}", spec.label));
-        for r in &resolvers {
-            r.flush();
-            let codes = r.resolve(&qname, RrType::A).ede_codes();
+    for (label, cols) in &matrix.rows {
+        out.push_str(&format!("{label:<26}"));
+        for codes in cols {
             let cell = if codes.is_empty() {
                 "None".to_string()
             } else {
@@ -116,46 +90,42 @@ pub fn table4() -> String {
                     .join(",")
             };
             out.push_str(&format!("{cell:<12}"));
-            cols.push(codes);
         }
         out.push('\n');
-        rows.push((spec.label.to_string(), cols));
     }
 
-    let agg = agreement::analyze(&rows);
-    let codes = agreement::unique_codes(&rows);
     let _ = writeln!(
         out,
         "\nConsistent cases: {}/{} ({}), inconsistency {:.1}% (paper: 94%)",
-        agg.consistent,
-        agg.total,
-        agg.consistent_labels.join(", "),
-        agg.inconsistency_ratio() * 100.0
+        matrix.consistent,
+        matrix.total,
+        matrix.consistent_labels.join(", "),
+        matrix.inconsistency_ratio * 100.0
     );
     let _ = writeln!(
         out,
         "Unique INFO-CODEs triggered: {} {:?} (paper: 12)",
-        codes.len(),
-        codes
+        matrix.unique_codes.len(),
+        matrix.unique_codes
     );
     out
 }
 
 /// §5-style traffic accounting for one scan.
-pub fn traffic_line(result: &crate::scanner::ScanResult) -> String {
-    let (queries, delivered, failed) = result.traffic;
+pub fn traffic_line(snapshot: &StatsSnapshot) -> String {
+    let t = &snapshot.traffic;
     let mut out = format!(
         "Traffic: {} resolutions issued {} upstream queries ({} delivered, {} failed) — \
          {:.1} queries/resolution, {:.3} queries/domain \
          (paper: 11.5k pps peak over 12 h for 303M domains)",
-        result.resolutions,
-        queries,
-        delivered,
-        failed,
-        queries as f64 / result.resolutions.max(1) as f64,
-        result.queries_per_domain(),
+        t.resolutions,
+        t.queries,
+        t.delivered,
+        t.failed,
+        t.queries_per_resolution(),
+        snapshot.queries_per_domain(),
     );
-    if let Some(sweep) = &result.sweep {
+    if let Some(sweep) = &t.sweep {
         let _ = write!(
             out,
             "\nSweep: {} nonexistent-name probes, {} synthesized from cached ranges ({:.1}%), \
@@ -170,33 +140,22 @@ pub fn traffic_line(result: &crate::scanner::ScanResult) -> String {
 }
 
 /// The §4.2 inventory: per-code domain counts vs the paper's values.
-pub fn scan_summary(pop: &Population, agg: &Aggregate) -> String {
-    let cfg = &pop.config;
-    let paper: &[(u16, &str, u64)] = &[
-        (22, "No Reachable Authority", 13_965_865),
-        (23, "Network Error", 11_647_551),
-        (10, "RRSIGs Missing", 2_746_604),
-        (9, "DNSKEY Missing", 296_643),
-        (6, "DNSSEC Bogus", 82_465),
-        (24, "Invalid Data", 12_268),
-        (1, "Unsupported DNSKEY Algorithm", 8_751),
-        (7, "Signature Expired", 2_877),
-        (12, "NSEC Missing", 1_980),
-        (2, "Unsupported DS Digest Type", 62),
-        (3, "Stale Answer", 32),
-        (8, "Signature Not Yet Valid", 29),
-        (13, "Cached Error", 8),
-        (0, "Other", 7),
-    ];
-
+pub fn scan_summary(snapshot: &StatsSnapshot) -> String {
+    // The snapshot carries the scale divisor; the paper-count scaling
+    // rule itself lives on `PopulationConfig::scaled`.
+    let cfg = PopulationConfig {
+        scale: snapshot.scale,
+        ..Default::default()
+    };
+    let ede = &snapshot.ede;
     let mut out = String::new();
     let _ = writeln!(
         out,
         "Internet-wide scan (scale 1:{}) — {} domains, {} trigger EDE ({:.2}%)",
-        cfg.scale,
-        agg.total_domains,
-        agg.ede_domains,
-        100.0 * agg.ede_domains as f64 / agg.total_domains.max(1) as f64
+        snapshot.scale,
+        ede.total_domains,
+        ede.ede_domains,
+        100.0 * ede.ede_rate()
     );
     let _ = writeln!(out, "Paper: 303M domains, 17.7M trigger EDE (5.8%)\n");
     let _ = writeln!(
@@ -205,8 +164,8 @@ pub fn scan_summary(pop: &Population, agg: &Aggregate) -> String {
         "Code", "Description", "Measured", "Paper/scale", "Paper"
     );
     let _ = writeln!(out, "{}", "-".repeat(78));
-    for &(code, desc, paper_count) in paper {
-        let measured = agg.per_code.get(&code).copied().unwrap_or(0);
+    for &(code, desc, paper_count) in &PAPER_INVENTORY {
+        let measured = ede.per_code.get(&code).copied().unwrap_or(0);
         let expected = cfg.scaled(paper_count);
         let _ = writeln!(
             out,
@@ -215,28 +174,28 @@ pub fn scan_summary(pop: &Population, agg: &Aggregate) -> String {
         );
     }
 
-    let ns = &agg.ns_analysis;
+    let ns = &ede.nameservers;
     let _ = writeln!(
         out,
         "\nBroken nameservers observed via EXTRA-TEXT: {} (REFUSED {}, SERVFAIL {}, other {})",
-        ns.unique_ns, ns.refused_ns, ns.servfail_ns, ns.other_ns
+        ns.unique, ns.refused, ns.servfail, ns.other
     );
-    let cover = ns.ns_to_cover(0.81);
+    let cover = ns.fix_for(0.81);
     let _ = writeln!(
         out,
         "Fixing the top {cover} nameservers ({:.1}% of {}) repairs 81% of rcode-lame domains \
          (paper: 20k of 293k ≈ 6.8% repairs 81%)",
-        100.0 * cover as f64 / ns.unique_ns.max(1) as f64,
-        ns.unique_ns
+        100.0 * cover as f64 / ns.unique.max(1) as f64,
+        ns.unique
     );
     let _ = writeln!(
         out,
         "NOERROR answers still carrying EDE: {} (paper: 12.2k of the Tranco overlap)",
-        agg.noerror_with_ede
+        ede.noerror_with_ede
     );
 
     let _ = writeln!(out, "\nTop code combinations:");
-    let mut combos: Vec<(&Vec<u16>, &usize)> = agg.per_combo.iter().collect();
+    let mut combos: Vec<(&Vec<u16>, &usize)> = ede.per_combo.iter().collect();
     combos.sort_by(|a, b| b.1.cmp(a.1));
     for (combo, count) in combos.into_iter().take(10) {
         let _ = writeln!(out, "  {combo:?}: {count}");
@@ -244,83 +203,45 @@ pub fn scan_summary(pop: &Population, agg: &Aggregate) -> String {
     out
 }
 
-/// Machine-readable scan summary (JSON). Hand-rolled rather than pulled
-/// through a serialization framework: the shape is fixed and tiny, and
-/// every value is a number or a known-safe string.
-pub fn scan_json(pop: &Population, agg: &Aggregate) -> String {
-    let mut out = String::from("{\n");
-    let _ = writeln!(out, "  \"scale\": {},", pop.config.scale);
-    let _ = writeln!(out, "  \"total_domains\": {},", agg.total_domains);
-    let _ = writeln!(out, "  \"ede_domains\": {},", agg.ede_domains);
-    let _ = writeln!(out, "  \"noerror_with_ede\": {},", agg.noerror_with_ede);
-
-    let codes: Vec<String> = agg
-        .per_code
-        .iter()
-        .map(|(c, n)| format!("    \"{c}\": {n}"))
-        .collect();
-    let _ = writeln!(out, "  \"per_code\": {{\n{}\n  }},", codes.join(",\n"));
-
-    let combos: Vec<String> = agg
-        .per_combo
-        .iter()
-        .map(|(combo, n)| {
-            let key: Vec<String> = combo.iter().map(u16::to_string).collect();
-            format!("    \"{}\": {n}", key.join("+"))
-        })
-        .collect();
-    let _ = writeln!(out, "  \"per_combo\": {{\n{}\n  }},", combos.join(",\n"));
-
-    let ns = &agg.ns_analysis;
-    let _ = writeln!(
-        out,
-        "  \"nameservers\": {{ \"unique\": {}, \"refused\": {}, \"servfail\": {}, \"other\": {}, \"fix_for_81pct\": {} }},",
-        ns.unique_ns,
-        ns.refused_ns,
-        ns.servfail_ns,
-        ns.other_ns,
-        ns.ns_to_cover(0.81)
-    );
-    let _ = writeln!(out, "  \"tranco_overlap\": {}", agg.tranco_overlap());
-    out.push_str("}\n");
-    out
+/// Machine-readable scan summary: the versioned JSON document generated
+/// by [`StatsSnapshot::to_json`] (`schema_version` pinned by the golden
+/// test in `tests/streaming.rs`).
+pub fn scan_json(snapshot: &StatsSnapshot) -> String {
+    snapshot.to_json()
 }
 
 /// Figure 1: per-TLD misconfiguration-ratio CDFs.
-pub fn figure1(agg: &Aggregate) -> String {
+pub fn figure1(snapshot: &StatsSnapshot) -> String {
+    let tlds = &snapshot.tlds;
     let mut out = String::from(
         "Figure 1: Ratio of domains that trigger EDE codes across gTLDs and ccTLDs (CDF)\n\n",
     );
-    let g0 = stats::fraction_at(&agg.tld_ratios_gtld, 0.0);
-    let c0 = stats::fraction_at(&agg.tld_ratios_cctld, 0.0);
-    let g1 = stats::fraction_at(&agg.tld_ratios_gtld, 1.0);
-    let c1 = stats::fraction_at(&agg.tld_ratios_cctld, 1.0);
     let _ = writeln!(
         out,
         "gTLDs with zero misconfigured domains: {:.1}% (paper: ~38%)",
-        g0 * 100.0
+        tlds.gtld_zero_fraction() * 100.0
     );
     let _ = writeln!(
         out,
         "ccTLDs with zero misconfigured domains: {:.1}% (paper: ~4%)",
-        c0 * 100.0
+        tlds.cctld_zero_fraction() * 100.0
     );
     let _ = writeln!(
         out,
         "Fully misconfigured TLDs: {} gTLDs (paper: 11), {} ccTLDs (paper: 2)\n",
-        (g1 * agg.tld_ratios_gtld.len() as f64).round(),
-        (c1 * agg.tld_ratios_cctld.len() as f64).round()
+        tlds.gtld_fully_broken(),
+        tlds.cctld_fully_broken()
     );
     out.push_str("gTLD CDF:\n");
     out.push_str(&stats::ascii_cdf(
-        &agg.figure1_gtld(),
+        &tlds.gtld_cdf(),
         60,
         12,
         "ratio of domains",
     ));
     out.push_str("\nccTLD CDF:\n");
     out.push_str(&stats::ascii_cdf(
-        &agg.figure1_cctld(),
+        &tlds.cctld_cdf(),
         60,
         12,
         "ratio of domains",
@@ -330,36 +251,32 @@ pub fn figure1(agg: &Aggregate) -> String {
 
 /// Figure 2: distribution of EDE-triggering domains across the Tranco
 /// ranking.
-pub fn figure2(agg: &Aggregate, cfg: &PopulationConfig) -> String {
+pub fn figure2(snapshot: &StatsSnapshot) -> String {
+    let ranks = &snapshot.ranks;
     let mut out = String::from(
         "Figure 2: Distribution of EDE-triggering domains across the Tranco list (CDF)\n\n",
     );
-    let overlap = agg.tranco_overlap();
     let _ = writeln!(
         out,
         "Tranco members scanned: {} (scaled top-{}); overlap with EDE-triggering: {} \
          (paper: 22.1k of 1M)",
-        agg.tranco.len(),
-        cfg.tranco_size,
-        overlap
+        ranks.ranked,
+        ranks.tranco_size,
+        ranks.overlap()
     );
-    let series = agg.figure2();
-    // Uniformity check: the CDF of ranks should be close to the diagonal.
-    let max_dev = series
-        .iter()
-        .map(|&(x, y)| (y - x / f64::from(cfg.tranco_size)).abs())
-        .fold(0.0f64, f64::max);
     let _ = writeln!(
         out,
-        "Max deviation from uniform: {max_dev:.3} (paper: evenly distributed)\n"
+        "Max deviation from uniform: {:.3} (paper: evenly distributed)\n",
+        ranks.max_uniform_deviation()
     );
-    out.push_str(&stats::ascii_cdf(&series, 60, 12, "Tranco rank"));
+    out.push_str(&stats::ascii_cdf(&ranks.cdf(), 60, 12, "Tranco rank"));
     out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ede_testbed::domains::all_specs;
 
     #[test]
     fn table1_lists_all_codes() {

@@ -1,40 +1,26 @@
 //! The scanner: drive a resolver over the whole input list from a
-//! worker pool, plus the revisit pass for flap/cache phenomena.
+//! worker pool, folding results into the streaming analytics pipeline
+//! as it goes — per-worker partial aggregates merged into a shared
+//! snapshot store, a bounded query-log ring instead of an unbounded
+//! outcome buffer — plus the revisit pass for flap/cache phenomena.
 
-use crate::population::{Category, Population};
+use crate::aggregate::PartialAggregate;
+use crate::population::Population;
+use crate::querylog::{QueryLog, QueryLogStats, QueryRecord};
+use crate::stats::v1::StatsSnapshot;
+use crate::stream::{LiveCtx, SnapshotStore, StreamReport};
 use crate::world::ScanWorld;
 use ede_resolver::{
     CacheStatsSnapshot, InfraStatsSnapshot, L1Cache, L1StatsSnapshot, Resolution, ResolutionPool,
     Resolver, RetryPolicy, Vendor, VendorProfile,
 };
-use ede_trace::{Metrics, MetricsSnapshot};
-use ede_wire::{Name, Rcode, RrType};
-use std::collections::VecDeque;
+use ede_trace::{Metrics, MetricsSnapshot, SnapshotSink};
+use ede_wire::{Name, RrType};
+use std::collections::{BTreeMap, VecDeque};
+use std::path::PathBuf;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-
-/// One observed resolution. `PartialEq` lets tests assert bit-identical
-/// results across worker counts.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Observation {
-    /// The queried domain.
-    pub name: Name,
-    /// Planted ground truth (for calibration cross-checks only; the
-    /// aggregation works from the observed codes).
-    pub category: Category,
-    /// TLD index.
-    pub tld: usize,
-    /// Tranco rank, if ranked.
-    pub rank: Option<u32>,
-    /// Final RCODE.
-    pub rcode: Rcode,
-    /// Observed EDE codes, wire order.
-    pub codes: Vec<u16>,
-    /// EXTRA-TEXT of the Network Error entry, when present (feeds the
-    /// §4.2.2 nameserver analysis).
-    pub network_error_text: Option<String>,
-}
 
 /// Per-tier cache accounting for one scan: the workers' private L1
 /// tiers (summed), the shared L2 store, and the infrastructure cache.
@@ -102,7 +88,7 @@ impl ScanCacheReport {
 /// Accounting for the post-scan synthesis sweep: deterministic
 /// nonexistent-name probes that measure how much of each TLD's denial
 /// space the range tier already covers. Sweep probes never contribute
-/// observations — they exist purely to exercise RFC 8198 synthesis.
+/// records — they exist purely to exercise RFC 8198 synthesis.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SweepReport {
     /// Probe resolutions issued.
@@ -122,10 +108,20 @@ impl SweepReport {
 
 /// The complete scan output.
 pub struct ScanResult {
-    /// One observation per input domain (the revisit pass overwrites the
-    /// first observation for flap/cache domains, as "the last response
-    /// wins" in a longitudinal probe).
-    pub observations: Vec<Observation>,
+    /// The final streaming-aggregation snapshot (`complete == true`):
+    /// every report number, typed. This is what the renderers in
+    /// [`crate::report`] consume.
+    pub stats: StatsSnapshot,
+    /// The query-log ring's retained records, in arrival (`seq`) order.
+    /// Both passes appear (a revisited domain has a pass-1 and a pass-2
+    /// record); with a ring smaller than the query count, the oldest
+    /// records were spilled or dropped — `log.spilled` / `log.dropped`
+    /// say which.
+    pub records: Vec<QueryRecord>,
+    /// Query-log occupancy and spill accounting.
+    pub log: QueryLogStats,
+    /// Streaming-pipeline counters (merge count/cost, exports).
+    pub stream: StreamReport,
     /// Number of resolutions performed (both passes).
     pub resolutions: usize,
     /// Transport-level traffic counters: (queries, delivered, failed) —
@@ -144,17 +140,31 @@ pub struct ScanResult {
     pub cache: ScanCacheReport,
     /// Synthesis-sweep accounting, when [`ScanConfig::sweep_ratio`] was
     /// nonzero. The sweep runs after both passes with the range tier
-    /// frozen, so it never perturbs the observations above.
+    /// frozen, so it never perturbs the records above.
     pub sweep: Option<SweepReport>,
 }
 
 impl ScanResult {
+    /// The final record per domain ("the last response wins", as in a
+    /// longitudinal probe): pass-2 records shadow pass-1 records for
+    /// revisited domains. Returned in domain-index order. With a ring
+    /// smaller than the population, domains whose records rotated out
+    /// are absent.
+    pub fn final_records(&self) -> Vec<&QueryRecord> {
+        let mut last: BTreeMap<usize, &QueryRecord> = BTreeMap::new();
+        for r in &self.records {
+            // `records` is in seq order, so a later insert is a later
+            // response.
+            last.insert(r.domain, r);
+        }
+        last.into_values().collect()
+    }
+
     /// Upstream queries per *registered domain* — the paper's §5 cost
-    /// metric. The denominator is the domain count (one observation per
-    /// domain), not the resolution count: revisit passes and sweep
-    /// probes spend queries without adding domains.
+    /// metric, derived from the shared [`StatsSnapshot`] so the report
+    /// and the bench writer can never drift.
     pub fn queries_per_domain(&self) -> f64 {
-        self.traffic.0 as f64 / self.observations.len().max(1) as f64
+        self.stats.queries_per_domain()
     }
 }
 
@@ -199,7 +209,7 @@ pub struct ScanConfig {
     /// Nonexistent-name probes per registered domain for the post-scan
     /// synthesis sweep (`0.0`, the default, disables the sweep). The
     /// sweep runs after both passes with the range tier frozen and its
-    /// probes excluded from the observations, so any setting leaves the
+    /// probes excluded from the records, so any setting leaves the
     /// scan report untouched.
     pub sweep_ratio: f64,
     /// Bound the resolver's range tier to this many spans (`None` keeps
@@ -207,6 +217,19 @@ pub struct ScanConfig {
     pub max_range_entries: Option<usize>,
     /// Bound the resolver's range tier to this many bytes.
     pub max_range_bytes: Option<usize>,
+    /// Virtual-clock seconds between mid-scan snapshot exports (only
+    /// meaningful when sinks are registered via [`scan_streaming`]).
+    /// `0` disables mid-scan exports; the final snapshot always
+    /// exports. Purely an observability knob: the cadence cannot change
+    /// results (see `docs/CONCURRENCY.md`).
+    pub snapshot_cadence_secs: u64,
+    /// Query-log ring capacity (records retained in memory). Purely a
+    /// memory knob: the streaming aggregation never reads the ring, so
+    /// any capacity produces the same report.
+    pub query_log_capacity: usize,
+    /// Spill rotated-out query-log records to this JSONL file instead
+    /// of dropping them (`None` drops, counted).
+    pub query_log_spill: Option<PathBuf>,
 }
 
 impl Default for ScanConfig {
@@ -245,6 +268,9 @@ impl Default for ScanConfig {
             sweep_ratio: 0.0,
             max_range_entries: None,
             max_range_bytes: None,
+            snapshot_cadence_secs: 60,
+            query_log_capacity: 65_536,
+            query_log_spill: None,
         }
     }
 }
@@ -269,8 +295,11 @@ impl ScanConfig {
 ///     .workers(1)
 ///     .vendor(Vendor::Cloudflare)
 ///     .retry(RetryPolicy::default())
+///     .snapshot_cadence_secs(30)
+///     .query_log_capacity(4096)
 ///     .build();
 /// assert_eq!(config.workers, 1);
+/// assert_eq!(config.query_log_capacity, 4096);
 /// ```
 #[derive(Debug, Clone)]
 pub struct ScanConfigBuilder {
@@ -345,37 +374,60 @@ impl ScanConfigBuilder {
         self
     }
 
+    /// Set the mid-scan snapshot export cadence (virtual seconds; `0`
+    /// exports only the final snapshot).
+    pub fn snapshot_cadence_secs(mut self, secs: u64) -> Self {
+        self.config.snapshot_cadence_secs = secs;
+        self
+    }
+
+    /// Set the query-log ring capacity.
+    pub fn query_log_capacity(mut self, n: usize) -> Self {
+        self.config.query_log_capacity = n.max(1);
+        self
+    }
+
+    /// Spill rotated-out query-log records to a JSONL file.
+    pub fn query_log_spill(mut self, path: Option<PathBuf>) -> Self {
+        self.config.query_log_spill = path;
+        self
+    }
+
     /// Finish, yielding the configuration.
     pub fn build(self) -> ScanConfig {
         self.config
     }
 }
 
-/// Fold one finished resolution into the scan's observation shape.
-fn observation_from(pop: &Population, idx: usize, res: &Resolution) -> Observation {
+/// Fold one finished resolution into a query record.
+fn record_from(
+    pop: &Population,
+    idx: usize,
+    res: &Resolution,
+    vendor: Vendor,
+    pass: u8,
+    vtime_ms: u64,
+) -> QueryRecord {
     let d = &pop.domains[idx];
     let network_error_text = res
         .ede
         .iter()
         .find(|e| e.code.to_u16() == 23)
         .map(|e| e.extra_text.clone());
-    Observation {
-        name: d.name.clone(),
-        category: d.category,
+    QueryRecord {
+        seq: 0, // assigned by the query log at push
+        vtime_ms,
+        pass,
+        domain: idx,
+        name: d.name.to_string(),
         tld: d.tld,
         rank: d.rank,
+        category: d.category,
+        vendor,
         rcode: res.rcode,
         codes: res.ede_codes(),
         network_error_text,
     }
-}
-
-fn observe(resolver: &Resolver, pop: &Population, idx: usize, l1: Option<&L1Cache>) -> Observation {
-    let res = match l1 {
-        Some(l1) => resolver.resolve_l1(&pop.domains[idx].name, RrType::A, l1),
-        None => resolver.resolve(&pop.domains[idx].name, RrType::A),
-    };
-    observation_from(pop, idx, &res)
 }
 
 /// Detaches the world's trace sink on drop — including during unwind,
@@ -393,7 +445,9 @@ impl Drop for SinkGuard<'_> {
 
 /// How many domains a worker claims per cursor bump. Chunking amortizes
 /// the shared-cursor traffic without hurting load balance: chunks are
-/// tiny relative to any real population.
+/// tiny relative to any real population. The same chunk is the unit of
+/// streaming delivery: one query-log push and one partial-aggregate
+/// merge per chunk, so neither lock is per-resolution hot.
 const CLAIM_CHUNK: usize = 16;
 
 /// Shared progress state for [`parallel_pass`].
@@ -421,61 +475,117 @@ impl PassProgress<'_> {
     }
 }
 
+/// Everything a pass worker needs besides the resolver: the streaming
+/// destinations and the fold gate.
+struct PassCtx<'a> {
+    /// Which pass this is (stamped into records).
+    pass: u8,
+    /// Pass 1 skips folding revisit-category domains — their final
+    /// record comes from pass 2, and each domain must fold exactly
+    /// once. Pass 2 folds everything it resolves.
+    fold_revisit: bool,
+    store: &'a SnapshotStore,
+    live: &'a LiveCtx<'a>,
+    progress: &'a PassProgress<'a>,
+}
+
+impl PassCtx<'_> {
+    /// Should this record fold into the streaming aggregate?
+    fn folds(&self, idx: usize) -> bool {
+        self.fold_revisit || !self.live.pop.domains[idx].category.needs_revisit()
+    }
+
+    /// Deliver one finished chunk: a single ring push and a single
+    /// store merge.
+    fn flush(&self, records: Vec<QueryRecord>, chunk_agg: PartialAggregate) {
+        self.live.log.push_batch(records);
+        self.store.merge(chunk_agg, self.live);
+    }
+
+    /// Build the record for one finished resolution and fold it if the
+    /// gate says so.
+    fn record(
+        &self,
+        idx: usize,
+        res: &Resolution,
+        chunk_agg: &mut PartialAggregate,
+    ) -> QueryRecord {
+        let rec = record_from(
+            self.live.pop,
+            idx,
+            res,
+            self.live.vendor,
+            self.pass,
+            self.live.net.clock().now_millis(),
+        );
+        if self.folds(idx) {
+            chunk_agg.fold(&rec);
+        }
+        self.progress.tick();
+        rec
+    }
+}
+
 /// The blocking worker body (`inflight == 1`): resolve each claimed
 /// domain to completion before touching the next. This is the historical
 /// scan path, kept verbatim as the byte-identity baseline.
 fn blocking_worker(
     resolver: &Resolver,
-    pop: &Population,
+    ctx: &PassCtx<'_>,
     indices: &[usize],
     cursor: &AtomicUsize,
     use_l1: bool,
-    progress: &PassProgress<'_>,
-) -> (Vec<(usize, Observation)>, L1StatsSnapshot) {
+) -> L1StatsSnapshot {
     // The worker's private tier: lives on this thread, dies with this
     // pass, never shared — which is what lets it skip synchronization
     // entirely.
     let l1 = use_l1.then(L1Cache::new);
-    let mut buf: Vec<(usize, Observation)> = Vec::new();
+    let pop = ctx.live.pop;
     loop {
         let start = cursor.fetch_add(CLAIM_CHUNK, Ordering::Relaxed);
         if start >= indices.len() {
             break;
         }
         let end = (start + CLAIM_CHUNK).min(indices.len());
+        let mut records = Vec::with_capacity(end - start);
+        let mut chunk_agg = PartialAggregate::default();
         for &i in &indices[start..end] {
-            let obs = observe(resolver, pop, i, l1.as_ref());
-            progress.tick();
-            buf.push((i, obs));
+            let res = match &l1 {
+                Some(l1) => resolver.resolve_l1(&pop.domains[i].name, RrType::A, l1),
+                None => resolver.resolve(&pop.domains[i].name, RrType::A),
+            };
+            records.push(ctx.record(i, &res, &mut chunk_agg));
         }
+        ctx.flush(records, chunk_agg);
     }
-    let stats = l1.map(|l1| l1.stats()).unwrap_or_default();
-    (buf, stats)
+    l1.map(|l1| l1.stats()).unwrap_or_default()
 }
 
 /// The event-driven worker body (`inflight > 1`): keep up to `inflight`
 /// resumable resolutions in flight on one [`ResolutionPool`], refilling
 /// from the shared cursor (same `CLAIM_CHUNK` claiming as the blocking
-/// path) as tasks complete. Results surface in completion order; the
-/// carried index puts them back in their slots.
+/// path) as tasks complete. Results surface in completion order and
+/// stream out in completion-order chunks; the streaming fold is
+/// order-independent, so this changes nothing downstream.
 fn pooled_worker(
     resolver: &Arc<Resolver>,
-    pop: &Population,
+    ctx: &PassCtx<'_>,
     indices: &[usize],
     cursor: &AtomicUsize,
     inflight: usize,
     use_l1: bool,
-    progress: &PassProgress<'_>,
-) -> (Vec<(usize, Observation)>, L1StatsSnapshot) {
+) -> L1StatsSnapshot {
     // Every task spawned on this pool runs on this thread, so they all
     // share one `Rc<L1Cache>` — legal precisely because `spawn` has no
     // `Send` bound (see `docs/CONCURRENCY.md`).
     let l1 = use_l1.then(|| Rc::new(L1Cache::new()));
-    let mut buf: Vec<(usize, Observation)> = Vec::new();
+    let pop = ctx.live.pop;
     let mut pool: ResolutionPool<(usize, Resolution)> =
         ResolutionPool::new(resolver.network_shared());
     let mut backlog: VecDeque<usize> = VecDeque::new();
     let mut exhausted = false;
+    let mut records = Vec::with_capacity(CLAIM_CHUNK);
+    let mut chunk_agg = PartialAggregate::default();
     loop {
         while pool.in_flight() < inflight && !(exhausted && backlog.is_empty()) {
             if backlog.is_empty() {
@@ -502,9 +612,13 @@ fn pooled_worker(
         }
         match pool.next() {
             Some((i, res)) => {
-                let obs = observation_from(pop, i, &res);
-                progress.tick();
-                buf.push((i, obs));
+                records.push(ctx.record(i, &res, &mut chunk_agg));
+                if records.len() >= CLAIM_CHUNK {
+                    ctx.flush(
+                        std::mem::replace(&mut records, Vec::with_capacity(CLAIM_CHUNK)),
+                        std::mem::take(&mut chunk_agg),
+                    );
+                }
             }
             None => {
                 debug_assert!(exhausted && backlog.is_empty());
@@ -512,37 +626,36 @@ fn pooled_worker(
             }
         }
     }
-    let stats = l1.map(|l1| l1.stats()).unwrap_or_default();
-    (buf, stats)
+    ctx.flush(records, chunk_agg);
+    l1.map(|l1| l1.stats()).unwrap_or_default()
 }
 
 /// One parallel pass over `indices`: workers claim chunks off a shared
-/// cursor and push `(slot, observation)` pairs into **private** buffers,
-/// returned to the caller for merging after the scope joins. There is no
-/// shared output structure, so result delivery is lock-free; slot order
-/// in the merged vector is irrelevant because each index appears exactly
-/// once.
+/// cursor, fold each chunk into a **private** partial aggregate, and
+/// stream it — one query-log push and one snapshot-store merge per
+/// chunk. There is no end-of-pass output structure at all: by the time
+/// the scope joins, every record is already in the ring and every fold
+/// already merged.
 ///
 /// Each worker multiplexes `inflight` resolutions on an event-driven
 /// task pool (`inflight == 1` short-circuits to the blocking path).
 fn parallel_pass(
     resolver: &Arc<Resolver>,
-    pop: &Population,
+    ctx: &PassCtx<'_>,
     indices: &[usize],
     workers: usize,
     inflight: usize,
     use_l1: bool,
-    progress: &PassProgress<'_>,
-) -> (Vec<(usize, Observation)>, L1StatsSnapshot) {
+) -> L1StatsSnapshot {
     let cursor = AtomicUsize::new(0);
-    let buffers: Vec<(Vec<(usize, Observation)>, L1StatsSnapshot)> = std::thread::scope(|s| {
+    let stats: Vec<L1StatsSnapshot> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers.max(1))
             .map(|_| {
                 s.spawn(|| {
                     if inflight > 1 {
-                        pooled_worker(resolver, pop, indices, &cursor, inflight, use_l1, progress)
+                        pooled_worker(resolver, ctx, indices, &cursor, inflight, use_l1)
                     } else {
-                        blocking_worker(resolver, pop, indices, &cursor, use_l1, progress)
+                        blocking_worker(resolver, ctx, indices, &cursor, use_l1)
                     }
                 })
             })
@@ -553,12 +666,10 @@ fn parallel_pass(
             .collect()
     });
     let mut l1 = L1StatsSnapshot::default();
-    let mut merged = Vec::new();
-    for (buf, stats) in buffers {
-        l1.merge(&stats);
-        merged.extend(buf);
+    for s in stats {
+        l1.merge(&s);
     }
-    (merged, l1)
+    l1
 }
 
 /// Deterministic nonexistent probe names for the synthesis sweep: per
@@ -584,7 +695,7 @@ fn sweep_probes(pop: &Population, ratio: f64) -> Vec<Name> {
 
 /// Drive the sweep probes through the worker pool, discarding results:
 /// sweep probes measure the range tier, they never contribute
-/// observations. Runs with the range tier frozen (the caller freezes
+/// records. Runs with the range tier frozen (the caller freezes
 /// it), so every probe's outcome is a pure function of what the two
 /// passes retained — bit-identical at any worker count or in-flight
 /// window, exactly like the passes themselves.
@@ -638,12 +749,33 @@ fn sweep_pass(resolver: &Arc<Resolver>, probes: &[Name], workers: usize, infligh
     });
 }
 
+/// Run the scan with no snapshot sinks attached. Equivalent to
+/// [`scan_streaming`] with an empty sink list; the streaming pipeline
+/// still runs (it is *the* aggregation path), it just exports nothing
+/// mid-flight.
+pub fn scan(pop: &Population, world: &ScanWorld, config: &ScanConfig) -> ScanResult {
+    scan_streaming(pop, world, config, &[])
+}
+
 /// Run the scan: one pass over every domain, then a clock advance and a
 /// revisit pass over the flap/cache categories (the paper's probes hit
 /// such domains repeatedly through Cloudflare's shared cache). Both
-/// passes run on the worker pool; results are bit-identical at any
-/// worker count.
-pub fn scan(pop: &Population, world: &ScanWorld, config: &ScanConfig) -> ScanResult {
+/// passes run on the worker pool and stream their results — per-chunk
+/// partial aggregates merged into a shared snapshot store, records into
+/// the bounded query-log ring — so there is no end-of-scan aggregation
+/// barrier and no unbounded outcome buffer. Results are bit-identical
+/// at any worker count, in-flight window, or snapshot cadence.
+///
+/// `sinks` receive a [`StatsSnapshot`] JSON document at every cadence
+/// boundary of the virtual clock (see
+/// [`ScanConfig::snapshot_cadence_secs`]) and one final complete
+/// snapshot.
+pub fn scan_streaming(
+    pop: &Population,
+    world: &ScanWorld,
+    config: &ScanConfig,
+    sinks: &[Arc<dyn SnapshotSink>],
+) -> ScanResult {
     // Every transport/resolver/EDE event of the scan feeds the metrics
     // registry through the trace pipeline. The guard detaches the sink
     // when `scan` returns *or unwinds*.
@@ -676,6 +808,14 @@ pub fn scan(pop: &Population, world: &ScanWorld, config: &ScanConfig) -> ScanRes
         resolver_config,
     ));
 
+    let log = QueryLog::new(config.query_log_capacity, config.query_log_spill.as_deref())
+        .expect("query-log spill file must be creatable");
+    let store = SnapshotStore::new(
+        sinks.to_vec(),
+        config.snapshot_cadence_secs,
+        world.net.clock().now_millis(),
+    );
+
     // Prime the infrastructure cache: one serial (TLD, NS) resolution
     // per TLD walks every root→TLD delegation once, *before* the
     // workers start. Without this, which resolution populates a given
@@ -703,52 +843,62 @@ pub fn scan(pop: &Population, world: &ScanWorld, config: &ScanConfig) -> ScanRes
         total: n + revisit.len(),
         enabled: config.progress,
     };
-
-    // Pass 1: everything, in parallel.
-    let mut l1_stats = L1StatsSnapshot::default();
-    let mut observations: Vec<Option<Observation>> = vec![None; n];
-    let (pass1, pass1_l1) = parallel_pass(
-        &resolver,
+    let live = LiveCtx {
         pop,
+        net: &world.net,
+        resolver: &resolver,
+        log: &log,
+        resolutions: &resolutions,
+        vendor: config.vendor,
+        scale: pop.config.scale,
+        tranco_size: pop.config.tranco_size,
+    };
+
+    // Pass 1: everything, in parallel. Revisit-category domains are
+    // recorded but not folded — their final answer comes from pass 2.
+    let mut l1_stats = L1StatsSnapshot::default();
+    let ctx1 = PassCtx {
+        pass: 1,
+        fold_revisit: false,
+        store: &store,
+        live: &live,
+        progress: &progress,
+    };
+    l1_stats.merge(&parallel_pass(
+        &resolver,
+        &ctx1,
         &first_pass,
         config.workers,
         config.inflight,
         config.l1,
-        &progress,
-    );
-    l1_stats.merge(&pass1_l1);
-    for (i, obs) in pass1 {
-        observations[i] = Some(obs);
-    }
-    let mut observations: Vec<Observation> = observations
-        .into_iter()
-        .map(|o| o.expect("filled"))
-        .collect();
+    ));
 
     // Pass 2: revisit flap/cache domains after the flap window ("the
     // last response wins", as in a longitudinal probe).
     world.net.clock().advance_secs(120);
-    let (pass2, pass2_l1) = parallel_pass(
+    let ctx2 = PassCtx {
+        pass: 2,
+        fold_revisit: true,
+        store: &store,
+        live: &live,
+        progress: &progress,
+    };
+    l1_stats.merge(&parallel_pass(
         &resolver,
-        pop,
+        &ctx2,
         &revisit,
         config.workers,
         config.inflight,
         config.l1,
-        &progress,
-    );
-    l1_stats.merge(&pass2_l1);
-    for (i, obs) in pass2 {
-        observations[i] = obs;
-    }
+    ));
 
     // Sweep phase: after both passes finish (and therefore after every
-    // observation is final), freeze the range tier and probe
-    // deterministic nonexistent names against it. Freezing makes every
-    // probe's outcome a pure function of what the passes retained —
+    // record is final), freeze the range tier and probe deterministic
+    // nonexistent names against it. Freezing makes every probe's
+    // outcome a pure function of what the passes retained —
     // deterministic at any worker count — and running strictly last
-    // means the sweep cannot perturb observations, whatever it does to
-    // the caches.
+    // means the sweep cannot perturb records, whatever it does to the
+    // caches.
     let sweep = (config.sweep_ratio > 0.0).then(|| {
         resolver.freeze_ranges(true);
         let range_before = resolver.range_stats();
@@ -783,8 +933,32 @@ pub fn scan(pop: &Population, world: &ScanWorld, config: &ScanConfig) -> ScanRes
         }
     }
 
+    // The final snapshot: the merged streaming aggregate plus the
+    // counters only the end of the scan can know (summed L1 tiers, the
+    // sweep report). Exported to every sink regardless of cadence.
+    let agg = store.finalize(pop);
+    let stats = StatsSnapshot::from_parts(
+        store.claim_seq(),
+        world.net.clock().now_millis(),
+        true,
+        pop.config.scale,
+        pop.config.tranco_size,
+        &agg,
+        &cache,
+        resolutions.load(Ordering::Relaxed),
+        world.net.stats().snapshot(),
+        sweep.as_ref(),
+        log.stats(),
+    );
+    let stream = store.finish(&stats);
+
+    let log_stats = log.stats();
+    let records = log.into_records();
     ScanResult {
-        observations,
+        stats,
+        records,
+        log: log_stats,
+        stream,
         resolutions: resolutions.into_inner(),
         traffic: world.net.stats().snapshot(),
         traffic_full: world.net.stats().snapshot_full(),
@@ -797,18 +971,22 @@ pub fn scan(pop: &Population, world: &ScanWorld, config: &ScanConfig) -> ScanRes
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::population::PopulationConfig;
+    use crate::population::{Category, PopulationConfig};
+    use ede_wire::Rcode;
 
     #[test]
     fn tiny_scan_end_to_end() {
         let pop = Population::generate(PopulationConfig::tiny());
         let world = ScanWorld::build(&pop);
         let result = scan(&pop, &world, &ScanConfig::builder().workers(4).build());
-        assert_eq!(result.observations.len(), pop.domains.len());
+        let finals = result.final_records();
+        assert_eq!(finals.len(), pop.domains.len());
+        assert_eq!(result.stats.ede.total_domains, pop.domains.len());
         assert!(result.resolutions >= pop.domains.len());
+        assert!(result.stats.complete);
 
         // Healthy domains resolve cleanly; lame ones carry codes.
-        for obs in &result.observations {
+        for obs in finals {
             match obs.category {
                 Category::HealthyUnsigned | Category::HealthySigned => {
                     assert_eq!(obs.rcode, Rcode::NoError, "{}", obs.name);
@@ -829,9 +1007,10 @@ mod tests {
     }
 
     /// The contention work (sharded caches, per-worker buffers,
-    /// singleflight key fetches) must not buy speed with nondeterminism:
-    /// 1 worker and 16 workers must produce identical observations,
-    /// aggregates, metrics counters, and traffic totals.
+    /// singleflight key fetches, streaming merges) must not buy speed
+    /// with nondeterminism: 1 worker and 16 workers must produce
+    /// identical records, streaming aggregates, metrics counters, and
+    /// traffic totals.
     #[test]
     fn worker_count_does_not_change_results() {
         let run = |workers: usize| {
@@ -850,10 +1029,12 @@ mod tests {
         };
         let (serial, agg_serial) = run(1);
         let (parallel, agg_parallel) = run(16);
-        assert_eq!(serial.observations, parallel.observations);
+        assert_eq!(serial.final_records(), parallel.final_records());
         assert_eq!(serial.resolutions, parallel.resolutions);
         assert_eq!(serial.traffic, parallel.traffic);
         assert_eq!(serial.metrics, parallel.metrics);
+        assert!(serial.stats.same_results(&parallel.stats));
+        assert_eq!(serial.stats.fingerprint, parallel.stats.fingerprint);
         assert_eq!(agg_serial.per_code, agg_parallel.per_code);
         assert_eq!(agg_serial.per_combo, agg_parallel.per_combo);
         assert_eq!(agg_serial.ede_domains, agg_parallel.ede_domains);
@@ -862,7 +1043,7 @@ mod tests {
 
     /// The event-driven task pools must not buy concurrency with
     /// changed results either: any in-flight window produces the same
-    /// observations, aggregates, traffic totals, and metrics counters
+    /// records, aggregates, traffic totals, and metrics counters
     /// as the blocking single-resolution path. Only the scheduler
     /// statistics (task counts, peak gauges) may differ — they measure
     /// the scheduling itself, so the comparison strips them.
@@ -886,12 +1067,17 @@ mod tests {
         for (workers, inflight) in [(1, 2), (1, 64), (4, 16)] {
             let (pooled, agg_pooled) = run(workers, inflight);
             assert_eq!(
-                blocking.observations, pooled.observations,
+                blocking.final_records(),
+                pooled.final_records(),
                 "inflight {inflight}"
             );
             assert_eq!(blocking.resolutions, pooled.resolutions);
             assert_eq!(blocking.traffic, pooled.traffic);
             assert_eq!(blocking.traffic_full, pooled.traffic_full);
+            assert!(
+                blocking.stats.same_results(&pooled.stats),
+                "inflight {inflight}"
+            );
             assert_eq!(
                 blocking.metrics.without_scheduler_stats(),
                 pooled.metrics.without_scheduler_stats(),
@@ -911,12 +1097,12 @@ mod tests {
     }
 
     /// The RFC 8198 pin: turning denial synthesis on (with a sweep)
-    /// must leave every observation — and therefore the whole per-EDE /
+    /// must leave every record — and therefore the whole per-EDE /
     /// per-TLD report — byte-identical to the synthesis-free scan.
     /// Registered names are chain owners of their TLD's NSEC3 registry,
     /// so no validated range ever covers one; only the sweep's
     /// nonexistent probes synthesize, and those are excluded from the
-    /// observations. The sweep itself must really fire (nonzero
+    /// records. The sweep itself must really fire (nonzero
     /// synthesis, cheaper traffic) and stay deterministic across
     /// worker/in-flight configurations.
     #[test]
@@ -934,20 +1120,18 @@ mod tests {
                     .sweep_ratio(1.5)
                     .build(),
             );
-            let agg = crate::aggregate::aggregate(&pop, &result);
-            let json = crate::report::scan_json(&pop, &agg);
-            let summary = crate::report::scan_summary(&pop, &agg);
-            (result, json, summary)
+            let summary = crate::report::scan_summary(&result.stats);
+            (result, summary)
         };
-        let (off, json_off, summary_off) = run(false, 1, 1);
-        let (on, json_on, summary_on) = run(true, 1, 1);
+        let (off, summary_off) = run(false, 1, 1);
+        let (on, summary_on) = run(true, 1, 1);
 
-        // Byte-identical reports: synthesis changes traffic, never what
-        // the scan observes.
-        assert_eq!(off.observations, on.observations);
-        assert_eq!(json_off, json_on, "per-EDE/per-TLD JSON report changed");
+        // Identical results: synthesis changes traffic, never what the
+        // scan observes. (The full JSON documents differ only in the
+        // traffic/cache performance sections, so compare results.)
+        assert_eq!(off.final_records(), on.final_records());
+        assert!(off.stats.same_results(&on.stats), "scan results changed");
         assert_eq!(summary_off, summary_on, "human summary changed");
-        assert_eq!(off.observations.len(), on.observations.len());
 
         // The sweep ran in both legs, probing the same names; only the
         // synthesis leg answered some from the range tier.
@@ -967,14 +1151,19 @@ mod tests {
         assert!(on.queries_per_domain() < off.queries_per_domain());
         assert!(on.cache.range.hits > 0);
         assert_eq!(off.cache.range.hits + off.cache.range.misses, 0);
+        // The sweep rides into the snapshot's traffic section.
+        assert_eq!(
+            on.stats.traffic.sweep.as_ref().map(|s| s.synthesized),
+            Some(sweep_on.synthesized)
+        );
 
         // Deterministic at any worker count / in-flight window, sweep
-        // included: same observations, same traffic, same sweep report.
-        let (on_parallel, json_par, _) = run(true, 4, 16);
-        assert_eq!(on.observations, on_parallel.observations);
+        // included: same records, same traffic, same sweep report.
+        let (on_parallel, _) = run(true, 4, 16);
+        assert_eq!(on.final_records(), on_parallel.final_records());
         assert_eq!(on.traffic, on_parallel.traffic);
         assert_eq!(on.sweep, on_parallel.sweep);
-        assert_eq!(json_on, json_par);
+        assert!(on.stats.same_results(&on_parallel.stats));
     }
 
     /// A panic inside the scan must not leak the metrics sink into the
@@ -1006,11 +1195,14 @@ mod tests {
             let pop = Population::generate(PopulationConfig::tiny());
             let world = ScanWorld::build(&pop);
             let result = scan(&pop, &world, &ScanConfig::builder().workers(2).build());
-            result
-                .observations
-                .iter()
-                .map(|o| (o.name.to_string(), o.codes.clone()))
-                .collect::<Vec<_>>()
+            (
+                result.stats.fingerprint,
+                result
+                    .final_records()
+                    .iter()
+                    .map(|o| (o.name.clone(), o.codes.clone()))
+                    .collect::<Vec<_>>(),
+            )
         };
         assert_eq!(run(), run());
     }

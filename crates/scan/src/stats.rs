@@ -1,4 +1,7 @@
-//! Small statistics utilities: CDFs and concentration curves.
+//! Statistics: CDF/concentration utilities plus the versioned typed
+//! report DTOs in [`v1`].
+
+pub mod v1;
 
 /// Empirical CDF of `values`: returns (value, cumulative fraction)
 /// pairs, sorted ascending. The fractions reach 1.0 at the maximum.

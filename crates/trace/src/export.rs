@@ -1,0 +1,150 @@
+//! Snapshot export hooks: where incremental aggregation snapshots go.
+//!
+//! The scan's streaming analytics pipeline (see `ede-scan`) merges
+//! per-worker partial aggregates into a shared snapshot store at a
+//! configurable cadence on the virtual clock. Each time a cadence
+//! boundary is crossed, the merging worker serializes the current
+//! [`StatsSnapshot`] to JSON and hands it to every registered
+//! [`SnapshotSink`]. This module defines the sink contract and two
+//! stock implementations; it deliberately knows nothing about the
+//! snapshot *schema* — the payload is an opaque, versioned JSON
+//! document (`schema_version` is part of it), so the trace crate never
+//! depends on scan types.
+//!
+//! [`StatsSnapshot`]: https://docs.rs/ede-scan (the `stats::v1` module)
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// A destination for exported aggregation snapshots.
+///
+/// Implementations must be cheap and non-blocking where possible: the
+/// exporting thread is a scan worker, and a slow sink slows the scan.
+pub trait SnapshotSink: Send + Sync {
+    /// Receive one exported snapshot.
+    ///
+    /// `seq` increases strictly across exports from one store;
+    /// `vtime_ms` is the virtual-clock stamp of the export; `json` is
+    /// the full serialized snapshot document (single line, no trailing
+    /// newline).
+    fn export_snapshot(&self, seq: u64, vtime_ms: u64, json: &str);
+}
+
+/// One exported snapshot retained by [`MemorySnapshotSink`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotEntry {
+    /// Export sequence number (strictly increasing per store).
+    pub seq: u64,
+    /// Virtual-clock stamp of the export (ms since the Unix epoch).
+    pub vtime_ms: u64,
+    /// The serialized snapshot document.
+    pub json: String,
+}
+
+/// An in-memory sink retaining every exported snapshot — for tests and
+/// the `--stream-smoke` CI leg.
+#[derive(Debug, Default)]
+pub struct MemorySnapshotSink {
+    entries: Mutex<Vec<SnapshotEntry>>,
+}
+
+impl MemorySnapshotSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Every snapshot exported so far, in export order.
+    pub fn entries(&self) -> Vec<SnapshotEntry> {
+        self.entries.lock().expect("sink lock").clone()
+    }
+
+    /// Number of snapshots exported so far.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("sink lock").len()
+    }
+
+    /// True when nothing has been exported yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl SnapshotSink for MemorySnapshotSink {
+    fn export_snapshot(&self, seq: u64, vtime_ms: u64, json: &str) {
+        self.entries.lock().expect("sink lock").push(SnapshotEntry {
+            seq,
+            vtime_ms,
+            json: json.to_string(),
+        });
+    }
+}
+
+/// A sink appending each snapshot as one JSON line to a file — the
+/// exportable-snapshots surface (`repro-scan --snapshots=FILE`).
+///
+/// Lines are written through a buffered writer and flushed per export,
+/// so a crash mid-scan loses at most the snapshot being written.
+pub struct JsonlSnapshotWriter {
+    path: PathBuf,
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSnapshotWriter {
+    /// Create (truncating) the JSONL file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::create(&path)?;
+        Ok(JsonlSnapshotWriter {
+            path,
+            writer: Mutex::new(BufWriter::new(file)),
+        })
+    }
+
+    /// The file this writer appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl SnapshotSink for JsonlSnapshotWriter {
+    fn export_snapshot(&self, _seq: u64, _vtime_ms: u64, json: &str) {
+        let mut w = self.writer.lock().expect("writer lock");
+        // Sequence and stamp ride inside the document itself; the file
+        // is pure JSONL of snapshot documents.
+        let _ = writeln!(w, "{json}");
+        let _ = w.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_sink_retains_in_order() {
+        let sink = MemorySnapshotSink::new();
+        sink.export_snapshot(1, 10, "{\"a\":1}");
+        sink.export_snapshot(2, 20, "{\"a\":2}");
+        let entries = sink.entries();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].seq, 1);
+        assert_eq!(entries[1].json, "{\"a\":2}");
+    }
+
+    #[test]
+    fn jsonl_writer_appends_lines() {
+        let path = std::env::temp_dir().join(format!(
+            "ede-trace-export-test-{}.jsonl",
+            std::process::id()
+        ));
+        let w = JsonlSnapshotWriter::create(&path).expect("create");
+        w.export_snapshot(1, 10, "{\"x\":1}");
+        w.export_snapshot(2, 20, "{\"x\":2}");
+        let body = std::fs::read_to_string(w.path()).expect("read back");
+        assert_eq!(body, "{\"x\":1}\n{\"x\":2}\n");
+        let _ = std::fs::remove_file(&path);
+    }
+}

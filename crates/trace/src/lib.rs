@@ -45,10 +45,12 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod export;
 pub mod json;
 pub mod metrics;
 pub mod sink;
 
 pub use event::{CacheOutcome, TimedEvent, TraceEvent};
+pub use export::{JsonlSnapshotWriter, MemorySnapshotSink, SnapshotEntry, SnapshotSink};
 pub use metrics::{Histogram, Metrics, MetricsSnapshot};
 pub use sink::{MultiSink, ResolutionTrace, TraceClock, TraceSink, Tracer};

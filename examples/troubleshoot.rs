@@ -7,27 +7,61 @@
 //! cargo run --example troubleshoot -- allow-query-none cloudflare
 //! cargo run --example troubleshoot -- rrsig-exp-all cloudflare --trace
 //! cargo run --example troubleshoot -- --list
+//! cargo run --example troubleshoot -- --log scan.jsonl --query code=23,tld=com
 //! ```
 //!
 //! `--trace` appends a dig+trace-style timeline of the resolution —
 //! every query, referral, validation step, and EDE decision stamped
 //! with the simulated clock. `--trace-json` prints the same events as
 //! JSON lines for machine consumption (see `docs/OBSERVABILITY.md`).
+//!
+//! `--log FILE` switches to query mode: load a query-log JSONL trace
+//! (a `repro-scan --log-spill=...` file) and summarize the records the
+//! `--query` filter expression matches — the historical-trace side of
+//! the `ede_scan::query` API.
 
 use extended_dns_errors::prelude::*;
+use extended_dns_errors::scan::query::{load_jsonl, parse_vendor};
 use extended_dns_errors::trace::ResolutionTrace;
+use std::path::Path;
 use std::sync::Arc;
 
-fn parse_vendor(s: &str) -> Option<Vendor> {
-    match s.to_ascii_lowercase().as_str() {
-        "bind" | "bind9" => Some(Vendor::Bind9),
-        "unbound" => Some(Vendor::Unbound),
-        "powerdns" | "pdns" => Some(Vendor::PowerDns),
-        "knot" => Some(Vendor::Knot),
-        "cloudflare" | "cf" => Some(Vendor::Cloudflare),
-        "quad9" => Some(Vendor::Quad9),
-        "opendns" => Some(Vendor::OpenDns),
-        _ => None,
+/// The `--log FILE [--query EXPR]` mode: filter a historical query-log
+/// trace and print the summary plus the first matching records.
+fn query_log_mode(path: &str, expr: Option<&str>) {
+    let filter = match expr
+        .map(QueryFilter::parse)
+        .unwrap_or(Ok(QueryFilter::new()))
+    {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("bad --query: {e}");
+            std::process::exit(2);
+        }
+    };
+    let records = match load_jsonl(Path::new(path)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cannot load {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("loaded {} records from {path}", records.len());
+    print!("{}", filter.summarize(&records).render());
+    let matches = filter.filter(&records);
+    for r in matches.iter().take(10) {
+        println!(
+            "  pass {} @{}ms {} [{}] rcode {:?} codes {:?}",
+            r.pass,
+            r.vtime_ms,
+            r.name,
+            r.category.name(),
+            r.rcode,
+            r.codes,
+        );
+    }
+    if matches.len() > 10 {
+        println!("  ... and {} more", matches.len() - 10);
     }
 }
 
@@ -36,6 +70,19 @@ fn main() {
     let trace_timeline = args.iter().any(|a| a == "--trace");
     let trace_json = args.iter().any(|a| a == "--trace-json");
     args.retain(|a| a != "--trace" && a != "--trace-json");
+
+    if let Some(i) = args.iter().position(|a| a == "--log") {
+        let Some(path) = args.get(i + 1).cloned() else {
+            eprintln!("--log needs a file path");
+            std::process::exit(2);
+        };
+        let expr = args
+            .iter()
+            .position(|a| a == "--query")
+            .and_then(|j| args.get(j + 1).cloned());
+        query_log_mode(&path, expr.as_deref());
+        return;
+    }
 
     let tb = Testbed::build();
 

@@ -7,7 +7,7 @@
 //! default for the repro binaries is 1:1000).
 
 use extended_dns_errors::prelude::*;
-use extended_dns_errors::scan::{aggregate, report};
+use extended_dns_errors::scan::report;
 
 fn main() {
     let scale: u32 = std::env::args()
@@ -29,10 +29,9 @@ fn main() {
     eprintln!("scanning with the Cloudflare profile...");
     let config = ScanConfig::builder().progress(true).build();
     let result = scan(&pop, &world, &config);
-    let agg = aggregate::aggregate(&pop, &result);
 
-    println!("{}", report::scan_summary(&pop, &agg));
-    println!("{}", report::figure1(&agg));
-    println!("{}", report::figure2(&agg, &pop.config));
+    println!("{}", report::scan_summary(&result.stats));
+    println!("{}", report::figure1(&result.stats));
+    println!("{}", report::figure2(&result.stats));
     println!("{}", result.metrics.render());
 }

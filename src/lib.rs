@@ -79,11 +79,11 @@ pub mod prelude {
         ServerSelection, Vendor, VendorProfile,
     };
     pub use ede_scan::{
-        scan, ChaosConfig, Population, PopulationConfig, ScanConfig, ScanConfigBuilder, ScanResult,
-        ScanWorld,
+        scan, scan_streaming, ChaosConfig, Population, PopulationConfig, QueryFilter, QueryRecord,
+        ScanConfig, ScanConfigBuilder, ScanResult, ScanWorld, StatsSnapshot,
     };
     pub use ede_testbed::Testbed;
-    pub use ede_trace::{Metrics, ResolutionTrace, TraceEvent, TraceSink};
+    pub use ede_trace::{Metrics, ResolutionTrace, SnapshotSink, TraceEvent, TraceSink};
     pub use ede_wire::{EdeCode, EdeEntry, Message, Name, Rcode, RrType, WireError};
     pub use ede_zone::{ParseError, ParseErrorKind};
 

@@ -141,11 +141,7 @@ fn lossy_scan_resolves_99_percent_with_default_policy() {
 
     let clean_world = ScanWorld::build(&pop);
     let clean = scan(&pop, &clean_world, &ScanConfig::builder().build());
-    let clean_resolved = clean
-        .observations
-        .iter()
-        .filter(|o| o.rcode != Rcode::ServFail)
-        .count();
+    let clean_resolved = clean.stats.ede.resolved_domains();
 
     let lossy_world = ScanWorld::build(&pop);
     lossy_world
@@ -156,11 +152,7 @@ fn lossy_scan_resolves_99_percent_with_default_policy() {
         .retry(RetryPolicy::default())
         .build();
     let lossy = scan(&pop, &lossy_world, &config);
-    let lossy_resolved = lossy
-        .observations
-        .iter()
-        .filter(|o| o.rcode != Rcode::ServFail)
-        .count();
+    let lossy_resolved = lossy.stats.ede.resolved_domains();
 
     assert!(
         lossy_resolved as f64 >= 0.99 * clean_resolved as f64,
