@@ -1,0 +1,252 @@
+//! Tracked serving-throughput baseline: the `ede-server` front end
+//! driven by in-process loopback clients over real OS sockets.
+//!
+//! Two modes, following the harness convention:
+//!
+//! * **smoke** (`cargo test -p ede-bench --bench serve_bench`, no
+//!   `--bench` flag): a short burst against a 2-worker server,
+//!   print-only — a CI-speed check that the serving path sustains load
+//!   with zero client-visible errors and that stats reconcile.
+//! * **full** (`cargo bench --bench serve_bench`, or `EDE_BENCH=full`):
+//!   sweeps worker counts under a multi-client UDP load plus a TCP leg,
+//!   and appends one entry per sweep point to `BENCH_serve.json` at the
+//!   repo root.
+//!
+//! Reported latency is end-to-end client-observed round trip
+//! (send → recv on a loopback socket), quantiled from the full sample
+//! set; qps is total completed exchanges over wall-clock time. The mix
+//! is ~2/3 cache-friendly repeats, which is what lets the sharded L1
+//! tiers show up in the numbers.
+
+use ede_resolver::Vendor;
+use ede_server::{ProbeClient, Server, ServerConfig};
+use ede_testbed::Testbed;
+use ede_wire::{Message, Name, RrType};
+use std::io::Write;
+use std::time::Instant;
+
+/// Worker counts swept in full mode.
+const WORKER_SWEEP: [usize; 3] = [1, 2, 4];
+
+/// Concurrent loopback clients per sweep point.
+const CLIENTS: usize = 4;
+
+/// Labels in the query mix: one clean repeat-heavy domain plus broken
+/// domains exercising validation and EDE attachment.
+const LABELS: [&str; 6] = [
+    "valid",
+    "valid",
+    "valid",
+    "rrsig-exp-all",
+    "no-ds",
+    "bad-zsk",
+];
+
+fn full_measurement() -> bool {
+    std::env::args().any(|a| a == "--bench")
+        || std::env::var("EDE_BENCH").is_ok_and(|v| v == "full")
+}
+
+/// `BENCH_serve.json` lives at the workspace root, two levels above
+/// this crate's manifest.
+fn bench_log_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_serve.json")
+}
+
+/// Append one entry line to the JSON-array log, creating it if absent.
+fn append_entry(entry: &str) -> std::io::Result<()> {
+    let path = bench_log_path();
+    let body = match std::fs::read_to_string(&path) {
+        Ok(existing) => {
+            let trimmed = existing.trim_end();
+            let without_close = trimmed
+                .strip_suffix(']')
+                .map(|s| s.trim_end().to_string())
+                .unwrap_or_else(|| trimmed.to_string());
+            if without_close.trim_end().ends_with('[') {
+                format!("{without_close}\n{entry}\n]\n")
+            } else {
+                format!("{without_close},\n{entry}\n]\n")
+            }
+        }
+        Err(_) => format!("[\n{entry}\n]\n"),
+    };
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(body.as_bytes())
+}
+
+fn utc_date() -> String {
+    // Days since the epoch → Y-M-D, enough precision for a bench log
+    // and no chrono dependency.
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let days = secs / 86_400;
+    let mut year = 1970u64;
+    let mut remaining = days;
+    loop {
+        let leap =
+            year.is_multiple_of(4) && (!year.is_multiple_of(100) || year.is_multiple_of(400));
+        let len = if leap { 366 } else { 365 };
+        if remaining < len {
+            break;
+        }
+        remaining -= len;
+        year += 1;
+    }
+    let leap = year.is_multiple_of(4) && (!year.is_multiple_of(100) || year.is_multiple_of(400));
+    let month_lens = [
+        31,
+        if leap { 29 } else { 28 },
+        31,
+        30,
+        31,
+        30,
+        31,
+        31,
+        30,
+        31,
+        30,
+        31,
+    ];
+    let mut month = 1;
+    for len in month_lens {
+        if remaining < len {
+            break;
+        }
+        remaining -= len;
+        month += 1;
+    }
+    format!("{year:04}-{month:02}-{:02}", remaining + 1)
+}
+
+/// One sweep point's client-observed outcome.
+struct RunResult {
+    exchanges: u64,
+    seconds: f64,
+    qps: f64,
+    p50_us: u64,
+    p99_us: u64,
+    udp_responses: u64,
+    tcp_responses: u64,
+    server_p50_us: u64,
+    server_p99_us: u64,
+}
+
+/// Run `queries_per_client` exchanges from `CLIENTS` threads against a
+/// fresh server with `workers` UDP shards; returns client-observed
+/// latency quantiles and reconciled server stats.
+fn run_point(tb: &Testbed, workers: usize, queries_per_client: usize, tcp_leg: bool) -> RunResult {
+    let handle = Server::spawn(
+        tb.resolver(Vendor::Cloudflare),
+        ServerConfig::builder()
+            .bind("127.0.0.1:0")
+            .workers(workers)
+            .build(),
+    )
+    .expect("spawn server");
+    let (udp_addr, tcp_addr) = (handle.udp_addr(), handle.tcp_addr());
+
+    let t = Instant::now();
+    let mut joins = Vec::new();
+    for c in 0..CLIENTS {
+        joins.push(std::thread::spawn(move || -> Vec<u64> {
+            let client = ProbeClient::connect(udp_addr, tcp_addr).expect("client connect");
+            let mut latencies = Vec::with_capacity(queries_per_client);
+            for i in 0..queries_per_client {
+                let label = LABELS[(c + i) % LABELS.len()];
+                let qname = Name::parse(&format!("{label}.extended-dns-errors.com")).unwrap();
+                let query = Message::query((c * queries_per_client + i) as u16, qname, RrType::A);
+                let wire = query.encode().unwrap();
+                let start = Instant::now();
+                let response = if tcp_leg && i % 10 == 9 {
+                    client.query_tcp(&wire).expect("tcp exchange")
+                } else {
+                    client.query_udp(&wire).expect("udp exchange")
+                };
+                latencies.push(u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX));
+                assert!(response.len() >= 12, "short response");
+            }
+            latencies
+        }));
+    }
+    let mut latencies: Vec<u64> = joins
+        .into_iter()
+        .flat_map(|j| j.join().expect("client thread"))
+        .collect();
+    let seconds = t.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+    let quantile = |q: f64| -> u64 {
+        let idx = ((latencies.len() as f64 * q).ceil() as usize).saturating_sub(1);
+        latencies[idx.min(latencies.len() - 1)]
+    };
+    let exchanges = latencies.len() as u64;
+    let (p50_us, p99_us) = (quantile(0.50), quantile(0.99));
+
+    let stats = handle.shutdown().expect("graceful shutdown");
+    assert!(stats.drained, "drain deadline exceeded");
+    assert_eq!(
+        stats.metrics.responses(),
+        exchanges,
+        "server response count must reconcile with client receives"
+    );
+    assert_eq!(stats.metrics.encode_errors, 0);
+    assert_eq!(stats.metrics.dropped, 0);
+
+    RunResult {
+        exchanges,
+        seconds,
+        qps: exchanges as f64 / seconds,
+        p50_us,
+        p99_us,
+        udp_responses: stats.metrics.udp_responses,
+        tcp_responses: stats.metrics.tcp_responses,
+        server_p50_us: stats.metrics.handle_latency.quantile_us(0.50),
+        server_p99_us: stats.metrics.handle_latency.quantile_us(0.99),
+    }
+}
+
+fn main() {
+    let full = full_measurement();
+    eprintln!("serve_bench: building testbed...");
+    let tb = Testbed::build();
+
+    if !full {
+        // CI-speed smoke: one short burst, stats must reconcile.
+        let r = run_point(&tb, 2, 50, true);
+        println!(
+            "bench serve_bench/smoke: {} exchanges in {:.2} s ({:.0} qps, p50 {} µs, p99 {} µs, {} udp + {} tcp)",
+            r.exchanges, r.seconds, r.qps, r.p50_us, r.p99_us, r.udp_responses, r.tcp_responses
+        );
+        return;
+    }
+
+    for workers in WORKER_SWEEP {
+        let r = run_point(&tb, workers, 2_000, true);
+        println!(
+            "bench serve_bench/workers_{workers}: {} exchanges in {:.2} s ({:.0} qps, client p50 {} µs, p99 {} µs; server p50 {} µs, p99 {} µs)",
+            r.exchanges, r.seconds, r.qps, r.p50_us, r.p99_us, r.server_p50_us, r.server_p99_us
+        );
+        let entry = format!(
+            "{{\"recorded\": \"{}\", \"label\": \"serve_throughput\", \"workers\": {}, \"clients\": {}, \"exchanges\": {}, \"seconds\": {:.3}, \"qps\": {:.0}, \"p50_us\": {}, \"p99_us\": {}, \"server_p50_us\": {}, \"server_p99_us\": {}, \"udp_responses\": {}, \"tcp_responses\": {}}}",
+            utc_date(),
+            workers,
+            CLIENTS,
+            r.exchanges,
+            r.seconds,
+            r.qps,
+            r.p50_us,
+            r.p99_us,
+            r.server_p50_us,
+            r.server_p99_us,
+            r.udp_responses,
+            r.tcp_responses,
+        );
+        if let Err(e) = append_entry(&entry) {
+            eprintln!("warning: could not append to BENCH_serve.json: {e}");
+        }
+    }
+}

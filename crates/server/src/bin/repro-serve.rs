@@ -1,0 +1,281 @@
+//! `repro-serve` — serve the extended-dns-errors testbed to real DNS
+//! clients.
+//!
+//! Foreground mode binds `127.0.0.1:5300` (UDP and TCP), prints a
+//! `dig` quick-start, and reports stats once per second until killed:
+//!
+//! ```text
+//! repro-serve [--bind ADDR] [--vendor NAME] [--workers N]
+//! ```
+//!
+//! `--smoke` runs the CI serving smoke instead: spawn on an ephemeral
+//! port, hammer it from concurrent loopback clients across a mix of
+//! testbed labels, assert zero errors and nonzero EDE answers, exercise
+//! the TC=1 → TCP retry bit-identity contract on a second
+//! small-payload server, then drain gracefully. Exits nonzero on any
+//! failure.
+
+use ede_resolver::{Resolver, Vendor};
+use ede_server::{pipeline, ProbeClient, Server, ServerConfig, ServerHandle};
+use ede_testbed::Testbed;
+use ede_wire::{Message, Name, RrType};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Testbed labels the smoke mixes: one clean domain plus a spread of
+/// misconfigurations that light up distinct RFC 8914 codes.
+const SMOKE_LABELS: [&str; 6] = [
+    "valid",
+    "rrsig-exp-all",
+    "no-ds",
+    "bad-zsk",
+    "nsec3-missing",
+    "rrsig-no-all",
+];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+    if args.iter().any(|a| a == "--smoke" || a == "--serve-smoke") {
+        return match smoke() {
+            Ok(report) => {
+                println!("{report}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("serve smoke FAILED: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    match foreground(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("repro-serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> String {
+    let vendors: Vec<&str> = Vendor::ALL.iter().map(|v| v.name()).collect();
+    format!(
+        "repro-serve — serve the extended-dns-errors testbed over UDP+TCP\n\
+         \n\
+         USAGE:\n\
+         \x20 repro-serve [--bind ADDR] [--vendor NAME] [--workers N]\n\
+         \x20 repro-serve --smoke\n\
+         \n\
+         OPTIONS:\n\
+         \x20 --bind ADDR     bind address for both transports (default 127.0.0.1:5300)\n\
+         \x20 --vendor NAME   EDE emission profile: {}\n\
+         \x20 --workers N     UDP shard worker threads (default: CPU count, max 4)\n\
+         \x20 --smoke         run the CI serving smoke on an ephemeral port and exit\n",
+        vendors.join(", ")
+    )
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn parse_vendor(name: &str) -> Result<Vendor, String> {
+    Vendor::ALL
+        .into_iter()
+        .find(|v| v.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| {
+            let known: Vec<&str> = Vendor::ALL.iter().map(|v| v.name()).collect();
+            format!("unknown vendor {name:?}; known: {}", known.join(", "))
+        })
+}
+
+fn foreground(args: &[String]) -> Result<(), String> {
+    let bind = flag_value(args, "--bind").unwrap_or("127.0.0.1:5300");
+    let vendor = match flag_value(args, "--vendor") {
+        Some(name) => parse_vendor(name)?,
+        None => Vendor::Cloudflare,
+    };
+    let mut builder = ServerConfig::builder()
+        .bind(bind)
+        .snapshot_cadence(Some(Duration::from_secs(1)));
+    if let Some(n) = flag_value(args, "--workers") {
+        let n: usize = n
+            .parse()
+            .map_err(|_| format!("bad --workers value {n:?}"))?;
+        builder = builder.workers(n);
+    }
+
+    eprintln!(
+        "building testbed ({} zones)...",
+        ede_testbed::all_specs().len()
+    );
+    let tb = Testbed::build();
+    let handle = Server::spawn(tb.resolver(vendor), builder.build())
+        .map_err(|e| format!("cannot start server: {e}"))?;
+
+    let udp = handle.udp_addr();
+    println!(
+        "serving testbed as {} on udp {udp} / tcp {}",
+        vendor.name(),
+        handle.tcp_addr()
+    );
+    println!("try:");
+    println!(
+        "  dig @{} -p {} valid.extended-dns-errors.com A",
+        udp.ip(),
+        udp.port()
+    );
+    println!(
+        "  dig @{} -p {} rrsig-exp-all.extended-dns-errors.com A   # SERVFAIL + EDE 7",
+        udp.ip(),
+        udp.port()
+    );
+    println!(
+        "  dig @{} -p {} +tcp no-ds.extended-dns-errors.com A",
+        udp.ip(),
+        udp.port()
+    );
+    println!("(ctrl-c to stop)");
+
+    let mut last_queries = 0;
+    loop {
+        std::thread::sleep(Duration::from_secs(5));
+        let stats = handle.stats();
+        let queries = stats.metrics.queries();
+        if queries != last_queries {
+            last_queries = queries;
+            print!("{}", stats.render());
+        }
+    }
+}
+
+/// Spawn a server and return it with a ready client.
+fn spawn_pair(
+    resolver: Resolver,
+    config: ServerConfig,
+) -> Result<(ServerHandle, ProbeClient), String> {
+    let handle = Server::spawn(resolver, config).map_err(|e| format!("spawn failed: {e}"))?;
+    let client = ProbeClient::connect(handle.udp_addr(), handle.tcp_addr())
+        .map_err(|e| format!("client connect failed: {e}"))?;
+    Ok((handle, client))
+}
+
+fn smoke() -> Result<String, String> {
+    const CLIENTS: usize = 4;
+    const QUERIES_PER_CLIENT: usize = 100;
+
+    let tb = Testbed::build();
+
+    // Leg 1: concurrent mixed-label load, zero tolerance for errors.
+    let (handle, _) = spawn_pair(
+        tb.resolver(Vendor::Cloudflare),
+        ServerConfig::builder()
+            .bind("127.0.0.1:0")
+            .workers(2)
+            .drain_deadline(Duration::from_secs(2))
+            .build(),
+    )?;
+    let udp_addr = handle.udp_addr();
+    let tcp_addr = handle.tcp_addr();
+    let ede_answers = Arc::new(AtomicU64::new(0));
+
+    let mut joins = Vec::new();
+    for c in 0..CLIENTS {
+        let ede_answers = Arc::clone(&ede_answers);
+        joins.push(std::thread::spawn(move || -> Result<(), String> {
+            let client = ProbeClient::connect(udp_addr, tcp_addr)
+                .map_err(|e| format!("client {c}: connect: {e}"))?;
+            for i in 0..QUERIES_PER_CLIENT {
+                let label = SMOKE_LABELS[(c + i) % SMOKE_LABELS.len()];
+                let qname = Name::parse(&format!("{label}.extended-dns-errors.com"))
+                    .map_err(|e| format!("client {c}: bad name: {e}"))?;
+                let id = (c * QUERIES_PER_CLIENT + i) as u16;
+                let query = Message::query(id, qname, RrType::A);
+                let exchange = client
+                    .query(&query)
+                    .map_err(|e| format!("client {c} query {i} ({label}): {e}"))?;
+                if exchange.response.id != id {
+                    return Err(format!("client {c}: id mismatch on {label}"));
+                }
+                if !exchange.response.ede_codes().is_empty() {
+                    ede_answers.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Ok(())
+        }));
+    }
+    for join in joins {
+        join.join()
+            .map_err(|_| "smoke client panicked".to_string())??;
+    }
+    let stats = handle.shutdown().map_err(|e| format!("shutdown: {e}"))?;
+    let expected = (CLIENTS * QUERIES_PER_CLIENT) as u64;
+    if stats.metrics.queries() < expected {
+        return Err(format!(
+            "server saw {} queries, clients sent {expected}",
+            stats.metrics.queries()
+        ));
+    }
+    if stats.metrics.encode_errors != 0 || stats.metrics.dropped != 0 {
+        return Err(format!(
+            "unexpected server-side errors: {} encode, {} dropped",
+            stats.metrics.encode_errors, stats.metrics.dropped
+        ));
+    }
+    let ede_answers = ede_answers.load(Ordering::Relaxed);
+    if ede_answers == 0 {
+        return Err("no EDE codes observed on the wire".to_string());
+    }
+    if !stats.drained {
+        return Err("drain deadline exceeded".to_string());
+    }
+
+    // Leg 2: TC=1 → TCP retry must be bit-identical to the untruncated
+    // answer. A sub-512 payload cap forces truncation of every testbed
+    // answer.
+    let resolver = tb.resolver(Vendor::Cloudflare);
+    let expected_full = {
+        let qname = Name::parse("valid.extended-dns-errors.com").unwrap();
+        let query = Message::query(0x7C01, qname, RrType::A);
+        let reply = pipeline::answer(&resolver, None, &query);
+        (query, reply.encode().map_err(|e| format!("encode: {e}"))?)
+    };
+    let (handle, client) = spawn_pair(
+        resolver,
+        ServerConfig::builder()
+            .bind("127.0.0.1:0")
+            .workers(1)
+            .udp_payload_max(96)
+            .build(),
+    )?;
+    let exchange = client
+        .query(&expected_full.0)
+        .map_err(|e| format!("TC leg: {e}"))?;
+    if !exchange.retried_over_tcp {
+        return Err("TC leg: UDP answer was not truncated".to_string());
+    }
+    if exchange.response_wire != expected_full.1 {
+        return Err("TC leg: TCP retry bytes differ from the untruncated answer".to_string());
+    }
+    let tc_stats = handle.shutdown().map_err(|e| format!("TC shutdown: {e}"))?;
+    if tc_stats.metrics.udp_truncated != 1 || tc_stats.metrics.tcp_responses != 1 {
+        return Err(format!(
+            "TC leg counters off: {} truncated, {} tcp responses",
+            tc_stats.metrics.udp_truncated, tc_stats.metrics.tcp_responses
+        ));
+    }
+
+    Ok(format!(
+        "serve smoke OK: {CLIENTS} clients x {QUERIES_PER_CLIENT} queries, {ede_answers} EDE answers, \
+         TC=1 retry bit-identical over TCP\n{}",
+        stats.render()
+    ))
+}

@@ -1,0 +1,316 @@
+//! The transport-independent request pipeline.
+//!
+//! Every front end — UDP shard workers, TCP connection handlers, the
+//! deprecated single-threaded `UdpFrontend` shim in the facade crate —
+//! funnels raw request bytes through the same three steps:
+//!
+//! 1. [`classify`] decides what the bytes are: a resolvable query, a
+//!    protocol violation answered with FORMERR/NOTIMP/REFUSED, or
+//!    garbage that is silently dropped. The policy is explicit (and
+//!    tested) rather than the historical demo behaviour of answering
+//!    FORMERR to anything:
+//!
+//!    | Input | Disposition |
+//!    |---|---|
+//!    | shorter than a 12-byte DNS header | **drop** (no ID to echo — any reply would be a forgery oracle) |
+//!    | QR bit set (a response, not a query) | **drop** (never answer answers: reflection-loop hygiene) |
+//!    | opcode ≠ QUERY (IQUERY, STATUS, NOTIFY, UPDATE …) | **NOTIMP**, echoing ID and opcode |
+//!    | header valid but body undecodable / no question | **FORMERR**, echoing ID, opcode and RD |
+//!    | question class ≠ IN | **REFUSED**, echoing the question |
+//!    | otherwise | resolve |
+//!
+//! 2. [`answer`] resolves the query through the attached [`Resolver`]
+//!    (full recursion, validation, vendor EDE emission) and renders the
+//!    response, honoring EDNS presence: a client that sent no OPT
+//!    record gets none back (and therefore no EDE options — RFC 8914
+//!    signals require EDNS).
+//! 3. [`encode_udp`] encodes for the datagram transport, truncating to
+//!    TC=1 when the response exceeds the negotiated payload limit so
+//!    the client retries over TCP. Stream transports encode directly —
+//!    a TCP answer is never truncated, which is what makes the TC=1 →
+//!    TCP retry bit-identical to the untruncated message.
+
+use ede_resolver::{L1Cache, Resolver};
+use ede_wire::{Class, Header, Message, Opcode, Rcode, WireError};
+
+/// Why a datagram was dropped without any reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// Fewer than 12 bytes: no complete header, so no ID to echo.
+    TooShort,
+    /// The QR bit was set — this is a response, and answering responses
+    /// builds reflection loops.
+    UnexpectedResponse,
+}
+
+/// Which rejection RCODE a malformed query earned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectKind {
+    /// Undecodable body or empty question section.
+    FormErr,
+    /// An opcode this server does not implement.
+    NotImp,
+    /// A question outside the served class (IN).
+    Refused,
+}
+
+/// What [`classify`] decided about one request's bytes.
+#[derive(Debug)]
+pub enum QueryDisposition {
+    /// A well-formed IN-class QUERY: resolve it.
+    Resolve(Box<Message>),
+    /// A protocol violation with enough structure to answer: send the
+    /// pre-built rejection.
+    Reject(Box<Message>, RejectKind),
+    /// Not answerable at all.
+    Drop(DropReason),
+}
+
+/// Build a minimal rejection echoing what the request gave us.
+fn reject(header: &Header, rcode: Rcode) -> Message {
+    Message {
+        id: header.id,
+        response: true,
+        opcode: header.opcode,
+        recursion_desired: header.recursion_desired,
+        recursion_available: true,
+        rcode,
+        ..Default::default()
+    }
+}
+
+/// Classify one request's raw bytes (see the module table for the
+/// policy).
+pub fn classify(wire: &[u8]) -> QueryDisposition {
+    if wire.len() < Header::LEN {
+        return QueryDisposition::Drop(DropReason::TooShort);
+    }
+    let header = match Header::decode(wire) {
+        Ok(h) => h,
+        Err(_) => return QueryDisposition::Drop(DropReason::TooShort),
+    };
+    if header.response {
+        return QueryDisposition::Drop(DropReason::UnexpectedResponse);
+    }
+    if header.opcode != Opcode::Query {
+        return QueryDisposition::Reject(
+            Box::new(reject(&header, Rcode::NotImp)),
+            RejectKind::NotImp,
+        );
+    }
+    let query = match Message::decode(wire) {
+        Ok(q) => q,
+        Err(_) => {
+            return QueryDisposition::Reject(
+                Box::new(reject(&header, Rcode::FormErr)),
+                RejectKind::FormErr,
+            )
+        }
+    };
+    let Some(q) = query.first_question() else {
+        let mut m = reject(&header, Rcode::FormErr);
+        m.edns = query.edns.as_ref().map(|_| Default::default());
+        return QueryDisposition::Reject(Box::new(m), RejectKind::FormErr);
+    };
+    if q.qclass != Class::In {
+        let mut m = reject(&header, Rcode::Refused);
+        m.questions = query.questions.clone();
+        m.edns = query.edns.as_ref().map(|_| Default::default());
+        return QueryDisposition::Reject(Box::new(m), RejectKind::Refused);
+    }
+    QueryDisposition::Resolve(Box::new(query))
+}
+
+/// Resolve a classified query and render the wire response.
+///
+/// `l1` is the calling worker's private cache tier (UDP shard workers
+/// each own one); pass `None` to resolve against the shared tiers only
+/// (the TCP path and one-shot callers do).
+pub fn answer(resolver: &Resolver, l1: Option<&L1Cache>, query: &Message) -> Message {
+    let q = query
+        .first_question()
+        .expect("classify() only yields Resolve for messages with a question");
+    let resolution = match l1 {
+        Some(l1) => resolver.resolve_l1(&q.name, q.qtype, l1),
+        None => resolver.resolve(&q.name, q.qtype),
+    };
+    let mut resp = resolution.to_message(query);
+    if query.edns.is_none() {
+        // RFC 6891: never volunteer an OPT record (or EDE options riding
+        // on it) to a client that did not signal EDNS support.
+        resp.edns = None;
+    }
+    resp
+}
+
+/// Encode `reply` for the UDP transport, truncating when it exceeds the
+/// negotiated payload limit.
+///
+/// The limit is `min(client's EDNS advertisement floored at 512,
+/// server-side cap)`; over-limit responses become a TC=1 copy carrying
+/// header, question and OPT only (partial sections must never be
+/// consumed). Returns the bytes to send and whether they carry TC=1.
+pub fn encode_udp(
+    reply: &Message,
+    query: &Message,
+    udp_payload_max: u16,
+) -> Result<(Vec<u8>, bool), WireError> {
+    let wire = reply.encode()?;
+    let limit = usize::from(query.advertised_payload_size().min(udp_payload_max));
+    if wire.len() <= limit {
+        Ok((wire, false))
+    } else {
+        Ok((reply.truncated_copy().encode()?, true))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ede_resolver::Vendor;
+    use ede_testbed::Testbed;
+    use ede_wire::{Edns, Name, Question, RrType};
+
+    fn query_bytes(mutate: impl FnOnce(&mut Message)) -> Vec<u8> {
+        let mut m = Message::query(
+            0x1234,
+            Name::parse("valid.extended-dns-errors.com").unwrap(),
+            RrType::A,
+        );
+        mutate(&mut m);
+        m.encode().unwrap()
+    }
+
+    #[test]
+    fn too_short_is_dropped() {
+        assert!(matches!(
+            classify(&[0xAB, 0xCD, 0xFF]),
+            QueryDisposition::Drop(DropReason::TooShort)
+        ));
+        assert!(matches!(
+            classify(&[]),
+            QueryDisposition::Drop(DropReason::TooShort)
+        ));
+    }
+
+    #[test]
+    fn responses_are_dropped_not_answered() {
+        let wire = query_bytes(|m| m.response = true);
+        assert!(matches!(
+            classify(&wire),
+            QueryDisposition::Drop(DropReason::UnexpectedResponse)
+        ));
+    }
+
+    #[test]
+    fn unknown_opcode_gets_notimp_with_echoed_identity() {
+        let wire = query_bytes(|m| m.opcode = Opcode::Status);
+        match classify(&wire) {
+            QueryDisposition::Reject(m, RejectKind::NotImp) => {
+                assert_eq!(m.id, 0x1234);
+                assert_eq!(m.opcode, Opcode::Status);
+                assert_eq!(m.rcode, Rcode::NotImp);
+                assert!(m.response && m.recursion_available);
+            }
+            other => panic!("expected NOTIMP, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn undecodable_body_gets_formerr_with_echoed_id() {
+        // Valid header claiming one question, followed by garbage.
+        let mut wire = query_bytes(|_| {});
+        wire.truncate(14); // cut mid-question
+        match classify(&wire) {
+            QueryDisposition::Reject(m, RejectKind::FormErr) => {
+                assert_eq!(m.id, 0x1234);
+                assert_eq!(m.rcode, Rcode::FormErr);
+                assert!(m.questions.is_empty());
+            }
+            other => panic!("expected FORMERR, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_question_section_gets_formerr() {
+        let mut m = Message {
+            id: 7,
+            recursion_desired: true,
+            edns: Some(Edns::with_do()),
+            ..Default::default()
+        };
+        m.response = false;
+        let wire = m.encode().unwrap();
+        match classify(&wire) {
+            QueryDisposition::Reject(r, RejectKind::FormErr) => {
+                assert_eq!(r.id, 7);
+                assert!(r.edns.is_some(), "EDNS presence echoed");
+            }
+            other => panic!("expected FORMERR, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_in_class_gets_refused_with_question_echoed() {
+        let wire = query_bytes(|m| m.questions[0].qclass = Class::Ch);
+        match classify(&wire) {
+            QueryDisposition::Reject(m, RejectKind::Refused) => {
+                assert_eq!(m.rcode, Rcode::Refused);
+                assert_eq!(m.questions.len(), 1);
+                assert_eq!(m.questions[0].qclass, Class::Ch);
+            }
+            other => panic!("expected REFUSED, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn well_formed_query_resolves() {
+        let wire = query_bytes(|_| {});
+        assert!(matches!(classify(&wire), QueryDisposition::Resolve(_)));
+    }
+
+    #[test]
+    fn answer_honors_edns_absence() {
+        let tb = Testbed::build();
+        let resolver = tb.resolver(Vendor::Cloudflare);
+        let qname = Name::parse("rrsig-exp-all.extended-dns-errors.com").unwrap();
+
+        let with_edns = Message::query(1, qname.clone(), RrType::A);
+        let resp = answer(&resolver, None, &with_edns);
+        assert_eq!(resp.rcode, Rcode::ServFail);
+        assert!(!resp.ede_codes().is_empty(), "EDE rides on the OPT record");
+
+        let plain = Message {
+            id: 2,
+            recursion_desired: true,
+            questions: vec![Question::new(qname, RrType::A)],
+            ..Default::default()
+        };
+        let resp = answer(&resolver, None, &plain);
+        assert_eq!(resp.rcode, Rcode::ServFail);
+        assert!(resp.edns.is_none(), "no OPT for a non-EDNS client");
+        assert!(resp.ede_codes().is_empty());
+    }
+
+    #[test]
+    fn encode_udp_truncates_past_the_limit() {
+        let tb = Testbed::build();
+        let resolver = tb.resolver(Vendor::Cloudflare);
+        let qname = Name::parse("valid.extended-dns-errors.com").unwrap();
+        let query = Message::query(9, qname, RrType::A);
+        let reply = answer(&resolver, None, &query);
+
+        let (full, tc) = encode_udp(&reply, &query, 1232).unwrap();
+        assert!(!tc);
+        assert_eq!(full, reply.encode().unwrap());
+
+        // A tiny server-side cap forces the truncation path.
+        let (short, tc) = encode_udp(&reply, &query, 64).unwrap();
+        assert!(tc);
+        assert!(short.len() < full.len());
+        let decoded = Message::decode(&short).unwrap();
+        assert!(decoded.truncated);
+        assert!(decoded.answers.is_empty());
+        assert_eq!(decoded.questions, query.questions);
+    }
+}

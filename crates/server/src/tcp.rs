@@ -1,0 +1,157 @@
+//! The TCP path: acceptor loop and per-connection handlers.
+//!
+//! RFC 1035 §4.2.2 framing (two-byte length prefix per message) over
+//! plain `TcpStream`s. The acceptor runs non-blocking with a short poll
+//! sleep so it can observe the stop flag without `epoll`; each accepted
+//! connection gets a detached handler thread, bounded by
+//! `tcp_conn_cap` — connections over the cap are closed immediately and
+//! counted as refused rather than left to queue.
+//!
+//! Handlers enforce an idle deadline (`tcp_read_timeout`) by reading in
+//! short timeout chunks and tracking time since the last complete
+//! frame. On shutdown a handler finishes the request it is parsing (the
+//! graceful-drain contract: an in-flight query gets its answer), then
+//! closes; [`ServerHandle::shutdown`](crate::ServerHandle::shutdown)
+//! polls the live-connection gauge until the drain deadline.
+
+use crate::pipeline::{self, QueryDisposition, RejectKind};
+use crate::server::Shared;
+use ede_wire::stream::{frame, FrameReader, MAX_FRAME_LEN};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Handler read-chunk timeout (bounds how often a handler re-checks
+/// the stop flag and its idle deadline; data arriving mid-read returns
+/// immediately, so this adds no request latency).
+const POLL_TICK: Duration = Duration::from_millis(20);
+
+/// Acceptor poll sleep. Every fresh connection waits for the next poll
+/// on average half this long, so it is the floor on TCP connect
+/// latency — kept tight, at the cost of ~500 idle wakeups/s on one
+/// thread.
+const ACCEPT_TICK: Duration = Duration::from_millis(2);
+
+/// Accept connections until the stop flag is raised.
+pub(crate) fn run_acceptor(shared: Arc<Shared>, listener: TcpListener) {
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    while !shared.stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // Reserve a slot before spawning; release on refusal.
+                let occupied = shared.active_conns.fetch_add(1, Ordering::AcqRel);
+                if occupied >= shared.config.tcp_conn_cap {
+                    shared.active_conns.fetch_sub(1, Ordering::AcqRel);
+                    shared.metrics.tcp_conn_refused();
+                    drop(stream);
+                    continue;
+                }
+                shared.metrics.tcp_conn_accepted();
+                let conn_shared = Arc::clone(&shared);
+                let spawned = std::thread::Builder::new()
+                    .name("ede-tcp-conn".to_string())
+                    .spawn(move || {
+                        serve_conn(&conn_shared, stream);
+                        conn_shared.active_conns.fetch_sub(1, Ordering::AcqRel);
+                    });
+                if spawned.is_err() {
+                    // Thread spawn failed: give the slot back.
+                    shared.active_conns.fetch_sub(1, Ordering::AcqRel);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_TICK);
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Serve one connection: framed queries in, framed responses out.
+fn serve_conn(shared: &Shared, mut stream: TcpStream) {
+    if stream.set_read_timeout(Some(POLL_TICK)).is_err() {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    let mut reader = FrameReader::new(MAX_FRAME_LEN);
+    let mut buf = [0u8; 4096];
+    let mut last_activity = Instant::now();
+
+    loop {
+        // Drain any already-buffered complete frames first (pipelining).
+        while let Some(request) = reader.next_frame() {
+            last_activity = Instant::now();
+            if !serve_frame(shared, &mut stream, &request) {
+                return;
+            }
+        }
+        // Stop only between requests — never abandon a frame we have
+        // already started to receive, unless the peer stalls past the
+        // drain window.
+        if shared.stop.load(Ordering::Acquire)
+            && (!reader.has_partial() || last_activity.elapsed() >= shared.config.drain_deadline)
+        {
+            return;
+        }
+        if last_activity.elapsed() >= shared.config.tcp_read_timeout {
+            shared.metrics.tcp_read_timeout();
+            return;
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => return, // peer closed
+            Ok(n) => {
+                if reader.push(&buf[..n]).is_err() {
+                    // Oversized frame claim: protocol violation, close.
+                    return;
+                }
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Answer one framed request. Returns `false` when the connection must
+/// close (drop disposition or write failure).
+fn serve_frame(shared: &Shared, stream: &mut TcpStream, request: &[u8]) -> bool {
+    let metrics = &shared.metrics;
+    let started = Instant::now();
+    metrics.tcp_query(request.len());
+    let reply = match pipeline::classify(request) {
+        QueryDisposition::Drop(_) => {
+            metrics.dropped();
+            return false;
+        }
+        QueryDisposition::Reject(reply, kind) => {
+            match kind {
+                RejectKind::FormErr => metrics.rejected_formerr(),
+                RejectKind::NotImp => metrics.rejected_notimp(),
+                RejectKind::Refused => metrics.rejected_refused(),
+            }
+            *reply
+        }
+        // No TC on a stream: the full answer always fits the frame.
+        QueryDisposition::Resolve(query) => pipeline::answer(&shared.resolver, None, &query),
+    };
+    match reply.encode().and_then(|wire| frame(&wire)) {
+        Ok(framed) => {
+            if stream.write_all(&framed).is_err() {
+                return false;
+            }
+            metrics.tcp_response(framed.len() - 2);
+            metrics.observe_handle_us(
+                u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX),
+            );
+            true
+        }
+        Err(_) => {
+            metrics.encode_error();
+            false
+        }
+    }
+}

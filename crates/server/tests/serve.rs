@@ -1,0 +1,372 @@
+//! Integration tests over real loopback sockets: concurrent UDP load,
+//! EDE codes on the wire, the TC=1 → TCP retry contract, the
+//! malformed-query policy, connection capping, and graceful shutdown.
+
+use ede_resolver::Vendor;
+use ede_server::{pipeline, ProbeClient, Server, ServerConfig, ServerError};
+use ede_testbed::Testbed;
+use ede_wire::ede::EdeCode;
+use ede_wire::stream::{frame, FrameReader, MAX_FRAME_LEN};
+use ede_wire::{Message, Name, Opcode, Rcode, RrType};
+use std::io::{Read, Write};
+use std::net::{TcpStream, UdpSocket};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn testbed() -> &'static Testbed {
+    use std::sync::OnceLock;
+    static TB: OnceLock<Testbed> = OnceLock::new();
+    TB.get_or_init(Testbed::build)
+}
+
+fn qname(label: &str) -> Name {
+    Name::parse(&format!("{label}.extended-dns-errors.com")).unwrap()
+}
+
+fn spawn(config: ServerConfig) -> (ede_server::ServerHandle, ProbeClient) {
+    let handle = Server::spawn(testbed().resolver(Vendor::Cloudflare), config).unwrap();
+    let client = ProbeClient::connect(handle.udp_addr(), handle.tcp_addr()).unwrap();
+    (handle, client)
+}
+
+#[test]
+fn concurrent_udp_clients_get_correct_ede_codes() {
+    let (handle, _) = spawn(
+        ServerConfig::builder()
+            .bind("127.0.0.1:0")
+            .workers(2)
+            .build(),
+    );
+    let (udp_addr, tcp_addr) = (handle.udp_addr(), handle.tcp_addr());
+
+    // Each case: (label, expected rcode, expected EDE codes on the wire).
+    let cases: &[(&str, Rcode, &[EdeCode])] = &[
+        ("valid", Rcode::NoError, &[]),
+        (
+            "rrsig-exp-all",
+            Rcode::ServFail,
+            &[EdeCode::SignatureExpired],
+        ),
+        ("bad-zsk", Rcode::ServFail, &[EdeCode::DnssecBogus]),
+        ("rrsig-no-all", Rcode::ServFail, &[EdeCode::RrsigsMissing]),
+    ];
+
+    let mut joins = Vec::new();
+    for (t, &(label, rcode, ede)) in cases.iter().enumerate() {
+        joins.push(std::thread::spawn(move || {
+            let client = ProbeClient::connect(udp_addr, tcp_addr).unwrap();
+            for i in 0..25u16 {
+                let id = (t as u16) << 8 | i;
+                let exchange = client
+                    .query(&Message::query(id, qname(label), RrType::A))
+                    .unwrap();
+                assert_eq!(exchange.response.id, id);
+                assert_eq!(exchange.response.rcode, rcode, "{label}");
+                // Repeat queries may add EDE 25 (Cached Error) from the
+                // servfail cache on top of the diagnostic code.
+                let codes = exchange.response.ede_codes();
+                for expected in ede {
+                    assert!(codes.contains(expected), "{label}: {codes:?}");
+                }
+                for code in &codes {
+                    assert!(
+                        ede.contains(code) || *code == EdeCode::CachedError,
+                        "{label}: unexpected {code:?}"
+                    );
+                }
+                assert!(!exchange.retried_over_tcp);
+            }
+        }));
+    }
+    for join in joins {
+        join.join().unwrap();
+    }
+
+    let stats = handle.shutdown().unwrap();
+    assert_eq!(stats.metrics.udp_queries, 100);
+    assert_eq!(stats.metrics.udp_responses, 100);
+    assert_eq!(stats.metrics.udp_truncated, 0);
+    assert_eq!(stats.metrics.encode_errors, 0);
+    assert!(stats.drained);
+    assert!(stats.metrics.handle_latency.total >= 100);
+}
+
+#[test]
+fn truncated_udp_answer_retries_over_tcp_bit_identical() {
+    // Compute the untruncated response out-of-band on an identical
+    // resolver, then force the server to truncate every UDP answer.
+    let resolver = testbed().resolver(Vendor::Cloudflare);
+    let query = Message::query(0x4242, qname("valid"), RrType::A);
+    let expected_full = pipeline::answer(&resolver, None, &query).encode().unwrap();
+
+    let (handle, client) = spawn(
+        ServerConfig::builder()
+            .bind("127.0.0.1:0")
+            .workers(1)
+            .udp_payload_max(96)
+            .build(),
+    );
+
+    // Raw UDP leg: the answer must be a TC=1 header+question skeleton.
+    let wire = query.encode().unwrap();
+    let udp_answer = client.query_udp(&wire).unwrap();
+    let udp_decoded = Message::decode(&udp_answer).unwrap();
+    assert!(udp_decoded.truncated);
+    assert!(udp_decoded.answers.is_empty());
+    assert!(udp_answer.len() < expected_full.len());
+
+    // Composite exchange: TC observed, retried over TCP, and the TCP
+    // bytes are identical to the untruncated message.
+    let exchange = client.query(&query).unwrap();
+    assert!(exchange.retried_over_tcp);
+    assert_eq!(exchange.response_wire, expected_full);
+    assert_eq!(
+        exchange.response.ede_codes(),
+        Vec::<EdeCode>::new(),
+        "valid domain answers clean"
+    );
+
+    let stats = handle.shutdown().unwrap();
+    assert_eq!(stats.metrics.udp_truncated, 2);
+    assert_eq!(stats.metrics.tcp_queries, 1);
+    assert_eq!(stats.metrics.tcp_responses, 1);
+    assert_eq!(stats.metrics.tcp_conns_accepted, 1);
+}
+
+#[test]
+fn malformed_query_policy_on_the_wire() {
+    let (handle, _) = spawn(
+        ServerConfig::builder()
+            .bind("127.0.0.1:0")
+            .workers(1)
+            .build(),
+    );
+    let probe = UdpSocket::bind("127.0.0.1:0").unwrap();
+    probe.connect(handle.udp_addr()).unwrap();
+    probe
+        .set_read_timeout(Some(Duration::from_millis(300)))
+        .unwrap();
+    let mut buf = [0u8; 512];
+
+    // Too short for a header: silently dropped.
+    probe.send(&[0xAB, 0xCD, 0xFF]).unwrap();
+    assert!(
+        probe.recv(&mut buf).is_err(),
+        "short datagram must be dropped"
+    );
+
+    // A response where a query belongs: silently dropped.
+    let mut resp = Message::query(7, qname("valid"), RrType::A);
+    resp.response = true;
+    probe.send(&resp.encode().unwrap()).unwrap();
+    assert!(probe.recv(&mut buf).is_err(), "responses must be dropped");
+
+    // Valid header, garbage body: FORMERR echoing the ID.
+    let mut garbage = Message::query(0xBEEF, qname("valid"), RrType::A)
+        .encode()
+        .unwrap();
+    garbage.truncate(14);
+    probe.send(&garbage).unwrap();
+    let n = probe.recv(&mut buf).unwrap();
+    let reply = Message::decode(&buf[..n]).unwrap();
+    assert_eq!(reply.id, 0xBEEF);
+    assert_eq!(reply.rcode, Rcode::FormErr);
+
+    // Unimplemented opcode: NOTIMP.
+    let mut status = Message::query(0x5151, qname("valid"), RrType::A);
+    status.opcode = Opcode::Status;
+    probe.send(&status.encode().unwrap()).unwrap();
+    let n = probe.recv(&mut buf).unwrap();
+    let reply = Message::decode(&buf[..n]).unwrap();
+    assert_eq!(reply.id, 0x5151);
+    assert_eq!(reply.rcode, Rcode::NotImp);
+    assert_eq!(reply.opcode, Opcode::Status);
+
+    // Out-of-class question: REFUSED with the question echoed.
+    let mut chaos = Message::query(0x6161, qname("valid"), RrType::Txt);
+    chaos.questions[0].qclass = ede_wire::Class::Ch;
+    probe.send(&chaos.encode().unwrap()).unwrap();
+    let n = probe.recv(&mut buf).unwrap();
+    let reply = Message::decode(&buf[..n]).unwrap();
+    assert_eq!(reply.id, 0x6161);
+    assert_eq!(reply.rcode, Rcode::Refused);
+    assert_eq!(reply.questions.len(), 1);
+
+    let stats = handle.shutdown().unwrap();
+    assert_eq!(stats.metrics.dropped, 2);
+    assert_eq!(stats.metrics.rejected_formerr, 1);
+    assert_eq!(stats.metrics.rejected_notimp, 1);
+    assert_eq!(stats.metrics.rejected_refused, 1);
+    assert_eq!(stats.metrics.udp_queries, 5);
+    assert_eq!(stats.metrics.udp_responses, 3);
+}
+
+#[test]
+fn tcp_connection_cap_refuses_excess_conns() {
+    let (handle, client) = spawn(
+        ServerConfig::builder()
+            .bind("127.0.0.1:0")
+            .workers(1)
+            .tcp_conn_cap(1)
+            .tcp_read_timeout(Duration::from_secs(10))
+            .build(),
+    );
+
+    // Occupy the one slot with an idle connection.
+    let holder = TcpStream::connect(handle.tcp_addr()).unwrap();
+    // Give the acceptor time to register it.
+    std::thread::sleep(Duration::from_millis(150));
+    assert_eq!(handle.stats().active_tcp_conns, 1);
+
+    // Any further connection is closed without an answer.
+    let mut refused = TcpStream::connect(handle.tcp_addr()).unwrap();
+    refused
+        .set_read_timeout(Some(Duration::from_secs(2)))
+        .unwrap();
+    let wire = Message::query(1, qname("valid"), RrType::A)
+        .encode()
+        .unwrap();
+    // The write may succeed (buffered) but the read must hit EOF.
+    let _ = refused.write_all(&frame(&wire).unwrap());
+    let mut buf = [0u8; 64];
+    let n = refused.read(&mut buf).unwrap_or(0);
+    assert_eq!(n, 0, "over-cap connection must be closed unanswered");
+
+    drop(holder);
+    std::thread::sleep(Duration::from_millis(150));
+
+    // With the slot free, TCP service resumes.
+    let answer = client.query_tcp(&wire).unwrap();
+    assert_eq!(Message::decode(&answer).unwrap().rcode, Rcode::NoError);
+
+    let stats = handle.shutdown().unwrap();
+    assert!(stats.metrics.tcp_conns_refused >= 1);
+    assert!(stats.metrics.tcp_conns_accepted >= 2);
+    assert_eq!(stats.metrics.tcp_responses, 1);
+}
+
+#[test]
+fn graceful_shutdown_answers_in_flight_tcp_request() {
+    let (handle, _) = spawn(
+        ServerConfig::builder()
+            .bind("127.0.0.1:0")
+            .workers(1)
+            .drain_deadline(Duration::from_secs(2))
+            .build(),
+    );
+    let tcp_addr = handle.tcp_addr();
+
+    // Open a connection and send only half a frame, then complete it
+    // *after* shutdown has been triggered: the drain contract says the
+    // in-flight request still gets its answer.
+    let mut stream = TcpStream::connect(tcp_addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(3)))
+        .unwrap();
+    let wire = Message::query(0x0D0D, qname("rrsig-exp-all"), RrType::A)
+        .encode()
+        .unwrap();
+    let framed = frame(&wire).unwrap();
+    let (first, rest) = framed.split_at(framed.len() / 2);
+    stream.write_all(first).unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+
+    let handle = Arc::new(handle);
+    let shutdown = {
+        let handle = Arc::clone(&handle);
+        std::thread::spawn(move || {
+            handle.trigger_shutdown();
+        })
+    };
+    std::thread::sleep(Duration::from_millis(100));
+    stream.write_all(rest).unwrap();
+
+    let mut reader = FrameReader::new(MAX_FRAME_LEN);
+    let mut buf = [0u8; 2048];
+    let answer = loop {
+        if let Some(frame) = reader.next_frame() {
+            break frame;
+        }
+        let n = stream.read(&mut buf).unwrap();
+        assert_ne!(n, 0, "connection closed before answering in-flight request");
+        reader.push(&buf[..n]).unwrap();
+    };
+    let decoded = Message::decode(&answer).unwrap();
+    assert_eq!(decoded.id, 0x0D0D);
+    assert_eq!(decoded.rcode, Rcode::ServFail);
+    assert_eq!(decoded.ede_codes(), vec![EdeCode::SignatureExpired]);
+    shutdown.join().unwrap();
+
+    // Every response the client received is accounted for in the final
+    // stats: nothing was lost in the drain. The handler thread records
+    // tcp_responses after its write returns, which can land a moment
+    // after the client has already read the bytes — poll briefly.
+    let deadline = std::time::Instant::now() + Duration::from_secs(1);
+    let stats = loop {
+        let stats = handle.stats();
+        if stats.metrics.tcp_responses == 1 || std::time::Instant::now() >= deadline {
+            break stats;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    assert_eq!(stats.metrics.tcp_queries, 1);
+    assert_eq!(stats.metrics.tcp_responses, 1);
+}
+
+#[test]
+fn udp_burst_reconciles_with_stats() {
+    let (handle, _) = spawn(
+        ServerConfig::builder()
+            .bind("127.0.0.1:0")
+            .workers(3)
+            .udp_batch(8)
+            .build(),
+    );
+    let (udp_addr, tcp_addr) = (handle.udp_addr(), handle.tcp_addr());
+
+    let mut joins = Vec::new();
+    for c in 0..3 {
+        joins.push(std::thread::spawn(move || {
+            let client = ProbeClient::connect(udp_addr, tcp_addr).unwrap();
+            let mut received = 0u64;
+            for i in 0..40u16 {
+                let label = ["valid", "no-ds", "bad-zsk"][usize::from(i) % 3];
+                let exchange = client
+                    .query(&Message::query(c * 100 + i, qname(label), RrType::A))
+                    .unwrap();
+                assert_eq!(exchange.response.id, c * 100 + i);
+                received += 1;
+            }
+            received
+        }));
+    }
+    let received: u64 = joins.into_iter().map(|j| j.join().unwrap()).sum();
+
+    let stats = handle.shutdown().unwrap();
+    assert_eq!(received, 120);
+    assert_eq!(stats.metrics.udp_responses, received);
+    assert_eq!(stats.metrics.udp_queries, received);
+    assert!(stats.drained);
+}
+
+#[test]
+fn bind_failure_is_a_structured_error() {
+    // 192.0.2.0/24 is TEST-NET-1: never assigned to a local interface,
+    // so the bind fails regardless of privileges.
+    let err = Server::spawn(
+        testbed().resolver(Vendor::Bind9),
+        ServerConfig::builder().bind("192.0.2.1:0").build(),
+    )
+    .unwrap_err();
+    match err {
+        ServerError::Bind { addr, .. } => assert_eq!(addr, "192.0.2.1:0"),
+        other => panic!("expected Bind error, got {other:?}"),
+    }
+
+    let err = Server::spawn(
+        testbed().resolver(Vendor::Bind9),
+        ServerConfig::builder().workers(0).build(),
+    )
+    .unwrap_err();
+    assert!(matches!(err, ServerError::InvalidConfig(_)));
+}

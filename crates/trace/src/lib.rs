@@ -48,9 +48,11 @@ pub mod event;
 pub mod export;
 pub mod json;
 pub mod metrics;
+pub mod server;
 pub mod sink;
 
 pub use event::{CacheOutcome, TimedEvent, TraceEvent};
 pub use export::{JsonlSnapshotWriter, MemorySnapshotSink, SnapshotEntry, SnapshotSink};
 pub use metrics::{Histogram, Metrics, MetricsSnapshot};
+pub use server::{ServerMetrics, ServerMetricsSnapshot, UsHistogram};
 pub use sink::{MultiSink, ResolutionTrace, TraceClock, TraceSink, Tracer};

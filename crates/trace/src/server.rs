@@ -1,0 +1,449 @@
+//! Serving-front-end metrics: the wall-clock side of the registry.
+//!
+//! The resolution [`Metrics`](crate::Metrics) registry counts what the
+//! *simulated* stack does, stamped on the virtual clock. A serving
+//! front end (the `ede-server` crate) lives on the other side of that
+//! boundary: real sockets, real threads, real time. [`ServerMetrics`]
+//! is its registry — lock-free atomic counters for every transport
+//! decision the server makes (queries per transport, truncations,
+//! malformed-query dispositions, connection caps) plus a
+//! microsecond-resolution latency histogram for in-process
+//! request-handling time.
+//!
+//! Snapshots ([`ServerMetricsSnapshot`]) render to an operator summary
+//! or a single-line JSON document, which is what the server's periodic
+//! export loop hands to [`SnapshotSink`](crate::SnapshotSink)s for
+//! runtime qps/latency gauges.
+
+use crate::json::json_string;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Latency histogram bucket upper bounds in **microseconds**, chosen
+/// around in-process loopback serving times (tens of µs for a cache
+/// hit) up to full cold resolutions (ms range).
+pub const SERVER_LATENCY_BUCKETS_US: [u64; 10] =
+    [25, 50, 100, 250, 500, 1_000, 2_500, 10_000, 50_000, 250_000];
+
+/// A fixed-bucket microsecond histogram over atomic counters; the
+/// serving hot path observes without taking any lock.
+#[derive(Debug, Default)]
+struct AtomicUsHistogram {
+    counts: [AtomicU64; SERVER_LATENCY_BUCKETS_US.len() + 1],
+    total: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl AtomicUsHistogram {
+    fn observe(&self, value_us: u64) {
+        let idx = SERVER_LATENCY_BUCKETS_US
+            .iter()
+            .position(|&ub| value_us <= ub)
+            .unwrap_or(SERVER_LATENCY_BUCKETS_US.len());
+        self.counts[idx].fetch_add(1, Relaxed);
+        self.total.fetch_add(1, Relaxed);
+        self.sum.fetch_add(value_us, Relaxed);
+        self.max.fetch_max(value_us, Relaxed);
+    }
+
+    fn snapshot(&self) -> UsHistogram {
+        UsHistogram {
+            counts: std::array::from_fn(|i| self.counts[i].load(Relaxed)),
+            total: self.total.load(Relaxed),
+            sum: self.sum.load(Relaxed),
+            max: self.max.load(Relaxed),
+        }
+    }
+}
+
+/// A frozen microsecond histogram (buckets in
+/// [`SERVER_LATENCY_BUCKETS_US`], plus an overflow slot).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct UsHistogram {
+    /// Per-bucket observation counts; `counts[i]` holds observations
+    /// `<= SERVER_LATENCY_BUCKETS_US[i]`, the final slot the overflow.
+    pub counts: [u64; SERVER_LATENCY_BUCKETS_US.len() + 1],
+    /// Total observations.
+    pub total: u64,
+    /// Sum of observed values, µs (for the mean).
+    pub sum: u64,
+    /// Largest observed value, µs.
+    pub max: u64,
+}
+
+impl UsHistogram {
+    /// Mean observed value in µs, or 0 with no observations.
+    pub fn mean_us(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Approximate quantile: the upper bound of the bucket containing
+    /// the `q`-quantile observation (`q` in `[0, 1]`).
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank.max(1) {
+                return SERVER_LATENCY_BUCKETS_US
+                    .get(i)
+                    .copied()
+                    .unwrap_or(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// The live serving registry. Share as `Arc<ServerMetrics>` between
+/// every worker/acceptor/connection thread; read with
+/// [`snapshot`](ServerMetrics::snapshot).
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    udp_queries: AtomicU64,
+    udp_responses: AtomicU64,
+    udp_truncated: AtomicU64,
+    tcp_queries: AtomicU64,
+    tcp_responses: AtomicU64,
+    tcp_conns_accepted: AtomicU64,
+    tcp_conns_refused: AtomicU64,
+    tcp_read_timeouts: AtomicU64,
+    rejected_formerr: AtomicU64,
+    rejected_notimp: AtomicU64,
+    rejected_refused: AtomicU64,
+    dropped: AtomicU64,
+    encode_errors: AtomicU64,
+    bytes_received: AtomicU64,
+    bytes_sent: AtomicU64,
+    handle_latency: AtomicUsHistogram,
+}
+
+impl ServerMetrics {
+    /// A zeroed registry.
+    pub fn new() -> Self {
+        ServerMetrics::default()
+    }
+
+    /// One query datagram arrived over UDP (`bytes` on the wire).
+    pub fn udp_query(&self, bytes: usize) {
+        self.udp_queries.fetch_add(1, Relaxed);
+        self.bytes_received.fetch_add(bytes as u64, Relaxed);
+    }
+
+    /// One response datagram left over UDP; `truncated` when it carried
+    /// TC=1 because the full answer exceeded the negotiated payload.
+    pub fn udp_response(&self, bytes: usize, truncated: bool) {
+        self.udp_responses.fetch_add(1, Relaxed);
+        self.bytes_sent.fetch_add(bytes as u64, Relaxed);
+        if truncated {
+            self.udp_truncated.fetch_add(1, Relaxed);
+        }
+    }
+
+    /// One framed query arrived over a stream connection.
+    pub fn tcp_query(&self, bytes: usize) {
+        self.tcp_queries.fetch_add(1, Relaxed);
+        self.bytes_received.fetch_add(bytes as u64, Relaxed);
+    }
+
+    /// One framed response left over a stream connection.
+    pub fn tcp_response(&self, bytes: usize) {
+        self.tcp_responses.fetch_add(1, Relaxed);
+        self.bytes_sent.fetch_add(bytes as u64, Relaxed);
+    }
+
+    /// A stream connection was accepted.
+    pub fn tcp_conn_accepted(&self) {
+        self.tcp_conns_accepted.fetch_add(1, Relaxed);
+    }
+
+    /// A stream connection was turned away at the connection cap.
+    pub fn tcp_conn_refused(&self) {
+        self.tcp_conns_refused.fetch_add(1, Relaxed);
+    }
+
+    /// A stream connection idled past its read deadline and was closed.
+    pub fn tcp_read_timeout(&self) {
+        self.tcp_read_timeouts.fetch_add(1, Relaxed);
+    }
+
+    /// A malformed query was answered with FORMERR.
+    pub fn rejected_formerr(&self) {
+        self.rejected_formerr.fetch_add(1, Relaxed);
+    }
+
+    /// A non-QUERY opcode was answered with NOTIMP.
+    pub fn rejected_notimp(&self) {
+        self.rejected_notimp.fetch_add(1, Relaxed);
+    }
+
+    /// A query outside the served class was answered with REFUSED.
+    pub fn rejected_refused(&self) {
+        self.rejected_refused.fetch_add(1, Relaxed);
+    }
+
+    /// A datagram was dropped without any reply (shorter than a DNS
+    /// header, or a response where a query belongs).
+    pub fn dropped(&self) {
+        self.dropped.fetch_add(1, Relaxed);
+    }
+
+    /// A reply failed to encode (never sent).
+    pub fn encode_error(&self) {
+        self.encode_errors.fetch_add(1, Relaxed);
+    }
+
+    /// Observe one request's in-process handling time, µs (receive →
+    /// response handed to the socket).
+    pub fn observe_handle_us(&self, us: u64) {
+        self.handle_latency.observe(us);
+    }
+
+    /// A point-in-time copy of every counter and the histogram.
+    pub fn snapshot(&self) -> ServerMetricsSnapshot {
+        ServerMetricsSnapshot {
+            udp_queries: self.udp_queries.load(Relaxed),
+            udp_responses: self.udp_responses.load(Relaxed),
+            udp_truncated: self.udp_truncated.load(Relaxed),
+            tcp_queries: self.tcp_queries.load(Relaxed),
+            tcp_responses: self.tcp_responses.load(Relaxed),
+            tcp_conns_accepted: self.tcp_conns_accepted.load(Relaxed),
+            tcp_conns_refused: self.tcp_conns_refused.load(Relaxed),
+            tcp_read_timeouts: self.tcp_read_timeouts.load(Relaxed),
+            rejected_formerr: self.rejected_formerr.load(Relaxed),
+            rejected_notimp: self.rejected_notimp.load(Relaxed),
+            rejected_refused: self.rejected_refused.load(Relaxed),
+            dropped: self.dropped.load(Relaxed),
+            encode_errors: self.encode_errors.load(Relaxed),
+            bytes_received: self.bytes_received.load(Relaxed),
+            bytes_sent: self.bytes_sent.load(Relaxed),
+            handle_latency: self.handle_latency.snapshot(),
+        }
+    }
+}
+
+/// A frozen copy of [`ServerMetrics`], safe to move across threads and
+/// render offline.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ServerMetricsSnapshot {
+    /// Query datagrams received over UDP.
+    pub udp_queries: u64,
+    /// Response datagrams sent over UDP.
+    pub udp_responses: u64,
+    /// ... of which carried TC=1 (client must retry over a stream).
+    pub udp_truncated: u64,
+    /// Framed queries received over stream connections.
+    pub tcp_queries: u64,
+    /// Framed responses sent over stream connections.
+    pub tcp_responses: u64,
+    /// Stream connections accepted.
+    pub tcp_conns_accepted: u64,
+    /// Stream connections turned away at the connection cap.
+    pub tcp_conns_refused: u64,
+    /// Stream connections closed for idling past the read deadline.
+    pub tcp_read_timeouts: u64,
+    /// Malformed queries answered with FORMERR.
+    pub rejected_formerr: u64,
+    /// Non-QUERY opcodes answered with NOTIMP.
+    pub rejected_notimp: u64,
+    /// Out-of-class queries answered with REFUSED.
+    pub rejected_refused: u64,
+    /// Datagrams dropped without any reply.
+    pub dropped: u64,
+    /// Replies that failed to encode.
+    pub encode_errors: u64,
+    /// Total payload bytes received.
+    pub bytes_received: u64,
+    /// Total payload bytes sent.
+    pub bytes_sent: u64,
+    /// In-process request-handling latency, µs.
+    pub handle_latency: UsHistogram,
+}
+
+impl ServerMetricsSnapshot {
+    /// Total queries across both transports.
+    pub fn queries(&self) -> u64 {
+        self.udp_queries + self.tcp_queries
+    }
+
+    /// Total responses across both transports.
+    pub fn responses(&self) -> u64 {
+        self.udp_responses + self.tcp_responses
+    }
+
+    /// Render as an operator-facing summary block.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("server metrics\n");
+        out.push_str(&format!(
+            "  udp       : {} queries, {} responses ({} truncated)\n",
+            self.udp_queries, self.udp_responses, self.udp_truncated
+        ));
+        out.push_str(&format!(
+            "  tcp       : {} queries, {} responses; {} conns accepted, {} refused, {} idle timeouts\n",
+            self.tcp_queries,
+            self.tcp_responses,
+            self.tcp_conns_accepted,
+            self.tcp_conns_refused,
+            self.tcp_read_timeouts
+        ));
+        out.push_str(&format!(
+            "  rejected  : {} FORMERR, {} NOTIMP, {} REFUSED, {} dropped, {} encode errors\n",
+            self.rejected_formerr,
+            self.rejected_notimp,
+            self.rejected_refused,
+            self.dropped,
+            self.encode_errors
+        ));
+        out.push_str(&format!(
+            "  traffic   : {} bytes in, {} bytes out\n",
+            self.bytes_received, self.bytes_sent
+        ));
+        out.push_str(&format!(
+            "  latency   : mean {:.1} µs, p50 {} µs, p99 {} µs, max {} µs\n",
+            self.handle_latency.mean_us(),
+            self.handle_latency.quantile_us(0.50),
+            self.handle_latency.quantile_us(0.99),
+            self.handle_latency.max
+        ));
+        out
+    }
+
+    /// Serialize as one JSON object line (no trailing newline). Extra
+    /// key/value pairs (already JSON-rendered values, e.g. a computed
+    /// qps gauge) are prepended — this is what the serving front end's
+    /// snapshot exporter feeds to [`SnapshotSink`](crate::SnapshotSink)s.
+    pub fn to_json_with(&self, extra: &[(&str, String)]) -> String {
+        let mut fields: Vec<(&str, String)> = Vec::with_capacity(extra.len() + 18);
+        fields.push(("schema", json_string("ede-server-stats/1")));
+        fields.extend(extra.iter().map(|(k, v)| (*k, v.clone())));
+        fields.extend([
+            ("udp_queries", self.udp_queries.to_string()),
+            ("udp_responses", self.udp_responses.to_string()),
+            ("udp_truncated", self.udp_truncated.to_string()),
+            ("tcp_queries", self.tcp_queries.to_string()),
+            ("tcp_responses", self.tcp_responses.to_string()),
+            ("tcp_conns_accepted", self.tcp_conns_accepted.to_string()),
+            ("tcp_conns_refused", self.tcp_conns_refused.to_string()),
+            ("tcp_read_timeouts", self.tcp_read_timeouts.to_string()),
+            ("rejected_formerr", self.rejected_formerr.to_string()),
+            ("rejected_notimp", self.rejected_notimp.to_string()),
+            ("rejected_refused", self.rejected_refused.to_string()),
+            ("dropped", self.dropped.to_string()),
+            ("encode_errors", self.encode_errors.to_string()),
+            ("bytes_received", self.bytes_received.to_string()),
+            ("bytes_sent", self.bytes_sent.to_string()),
+            (
+                "latency_mean_us",
+                format!("{:.1}", self.handle_latency.mean_us()),
+            ),
+            (
+                "latency_p50_us",
+                self.handle_latency.quantile_us(0.50).to_string(),
+            ),
+            (
+                "latency_p99_us",
+                self.handle_latency.quantile_us(0.99).to_string(),
+            ),
+            ("latency_max_us", self.handle_latency.max.to_string()),
+        ]);
+        let body: Vec<String> = fields
+            .iter()
+            .map(|(k, v)| format!("{}:{v}", json_string(k)))
+            .collect();
+        format!("{{{}}}", body.join(","))
+    }
+
+    /// [`to_json_with`](Self::to_json_with) with no extra fields.
+    pub fn to_json(&self) -> String {
+        self.to_json_with(&[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_render() {
+        let m = ServerMetrics::new();
+        m.udp_query(40);
+        m.udp_response(200, false);
+        m.udp_query(40);
+        m.udp_response(52, true);
+        m.tcp_conn_accepted();
+        m.tcp_query(40);
+        m.tcp_response(420);
+        m.tcp_conn_refused();
+        m.tcp_read_timeout();
+        m.rejected_formerr();
+        m.rejected_notimp();
+        m.rejected_refused();
+        m.dropped();
+        m.encode_error();
+        m.observe_handle_us(30);
+        m.observe_handle_us(400);
+        m.observe_handle_us(1_000_000);
+
+        let s = m.snapshot();
+        assert_eq!(s.udp_queries, 2);
+        assert_eq!(s.udp_responses, 2);
+        assert_eq!(s.udp_truncated, 1);
+        assert_eq!(s.tcp_queries, 1);
+        assert_eq!(s.tcp_responses, 1);
+        assert_eq!(s.tcp_conns_accepted, 1);
+        assert_eq!(s.tcp_conns_refused, 1);
+        assert_eq!(s.tcp_read_timeouts, 1);
+        assert_eq!(s.queries(), 3);
+        assert_eq!(s.responses(), 3);
+        assert_eq!(s.bytes_received, 120);
+        assert_eq!(s.bytes_sent, 672);
+        assert_eq!(s.handle_latency.total, 3);
+        assert_eq!(s.handle_latency.max, 1_000_000);
+        let render = s.render();
+        assert!(
+            render.contains("2 queries, 2 responses (1 truncated)"),
+            "{render}"
+        );
+        assert!(
+            render.contains("1 FORMERR, 1 NOTIMP, 1 REFUSED, 1 dropped"),
+            "{render}"
+        );
+    }
+
+    #[test]
+    fn json_is_single_object_with_schema() {
+        let m = ServerMetrics::new();
+        m.udp_query(10);
+        m.observe_handle_us(75);
+        let s = m.snapshot();
+        let json = s.to_json_with(&[("qps", "123.4".to_string())]);
+        assert!(json.starts_with("{\"schema\":\"ede-server-stats/1\",\"qps\":123.4,"));
+        assert!(json.contains("\"udp_queries\":1"));
+        assert!(json.contains("\"latency_p50_us\":100"));
+        assert!(json.ends_with('}'));
+        assert!(!json.contains('\n'));
+    }
+
+    #[test]
+    fn quantiles_follow_buckets() {
+        let m = ServerMetrics::new();
+        for _ in 0..99 {
+            m.observe_handle_us(40);
+        }
+        m.observe_handle_us(9_000);
+        let h = m.snapshot().handle_latency;
+        assert_eq!(h.quantile_us(0.50), 50);
+        assert_eq!(h.quantile_us(0.99), 50);
+        assert_eq!(h.quantile_us(1.0), 10_000);
+        assert_eq!(UsHistogram::default().quantile_us(0.5), 0);
+        assert!(h.mean_us() > 40.0);
+    }
+}

@@ -16,7 +16,9 @@
 //! * [`registry`]: IANA DNSSEC algorithm numbers and DS digest types with
 //!   assigned/unassigned/reserved semantics (the testbed's
 //!   `*-unassigned-*`/`*-reserved-*` cases depend on these);
-//! * full [`message`] encoding and decoding.
+//! * full [`message`] encoding and decoding;
+//! * [`stream`]: RFC 1035 §4.2.2 two-byte length-prefix framing for
+//!   DNS-over-TCP transports.
 //!
 //! Everything round-trips: `decode(encode(m)) == m` is property-tested.
 
@@ -34,6 +36,7 @@ pub mod rdata;
 pub mod record;
 pub mod registry;
 pub mod rrtype;
+pub mod stream;
 pub mod text;
 
 pub use ede::{EdeCode, EdeEntry};

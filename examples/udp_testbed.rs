@@ -1,16 +1,19 @@
-//! Serve the simulated testbed over a real UDP socket, so you can point
-//! actual DNS tooling at the reproduction:
+//! Serve the simulated testbed over real UDP and TCP sockets, so you
+//! can point actual DNS tooling at the reproduction:
 //!
 //! ```text
 //! cargo run --example udp_testbed -- 127.0.0.1:5533 cloudflare &
 //! dig @127.0.0.1 -p 5533 rrsig-exp-all.extended-dns-errors.com A
+//! dig @127.0.0.1 -p 5533 +tcp rrsig-exp-all.extended-dns-errors.com A
 //! ```
 //!
 //! The response carries the vendor profile's Extended DNS Error options
-//! (`dig` ≥ 9.16 prints them as `EDE: ...`).
+//! (`dig` ≥ 9.16 prints them as `EDE: ...`). For the full-featured
+//! server (worker control, stats, smoke mode) use
+//! `cargo run -p ede-server --bin repro-serve`.
 
 use extended_dns_errors::prelude::*;
-use std::sync::Arc;
+use std::time::Duration;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -30,14 +33,19 @@ fn main() {
 
     eprintln!("building testbed...");
     let tb = Testbed::build();
-    let resolver = Arc::new(tb.resolver(vendor));
-    let server = UdpFrontend::bind(&bind, resolver).expect("bind UDP socket");
+    let handle = Server::spawn(
+        tb.resolver(vendor),
+        ServerConfig::builder().bind(&bind).workers(2).build(),
+    )
+    .expect("bind sockets");
+    let addr = handle.udp_addr();
     eprintln!(
-        "serving the {} profile on {} — try:\n  dig @{} -p {} rrsig-exp-all.extended-dns-errors.com A",
+        "serving the {} profile on udp+tcp {addr} — try:\n  dig @{} -p {} rrsig-exp-all.extended-dns-errors.com A",
         vendor.name(),
-        server.local_addr().expect("addr"),
-        bind.split(':').next().unwrap_or("127.0.0.1"),
-        bind.split(':').nth(1).unwrap_or("5533"),
+        addr.ip(),
+        addr.port(),
     );
-    server.serve().expect("serve loop");
+    loop {
+        std::thread::sleep(Duration::from_secs(60));
+    }
 }

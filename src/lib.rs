@@ -21,6 +21,7 @@
 //! | Testbed | [`testbed`] | The 63-domain `extended-dns-errors.com` infrastructure |
 //! | Scan | [`scan`] | The Internet-wide scan at configurable scale |
 //! | Observability | [`trace`] | Resolution tracing, JSONL export, live metrics |
+//! | Serving | [`server`] | Concurrent UDP+TCP front end over real OS sockets |
 //!
 //! ## Quickstart
 //!
@@ -42,9 +43,11 @@
 //! assert!(bind.resolve(&qname, RrType::A).ede_codes().is_empty());
 //! ```
 //!
-//! The [`udp`] module binds any simulated resolver or testbed to a real
-//! `std::net::UdpSocket`, so external tools (e.g. `dig +ednsopt=15`)
-//! can query the reproduction.
+//! The [`server`] crate binds any simulated resolver or testbed to real
+//! OS sockets — sharded UDP workers plus a TCP listener with RFC 1035
+//! framing — so external tools (e.g. `dig +ednsopt=15`) can query the
+//! reproduction; `cargo run --bin repro-serve` starts it. The [`udp`]
+//! module holds the deprecated single-threaded predecessor.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -54,6 +57,7 @@ pub use ede_crypto as crypto;
 pub use ede_netsim as netsim;
 pub use ede_resolver as resolver;
 pub use ede_scan as scan;
+pub use ede_server as server;
 pub use ede_testbed as testbed;
 pub use ede_trace as trace;
 pub use ede_wire as wire;
@@ -68,6 +72,9 @@ pub use udp::FrontendError;
 /// Curated for the common workflows: building the testbed, configuring
 /// resolvers (via [`ResolverConfig::builder`](ede_resolver::ResolverConfig::builder)),
 /// running scans (via [`ScanConfig::builder`](ede_scan::ScanConfig::builder)),
+/// serving over real sockets (via
+/// [`Server::spawn`](ede_server::Server::spawn) with
+/// [`ServerConfig::builder`](ede_server::ServerConfig::builder)),
 /// injecting faults ([`FaultPlan`](ede_netsim::FaultPlan)), and attaching
 /// observability ([`ResolutionTrace`](ede_trace::ResolutionTrace)).
 /// Structured error types from every layer ride along so `?`-style
@@ -82,10 +89,19 @@ pub mod prelude {
         scan, scan_streaming, ChaosConfig, Population, PopulationConfig, QueryFilter, QueryRecord,
         ScanConfig, ScanConfigBuilder, ScanResult, ScanWorld, StatsSnapshot,
     };
+    pub use ede_server::{
+        ProbeClient, Server, ServerConfig, ServerConfigBuilder, ServerError, ServerHandle,
+        ServerStats,
+    };
     pub use ede_testbed::Testbed;
-    pub use ede_trace::{Metrics, ResolutionTrace, SnapshotSink, TraceEvent, TraceSink};
+    pub use ede_trace::{
+        Metrics, ResolutionTrace, ServerMetrics, ServerMetricsSnapshot, SnapshotSink, TraceEvent,
+        TraceSink,
+    };
     pub use ede_wire::{EdeCode, EdeEntry, Message, Name, Rcode, RrType, WireError};
     pub use ede_zone::{ParseError, ParseErrorKind};
 
-    pub use crate::udp::{FrontendError, UdpFrontend};
+    pub use crate::udp::FrontendError;
+    #[allow(deprecated)]
+    pub use crate::udp::UdpFrontend;
 }

@@ -1,21 +1,40 @@
-//! A real-socket front end: serve a simulated resolver over UDP.
+//! Deprecated single-threaded UDP front end.
 //!
-//! The measurement pipeline is sans-IO by design, but a reproduction you
-//! can point `dig` at is worth having. [`UdpFrontend`] binds a
-//! `std::net::UdpSocket`, decodes each datagram with [`ede_wire`],
-//! resolves it through the attached [`Resolver`] (full recursion,
-//! validation, vendor EDE emission), and writes the wire response back.
+//! [`UdpFrontend`] predates the `ede-server` crate: one thread, one
+//! socket, UDP only, no EDNS payload negotiation, no metrics. It is now
+//! a thin shim over [`ede_server::pipeline`] — every datagram goes
+//! through the same classify → resolve → encode path as the real
+//! server, so the malformed-query policy and EDE emission are identical
+//! on the wire — and it exists only to keep old callers compiling.
+//!
+//! New code should use [`Server`](ede_server::Server):
+//!
+//! ```no_run
+//! use extended_dns_errors::prelude::*;
+//!
+//! let tb = Testbed::build();
+//! let handle = Server::spawn(
+//!     tb.resolver(Vendor::Cloudflare),
+//!     ServerConfig::builder().bind("127.0.0.1:5300").build(),
+//! ).expect("bind");
+//! println!("serving on {}", handle.udp_addr());
+//! ```
 
 use ede_resolver::Resolver;
-use ede_wire::{Message, Rcode, WireError};
+use ede_server::pipeline::{self, QueryDisposition};
+use ede_server::ServerError;
+use ede_wire::WireError;
 use std::fmt;
 use std::io;
 use std::net::{SocketAddr, UdpSocket};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-/// Errors from the UDP front end, split by layer instead of being
-/// flattened into `io::Error` strings.
+/// Errors from the deprecated UDP front end.
+///
+/// The structured replacement is [`ServerError`]; `From` conversions in
+/// both directions let old `Result<_, FrontendError>` plumbing coexist
+/// with the new serving API.
 #[derive(Debug)]
 #[non_exhaustive]
 pub enum FrontendError {
@@ -55,13 +74,40 @@ impl From<WireError> for FrontendError {
     }
 }
 
-/// A UDP server wrapping one simulated resolver.
+impl From<FrontendError> for ServerError {
+    fn from(e: FrontendError) -> Self {
+        match e {
+            FrontendError::Io(e) => ServerError::Io(e),
+            FrontendError::Encode(e) => ServerError::Wire(e),
+        }
+    }
+}
+
+impl From<ServerError> for FrontendError {
+    fn from(e: ServerError) -> Self {
+        match e {
+            ServerError::Bind { source, .. } => FrontendError::Io(source),
+            ServerError::Io(e) => FrontendError::Io(e),
+            ServerError::Wire(e) => FrontendError::Encode(e),
+            // InvalidConfig (and any future variant) has no legacy
+            // shape; surface it as an io error rather than panicking.
+            other => FrontendError::Io(io::Error::other(other.to_string())),
+        }
+    }
+}
+
+/// A single-threaded UDP server wrapping one simulated resolver.
+#[deprecated(
+    since = "0.1.0",
+    note = "use ede_server::Server for concurrent UDP+TCP serving with EDNS negotiation and metrics"
+)]
 pub struct UdpFrontend {
     socket: UdpSocket,
     resolver: Arc<Resolver>,
     stop: Arc<AtomicBool>,
 }
 
+#[allow(deprecated)]
 impl UdpFrontend {
     /// Bind to `addr` (e.g. `127.0.0.1:0` for an ephemeral port).
     pub fn bind(addr: &str, resolver: Arc<Resolver>) -> Result<UdpFrontend, FrontendError> {
@@ -86,32 +132,28 @@ impl UdpFrontend {
     }
 
     /// Handle exactly one request (test-friendly building block).
+    ///
+    /// Requests follow the `ede-server` pipeline policy: datagrams too
+    /// short for a DNS header (or carrying QR=1) are dropped without a
+    /// reply, protocol violations earn FORMERR/NOTIMP/REFUSED, and
+    /// well-formed queries resolve. Responses over 1232 bytes are
+    /// truncated with TC=1.
     pub fn serve_one(&self) -> Result<(), FrontendError> {
         let mut buf = [0u8; 4096];
         let (len, peer) = self.socket.recv_from(&mut buf)?;
-        let reply = match Message::decode(&buf[..len]) {
-            Ok(query) => self.answer(&query),
-            Err(_) => {
-                // Unparseable: a minimal FORMERR with whatever ID we can
-                // salvage.
-                let id = if len >= 2 {
-                    u16::from_be_bytes([buf[0], buf[1]])
-                } else {
-                    0
-                };
-                let mut m = Message {
-                    id,
-                    response: true,
-                    rcode: Rcode::FormErr,
-                    ..Default::default()
-                };
-                m.recursion_available = true;
-                m
+        match pipeline::classify(&buf[..len]) {
+            QueryDisposition::Drop(_) => Ok(()),
+            QueryDisposition::Reject(reply, _) => {
+                self.socket.send_to(&reply.encode()?, peer)?;
+                Ok(())
             }
-        };
-        let wire = reply.encode()?;
-        self.socket.send_to(&wire, peer)?;
-        Ok(())
+            QueryDisposition::Resolve(query) => {
+                let reply = pipeline::answer(&self.resolver, None, &query);
+                let (wire, _truncated) = pipeline::encode_udp(&reply, &query, 1232)?;
+                self.socket.send_to(&wire, peer)?;
+                Ok(())
+            }
+        }
     }
 
     /// Serve until the stop handle fires. Uses a short read timeout so
@@ -130,24 +172,19 @@ impl UdpFrontend {
         }
         Ok(())
     }
-
-    fn answer(&self, query: &Message) -> Message {
-        let Some(q) = query.first_question() else {
-            let mut m = Message::response_to(query);
-            m.rcode = Rcode::FormErr;
-            return m;
-        };
-        let resolution = self.resolver.resolve(&q.name.clone(), q.qtype);
-        resolution.to_message(query)
-    }
 }
 
 /// Cancels a running [`UdpFrontend::serve`] loop.
+#[deprecated(
+    since = "0.1.0",
+    note = "use ede_server::ServerHandle::trigger_shutdown instead"
+)]
 #[derive(Clone)]
 pub struct StopHandle {
     stop: Arc<AtomicBool>,
 }
 
+#[allow(deprecated)]
 impl StopHandle {
     /// Request the serve loop to exit.
     pub fn stop(&self) {
@@ -156,11 +193,13 @@ impl StopHandle {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use ede_resolver::Vendor;
     use ede_testbed::Testbed;
-    use ede_wire::{EdeCode, Name, RrType};
+    use ede_wire::{EdeCode, Message, Name, Rcode, RrType};
+    use std::time::Duration;
 
     #[test]
     fn udp_roundtrip_with_ede() {
@@ -193,8 +232,14 @@ mod tests {
         let server = UdpFrontend::bind("127.0.0.1:0", resolver).expect("bind");
         let addr = server.local_addr().expect("addr");
 
+        // A valid header claiming one question, cut off mid-question:
+        // enough structure to earn FORMERR with the ID echoed.
+        let qname = Name::parse("valid.extended-dns-errors.com").unwrap();
+        let mut garbage = Message::query(0xABCD, qname, RrType::A).encode().unwrap();
+        garbage.truncate(14);
+
         let client = UdpSocket::bind("127.0.0.1:0").expect("client bind");
-        client.send_to(&[0xAB, 0xCD, 0xFF], addr).expect("send");
+        client.send_to(&garbage, addr).expect("send");
         server.serve_one().expect("serve");
 
         let mut buf = [0u8; 512];
@@ -202,5 +247,42 @@ mod tests {
         let reply = Message::decode(&buf[..len]).expect("decode");
         assert_eq!(reply.id, 0xABCD);
         assert_eq!(reply.rcode, Rcode::FormErr);
+    }
+
+    #[test]
+    fn short_datagram_is_dropped_not_answered() {
+        let tb = Testbed::build();
+        let resolver = Arc::new(tb.resolver(Vendor::Unbound));
+        let server = UdpFrontend::bind("127.0.0.1:0", resolver).expect("bind");
+        let addr = server.local_addr().expect("addr");
+
+        let client = UdpSocket::bind("127.0.0.1:0").expect("client bind");
+        client
+            .set_read_timeout(Some(Duration::from_millis(200)))
+            .unwrap();
+        // Under 12 bytes there is no trustworthy ID to echo; the old
+        // behaviour (FORMERR guessing the ID) was a forgery oracle.
+        client.send_to(&[0xAB, 0xCD, 0xFF], addr).expect("send");
+        server.serve_one().expect("serve");
+
+        let mut buf = [0u8; 512];
+        assert!(client.recv_from(&mut buf).is_err(), "no reply expected");
+    }
+
+    #[test]
+    fn frontend_error_maps_into_server_error() {
+        let io_err = FrontendError::Io(io::Error::from(io::ErrorKind::ConnectionRefused));
+        assert!(matches!(ServerError::from(io_err), ServerError::Io(_)));
+
+        let enc = FrontendError::Encode(WireError::BadCount);
+        assert!(matches!(ServerError::from(enc), ServerError::Wire(_)));
+
+        let back = FrontendError::from(ServerError::Bind {
+            addr: "x".into(),
+            source: io::Error::from(io::ErrorKind::PermissionDenied),
+        });
+        assert!(matches!(back, FrontendError::Io(_)));
+        let back = FrontendError::from(ServerError::InvalidConfig("workers"));
+        assert!(matches!(back, FrontendError::Io(_)));
     }
 }
